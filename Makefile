@@ -1,0 +1,46 @@
+# TreeServer-Go build targets. Everything is stdlib-only Go >= 1.22.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments ablations examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/cluster/ ./internal/transport/ ./internal/task/
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# One testing.B benchmark per paper table plus per-package micro benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's evaluation tables at the default laptop scale.
+experiments:
+	$(GO) run ./cmd/benchtab
+
+ablations:
+	$(GO) run ./cmd/benchtab -ablations
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/creditrisk
+	$(GO) run ./examples/faulttolerance
+	$(GO) run ./examples/boosting
+	$(GO) run ./examples/deepforest
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

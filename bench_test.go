@@ -1,0 +1,112 @@
+package treeserver
+
+// The benchmarks below regenerate the paper's evaluation tables (Section
+// VIII) as testing.B targets, one per table, plus the DESIGN.md ablations.
+// Each iteration runs the full experiment at the quick laptop scale and
+// logs the rendered table once, so
+//
+//	go test -bench=. -benchmem
+//
+// both times every experiment and prints the rows the paper reports. Use
+// cmd/benchtab for full-scale runs with adjustable sizes.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"treeserver/internal/experiments"
+)
+
+func benchScale() experiments.Scale {
+	return experiments.Scale{BaseRows: 12000, Workers: 4, Compers: 4, Quick: true}
+}
+
+var logOnce sync.Map
+
+// runExperiment executes one experiment per b.N iteration and logs its
+// table on the first run.
+func runExperiment(b *testing.B, name string, f func(experiments.Scale) *experiments.Result) {
+	b.Helper()
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := f(scale)
+		if _, logged := logOnce.LoadOrStore(name, true); !logged {
+			var sb strings.Builder
+			r.Fprint(&sb)
+			b.Log("\n" + sb.String())
+		}
+	}
+}
+
+// BenchmarkTableIIa — Table II(a): one decision tree, TreeServer vs MLlib.
+func BenchmarkTableIIa(b *testing.B) { runExperiment(b, "2a", experiments.TableIIa) }
+
+// BenchmarkTableIIb — Table II(b): 20-tree random forest vs MLlib.
+func BenchmarkTableIIb(b *testing.B) { runExperiment(b, "2b", experiments.TableIIb) }
+
+// BenchmarkTableIIc — Table II(c): bagging vs XGBoost-style boosting.
+func BenchmarkTableIIc(b *testing.B) { runExperiment(b, "2c", experiments.TableIIc) }
+
+// BenchmarkTableIIInpool — Tables III(a–c): effect of n_pool.
+func BenchmarkTableIIInpool(b *testing.B) { runExperiment(b, "3npool", experiments.TableIIINPool) }
+
+// BenchmarkTableIIItdfs — Table III(d): effect of τ_dfs.
+func BenchmarkTableIIItdfs(b *testing.B) { runExperiment(b, "3tdfs", experiments.TableIIITauDFS) }
+
+// BenchmarkTableIIItd — Table III(e): effect of τ_D.
+func BenchmarkTableIIItd(b *testing.B) { runExperiment(b, "3td", experiments.TableIIITauD) }
+
+// BenchmarkTableIV — Tables IV(a,b): running time vs number of trees.
+func BenchmarkTableIV(b *testing.B) { runExperiment(b, "4", experiments.TableIV) }
+
+// BenchmarkTableIVc — Table IV(c): boosting accuracy vs tree count.
+func BenchmarkTableIVc(b *testing.B) { runExperiment(b, "4c", experiments.TableIVc) }
+
+// BenchmarkTableV — Table V: vertical scalability (compers per machine).
+func BenchmarkTableV(b *testing.B) { runExperiment(b, "5", experiments.TableV) }
+
+// BenchmarkTableVI — Table VI: horizontal scalability (machines).
+func BenchmarkTableVI(b *testing.B) { runExperiment(b, "6", experiments.TableVI) }
+
+// BenchmarkTableVII — Table VII: the deep-forest pipeline.
+func BenchmarkTableVII(b *testing.B) { runExperiment(b, "7", experiments.TableVII) }
+
+// BenchmarkTableVIIIdmax — Tables VIII(a,b): accuracy vs dmax.
+func BenchmarkTableVIIIdmax(b *testing.B) { runExperiment(b, "8dmax", experiments.TableVIIIDmax) }
+
+// BenchmarkTableVIIIcols — Tables VIII(c,d): effect of |C|/|A|.
+func BenchmarkTableVIIIcols(b *testing.B) { runExperiment(b, "8cols", experiments.TableVIIICols) }
+
+// BenchmarkFairness — the "fairness of implementation" paragraph:
+// single-thread single-tree exact trainer vs single-thread MLlib.
+func BenchmarkFairness(b *testing.B) { runExperiment(b, "fair", experiments.Fairness) }
+
+// BenchmarkAblationMasterRelay — Section V ablation: delegate workers vs
+// master-relayed row sets (master outbound bytes).
+func BenchmarkAblationMasterRelay(b *testing.B) {
+	runExperiment(b, "ab-relay", experiments.AblationMasterRelay)
+}
+
+// BenchmarkAblationSchedPolicy — hybrid BFS/DFS deque vs pure BFS / DFS.
+func BenchmarkAblationSchedPolicy(b *testing.B) {
+	runExperiment(b, "ab-sched", experiments.AblationSchedPolicy)
+}
+
+// BenchmarkAblationColumnGroups — Section VII ablation: DFS column grouping
+// vs one file per column.
+func BenchmarkAblationColumnGroups(b *testing.B) {
+	runExperiment(b, "ab-colgroups", experiments.AblationColumnGroups)
+}
+
+// BenchmarkAblationLoadBal — Section VI ablation: M_work cost model vs
+// round-robin assignment.
+func BenchmarkAblationLoadBal(b *testing.B) {
+	runExperiment(b, "ab-loadbal", experiments.AblationLoadBal)
+}
+
+// BenchmarkExtensionGBT — the repository's extension: gradient boosting
+// driven through the TreeServer engine.
+func BenchmarkExtensionGBT(b *testing.B) {
+	runExperiment(b, "ext-gbt", experiments.ExtensionGBT)
+}

@@ -1,0 +1,69 @@
+// Command benchtab regenerates the paper's evaluation tables (Tables
+// II–VIII) and the DESIGN.md ablation benches on laptop-scale synthetic
+// workloads.
+//
+// Usage:
+//
+//	benchtab                      # run every table at the default scale
+//	benchtab -table 2a            # run one experiment (see -list)
+//	benchtab -quick               # shrunken smoke run
+//	benchtab -rows 50000 -workers 8 -compers 4
+//	benchtab -ablations           # run only the design ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"treeserver/internal/experiments"
+)
+
+func main() {
+	var (
+		table     = flag.String("table", "", "run a single experiment id (see -list)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		quick     = flag.Bool("quick", false, "shrunken smoke run")
+		rows      = flag.Int("rows", 20000, "rows of the largest synthetic dataset")
+		workers   = flag.Int("workers", 4, "simulated worker machines")
+		compers   = flag.Int("compers", 4, "computing threads per worker")
+		ablations = flag.Bool("ablations", false, "run only the design ablations")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:", strings.Join(experiments.IDs(), " "))
+		return
+	}
+	scale := experiments.Scale{BaseRows: *rows, Workers: *workers, Compers: *compers, Quick: *quick}
+
+	start := time.Now()
+	run := func(id string) {
+		f, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", id)
+			os.Exit(2)
+		}
+		t0 := time.Now()
+		r := f(scale)
+		r.Fprint(os.Stdout)
+		fmt.Printf("[%s took %s]\n\n", r.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	switch {
+	case *table != "":
+		run(*table)
+	case *ablations:
+		for _, id := range experiments.IDs() {
+			if strings.HasPrefix(id, "ab-") {
+				run(id)
+			}
+		}
+	default:
+		for _, id := range experiments.IDs() {
+			run(id)
+		}
+	}
+	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+}

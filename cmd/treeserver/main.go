@@ -1,0 +1,223 @@
+// Command treeserver runs the TreeServer system over real TCP: one master
+// process plus N worker processes, each loading its column partition from a
+// shared DFS store directory (produced by tsput). A single-process -role
+// local mode trains on an in-process cluster for quick experiments.
+//
+// Master:
+//
+//	treeserver -role master -listen :7070 \
+//	    -workers host1:7071,host2:7072 \
+//	    -store /mnt/dfs -table mytable \
+//	    -job rf -trees 20 -dmax 10 -out forest.tsmodel
+//
+// Worker i (i in 0..N-1, same order as the master's -workers list):
+//
+//	treeserver -role worker -id 0 -listen :7071 \
+//	    -master host0:7070 -workers host1:7071,host2:7072 \
+//	    -store /mnt/dfs -table mytable -compers 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"treeserver/internal/cluster"
+	"treeserver/internal/core"
+	"treeserver/internal/dataset"
+	"treeserver/internal/dfs"
+	"treeserver/internal/forest"
+	"treeserver/internal/loadbal"
+	"treeserver/internal/model"
+	"treeserver/internal/task"
+	"treeserver/internal/transport"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("treeserver: ")
+	var (
+		role       = flag.String("role", "local", "master | worker | local")
+		listen     = flag.String("listen", "127.0.0.1:0", "listen address")
+		masterAddr = flag.String("master", "", "master address (worker role)")
+		workerList = flag.String("workers", "", "comma-separated worker addresses, in id order")
+		id         = flag.Int("id", 0, "worker id (worker role)")
+		storeDir   = flag.String("store", "", "DFS store directory")
+		tableName  = flag.String("table", "table", "table name within the store")
+		job        = flag.String("job", "dt", "dt (decision tree) | rf (random forest) | xt (extra-trees forest)")
+		trees      = flag.Int("trees", 20, "trees for rf/xt jobs")
+		dmax       = flag.Int("dmax", 10, "maximum tree depth")
+		minLeaf    = flag.Int("tau-leaf", 1, "tau_leaf: minimum rows before a node becomes a leaf")
+		tauD       = flag.Int("tau-d", 10000, "tau_D: subtree-task threshold")
+		tauDFS     = flag.Int("tau-dfs", 80000, "tau_dfs: depth-first threshold")
+		npool      = flag.Int("npool", 200, "n_pool: trees under construction at once")
+		replicas   = flag.Int("replicas", 2, "column replication factor k")
+		compers    = flag.Int("compers", 10, "computing threads per worker (worker/local role)")
+		workersN   = flag.Int("cluster-workers", 4, "workers for -role local")
+		out        = flag.String("out", "", "write the trained model to this file (tsserve-compatible)")
+	)
+	flag.Parse()
+
+	switch *role {
+	case "local":
+		runLocal(*storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *compers, *workersN, *out)
+	case "worker":
+		runWorker(*listen, *masterAddr, *workerList, *id, *storeDir, *tableName, *replicas, *compers)
+	case "master":
+		runMaster(*listen, *workerList, *storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *out)
+	default:
+		log.Fatalf("unknown role %q", *role)
+	}
+}
+
+func loadTable(storeDir, name string) (*dataset.Table, dfs.Layout, *dfs.DirStore) {
+	if storeDir == "" {
+		log.Fatal("-store is required")
+	}
+	store, err := dfs.NewDirStore(storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	layout, err := dfs.ReadLayout(store, name)
+	if err != nil {
+		log.Fatalf("reading table layout (did you run tsput?): %v", err)
+	}
+	tbl, err := dfs.LoadTable(store, name)
+	if err != nil {
+		log.Fatalf("loading table: %v", err)
+	}
+	return tbl, layout, store
+}
+
+func jobSpecs(tbl *dataset.Table, job string, trees, dmax, minLeaf int) []cluster.TreeSpec {
+	params := core.Params{MaxDepth: dmax, MinLeaf: minLeaf}
+	switch job {
+	case "dt":
+		return []cluster.TreeSpec{{Params: params}}
+	case "rf":
+		return forest.Specs(cluster.SchemaOf(tbl), forest.Config{
+			Trees: trees, Params: params, ColFrac: 0, Bootstrap: true, Seed: 1,
+		})
+	case "xt":
+		return forest.Specs(cluster.SchemaOf(tbl), forest.Config{
+			Trees: trees, Params: params, ExtraTrees: true, Bootstrap: true, Seed: 1,
+		})
+	default:
+		log.Fatalf("unknown job %q (want dt, rf or xt)", job)
+		return nil
+	}
+}
+
+func writeModel(path, job string, trained []*core.Tree, tbl *dataset.Table) {
+	if path == "" {
+		return
+	}
+	f := &forest.Forest{Trees: trained, Task: tbl.Task(), NumClasses: tbl.NumClasses()}
+	if err := model.SaveForestFile(path, job, f, model.SchemaOf(tbl)); err != nil {
+		log.Fatalf("writing model: %v", err)
+	}
+	fmt.Printf("model with %d tree(s) written to %s (serve it with tsserve)\n", len(trained), path)
+}
+
+func runLocal(storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas, compers, workers int, out string) {
+	tbl, _, _ := loadTable(storeDir, tableName)
+	c := cluster.NewInProcess(tbl, cluster.Config{
+		Workers: workers, Compers: compers, Replicas: replicas,
+		Policy: task.Policy{TauD: tauD, TauDFS: tauDFS, NPool: npool},
+	})
+	defer c.Close()
+	specs := jobSpecs(tbl, job, trees, dmax, minLeaf)
+	start := time.Now()
+	trained, err := c.Train(specs)
+	if err != nil {
+		log.Fatalf("training: %v", err)
+	}
+	fmt.Printf("trained %d tree(s) on %d rows in %s\n", len(trained), tbl.NumRows(), time.Since(start).Round(time.Millisecond))
+	writeModel(out, job, trained, tbl)
+}
+
+func parseWorkers(list string) []string {
+	if list == "" {
+		return nil
+	}
+	return strings.Split(list, ",")
+}
+
+// workerColumns computes worker id's column partition from the shared
+// layout: the deterministic round-robin placement both master and workers
+// derive independently, so no column assignment messages are needed.
+func workerColumns(tbl *dataset.Table, numWorkers, replicas, id int) map[int]*dataset.Column {
+	placement := loadbal.RoundRobin(tbl.FeatureIndexes(), numWorkers, replicas)
+	cols := map[int]*dataset.Column{}
+	for col, owners := range placement.Owners {
+		for _, o := range owners {
+			if o == id {
+				cols[col] = tbl.Cols[col]
+			}
+		}
+	}
+	return cols
+}
+
+func runWorker(listen, masterAddr, workerList string, id int, storeDir, tableName string, replicas, compers int) {
+	if masterAddr == "" {
+		log.Fatal("-master is required for workers")
+	}
+	addrs := parseWorkers(workerList)
+	if id < 0 || id >= len(addrs) {
+		log.Fatalf("worker id %d out of range for %d workers", id, len(addrs))
+	}
+	tbl, _, _ := loadTable(storeDir, tableName)
+
+	peers := map[string]string{cluster.MasterName: masterAddr}
+	for i, a := range addrs {
+		peers[cluster.WorkerName(i)] = a
+	}
+	ep, err := transport.ListenTCP(cluster.WorkerName(id), listen, peers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cols := workerColumns(tbl, len(addrs), replicas, id)
+	w := cluster.NewWorker(id, ep, cluster.SchemaOf(tbl), cols, tbl.Y(), compers)
+	w.Start()
+	fmt.Printf("worker %d serving %d columns on %s\n", id, len(cols), ep.Addr())
+	w.Wait()
+	fmt.Printf("worker %d: shutdown\n", id)
+}
+
+func runMaster(listen, workerList, storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas int, out string) {
+	addrs := parseWorkers(workerList)
+	if len(addrs) == 0 {
+		log.Fatal("-workers is required for the master")
+	}
+	tbl, _, _ := loadTable(storeDir, tableName)
+
+	peers := map[string]string{}
+	for i, a := range addrs {
+		peers[cluster.WorkerName(i)] = a
+	}
+	ep, err := transport.ListenTCP(cluster.MasterName, listen, peers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	placement := loadbal.RoundRobin(tbl.FeatureIndexes(), len(addrs), replicas)
+	m := cluster.NewMaster(ep, cluster.SchemaOf(tbl), placement, cluster.MasterConfig{
+		NumWorkers: len(addrs),
+		Policy:     task.Policy{TauD: tauD, TauDFS: tauDFS, NPool: npool},
+		Heartbeat:  time.Second,
+	})
+	m.Start()
+	defer m.Stop()
+
+	specs := jobSpecs(tbl, job, trees, dmax, minLeaf)
+	start := time.Now()
+	trained, err := m.Train(specs)
+	if err != nil {
+		log.Fatalf("training: %v", err)
+	}
+	fmt.Printf("trained %d tree(s) on %d rows across %d workers in %s\n",
+		len(trained), tbl.NumRows(), len(addrs), time.Since(start).Round(time.Millisecond))
+	writeModel(out, job, trained, tbl)
+}

@@ -1,0 +1,42 @@
+// Command tsserve serves a trained TreeServer model file over HTTP.
+//
+//	tsserve -model forest.tsmodel -listen :8080
+//
+//	curl localhost:8080/schema
+//	curl -X POST localhost:8080/predict \
+//	     -d '{"rows":[{"Age":"37","Income":"5200","Education":"Bachelor","HomeOwner":"No"}]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"treeserver/internal/model"
+	"treeserver/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tsserve: ")
+	var (
+		modelPath = flag.String("model", "", "model file written by treeserver/tstrain")
+		listen    = flag.String("listen", ":8080", "HTTP listen address")
+	)
+	flag.Parse()
+	if *modelPath == "" {
+		flag.Usage()
+		log.Fatal("-model is required")
+	}
+	m, err := model.LoadFile(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	task := "classification"
+	if m.Schema.Regression() {
+		task = "regression"
+	}
+	fmt.Printf("serving %s model %q (%s, %d features) on %s\n",
+		m.Kind, m.Name, task, len(m.Schema.FeatureNames()), *listen)
+	log.Fatal(serve.New(m).ListenAndServe(*listen))
+}

@@ -1,0 +1,114 @@
+// Command tstrain trains a model directly from a CSV file on an in-process
+// TreeServer cluster — the shortest path from data to a servable model.
+//
+//	tstrain -csv customers.csv -target Default -job rf -trees 50 \
+//	        -out default.tsmodel -eval 0.2
+//	tsserve -model default.tsmodel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"treeserver/internal/cluster"
+	"treeserver/internal/core"
+	"treeserver/internal/dataset"
+	"treeserver/internal/forest"
+	"treeserver/internal/model"
+	"treeserver/internal/task"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tstrain: ")
+	var (
+		csvPath  = flag.String("csv", "", "input CSV file (with header)")
+		target   = flag.String("target", "", "name of the Y column")
+		job      = flag.String("job", "rf", "dt | rf | xt")
+		trees    = flag.Int("trees", 20, "trees for rf/xt")
+		dmax     = flag.Int("dmax", 10, "maximum tree depth")
+		minLeaf  = flag.Int("tau-leaf", 1, "tau_leaf")
+		colFrac  = flag.Float64("col-frac", 0, "|C|/|A| per tree (0 = sqrt|A|, -1 = all)")
+		workers  = flag.Int("workers", 4, "in-process workers")
+		compers  = flag.Int("compers", 4, "compers per worker")
+		evalFrac = flag.Float64("eval", 0, "hold out this fraction of rows for evaluation")
+		out      = flag.String("out", "", "write the model here")
+		seed     = flag.Int64("seed", 1, "randomness seed")
+		forceCat = flag.String("force-categorical", "", "comma-separated columns parsed as categorical")
+	)
+	flag.Parse()
+	if *csvPath == "" || *target == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*csvPath)
+	if err != nil {
+		log.Fatalf("opening CSV: %v", err)
+	}
+	opts := dataset.CSVOptions{Target: *target}
+	if *forceCat != "" {
+		opts.ForceCategorical = strings.Split(*forceCat, ",")
+	}
+	full, err := dataset.ReadCSV(f, opts)
+	f.Close()
+	if err != nil {
+		log.Fatalf("parsing CSV: %v", err)
+	}
+
+	train, test := dataset.SplitStratified(full, *evalFrac, *seed)
+	fmt.Printf("loaded %d rows x %d columns (%s)", full.NumRows(), full.NumCols(), full.Task())
+	if test != nil {
+		fmt.Printf("; holding out %d rows", test.NumRows())
+	}
+	fmt.Println()
+
+	rows := train.NumRows()
+	c := cluster.NewInProcess(train, cluster.Config{
+		Workers: *workers, Compers: *compers,
+		Policy: task.Policy{TauD: max(rows/10, 64), TauDFS: max(rows/2, 128), NPool: 200},
+	})
+	defer c.Close()
+
+	params := core.Params{MaxDepth: *dmax, MinLeaf: *minLeaf}
+	var spec forest.ModelSpec
+	switch *job {
+	case "dt":
+		spec = forest.ModelSpec{Name: "dt", Kind: forest.DecisionTree, Params: params, Seed: *seed}
+	case "rf":
+		spec = forest.ModelSpec{Name: "rf", Kind: forest.RandomForest, Params: params,
+			Trees: *trees, ColFrac: *colFrac, Bootstrap: true, Seed: *seed}
+	case "xt":
+		spec = forest.ModelSpec{Name: "xt", Kind: forest.ExtraForest, Params: params,
+			Trees: *trees, Bootstrap: true, Seed: *seed}
+	default:
+		log.Fatalf("unknown job %q", *job)
+	}
+
+	start := time.Now()
+	trained, err := forest.TrainModels(c, cluster.SchemaOf(train), []forest.ModelSpec{spec})
+	if err != nil {
+		log.Fatalf("training: %v", err)
+	}
+	m := trained[0]
+	fmt.Printf("trained %s with %d tree(s) in %s\n",
+		m.Spec.Kind, len(m.Forest.Trees), time.Since(start).Round(time.Millisecond))
+
+	if test != nil {
+		if train.Task() == dataset.Classification {
+			fmt.Printf("held-out accuracy: %.2f%%\n", m.Forest.Accuracy(test)*100)
+		} else {
+			fmt.Printf("held-out RMSE: %.4f\n", m.Forest.RMSE(test))
+		}
+	}
+	if *out != "" {
+		if err := model.SaveForestFile(*out, *job, m.Forest, model.SchemaOf(train)); err != nil {
+			log.Fatalf("writing model: %v", err)
+		}
+		fmt.Printf("model written to %s (serve it with tsserve)\n", *out)
+	}
+}

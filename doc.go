@@ -1,0 +1,19 @@
+// Package treeserver is a from-scratch Go reproduction of "Distributed
+// Task-Based Training of Tree Models" (Yan et al., ICDE 2022): the
+// TreeServer system for exact distributed training of decision trees and
+// tree ensembles, plus everything its evaluation depends on — the
+// PLANET/Spark-MLlib comparator, an XGBoost-style boosting comparator, a
+// simulated HDFS with the paper's column-group × row-group layout, and the
+// deep-forest pipeline of Section VII.
+//
+// The library lives under internal/; the executables are:
+//
+//   - cmd/treeserver — master/worker processes over TCP (or -role local)
+//   - cmd/tsput      — the dedicated "put" program uploading CSVs into the
+//     DFS layout
+//   - cmd/benchtab   — regenerates every table of the paper's evaluation
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-vs-measured record. The benchmarks in
+// bench_test.go wrap the same experiments as testing.B targets.
+package treeserver

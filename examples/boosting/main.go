@@ -1,0 +1,50 @@
+// Distributed gradient boosting on TreeServer — the extension built on the
+// engine's target-update protocol: rounds are sequential (each needs the
+// previous ensemble's residuals) but every round's exact regression tree
+// trains with full cluster parallelism.
+//
+//	go run ./examples/boosting
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"treeserver/internal/cluster"
+	"treeserver/internal/gbt"
+	"treeserver/internal/synth"
+	"treeserver/internal/task"
+)
+
+func main() {
+	log.SetFlags(0)
+	train, test := synth.Generate(synth.Spec{
+		Name: "boosting", Rows: 12000, NumNumeric: 10, NumCategorical: 2,
+		NumClasses: 2, ConceptDepth: 6, LabelNoise: 0.08, Seed: 20,
+	}, 0.25)
+	fmt.Printf("dataset: %d train / %d test rows, binary classification\n\n",
+		train.NumRows(), test.NumRows())
+
+	c := cluster.NewInProcess(train, cluster.Config{
+		Workers: 4, Compers: 4,
+		Policy: task.Policy{TauD: 1500, TauDFS: 6000, NPool: 8},
+	})
+	defer c.Close()
+
+	fmt.Println("rounds  trees  test accuracy  elapsed")
+	start := time.Now()
+	for _, rounds := range []int{5, 15, 40} {
+		model, err := gbt.Train(c, train, gbt.Config{
+			Rounds: rounds, MaxDepth: 4, LearningRate: 0.3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d %6d %13.2f%% %8s\n",
+			rounds, len(model.Trees), model.Accuracy(test)*100,
+			time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Println("\naccuracy keeps improving with rounds (Table IV(c)'s shape),")
+	fmt.Println("while each round's tree trains distributed and exact.")
+}

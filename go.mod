@@ -1,0 +1,3 @@
+module treeserver
+
+go 1.22

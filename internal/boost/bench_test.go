@@ -1,0 +1,38 @@
+package boost
+
+import (
+	"testing"
+
+	"treeserver/internal/synth"
+)
+
+// BenchmarkBoostRound measures one boosting round on 10k rows — the unit of
+// the strictly sequential work that dominates Table II(c).
+func BenchmarkBoostRound(b *testing.B) {
+	train := synth.GenerateTrain(synth.Spec{
+		Name: "bb", Rows: 10000, NumNumeric: 10, NumClasses: 2, ConceptDepth: 5, Seed: 9,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(train, Config{Rounds: 1, MaxDepth: 6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBoostPredict measures scoring through a 20-round model.
+func BenchmarkBoostPredict(b *testing.B) {
+	train := synth.GenerateTrain(synth.Spec{
+		Name: "bp", Rows: 5000, NumNumeric: 10, NumClasses: 2, ConceptDepth: 5, Seed: 10,
+	})
+	m, err := Train(train, Config{Rounds: 20, MaxDepth: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictClass(train, i%train.NumRows())
+	}
+}

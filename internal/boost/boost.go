@@ -1,0 +1,481 @@
+// Package boost is the XGBoost-style comparator (Chen & Guestrin 2016) the
+// paper evaluates against in Tables II(c) and IV(c): second-order gradient
+// boosting with weighted-quantile-sketch split proposals. Its defining
+// property for the comparison is that trees depend on each other through
+// the gradients, so rounds are inherently sequential — only the within-tree
+// feature scan parallelises — which is why boosting cannot match
+// TreeServer's cross-tree task parallelism however many cores it gets.
+package boost
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"treeserver/internal/dataset"
+	"treeserver/internal/metrics"
+	"treeserver/internal/sketch"
+)
+
+// Config are the booster's hyperparameters; zero fields take XGBoost-like
+// defaults.
+type Config struct {
+	// Rounds is the number of boosting rounds (trees per class).
+	Rounds int
+	// LearningRate is η (default 0.3).
+	LearningRate float64
+	// MaxDepth bounds each regression tree (default 6).
+	MaxDepth int
+	// Lambda is the L2 leaf regulariser λ (default 1).
+	Lambda float64
+	// Gamma is the minimum gain to split γ (default 0).
+	Gamma float64
+	// MaxBins is the quantile-sketch proposal count per feature (default 32).
+	MaxBins int
+	// MinChildWeight is the minimum hessian sum per child (default 1).
+	MinChildWeight float64
+	// Threads parallelises the per-node feature scan (default NumCPU).
+	// Trees remain strictly sequential.
+	Threads int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rounds <= 0 {
+		c.Rounds = 10
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.3
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 6
+	}
+	if c.Lambda == 0 {
+		c.Lambda = 1
+	}
+	if c.MaxBins <= 0 {
+		c.MaxBins = 32
+	}
+	if c.MinChildWeight <= 0 {
+		c.MinChildWeight = 1
+	}
+	if c.Threads <= 0 {
+		c.Threads = runtime.NumCPU()
+	}
+	return c
+}
+
+// GNode is a node of a gradient tree. Leaves carry the η-scaled weight.
+type GNode struct {
+	Feature     int
+	Threshold   float64
+	MissingLeft bool
+	Left, Right *GNode
+	Leaf        bool
+	Weight      float64
+}
+
+// GTree is one boosted regression tree over the model's gradient targets.
+type GTree struct {
+	Root *GNode
+}
+
+// score walks a row down the tree using numeric feature views.
+func (t *GTree) score(feat featureView, row int) float64 {
+	n := t.Root
+	for !n.Leaf {
+		v, miss := feat.value(n.Feature, row)
+		if miss {
+			if n.MissingLeft {
+				n = n.Left
+			} else {
+				n = n.Right
+			}
+			continue
+		}
+		if v <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Weight
+}
+
+// Nodes counts the tree's nodes.
+func (t *GTree) Nodes() int {
+	var rec func(*GNode) int
+	rec = func(n *GNode) int {
+		if n == nil {
+			return 0
+		}
+		return 1 + rec(n.Left) + rec(n.Right)
+	}
+	return rec(t.Root)
+}
+
+// Model is a trained gradient-boosted ensemble.
+type Model struct {
+	Task         dataset.Task
+	NumClasses   int // 0 regression, 1 binary logistic, >=3 softmax groups
+	Base         float64
+	LearningRate float64
+	// Rounds[r][k] is round r's tree for class k (k always 0 for
+	// regression/binary).
+	Rounds [][]*GTree
+}
+
+// featureView exposes every column as float64 (categorical codes numeric,
+// as XGBoost users typically integer-encode them).
+type featureView struct {
+	cols   []*dataset.Column
+	target int
+}
+
+func (f featureView) value(col, row int) (v float64, missing bool) {
+	c := f.cols[col]
+	if c.IsMissing(row) {
+		return 0, true
+	}
+	if c.Kind == dataset.Numeric {
+		return c.Floats[row], false
+	}
+	return float64(c.Cats[row]), false
+}
+
+func (f featureView) features() []int {
+	out := make([]int, 0, len(f.cols)-1)
+	for i := range f.cols {
+		if i != f.target {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Train fits a boosted model to the table.
+func Train(tbl *dataset.Table, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	n := tbl.NumRows()
+	if n == 0 {
+		return nil, fmt.Errorf("boost: empty table")
+	}
+	feat := featureView{cols: tbl.Cols, target: tbl.Target}
+	m := &Model{Task: tbl.Task(), LearningRate: cfg.LearningRate}
+
+	switch {
+	case m.Task == dataset.Regression:
+		m.NumClasses = 0
+	case tbl.NumClasses() == 2:
+		m.NumClasses = 1
+	default:
+		m.NumClasses = tbl.NumClasses()
+	}
+
+	groups := 1
+	if m.NumClasses >= 3 {
+		groups = m.NumClasses
+	}
+	// Margins per row per group.
+	margins := make([][]float64, groups)
+	for k := range margins {
+		margins[k] = make([]float64, n)
+	}
+	if m.Task == dataset.Regression {
+		var sum float64
+		y := tbl.Y()
+		for r := 0; r < n; r++ {
+			sum += y.Floats[r]
+		}
+		m.Base = sum / float64(n)
+		for r := 0; r < n; r++ {
+			margins[0][r] = m.Base
+		}
+	}
+
+	grad := make([]float64, n)
+	hess := make([]float64, n)
+	for round := 0; round < cfg.Rounds; round++ {
+		trees := make([]*GTree, groups)
+		for k := 0; k < groups; k++ {
+			computeGradients(tbl, m, margins, k, grad, hess)
+			tree := growTree(feat, grad, hess, cfg)
+			trees[k] = tree
+			for r := 0; r < n; r++ {
+				margins[k][r] += tree.score(feat, r)
+			}
+		}
+		m.Rounds = append(m.Rounds, trees)
+	}
+	return m, nil
+}
+
+// computeGradients fills first/second-order gradients of the objective at
+// the current margins for group k.
+func computeGradients(tbl *dataset.Table, m *Model, margins [][]float64, k int, grad, hess []float64) {
+	y := tbl.Y()
+	n := len(grad)
+	switch {
+	case m.Task == dataset.Regression:
+		for r := 0; r < n; r++ {
+			grad[r] = margins[0][r] - y.Floats[r]
+			hess[r] = 1
+		}
+	case m.NumClasses == 1: // binary logistic
+		for r := 0; r < n; r++ {
+			p := sigmoid(margins[0][r])
+			label := float64(y.Cats[r])
+			grad[r] = p - label
+			hess[r] = math.Max(p*(1-p), 1e-12)
+		}
+	default: // softmax
+		for r := 0; r < n; r++ {
+			p := softmaxProb(margins, r, k)
+			target := 0.0
+			if int(y.Cats[r]) == k {
+				target = 1
+			}
+			grad[r] = p - target
+			hess[r] = math.Max(p*(1-p), 1e-12)
+		}
+	}
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func softmaxProb(margins [][]float64, row, k int) float64 {
+	maxM := math.Inf(-1)
+	for _, mk := range margins {
+		if mk[row] > maxM {
+			maxM = mk[row]
+		}
+	}
+	var denom float64
+	for _, mk := range margins {
+		denom += math.Exp(mk[row] - maxM)
+	}
+	return math.Exp(margins[k][row]-maxM) / denom
+}
+
+// PredictValue returns the regression prediction for a row.
+func (m *Model) PredictValue(tbl *dataset.Table, row int) float64 {
+	feat := featureView{cols: tbl.Cols, target: tbl.Target}
+	out := m.Base
+	for _, trees := range m.Rounds {
+		out += trees[0].score(feat, row)
+	}
+	return out
+}
+
+// PredictClass returns the predicted class for a row.
+func (m *Model) PredictClass(tbl *dataset.Table, row int) int32 {
+	feat := featureView{cols: tbl.Cols, target: tbl.Target}
+	if m.NumClasses == 1 {
+		var margin float64
+		for _, trees := range m.Rounds {
+			margin += trees[0].score(feat, row)
+		}
+		if margin > 0 {
+			return 1
+		}
+		return 0
+	}
+	scores := make([]float64, m.NumClasses)
+	for _, trees := range m.Rounds {
+		for k, t := range trees {
+			scores[k] += t.score(feat, row)
+		}
+	}
+	return metrics.ArgMax(scores)
+}
+
+// Accuracy evaluates classification accuracy on a table.
+func (m *Model) Accuracy(tbl *dataset.Table) float64 {
+	pred := make([]int32, tbl.NumRows())
+	for r := range pred {
+		pred[r] = m.PredictClass(tbl, r)
+	}
+	return metrics.Accuracy(pred, tbl.Y().Cats)
+}
+
+// RMSE evaluates regression error on a table.
+func (m *Model) RMSE(tbl *dataset.Table) float64 {
+	pred := make([]float64, tbl.NumRows())
+	actual := make([]float64, tbl.NumRows())
+	for r := range pred {
+		pred[r] = m.PredictValue(tbl, r)
+		actual[r] = tbl.Y().Float(r)
+	}
+	return metrics.RMSE(pred, actual)
+}
+
+// NumTrees returns the total tree count across rounds and classes.
+func (m *Model) NumTrees() int {
+	total := 0
+	for _, trees := range m.Rounds {
+		total += len(trees)
+	}
+	return total
+}
+
+// --- tree growing ---
+
+type buildNode struct {
+	node  *GNode
+	rows  []int32
+	depth int
+}
+
+func growTree(feat featureView, grad, hess []float64, cfg Config) *GTree {
+	root := &GNode{}
+	rows := make([]int32, len(grad))
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	queue := []buildNode{{root, rows, 0}}
+	for len(queue) > 0 {
+		item := queue[0]
+		queue = queue[1:]
+		var g, h float64
+		for _, r := range item.rows {
+			g += grad[r]
+			h += hess[r]
+		}
+		best := bestGradientSplit(feat, grad, hess, item.rows, g, h, cfg)
+		if item.depth >= cfg.MaxDepth || !best.valid || best.gain <= cfg.Gamma {
+			item.node.Leaf = true
+			item.node.Weight = -cfg.LearningRate * g / (h + cfg.Lambda)
+			continue
+		}
+		item.node.Feature = best.feature
+		item.node.Threshold = best.threshold
+		item.node.MissingLeft = best.missingLeft
+		item.node.Left, item.node.Right = &GNode{}, &GNode{}
+		var left, right []int32
+		for _, r := range item.rows {
+			v, miss := feat.value(best.feature, int(r))
+			goLeft := miss && best.missingLeft || !miss && v <= best.threshold
+			if goLeft {
+				left = append(left, r)
+			} else {
+				right = append(right, r)
+			}
+		}
+		queue = append(queue,
+			buildNode{item.node.Left, left, item.depth + 1},
+			buildNode{item.node.Right, right, item.depth + 1})
+	}
+	return &GTree{Root: root}
+}
+
+type gradSplit struct {
+	valid       bool
+	feature     int
+	threshold   float64
+	missingLeft bool
+	gain        float64
+}
+
+// bestGradientSplit scans every feature in parallel: split candidates come
+// from a hessian-weighted quantile sketch of the node's values (the paper's
+// "weighted quantile sketch" of XGBoost), and the structure score follows
+// the second-order gain formula with learned missing-value direction.
+func bestGradientSplit(feat featureView, grad, hess []float64, rows []int32, gTotal, hTotal float64, cfg Config) gradSplit {
+	features := feat.features()
+	results := make([]gradSplit, len(features))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Threads)
+	for i, f := range features {
+		wg.Add(1)
+		go func(i, f int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = scanFeature(feat, f, grad, hess, rows, gTotal, hTotal, cfg)
+		}(i, f)
+	}
+	wg.Wait()
+	best := gradSplit{}
+	for _, r := range results {
+		if r.valid && (!best.valid || r.gain > best.gain ||
+			(r.gain == best.gain && r.feature < best.feature)) {
+			best = r
+		}
+	}
+	return best
+}
+
+func scanFeature(feat featureView, f int, grad, hess []float64, rows []int32, gTotal, hTotal float64, cfg Config) gradSplit {
+	// Propose candidate thresholds from the hessian-weighted sketch.
+	sk := sketch.New(4 * cfg.MaxBins)
+	var gMiss, hMiss float64
+	for _, r := range rows {
+		v, miss := feat.value(f, int(r))
+		if miss {
+			gMiss += grad[r]
+			hMiss += hess[r]
+			continue
+		}
+		sk.Add(v, hess[r])
+	}
+	cuts := sk.Quantiles(cfg.MaxBins)
+	if len(cuts) == 0 {
+		return gradSplit{}
+	}
+	// Accumulate per-bin gradient statistics: bin b holds values <= cuts[b].
+	nb := len(cuts) + 1
+	gBin := make([]float64, nb)
+	hBin := make([]float64, nb)
+	for _, r := range rows {
+		v, miss := feat.value(f, int(r))
+		if miss {
+			continue
+		}
+		b := lowerBound(cuts, v)
+		gBin[b] += grad[r]
+		hBin[b] += hess[r]
+	}
+	parentScore := gTotal * gTotal / (hTotal + cfg.Lambda)
+	best := gradSplit{feature: f}
+	var gL, hL float64
+	gPresent, hPresent := gTotal-gMiss, hTotal-hMiss
+	for b := 0; b < nb-1; b++ {
+		gL += gBin[b]
+		hL += hBin[b]
+		gR := gPresent - gL
+		hR := hPresent - hL
+		// Try both default directions for the missing block.
+		for _, missLeft := range [2]bool{true, false} {
+			gl, hl, gr, hr := gL, hL, gR, hR
+			if missLeft {
+				gl += gMiss
+				hl += hMiss
+			} else {
+				gr += gMiss
+				hr += hMiss
+			}
+			if hl < cfg.MinChildWeight || hr < cfg.MinChildWeight {
+				continue
+			}
+			gain := 0.5 * (gl*gl/(hl+cfg.Lambda) + gr*gr/(hr+cfg.Lambda) - parentScore)
+			if !best.valid || gain > best.gain {
+				best = gradSplit{valid: true, feature: f, threshold: cuts[b], missingLeft: missLeft, gain: gain}
+			}
+		}
+	}
+	return best
+}
+
+// lowerBound returns the first index i with v <= cuts[i], or len(cuts).
+func lowerBound(cuts []float64, v float64) int {
+	lo, hi := 0, len(cuts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= cuts[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

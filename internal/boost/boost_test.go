@@ -1,0 +1,175 @@
+package boost
+
+import (
+	"testing"
+
+	"treeserver/internal/dataset"
+	"treeserver/internal/synth"
+)
+
+func TestRegressionLearnsStep(t *testing.T) {
+	// y = 10 when x > 0 else 0: a couple of rounds should fit it closely.
+	n := 2000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i-n/2) / 100
+		if xs[i] > 0 {
+			ys[i] = 10
+		}
+	}
+	tbl := dataset.MustNewTable([]*dataset.Column{
+		dataset.NewNumeric("x", xs), dataset.NewNumeric("y", ys),
+	}, 1)
+	m, err := Train(tbl, Config{Rounds: 20, MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse := m.RMSE(tbl); rmse > 1.0 {
+		t.Fatalf("rmse %.3f too high for a step function", rmse)
+	}
+}
+
+func TestBinaryClassification(t *testing.T) {
+	train, test := synth.Generate(synth.Spec{
+		Name: "bin", Rows: 6000, NumNumeric: 8, NumClasses: 2, ConceptDepth: 4, LabelNoise: 0.05, Seed: 51,
+	}, 0.25)
+	m, err := Train(train, Config{Rounds: 30, MaxDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumClasses != 1 {
+		t.Fatalf("binary model has %d class groups, want 1", m.NumClasses)
+	}
+	if acc := m.Accuracy(test); acc < 0.85 {
+		t.Fatalf("binary accuracy %.3f too low", acc)
+	}
+}
+
+func TestMulticlassSoftmax(t *testing.T) {
+	train, test := synth.Generate(synth.Spec{
+		Name: "multi", Rows: 6000, NumNumeric: 8, NumClasses: 4, ConceptDepth: 4, Seed: 52,
+	}, 0.25)
+	m, err := Train(train, Config{Rounds: 15, MaxDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumClasses != 4 {
+		t.Fatalf("classes = %d", m.NumClasses)
+	}
+	if got := len(m.Rounds[0]); got != 4 {
+		t.Fatalf("trees per round = %d, want one per class", got)
+	}
+	if acc := m.Accuracy(test); acc < 0.7 {
+		t.Fatalf("multiclass accuracy %.3f too low", acc)
+	}
+}
+
+func TestAccuracyImprovesWithRounds(t *testing.T) {
+	// Table IV(c)'s shape: boosting accuracy keeps improving with trees.
+	train, test := synth.Generate(synth.Spec{
+		Name: "rounds", Rows: 6000, NumNumeric: 10, NumClasses: 2, ConceptDepth: 6, LabelNoise: 0.05, Seed: 53,
+	}, 0.25)
+	few, err := Train(train, Config{Rounds: 2, MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Train(train, Config{Rounds: 40, MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accFew, accMany := few.Accuracy(test), many.Accuracy(test)
+	if accMany <= accFew {
+		t.Fatalf("accuracy did not improve with rounds: %d trees %.3f vs %d trees %.3f",
+			few.NumTrees(), accFew, many.NumTrees(), accMany)
+	}
+}
+
+func TestMissingValuesLearnedDirection(t *testing.T) {
+	// Missing x strongly predicts class 1; the learned default direction
+	// must route missing rows correctly.
+	n := 2000
+	xs := make([]float64, n)
+	ys := make([]int32, n)
+	col := dataset.NewNumeric("x", xs)
+	for i := range xs {
+		if i%2 == 0 {
+			xs[i] = float64(i % 100)
+			ys[i] = 0
+		} else {
+			col.SetMissing(i)
+			ys[i] = 1
+		}
+	}
+	tbl := dataset.MustNewTable([]*dataset.Column{
+		col, dataset.NewCategorical("y", ys, []string{"a", "b"}),
+	}, 1)
+	m, err := Train(tbl, Config{Rounds: 10, MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(tbl); acc < 0.95 {
+		t.Fatalf("missing-direction accuracy %.3f", acc)
+	}
+}
+
+func TestCategoricalFeaturesAsCodes(t *testing.T) {
+	train, test := synth.Generate(synth.Spec{
+		Name: "cat", Rows: 5000, NumNumeric: 2, NumCategorical: 6, CatLevels: 4,
+		NumClasses: 2, ConceptDepth: 4, Seed: 54,
+	}, 0.25)
+	m, err := Train(train, Config{Rounds: 25, MaxDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(test); acc < 0.7 {
+		t.Fatalf("categorical accuracy %.3f too low", acc)
+	}
+}
+
+func TestTreesAreBounded(t *testing.T) {
+	train := synth.GenerateTrain(synth.Spec{
+		Name: "depth", Rows: 2000, NumNumeric: 5, NumClasses: 2, ConceptDepth: 5, Seed: 55,
+	})
+	m, err := Train(train, Config{Rounds: 3, MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, trees := range m.Rounds {
+		for _, tr := range trees {
+			if n := tr.Nodes(); n > 7 { // depth 2 => at most 7 nodes
+				t.Fatalf("tree has %d nodes, exceeds depth-2 bound", n)
+			}
+		}
+	}
+}
+
+func TestEmptyTableError(t *testing.T) {
+	tbl := &dataset.Table{Cols: []*dataset.Column{
+		dataset.NewNumeric("x", nil), dataset.NewNumeric("y", nil),
+	}, Target: 1}
+	if _, err := Train(tbl, Config{Rounds: 1}); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}
+
+func TestRegressionBaseScore(t *testing.T) {
+	// With zero rounds of effective splitting (constant feature), the model
+	// must predict the mean.
+	tbl := dataset.MustNewTable([]*dataset.Column{
+		dataset.NewNumeric("x", []float64{1, 1, 1, 1}),
+		dataset.NewNumeric("y", []float64{2, 4, 6, 8}),
+	}, 1)
+	m, err := Train(tbl, Config{Rounds: 3, MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Base != 5 {
+		t.Fatalf("base = %g, want mean 5", m.Base)
+	}
+	for r := 0; r < 4; r++ {
+		if got := m.PredictValue(tbl, r); got != 5 {
+			t.Fatalf("row %d predicted %g, want 5 (no split possible)", r, got)
+		}
+	}
+}

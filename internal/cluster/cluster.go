@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"time"
+
+	"treeserver/internal/core"
+	"treeserver/internal/dataset"
+	"treeserver/internal/loadbal"
+	"treeserver/internal/task"
+	"treeserver/internal/transport"
+)
+
+// Config describes an in-process TreeServer deployment.
+type Config struct {
+	// Workers is the number of worker machines (paper: 15). Default 4.
+	Workers int
+	// Compers is the computing-thread pool size per worker (paper: 10).
+	// Default 4.
+	Compers int
+	// Replicas is k, the column replication factor (paper default 2).
+	Replicas int
+	// Policy holds τ_D, τ_dfs and n_pool; zero value uses the paper's
+	// defaults.
+	Policy task.Policy
+	// Heartbeat enables failure detection (0 = off).
+	Heartbeat time.Duration
+	// RoundRobinAssign / RelayRows select the two ablation modes.
+	RoundRobinAssign bool
+	RelayRows        bool
+	// BandwidthBps models per-machine link speed (0 = unlimited).
+	BandwidthBps float64
+	// Passthrough skips gob serialisation on the in-memory fabric.
+	Passthrough bool
+	// JobTimeout bounds each Train call (default 5 minutes; <0 disables).
+	JobTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Compers <= 0 {
+		c.Compers = 4
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Policy == (task.Policy{}) {
+		c.Policy = task.DefaultPolicy()
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.JobTimeout < 0 {
+		c.JobTimeout = 0
+	}
+	return c
+}
+
+// Cluster is an in-process TreeServer deployment: one master plus N workers
+// as goroutine groups over an in-memory transport. Every message still
+// crosses a gob serialisation boundary, so the protocol is exercised exactly
+// as it would be over TCP.
+type Cluster struct {
+	Master  *Master
+	Workers []*Worker
+	Net     *transport.MemNetwork
+	cfg     Config
+	start   time.Time
+}
+
+// NewInProcess partitions the table's columns over cfg.Workers workers
+// (k = cfg.Replicas copies each, Y everywhere — the paper's loading scheme)
+// and starts master and workers.
+func NewInProcess(tbl *dataset.Table, cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	net := transport.NewMemNetwork()
+	net.BandwidthBps = cfg.BandwidthBps
+	net.Passthrough = cfg.Passthrough
+
+	schema := SchemaOf(tbl)
+	placement := loadbal.RoundRobin(tbl.FeatureIndexes(), cfg.Workers, cfg.Replicas)
+
+	c := &Cluster{Net: net, cfg: cfg, start: time.Now()}
+	for w := 0; w < cfg.Workers; w++ {
+		cols := map[int]*dataset.Column{}
+		for col, owners := range placement.Owners {
+			for _, o := range owners {
+				if o == w {
+					cols[col] = tbl.Cols[col]
+				}
+			}
+		}
+		worker := NewWorker(w, net.Endpoint(WorkerName(w)), schema, cols, tbl.Y(), cfg.Compers)
+		worker.Start()
+		c.Workers = append(c.Workers, worker)
+	}
+	c.Master = NewMaster(net.Endpoint(MasterName), schema, placement, MasterConfig{
+		NumWorkers: cfg.Workers, Policy: cfg.Policy,
+		Heartbeat:        cfg.Heartbeat,
+		RoundRobinAssign: cfg.RoundRobinAssign,
+		RelayRows:        cfg.RelayRows,
+		JobTimeout:       cfg.JobTimeout,
+	})
+	c.Master.Start()
+	return c
+}
+
+// Train runs one job and returns the trees in spec order.
+func (c *Cluster) Train(specs []TreeSpec) ([]*core.Tree, error) {
+	return c.Master.Train(specs)
+}
+
+// TrainOne trains a single tree with the given parameters over all rows.
+func (c *Cluster) TrainOne(params core.Params) (*core.Tree, error) {
+	trees, err := c.Train([]TreeSpec{{Params: params}})
+	if err != nil {
+		return nil, err
+	}
+	return trees[0], nil
+}
+
+// CrashWorker simulates a machine failure: the worker's endpoint starts
+// dropping all traffic. Recovery is driven by the heartbeat prober, or
+// manually via Master.NotifyWorkerFailure.
+func (c *Cluster) CrashWorker(i int) {
+	c.Net.Endpoint(WorkerName(i)).Crash()
+}
+
+// Close shuts the deployment down.
+func (c *Cluster) Close() {
+	c.Master.Stop()
+	for _, w := range c.Workers {
+		w.Stop()
+	}
+	c.Net.Close()
+}
+
+// Metrics summarises a cluster's activity for the experiment harnesses.
+type Metrics struct {
+	WallSeconds     float64
+	WorkerBusy      []float64 // comper busy seconds per worker
+	CPUUtilisation  float64   // average busy-compers per worker, like the paper's "CPU %"
+	WorkerSentBytes int64
+	MasterSentBytes int64
+	SendMbps        float64 // aggregate worker outbound rate
+}
+
+// MetricsSince summarises activity between a wall-clock start and now.
+func (c *Cluster) MetricsSince(start time.Time) Metrics {
+	wall := time.Since(start).Seconds()
+	m := Metrics{WallSeconds: wall}
+	var busy float64
+	for _, w := range c.Workers {
+		b := w.BusySeconds()
+		m.WorkerBusy = append(m.WorkerBusy, b)
+		busy += b
+		m.WorkerSentBytes += w.TransportStats().BytesSent
+	}
+	m.MasterSentBytes = c.Master.TransportStats().BytesSent
+	if wall > 0 {
+		// busy/wall is the average number of simultaneously busy compers in
+		// the cluster; per machine and ×100 matches the paper's "CPU %"
+		// convention (e.g. 837% = 8.37 cores busy).
+		m.CPUUtilisation = busy / wall / float64(len(c.Workers)) * 100
+		m.SendMbps = float64(m.WorkerSentBytes) * 8 / 1e6 / wall
+	}
+	return m
+}

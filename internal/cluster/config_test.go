@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"treeserver/internal/core"
+	"treeserver/internal/dataset"
+	"treeserver/internal/synth"
+	"treeserver/internal/task"
+)
+
+// TestPassthroughModeMatchesSerial checks the zero-copy fabric variant
+// (used by protocol-overhead benchmarks) still trains the exact tree: the
+// protocol must not rely on the gob boundary for copy isolation of row
+// index sets (workers must never mutate what they serve).
+func TestPassthroughModeMatchesSerial(t *testing.T) {
+	tbl := synth.GenerateTrain(synth.Spec{
+		Name: "pass", Rows: 2500, NumNumeric: 5, NumCategorical: 2,
+		NumClasses: 2, ConceptDepth: 4, Seed: 97,
+	})
+	c := NewInProcess(tbl, Config{
+		Workers: 3, Compers: 2, Passthrough: true,
+		Policy: task.Policy{TauD: 300, TauDFS: 1200, NPool: 4},
+	})
+	defer c.Close()
+	got, err := c.TrainOne(core.Defaults())
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	want := core.TrainLocal(tbl, dataset.AllRows(tbl.NumRows()), core.Defaults())
+	if !got.Equal(want) {
+		t.Fatal("passthrough mode changed the tree")
+	}
+}
+
+// TestBandwidthModelSlowsTraining enables the per-endpoint link model and
+// checks the job still completes correctly, slower than unthrottled.
+func TestBandwidthModelSlowsTraining(t *testing.T) {
+	tbl := synth.GenerateTrain(synth.Spec{
+		Name: "bw", Rows: 2500, NumNumeric: 6, NumClasses: 2, ConceptDepth: 4, Seed: 98,
+	})
+	run := func(bps float64) (time.Duration, *core.Tree) {
+		c := NewInProcess(tbl, Config{
+			Workers: 3, Compers: 2, BandwidthBps: bps,
+			Policy: task.Policy{TauD: 300, TauDFS: 1200, NPool: 4},
+		})
+		defer c.Close()
+		start := time.Now()
+		tr, err := c.TrainOne(core.Defaults())
+		if err != nil {
+			t.Fatalf("train(bw=%g): %v", bps, err)
+		}
+		return time.Since(start), tr
+	}
+	fastTime, fastTree := run(0)
+	slowTime, slowTree := run(2e6) // 2 MB/s links
+	if !fastTree.Equal(slowTree) {
+		t.Fatal("bandwidth model changed the tree")
+	}
+	if slowTime <= fastTime {
+		t.Fatalf("bandwidth model did not slow training: %v vs %v", slowTime, fastTime)
+	}
+}
+
+// TestConfigDefaults pins the documented defaults.
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Workers != 4 || cfg.Compers != 4 || cfg.Replicas != 2 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if cfg.Policy != task.DefaultPolicy() {
+		t.Fatalf("policy = %+v", cfg.Policy)
+	}
+	if cfg.JobTimeout != 5*time.Minute {
+		t.Fatalf("timeout = %v", cfg.JobTimeout)
+	}
+	neg := Config{JobTimeout: -1}.withDefaults()
+	if neg.JobTimeout != 0 {
+		t.Fatal("negative timeout should disable")
+	}
+}

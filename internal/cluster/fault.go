@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"treeserver/internal/core"
+	"treeserver/internal/task"
+)
+
+// Fault tolerance (Appendix E). Worker failure is detected by missed
+// heartbeats. Recovery has three parts:
+//
+//  1. Column re-replication: every column the dead worker held is copied
+//     from a surviving replica to another worker, restoring the replication
+//     factor. If a column loses its last replica the job fails (data loss).
+//  2. Task revocation: in-flight tasks whose assignment involved the dead
+//     worker are dropped at the surviving workers and requeued at the head
+//     of B_plan, exactly as the paper describes — provided their row sets
+//     survive (the parent's delegate is alive).
+//  3. Tree restart: a task whose parent delegate died cannot recover its
+//     I_x (the whole point of Section V is that nobody else has it), so the
+//     affected trees restart from their root tasks. Completed trees are
+//     unaffected.
+
+func (m *Master) heartbeatLoop() {
+	defer m.wg.Done()
+	var seq int64
+	ticker := time.NewTicker(m.cfg.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+		}
+		seq++
+		// A worker is failed when its latest pong lags the freshest pong
+		// from any worker by more than missedProbes probes. The relative
+		// comparison makes detection robust to master-side queue lag, which
+		// delays all pongs equally; the generous budget tolerates workers
+		// whose receive loop briefly stalls on large data requests.
+		const missedProbes = 20
+		m.mu.Lock()
+		var maxSeq int64
+		for w := 0; w < m.cfg.NumWorkers; w++ {
+			if m.alive[w] && m.lastSeq[w] > maxSeq {
+				maxSeq = m.lastSeq[w]
+			}
+		}
+		var failed []int
+		if maxSeq > missedProbes {
+			for w := 0; w < m.cfg.NumWorkers; w++ {
+				if m.alive[w] && maxSeq-m.lastSeq[w] > missedProbes {
+					failed = append(failed, w)
+				}
+			}
+		}
+		m.mu.Unlock()
+		for _, w := range failed {
+			m.NotifyWorkerFailure(w)
+		}
+		for w := 0; w < m.cfg.NumWorkers; w++ {
+			m.send(w, PingMsg{Seq: seq})
+		}
+	}
+}
+
+// NotifyWorkerFailure runs the recovery protocol for a failed worker. The
+// heartbeat prober calls it automatically; tests may call it directly after
+// injecting a crash.
+func (m *Master) NotifyWorkerFailure(failed int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if failed < 0 || failed >= len(m.alive) || !m.alive[failed] {
+		return
+	}
+	m.alive[failed] = false
+
+	if err := m.rereplicateLocked(failed); err != nil {
+		m.failJobLocked(err)
+		return
+	}
+
+	// Pass 1: find trees whose surviving state depends on the dead worker's
+	// row sets — they must restart.
+	broken := map[int32]bool{}
+	for _, entry := range m.tasks {
+		if entry.plan.parent.Worker == failed {
+			broken[entry.plan.tree] = true
+		}
+	}
+	for _, p := range m.bplan.Snapshot() {
+		if p.parent.Worker == failed {
+			broken[p.tree] = true
+		}
+	}
+
+	// Pass 2: revoke tasks that involved the dead worker; requeue the
+	// recoverable ones at the head of B_plan.
+	for id, entry := range m.tasks {
+		involved := entry.involved[failed]
+		if !involved && !broken[entry.plan.tree] {
+			continue
+		}
+		for w := range entry.involved {
+			if w != failed && m.alive[w] {
+				m.send(w, DropTaskMsg{Task: id})
+			}
+		}
+		m.matrix.Revert(entry.charges)
+		delete(m.tasks, id)
+		if !broken[entry.plan.tree] {
+			entry.received = 0
+			entry.best.Valid = false
+			m.bplan.PushHead(entry.plan)
+		}
+	}
+
+	// Pass 3: restart broken trees from their roots.
+	if len(broken) > 0 {
+		m.bplan.Filter(func(p *plan) bool { return broken[p.tree] })
+		for tid := range broken {
+			m.restartTreeLocked(tid)
+		}
+	}
+}
+
+// rereplicateLocked restores the replication factor of every column the
+// failed worker held.
+func (m *Master) rereplicateLocked(failed int) error {
+	for col, owners := range m.placement.Owners {
+		survivors := owners[:0]
+		lost := false
+		for _, o := range owners {
+			if o == failed {
+				lost = true
+			} else if m.alive[o] {
+				survivors = append(survivors, o)
+			}
+		}
+		if !lost {
+			m.placement.Owners[col] = survivors
+			continue
+		}
+		if len(survivors) == 0 {
+			return fmt.Errorf("cluster: column %d lost its last replica (worker %d)", col, failed)
+		}
+		// Copy to the alive worker holding the fewest columns.
+		target, best := -1, int(^uint(0)>>1)
+		held := make(map[int]int, m.cfg.NumWorkers)
+		for _, os := range m.placement.Owners {
+			for _, o := range os {
+				held[o]++
+			}
+		}
+		for w := 0; w < m.cfg.NumWorkers; w++ {
+			if !m.alive[w] || m.placementHoldsLocked(w, col, survivors) {
+				continue
+			}
+			if held[w] < best {
+				target, best = w, held[w]
+			}
+		}
+		m.placement.Owners[col] = survivors
+		if target >= 0 {
+			m.placement.Owners[col] = append(survivors, target)
+			m.send(survivors[0], ReplicateColumnMsg{Col: col, To: target})
+		}
+	}
+	return nil
+}
+
+func (m *Master) placementHoldsLocked(w, col int, survivors []int) bool {
+	for _, o := range survivors {
+		if o == w {
+			return true
+		}
+	}
+	return false
+}
+
+// restartTreeLocked throws away a tree's partial construction and requeues
+// its root task at the head of B_plan.
+func (m *Master) restartTreeLocked(tid int32) {
+	a, ok := m.trees[tid]
+	if !ok {
+		return
+	}
+	m.prog.Clear(tid)
+	a.epoch++
+	size := a.spec.Bag.Size()
+	a.root = &core.Node{Depth: 0, N: size}
+	root := &plan{
+		id: m.newTaskIDLocked(), tree: tid, node: a.root,
+		depth: 0, size: size,
+		parent: ParentRef{Worker: -1, Bag: a.spec.Bag},
+		kind:   m.cfg.Policy.KindFor(size),
+		epoch:  a.epoch,
+	}
+	if m.cfg.RelayRows {
+		root.rows = a.spec.Bag.Rows()
+	}
+	m.prog.Add(tid, 1)
+	m.bplan.PushHead(root)
+}
+
+// AliveWorkers returns the indexes of workers currently believed alive.
+func (m *Master) AliveWorkers() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []int
+	for w, ok := range m.alive {
+		if ok {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+var _ = task.ColumnTask // keep the task import explicit for godoc references

@@ -1,0 +1,655 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"treeserver/internal/core"
+	"treeserver/internal/dataset"
+	"treeserver/internal/impurity"
+	"treeserver/internal/loadbal"
+	"treeserver/internal/split"
+	"treeserver/internal/task"
+	"treeserver/internal/transport"
+)
+
+// TreeSpec describes one decision tree for the master to train.
+type TreeSpec struct {
+	// Params are the model hyperparameters. Candidates hold original table
+	// column indexes (nil = all non-target columns).
+	Params core.Params
+	// Bag selects the root rows; the zero value uses all rows.
+	Bag BagSpec
+}
+
+// MasterConfig tunes the master's scheduling and fault handling.
+type MasterConfig struct {
+	NumWorkers int
+	Policy     task.Policy
+	// Heartbeat enables worker failure detection at this probe interval;
+	// zero disables it (a worker is declared failed after 3 missed probes).
+	Heartbeat time.Duration
+	// RoundRobinAssign replaces the Section-VI cost model with cyclic
+	// assignment — the load-balancing ablation.
+	RoundRobinAssign bool
+	// RelayRows reverts to the naive design Section V eliminates: the
+	// master ships I_x inside every task plan — the row-relay ablation.
+	RelayRows bool
+	// JobTimeout bounds Train; zero means no limit.
+	JobTimeout time.Duration
+}
+
+// plan is a task not yet assigned to workers (an element of B_plan).
+type plan struct {
+	id      task.ID
+	tree    int32
+	node    *core.Node
+	depth   int
+	size    int
+	parent  ParentRef
+	kind    task.Kind
+	rows    []int32 // relay-mode only
+	tries   int     // extra-trees column redraws
+	epoch   int     // assembly epoch; a restarted tree invalidates old plans
+	attempt int     // execution attempt; bumped when fault recovery requeues
+}
+
+// mtask is the master-side task table entry.
+type mtask struct {
+	plan       *plan
+	charges    []loadbal.Charge
+	involved   map[int]bool
+	expected   int
+	received   int
+	best       split.Candidate
+	bestWorker int
+	stats      NodeStats
+	statsSet   bool
+}
+
+// assembly tracks one tree under construction.
+type assembly struct {
+	index    int // slot in the job's result slice
+	spec     TreeSpec
+	root     *core.Node
+	features []int
+	rng      *rand.Rand // extra-trees column draws
+	measure  impurity.Measure
+	epoch    int // bumped on fault-recovery restart
+}
+
+// Master is the TreeServer master: it owns tree disassembly, the B_plan
+// deque, the task table, worker assignment and tree reassembly. It never
+// touches row data (Section V).
+type Master struct {
+	ep     transport.Endpoint
+	cfg    MasterConfig
+	schema Schema
+
+	placement loadbal.Placement
+	matrix    *loadbal.Matrix
+	bplan     *task.Deque[*plan]
+	prog      *task.Progress
+
+	mu           sync.Mutex
+	tasks        map[task.ID]*mtask
+	trees        map[int32]*assembly
+	pendingTrees []*assembly
+	active       int
+	nextTaskID   task.ID
+	nextTreeID   int32
+	rrCounter    int
+
+	results   []*core.Tree
+	remaining int
+	jobErr    error
+	jobDone   chan struct{}
+	jobMu     sync.Mutex
+
+	alive    []bool
+	lastPong []time.Time
+	lastSeq  []int64
+
+	targetSeq   int64
+	targetAcks  map[int]bool
+	targetAckCh chan struct{}
+	targetWant  int
+
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+}
+
+// NewMaster builds a master over the given endpoint. placement must match
+// the columns actually loaded on the workers.
+func NewMaster(ep transport.Endpoint, schema Schema, placement loadbal.Placement, cfg MasterConfig) *Master {
+	if cfg.Policy == (task.Policy{}) {
+		cfg.Policy = task.DefaultPolicy()
+	}
+	m := &Master{
+		ep: ep, cfg: cfg, schema: schema,
+		placement: placement,
+		matrix:    loadbal.NewMatrix(cfg.NumWorkers),
+		bplan:     &task.Deque[*plan]{},
+		prog:      task.NewProgress(),
+		tasks:     map[task.ID]*mtask{},
+		trees:     map[int32]*assembly{},
+		alive:     make([]bool, cfg.NumWorkers),
+		lastPong:  make([]time.Time, cfg.NumWorkers),
+		lastSeq:   make([]int64, cfg.NumWorkers),
+		stop:      make(chan struct{}),
+	}
+	for i := range m.alive {
+		m.alive[i] = true
+		m.lastPong[i] = time.Now()
+	}
+	return m
+}
+
+// Start launches the master's main and receiving threads (θ_main, θ_recv)
+// and, when configured, the heartbeat prober.
+func (m *Master) Start() {
+	m.wg.Add(2)
+	go m.mainLoop()
+	go m.recvLoop()
+	if m.cfg.Heartbeat > 0 {
+		m.wg.Add(1)
+		go m.heartbeatLoop()
+	}
+}
+
+// Stop shuts the master down and notifies workers to terminate.
+func (m *Master) Stop() {
+	m.stopOnce.Do(func() {
+		close(m.stop)
+		for w := 0; w < m.cfg.NumWorkers; w++ {
+			_ = m.ep.Send(WorkerName(w), ShutdownMsg{})
+		}
+		m.ep.Close()
+	})
+	m.wg.Wait()
+}
+
+// TransportStats exposes the master's traffic counters — the quantity the
+// Section-V design is measured by.
+func (m *Master) TransportStats() transport.Stats { return m.ep.Stats() }
+
+// WorkloadSnapshot returns the current M_work contents.
+func (m *Master) WorkloadSnapshot() [][3]float64 { return m.matrix.Snapshot() }
+
+// Train runs one job: it trains every spec'd tree (at most n_pool under
+// construction at a time) and returns them in spec order. Train serialises
+// concurrent callers.
+func (m *Master) Train(specs []TreeSpec) ([]*core.Tree, error) {
+	m.jobMu.Lock()
+	defer m.jobMu.Unlock()
+	if len(specs) == 0 {
+		return nil, nil
+	}
+
+	m.mu.Lock()
+	m.results = make([]*core.Tree, len(specs))
+	m.remaining = len(specs)
+	m.jobErr = nil
+	m.jobDone = make(chan struct{})
+	for i, spec := range specs {
+		m.pendingTrees = append(m.pendingTrees, m.newAssembly(i, spec))
+	}
+	done := m.jobDone
+	m.mu.Unlock()
+
+	if m.cfg.JobTimeout > 0 {
+		select {
+		case <-done:
+		case <-time.After(m.cfg.JobTimeout):
+			return nil, fmt.Errorf("cluster: job timed out after %v", m.cfg.JobTimeout)
+		case <-m.stop:
+			return nil, fmt.Errorf("cluster: master stopped")
+		}
+	} else {
+		select {
+		case <-done:
+		case <-m.stop:
+			return nil, fmt.Errorf("cluster: master stopped")
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.jobErr != nil {
+		return nil, m.jobErr
+	}
+	return m.results, nil
+}
+
+func (m *Master) newAssembly(index int, spec TreeSpec) *assembly {
+	if spec.Bag.NumRows == 0 {
+		spec.Bag.NumRows = m.schema.NumRows
+	}
+	features := spec.Params.Candidates
+	if features == nil {
+		features = make([]int, 0, m.schema.NumCols-1)
+		for c := 0; c < m.schema.NumCols; c++ {
+			if c != m.schema.Target {
+				features = append(features, c)
+			}
+		}
+	}
+	spec.Params.Candidates = features
+	measure := spec.Params.Measure
+	if m.schema.Task == dataset.Regression {
+		measure = impurity.Variance
+	} else if !measure.ForClassification() {
+		measure = impurity.Gini
+	}
+	spec.Params.Measure = measure
+	if spec.Params.MinLeaf < 1 {
+		spec.Params.MinLeaf = 1
+	}
+	return &assembly{
+		index: index, spec: spec, features: features,
+		rng: rand.New(rand.NewSource(spec.Params.Seed ^ 0x5eed)), measure: measure,
+	}
+}
+
+// --- θ_main: admission and plan assignment ---
+
+func (m *Master) mainLoop() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.stop:
+			return
+		default:
+		}
+		m.mu.Lock()
+		for m.active < m.cfg.Policy.NPool && len(m.pendingTrees) > 0 {
+			a := m.pendingTrees[0]
+			m.pendingTrees = m.pendingTrees[1:]
+			m.admitTreeLocked(a)
+		}
+		m.mu.Unlock()
+
+		p, ok := m.bplan.PopHead()
+		if !ok {
+			// The paper's θ_main sleeps 100 µs between probes of B_plan.
+			time.Sleep(100 * time.Microsecond)
+			continue
+		}
+		m.assignAndSend(p)
+	}
+}
+
+func (m *Master) admitTreeLocked(a *assembly) {
+	tid := m.nextTreeID
+	m.nextTreeID++
+	m.trees[tid] = a
+	m.active++
+	size := a.spec.Bag.Size()
+	a.root = &core.Node{Depth: 0, N: size}
+	root := &plan{
+		id: m.newTaskIDLocked(), tree: tid, node: a.root,
+		depth: 0, size: size,
+		parent: ParentRef{Worker: -1, Bag: a.spec.Bag},
+		kind:   m.cfg.Policy.KindFor(size),
+		epoch:  a.epoch,
+	}
+	if m.cfg.RelayRows {
+		root.rows = a.spec.Bag.Rows()
+	}
+	m.prog.Add(tid, 1)
+	m.bplan.Push(root, size, m.cfg.Policy)
+}
+
+func (m *Master) newTaskIDLocked() task.ID {
+	m.nextTaskID++
+	return m.nextTaskID
+}
+
+// assignAndSend computes the plan's worker assignment (Section VI) and ships
+// the plan messages.
+func (m *Master) assignAndSend(p *plan) {
+	m.mu.Lock()
+	a, ok := m.trees[p.tree]
+	if !ok || a.epoch != p.epoch { // tree restarted or completed during recovery
+		m.mu.Unlock()
+		return
+	}
+	cols := a.spec.Params.Candidates
+	randomDraw := a.spec.Params.ExtraTrees
+	var drawSeed int64
+	if randomDraw && p.kind == task.ColumnTask {
+		cols = []int{a.features[a.rng.Intn(len(a.features))]}
+		drawSeed = a.rng.Int63()
+	}
+	subtreeParams := a.spec.Params
+	if randomDraw {
+		subtreeParams.Seed = a.rng.Int63()
+	}
+	alive := append([]bool(nil), m.alive...)
+	var assignment loadbal.Assignment
+	if m.cfg.RoundRobinAssign {
+		assignment = loadbal.AssignRoundRobin(m.placement, cols, &m.rrCounter, p.kind == task.SubtreeTask)
+	} else if p.kind == task.SubtreeTask {
+		assignment = loadbal.AssignSubtree(m.matrix, m.placement, cols, p.size, p.parent.Worker, alive)
+	} else {
+		assignment = loadbal.AssignColumns(m.matrix, m.placement, cols, p.size, p.parent.Worker, alive)
+	}
+
+	p.attempt++
+	entry := &mtask{plan: p, charges: assignment.Charges, involved: map[int]bool{}}
+	if p.kind == task.SubtreeTask {
+		entry.expected = 1
+		entry.involved[assignment.KeyWorker] = true
+		for _, w := range assignment.ColumnServer {
+			entry.involved[w] = true
+		}
+	} else {
+		perWorker := assignment.PerWorkerColumns()
+		entry.expected = len(perWorker)
+		for w := range perWorker {
+			entry.involved[w] = true
+		}
+	}
+	m.tasks[p.id] = entry
+	measure := a.measure
+	numClasses := m.schema.NumClasses
+	maxExh := a.spec.Params.MaxExhaustiveLevels
+	m.mu.Unlock()
+
+	if p.kind == task.SubtreeTask {
+		params := subtreeParams
+		m.send(assignment.KeyWorker, SubtreePlanMsg{
+			Task: p.id, Attempt: p.attempt, Tree: p.tree, Depth: p.depth, Size: p.size,
+			Parent: p.parent, Params: params, ColServer: assignment.ColumnServer,
+			Rows: p.rows,
+		})
+		return
+	}
+	for w, wcols := range assignment.PerWorkerColumns() {
+		m.send(w, ColumnPlanMsg{
+			Task: p.id, Attempt: p.attempt, Tree: p.tree, Depth: p.depth, Size: p.size,
+			Cols: wcols, Parent: p.parent,
+			Measure: measure, NumClasses: numClasses, MaxExh: maxExh,
+			Random: randomDraw, RandomSeed: drawSeed,
+			Rows: p.rows,
+		})
+	}
+}
+
+func (m *Master) send(worker int, payload any) {
+	_ = m.ep.Send(WorkerName(worker), payload)
+}
+
+// --- θ_recv: result processing and tree assembly ---
+
+func (m *Master) recvLoop() {
+	defer m.wg.Done()
+	for {
+		env, ok := m.ep.Recv()
+		if !ok {
+			return
+		}
+		switch msg := env.Payload.(type) {
+		case ColumnResultMsg:
+			m.handleColumnResult(msg)
+		case SplitDoneMsg:
+			m.handleSplitDone(msg)
+		case SubtreeResultMsg:
+			m.handleSubtreeResult(msg)
+		case PongMsg:
+			m.mu.Lock()
+			if msg.Worker >= 0 && msg.Worker < len(m.lastPong) {
+				m.lastPong[msg.Worker] = time.Now()
+				if msg.Seq > m.lastSeq[msg.Worker] {
+					m.lastSeq[msg.Worker] = msg.Seq
+				}
+			}
+			m.mu.Unlock()
+		case TargetAckMsg:
+			m.handleTargetAck(msg)
+		case WorkerErrorMsg:
+			m.handleWorkerError(msg)
+		}
+	}
+}
+
+func (m *Master) handleColumnResult(msg ColumnResultMsg) {
+	m.mu.Lock()
+	entry, ok := m.tasks[msg.Task]
+	if !ok || entry.plan.attempt != msg.Attempt {
+		m.mu.Unlock()
+		return
+	}
+	entry.received++
+	if !entry.statsSet {
+		entry.stats, entry.statsSet = msg.Stats, true
+	}
+	if msg.Best.Valid && msg.Best.Better(entry.best) {
+		entry.best = msg.Best
+		entry.bestWorker = msg.Worker
+	}
+	if entry.received < entry.expected {
+		m.mu.Unlock()
+		return
+	}
+	m.decideSplitLocked(entry)
+	m.mu.Unlock()
+}
+
+// decideSplitLocked runs once all column results for a task are in.
+func (m *Master) decideSplitLocked(entry *mtask) {
+	p := entry.plan
+	a := m.trees[p.tree]
+	if a == nil {
+		return
+	}
+	if entry.stats.Pure || !entry.best.Valid {
+		if !entry.best.Valid && !entry.stats.Pure && a.spec.Params.ExtraTrees && p.tries < len(a.features) {
+			// Extra-trees drew a constant column: redraw and retry.
+			p.tries++
+			for w := range entry.involved {
+				m.send(w, DropTaskMsg{Task: p.id})
+			}
+			m.matrix.Revert(entry.charges)
+			delete(m.tasks, p.id)
+			m.bplan.PushHead(p)
+			return
+		}
+		m.makeLeafLocked(entry)
+		return
+	}
+	// Confirm the winner; everyone else drops their task object.
+	for w := range entry.involved {
+		if w != entry.bestWorker {
+			m.send(w, DropTaskMsg{Task: p.id})
+		}
+	}
+	m.send(entry.bestWorker, ConfirmSplitMsg{Task: p.id, Cond: entry.best.Cond, Relay: m.cfg.RelayRows})
+}
+
+// makeLeafLocked turns the task's node into a leaf (pure node, or no column
+// admits a split).
+func (m *Master) makeLeafLocked(entry *mtask) {
+	p := entry.plan
+	if entry.statsSet {
+		entry.stats.Fill(p.node)
+	}
+	for w := range entry.involved {
+		m.send(w, DropTaskMsg{Task: p.id})
+	}
+	m.matrix.Revert(entry.charges)
+	delete(m.tasks, p.id)
+	m.releaseParentLocked(p)
+	m.finishTaskLocked(p)
+}
+
+func (m *Master) handleSplitDone(msg SplitDoneMsg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	entry, ok := m.tasks[msg.Task]
+	if !ok || entry.plan.attempt != msg.Attempt {
+		return
+	}
+	p := entry.plan
+	a := m.trees[p.tree]
+	if a == nil {
+		return
+	}
+	cond := entry.best.Cond
+	cond.Rehydrate()
+	p.node.Cond = &cond
+	p.node.SeenCodes = msg.SeenCodes
+	if entry.statsSet {
+		entry.stats.Fill(p.node)
+	}
+
+	left := &core.Node{Depth: p.depth + 1}
+	msg.LeftStats.Fill(left)
+	right := &core.Node{Depth: p.depth + 1}
+	msg.RightStats.Fill(right)
+	p.node.Left, p.node.Right = left, right
+
+	// Children are created (and possibly planned) before the parent's
+	// progress decrement, preserving the paper's T_prog ordering rule.
+	m.spawnChildLocked(a, p, msg.Worker, 0, left, msg.LeftN, msg.LeftStats, msg.LeftRows)
+	m.spawnChildLocked(a, p, msg.Worker, 1, right, msg.RightN, msg.RightStats, msg.RightRows)
+
+	m.matrix.Revert(entry.charges)
+	delete(m.tasks, p.id)
+	m.releaseParentLocked(p)
+	m.finishTaskLocked(p)
+}
+
+// spawnChildLocked decides the fate of one child node: leaf (stats are
+// already in hand, so release the delegate's rows immediately) or a new
+// column-/subtree-task pushed into B_plan under the hybrid policy.
+func (m *Master) spawnChildLocked(a *assembly, p *plan, delegate int, side uint8, node *core.Node, size int, stats NodeStats, rows []int32) {
+	params := a.spec.Params
+	depth := p.depth + 1
+	isLeaf := stats.Pure || size <= params.MinLeaf ||
+		(params.MaxDepth > 0 && depth >= params.MaxDepth)
+	if isLeaf {
+		m.send(delegate, ReleaseSideMsg{Task: p.id, Side: side})
+		return
+	}
+	child := &plan{
+		id: m.newTaskIDLocked(), tree: p.tree, node: node,
+		depth: depth, size: size,
+		parent: ParentRef{Task: p.id, Side: side, Worker: delegate},
+		kind:   m.cfg.Policy.KindFor(size),
+		epoch:  p.epoch,
+	}
+	if m.cfg.RelayRows {
+		child.rows = rows
+	}
+	m.prog.Add(p.tree, 1)
+	m.bplan.Push(child, size, m.cfg.Policy)
+}
+
+func (m *Master) handleSubtreeResult(msg SubtreeResultMsg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	entry, ok := m.tasks[msg.Task]
+	if !ok || entry.plan.attempt != msg.Attempt {
+		return
+	}
+	p := entry.plan
+	if _, live := m.trees[p.tree]; !live {
+		return
+	}
+	graft(p.node, msg.Subtree.Root, p.depth)
+	m.matrix.Revert(entry.charges)
+	delete(m.tasks, p.id)
+	m.releaseParentLocked(p)
+	m.finishTaskLocked(p)
+}
+
+// graft copies the built subtree into the assembly slot, shifting node
+// depths from subtree-local to absolute.
+func graft(slot, subRoot *core.Node, depthOffset int) {
+	var shift func(*core.Node)
+	shift = func(n *core.Node) {
+		if n == nil {
+			return
+		}
+		n.Depth += depthOffset
+		shift(n.Left)
+		shift(n.Right)
+	}
+	shift(subRoot)
+	*slot = *subRoot
+}
+
+func (m *Master) releaseParentLocked(p *plan) {
+	if !p.parent.IsRoot() {
+		m.send(p.parent.Worker, ReleaseSideMsg{Task: p.parent.Task, Side: p.parent.Side})
+	}
+}
+
+// finishTaskLocked records the task's completion in T_prog; a zero count
+// means the tree is fully built, so it is finalised and its memory released
+// — the paper's flush-as-soon-as-complete behaviour.
+func (m *Master) finishTaskLocked(p *plan) {
+	if !m.prog.Done(p.tree) {
+		return
+	}
+	a := m.trees[p.tree]
+	delete(m.trees, p.tree)
+	m.active--
+	tree := finalizeTree(a.root, m.schema)
+	if m.results != nil && a.index < len(m.results) {
+		m.results[a.index] = tree
+		m.remaining--
+		if m.remaining == 0 && m.jobDone != nil {
+			close(m.jobDone)
+		}
+	}
+}
+
+// finalizeTree renumbers nodes in pre-order and computes the summary fields,
+// matching the serial trainer's bookkeeping.
+func finalizeTree(root *core.Node, schema Schema) *core.Tree {
+	t := &core.Tree{Root: root, Task: schema.Task, NumClasses: schema.NumClasses}
+	id := int32(0)
+	var walk func(*core.Node)
+	walk = func(n *core.Node) {
+		if n == nil {
+			return
+		}
+		n.ID = id
+		id++
+		if n.Depth > t.MaxDepth {
+			t.MaxDepth = n.Depth
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(root)
+	t.NumNodes = int(id)
+	return t
+}
+
+func (m *Master) handleWorkerError(msg WorkerErrorMsg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, live := m.tasks[msg.Task]; !live && msg.Task != 0 {
+		return // stale error from a revoked task
+	}
+	if msg.Worker >= 0 && msg.Worker < len(m.alive) && !m.alive[msg.Worker] {
+		return
+	}
+	m.failJobLocked(fmt.Errorf("cluster: worker %d task %d: %s", msg.Worker, msg.Task, msg.Err))
+}
+
+func (m *Master) failJobLocked(err error) {
+	if m.jobErr == nil {
+		m.jobErr = err
+	}
+	if m.remaining > 0 && m.jobDone != nil {
+		m.remaining = 0
+		close(m.jobDone)
+	}
+}

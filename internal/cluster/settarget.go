@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"treeserver/internal/dataset"
+)
+
+// SetTarget replaces the distributed label column with a new numeric target
+// on every alive worker and blocks until all acknowledge. It runs under the
+// job lock, so it can only interleave between training jobs — exactly the
+// cadence gradient boosting needs: train a round, update residuals, train
+// the next round.
+//
+// After SetTarget the cluster trains regression trees regardless of the
+// original task; there is no automatic way back to the original labels
+// (create a new cluster for unrelated jobs).
+func (m *Master) SetTarget(y []float64) error {
+	m.jobMu.Lock()
+	defer m.jobMu.Unlock()
+	if len(y) != m.schema.NumRows {
+		return fmt.Errorf("cluster: target has %d values, table has %d rows", len(y), m.schema.NumRows)
+	}
+
+	m.mu.Lock()
+	m.targetSeq++
+	seq := m.targetSeq
+	var alive []int
+	for w, ok := range m.alive {
+		if ok {
+			alive = append(alive, w)
+		}
+	}
+	m.targetAcks = map[int]bool{}
+	ackCh := make(chan struct{})
+	m.targetAckCh = ackCh
+	m.targetWant = len(alive)
+	m.mu.Unlock()
+
+	for _, w := range alive {
+		m.send(w, SetTargetMsg{Seq: seq, Y: y})
+	}
+
+	timeout := m.cfg.JobTimeout
+	if timeout <= 0 {
+		timeout = time.Minute
+	}
+	select {
+	case <-ackCh:
+	case <-time.After(timeout):
+		return fmt.Errorf("cluster: target update not acknowledged by all workers within %v", timeout)
+	case <-m.stop:
+		return fmt.Errorf("cluster: master stopped")
+	}
+
+	m.mu.Lock()
+	m.schema.NumClasses = 0
+	m.schema.Task = dataset.Regression
+	m.schema.Kinds[m.schema.Target] = dataset.Numeric
+	m.mu.Unlock()
+	return nil
+}
+
+// handleTargetAck records one worker's acknowledgement (called from the
+// receive loop).
+func (m *Master) handleTargetAck(msg TargetAckMsg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if msg.Seq != m.targetSeq || m.targetAckCh == nil {
+		return
+	}
+	if !m.targetAcks[msg.Worker] {
+		m.targetAcks[msg.Worker] = true
+		if len(m.targetAcks) >= m.targetWant {
+			close(m.targetAckCh)
+			m.targetAckCh = nil
+		}
+	}
+}
+
+// SetTarget on the in-process cluster helper.
+func (c *Cluster) SetTarget(y []float64) error { return c.Master.SetTarget(y) }

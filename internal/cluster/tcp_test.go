@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"treeserver/internal/core"
+	"treeserver/internal/dataset"
+	"treeserver/internal/loadbal"
+	"treeserver/internal/synth"
+	"treeserver/internal/task"
+	"treeserver/internal/transport"
+)
+
+// TestClusterOverTCP runs master and workers over real loopback TCP sockets
+// — the deployment cmd/treeserver uses — and checks the trained tree is
+// identical to serial training.
+func TestClusterOverTCP(t *testing.T) {
+	tbl := synth.GenerateTrain(synth.Spec{
+		Name: "tcp", Rows: 3000, NumNumeric: 5, NumCategorical: 2,
+		NumClasses: 2, ConceptDepth: 4, Seed: 91,
+	})
+	schema := SchemaOf(tbl)
+	const numWorkers = 3
+	placement := loadbal.RoundRobin(tbl.FeatureIndexes(), numWorkers, 2)
+
+	// Bring up workers first (ephemeral ports), then wire the peer tables.
+	workers := make([]*Worker, numWorkers)
+	weps := make([]*transport.TCPEndpoint, numWorkers)
+	for i := 0; i < numWorkers; i++ {
+		ep, err := transport.ListenTCP(WorkerName(i), "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weps[i] = ep
+	}
+	mep, err := transport.ListenTCP(MasterName, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ep := range weps {
+		ep.AddPeer(MasterName, mep.Addr())
+		for j, other := range weps {
+			if j != i {
+				ep.AddPeer(WorkerName(j), other.Addr())
+			}
+		}
+		mep.AddPeer(WorkerName(i), ep.Addr())
+		cols := map[int]*dataset.Column{}
+		for col, owners := range placement.Owners {
+			for _, o := range owners {
+				if o == i {
+					cols[col] = tbl.Cols[col]
+				}
+			}
+		}
+		workers[i] = NewWorker(i, ep, schema, cols, tbl.Y(), 2)
+		workers[i].Start()
+	}
+	m := NewMaster(mep, schema, placement, MasterConfig{
+		NumWorkers: numWorkers,
+		Policy:     task.Policy{TauD: 400, TauDFS: 1600, NPool: 4},
+		JobTimeout: time.Minute,
+	})
+	m.Start()
+	defer func() {
+		m.Stop()
+		for _, w := range workers {
+			w.Stop()
+		}
+	}()
+
+	params := core.Defaults()
+	params.MaxDepth = 7
+	trees, err := m.Train([]TreeSpec{{Params: params}})
+	if err != nil {
+		t.Fatalf("train over TCP: %v", err)
+	}
+	want := core.TrainLocal(tbl, dataset.AllRows(tbl.NumRows()), params)
+	if !trees[0].Equal(want) {
+		t.Fatal("TCP-trained tree differs from serial")
+	}
+	if mep.Stats().BytesSent == 0 || weps[0].Stats().BytesSent == 0 {
+		t.Fatal("no TCP traffic recorded")
+	}
+}

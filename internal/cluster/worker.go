@@ -1,0 +1,604 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"treeserver/internal/core"
+	"treeserver/internal/dataset"
+	"treeserver/internal/split"
+	"treeserver/internal/task"
+	"treeserver/internal/transport"
+)
+
+// Worker is one TreeServer worker machine. It runs a receiving loop (the
+// paper's θ_main/θ_recv, folded into one dispatcher since both only move
+// state) and a pool of computing threads ("compers") that execute the
+// CPU-bound work: split finding and subtree construction.
+type Worker struct {
+	id      int
+	ep      transport.Endpoint
+	schema  Schema
+	compers int
+
+	mu       sync.Mutex
+	cols     map[int]*dataset.Column // column replicas held by this worker
+	y        *dataset.Column
+	tasks    map[task.ID]*wtask
+	rowWaits map[task.ID][]func([]int32)
+	colWaits []colWait // work parked until re-replicated columns arrive
+
+	btask    chan func()
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+	busyNs   atomic.Int64
+}
+
+// colWait parks a continuation until all its columns are installed. This
+// absorbs the fault-recovery race where the master re-plans a task onto a
+// new replica owner before the column copy has arrived.
+type colWait struct {
+	cols []int
+	cont func()
+}
+
+// wtask is the worker-side task object kept in T_task.
+type wtask struct {
+	// Column-task state.
+	colPlan *ColumnPlanMsg
+	attempt int
+	rows    []int32
+	// Delegate state after ConfirmSplit.
+	leftRows, rightRows []int32
+	pendingReleases     int
+	// Subtree-task (key worker) state.
+	subPlan    *SubtreePlanMsg
+	shards     map[int]*dataset.Column
+	needShards int
+}
+
+// NewWorker constructs a worker holding the given column replicas plus the
+// full target column y. Start must be called before the master sends plans.
+func NewWorker(id int, ep transport.Endpoint, schema Schema, cols map[int]*dataset.Column, y *dataset.Column, compers int) *Worker {
+	if compers < 1 {
+		compers = 1
+	}
+	return &Worker{
+		id: id, ep: ep, schema: schema, compers: compers,
+		cols: cols, y: y,
+		tasks:    map[task.ID]*wtask{},
+		rowWaits: map[task.ID][]func([]int32){},
+		btask:    make(chan func(), 4096),
+	}
+}
+
+// ID returns the worker's index.
+func (w *Worker) ID() int { return w.id }
+
+// BusySeconds returns the cumulative comper compute time, the basis for the
+// CPU-utilisation numbers of Table VI.
+func (w *Worker) BusySeconds() float64 { return float64(w.busyNs.Load()) / 1e9 }
+
+// TransportStats exposes the worker's traffic counters.
+func (w *Worker) TransportStats() transport.Stats { return w.ep.Stats() }
+
+// HoldsColumn reports whether the worker currently holds a replica of col.
+func (w *Worker) HoldsColumn(col int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, ok := w.cols[col]
+	return ok
+}
+
+// Start launches the receive loop and the comper pool.
+func (w *Worker) Start() {
+	for i := 0; i < w.compers; i++ {
+		w.wg.Add(1)
+		go w.comperLoop()
+	}
+	w.wg.Add(1)
+	go w.recvLoop()
+}
+
+// Wait blocks until the worker terminates (a ShutdownMsg from the master or
+// a Stop call) — the run loop of a standalone worker process.
+func (w *Worker) Wait() { w.wg.Wait() }
+
+// Stop terminates the worker and waits for its goroutines.
+func (w *Worker) Stop() {
+	w.stopOnce.Do(func() {
+		w.ep.Close()
+		close(w.btask)
+	})
+	w.wg.Wait()
+}
+
+func (w *Worker) comperLoop() {
+	defer w.wg.Done()
+	for job := range w.btask {
+		start := time.Now()
+		job()
+		w.busyNs.Add(int64(time.Since(start)))
+	}
+}
+
+func (w *Worker) recvLoop() {
+	defer w.wg.Done()
+	for {
+		env, ok := w.ep.Recv()
+		if !ok {
+			return
+		}
+		switch msg := env.Payload.(type) {
+		case ColumnPlanMsg:
+			w.handleColumnPlan(msg)
+		case SubtreePlanMsg:
+			w.handleSubtreePlan(msg)
+		case ConfirmSplitMsg:
+			w.handleConfirm(msg)
+		case DropTaskMsg:
+			w.handleDrop(msg)
+		case ReleaseSideMsg:
+			w.handleRelease(msg)
+		case RowsRequestMsg:
+			w.handleRowsRequest(msg)
+		case RowsResponseMsg:
+			w.handleRowsResponse(msg)
+		case ColDataRequestMsg:
+			w.handleColDataRequest(msg)
+		case ColDataResponseMsg:
+			w.handleColDataResponse(msg)
+		case ReplicateColumnMsg:
+			w.handleReplicate(msg)
+		case ColumnCopyMsg:
+			w.handleColumnCopy(msg)
+		case SetTargetMsg:
+			w.handleSetTarget(msg)
+		case PingMsg:
+			w.send(MasterName, PongMsg{Worker: w.id, Seq: msg.Seq})
+		case ShutdownMsg:
+			w.stopOnce.Do(func() {
+				w.ep.Close()
+				close(w.btask)
+			})
+			return
+		}
+	}
+}
+
+func (w *Worker) send(to string, payload any) {
+	// Send errors mean the peer crashed or the job is over; the master's
+	// fault-recovery path owns those situations, so sends are best-effort.
+	_ = w.ep.Send(to, payload)
+}
+
+func (w *Worker) fail(t task.ID, format string, args ...any) {
+	w.send(MasterName, WorkerErrorMsg{Worker: w.id, Task: t, Err: fmt.Sprintf(format, args...)})
+}
+
+// needRows arranges for cont to run with I_x for the task: root bags are
+// derived locally, locally-delegated rows are read directly, and remote rows
+// are requested from the parent worker (Section V). cont runs on the receive
+// goroutine.
+func (w *Worker) needRows(parent ParentRef, forTask task.ID, cont func([]int32)) {
+	if parent.IsRoot() {
+		cont(parent.Bag.Rows())
+		return
+	}
+	if parent.Worker == w.id {
+		rows, ok := w.lookupSideRows(parent.Task, parent.Side)
+		if !ok {
+			w.fail(forTask, "local parent task %d side %d has no rows", parent.Task, parent.Side)
+			return
+		}
+		cont(rows)
+		return
+	}
+	w.mu.Lock()
+	w.rowWaits[forTask] = append(w.rowWaits[forTask], cont)
+	w.mu.Unlock()
+	w.send(WorkerName(parent.Worker), RowsRequestMsg{Parent: parent, ForTask: forTask, Requester: w.id})
+}
+
+// whenColumnsPresent runs cont once the worker holds every listed column —
+// immediately in the common case, or after a ColumnCopyMsg lands.
+func (w *Worker) whenColumnsPresent(cols []int, cont func()) {
+	w.mu.Lock()
+	missing := false
+	for _, c := range cols {
+		if w.cols[c] == nil {
+			missing = true
+			break
+		}
+	}
+	if missing {
+		w.colWaits = append(w.colWaits, colWait{cols: append([]int(nil), cols...), cont: cont})
+		w.mu.Unlock()
+		return
+	}
+	w.mu.Unlock()
+	cont()
+}
+
+func (w *Worker) lookupSideRows(parent task.ID, side uint8) ([]int32, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	entry, ok := w.tasks[parent]
+	if !ok {
+		return nil, false
+	}
+	if side == 0 {
+		return entry.leftRows, entry.leftRows != nil
+	}
+	return entry.rightRows, entry.rightRows != nil
+}
+
+// --- Column-task flow (Fig. 9(b)) ---
+
+func (w *Worker) handleColumnPlan(msg ColumnPlanMsg) {
+	entry := &wtask{colPlan: &msg, attempt: msg.Attempt}
+	w.mu.Lock()
+	w.tasks[msg.Task] = entry
+	w.mu.Unlock()
+	if msg.Rows != nil { // relay-rows ablation: I_x arrived with the plan
+		entry.rows = msg.Rows
+		w.whenColumnsPresent(msg.Cols, func() {
+			w.btask <- func() { w.computeColumnTask(msg, msg.Rows) }
+		})
+		return
+	}
+	w.needRows(msg.Parent, msg.Task, func(rows []int32) {
+		w.mu.Lock()
+		if w.tasks[msg.Task] != entry { // dropped while waiting
+			w.mu.Unlock()
+			return
+		}
+		entry.rows = rows
+		w.mu.Unlock()
+		w.whenColumnsPresent(msg.Cols, func() {
+			w.btask <- func() { w.computeColumnTask(msg, rows) }
+		})
+	})
+}
+
+func (w *Worker) computeColumnTask(msg ColumnPlanMsg, rows []int32) {
+	w.mu.Lock()
+	y := w.y
+	localCols := make([]*dataset.Column, len(msg.Cols))
+	for i, c := range msg.Cols {
+		localCols[i] = w.cols[c]
+	}
+	w.mu.Unlock()
+
+	best := split.Candidate{}
+	for i, colIdx := range msg.Cols {
+		col := localCols[i]
+		if col == nil {
+			w.fail(msg.Task, "assigned column %d not held", colIdx)
+			return
+		}
+		req := split.Request{
+			Col: col, ColIdx: colIdx, Y: y, Rows: rows,
+			Measure: msg.Measure, NumClasses: msg.NumClasses,
+			MaxExhaustiveLevels: msg.MaxExh,
+		}
+		var cand split.Candidate
+		if msg.Random {
+			cand = split.FindRandom(req, rand.New(rand.NewSource(msg.RandomSeed+int64(i))))
+		} else {
+			cand = split.FindBest(req)
+		}
+		if cand.Better(best) {
+			best = cand
+		}
+	}
+	stats := StatsOf(y, rows, msg.NumClasses)
+	w.send(MasterName, ColumnResultMsg{Task: msg.Task, Attempt: msg.Attempt, Worker: w.id, Best: best, Stats: stats})
+}
+
+// handleConfirm runs on the delegate worker: split I_x with the winning
+// condition, report child statistics, and retain both sides for the child
+// tasks' row requests.
+func (w *Worker) handleConfirm(msg ConfirmSplitMsg) {
+	w.mu.Lock()
+	entry, ok := w.tasks[msg.Task]
+	var col *dataset.Column
+	if ok {
+		col = w.cols[msg.Cond.Col]
+	}
+	w.mu.Unlock()
+	if !ok || entry.rows == nil {
+		w.fail(msg.Task, "confirm for unknown task")
+		return
+	}
+	if col == nil {
+		w.fail(msg.Task, "confirm for column %d not held", msg.Cond.Col)
+		return
+	}
+	cond := msg.Cond
+	cond.Rehydrate()
+	left, right := cond.Partition(col, entry.rows)
+	done := SplitDoneMsg{
+		Task: msg.Task, Attempt: entry.attempt, Worker: w.id,
+		LeftN: len(left), RightN: len(right),
+		LeftStats:  StatsOf(w.y, left, w.schema.NumClasses),
+		RightStats: StatsOf(w.y, right, w.schema.NumClasses),
+		SeenCodes:  core.SeenCodes(col, entry.rows),
+	}
+	if msg.Relay {
+		done.LeftRows, done.RightRows = left, right
+	}
+	w.mu.Lock()
+	entry.rows = nil
+	entry.leftRows, entry.rightRows = left, right
+	entry.pendingReleases = 2
+	w.mu.Unlock()
+	w.send(MasterName, done)
+}
+
+func (w *Worker) handleRelease(msg ReleaseSideMsg) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	entry, ok := w.tasks[msg.Task]
+	if !ok {
+		return
+	}
+	if msg.Side == 0 {
+		entry.leftRows = nil
+	} else {
+		entry.rightRows = nil
+	}
+	entry.pendingReleases--
+	if entry.pendingReleases <= 0 {
+		delete(w.tasks, msg.Task)
+	}
+}
+
+func (w *Worker) handleDrop(msg DropTaskMsg) {
+	w.mu.Lock()
+	delete(w.tasks, msg.Task)
+	delete(w.rowWaits, msg.Task)
+	w.mu.Unlock()
+}
+
+// --- Row serving (Section V) ---
+
+func (w *Worker) handleRowsRequest(msg RowsRequestMsg) {
+	rows, ok := w.lookupSideRows(msg.Parent.Task, msg.Parent.Side)
+	if !ok {
+		w.fail(msg.ForTask, "rows request for task %d side %d: not held", msg.Parent.Task, msg.Parent.Side)
+		return
+	}
+	w.send(WorkerName(msg.Requester), RowsResponseMsg{ForTask: msg.ForTask, Rows: rows})
+}
+
+func (w *Worker) handleRowsResponse(msg RowsResponseMsg) {
+	w.mu.Lock()
+	conts := w.rowWaits[msg.ForTask]
+	delete(w.rowWaits, msg.ForTask)
+	w.mu.Unlock()
+	for _, cont := range conts {
+		cont(msg.Rows)
+	}
+}
+
+// --- Subtree-task flow (Fig. 9(a)) ---
+
+func (w *Worker) handleSubtreePlan(msg SubtreePlanMsg) {
+	entry := &wtask{subPlan: &msg, attempt: msg.Attempt, shards: map[int]*dataset.Column{}}
+	w.mu.Lock()
+	w.tasks[msg.Task] = entry
+	w.mu.Unlock()
+	withRows := func(rows []int32) {
+		w.mu.Lock()
+		if w.tasks[msg.Task] != entry {
+			w.mu.Unlock()
+			return
+		}
+		entry.rows = rows
+		// Group remote columns per serving worker; local columns are
+		// gathered at build time.
+		perWorker := map[int][]int{}
+		for col, server := range msg.ColServer {
+			if server != w.id {
+				perWorker[server] = append(perWorker[server], col)
+				entry.needShards++
+			}
+		}
+		ready := entry.needShards == 0
+		w.mu.Unlock()
+		for server, cols := range perWorker {
+			sort.Ints(cols)
+			req := ColDataRequestMsg{
+				ForTask: msg.Task, Cols: cols, Parent: msg.Parent,
+				KeyWorker: w.id, Requester: w.id,
+			}
+			if msg.Rows != nil {
+				req.Rows = rows // relay mode: forward I_x to the server
+			}
+			w.send(WorkerName(server), req)
+		}
+		if ready {
+			w.enqueueBuild(msg, entry)
+		}
+	}
+	if msg.Rows != nil {
+		withRows(msg.Rows)
+		return
+	}
+	w.needRows(msg.Parent, msg.Task, withRows)
+}
+
+// enqueueBuild schedules the subtree build once the key worker's own column
+// replicas are all present (they may be inbound after fault recovery).
+func (w *Worker) enqueueBuild(msg SubtreePlanMsg, entry *wtask) {
+	var local []int
+	for col, server := range msg.ColServer {
+		if server == w.id {
+			local = append(local, col)
+		}
+	}
+	w.whenColumnsPresent(local, func() {
+		w.btask <- func() { w.buildSubtree(msg, entry) }
+	})
+}
+
+func (w *Worker) handleColDataRequest(msg ColDataRequestMsg) {
+	serve := func(rows []int32) {
+		w.mu.Lock()
+		data := make([]*dataset.Column, len(msg.Cols))
+		for i, c := range msg.Cols {
+			col := w.cols[c]
+			if col == nil {
+				w.mu.Unlock()
+				w.fail(msg.ForTask, "data request for column %d not held", c)
+				return
+			}
+			data[i] = col.Gather(rows)
+		}
+		w.mu.Unlock()
+		w.send(WorkerName(msg.KeyWorker), ColDataResponseMsg{ForTask: msg.ForTask, Cols: msg.Cols, Data: data})
+	}
+	// Serving runs off the receive loop so a large gather cannot delay
+	// heartbeat replies or other peers' row requests; it also waits for any
+	// inbound column replicas this worker was just assigned.
+	async := func(rows []int32) {
+		w.whenColumnsPresent(msg.Cols, func() { go serve(rows) })
+	}
+	if msg.Rows != nil { // relay mode: rows came with the request
+		async(msg.Rows)
+		return
+	}
+	w.needRows(msg.Parent, msg.ForTask, async)
+}
+
+func (w *Worker) handleColDataResponse(msg ColDataResponseMsg) {
+	w.mu.Lock()
+	entry, ok := w.tasks[msg.ForTask]
+	if !ok || entry.subPlan == nil {
+		w.mu.Unlock()
+		return
+	}
+	for i, c := range msg.Cols {
+		if _, dup := entry.shards[c]; !dup {
+			entry.shards[c] = msg.Data[i]
+			entry.needShards--
+		}
+	}
+	ready := entry.needShards == 0 && entry.rows != nil
+	plan := *entry.subPlan
+	w.mu.Unlock()
+	if ready {
+		w.enqueueBuild(plan, entry)
+	}
+}
+
+// buildSubtree runs on a comper: assemble the compact D_x table (candidate
+// columns in ascending order plus Y) and train Δ_x locally, then remap
+// column indexes back to table coordinates.
+func (w *Worker) buildSubtree(msg SubtreePlanMsg, entry *wtask) {
+	w.mu.Lock()
+	if w.tasks[msg.Task] != entry { // dropped during collection
+		w.mu.Unlock()
+		return
+	}
+	rows := entry.rows
+	cand := append([]int(nil), msg.Params.Candidates...)
+	sort.Ints(cand)
+	cols := make([]*dataset.Column, 0, len(cand)+1)
+	mapping := make([]int, 0, len(cand))
+	missing := -1
+	for _, c := range cand {
+		shard := entry.shards[c]
+		if shard == nil {
+			if local := w.cols[c]; local != nil {
+				shard = local.Gather(rows)
+			} else {
+				missing = c
+			}
+		}
+		cols = append(cols, shard)
+		mapping = append(mapping, c)
+	}
+	yShard := w.y.Gather(rows)
+	delete(w.tasks, msg.Task)
+	w.mu.Unlock()
+	if missing >= 0 {
+		w.fail(msg.Task, "subtree build missing column %d", missing)
+		return
+	}
+
+	cols = append(cols, yShard)
+	tbl := &dataset.Table{Cols: cols, Target: len(cols) - 1}
+	params := msg.Params
+	params.Candidates = make([]int, len(mapping))
+	for i := range mapping {
+		params.Candidates[i] = i
+	}
+	if params.MaxDepth > 0 {
+		params.MaxDepth -= msg.Depth
+	}
+	tree := core.TrainLocal(tbl, dataset.AllRows(tbl.NumRows()), params)
+	tree.Walk(func(n *core.Node) {
+		if n.Cond != nil {
+			n.Cond.Col = mapping[n.Cond.Col]
+		}
+	})
+	w.send(MasterName, SubtreeResultMsg{Task: msg.Task, Attempt: msg.Attempt, Worker: w.id, Subtree: tree})
+}
+
+// handleSetTarget swaps in a new numeric label column (gradient-boosting
+// rounds). Only valid between jobs: the master serialises it under its job
+// lock, so no task references the old Y concurrently.
+func (w *Worker) handleSetTarget(msg SetTargetMsg) {
+	w.mu.Lock()
+	w.y = dataset.NewNumeric("Y", msg.Y)
+	w.schema.NumClasses = 0
+	w.schema.Task = dataset.Regression
+	w.schema.Kinds[w.schema.Target] = dataset.Numeric
+	w.mu.Unlock()
+	w.send(MasterName, TargetAckMsg{Worker: w.id, Seq: msg.Seq})
+}
+
+// --- Fault-recovery support ---
+
+func (w *Worker) handleReplicate(msg ReplicateColumnMsg) {
+	w.mu.Lock()
+	col := w.cols[msg.Col]
+	w.mu.Unlock()
+	if col == nil {
+		w.fail(0, "replicate request for column %d not held", msg.Col)
+		return
+	}
+	w.send(WorkerName(msg.To), ColumnCopyMsg{Col: msg.Col, Data: col})
+}
+
+func (w *Worker) handleColumnCopy(msg ColumnCopyMsg) {
+	w.mu.Lock()
+	w.cols[msg.Col] = msg.Data
+	var ready []func()
+	remaining := w.colWaits[:0]
+	for _, cw := range w.colWaits {
+		ok := true
+		for _, c := range cw.cols {
+			if w.cols[c] == nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			ready = append(ready, cw.cont)
+		} else {
+			remaining = append(remaining, cw)
+		}
+	}
+	w.colWaits = remaining
+	w.mu.Unlock()
+	for _, cont := range ready {
+		cont()
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"treeserver/internal/dataset"
+	"treeserver/internal/synth"
+)
+
+func benchTable(rows int) *dataset.Table {
+	return synth.GenerateTrain(synth.Spec{
+		Name: "bench", Rows: rows, NumNumeric: 10, NumCategorical: 4, CatLevels: 6,
+		NumClasses: 3, ConceptDepth: 6, LabelNoise: 0.05, Seed: 123,
+	})
+}
+
+// BenchmarkTrainLocal10k measures exact serial training — the subtree-task
+// workload and the fairness baseline.
+func BenchmarkTrainLocal10k(b *testing.B) {
+	tbl := benchTable(10000)
+	rows := dataset.AllRows(tbl.NumRows())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree := TrainLocal(tbl, rows, Defaults())
+		if tree.NumNodes < 3 {
+			b.Fatal("degenerate tree")
+		}
+	}
+}
+
+// BenchmarkTrainLocalExtraTrees measures completely-random training.
+func BenchmarkTrainLocalExtraTrees(b *testing.B) {
+	tbl := benchTable(10000)
+	rows := dataset.AllRows(tbl.NumRows())
+	params := Defaults()
+	params.ExtraTrees = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		params.Seed = int64(i)
+		TrainLocal(tbl, rows, params)
+	}
+}
+
+// BenchmarkPredict measures single-row prediction latency.
+func BenchmarkPredict(b *testing.B) {
+	tbl := benchTable(10000)
+	tree := TrainLocal(tbl, dataset.AllRows(tbl.NumRows()), Defaults())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.PredictClass(tbl, i%tbl.NumRows(), 0)
+	}
+}
+
+// BenchmarkTreeEncode measures the flat gob encoding subtree results use.
+func BenchmarkTreeEncode(b *testing.B) {
+	tbl := benchTable(10000)
+	tree := TrainLocal(tbl, dataset.AllRows(tbl.NumRows()), Defaults())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := tree.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(data)))
+	}
+}
+
+// BenchmarkTreeDecode measures the decode side.
+func BenchmarkTreeDecode(b *testing.B) {
+	tbl := benchTable(10000)
+	tree := TrainLocal(tbl, dataset.AllRows(tbl.NumRows()), Defaults())
+	data, err := tree.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var back Tree
+		if err := back.UnmarshalBinary(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"treeserver/internal/dataset"
+	"treeserver/internal/split"
+)
+
+// Trees cross machine boundaries twice in TreeServer: key workers send built
+// subtrees to the master, and the master flushes finished trees to storage.
+// Both use this flat, index-linked encoding: gob-friendly, no recursion on
+// decode, and stable across versions of the in-memory Node layout.
+
+type flatNode struct {
+	ID        int32
+	Depth     int
+	N         int
+	HasCond   bool
+	Cond      split.Condition
+	SeenCodes []int32
+	PMF       []float64
+	Class     int32
+	Mean      float64
+	Left      int32 // index into the flat node slice; -1 = none
+	Right     int32
+}
+
+type flatTree struct {
+	Nodes      []flatNode
+	Root       int32
+	Task       dataset.Task
+	NumClasses int
+	NumNodes   int
+	MaxDepth   int
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler, so a *Tree embedded in
+// any gob message is serialised through the flat encoding automatically.
+func (t *Tree) MarshalBinary() ([]byte, error) {
+	ft := flatTree{
+		Root: -1, Task: t.Task, NumClasses: t.NumClasses,
+		NumNodes: t.NumNodes, MaxDepth: t.MaxDepth,
+	}
+	index := map[*Node]int32{}
+	t.Walk(func(n *Node) {
+		index[n] = int32(len(ft.Nodes))
+		ft.Nodes = append(ft.Nodes, flatNode{})
+	})
+	i := 0
+	t.Walk(func(n *Node) {
+		fn := flatNode{
+			ID: n.ID, Depth: n.Depth, N: n.N,
+			SeenCodes: n.SeenCodes, PMF: n.PMF, Class: n.Class, Mean: n.Mean,
+			Left: -1, Right: -1,
+		}
+		if n.Cond != nil {
+			fn.HasCond = true
+			fn.Cond = *n.Cond
+		}
+		if n.Left != nil {
+			fn.Left = index[n.Left]
+		}
+		if n.Right != nil {
+			fn.Right = index[n.Right]
+		}
+		ft.Nodes[i] = fn
+		i++
+	})
+	if t.Root != nil {
+		ft.Root = index[t.Root]
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ft); err != nil {
+		return nil, fmt.Errorf("core: encoding tree: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (t *Tree) UnmarshalBinary(data []byte) error {
+	var ft flatTree
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ft); err != nil {
+		return fmt.Errorf("core: decoding tree: %w", err)
+	}
+	nodes := make([]*Node, len(ft.Nodes))
+	for i := range ft.Nodes {
+		fn := &ft.Nodes[i]
+		n := &Node{
+			ID: fn.ID, Depth: fn.Depth, N: fn.N,
+			SeenCodes: fn.SeenCodes, PMF: fn.PMF, Class: fn.Class, Mean: fn.Mean,
+		}
+		if fn.HasCond {
+			cond := fn.Cond
+			cond.Rehydrate()
+			n.Cond = &cond
+		}
+		nodes[i] = n
+	}
+	for i := range ft.Nodes {
+		fn := &ft.Nodes[i]
+		if fn.Left >= 0 {
+			if int(fn.Left) >= len(nodes) {
+				return fmt.Errorf("core: decoding tree: left index %d out of range", fn.Left)
+			}
+			nodes[i].Left = nodes[fn.Left]
+		}
+		if fn.Right >= 0 {
+			if int(fn.Right) >= len(nodes) {
+				return fmt.Errorf("core: decoding tree: right index %d out of range", fn.Right)
+			}
+			nodes[i].Right = nodes[fn.Right]
+		}
+	}
+	t.Task = ft.Task
+	t.NumClasses = ft.NumClasses
+	t.NumNodes = ft.NumNodes
+	t.MaxDepth = ft.MaxDepth
+	t.Root = nil
+	if ft.Root >= 0 {
+		if int(ft.Root) >= len(nodes) {
+			return fmt.Errorf("core: decoding tree: root index %d out of range", ft.Root)
+		}
+		t.Root = nodes[ft.Root]
+	}
+	return nil
+}

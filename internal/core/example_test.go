@@ -1,0 +1,42 @@
+package core_test
+
+import (
+	"fmt"
+
+	"treeserver/internal/core"
+	"treeserver/internal/dataset"
+)
+
+// ExampleTrainLocal trains an exact decision tree on a tiny table and
+// prints its prediction for a new row.
+func ExampleTrainLocal() {
+	age := dataset.NewNumeric("Age", []float64{22, 25, 29, 48, 52, 60})
+	owner := dataset.NewCategorical("Owner", []int32{0, 0, 1, 1, 1, 1}, []string{"No", "Yes"})
+	def := dataset.NewCategorical("Default", []int32{1, 1, 0, 0, 0, 0}, []string{"No", "Yes"})
+	tbl := dataset.MustNewTable([]*dataset.Column{age, owner, def}, 2)
+
+	tree := core.TrainLocal(tbl, dataset.AllRows(tbl.NumRows()), core.Defaults())
+
+	probe := dataset.MustNewTable([]*dataset.Column{
+		dataset.NewNumeric("Age", []float64{24}),
+		dataset.NewCategorical("Owner", []int32{0}, []string{"No", "Yes"}),
+		dataset.NewCategorical("Default", []int32{0}, []string{"No", "Yes"}),
+	}, 2)
+	fmt.Println(def.Levels[tree.PredictClass(probe, 0, 0)])
+	// Output: Yes
+}
+
+// ExampleFormat renders a trained tree with column names and level labels.
+func ExampleFormat() {
+	x := dataset.NewNumeric("Income", []float64{1000, 2000, 8000, 9000})
+	y := dataset.NewCategorical("Risk", []int32{1, 1, 0, 0}, []string{"Low", "High"})
+	tbl := dataset.MustNewTable([]*dataset.Column{x, y}, 1)
+	tree := core.TrainLocal(tbl, dataset.AllRows(4), core.Defaults())
+	fmt.Print(core.Format(tree, tbl))
+	// Output:
+	// Income <= 5000?
+	// yes:
+	//   -> High (p=1.00, n=2)
+	// no:
+	//   -> Low (p=1.00, n=2)
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"treeserver/internal/dataset"
+)
+
+// Format renders a tree as indented text using the table's column names and
+// categorical level labels — the human-readable view of a trained model
+// (compare the paper's Fig. 1(b)).
+//
+// Classification leaves show the majority class with its probability;
+// regression leaves show the mean. Internal nodes also carry predictions
+// (Appendix D) but only their conditions are printed.
+func Format(t *Tree, tbl *dataset.Table) string {
+	var b strings.Builder
+	var rec func(n *Node, indent string)
+	rec = func(n *Node, indent string) {
+		if n.IsLeaf() {
+			if t.Task == dataset.Classification {
+				label := "?"
+				p := 0.0
+				if n.Class >= 0 && int(n.Class) < len(tbl.Y().Levels) {
+					label = tbl.Y().Levels[n.Class]
+					if n.PMF != nil {
+						p = n.PMF[n.Class]
+					}
+				}
+				fmt.Fprintf(&b, "%s-> %s (p=%.2f, n=%d)\n", indent, label, p, n.N)
+			} else {
+				fmt.Fprintf(&b, "%s-> %.4g (n=%d)\n", indent, n.Mean, n.N)
+			}
+			return
+		}
+		col := tbl.Cols[n.Cond.Col]
+		if n.Cond.Kind == dataset.Numeric {
+			fmt.Fprintf(&b, "%s%s <= %g?\n", indent, col.Name, n.Cond.Threshold)
+		} else {
+			names := make([]string, len(n.Cond.LeftSet))
+			for i, code := range n.Cond.LeftSet {
+				if int(code) < len(col.Levels) {
+					names[i] = col.Levels[code]
+				} else {
+					names[i] = fmt.Sprint(code)
+				}
+			}
+			fmt.Fprintf(&b, "%s%s in {%s}?\n", indent, col.Name, strings.Join(names, ", "))
+		}
+		fmt.Fprintf(&b, "%syes:\n", indent)
+		rec(n.Left, indent+"  ")
+		fmt.Fprintf(&b, "%sno:\n", indent)
+		rec(n.Right, indent+"  ")
+	}
+	if t.Root != nil {
+		rec(t.Root, "")
+	}
+	return b.String()
+}

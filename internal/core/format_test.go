@@ -1,0 +1,60 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"treeserver/internal/dataset"
+)
+
+func TestFormatClassificationTree(t *testing.T) {
+	age := dataset.NewNumeric("Age", []float64{20, 25, 50, 55})
+	owner := dataset.NewCategorical("Owner", []int32{0, 1, 0, 1}, []string{"No", "Yes"})
+	y := dataset.NewCategorical("Default", []int32{1, 0, 0, 0}, []string{"No", "Yes"})
+	tbl := dataset.MustNewTable([]*dataset.Column{age, owner, y}, 2)
+	tree := TrainLocal(tbl, dataset.AllRows(4), Defaults())
+	out := Format(tree, tbl)
+	if !strings.Contains(out, "yes:") || !strings.Contains(out, "no:") {
+		t.Fatalf("missing branches:\n%s", out)
+	}
+	if !strings.Contains(out, "Age") && !strings.Contains(out, "Owner") {
+		t.Fatalf("no column name rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "-> No") && !strings.Contains(out, "-> Yes") {
+		t.Fatalf("no class label rendered:\n%s", out)
+	}
+}
+
+func TestFormatRegressionTree(t *testing.T) {
+	x := dataset.NewNumeric("x", []float64{1, 2, 10, 11})
+	y := dataset.NewNumeric("y", []float64{0, 0, 5, 5})
+	tbl := dataset.MustNewTable([]*dataset.Column{x, y}, 1)
+	tree := TrainLocal(tbl, dataset.AllRows(4), Defaults())
+	out := Format(tree, tbl)
+	if !strings.Contains(out, "x <= ") {
+		t.Fatalf("condition not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "-> 5") || !strings.Contains(out, "-> 0") {
+		t.Fatalf("leaf means not rendered:\n%s", out)
+	}
+}
+
+func TestFormatCategoricalCondition(t *testing.T) {
+	c := dataset.NewCategorical("Edu", []int32{0, 0, 1, 1}, []string{"BSc", "PhD"})
+	y := dataset.NewCategorical("Y", []int32{0, 0, 1, 1}, []string{"n", "p"})
+	tbl := dataset.MustNewTable([]*dataset.Column{c, y}, 1)
+	tree := TrainLocal(tbl, dataset.AllRows(4), Defaults())
+	out := Format(tree, tbl)
+	if !strings.Contains(out, "Edu in {") {
+		t.Fatalf("categorical condition not rendered with level names:\n%s", out)
+	}
+	if !strings.Contains(out, "BSc") && !strings.Contains(out, "PhD") {
+		t.Fatalf("level names missing:\n%s", out)
+	}
+}
+
+func TestFormatEmptyTree(t *testing.T) {
+	if got := Format(&Tree{}, nil); got != "" {
+		t.Fatalf("empty tree rendered %q", got)
+	}
+}

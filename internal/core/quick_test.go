@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"treeserver/internal/dataset"
+	"treeserver/internal/split"
+)
+
+// randomTree builds a structurally random valid tree for round-trip tests.
+func randomTree(rng *rand.Rand, depth int) *Node {
+	n := &Node{
+		Depth: depth, N: 1 + rng.Intn(1000),
+		Class: int32(rng.Intn(3)), Mean: rng.NormFloat64(),
+		PMF: []float64{rng.Float64(), rng.Float64()},
+	}
+	if depth >= 4 || rng.Intn(3) == 0 {
+		return n
+	}
+	if rng.Intn(2) == 0 {
+		cond := split.NewNumericCondition(rng.Intn(10), rng.NormFloat64(), rng.Intn(2) == 0)
+		n.Cond = &cond
+	} else {
+		set := []int32{int32(rng.Intn(4)), int32(4 + rng.Intn(60)), int32(64 + rng.Intn(40))}
+		cond := split.NewCategoricalCondition(rng.Intn(10), set[:1+rng.Intn(3)], false)
+		n.Cond = &cond
+		n.SeenCodes = []int32{0, 1, 2, 70, 100}
+	}
+	n.Left = randomTree(rng, depth+1)
+	n.Right = randomTree(rng, depth+1)
+	n.N = n.Left.N + n.Right.N
+	return n
+}
+
+// TestTreeEncodeDecodeProperty: MarshalBinary/UnmarshalBinary round-trips
+// arbitrary trees exactly (structure, conditions, predictions).
+func TestTreeEncodeDecodeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := &Tree{
+			Root: randomTree(rng, 0), Task: dataset.Classification,
+			NumClasses: 3, NumNodes: 0, MaxDepth: 4,
+		}
+		tree.Walk(func(n *Node) { tree.NumNodes++ })
+		data, err := tree.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var back Tree
+		if err := back.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return tree.Equal(&back) && back.NumNodes == tree.NumNodes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConditionMaskMatchesSearchProperty: the bitmask fast path of
+// LeftContains agrees with binary search on arbitrary code sets, including
+// codes past 64 that disable the mask.
+func TestConditionMaskMatchesSearchProperty(t *testing.T) {
+	f := func(raw []uint8, probes []uint8, big bool) bool {
+		set := make([]int32, 0, len(raw))
+		for _, v := range raw {
+			code := int32(v % 64)
+			if big {
+				code = int32(v) * 3 // spills past 63
+			}
+			set = append(set, code)
+		}
+		cond := split.NewCategoricalCondition(0, set, false)
+		inSet := map[int32]bool{}
+		for _, c := range set {
+			inSet[c] = true
+		}
+		for _, p := range probes {
+			code := int32(p)
+			if cond.LeftContains(code) != inSet[code] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartitionIsStableProperty: Partition preserves the relative order of
+// rows on each side and never drops or duplicates rows — the invariant the
+// delegate worker and the serial trainer both depend on for determinism.
+func TestPartitionIsStableProperty(t *testing.T) {
+	f := func(values []float64, threshold float64) bool {
+		col := dataset.NewNumeric("x", values)
+		cond := split.NewNumericCondition(0, threshold, false)
+		rows := dataset.AllRows(len(values))
+		left, right := cond.Partition(col, rows)
+		if len(left)+len(right) != len(rows) {
+			return false
+		}
+		lastL, lastR := int32(-1), int32(-1)
+		for _, r := range left {
+			if r <= lastL {
+				return false
+			}
+			lastL = r
+		}
+		for _, r := range right {
+			if r <= lastR {
+				return false
+			}
+			lastR = r
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,189 @@
+// Package core defines the decision-tree model — nodes, split conditions,
+// per-node predictions — together with the local (single-machine) trainer
+// that subtree-tasks execute and the serial baselines build on. Trees built
+// here are exactly the trees the distributed engine produces: the cluster
+// package drives the same split finders and assembles the same Node values.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"treeserver/internal/dataset"
+	"treeserver/internal/split"
+)
+
+// Node is one node of a decision tree. Every node — internal or leaf —
+// carries its training-time prediction (Appendix D), so prediction can stop
+// at any depth: on reaching dmax-truncated evaluation, a missing attribute
+// value, or a categorical value unseen in D_x during training.
+type Node struct {
+	ID    int32
+	Depth int
+	N     int // |D_x| at training time
+
+	// Split; nil Cond marks a leaf.
+	Cond        *split.Condition
+	Left, Right *Node
+	// SeenCodes are the sorted categorical codes observed in D_x for the
+	// split attribute; a test value outside this set stops at the node.
+	// nil for numeric splits and leaves.
+	SeenCodes []int32
+
+	// Predictions.
+	PMF   []float64 // classification: class distribution at the node
+	Class int32     // classification: argmax of PMF
+	Mean  float64   // regression: mean Y at the node
+}
+
+// IsLeaf reports whether the node has no split.
+func (n *Node) IsLeaf() bool { return n.Cond == nil }
+
+// seen reports whether the categorical code was observed at this node during
+// training.
+func (n *Node) seen(code int32) bool {
+	i := sort.Search(len(n.SeenCodes), func(i int) bool { return n.SeenCodes[i] >= code })
+	return i < len(n.SeenCodes) && n.SeenCodes[i] == code
+}
+
+// Tree is a trained decision tree.
+type Tree struct {
+	Root       *Node
+	Task       dataset.Task
+	NumClasses int
+	NumNodes   int
+	MaxDepth   int // deepest node depth actually reached
+}
+
+// route returns the deepest node reachable for the row, walking from the
+// root and stopping at depth maxDepth (0 means unlimited), at leaves, at
+// missing attribute values and at unseen categorical values.
+func (t *Tree) route(cols []*dataset.Column, row, maxDepth int) *Node {
+	n := t.Root
+	for !n.IsLeaf() {
+		if maxDepth > 0 && n.Depth >= maxDepth {
+			break
+		}
+		col := cols[n.Cond.Col]
+		if col.IsMissing(row) {
+			break
+		}
+		if col.Kind == dataset.Categorical && !n.seen(col.Cats[row]) {
+			break
+		}
+		if n.Cond.GoesLeft(col, row) {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n
+}
+
+// PredictClass returns the predicted class code for a row of the table.
+// maxDepth truncates the traversal (0 = full depth).
+func (t *Tree) PredictClass(tbl *dataset.Table, row, maxDepth int) int32 {
+	return t.route(tbl.Cols, row, maxDepth).Class
+}
+
+// PredictPMF returns the class distribution at the routed node. The returned
+// slice is shared with the tree and must not be mutated.
+func (t *Tree) PredictPMF(tbl *dataset.Table, row, maxDepth int) []float64 {
+	return t.route(tbl.Cols, row, maxDepth).PMF
+}
+
+// PredictValue returns the regression prediction for a row.
+func (t *Tree) PredictValue(tbl *dataset.Table, row, maxDepth int) float64 {
+	return t.route(tbl.Cols, row, maxDepth).Mean
+}
+
+// Walk visits every node in pre-order.
+func (t *Tree) Walk(visit func(*Node)) {
+	var rec func(*Node)
+	rec = func(n *Node) {
+		if n == nil {
+			return
+		}
+		visit(n)
+		rec(n.Left)
+		rec(n.Right)
+	}
+	rec(t.Root)
+}
+
+// Leaves returns the number of leaf nodes.
+func (t *Tree) Leaves() int {
+	leaves := 0
+	t.Walk(func(n *Node) {
+		if n.IsLeaf() {
+			leaves++
+		}
+	})
+	return leaves
+}
+
+// Validate checks structural invariants: child row counts sum to the parent,
+// depths increment, and internal nodes have both children.
+func (t *Tree) Validate() error {
+	var rec func(n *Node) error
+	rec = func(n *Node) error {
+		if n.IsLeaf() {
+			if n.Left != nil || n.Right != nil {
+				return fmt.Errorf("core: leaf node %d has children", n.ID)
+			}
+			return nil
+		}
+		if n.Left == nil || n.Right == nil {
+			return fmt.Errorf("core: internal node %d missing a child", n.ID)
+		}
+		if n.Left.N+n.Right.N != n.N {
+			return fmt.Errorf("core: node %d children rows %d+%d != %d", n.ID, n.Left.N, n.Right.N, n.N)
+		}
+		if n.Left.Depth != n.Depth+1 || n.Right.Depth != n.Depth+1 {
+			return fmt.Errorf("core: node %d child depth mismatch", n.ID)
+		}
+		if err := rec(n.Left); err != nil {
+			return err
+		}
+		return rec(n.Right)
+	}
+	if t.Root == nil {
+		return fmt.Errorf("core: tree has no root")
+	}
+	return rec(t.Root)
+}
+
+// Equal reports whether two trees have identical structure, conditions and
+// predictions — used to verify distributed ≡ serial training.
+func (t *Tree) Equal(o *Tree) bool {
+	var eq func(a, b *Node) bool
+	eq = func(a, b *Node) bool {
+		if (a == nil) != (b == nil) {
+			return false
+		}
+		if a == nil {
+			return true
+		}
+		if a.N != b.N || a.Depth != b.Depth || a.Class != b.Class || a.Mean != b.Mean {
+			return false
+		}
+		if (a.Cond == nil) != (b.Cond == nil) {
+			return false
+		}
+		if a.Cond != nil {
+			if a.Cond.Col != b.Cond.Col || a.Cond.Kind != b.Cond.Kind || a.Cond.Threshold != b.Cond.Threshold {
+				return false
+			}
+			if len(a.Cond.LeftSet) != len(b.Cond.LeftSet) {
+				return false
+			}
+			for i := range a.Cond.LeftSet {
+				if a.Cond.LeftSet[i] != b.Cond.LeftSet[i] {
+					return false
+				}
+			}
+		}
+		return eq(a.Left, b.Left) && eq(a.Right, b.Right)
+	}
+	return t.Task == o.Task && t.NumClasses == o.NumClasses && eq(t.Root, o.Root)
+}

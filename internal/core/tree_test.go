@@ -1,0 +1,356 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"testing"
+
+	"treeserver/internal/dataset"
+	"treeserver/internal/impurity"
+	"treeserver/internal/metrics"
+	"treeserver/internal/synth"
+)
+
+func trainTestSplit(t *testing.T, spec synth.Spec) (*dataset.Table, *dataset.Table) {
+	t.Helper()
+	train, test := synth.Generate(spec, 0.25)
+	return train, test
+}
+
+func classify(tr *Tree, tbl *dataset.Table, maxDepth int) []int32 {
+	out := make([]int32, tbl.NumRows())
+	for r := range out {
+		out[r] = tr.PredictClass(tbl, r, maxDepth)
+	}
+	return out
+}
+
+func actualClasses(tbl *dataset.Table) []int32 {
+	return tbl.Y().Cats
+}
+
+func TestTrainLocalLearnsConcept(t *testing.T) {
+	train, test := trainTestSplit(t, synth.Spec{
+		Name: "basic", Rows: 4000, NumNumeric: 8, NumCategorical: 2,
+		NumClasses: 3, ConceptDepth: 4, LabelNoise: 0, Seed: 1,
+	})
+	tree := TrainLocal(train, dataset.AllRows(train.NumRows()), Defaults())
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("invalid tree: %v", err)
+	}
+	acc := metrics.Accuracy(classify(tree, test, 0), actualClasses(test))
+	if acc < 0.9 {
+		t.Fatalf("test accuracy %.3f too low for a noiseless depth-4 concept", acc)
+	}
+	trainAcc := metrics.Accuracy(classify(tree, train, 0), actualClasses(train))
+	if trainAcc < acc-1e-9 {
+		t.Fatalf("train accuracy %.3f below test accuracy %.3f", trainAcc, acc)
+	}
+}
+
+func TestTrainLocalRegression(t *testing.T) {
+	train, test := trainTestSplit(t, synth.Spec{
+		Name: "reg", Rows: 4000, NumNumeric: 6, NumCategorical: 2,
+		NumClasses: 0, ConceptDepth: 3, LabelNoise: 0.1, Seed: 2,
+	})
+	tree := TrainLocal(train, dataset.AllRows(train.NumRows()), Defaults())
+	if tree.Task != dataset.Regression {
+		t.Fatal("task not regression")
+	}
+	pred := make([]float64, test.NumRows())
+	actual := make([]float64, test.NumRows())
+	for r := range pred {
+		pred[r] = tree.PredictValue(test, r, 0)
+		actual[r] = test.Y().Float(r)
+	}
+	rmse := metrics.RMSE(pred, actual)
+	// Leaves of the planted concept are N(0,10) with 0.1 noise; a fitted tree
+	// should get within a small multiple of the noise floor.
+	if rmse > 2.0 {
+		t.Fatalf("rmse %.3f too high", rmse)
+	}
+}
+
+func TestLeafConditions(t *testing.T) {
+	x := dataset.NewNumeric("x", []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	y := dataset.NewCategorical("y", []int32{0, 1, 0, 1, 0, 1, 0, 1}, []string{"a", "b"})
+	tbl := dataset.MustNewTable([]*dataset.Column{x, y}, 1)
+
+	// MaxDepth = 1 allows exactly one split.
+	p := Defaults()
+	p.MaxDepth = 1
+	tree := TrainLocal(tbl, dataset.AllRows(8), p)
+	if tree.MaxDepth > 1 {
+		t.Fatalf("max depth %d exceeds dmax 1", tree.MaxDepth)
+	}
+	if tree.Root.IsLeaf() {
+		t.Fatal("root should split at dmax=1")
+	}
+	if !tree.Root.Left.IsLeaf() || !tree.Root.Right.IsLeaf() {
+		t.Fatal("children must be leaves at dmax=1")
+	}
+
+	// MinLeaf = 8 stops immediately.
+	p = Defaults()
+	p.MinLeaf = 8
+	tree = TrainLocal(tbl, dataset.AllRows(8), p)
+	if !tree.Root.IsLeaf() {
+		t.Fatal("root should be a leaf when |Dx| <= MinLeaf")
+	}
+
+	// Pure node stops.
+	pureY := dataset.NewCategorical("y", []int32{1, 1, 1, 1, 1, 1, 1, 1}, []string{"a", "b"})
+	pureTbl := dataset.MustNewTable([]*dataset.Column{x, pureY}, 1)
+	tree = TrainLocal(pureTbl, dataset.AllRows(8), Defaults())
+	if !tree.Root.IsLeaf() || tree.Root.Class != 1 {
+		t.Fatal("pure node must be a leaf predicting its class")
+	}
+}
+
+func TestInternalNodesCarryPredictions(t *testing.T) {
+	train, _ := trainTestSplit(t, synth.Spec{
+		Name: "pmf", Rows: 2000, NumNumeric: 5, NumClasses: 2, ConceptDepth: 4, Seed: 3,
+	})
+	tree := TrainLocal(train, dataset.AllRows(train.NumRows()), Defaults())
+	tree.Walk(func(n *Node) {
+		if n.PMF == nil {
+			t.Fatalf("node %d (leaf=%v) has no PMF", n.ID, n.IsLeaf())
+		}
+		sum := 0.0
+		for _, p := range n.PMF {
+			sum += p
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("node %d PMF sums to %g", n.ID, sum)
+		}
+	})
+}
+
+func TestTruncatedDepthPrediction(t *testing.T) {
+	// Appendix D: a tree trained with dmax can predict as any shallower tree.
+	train, test := trainTestSplit(t, synth.Spec{
+		Name: "trunc", Rows: 3000, NumNumeric: 6, NumClasses: 2, ConceptDepth: 5, Seed: 4,
+	})
+	full := TrainLocal(train, dataset.AllRows(train.NumRows()), Defaults())
+	// Accuracy at depth 1 should be <= accuracy at full depth (on train at least).
+	a1 := metrics.Accuracy(classify(full, train, 1), actualClasses(train))
+	aFull := metrics.Accuracy(classify(full, train, 0), actualClasses(train))
+	if a1 > aFull+1e-9 {
+		t.Fatalf("depth-1 accuracy %.3f exceeds full %.3f on training data", a1, aFull)
+	}
+	// Truncation at a huge depth equals no truncation.
+	for r := 0; r < test.NumRows(); r++ {
+		if full.PredictClass(test, r, 99) != full.PredictClass(test, r, 0) {
+			t.Fatal("maxDepth larger than tree changed predictions")
+		}
+	}
+}
+
+func TestMissingValueStopsAtNode(t *testing.T) {
+	x := dataset.NewNumeric("x", []float64{1, 2, 3, 10, 11, 12})
+	y := dataset.NewCategorical("y", []int32{0, 0, 0, 1, 1, 1}, []string{"a", "b"})
+	tbl := dataset.MustNewTable([]*dataset.Column{x, y}, 1)
+	tree := TrainLocal(tbl, dataset.AllRows(6), Defaults())
+	if tree.Root.IsLeaf() {
+		t.Fatal("expected a split")
+	}
+	// A test table with a missing x must receive the root's majority class.
+	tx := dataset.NewNumeric("x", []float64{0})
+	tx.SetMissing(0)
+	ty := dataset.NewCategorical("y", []int32{0}, []string{"a", "b"})
+	testTbl := dataset.MustNewTable([]*dataset.Column{tx, ty}, 1)
+	got := tree.PredictClass(testTbl, 0, 0)
+	if got != tree.Root.Class {
+		t.Fatalf("missing value routed past root: got %d, want %d", got, tree.Root.Class)
+	}
+}
+
+func TestUnseenCategoricalStopsAtNode(t *testing.T) {
+	col := dataset.NewCategorical("c", []int32{0, 0, 1, 1}, []string{"a", "b", "zz"})
+	y := dataset.NewCategorical("y", []int32{0, 0, 1, 1}, []string{"n", "p"})
+	tbl := dataset.MustNewTable([]*dataset.Column{col, y}, 1)
+	tree := TrainLocal(tbl, dataset.AllRows(4), Defaults())
+	if tree.Root.IsLeaf() {
+		t.Fatal("expected a split on c")
+	}
+	// Level "zz" (code 2) never appeared in training.
+	tc := dataset.NewCategorical("c", []int32{2}, []string{"a", "b", "zz"})
+	ty := dataset.NewCategorical("y", []int32{0}, []string{"n", "p"})
+	testTbl := dataset.MustNewTable([]*dataset.Column{tc, ty}, 1)
+	if got := tree.PredictClass(testTbl, 0, 0); got != tree.Root.Class {
+		t.Fatalf("unseen level routed past root: got %d want %d", got, tree.Root.Class)
+	}
+}
+
+func TestCandidateColumnRestriction(t *testing.T) {
+	// Only column 1 is allowed; the tree must never split on column 0.
+	train, _ := trainTestSplit(t, synth.Spec{
+		Name: "restrict", Rows: 1000, NumNumeric: 3, NumClasses: 2, ConceptDepth: 3, Seed: 5,
+	})
+	p := Defaults()
+	p.Candidates = []int{1}
+	tree := TrainLocal(train, dataset.AllRows(train.NumRows()), p)
+	tree.Walk(func(n *Node) {
+		if n.Cond != nil && n.Cond.Col != 1 {
+			t.Fatalf("node %d split on column %d outside C", n.ID, n.Cond.Col)
+		}
+	})
+}
+
+func TestExtraTreesDeterministicAndValid(t *testing.T) {
+	train, test := trainTestSplit(t, synth.Spec{
+		Name: "xt", Rows: 3000, NumNumeric: 6, NumClasses: 2, ConceptDepth: 4, Seed: 6,
+	})
+	p := Defaults()
+	p.ExtraTrees = true
+	p.Seed = 42
+	a := TrainLocal(train, dataset.AllRows(train.NumRows()), p)
+	b := TrainLocal(train, dataset.AllRows(train.NumRows()), p)
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different extra-trees")
+	}
+	p.Seed = 43
+	c := TrainLocal(train, dataset.AllRows(train.NumRows()), p)
+	if a.Equal(c) {
+		t.Fatal("different seeds produced identical extra-trees")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("invalid extra-tree: %v", err)
+	}
+	acc := metrics.Accuracy(classify(a, test, 0), actualClasses(test))
+	if acc < 0.55 { // far better than the 0.5 baseline even with random splits
+		t.Fatalf("extra-tree accuracy %.3f barely above chance", acc)
+	}
+}
+
+func TestTrainWithMissingFeatures(t *testing.T) {
+	train, test := trainTestSplit(t, synth.Spec{
+		Name: "miss", Rows: 3000, NumNumeric: 6, NumCategorical: 2,
+		NumClasses: 2, MissingRate: 0.1, ConceptDepth: 4, Seed: 7,
+	})
+	tree := TrainLocal(train, dataset.AllRows(train.NumRows()), Defaults())
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("invalid tree: %v", err)
+	}
+	acc := metrics.Accuracy(classify(tree, test, 0), actualClasses(test))
+	if acc < 0.7 {
+		t.Fatalf("accuracy %.3f too low with 10%% missing", acc)
+	}
+}
+
+func TestTreeSerializationRoundTrip(t *testing.T) {
+	train, test := trainTestSplit(t, synth.Spec{
+		Name: "ser", Rows: 2000, NumNumeric: 4, NumCategorical: 2,
+		NumClasses: 3, ConceptDepth: 4, Seed: 8,
+	})
+	tree := TrainLocal(train, dataset.AllRows(train.NumRows()), Defaults())
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(tree); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var back Tree
+	if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !tree.Equal(&back) {
+		t.Fatal("round-trip tree differs")
+	}
+	for r := 0; r < test.NumRows(); r++ {
+		if tree.PredictClass(test, r, 0) != back.PredictClass(test, r, 0) {
+			t.Fatalf("row %d prediction changed after round-trip", r)
+		}
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("decoded tree invalid: %v", err)
+	}
+}
+
+func TestTreeEqualDetectsDifferences(t *testing.T) {
+	train, _ := trainTestSplit(t, synth.Spec{
+		Name: "eq", Rows: 1000, NumNumeric: 4, NumClasses: 2, ConceptDepth: 3, Seed: 9,
+	})
+	a := TrainLocal(train, dataset.AllRows(train.NumRows()), Defaults())
+	p := Defaults()
+	p.MaxDepth = 2
+	b := TrainLocal(train, dataset.AllRows(train.NumRows()), p)
+	if a.Equal(b) {
+		t.Fatal("Equal failed to detect different trees")
+	}
+	if !a.Equal(a) {
+		t.Fatal("Equal failed on identical tree")
+	}
+}
+
+func TestLeavesAndWalkCounts(t *testing.T) {
+	train, _ := trainTestSplit(t, synth.Spec{
+		Name: "walk", Rows: 1000, NumNumeric: 4, NumClasses: 2, ConceptDepth: 3, Seed: 10,
+	})
+	tree := TrainLocal(train, dataset.AllRows(train.NumRows()), Defaults())
+	visited := 0
+	tree.Walk(func(*Node) { visited++ })
+	if visited != tree.NumNodes {
+		t.Fatalf("walked %d nodes, NumNodes says %d", visited, tree.NumNodes)
+	}
+	// Binary tree: leaves = internal + 1.
+	if tree.Leaves() != (tree.NumNodes-tree.Leaves())+1 {
+		t.Fatalf("leaf/internal imbalance: %d leaves of %d nodes", tree.Leaves(), tree.NumNodes)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	train, _ := trainTestSplit(t, synth.Spec{
+		Name: "det", Rows: 2000, NumNumeric: 5, NumCategorical: 2,
+		NumClasses: 2, ConceptDepth: 4, Seed: 11,
+	})
+	a := TrainLocal(train, dataset.AllRows(train.NumRows()), Defaults())
+	b := TrainLocal(train, dataset.AllRows(train.NumRows()), Defaults())
+	if !a.Equal(b) {
+		t.Fatal("deterministic training produced different trees")
+	}
+}
+
+func TestSubsetTraining(t *testing.T) {
+	// Training on a row subset must behave like training on a gathered table.
+	train, _ := trainTestSplit(t, synth.Spec{
+		Name: "subset", Rows: 2000, NumNumeric: 5, NumClasses: 2, ConceptDepth: 4, Seed: 12,
+	})
+	rng := rand.New(rand.NewSource(1))
+	rows := make([]int32, 0, 700)
+	for r := 0; r < train.NumRows(); r++ {
+		if rng.Intn(3) == 0 {
+			rows = append(rows, int32(r))
+		}
+	}
+	onSubset := TrainLocal(train, rows, Defaults())
+	gathered := train.Gather(rows)
+	onGathered := TrainLocal(gathered, dataset.AllRows(gathered.NumRows()), Defaults())
+	if !onSubset.Equal(onGathered) {
+		t.Fatal("subset training differs from gathered-table training")
+	}
+}
+
+func TestSeenCodes(t *testing.T) {
+	col := dataset.NewCategorical("c", []int32{2, 0, 2, 1}, []string{"a", "b", "c", "d"})
+	col.SetMissing(3)
+	got := SeenCodes(col, []int32{0, 1, 2, 3})
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("seen codes = %v, want [0 2]", got)
+	}
+	num := dataset.NewNumeric("x", []float64{1})
+	if SeenCodes(num, []int32{0}) != nil {
+		t.Fatal("numeric column must have nil seen codes")
+	}
+}
+
+func TestMeasureForcedForRegression(t *testing.T) {
+	x := dataset.NewNumeric("x", []float64{1, 2, 3, 4})
+	y := dataset.NewNumeric("y", []float64{1, 1, 5, 5})
+	tbl := dataset.MustNewTable([]*dataset.Column{x, y}, 1)
+	p := Defaults()
+	p.Measure = impurity.Gini // wrong on purpose; trainer must switch to variance
+	tree := TrainLocal(tbl, dataset.AllRows(4), p)
+	if tree.Root.IsLeaf() {
+		t.Fatal("regression tree failed to split")
+	}
+}

@@ -1,0 +1,240 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CSVOptions controls CSV ingestion.
+type CSVOptions struct {
+	// Target is the name of the Y column. Required.
+	Target string
+	// MissingTokens are cell values treated as missing, in addition to the
+	// empty string. Defaults to {"NA", "?", "null"} when nil.
+	MissingTokens []string
+	// ForceCategorical lists column names always parsed as categorical even
+	// if every value looks numeric (e.g. Poker's coded suits).
+	ForceCategorical []string
+	// Comma is the field separator; ',' when zero.
+	Comma rune
+}
+
+func (o *CSVOptions) missing(tok string) bool {
+	if tok == "" {
+		return true
+	}
+	if o.MissingTokens == nil {
+		switch tok {
+		case "NA", "?", "null":
+			return true
+		}
+		return false
+	}
+	for _, m := range o.MissingTokens {
+		if tok == m {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *CSVOptions) forced(name string) bool {
+	for _, f := range o.ForceCategorical {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ReadCSV parses a headered CSV stream into a Table. Column types are
+// inferred: a column is numeric when every non-missing cell parses as a
+// float, categorical otherwise. Categorical levels are assigned in sorted
+// order so that ingestion is deterministic.
+func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) {
+	cr := csv.NewReader(r)
+	if opts.Comma != 0 {
+		cr.Comma = opts.Comma
+	}
+	cr.ReuseRecord = false
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	target := -1
+	for i, name := range header {
+		if strings.TrimSpace(name) == opts.Target {
+			target = i
+		}
+	}
+	if target < 0 {
+		return nil, fmt.Errorf("dataset: target column %q not in header %v", opts.Target, header)
+	}
+
+	cells := make([][]string, len(header))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV row: %w", err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: row has %d fields, want %d", len(rec), len(header))
+		}
+		for i, cell := range rec {
+			cells[i] = append(cells[i], strings.TrimSpace(cell))
+		}
+	}
+
+	cols := make([]*Column, len(header))
+	for i, name := range header {
+		name = strings.TrimSpace(name)
+		cols[i] = buildColumn(name, cells[i], &opts)
+	}
+	return NewTable(cols, target)
+}
+
+func buildColumn(name string, cells []string, opts *CSVOptions) *Column {
+	numeric := !opts.forced(name)
+	if numeric {
+		for _, cell := range cells {
+			if opts.missing(cell) {
+				continue
+			}
+			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+				numeric = false
+				break
+			}
+		}
+	}
+	if numeric {
+		vals := make([]float64, len(cells))
+		col := NewNumeric(name, vals)
+		for i, cell := range cells {
+			if opts.missing(cell) {
+				col.SetMissing(i)
+				continue
+			}
+			vals[i], _ = strconv.ParseFloat(cell, 64)
+		}
+		return col
+	}
+	// Categorical: collect distinct levels deterministically.
+	set := map[string]bool{}
+	for _, cell := range cells {
+		if !opts.missing(cell) {
+			set[cell] = true
+		}
+	}
+	levels := make([]string, 0, len(set))
+	for l := range set {
+		levels = append(levels, l)
+	}
+	sort.Strings(levels)
+	code := make(map[string]int32, len(levels))
+	for i, l := range levels {
+		code[l] = int32(i)
+	}
+	codes := make([]int32, len(cells))
+	col := NewCategorical(name, codes, levels)
+	for i, cell := range cells {
+		if opts.missing(cell) {
+			col.SetMissing(i)
+			continue
+		}
+		codes[i] = code[cell]
+	}
+	return col
+}
+
+// WriteCSV writes the table as a headered CSV. Missing cells are written as
+// the empty string; categorical cells as their level names.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(t.Cols))
+	for row := 0; row < t.NumRows(); row++ {
+		for i, c := range t.Cols {
+			switch {
+			case c.IsMissing(row):
+				rec[i] = ""
+			case c.Kind == Numeric:
+				rec[i] = strconv.FormatFloat(c.Floats[row], 'g', -1, 64)
+			default:
+				rec[i] = c.Levels[c.Cats[row]]
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FillMissingWithMean replaces missing numeric cells with the column mean and
+// missing categorical cells with the column's modal level. This mirrors the
+// preprocessing the paper had to apply for MLlib, which does not support
+// missing values; the PLANET baseline uses it.
+func FillMissingWithMean(t *Table) *Table {
+	cols := make([]*Column, len(t.Cols))
+	for i, c := range t.Cols {
+		if c.MissingCount() == 0 {
+			cols[i] = c
+			continue
+		}
+		cc := c.Clone()
+		switch c.Kind {
+		case Numeric:
+			sum, n := 0.0, 0
+			for j, v := range c.Floats {
+				if !c.IsMissing(j) {
+					sum += v
+					n++
+				}
+			}
+			mean := 0.0
+			if n > 0 {
+				mean = sum / float64(n)
+			}
+			for j := range cc.Floats {
+				if c.IsMissing(j) {
+					cc.Floats[j] = mean
+				}
+			}
+		case Categorical:
+			counts := make([]int, len(c.Levels))
+			for j, code := range c.Cats {
+				if !c.IsMissing(j) {
+					counts[code]++
+				}
+			}
+			mode := int32(0)
+			for l, n := range counts {
+				if n > counts[mode] {
+					mode = int32(l)
+				}
+			}
+			for j := range cc.Cats {
+				if c.IsMissing(j) {
+					cc.Cats[j] = mode
+				}
+			}
+		}
+		cc.Miss = nil
+		cols[i] = cc
+	}
+	return &Table{Cols: cols, Target: t.Target}
+}

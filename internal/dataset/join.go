@@ -1,0 +1,129 @@
+package dataset
+
+import (
+	"fmt"
+)
+
+// This file provides the preprocessing operations of the paper's Appendix G
+// (the loan dataset): joining two tables on a key column, dropping columns
+// that are mostly missing, and (in csv.go) mean-filling the rest.
+
+// Join inner-joins two tables on equality of the named key columns: for
+// every (left row, right row) pair with equal keys, the output row holds
+// the left row's columns followed by the right row's columns (the right
+// key column is dropped). The target of the output is taken from whichever
+// input holds targetName.
+//
+// Key columns may be categorical (joined by level name) or numeric (joined
+// by exact value). Rows with a missing key never match.
+func Join(left, right *Table, leftKey, rightKey, targetName string) (*Table, error) {
+	lk := left.ColumnByName(leftKey)
+	rk := right.ColumnByName(rightKey)
+	if lk == nil {
+		return nil, fmt.Errorf("dataset: join: left key %q not found", leftKey)
+	}
+	if rk == nil {
+		return nil, fmt.Errorf("dataset: join: right key %q not found", rightKey)
+	}
+
+	// Hash the right side by key value.
+	index := map[string][]int32{}
+	for r := 0; r < right.NumRows(); r++ {
+		k, ok := keyOf(rk, r)
+		if !ok {
+			continue
+		}
+		index[k] = append(index[k], int32(r))
+	}
+	var leftRows, rightRows []int32
+	for r := 0; r < left.NumRows(); r++ {
+		k, ok := keyOf(lk, r)
+		if !ok {
+			continue
+		}
+		for _, rr := range index[k] {
+			leftRows = append(leftRows, int32(r))
+			rightRows = append(rightRows, rr)
+		}
+	}
+
+	leftPart := left.Gather(leftRows)
+	rightPart := right.Gather(rightRows)
+	cols := make([]*Column, 0, len(leftPart.Cols)+len(rightPart.Cols)-1)
+	cols = append(cols, leftPart.Cols...)
+	for i, c := range rightPart.Cols {
+		if right.Cols[i].Name == rightKey {
+			continue // drop the duplicated key
+		}
+		cols = append(cols, c)
+	}
+	target := -1
+	for i, c := range cols {
+		if c.Name == targetName {
+			target = i
+		}
+	}
+	if target < 0 {
+		return nil, fmt.Errorf("dataset: join: target %q not found in joined columns", targetName)
+	}
+	return NewTable(cols, target)
+}
+
+// keyOf renders a join key for row r, reporting false when missing.
+func keyOf(c *Column, r int) (string, bool) {
+	if c.IsMissing(r) {
+		return "", false
+	}
+	if c.Kind == Categorical {
+		return c.Levels[c.Cats[r]], true
+	}
+	return fmt.Sprintf("%g", c.Floats[r]), true
+}
+
+// DropSparseColumns removes every non-target column whose missing fraction
+// exceeds maxMissingFrac — the paper removed loan columns with more than
+// 75% missing values. The returned table shares column data with the input.
+func DropSparseColumns(t *Table, maxMissingFrac float64) *Table {
+	n := t.NumRows()
+	cols := make([]*Column, 0, len(t.Cols))
+	target := -1
+	for i, c := range t.Cols {
+		if i != t.Target && n > 0 {
+			frac := float64(c.MissingCount()) / float64(n)
+			if frac > maxMissingFrac {
+				continue
+			}
+		}
+		if i == t.Target {
+			target = len(cols)
+		}
+		cols = append(cols, c)
+	}
+	return &Table{Cols: cols, Target: target}
+}
+
+// PrepareLoanStyle runs the paper's Appendix-G pipeline: join origination
+// and performance tables on the loan key, drop >75%-missing columns, and
+// mean-fill the remainder.
+func PrepareLoanStyle(origination, performance *Table, key, target string) (*Table, error) {
+	joined, err := Join(origination, performance, key, key, target)
+	if err != nil {
+		return nil, err
+	}
+	pruned := DropSparseColumns(joined, 0.75)
+	filled := FillMissingWithMean(pruned)
+	// The join key itself does not predict anything; drop it like the
+	// paper's ID/date removal.
+	cols := make([]*Column, 0, len(filled.Cols))
+	targetIdx := -1
+	for i, c := range filled.Cols {
+		if c.Name == key && i != filled.Target {
+			continue
+		}
+		if i == filled.Target {
+			targetIdx = len(cols)
+		}
+		cols = append(cols, c)
+	}
+	return NewTable(cols, targetIdx)
+}

@@ -1,0 +1,136 @@
+package dataset
+
+import (
+	"testing"
+)
+
+// loanTables builds a miniature version of the Appendix-G inputs: an
+// origination table keyed by loan id and a monthly performance table with
+// several rows per loan.
+func loanTables(t *testing.T) (orig, perf *Table) {
+	t.Helper()
+	loanIDs := []string{"L1", "L2", "L3", "L4"}
+	origKey := NewCategorical("LOAN_SEQUENCE_NUMBER", []int32{0, 1, 2, 3}, loanIDs)
+	credit := NewNumeric("CreditScore", []float64{700, 620, 780, 560})
+	rate := NewNumeric("Rate", []float64{3.5, 4.2, 3.1, 5.0})
+	sparse := NewNumeric("MostlyMissing", []float64{0, 0, 0, 1})
+	for i := 0; i < 3; i++ {
+		sparse.SetMissing(i) // 75%+ missing
+	}
+	orig = MustNewTable([]*Column{origKey, credit, rate, sparse}, 1) // temp target
+
+	// Performance: L1 x2, L2 x1, L3 x2; L4 absent (inner join drops it);
+	// one extra loan L9 on the right with no origination row.
+	perfKey := NewCategorical("LOAN_SEQUENCE_NUMBER", []int32{0, 0, 1, 2, 2, 4},
+		[]string{"L1", "L2", "L3", "L4", "L9"})
+	perfKey.Cats = []int32{0, 0, 1, 2, 2, 4}
+	balance := NewNumeric("Balance", []float64{100, 90, 200, 300, 290, 999})
+	delinquent := NewCategorical("Delinquent", []int32{0, 0, 1, 0, 0, 1}, []string{"No", "Yes"})
+	perf = MustNewTable([]*Column{perfKey, balance, delinquent}, 2)
+	return orig, perf
+}
+
+func TestJoinInner(t *testing.T) {
+	orig, perf := loanTables(t)
+	joined, err := Join(orig, perf, "LOAN_SEQUENCE_NUMBER", "LOAN_SEQUENCE_NUMBER", "Delinquent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L1 x2 + L2 x1 + L3 x2 = 5 joined rows; L4 and L9 drop out.
+	if joined.NumRows() != 5 {
+		t.Fatalf("joined rows = %d, want 5", joined.NumRows())
+	}
+	// Columns: 4 left + 2 right (right key dropped).
+	if joined.NumCols() != 6 {
+		t.Fatalf("joined cols = %d, want 6", joined.NumCols())
+	}
+	if joined.Y().Name != "Delinquent" {
+		t.Fatalf("target = %q", joined.Y().Name)
+	}
+	// L2's single row carries CreditScore 620 and Delinquent Yes.
+	found := false
+	key := joined.ColumnByName("LOAN_SEQUENCE_NUMBER")
+	for r := 0; r < joined.NumRows(); r++ {
+		if key.Levels[key.Cat(r)] == "L2" {
+			found = true
+			if joined.ColumnByName("CreditScore").Float(r) != 620 {
+				t.Fatal("L2 row carries wrong origination data")
+			}
+			if joined.Y().Cat(r) != 1 {
+				t.Fatal("L2 row carries wrong label")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("L2 missing from join")
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	orig, perf := loanTables(t)
+	if _, err := Join(orig, perf, "nope", "LOAN_SEQUENCE_NUMBER", "Delinquent"); err == nil {
+		t.Fatal("bad left key accepted")
+	}
+	if _, err := Join(orig, perf, "LOAN_SEQUENCE_NUMBER", "nope", "Delinquent"); err == nil {
+		t.Fatal("bad right key accepted")
+	}
+	if _, err := Join(orig, perf, "LOAN_SEQUENCE_NUMBER", "LOAN_SEQUENCE_NUMBER", "nope"); err == nil {
+		t.Fatal("bad target accepted")
+	}
+}
+
+func TestJoinSkipsMissingKeys(t *testing.T) {
+	orig, perf := loanTables(t)
+	orig.ColumnByName("LOAN_SEQUENCE_NUMBER").SetMissing(0) // L1 key missing
+	joined, err := Join(orig, perf, "LOAN_SEQUENCE_NUMBER", "LOAN_SEQUENCE_NUMBER", "Delinquent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.NumRows() != 3 { // L1's two matches gone
+		t.Fatalf("rows = %d, want 3", joined.NumRows())
+	}
+}
+
+func TestDropSparseColumns(t *testing.T) {
+	orig, _ := loanTables(t)
+	pruned := DropSparseColumns(orig, 0.5)
+	if pruned.ColumnByName("MostlyMissing") != nil {
+		t.Fatal("sparse column survived")
+	}
+	if pruned.ColumnByName("CreditScore") == nil {
+		t.Fatal("dense column dropped")
+	}
+	if pruned.Y().Name != orig.Y().Name {
+		t.Fatal("target lost")
+	}
+	// Never drops the target, even if sparse-looking.
+	lenient := DropSparseColumns(orig, 0.9)
+	if lenient.NumCols() != orig.NumCols() {
+		t.Fatal("lenient threshold dropped columns")
+	}
+}
+
+func TestPrepareLoanStyle(t *testing.T) {
+	orig, perf := loanTables(t)
+	tbl, err := PrepareLoanStyle(orig, perf, "LOAN_SEQUENCE_NUMBER", "Delinquent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ColumnByName("LOAN_SEQUENCE_NUMBER") != nil {
+		t.Fatal("join key survived preprocessing")
+	}
+	if tbl.ColumnByName("MostlyMissing") != nil {
+		t.Fatal("sparse column survived preprocessing")
+	}
+	for _, c := range tbl.Cols {
+		if c.MissingCount() != 0 {
+			t.Fatalf("column %q still has missing values", c.Name)
+		}
+	}
+	if tbl.Task() != Classification || tbl.Y().Name != "Delinquent" {
+		t.Fatal("target wrong after preprocessing")
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package dataset
+
+import (
+	"math/rand"
+)
+
+// SplitRandom holds out a random testFrac of the table's rows, returning
+// (train, test). testFrac outside (0, 1) returns (t, nil). Deterministic in
+// the seed.
+func SplitRandom(t *Table, testFrac float64, seed int64) (train, test *Table) {
+	if testFrac <= 0 || testFrac >= 1 {
+		return t, nil
+	}
+	n := t.NumRows()
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	cut := int(float64(n) * testFrac)
+	testRows := make([]int32, 0, cut)
+	trainRows := make([]int32, 0, n-cut)
+	holdout := make([]bool, n)
+	for _, r := range perm[:cut] {
+		holdout[r] = true
+	}
+	for r := 0; r < n; r++ {
+		if holdout[r] {
+			testRows = append(testRows, int32(r))
+		} else {
+			trainRows = append(trainRows, int32(r))
+		}
+	}
+	return t.Gather(trainRows), t.Gather(testRows)
+}
+
+// SplitStratified holds out testFrac of the rows preserving the class
+// proportions of a categorical target (per-class random sampling). Falls
+// back to SplitRandom for regression tables.
+func SplitStratified(t *Table, testFrac float64, seed int64) (train, test *Table) {
+	if t.Task() != Classification || testFrac <= 0 || testFrac >= 1 {
+		return SplitRandom(t, testFrac, seed)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	byClass := make([][]int32, t.NumClasses())
+	y := t.Y()
+	for r := 0; r < t.NumRows(); r++ {
+		c := y.Cats[r]
+		byClass[c] = append(byClass[c], int32(r))
+	}
+	holdout := make([]bool, t.NumRows())
+	for _, rows := range byClass {
+		perm := rng.Perm(len(rows))
+		cut := int(float64(len(rows)) * testFrac)
+		for _, i := range perm[:cut] {
+			holdout[rows[i]] = true
+		}
+	}
+	var trainRows, testRows []int32
+	for r := 0; r < t.NumRows(); r++ {
+		if holdout[r] {
+			testRows = append(testRows, int32(r))
+		} else {
+			trainRows = append(trainRows, int32(r))
+		}
+	}
+	return t.Gather(trainRows), t.Gather(testRows)
+}

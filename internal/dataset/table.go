@@ -1,0 +1,171 @@
+package dataset
+
+import (
+	"fmt"
+)
+
+// Task is the learning problem a table's target defines.
+type Task uint8
+
+const (
+	// Classification predicts a categorical Y.
+	Classification Task = iota
+	// Regression predicts a numeric Y.
+	Regression
+)
+
+// String implements fmt.Stringer.
+func (t Task) String() string {
+	if t == Classification {
+		return "classification"
+	}
+	return "regression"
+}
+
+// Table is a columnar data table with a designated prediction target Y.
+// All columns must have the same length.
+type Table struct {
+	Cols   []*Column
+	Target int // index into Cols of the Y column
+}
+
+// NewTable builds a table and validates column lengths and the target index.
+func NewTable(cols []*Column, target int) (*Table, error) {
+	t := &Table{Cols: cols, Target: target}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// MustNewTable is NewTable that panics on error, for tests and generators.
+func MustNewTable(cols []*Column, target int) *Table {
+	t, err := NewTable(cols, target)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Validate checks the structural invariants of the table.
+func (t *Table) Validate() error {
+	if len(t.Cols) == 0 {
+		return fmt.Errorf("table: no columns")
+	}
+	if t.Target < 0 || t.Target >= len(t.Cols) {
+		return fmt.Errorf("table: target index %d out of range [0,%d)", t.Target, len(t.Cols))
+	}
+	n := t.Cols[0].Len()
+	for _, c := range t.Cols {
+		if c.Len() != n {
+			return fmt.Errorf("table: column %q has %d rows, want %d", c.Name, c.Len(), n)
+		}
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	if t.Y().MissingCount() > 0 {
+		return fmt.Errorf("table: target column %q has missing values", t.Y().Name)
+	}
+	return nil
+}
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return t.Cols[0].Len() }
+
+// NumCols returns the number of columns including the target.
+func (t *Table) NumCols() int { return len(t.Cols) }
+
+// Y returns the target column.
+func (t *Table) Y() *Column { return t.Cols[t.Target] }
+
+// Task returns the learning task implied by the target column's kind.
+func (t *Table) Task() Task {
+	if t.Y().Kind == Categorical {
+		return Classification
+	}
+	return Regression
+}
+
+// NumClasses returns the number of target classes for classification tables
+// and 0 for regression tables.
+func (t *Table) NumClasses() int {
+	if t.Task() != Classification {
+		return 0
+	}
+	return t.Y().NumLevels()
+}
+
+// FeatureIndexes returns the indexes of all non-target columns, in order.
+func (t *Table) FeatureIndexes() []int {
+	idx := make([]int, 0, len(t.Cols)-1)
+	for i := range t.Cols {
+		if i != t.Target {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// ColumnByName returns the first column with the given name, or nil.
+func (t *Table) ColumnByName(name string) *Column {
+	for _, c := range t.Cols {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Gather returns a new table restricted to the given rows (in order). It is
+// how a subtree-task materialises D_x once all column shards arrive.
+func (t *Table) Gather(rows []int32) *Table {
+	cols := make([]*Column, len(t.Cols))
+	for i, c := range t.Cols {
+		cols[i] = c.Gather(rows)
+	}
+	return &Table{Cols: cols, Target: t.Target}
+}
+
+// Split partitions the table's rows into two tables: rows where keep reports
+// true go left, the rest right. Used by row-partitioned baselines and tests.
+func (t *Table) Split(keep func(row int) bool) (left, right *Table) {
+	var l, r []int32
+	for i := 0; i < t.NumRows(); i++ {
+		if keep(i) {
+			l = append(l, int32(i))
+		} else {
+			r = append(r, int32(i))
+		}
+	}
+	return t.Gather(l), t.Gather(r)
+}
+
+// RowSlices cuts [0, n) into p nearly-equal contiguous row ranges, the row
+// partitioning used by the PLANET baseline and deep-forest extraction jobs.
+func RowSlices(n, p int) [][2]int {
+	if p <= 0 {
+		p = 1
+	}
+	out := make([][2]int, 0, p)
+	base, rem := n/p, n%p
+	start := 0
+	for i := 0; i < p; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, [2]int{start, start + size})
+		start += size
+	}
+	return out
+}
+
+// AllRows returns the identity row-index slice [0, 1, ..., n-1].
+func AllRows(n int) []int32 {
+	rows := make([]int32, n)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	return rows
+}

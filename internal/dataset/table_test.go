@@ -1,0 +1,240 @@
+package dataset
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fig1Table reproduces the paper's Fig. 1(a) customer table.
+func fig1Table(t *testing.T) *Table {
+	t.Helper()
+	age := NewNumeric("Age", []float64{24, 28, 44, 32, 36, 48, 37, 42, 54, 47})
+	eduLevels := []string{"Primary", "Secondary", "Bachelor", "Master", "PhD"}
+	edu := NewCategorical("Education", []int32{2, 3, 2, 1, 4, 2, 1, 2, 1, 4}, eduLevels)
+	owner := NewCategorical("HomeOwner", []int32{0, 1, 1, 1, 0, 1, 0, 0, 0, 1}, []string{"No", "Yes"})
+	income := NewNumeric("Income", []float64{5000, 7500, 5500, 6000, 10000, 6500, 3000, 6000, 4000, 8000})
+	def := NewCategorical("Default", []int32{0, 0, 0, 1, 0, 0, 1, 0, 1, 0}, []string{"No", "Yes"})
+	tbl, err := NewTable([]*Column{age, edu, owner, income, def}, 4)
+	if err != nil {
+		t.Fatalf("building fig1 table: %v", err)
+	}
+	return tbl
+}
+
+func TestTableBasics(t *testing.T) {
+	tbl := fig1Table(t)
+	if tbl.NumRows() != 10 || tbl.NumCols() != 5 {
+		t.Fatalf("shape = %dx%d, want 10x5", tbl.NumRows(), tbl.NumCols())
+	}
+	if tbl.Task() != Classification {
+		t.Fatalf("task = %v, want classification", tbl.Task())
+	}
+	if tbl.NumClasses() != 2 {
+		t.Fatalf("classes = %d, want 2", tbl.NumClasses())
+	}
+	if got := tbl.FeatureIndexes(); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("features = %v", got)
+	}
+	if tbl.ColumnByName("Income") == nil || tbl.ColumnByName("nope") != nil {
+		t.Fatal("ColumnByName lookup wrong")
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	short := NewNumeric("short", []float64{1})
+	long := NewNumeric("long", []float64{1, 2})
+	if _, err := NewTable([]*Column{short, long}, 0); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+	if _, err := NewTable([]*Column{long}, 5); err == nil {
+		t.Fatal("bad target not rejected")
+	}
+	if _, err := NewTable(nil, 0); err == nil {
+		t.Fatal("empty table not rejected")
+	}
+	missY := NewNumeric("y", []float64{1, 2})
+	missY.SetMissing(0)
+	x := NewNumeric("x", []float64{1, 2})
+	if _, err := NewTable([]*Column{x, missY}, 1); err == nil {
+		t.Fatal("missing target values not rejected")
+	}
+}
+
+func TestGatherTable(t *testing.T) {
+	tbl := fig1Table(t)
+	sub := tbl.Gather([]int32{1, 3, 5})
+	if sub.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", sub.NumRows())
+	}
+	if sub.Cols[0].Float(0) != 28 || sub.Cols[0].Float(2) != 48 {
+		t.Fatal("gathered ages wrong")
+	}
+	if sub.Y().Cat(1) != 1 {
+		t.Fatal("gathered label wrong")
+	}
+}
+
+func TestSplitPartition(t *testing.T) {
+	tbl := fig1Table(t)
+	left, right := tbl.Split(func(r int) bool { return tbl.Cols[0].Float(r) <= 40 })
+	if left.NumRows()+right.NumRows() != 10 {
+		t.Fatal("split lost rows")
+	}
+	if left.NumRows() != 5 { // ages <= 40: 24,28,32,36,37
+		t.Fatalf("left rows = %d, want 5", left.NumRows())
+	}
+}
+
+func TestRowSlices(t *testing.T) {
+	cases := []struct {
+		n, p int
+		want [][2]int
+	}{
+		{10, 3, [][2]int{{0, 4}, {4, 7}, {7, 10}}},
+		{4, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}},
+		{3, 5, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 3}, {3, 3}}},
+		{5, 0, [][2]int{{0, 5}}},
+	}
+	for _, c := range cases {
+		got := RowSlices(c.n, c.p)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("RowSlices(%d,%d) = %v, want %v", c.n, c.p, got, c.want)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := fig1Table(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tbl); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := ReadCSV(&buf, CSVOptions{Target: "Default"})
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if back.NumRows() != tbl.NumRows() || back.NumCols() != tbl.NumCols() {
+		t.Fatal("round-trip shape mismatch")
+	}
+	if back.Y().Kind != Categorical || back.Cols[0].Kind != Numeric {
+		t.Fatal("round-trip kinds wrong")
+	}
+	for r := 0; r < 10; r++ {
+		if back.Cols[0].Float(r) != tbl.Cols[0].Float(r) {
+			t.Fatalf("row %d age mismatch", r)
+		}
+		wantLevel := tbl.Y().Levels[tbl.Y().Cat(r)]
+		gotLevel := back.Y().Levels[back.Y().Cat(r)]
+		if wantLevel != gotLevel {
+			t.Fatalf("row %d label %q != %q", r, gotLevel, wantLevel)
+		}
+	}
+}
+
+func TestCSVMissingAndForceCategorical(t *testing.T) {
+	csv := "a,b,y\n1,10,0\n,20,1\nNA,30,0\n4,?,1\n"
+	tbl, err := ReadCSV(strings.NewReader(csv), CSVOptions{Target: "y", ForceCategorical: []string{"y"}})
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	a := tbl.ColumnByName("a")
+	if a.MissingCount() != 2 || !a.IsMissing(1) || !a.IsMissing(2) {
+		t.Fatalf("column a missing = %d", a.MissingCount())
+	}
+	b := tbl.ColumnByName("b")
+	if !b.IsMissing(3) {
+		t.Fatal("? not treated as missing")
+	}
+	if tbl.Y().Kind != Categorical {
+		t.Fatal("forced categorical target ignored")
+	}
+	if tbl.Task() != Classification {
+		t.Fatal("task should be classification")
+	}
+}
+
+func TestCSVTargetMissingError(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n"), CSVOptions{Target: "zzz"}); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+func TestFillMissingWithMean(t *testing.T) {
+	x := NewNumeric("x", []float64{1, 0, 3})
+	x.SetMissing(1)
+	c := NewCategorical("c", []int32{0, 0, 0}, []string{"a", "b"})
+	c.Cats[2] = 1
+	c.SetMissing(0)
+	y := NewNumeric("y", []float64{1, 2, 3})
+	tbl := MustNewTable([]*Column{x, c, y}, 2)
+	filled := FillMissingWithMean(tbl)
+	if filled.Cols[0].MissingCount() != 0 {
+		t.Fatal("missing not filled")
+	}
+	if got := filled.Cols[0].Float(1); got != 2 { // mean of 1 and 3
+		t.Fatalf("filled value = %g, want 2", got)
+	}
+	if got := filled.Cols[1].Cat(0); got != 0 { // mode of {0,1} from rows 1,2 -> tie to 0
+		t.Fatalf("filled mode = %d, want 0", got)
+	}
+	// Original untouched.
+	if tbl.Cols[0].MissingCount() != 1 {
+		t.Fatal("original table mutated")
+	}
+}
+
+func TestSplitRandom(t *testing.T) {
+	tbl := fig1Table(t)
+	train, test := SplitRandom(tbl, 0.3, 1)
+	if train.NumRows()+test.NumRows() != 10 || test.NumRows() != 3 {
+		t.Fatalf("split %d/%d", train.NumRows(), test.NumRows())
+	}
+	// Deterministic per seed.
+	tr2, _ := SplitRandom(tbl, 0.3, 1)
+	for r := 0; r < train.NumRows(); r++ {
+		if train.Cols[0].Float(r) != tr2.Cols[0].Float(r) {
+			t.Fatal("split not deterministic")
+		}
+	}
+	if tr, te := SplitRandom(tbl, 0, 1); tr != tbl || te != nil {
+		t.Fatal("frac 0 should be identity")
+	}
+}
+
+func TestSplitStratified(t *testing.T) {
+	n := 1000
+	ys := make([]int32, n)
+	xs := make([]float64, n)
+	for i := range ys {
+		if i%10 == 0 { // 10% minority class
+			ys[i] = 1
+		}
+		xs[i] = float64(i)
+	}
+	tbl := MustNewTable([]*Column{
+		NewNumeric("x", xs),
+		NewCategorical("y", ys, []string{"a", "b"}),
+	}, 1)
+	train, test := SplitStratified(tbl, 0.2, 2)
+	countClass := func(t2 *Table) (int, int) {
+		zero, one := 0, 0
+		for r := 0; r < t2.NumRows(); r++ {
+			if t2.Y().Cat(r) == 1 {
+				one++
+			} else {
+				zero++
+			}
+		}
+		return zero, one
+	}
+	_, trainOnes := countClass(train)
+	_, testOnes := countClass(test)
+	if testOnes != 20 { // exactly 20% of the 100 minority rows
+		t.Fatalf("test minority = %d, want 20", testOnes)
+	}
+	if trainOnes != 80 {
+		t.Fatalf("train minority = %d, want 80", trainOnes)
+	}
+}

@@ -1,0 +1,399 @@
+// Package deepforest implements the paper's Section-VII case study: the
+// deep forest model (Zhou & Feng 2017) built out of TreeServer jobs. The
+// model has two phases — multi-grained scanning (MGS), which slides windows
+// of several sizes over raw images and trains forests on the extracted
+// patches, and a cascade forest (CF), whose levels consume the previous
+// level's class-vector outputs concatenated with MGS re-representations.
+//
+// Each forest is one TreeServer job (a batch of independent tree specs);
+// the two row-parallel operations of Section VII — window sliding and
+// re-representation ("extract") — are parallelised across images, exactly
+// as the paper partitions them across machine threads.
+package deepforest
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"treeserver/internal/cluster"
+	"treeserver/internal/core"
+	"treeserver/internal/dataset"
+	"treeserver/internal/forest"
+	"treeserver/internal/metrics"
+	"treeserver/internal/synth"
+)
+
+// Config shapes the deep forest. Zero fields take the Table-VII settings
+// the paper tuned: windows 3/5/7, 2 forests × 20 trees per step, dmax = 10
+// in MGS, 6 cascade levels.
+type Config struct {
+	Windows        []int
+	Stride         int // window stride; >1 subsamples positions for scale
+	ForestsPerStep int
+	TreesPerForest int
+	MGSMaxDepth    int
+	CFMaxDepth     int // 0 = unlimited, like the paper's CF stage
+	CFLevels       int
+	ExtraTrees     bool // use extra-trees for half the forests (paper's alternative)
+	Seed           int64
+	Parallelism    int // image-level parallelism for slide/extract jobs
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Windows) == 0 {
+		c.Windows = []int{3, 5, 7}
+	}
+	if c.Stride <= 0 {
+		c.Stride = 1
+	}
+	if c.ForestsPerStep <= 0 {
+		c.ForestsPerStep = 2
+	}
+	if c.TreesPerForest <= 0 {
+		c.TreesPerForest = 20
+	}
+	if c.MGSMaxDepth <= 0 {
+		c.MGSMaxDepth = 10
+	}
+	if c.CFLevels <= 0 {
+		c.CFLevels = 6
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+	return c
+}
+
+// TrainerFactory builds a forest.Trainer for a freshly materialised feature
+// table. The cluster-backed factory spins a TreeServer deployment over the
+// table; the local factory wraps forest.Local.
+type TrainerFactory func(tbl *dataset.Table) (forest.Trainer, func())
+
+// LocalFactory trains each job on the local machine.
+func LocalFactory(parallelism int) TrainerFactory {
+	return func(tbl *dataset.Table) (forest.Trainer, func()) {
+		return &forest.Local{Table: tbl, Parallelism: parallelism}, func() {}
+	}
+}
+
+// ClusterFactory runs each job on a fresh in-process TreeServer cluster.
+func ClusterFactory(cfg cluster.Config) TrainerFactory {
+	return func(tbl *dataset.Table) (forest.Trainer, func()) {
+		c := cluster.NewInProcess(tbl, cfg)
+		return c, c.Close
+	}
+}
+
+// Model is a trained deep forest.
+type Model struct {
+	cfg        Config
+	NumClasses int
+	// MGS[w] holds the window-w step's forests.
+	MGS map[int][]*forest.Forest
+	// CF[level] holds the cascade level's forests.
+	CF [][]*forest.Forest
+}
+
+// StepTiming records one pipeline step for Table VII.
+type StepTiming struct {
+	Step         string
+	TrainSeconds float64
+	TestSeconds  float64
+	TestAccuracy float64 // only for CF extract steps; NaN elsewhere
+	HasAccuracy  bool
+}
+
+// Train builds a deep forest on the training images and evaluates each
+// cascade level on the test images, returning the per-step timings the
+// paper reports in Table VII.
+func Train(trainSet, testSet *synth.ImageSet, cfg Config, factory TrainerFactory) (*Model, []StepTiming, error) {
+	cfg = cfg.withDefaults()
+	m := &Model{cfg: cfg, NumClasses: trainSet.NumClasses(), MGS: map[int][]*forest.Forest{}}
+	var timings []StepTiming
+
+	// Step "slide": window extraction over all images, all window sizes.
+	slideStart := time.Now()
+	trainPatches := map[int]*patchSet{}
+	for _, w := range cfg.Windows {
+		trainPatches[w] = slide(trainSet, w, cfg.Stride, cfg.Parallelism)
+	}
+	slideTrain := time.Since(slideStart).Seconds()
+	slideStart = time.Now()
+	testPatches := map[int]*patchSet{}
+	for _, w := range cfg.Windows {
+		testPatches[w] = slide(testSet, w, cfg.Stride, cfg.Parallelism)
+	}
+	timings = append(timings, StepTiming{Step: "slide", TrainSeconds: slideTrain, TestSeconds: time.Since(slideStart).Seconds()})
+
+	// MGS: train forests per window, then re-represent both sets.
+	mgsTrainFeat := map[int][][]float64{}
+	mgsTestFeat := map[int][][]float64{}
+	for wi, w := range cfg.Windows {
+		start := time.Now()
+		tbl := trainPatches[w].table(trainSet, m.NumClasses)
+		forests, err := m.trainStep(tbl, cfg.MGSMaxDepth, cfg.Seed+int64(1000*wi), factory)
+		if err != nil {
+			return nil, nil, fmt.Errorf("deepforest: MGS window %d: %w", w, err)
+		}
+		m.MGS[w] = forests
+		timings = append(timings, StepTiming{Step: fmt.Sprintf("win%dtrain", w), TrainSeconds: time.Since(start).Seconds()})
+
+		start = time.Now()
+		mgsTrainFeat[w] = extract(trainPatches[w], forests, m.NumClasses, cfg.Parallelism)
+		trainSecs := time.Since(start).Seconds()
+		start = time.Now()
+		mgsTestFeat[w] = extract(testPatches[w], forests, m.NumClasses, cfg.Parallelism)
+		timings = append(timings, StepTiming{
+			Step: fmt.Sprintf("win%dextract", w), TrainSeconds: trainSecs,
+			TestSeconds: time.Since(start).Seconds(),
+		})
+	}
+
+	// Cascade forest. Level 0 consumes the smallest window's features;
+	// later levels concatenate the previous level's output with the MGS
+	// features of windows cycled in order, as in Fig. 11.
+	var prevTrain, prevTest [][]float64
+	for level := 0; level < cfg.CFLevels; level++ {
+		w := cfg.Windows[level%len(cfg.Windows)]
+		inTrain := concatFeatures(prevTrain, mgsTrainFeat[w])
+		inTest := concatFeatures(prevTest, mgsTestFeat[w])
+
+		start := time.Now()
+		tbl := tableFromMatrix(inTrain, trainSet.Labels, m.NumClasses)
+		forests, err := m.trainStep(tbl, cfg.CFMaxDepth, cfg.Seed+int64(77*level), factory)
+		if err != nil {
+			return nil, nil, fmt.Errorf("deepforest: CF level %d: %w", level, err)
+		}
+		m.CF = append(m.CF, forests)
+		trainSecs := time.Since(start).Seconds()
+		timings = append(timings, StepTiming{Step: fmt.Sprintf("CF%dtrain", level), TrainSeconds: trainSecs})
+
+		start = time.Now()
+		prevTrain = cfOutputs(forests, inTrain, trainSet.Labels, m.NumClasses, cfg.Parallelism)
+		extractTrain := time.Since(start).Seconds()
+		start = time.Now()
+		prevTest = cfOutputs(forests, inTest, testSet.Labels, m.NumClasses, cfg.Parallelism)
+		extractTest := time.Since(start).Seconds()
+
+		acc := levelAccuracy(prevTest, testSet.Labels, m.NumClasses)
+		timings = append(timings, StepTiming{
+			Step: fmt.Sprintf("CF%dextract", level), TrainSeconds: extractTrain,
+			TestSeconds: extractTest, TestAccuracy: acc, HasAccuracy: true,
+		})
+	}
+	return m, timings, nil
+}
+
+// trainStep trains one step's forests (one TreeServer job each).
+func (m *Model) trainStep(tbl *dataset.Table, maxDepth int, seed int64, factory TrainerFactory) ([]*forest.Forest, error) {
+	trainer, done := factory(tbl)
+	defer done()
+	schema := cluster.SchemaOf(tbl)
+	forests := make([]*forest.Forest, m.cfg.ForestsPerStep)
+	for i := range forests {
+		fcfg := forest.Config{
+			Trees:  m.cfg.TreesPerForest,
+			Params: core.Params{MaxDepth: maxDepth, MinLeaf: 1},
+			Seed:   seed + int64(i),
+		}
+		if m.cfg.ExtraTrees && i%2 == 1 {
+			fcfg.ExtraTrees = true
+		}
+		f, err := forest.Train(trainer, schema, fcfg)
+		if err != nil {
+			return nil, err
+		}
+		forests[i] = f
+	}
+	return forests, nil
+}
+
+// patchSet holds all window patches of an image set, grouped per image.
+type patchSet struct {
+	win     int
+	perImg  int
+	patches [][]float64 // flattened: image i occupies [i*perImg, (i+1)*perImg)
+	labels  []int32     // per patch
+	images  int
+}
+
+// slide extracts stride-spaced win×win patches from every image in
+// parallel — the paper's first row-parallel operation.
+func slide(set *synth.ImageSet, win, stride, parallelism int) *patchSet {
+	posX := (set.W-win)/stride + 1
+	posY := (set.H-win)/stride + 1
+	perImg := posX * posY
+	ps := &patchSet{
+		win: win, perImg: perImg, images: set.Len(),
+		patches: make([][]float64, set.Len()*perImg),
+		labels:  make([]int32, set.Len()*perImg),
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallelism)
+	for i := 0; i < set.Len(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			img := set.Images[i]
+			out := i * perImg
+			for y := 0; y+win <= set.H; y += stride {
+				for x := 0; x+win <= set.W; x += stride {
+					p := make([]float64, win*win)
+					for dy := 0; dy < win; dy++ {
+						copy(p[dy*win:(dy+1)*win], img[(y+dy)*set.W+x:(y+dy)*set.W+x+win])
+					}
+					ps.patches[out] = p
+					ps.labels[out] = set.Labels[i]
+					out++
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	return ps
+}
+
+// table materialises the patch set as a training table.
+func (ps *patchSet) table(set *synth.ImageSet, numClasses int) *dataset.Table {
+	return tableFromMatrix(ps.patches, ps.labels, numClasses)
+}
+
+// tableFromMatrix builds a numeric feature table with a categorical label.
+func tableFromMatrix(rows [][]float64, labels []int32, numClasses int) *dataset.Table {
+	dims := 0
+	if len(rows) > 0 {
+		dims = len(rows[0])
+	}
+	cols := make([]*dataset.Column, dims+1)
+	for d := 0; d < dims; d++ {
+		vals := make([]float64, len(rows))
+		for r := range rows {
+			vals[r] = rows[r][d]
+		}
+		cols[d] = dataset.NewNumeric(fmt.Sprintf("f%d", d), vals)
+	}
+	levels := make([]string, numClasses)
+	for i := range levels {
+		levels[i] = fmt.Sprintf("C%d", i)
+	}
+	cols[dims] = dataset.NewCategorical("Y", labels, levels)
+	return dataset.MustNewTable(cols, dims)
+}
+
+// extract re-represents images through the trained MGS forests: for each
+// image, the concatenation over window positions and forests of the k-D
+// class vectors — the paper's second row-parallel operation.
+func extract(ps *patchSet, forests []*forest.Forest, numClasses, parallelism int) [][]float64 {
+	dims := ps.perImg * len(forests) * numClasses
+	out := make([][]float64, ps.images)
+	tbl := tableFromMatrix(ps.patches, ps.labels, numClasses)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallelism)
+	for i := 0; i < ps.images; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			feat := make([]float64, 0, dims)
+			for pos := 0; pos < ps.perImg; pos++ {
+				row := i*ps.perImg + pos
+				for _, f := range forests {
+					feat = append(feat, f.PredictPMF(tbl, row, 0)...)
+				}
+			}
+			out[i] = feat
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// cfOutputs computes one cascade level's re-representation: each forest's
+// PMF for each input row, concatenated.
+func cfOutputs(forests []*forest.Forest, features [][]float64, labels []int32, numClasses, parallelism int) [][]float64 {
+	tbl := tableFromMatrix(features, labels, numClasses)
+	out := make([][]float64, len(features))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallelism)
+	for i := range features {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			feat := make([]float64, 0, len(forests)*numClasses)
+			for _, f := range forests {
+				feat = append(feat, f.PredictPMF(tbl, i, 0)...)
+			}
+			out[i] = feat
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// concatFeatures concatenates two per-image feature matrices (a may be nil).
+func concatFeatures(a, b [][]float64) [][]float64 {
+	if a == nil {
+		out := make([][]float64, len(b))
+		for i := range b {
+			out[i] = append([]float64(nil), b[i]...)
+		}
+		return out
+	}
+	out := make([][]float64, len(a))
+	for i := range a {
+		row := make([]float64, 0, len(a[i])+len(b[i]))
+		row = append(row, a[i]...)
+		row = append(row, b[i]...)
+		out[i] = row
+	}
+	return out
+}
+
+// levelAccuracy scores a level: average the forests' PMF blocks within each
+// output vector and take the argmax.
+func levelAccuracy(outputs [][]float64, labels []int32, numClasses int) float64 {
+	pred := make([]int32, len(outputs))
+	for i, vec := range outputs {
+		avg := make([]float64, numClasses)
+		blocks := len(vec) / numClasses
+		for b := 0; b < blocks; b++ {
+			for k := 0; k < numClasses; k++ {
+				avg[k] += vec[b*numClasses+k]
+			}
+		}
+		pred[i] = metrics.ArgMax(avg)
+	}
+	return metrics.Accuracy(pred, labels)
+}
+
+// Predict classifies one image end-to-end through the trained model.
+func (m *Model) Predict(set *synth.ImageSet, index int) int32 {
+	single := &synth.ImageSet{W: set.W, H: set.H,
+		Images: [][]float64{set.Images[index]}, Labels: []int32{set.Labels[index]}}
+	feats := map[int][][]float64{}
+	for _, w := range m.cfg.Windows {
+		ps := slide(single, w, m.cfg.Stride, 1)
+		feats[w] = extract(ps, m.MGS[w], m.NumClasses, 1)
+	}
+	var prev [][]float64
+	for level, forests := range m.CF {
+		w := m.cfg.Windows[level%len(m.cfg.Windows)]
+		in := concatFeatures(prev, feats[w])
+		prev = cfOutputs(forests, in, single.Labels, m.NumClasses, 1)
+	}
+	avg := make([]float64, m.NumClasses)
+	blocks := len(prev[0]) / m.NumClasses
+	for b := 0; b < blocks; b++ {
+		for k := 0; k < m.NumClasses; k++ {
+			avg[k] += prev[0][b*m.NumClasses+k]
+		}
+	}
+	return metrics.ArgMax(avg)
+}

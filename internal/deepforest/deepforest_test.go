@@ -1,0 +1,200 @@
+package deepforest
+
+import (
+	"fmt"
+	"testing"
+
+	"treeserver/internal/cluster"
+	"treeserver/internal/synth"
+	"treeserver/internal/task"
+)
+
+// smallConfig keeps the pipeline laptop-sized: 2 windows, large stride,
+// small forests, 2 cascade levels.
+func smallConfig() Config {
+	return Config{
+		Windows: []int{5, 7}, Stride: 7,
+		ForestsPerStep: 2, TreesPerForest: 8,
+		MGSMaxDepth: 8, CFLevels: 2, Seed: 1,
+	}
+}
+
+func TestDeepForestLocalPipeline(t *testing.T) {
+	train := synth.Digits(300, 21)
+	test := synth.Digits(120, 22)
+	model, timings, err := Train(train, test, smallConfig(), LocalFactory(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.MGS) != 2 {
+		t.Fatalf("MGS windows = %d", len(model.MGS))
+	}
+	if len(model.CF) != 2 {
+		t.Fatalf("CF levels = %d", len(model.CF))
+	}
+	// Timings cover slide + per-window train/extract + per-level train/extract.
+	wantSteps := 1 + 2*2 + 2*2
+	if len(timings) != wantSteps {
+		t.Fatalf("timings = %d steps, want %d", len(timings), wantSteps)
+	}
+	var lastAcc float64
+	sawAcc := 0
+	for _, st := range timings {
+		if st.HasAccuracy {
+			sawAcc++
+			lastAcc = st.TestAccuracy
+		}
+	}
+	if sawAcc != 2 {
+		t.Fatalf("accuracy recorded for %d steps, want one per CF level", sawAcc)
+	}
+	// Seven-segment digits through a deep forest: well above 10% chance.
+	if lastAcc < 0.5 {
+		t.Fatalf("final cascade accuracy %.3f too low", lastAcc)
+	}
+}
+
+func TestDeepForestClusterFactory(t *testing.T) {
+	train := synth.Digits(200, 23)
+	test := synth.Digits(80, 24)
+	cfg := smallConfig()
+	cfg.TreesPerForest = 6
+	cfg.CFLevels = 1
+	cfg.Windows = []int{7}
+	factory := ClusterFactory(cluster.Config{
+		Workers: 3, Compers: 2,
+		Policy: task.Policy{TauD: 2000, TauDFS: 8000, NPool: 16},
+	})
+	model, timings, err := Train(train, test, cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.CF) != 1 {
+		t.Fatalf("levels = %d", len(model.CF))
+	}
+	for _, st := range timings {
+		if st.TrainSeconds < 0 {
+			t.Fatalf("negative timing in %q", st.Step)
+		}
+	}
+}
+
+func TestDeepForestExtraTrees(t *testing.T) {
+	train := synth.Digits(200, 25)
+	test := synth.Digits(80, 26)
+	cfg := smallConfig()
+	cfg.ExtraTrees = true
+	cfg.CFLevels = 1
+	model, _, err := Train(train, test, cfg, LocalFactory(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, forests := range model.MGS {
+		if len(forests) != 2 {
+			t.Fatalf("window %d forests = %d", w, len(forests))
+		}
+	}
+}
+
+func TestPredictSingleImage(t *testing.T) {
+	train := synth.Digits(300, 27)
+	test := synth.Digits(50, 28)
+	cfg := smallConfig()
+	model, _, err := Train(train, test, cfg, LocalFactory(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := 0
+	for i := 0; i < 20; i++ {
+		if model.Predict(test, i) == test.Labels[i] {
+			hit++
+		}
+	}
+	if hit < 8 { // 10 classes; chance would be ~2
+		t.Fatalf("single-image prediction hit %d/20", hit)
+	}
+}
+
+func TestSlidePositions(t *testing.T) {
+	set := synth.Digits(5, 29)
+	ps := slide(set, 7, 7, 2)
+	if ps.perImg != 16 { // (28-7)/7+1 = 4 per dim
+		t.Fatalf("positions = %d, want 16", ps.perImg)
+	}
+	if len(ps.patches) != 5*16 {
+		t.Fatalf("patches = %d", len(ps.patches))
+	}
+	for i, p := range ps.patches {
+		if len(p) != 49 {
+			t.Fatalf("patch %d dims = %d", i, len(p))
+		}
+	}
+	// Labels repeat per image.
+	for i := 0; i < 16; i++ {
+		if ps.labels[i] != set.Labels[0] {
+			t.Fatal("patch labels wrong")
+		}
+	}
+}
+
+func TestConcatFeatures(t *testing.T) {
+	b := [][]float64{{1, 2}, {3, 4}}
+	out := concatFeatures(nil, b)
+	if len(out) != 2 || len(out[0]) != 2 {
+		t.Fatalf("nil concat = %v", out)
+	}
+	out[0][0] = 99
+	if b[0][0] != 1 {
+		t.Fatal("concat aliases input")
+	}
+	a := [][]float64{{9}, {8}}
+	out = concatFeatures(a, b)
+	if len(out[0]) != 3 || out[0][0] != 9 || out[0][2] != 2 {
+		t.Fatalf("concat = %v", out)
+	}
+}
+
+func TestTableFromMatrix(t *testing.T) {
+	tbl := tableFromMatrix([][]float64{{1, 2}, {3, 4}}, []int32{0, 1}, 2)
+	if tbl.NumRows() != 2 || tbl.NumCols() != 3 {
+		t.Fatalf("shape %dx%d", tbl.NumRows(), tbl.NumCols())
+	}
+	if tbl.Y().Cat(1) != 1 || tbl.Cols[1].Float(1) != 4 {
+		t.Fatal("contents wrong")
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepNamesMatchPaper(t *testing.T) {
+	train := synth.Digits(100, 30)
+	test := synth.Digits(40, 31)
+	cfg := smallConfig()
+	cfg.Windows = []int{3, 5, 7}
+	cfg.Stride = 7
+	cfg.CFLevels = 1
+	cfg.TreesPerForest = 4
+	_, timings, err := Train(train, test, cfg, LocalFactory(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"slide": false, "win3train": false, "win5train": false, "win7train": false,
+		"win3extract": false, "win5extract": false, "win7extract": false,
+		"CF0train": false, "CF0extract": false,
+	}
+	for _, st := range timings {
+		if _, ok := want[st.Step]; ok {
+			want[st.Step] = true
+		} else {
+			t.Fatalf("unexpected step %q", st.Step)
+		}
+	}
+	for step, seen := range want {
+		if !seen {
+			t.Fatalf("step %q missing (Table VII rows)", step)
+		}
+	}
+	_ = fmt.Sprint()
+}

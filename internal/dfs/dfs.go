@@ -1,0 +1,152 @@
+// Package dfs is the simulated distributed file system standing in for
+// HDFS. It provides what TreeServer needs from the Hadoop ecosystem:
+//
+//   - named immutable files with per-open "connection" latency and a read
+//     throughput model, the costs that motivated the paper's column-group
+//     file layout (Section VII, Fig. 13);
+//   - the dedicated "put" layout: each table is stored as a grid of
+//     column-group × row-group files so column-partitioned TreeServer
+//     loading and row-partitioned deep-forest jobs both read few files;
+//   - counters (opens, bytes, simulated time) for the layout ablation.
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config models the cluster filesystem's performance characteristics.
+type Config struct {
+	// ConnectLatency is charged on every Open, mimicking HDFS connection
+	// setup, which dominated file reads in the paper's test.
+	ConnectLatency time.Duration
+	// ThroughputBps is the sequential read bandwidth (0 = infinite).
+	ThroughputBps float64
+	// Sleep makes reads actually take the simulated time; when false the
+	// cost is only accounted, keeping unit tests fast.
+	Sleep bool
+}
+
+// Store is an in-memory simulated DFS namespace.
+type Store struct {
+	cfg   Config
+	mu    sync.RWMutex
+	files map[string][]byte
+
+	opens     atomic.Int64
+	bytesRead atomic.Int64
+	simulated atomic.Int64 // nanoseconds of modelled IO time
+}
+
+// Stats summarises a store's read activity.
+type Stats struct {
+	Opens         int64
+	BytesRead     int64
+	SimulatedTime time.Duration
+}
+
+// NewStore creates an empty store.
+func NewStore(cfg Config) *Store {
+	return &Store{cfg: cfg, files: map[string][]byte{}}
+}
+
+// Put writes a file, replacing any existing content.
+func (s *Store) Put(path string, data []byte) {
+	s.mu.Lock()
+	s.files[path] = append([]byte(nil), data...)
+	s.mu.Unlock()
+}
+
+// Exists reports whether the path is present.
+func (s *Store) Exists(path string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.files[path]
+	return ok
+}
+
+// Delete removes a file (no error if absent).
+func (s *Store) Delete(path string) {
+	s.mu.Lock()
+	delete(s.files, path)
+	s.mu.Unlock()
+}
+
+// List returns the sorted paths with the given prefix.
+func (s *Store) List(prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for p := range s.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Read opens and fully reads a file, charging one connection latency plus
+// throughput-proportional transfer time.
+func (s *Store) Read(path string) ([]byte, error) {
+	s.mu.RLock()
+	data, ok := s.files[path]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("dfs: file %q not found", path)
+	}
+	s.opens.Add(1)
+	s.bytesRead.Add(int64(len(data)))
+	cost := s.cfg.ConnectLatency
+	if s.cfg.ThroughputBps > 0 {
+		cost += time.Duration(float64(len(data)) / s.cfg.ThroughputBps * float64(time.Second))
+	}
+	s.simulated.Add(int64(cost))
+	if s.cfg.Sleep && cost > 0 {
+		time.Sleep(cost)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Stats returns the accumulated read counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Opens:         s.opens.Load(),
+		BytesRead:     s.bytesRead.Load(),
+		SimulatedTime: time.Duration(s.simulated.Load()),
+	}
+}
+
+// ResetStats zeroes the counters (between experiment phases).
+func (s *Store) ResetStats() {
+	s.opens.Store(0)
+	s.bytesRead.Store(0)
+	s.simulated.Store(0)
+}
+
+// TotalBytes returns the summed size of all stored files.
+func (s *Store) TotalBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, d := range s.files {
+		n += int64(len(d))
+	}
+	return n
+}
+
+// Reader is a convenience for decoding a stored file through bytes.Reader.
+func (s *Store) Reader(path string) (*bytes.Reader, error) {
+	data, err := s.Read(path)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(data), nil
+}

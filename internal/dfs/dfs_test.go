@@ -1,0 +1,256 @@
+package dfs
+
+import (
+	"testing"
+	"time"
+
+	"treeserver/internal/dataset"
+	"treeserver/internal/synth"
+)
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore(Config{})
+	s.Put("a/b", []byte("hello"))
+	if !s.Exists("a/b") || s.Exists("a/c") {
+		t.Fatal("exists wrong")
+	}
+	data, err := s.Read("a/b")
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+	// Returned data must be a copy.
+	data[0] = 'X'
+	again, _ := s.Read("a/b")
+	if string(again) != "hello" {
+		t.Fatal("read shares store memory")
+	}
+	if _, err := s.Read("missing"); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+	s.Delete("a/b")
+	if s.Exists("a/b") {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestStoreList(t *testing.T) {
+	s := NewStore(Config{})
+	s.Put("t/x1", []byte("1"))
+	s.Put("t/x0", []byte("0"))
+	s.Put("other", []byte("z"))
+	got := s.List("t/")
+	if len(got) != 2 || got[0] != "t/x0" || got[1] != "t/x1" {
+		t.Fatalf("list = %v", got)
+	}
+}
+
+func TestStoreAccounting(t *testing.T) {
+	s := NewStore(Config{ConnectLatency: time.Millisecond, ThroughputBps: 1e6})
+	payload := make([]byte, 10_000)
+	s.Put("f", payload)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Read("f"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Opens != 3 || st.BytesRead != 30_000 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// 3 connects (3ms) + 30KB at 1MB/s (30ms) = 33ms simulated, no sleep.
+	want := 33 * time.Millisecond
+	if st.SimulatedTime < want-time.Millisecond || st.SimulatedTime > want+time.Millisecond {
+		t.Fatalf("simulated = %v, want ~%v", st.SimulatedTime, want)
+	}
+	s.ResetStats()
+	if s.Stats().Opens != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func makeTable(t *testing.T, rows int) *dataset.Table {
+	t.Helper()
+	return synth.GenerateTrain(synth.Spec{
+		Name: "dfs", Rows: rows, NumNumeric: 5, NumCategorical: 3, CatLevels: 4,
+		NumClasses: 2, MissingRate: 0.05, ConceptDepth: 3, Seed: 71,
+	})
+}
+
+func tablesEqual(t *testing.T, a, b *dataset.Table) {
+	t.Helper()
+	if a.NumRows() != b.NumRows() || a.NumCols() != b.NumCols() || a.Target != b.Target {
+		t.Fatalf("shape mismatch %dx%d vs %dx%d", a.NumRows(), a.NumCols(), b.NumRows(), b.NumCols())
+	}
+	for ci := range a.Cols {
+		ca, cb := a.Cols[ci], b.Cols[ci]
+		if ca.Name != cb.Name || ca.Kind != cb.Kind {
+			t.Fatalf("col %d metadata mismatch", ci)
+		}
+		for r := 0; r < a.NumRows(); r++ {
+			if ca.IsMissing(r) != cb.IsMissing(r) {
+				t.Fatalf("col %d row %d missing mismatch", ci, r)
+			}
+			if ca.IsMissing(r) {
+				continue
+			}
+			if ca.Kind == dataset.Numeric {
+				if ca.Floats[r] != cb.Floats[r] {
+					t.Fatalf("col %d row %d value mismatch", ci, r)
+				}
+			} else if ca.Cats[r] != cb.Cats[r] {
+				t.Fatalf("col %d row %d code mismatch", ci, r)
+			}
+		}
+	}
+}
+
+func TestPutLoadTableRoundTrip(t *testing.T) {
+	tbl := makeTable(t, 1000)
+	s := NewStore(Config{})
+	if _, err := PutTable(s, "data/t1", tbl, 3, 250); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTable(s, "data/t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesEqual(t, tbl, back)
+}
+
+func TestLoadColumnsFullColumns(t *testing.T) {
+	tbl := makeTable(t, 900)
+	s := NewStore(Config{})
+	l, err := PutTable(s, "d", tbl, 2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := LoadColumns(s, "d", l, []int{0, 4, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ci := range []int{0, 4, 7} {
+		got := cols[ci]
+		if got == nil || got.Len() != 900 {
+			t.Fatalf("col %d incomplete", ci)
+		}
+		want := tbl.Cols[ci]
+		for r := 0; r < 900; r++ {
+			if got.IsMissing(r) != want.IsMissing(r) {
+				t.Fatalf("col %d row %d missing mismatch", ci, r)
+			}
+			if want.IsMissing(r) {
+				continue
+			}
+			if want.Kind == dataset.Numeric && got.Floats[r] != want.Floats[r] {
+				t.Fatalf("col %d row %d mismatch", ci, r)
+			}
+			if want.Kind == dataset.Categorical && got.Cats[r] != want.Cats[r] {
+				t.Fatalf("col %d row %d mismatch", ci, r)
+			}
+		}
+	}
+}
+
+func TestLoadRowsUnalignedRange(t *testing.T) {
+	tbl := makeTable(t, 700)
+	s := NewStore(Config{})
+	l, err := PutTable(s, "d", tbl, 4, 150) // row groups of 150; request 100..460
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := LoadRows(s, "d", l, 100, 460)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tbl.Gather(rowRange(100, 460))
+	tablesEqual(t, want, part)
+}
+
+func rowRange(start, end int) []int32 {
+	out := make([]int32, 0, end-start)
+	for r := start; r < end; r++ {
+		out = append(out, int32(r))
+	}
+	return out
+}
+
+func TestLoadRowsBounds(t *testing.T) {
+	tbl := makeTable(t, 100)
+	s := NewStore(Config{})
+	l, _ := PutTable(s, "d", tbl, 3, 50)
+	if _, err := LoadRows(s, "d", l, -1, 10); err == nil {
+		t.Fatal("negative start accepted")
+	}
+	if _, err := LoadRows(s, "d", l, 0, 101); err == nil {
+		t.Fatal("end past table accepted")
+	}
+}
+
+func TestColumnGroupingReducesOpens(t *testing.T) {
+	// The Section-VII claim: grouping columns reduces connection cost for
+	// column loading. One file per column pays m opens per row group;
+	// grouping pays m/colsPerGroup.
+	tbl := makeTable(t, 600)
+	one := NewStore(Config{ConnectLatency: time.Millisecond})
+	grouped := NewStore(Config{ConnectLatency: time.Millisecond})
+	lOne, _ := PutTable(one, "d", tbl, 1, 300)
+	lGrp, _ := PutTable(grouped, "d", tbl, 4, 300)
+
+	cols := tbl.FeatureIndexes()
+	if _, err := LoadColumns(one, "d", lOne, cols); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadColumns(grouped, "d", lGrp, cols); err != nil {
+		t.Fatal(err)
+	}
+	so, sg := one.Stats(), grouped.Stats()
+	if sg.Opens >= so.Opens {
+		t.Fatalf("grouping did not reduce opens: %d vs %d", sg.Opens, so.Opens)
+	}
+	if sg.SimulatedTime >= so.SimulatedTime {
+		t.Fatalf("grouping did not reduce simulated cost: %v vs %v", sg.SimulatedTime, so.SimulatedTime)
+	}
+}
+
+func TestLayoutGroupOfColumn(t *testing.T) {
+	tbl := makeTable(t, 100)
+	s := NewStore(Config{})
+	l, _ := PutTable(s, "d", tbl, 3, 100)
+	if g := l.GroupOfColumn(0); g != 0 {
+		t.Fatalf("col 0 group = %d", g)
+	}
+	if g := l.GroupOfColumn(5); g != 1 {
+		t.Fatalf("col 5 group = %d", g)
+	}
+	if g := l.GroupOfColumn(99); g != -1 {
+		t.Fatalf("missing col group = %d", g)
+	}
+}
+
+func TestReadLayoutMissing(t *testing.T) {
+	s := NewStore(Config{})
+	if _, err := ReadLayout(s, "nope"); err == nil {
+		t.Fatal("missing layout read succeeded")
+	}
+}
+
+func TestStoreSleepMode(t *testing.T) {
+	s := NewStore(Config{ConnectLatency: 30 * time.Millisecond, Sleep: true})
+	s.Put("f", []byte("x"))
+	start := time.Now()
+	if _, err := s.Read("f"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("sleep mode did not sleep: %v", elapsed)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	s := NewStore(Config{})
+	s.Put("a", make([]byte, 100))
+	s.Put("b", make([]byte, 50))
+	if got := s.TotalBytes(); got != 150 {
+		t.Fatalf("total = %d", got)
+	}
+}

@@ -1,0 +1,93 @@
+package dfs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FS is the filesystem contract the layout functions operate over. Store
+// (in-memory, with IO-cost simulation) and DirStore (on disk, for the CLI
+// tools) both satisfy it.
+type FS interface {
+	Put(path string, data []byte)
+	Read(path string) ([]byte, error)
+	Reader(path string) (*bytes.Reader, error)
+	Exists(path string) bool
+	List(prefix string) []string
+}
+
+// DirStore persists DFS files under a root directory, so cmd/tsput can
+// upload a table once and cmd/treeserver processes can load their column
+// groups from a shared mount — the deployment shape the paper assumes from
+// HDFS.
+type DirStore struct {
+	Root string
+}
+
+// NewDirStore creates (if needed) and opens a directory-backed store.
+func NewDirStore(root string) (*DirStore, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("dfs: creating store root: %w", err)
+	}
+	return &DirStore{Root: root}, nil
+}
+
+// resolve maps a store path to a filesystem path, flattening separators so
+// arbitrary store names cannot escape the root.
+func (d *DirStore) resolve(path string) string {
+	clean := strings.ReplaceAll(path, "/", "__")
+	return filepath.Join(d.Root, clean)
+}
+
+// Put implements FS. Write errors panic: the CLI treats a failed upload as
+// fatal, and the FS interface mirrors the in-memory store's infallible Put.
+func (d *DirStore) Put(path string, data []byte) {
+	if err := os.WriteFile(d.resolve(path), data, 0o644); err != nil {
+		panic(fmt.Sprintf("dfs: writing %s: %v", path, err))
+	}
+}
+
+// Read implements FS.
+func (d *DirStore) Read(path string) ([]byte, error) {
+	data, err := os.ReadFile(d.resolve(path))
+	if err != nil {
+		return nil, fmt.Errorf("dfs: file %q: %w", path, err)
+	}
+	return data, nil
+}
+
+// Reader implements FS.
+func (d *DirStore) Reader(path string) (*bytes.Reader, error) {
+	data, err := d.Read(path)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(data), nil
+}
+
+// Exists implements FS.
+func (d *DirStore) Exists(path string) bool {
+	_, err := os.Stat(d.resolve(path))
+	return err == nil
+}
+
+// List implements FS.
+func (d *DirStore) List(prefix string) []string {
+	entries, err := os.ReadDir(d.Root)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		name := strings.ReplaceAll(e.Name(), "__", "/")
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

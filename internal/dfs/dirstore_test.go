@@ -1,0 +1,82 @@
+package dfs
+
+import (
+	"testing"
+)
+
+func TestDirStoreBasics(t *testing.T) {
+	s, err := NewDirStore(t.TempDir() + "/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("tables/t1/_meta", []byte("meta"))
+	s.Put("tables/t1/cg0000_rg0000", []byte("cell"))
+	if !s.Exists("tables/t1/_meta") || s.Exists("nope") {
+		t.Fatal("exists wrong")
+	}
+	data, err := s.Read("tables/t1/_meta")
+	if err != nil || string(data) != "meta" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+	r, err := s.Reader("tables/t1/cg0000_rg0000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := r.Read(buf); err != nil || string(buf) != "cell" {
+		t.Fatalf("reader = %q, %v", buf, err)
+	}
+	if _, err := s.Read("missing"); err == nil {
+		t.Fatal("missing read succeeded")
+	}
+	got := s.List("tables/t1/")
+	if len(got) != 2 || got[0] != "tables/t1/_meta" {
+		t.Fatalf("list = %v", got)
+	}
+}
+
+func TestDirStorePathsCannotEscape(t *testing.T) {
+	root := t.TempDir() + "/store"
+	s, err := NewDirStore(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("../../evil", []byte("x"))
+	// The flattened name must stay inside the root.
+	if len(s.List("../../")) != 1 {
+		t.Fatal("flattened path not listed")
+	}
+	data, err := s.Read("../../evil")
+	if err != nil || string(data) != "x" {
+		t.Fatal("flattened round trip failed")
+	}
+}
+
+func TestDirStoreLayoutRoundTrip(t *testing.T) {
+	s, err := NewDirStore(t.TempDir() + "/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := makeTable(t, 400)
+	if _, err := PutTable(s, "t", tbl, 3, 100); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTable(s, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesEqual(t, tbl, back)
+
+	// Column loading path too.
+	l, err := ReadLayout(s, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := LoadColumns(s, "t", l, []int{2, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols[2].Len() != 400 || cols[6].Len() != 400 {
+		t.Fatal("columns incomplete")
+	}
+}

@@ -1,0 +1,262 @@
+package dfs
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"treeserver/internal/dataset"
+)
+
+// Layout records how a table was laid out on the store by Put: a grid of
+// column-group × row-group files (Fig. 13). A TreeServer worker loading a
+// column group reads one file per row group (one grid column); a
+// row-partitioned job reads one file per column group (one grid row).
+type Layout struct {
+	NumRows   int
+	Target    int
+	ColGroups [][]int  // table column indexes per group, ascending
+	RowGroups [][2]int // [start, end) row ranges
+	// Column metadata, indexed by table column.
+	Names  []string
+	Kinds  []dataset.Kind
+	Levels [][]string
+}
+
+// NumCols returns the table's total column count.
+func (l Layout) NumCols() int { return len(l.Names) }
+
+// GroupOfColumn returns the column group index containing col, or -1.
+func (l Layout) GroupOfColumn(col int) int {
+	for g, cols := range l.ColGroups {
+		for _, c := range cols {
+			if c == col {
+				return g
+			}
+		}
+	}
+	return -1
+}
+
+func metaPath(base string) string { return base + "/_meta" }
+
+func cellPath(base string, cg, rg int) string {
+	return fmt.Sprintf("%s/cg%04d_rg%04d", base, cg, rg)
+}
+
+// cell is the payload of one grid file: the group's column shards for one
+// row range, without metadata (that lives in _meta).
+type cell struct {
+	Floats [][]float64
+	Cats   [][]int32
+	Miss   [][]uint64
+}
+
+// PutTable writes the table under base with the given grouping parameters.
+// This is the library form of the dedicated "put" program (cmd/tsput): it
+// replaces HDFS's row-block upload so each data column is loadable in its
+// entirety, while column grouping keeps the file count low enough that
+// connection latency amortises.
+func PutTable(s FS, base string, tbl *dataset.Table, colsPerGroup, rowsPerGroup int) (Layout, error) {
+	if colsPerGroup < 1 {
+		colsPerGroup = 1
+	}
+	if rowsPerGroup < 1 || rowsPerGroup > tbl.NumRows() {
+		rowsPerGroup = tbl.NumRows()
+	}
+	if rowsPerGroup == 0 {
+		rowsPerGroup = 1
+	}
+	l := Layout{NumRows: tbl.NumRows(), Target: tbl.Target}
+	for i, c := range tbl.Cols {
+		l.Names = append(l.Names, c.Name)
+		l.Kinds = append(l.Kinds, c.Kind)
+		l.Levels = append(l.Levels, c.Levels)
+		if i%colsPerGroup == 0 {
+			l.ColGroups = append(l.ColGroups, nil)
+		}
+		g := len(l.ColGroups) - 1
+		l.ColGroups[g] = append(l.ColGroups[g], i)
+	}
+	for start := 0; start < tbl.NumRows(); start += rowsPerGroup {
+		end := start + rowsPerGroup
+		if end > tbl.NumRows() {
+			end = tbl.NumRows()
+		}
+		l.RowGroups = append(l.RowGroups, [2]int{start, end})
+	}
+	if tbl.NumRows() == 0 {
+		l.RowGroups = [][2]int{{0, 0}}
+	}
+
+	var meta bytes.Buffer
+	if err := gob.NewEncoder(&meta).Encode(l); err != nil {
+		return Layout{}, fmt.Errorf("dfs: encoding layout: %w", err)
+	}
+	s.Put(metaPath(base), meta.Bytes())
+
+	for cg, cols := range l.ColGroups {
+		for rg, rr := range l.RowGroups {
+			var c cell
+			for _, colIdx := range cols {
+				col := tbl.Cols[colIdx]
+				rows := make([]int32, 0, rr[1]-rr[0])
+				for r := rr[0]; r < rr[1]; r++ {
+					rows = append(rows, int32(r))
+				}
+				shard := col.Gather(rows)
+				c.Floats = append(c.Floats, shard.Floats)
+				c.Cats = append(c.Cats, shard.Cats)
+				c.Miss = append(c.Miss, shard.Miss)
+			}
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+				return Layout{}, fmt.Errorf("dfs: encoding cell (%d,%d): %w", cg, rg, err)
+			}
+			s.Put(cellPath(base, cg, rg), buf.Bytes())
+		}
+	}
+	return l, nil
+}
+
+// ReadLayout loads a table's layout metadata.
+func ReadLayout(s FS, base string) (Layout, error) {
+	r, err := s.Reader(metaPath(base))
+	if err != nil {
+		return Layout{}, err
+	}
+	var l Layout
+	if err := gob.NewDecoder(r).Decode(&l); err != nil {
+		return Layout{}, fmt.Errorf("dfs: decoding layout: %w", err)
+	}
+	return l, nil
+}
+
+func readCell(s FS, base string, cg, rg int) (cell, error) {
+	r, err := s.Reader(cellPath(base, cg, rg))
+	if err != nil {
+		return cell{}, err
+	}
+	var c cell
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+		return cell{}, fmt.Errorf("dfs: decoding cell (%d,%d): %w", cg, rg, err)
+	}
+	return c, nil
+}
+
+func (l Layout) newColumn(col int, n int) *dataset.Column {
+	c := &dataset.Column{Name: l.Names[col], Kind: l.Kinds[col], Levels: l.Levels[col]}
+	if c.Kind == dataset.Numeric {
+		c.Floats = make([]float64, 0, n)
+	} else {
+		c.Cats = make([]int32, 0, n)
+	}
+	return c
+}
+
+func appendShard(dst *dataset.Column, c cell, pos, offset int) {
+	base := dst.Len()
+	dst.Floats = append(dst.Floats, c.Floats[pos]...)
+	dst.Cats = append(dst.Cats, c.Cats[pos]...)
+	if c.Miss[pos] != nil {
+		n := len(c.Floats[pos]) + len(c.Cats[pos])
+		for i := 0; i < n; i++ {
+			w := i >> 6
+			if w < len(c.Miss[pos]) && c.Miss[pos][w]&(1<<(uint(i)&63)) != 0 {
+				dst.SetMissing(base + i)
+			}
+		}
+	}
+	_ = offset
+}
+
+// LoadColumns reads full columns (the TreeServer worker loading path): all
+// row groups of every column group containing a requested column. The
+// returned map holds complete columns keyed by table index.
+func LoadColumns(s FS, base string, l Layout, cols []int) (map[int]*dataset.Column, error) {
+	needGroups := map[int]bool{}
+	wanted := map[int]bool{}
+	for _, c := range cols {
+		g := l.GroupOfColumn(c)
+		if g < 0 {
+			return nil, fmt.Errorf("dfs: column %d not in layout", c)
+		}
+		needGroups[g] = true
+		wanted[c] = true
+	}
+	out := map[int]*dataset.Column{}
+	for g := range needGroups {
+		groupCols := l.ColGroups[g]
+		acc := make([]*dataset.Column, len(groupCols))
+		for i, colIdx := range groupCols {
+			acc[i] = l.newColumn(colIdx, l.NumRows)
+		}
+		for rg := range l.RowGroups {
+			c, err := readCell(s, base, g, rg)
+			if err != nil {
+				return nil, err
+			}
+			for i := range groupCols {
+				appendShard(acc[i], c, i, l.RowGroups[rg][0])
+			}
+		}
+		for i, colIdx := range groupCols {
+			if wanted[colIdx] {
+				out[colIdx] = acc[i]
+			}
+		}
+	}
+	return out, nil
+}
+
+// LoadRows reads the table rows in [start, end) across every column (the
+// row-partitioned path used by deep-forest extraction jobs). Row-group
+// boundaries need not align: overlapping groups are read and trimmed.
+func LoadRows(s FS, base string, l Layout, start, end int) (*dataset.Table, error) {
+	if start < 0 || end > l.NumRows || start > end {
+		return nil, fmt.Errorf("dfs: row range [%d,%d) out of [0,%d)", start, end, l.NumRows)
+	}
+	cols := make([]*dataset.Column, l.NumCols())
+	for i := range cols {
+		cols[i] = l.newColumn(i, end-start)
+	}
+	for rg, rr := range l.RowGroups {
+		if rr[1] <= start || rr[0] >= end {
+			continue
+		}
+		for cg, groupCols := range l.ColGroups {
+			c, err := readCell(s, base, cg, rg)
+			if err != nil {
+				return nil, err
+			}
+			lo, hi := max(start, rr[0]), min(end, rr[1])
+			for i, colIdx := range groupCols {
+				full := l.newColumn(colIdx, rr[1]-rr[0])
+				appendShard(full, c, i, rr[0])
+				sub := make([]int32, 0, hi-lo)
+				for r := lo; r < hi; r++ {
+					sub = append(sub, int32(r-rr[0]))
+				}
+				shard := full.Gather(sub)
+				base := cols[colIdx].Len()
+				cols[colIdx].Floats = append(cols[colIdx].Floats, shard.Floats...)
+				cols[colIdx].Cats = append(cols[colIdx].Cats, shard.Cats...)
+				for j := 0; j < shard.Len(); j++ {
+					if shard.IsMissing(j) {
+						cols[colIdx].SetMissing(base + j)
+					}
+				}
+			}
+		}
+	}
+	return dataset.NewTable(cols, l.Target)
+}
+
+// LoadTable reads the whole table back.
+func LoadTable(s FS, base string) (*dataset.Table, error) {
+	l, err := ReadLayout(s, base)
+	if err != nil {
+		return nil, err
+	}
+	return LoadRows(s, base, l, 0, l.NumRows)
+}

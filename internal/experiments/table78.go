@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"treeserver/internal/cluster"
+	"treeserver/internal/core"
+	"treeserver/internal/deepforest"
+	"treeserver/internal/forest"
+	"treeserver/internal/synth"
+)
+
+// TableVII reproduces Table VII: the deep-forest pipeline on the MNIST
+// stand-in — per-step training/test times for the slide, MGS and cascade
+// phases, plus per-cascade-level test accuracy. Paper shape: training each
+// step takes seconds-to-minutes despite the many trees, and accuracy is
+// high from CF0 and improves over the first levels.
+func TableVII(s Scale) *Result {
+	s = s.withDefaults()
+	trainN, testN := 1200, 400
+	cfg := deepforest.Config{
+		Windows: []int{3, 5, 7}, Stride: 7,
+		ForestsPerStep: 2, TreesPerForest: 20,
+		MGSMaxDepth: 10, CFLevels: 6, Seed: 99,
+	}
+	if s.Quick {
+		trainN, testN = 300, 100
+		cfg.Windows = []int{5, 7}
+		cfg.TreesPerForest = 8
+		cfg.CFLevels = 2
+	}
+	trainSet := synth.Digits(trainN, 101)
+	testSet := synth.Digits(testN, 102)
+
+	_, timings, err := deepforest.Train(trainSet, testSet, cfg, deepforest.LocalFactory(0))
+	r := &Result{
+		ID: "Table VII", Title: fmt.Sprintf("deep forest on synthetic digits (%d train / %d test, stride %d)", trainN, testN, cfg.Stride),
+		Header: Row{"step", "training time(s)", "test time(s)", "test accuracy"},
+	}
+	if err != nil {
+		r.Notes = append(r.Notes, "ERROR: "+err.Error())
+		return r
+	}
+	for _, st := range timings {
+		acc := "-"
+		if st.HasAccuracy {
+			acc = fmt.Sprintf("%.2f%%", st.TestAccuracy*100)
+		}
+		testT := "-"
+		if st.TestSeconds > 0 {
+			testT = fmt.Sprintf("%.3f", st.TestSeconds)
+		}
+		r.Rows = append(r.Rows, Row{st.Step, fmt.Sprintf("%.3f", st.TrainSeconds), testT, acc})
+	}
+	r.Notes = append(r.Notes,
+		"images are synthetic seven-segment digits (MNIST is not shipped); windows slide with a stride to bound MGS dimensionality")
+	return r
+}
+
+// TableVIIIDmax reproduces Tables VIII(a)/(b): accuracy vs dmax for one
+// tree and a 20-tree forest on the Higgs-like dataset. Paper shape:
+// accuracy keeps improving with depth (no overfitting yet), time grows
+// mildly.
+func TableVIIIDmax(s Scale) *Result {
+	s = s.withDefaults()
+	depths := []int{2, 4, 6, 8, 10, 12}
+	if s.Quick {
+		depths = []int{2, 6, 10}
+	}
+	ps, _ := synth.PaperSpecByName("higgs_boson", s.BaseRows)
+	train, test := generate(ps)
+	r := &Result{
+		ID: "Table VIII(a,b)", Title: "effect of dmax on higgs_boson-like data",
+		Header: Row{"dmax", "1-tree time(s)", "1-tree acc", "20-tree time(s)", "20-tree acc"},
+	}
+	for _, d := range depths {
+		params := core.Defaults()
+		params.MaxDepth = d
+		oneTime, oneAcc := runTreeServer(s, train, test, []cluster.TreeSpec{{Params: params}})
+		specs := forest.Specs(cluster.SchemaOf(train), forest.Config{
+			Trees: 20, Params: params, ColFrac: 0, Bootstrap: true, Seed: 29,
+		})
+		fTime, fAcc := runTreeServer(s, train, test, specs)
+		r.Rows = append(r.Rows, Row{fmt.Sprint(d), fmtSecs(oneTime), oneAcc, fmtSecs(fTime), fAcc})
+	}
+	return r
+}
+
+// TableVIIICols reproduces Tables VIII(c)/(d): the effect of the per-tree
+// column fraction |C|/|A| on a 20-tree forest. Paper shape: accuracy is
+// fairly flat beyond a modest fraction while time grows with |C|.
+func TableVIIICols(s Scale) *Result {
+	s = s.withDefaults()
+	fracs := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	if s.Quick {
+		fracs = []float64{0.2, 1.0}
+	}
+	names := []string{"allstate", "higgs_boson"}
+	r := &Result{
+		ID: "Table VIII(c,d)", Title: "effect of |C|/|A| (20-tree forest; accuracy = RMSE for allstate)",
+		Header: Row{"|C|/|A|"},
+	}
+	for _, n := range names {
+		r.Header = append(r.Header, n+" time(s)", n+" score")
+	}
+	for _, frac := range fracs {
+		row := Row{fmt.Sprintf("%.0f%%", frac*100)}
+		for _, name := range names {
+			ps, _ := synth.PaperSpecByName(name, s.BaseRows)
+			train, test := generate(ps)
+			specs := forest.Specs(cluster.SchemaOf(train), forest.Config{
+				Trees: 20, Params: core.Defaults(), ColFrac: frac, Bootstrap: true, Seed: 31,
+			})
+			t, acc := runTreeServer(s, train, test, specs)
+			row = append(row, fmtSecs(t), acc)
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	return r
+}

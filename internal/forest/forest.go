@@ -1,0 +1,212 @@
+// Package forest implements tree ensembles on top of the TreeServer engine:
+// random forests (bagging + per-tree column sampling, |C| = √|A| by default)
+// and completely-random forests (extra-trees, Appendix F). A Forest is
+// trained through any Trainer — the distributed cluster or the local
+// fallback — because in TreeServer an ensemble is just a job of independent
+// tree specs (Section III, "Tree Scheduling").
+package forest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"treeserver/internal/cluster"
+	"treeserver/internal/core"
+	"treeserver/internal/dataset"
+	"treeserver/internal/metrics"
+)
+
+// Trainer trains a batch of independent trees. *cluster.Cluster satisfies
+// it; Local provides a single-machine implementation.
+type Trainer interface {
+	Train(specs []cluster.TreeSpec) ([]*core.Tree, error)
+}
+
+// Local trains tree specs on the local machine, with trees running in
+// parallel across Parallelism goroutines (1 = fully serial, the paper's
+// "single thread" comparison mode).
+type Local struct {
+	Table       *dataset.Table
+	Parallelism int
+}
+
+// Train implements Trainer.
+func (l *Local) Train(specs []cluster.TreeSpec) ([]*core.Tree, error) {
+	par := l.Parallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	trees := make([]*core.Tree, len(specs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			spec := specs[i]
+			if spec.Bag.NumRows == 0 {
+				spec.Bag.NumRows = l.Table.NumRows()
+			}
+			trees[i] = core.TrainLocal(l.Table, spec.Bag.Rows(), spec.Params)
+		}(i)
+	}
+	wg.Wait()
+	return trees, nil
+}
+
+// Config describes an ensemble.
+type Config struct {
+	// Trees is the ensemble size.
+	Trees int
+	// Params is the per-tree base configuration (depth, τ_leaf, measure).
+	Params core.Params
+	// ColFrac is |C|/|A| sampled per tree; 0 selects √|A| (the paper's
+	// random-forest default), 1 uses every column, and negative disables
+	// sampling entirely (plain bagging).
+	ColFrac float64
+	// Bootstrap draws each tree's bag with replacement at full size.
+	Bootstrap bool
+	// ExtraTrees switches to completely-random trees; column sampling is
+	// disabled because extra-trees resample a column per node.
+	ExtraTrees bool
+	// Seed drives all ensemble randomness.
+	Seed int64
+}
+
+// Forest is a trained ensemble that votes by averaging PMF vectors
+// (classification) or predictions (regression).
+type Forest struct {
+	Trees      []*core.Tree
+	Task       dataset.Task
+	NumClasses int
+}
+
+// Specs expands the ensemble config into independent tree specs over the
+// given schema, all derived deterministically from cfg.Seed.
+func Specs(schema cluster.Schema, cfg Config) []cluster.TreeSpec {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	features := make([]int, 0, schema.NumCols-1)
+	for c := 0; c < schema.NumCols; c++ {
+		if c != schema.Target {
+			features = append(features, c)
+		}
+	}
+	sample := sampleSize(len(features), cfg)
+	specs := make([]cluster.TreeSpec, cfg.Trees)
+	for i := range specs {
+		params := cfg.Params
+		params.ExtraTrees = cfg.ExtraTrees
+		params.Seed = rng.Int63()
+		if sample < len(features) && !cfg.ExtraTrees {
+			perm := rng.Perm(len(features))
+			cols := make([]int, sample)
+			for j := 0; j < sample; j++ {
+				cols[j] = features[perm[j]]
+			}
+			insertionSort(cols)
+			params.Candidates = cols
+		}
+		spec := cluster.TreeSpec{Params: params}
+		if cfg.Bootstrap {
+			spec.Bag = cluster.BagSpec{NumRows: schema.NumRows, Sample: schema.NumRows, Seed: rng.Int63()}
+		} else {
+			spec.Bag = cluster.BagSpec{NumRows: schema.NumRows}
+		}
+		specs[i] = spec
+	}
+	return specs
+}
+
+func sampleSize(numFeatures int, cfg Config) int {
+	if cfg.ExtraTrees || cfg.ColFrac < 0 {
+		return numFeatures
+	}
+	var s int
+	if cfg.ColFrac == 0 {
+		s = int(math.Round(math.Sqrt(float64(numFeatures))))
+	} else {
+		s = int(math.Round(cfg.ColFrac * float64(numFeatures)))
+	}
+	if s < 1 {
+		s = 1
+	}
+	if s > numFeatures {
+		s = numFeatures
+	}
+	return s
+}
+
+// Train builds the ensemble through the trainer.
+func Train(tr Trainer, schema cluster.Schema, cfg Config) (*Forest, error) {
+	if cfg.Trees <= 0 {
+		return nil, fmt.Errorf("forest: Trees must be positive, got %d", cfg.Trees)
+	}
+	trees, err := tr.Train(Specs(schema, cfg))
+	if err != nil {
+		return nil, err
+	}
+	return &Forest{Trees: trees, Task: schema.Task, NumClasses: schema.NumClasses}, nil
+}
+
+// PredictPMF averages the member trees' PMF vectors for a row (maxDepth 0 =
+// full depth). Classification only.
+func (f *Forest) PredictPMF(tbl *dataset.Table, row, maxDepth int) []float64 {
+	out := make([]float64, f.NumClasses)
+	for _, t := range f.Trees {
+		pmf := t.PredictPMF(tbl, row, maxDepth)
+		for i, p := range pmf {
+			out[i] += p
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(f.Trees))
+	}
+	return out
+}
+
+// PredictClass returns the ensemble's majority-probability class.
+func (f *Forest) PredictClass(tbl *dataset.Table, row, maxDepth int) int32 {
+	return metrics.ArgMax(f.PredictPMF(tbl, row, maxDepth))
+}
+
+// PredictValue averages the member trees' regression outputs.
+func (f *Forest) PredictValue(tbl *dataset.Table, row, maxDepth int) float64 {
+	var sum float64
+	for _, t := range f.Trees {
+		sum += t.PredictValue(tbl, row, maxDepth)
+	}
+	return sum / float64(len(f.Trees))
+}
+
+// Accuracy evaluates classification accuracy over a table.
+func (f *Forest) Accuracy(tbl *dataset.Table) float64 {
+	pred := make([]int32, tbl.NumRows())
+	for r := range pred {
+		pred[r] = f.PredictClass(tbl, r, 0)
+	}
+	return metrics.Accuracy(pred, tbl.Y().Cats)
+}
+
+// RMSE evaluates regression error over a table.
+func (f *Forest) RMSE(tbl *dataset.Table) float64 {
+	pred := make([]float64, tbl.NumRows())
+	actual := make([]float64, tbl.NumRows())
+	for r := range pred {
+		pred[r] = f.PredictValue(tbl, r, 0)
+		actual[r] = tbl.Y().Float(r)
+	}
+	return metrics.RMSE(pred, actual)
+}
+
+func insertionSort(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package forest
+
+import (
+	"testing"
+
+	"treeserver/internal/cluster"
+	"treeserver/internal/core"
+	"treeserver/internal/synth"
+	"treeserver/internal/task"
+)
+
+func TestSpecsDeterministicAndSampled(t *testing.T) {
+	tbl := synth.GenerateTrain(synth.Spec{Name: "s", Rows: 100, NumNumeric: 16, NumClasses: 2, Seed: 61})
+	schema := cluster.SchemaOf(tbl)
+	cfg := Config{Trees: 5, Params: core.Defaults(), Bootstrap: true, Seed: 7}
+	a := Specs(schema, cfg)
+	b := Specs(schema, cfg)
+	if len(a) != 5 {
+		t.Fatalf("specs = %d", len(a))
+	}
+	for i := range a {
+		// √16 = 4 columns per tree.
+		if len(a[i].Params.Candidates) != 4 {
+			t.Fatalf("tree %d sampled %d cols, want 4", i, len(a[i].Params.Candidates))
+		}
+		if a[i].Params.Seed != b[i].Params.Seed || a[i].Bag.Seed != b[i].Bag.Seed {
+			t.Fatal("specs not deterministic")
+		}
+		if a[i].Bag.Sample != 100 {
+			t.Fatalf("bootstrap sample = %d", a[i].Bag.Sample)
+		}
+		for j := 1; j < len(a[i].Params.Candidates); j++ {
+			if a[i].Params.Candidates[j] <= a[i].Params.Candidates[j-1] {
+				t.Fatal("candidates not sorted")
+			}
+		}
+	}
+	// Different trees get different column subsets with high probability.
+	same := 0
+	for i := 1; i < len(a); i++ {
+		if equalInts(a[i].Params.Candidates, a[0].Params.Candidates) {
+			same++
+		}
+	}
+	if same == len(a)-1 {
+		t.Fatal("all trees sampled identical columns")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestColFracVariants(t *testing.T) {
+	if got := sampleSize(100, Config{ColFrac: 0.4}); got != 40 {
+		t.Fatalf("40%% of 100 = %d", got)
+	}
+	if got := sampleSize(100, Config{ColFrac: 0}); got != 10 {
+		t.Fatalf("sqrt(100) = %d", got)
+	}
+	if got := sampleSize(100, Config{ColFrac: -1}); got != 100 {
+		t.Fatalf("disabled sampling = %d", got)
+	}
+	if got := sampleSize(3, Config{ColFrac: 0.01}); got != 1 {
+		t.Fatalf("floor = %d", got)
+	}
+	if got := sampleSize(4, Config{ExtraTrees: true, ColFrac: 0.1}); got != 4 {
+		t.Fatalf("extra-trees sampling = %d, want all", got)
+	}
+}
+
+func TestLocalForestAccuracyBeatsSingleTree(t *testing.T) {
+	train, test := synth.Generate(synth.Spec{
+		Name: "rf", Rows: 6000, NumNumeric: 12, NumClasses: 2, ConceptDepth: 6, LabelNoise: 0.15, Seed: 62,
+	}, 0.25)
+	schema := cluster.SchemaOf(train)
+	trainer := &Local{Table: train}
+
+	single, err := Train(trainer, schema, Config{Trees: 1, Params: core.Defaults(), ColFrac: 0, Bootstrap: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Train(trainer, schema, Config{Trees: 25, Params: core.Defaults(), ColFrac: 0, Bootstrap: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, aN := single.Accuracy(test), many.Accuracy(test)
+	if aN <= a1 {
+		t.Fatalf("forest %.3f did not beat single bagged tree %.3f on noisy data", aN, a1)
+	}
+}
+
+func TestForestRegression(t *testing.T) {
+	train, test := synth.Generate(synth.Spec{
+		Name: "rfreg", Rows: 5000, NumNumeric: 8, NumClasses: 0, ConceptDepth: 4, LabelNoise: 0.3, Seed: 63,
+	}, 0.25)
+	schema := cluster.SchemaOf(train)
+	// ColFrac -1 disables column sampling: with only 8 features and a
+	// depth-4 concept, √|A| = 3 columns per tree cannot cover the concept.
+	f, err := Train(&Local{Table: train}, schema, Config{Trees: 10, Params: core.Defaults(), ColFrac: -1, Bootstrap: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse := f.RMSE(test); rmse > 3 {
+		t.Fatalf("forest rmse %.3f too high", rmse)
+	}
+}
+
+func TestExtraTreesForest(t *testing.T) {
+	train, test := synth.Generate(synth.Spec{
+		Name: "xtf", Rows: 5000, NumNumeric: 8, NumClasses: 2, ConceptDepth: 4, Seed: 64,
+	}, 0.25)
+	schema := cluster.SchemaOf(train)
+	f, err := Train(&Local{Table: train}, schema, Config{Trees: 15, Params: core.Defaults(), ExtraTrees: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Completely-random splits are individually weak; the ensemble must
+	// still clearly beat the 50% baseline.
+	if acc := f.Accuracy(test); acc < 0.62 {
+		t.Fatalf("extra-trees forest accuracy %.3f", acc)
+	}
+	for _, tr := range f.Trees {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("invalid member: %v", err)
+		}
+	}
+}
+
+func TestDistributedForestMatchesLocal(t *testing.T) {
+	// The same specs through the cluster and the local trainer must yield
+	// identical forests (the exactness claim lifted to ensembles).
+	train := synth.GenerateTrain(synth.Spec{
+		Name: "match", Rows: 4000, NumNumeric: 6, NumCategorical: 2, NumClasses: 2, ConceptDepth: 5, Seed: 65,
+	})
+	schema := cluster.SchemaOf(train)
+	cfg := Config{Trees: 5, Params: core.Defaults(), ColFrac: 0, Bootstrap: true, Seed: 11}
+
+	local, err := Train(&Local{Table: train}, schema, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cluster.NewInProcess(train, cluster.Config{
+		Workers: 3, Compers: 2,
+		Policy: task.Policy{TauD: 500, TauDFS: 2000, NPool: 4},
+	})
+	defer c.Close()
+	dist, err := Train(c, schema, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range local.Trees {
+		if !dist.Trees[i].Equal(local.Trees[i]) {
+			t.Fatalf("tree %d differs between cluster and local", i)
+		}
+	}
+}
+
+func TestTrainRejectsZeroTrees(t *testing.T) {
+	tbl := synth.GenerateTrain(synth.Spec{Name: "z", Rows: 100, NumNumeric: 2, NumClasses: 2, Seed: 66})
+	if _, err := Train(&Local{Table: tbl}, cluster.SchemaOf(tbl), Config{}); err == nil {
+		t.Fatal("zero trees accepted")
+	}
+}
+
+func TestPredictPMFSumsToOne(t *testing.T) {
+	train, _ := synth.Generate(synth.Spec{
+		Name: "pmf", Rows: 2000, NumNumeric: 5, NumClasses: 3, ConceptDepth: 3, Seed: 67,
+	}, 0)
+	f, err := Train(&Local{Table: train}, cluster.SchemaOf(train),
+		Config{Trees: 7, Params: core.Defaults(), Bootstrap: true, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 50; r++ {
+		pmf := f.PredictPMF(train, r, 0)
+		sum := 0.0
+		for _, p := range pmf {
+			sum += p
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("row %d pmf sums to %g", r, sum)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package forest
+
+import (
+	"fmt"
+	"sort"
+
+	"treeserver/internal/core"
+	"treeserver/internal/dataset"
+)
+
+// Importance computes mean-decrease-in-impurity feature importances for a
+// classification forest: each split contributes its weighted Gini decrease
+// to its split column, summed per tree and averaged over the forest, then
+// normalised to sum to 1. The computation is exact from the per-node class
+// distributions every TreeServer node already carries (Appendix D), so no
+// data pass is needed.
+//
+// Regression trees store only node means (not variances), so importance is
+// classification-only; it returns an error otherwise.
+func Importance(f *Forest, numFeatures int) ([]float64, error) {
+	if f.Task != dataset.Classification {
+		return nil, fmt.Errorf("forest: impurity importance needs a classification forest")
+	}
+	if len(f.Trees) == 0 {
+		return nil, fmt.Errorf("forest: empty forest")
+	}
+	total := make([]float64, numFeatures)
+	for _, tree := range f.Trees {
+		tree.Walk(func(n *core.Node) {
+			if n.Cond == nil || n.Left == nil || n.Right == nil {
+				return
+			}
+			if n.Cond.Col < 0 || n.Cond.Col >= numFeatures {
+				return
+			}
+			dec := float64(n.N)*giniOfPMF(n.PMF) -
+				float64(n.Left.N)*giniOfPMF(n.Left.PMF) -
+				float64(n.Right.N)*giniOfPMF(n.Right.PMF)
+			if dec > 0 {
+				total[n.Cond.Col] += dec
+			}
+		})
+	}
+	var sum float64
+	for _, v := range total {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range total {
+			total[i] /= sum
+		}
+	}
+	return total, nil
+}
+
+func giniOfPMF(pmf []float64) float64 {
+	if pmf == nil {
+		return 0
+	}
+	g := 1.0
+	for _, p := range pmf {
+		g -= p * p
+	}
+	return g
+}
+
+// RankedFeature pairs a column index with its importance score.
+type RankedFeature struct {
+	Col   int
+	Score float64
+}
+
+// RankImportance returns features sorted by descending importance.
+func RankImportance(importance []float64) []RankedFeature {
+	out := make([]RankedFeature, len(importance))
+	for i, s := range importance {
+		out[i] = RankedFeature{Col: i, Score: s}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Col < out[j].Col
+	})
+	return out
+}

@@ -1,0 +1,76 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"treeserver/internal/cluster"
+	"treeserver/internal/core"
+	"treeserver/internal/dataset"
+)
+
+// TestImportanceFindsSignalColumn plants the label in exactly one of eight
+// columns; that column must dominate the importance vector.
+func TestImportanceFindsSignalColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 4000
+	cols := make([]*dataset.Column, 9)
+	ys := make([]int32, n)
+	for c := 0; c < 8; c++ {
+		vals := make([]float64, n)
+		for r := range vals {
+			vals[r] = rng.NormFloat64()
+		}
+		cols[c] = dataset.NewNumeric("f", vals)
+	}
+	// Column 3 carries the signal.
+	for r := 0; r < n; r++ {
+		if cols[3].Floats[r] > 0 {
+			ys[r] = 1
+		}
+		if rng.Float64() < 0.05 {
+			ys[r] = 1 - ys[r]
+		}
+	}
+	cols[8] = dataset.NewCategorical("y", ys, []string{"a", "b"})
+	tbl := dataset.MustNewTable(cols, 8)
+
+	cfg := Config{Trees: 15, Params: core.Defaults(), ColFrac: -1, Bootstrap: true, Seed: 2}
+	f, err := Train(&Local{Table: tbl}, cluster.SchemaOf(tbl), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := Importance(f, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range imp {
+		if v < 0 {
+			t.Fatalf("negative importance %g", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importances sum to %g", sum)
+	}
+	ranked := RankImportance(imp)
+	if ranked[0].Col != 3 {
+		t.Fatalf("top feature = %d (%.3f), want 3; full ranking %+v", ranked[0].Col, ranked[0].Score, ranked)
+	}
+	if ranked[0].Score < 0.5 {
+		t.Fatalf("signal column importance only %.3f", ranked[0].Score)
+	}
+}
+
+func TestImportanceErrors(t *testing.T) {
+	reg := &Forest{Task: dataset.Regression}
+	if _, err := Importance(reg, 3); err == nil {
+		t.Fatal("regression accepted")
+	}
+	empty := &Forest{Task: dataset.Classification}
+	if _, err := Importance(empty, 3); err == nil {
+		t.Fatal("empty forest accepted")
+	}
+}

@@ -1,0 +1,219 @@
+package forest
+
+import (
+	"fmt"
+
+	"treeserver/internal/cluster"
+	"treeserver/internal/core"
+	"treeserver/internal/dataset"
+)
+
+// This file implements the model layer of the paper's Fig. 2: users submit
+// *model* training jobs (decision trees, random forests, extra-trees
+// forests) which are disassembled into individual decision trees, trained
+// together through one Trainer — on a TreeServer master the trees of every
+// model in a wave interleave in the shared n_pool-bounded engine — and
+// reassembled into the target models. Models may declare prerequisites (the
+// paper's dependency tracking for boosted/cascaded workloads): a model's
+// trees only become eligible once every prerequisite completes.
+
+// ModelKind enumerates the model types the server assembles.
+type ModelKind uint8
+
+const (
+	// DecisionTree is a single exact decision tree.
+	DecisionTree ModelKind = iota
+	// RandomForest is bagging with per-tree column sampling.
+	RandomForest
+	// ExtraForest is a completely-random (extra-trees) forest.
+	ExtraForest
+)
+
+// String implements fmt.Stringer.
+func (k ModelKind) String() string {
+	switch k {
+	case DecisionTree:
+		return "decision-tree"
+	case RandomForest:
+		return "random-forest"
+	case ExtraForest:
+		return "extra-forest"
+	default:
+		return fmt.Sprintf("ModelKind(%d)", uint8(k))
+	}
+}
+
+// ModelSpec describes one model job.
+type ModelSpec struct {
+	Name   string
+	Kind   ModelKind
+	Params core.Params
+	// Trees is the ensemble size (ignored for DecisionTree).
+	Trees int
+	// ColFrac is |C|/|A| per tree for RandomForest (0 = sqrt|A|).
+	ColFrac float64
+	// Bootstrap draws per-tree bags with replacement (forests).
+	Bootstrap bool
+	Seed      int64
+	// After lists indexes (into the submitted batch) of models that must
+	// complete before this model's trees are admitted.
+	After []int
+}
+
+// TrainedModel is a reassembled model.
+type TrainedModel struct {
+	Spec   ModelSpec
+	Forest *Forest // holds one tree for DecisionTree models
+}
+
+// Tree returns the single tree of a DecisionTree model (nil otherwise).
+func (m *TrainedModel) Tree() *core.Tree {
+	if m.Spec.Kind == DecisionTree && len(m.Forest.Trees) == 1 {
+		return m.Forest.Trees[0]
+	}
+	return nil
+}
+
+// PredictClass runs the model on one row.
+func (m *TrainedModel) PredictClass(tbl *dataset.Table, row int) int32 {
+	return m.Forest.PredictClass(tbl, row, 0)
+}
+
+// PredictValue runs a regression model on one row.
+func (m *TrainedModel) PredictValue(tbl *dataset.Table, row int) float64 {
+	return m.Forest.PredictValue(tbl, row, 0)
+}
+
+// Accuracy evaluates classification accuracy over a table.
+func (m *TrainedModel) Accuracy(tbl *dataset.Table) float64 { return m.Forest.Accuracy(tbl) }
+
+// specsFor expands a model into its tree specs.
+func specsFor(schema cluster.Schema, m ModelSpec) ([]cluster.TreeSpec, error) {
+	switch m.Kind {
+	case DecisionTree:
+		params := m.Params
+		params.Seed = m.Seed
+		return []cluster.TreeSpec{{Params: params}}, nil
+	case RandomForest:
+		if m.Trees <= 0 {
+			return nil, fmt.Errorf("forest: model %q: random forest needs Trees > 0", m.Name)
+		}
+		return Specs(schema, Config{
+			Trees: m.Trees, Params: m.Params, ColFrac: m.ColFrac,
+			Bootstrap: m.Bootstrap, Seed: m.Seed,
+		}), nil
+	case ExtraForest:
+		if m.Trees <= 0 {
+			return nil, fmt.Errorf("forest: model %q: extra forest needs Trees > 0", m.Name)
+		}
+		return Specs(schema, Config{
+			Trees: m.Trees, Params: m.Params, ExtraTrees: true,
+			Bootstrap: m.Bootstrap, Seed: m.Seed,
+		}), nil
+	default:
+		return nil, fmt.Errorf("forest: model %q: unknown kind %v", m.Name, m.Kind)
+	}
+}
+
+// TrainModels trains a batch of model jobs through the trainer. Models
+// without dependencies train concurrently in one wave (a DT and an RF
+// interleave their tree tasks exactly as in Fig. 2); dependent models run
+// in later waves once their prerequisites finish. Results are returned in
+// submission order.
+func TrainModels(tr Trainer, schema cluster.Schema, models []ModelSpec) ([]*TrainedModel, error) {
+	if err := validateDependencies(models); err != nil {
+		return nil, err
+	}
+	out := make([]*TrainedModel, len(models))
+	done := make([]bool, len(models))
+	for remaining := len(models); remaining > 0; {
+		// Collect the wave of models whose prerequisites are all done.
+		var wave []int
+		for i, spec := range models {
+			if done[i] {
+				continue
+			}
+			ready := true
+			for _, dep := range spec.After {
+				if !done[dep] {
+					ready = false
+				}
+			}
+			if ready {
+				wave = append(wave, i)
+			}
+		}
+		// validateDependencies rejects cycles, so a wave is always found.
+		var allSpecs []cluster.TreeSpec
+		offsets := make([]int, len(wave)+1)
+		for wi, mi := range wave {
+			specs, err := specsFor(schema, models[mi])
+			if err != nil {
+				return nil, err
+			}
+			allSpecs = append(allSpecs, specs...)
+			offsets[wi+1] = offsets[wi] + len(specs)
+		}
+		trees, err := tr.Train(allSpecs)
+		if err != nil {
+			return nil, err
+		}
+		for wi, mi := range wave {
+			slice := trees[offsets[wi]:offsets[wi+1]]
+			out[mi] = &TrainedModel{
+				Spec: models[mi],
+				Forest: &Forest{
+					Trees:      append([]*core.Tree(nil), slice...),
+					Task:       schema.Task,
+					NumClasses: schema.NumClasses,
+				},
+			}
+			done[mi] = true
+			remaining--
+		}
+	}
+	return out, nil
+}
+
+func validateDependencies(models []ModelSpec) error {
+	for i, spec := range models {
+		for _, dep := range spec.After {
+			if dep < 0 || dep >= len(models) {
+				return fmt.Errorf("forest: model %d depends on out-of-range model %d", i, dep)
+			}
+			if dep == i {
+				return fmt.Errorf("forest: model %d depends on itself", i)
+			}
+		}
+	}
+	const (
+		white = iota
+		grey
+		black
+	)
+	colour := make([]int, len(models))
+	var visit func(int) error
+	visit = func(i int) error {
+		colour[i] = grey
+		for _, dep := range models[i].After {
+			switch colour[dep] {
+			case grey:
+				return fmt.Errorf("forest: dependency cycle through model %d", i)
+			case white:
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		colour[i] = black
+		return nil
+	}
+	for i := range models {
+		if colour[i] == white {
+			if err := visit(i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

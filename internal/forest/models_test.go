@@ -1,0 +1,136 @@
+package forest
+
+import (
+	"testing"
+
+	"treeserver/internal/cluster"
+	"treeserver/internal/core"
+	"treeserver/internal/synth"
+	"treeserver/internal/task"
+)
+
+func modelTestCluster(t *testing.T) (*cluster.Cluster, cluster.Schema, func()) {
+	t.Helper()
+	train := synth.GenerateTrain(synth.Spec{
+		Name: "models", Rows: 4000, NumNumeric: 6, NumCategorical: 2,
+		NumClasses: 2, ConceptDepth: 4, Seed: 81,
+	})
+	c := cluster.NewInProcess(train, cluster.Config{
+		Workers: 3, Compers: 2,
+		Policy: task.Policy{TauD: 500, TauDFS: 2000, NPool: 32},
+	})
+	return c, cluster.SchemaOf(train), c.Close
+}
+
+// TestTrainModelsFig2 reproduces the Fig. 2 scenario: two decision trees
+// and a random forest submitted together, disassembled into 5 trees trained
+// in one pool, and reassembled per model.
+func TestTrainModelsFig2(t *testing.T) {
+	c, schema, done := modelTestCluster(t)
+	defer done()
+	models := []ModelSpec{
+		{Name: "DT1", Kind: DecisionTree, Params: core.Params{MaxDepth: 6, MinLeaf: 1}},
+		{Name: "DT2", Kind: DecisionTree, Params: core.Params{MaxDepth: 8, MinLeaf: 1}},
+		{Name: "RF3", Kind: RandomForest, Params: core.Defaults(), Trees: 3, ColFrac: 0.4, Bootstrap: true, Seed: 5},
+	}
+	trained, err := TrainModels(c, schema, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trained) != 3 {
+		t.Fatalf("models = %d", len(trained))
+	}
+	if trained[0].Tree() == nil || trained[1].Tree() == nil {
+		t.Fatal("decision-tree models missing single tree")
+	}
+	if trained[0].Tree().MaxDepth > 6 || trained[1].Tree().MaxDepth > 8 {
+		t.Fatal("dmax not respected per model")
+	}
+	if got := len(trained[2].Forest.Trees); got != 3 {
+		t.Fatalf("RF3 has %d trees, want 3", got)
+	}
+	if trained[2].Tree() != nil {
+		t.Fatal("forest model reported a single tree")
+	}
+	// 40% of 8 features = 3 columns per tree.
+	for _, tr := range trained[2].Forest.Trees {
+		tr.Walk(func(n *core.Node) {
+			if n.Cond != nil && n.Cond.Col > 7 {
+				t.Fatal("split outside feature range")
+			}
+		})
+	}
+}
+
+func TestTrainModelsDependencies(t *testing.T) {
+	c, schema, done := modelTestCluster(t)
+	defer done()
+	models := []ModelSpec{
+		{Name: "base", Kind: DecisionTree, Params: core.Defaults()},
+		{Name: "second", Kind: DecisionTree, Params: core.Defaults(), After: []int{0}},
+		{Name: "third", Kind: DecisionTree, Params: core.Defaults(), After: []int{1}},
+	}
+	trained, err := TrainModels(c, schema, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical params on the same data: all three trees must be equal.
+	if !trained[0].Tree().Equal(trained[1].Tree()) || !trained[1].Tree().Equal(trained[2].Tree()) {
+		t.Fatal("dependent waves changed training results")
+	}
+}
+
+func TestTrainModelsRejectsBadDependencies(t *testing.T) {
+	c, schema, done := modelTestCluster(t)
+	defer done()
+	cases := [][]ModelSpec{
+		{{Name: "self", Kind: DecisionTree, Params: core.Defaults(), After: []int{0}}},
+		{{Name: "oob", Kind: DecisionTree, Params: core.Defaults(), After: []int{5}}},
+		{
+			{Name: "a", Kind: DecisionTree, Params: core.Defaults(), After: []int{1}},
+			{Name: "b", Kind: DecisionTree, Params: core.Defaults(), After: []int{0}},
+		},
+	}
+	for i, models := range cases {
+		if _, err := TrainModels(c, schema, models); err == nil {
+			t.Fatalf("case %d: invalid dependencies accepted", i)
+		}
+	}
+}
+
+func TestTrainModelsValidation(t *testing.T) {
+	c, schema, done := modelTestCluster(t)
+	defer done()
+	if _, err := TrainModels(c, schema, []ModelSpec{{Name: "rf0", Kind: RandomForest, Params: core.Defaults()}}); err == nil {
+		t.Fatal("forest with zero trees accepted")
+	}
+	if _, err := TrainModels(c, schema, []ModelSpec{{Name: "bad", Kind: ModelKind(99), Params: core.Defaults()}}); err == nil {
+		t.Fatal("unknown model kind accepted")
+	}
+}
+
+func TestTrainModelsExtraForest(t *testing.T) {
+	c, schema, done := modelTestCluster(t)
+	defer done()
+	trained, err := TrainModels(c, schema, []ModelSpec{
+		{Name: "XT", Kind: ExtraForest, Params: core.Defaults(), Trees: 4, Bootstrap: true, Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trained[0].Forest.Trees) != 4 {
+		t.Fatalf("trees = %d", len(trained[0].Forest.Trees))
+	}
+	for _, tr := range trained[0].Forest.Trees {
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("invalid extra tree: %v", err)
+		}
+	}
+}
+
+func TestModelKindStrings(t *testing.T) {
+	if DecisionTree.String() != "decision-tree" || RandomForest.String() != "random-forest" ||
+		ExtraForest.String() != "extra-forest" {
+		t.Fatal("kind strings wrong")
+	}
+}

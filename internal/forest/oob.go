@@ -1,0 +1,95 @@
+package forest
+
+import (
+	"fmt"
+
+	"treeserver/internal/cluster"
+	"treeserver/internal/dataset"
+	"treeserver/internal/metrics"
+)
+
+// OOBReport is the out-of-bag evaluation of a bootstrap forest: each row is
+// scored only by the trees whose bags excluded it, giving an unbiased error
+// estimate without a held-out set.
+type OOBReport struct {
+	// Covered is the number of rows that were out of bag for at least one
+	// tree (rows in every bag cannot be scored).
+	Covered int
+	// Accuracy is the OOB accuracy over covered rows (classification).
+	Accuracy float64
+	// RMSE is the OOB error over covered rows (regression).
+	RMSE float64
+}
+
+// OOB computes the out-of-bag estimate for a forest trained from the given
+// specs on tbl. The specs must be the ones the forest was trained with
+// (bags are re-derived from their seeds, the same way workers derive root
+// rows — nothing was recorded during training).
+func OOB(f *Forest, specs []cluster.TreeSpec, tbl *dataset.Table) (OOBReport, error) {
+	if len(specs) != len(f.Trees) {
+		return OOBReport{}, fmt.Errorf("forest: %d specs for %d trees", len(specs), len(f.Trees))
+	}
+	n := tbl.NumRows()
+	classification := f.Task == dataset.Classification
+
+	votes := make([][]float64, n) // class votes, or [sum, count] for regression
+	for ti, spec := range specs {
+		if spec.Bag.Sample <= 0 {
+			return OOBReport{}, fmt.Errorf("forest: tree %d has no bootstrap bag; OOB needs Bootstrap forests", ti)
+		}
+		bag := spec.Bag
+		if bag.NumRows == 0 {
+			bag.NumRows = n
+		}
+		inBag := make([]bool, n)
+		for _, r := range bag.Rows() {
+			inBag[r] = true
+		}
+		tree := f.Trees[ti]
+		for r := 0; r < n; r++ {
+			if inBag[r] {
+				continue
+			}
+			if votes[r] == nil {
+				if classification {
+					votes[r] = make([]float64, f.NumClasses)
+				} else {
+					votes[r] = make([]float64, 2)
+				}
+			}
+			if classification {
+				for k, p := range tree.PredictPMF(tbl, r, 0) {
+					votes[r][k] += p
+				}
+			} else {
+				votes[r][0] += tree.PredictValue(tbl, r, 0)
+				votes[r][1]++
+			}
+		}
+	}
+
+	rep := OOBReport{}
+	y := tbl.Y()
+	var pred []int32
+	var actual []int32
+	var predV, actualV []float64
+	for r := 0; r < n; r++ {
+		if votes[r] == nil {
+			continue
+		}
+		rep.Covered++
+		if classification {
+			pred = append(pred, metrics.ArgMax(votes[r]))
+			actual = append(actual, y.Cats[r])
+		} else {
+			predV = append(predV, votes[r][0]/votes[r][1])
+			actualV = append(actualV, y.Floats[r])
+		}
+	}
+	if classification {
+		rep.Accuracy = metrics.Accuracy(pred, actual)
+	} else {
+		rep.RMSE = metrics.RMSE(predV, actualV)
+	}
+	return rep, nil
+}

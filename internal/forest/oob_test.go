@@ -1,0 +1,87 @@
+package forest
+
+import (
+	"math"
+	"testing"
+
+	"treeserver/internal/cluster"
+	"treeserver/internal/core"
+	"treeserver/internal/synth"
+)
+
+func TestOOBClassification(t *testing.T) {
+	train, test := synth.Generate(synth.Spec{
+		Name: "oob", Rows: 4000, NumNumeric: 8, NumClasses: 2, ConceptDepth: 4,
+		LabelNoise: 0.1, Seed: 101,
+	}, 0.25)
+	cfg := Config{Trees: 25, Params: core.Defaults(), ColFrac: -1, Bootstrap: true, Seed: 3}
+	schema := cluster.SchemaOf(train)
+	specs := Specs(schema, cfg)
+	f, err := Train(&Local{Table: train}, schema, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := OOB(f, specs, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 25 bootstrap bags virtually every row is OOB somewhere.
+	if rep.Covered < train.NumRows()*99/100 {
+		t.Fatalf("covered %d of %d", rep.Covered, train.NumRows())
+	}
+	// OOB accuracy should approximate held-out accuracy, not training fit.
+	heldOut := f.Accuracy(test)
+	if math.Abs(rep.Accuracy-heldOut) > 0.05 {
+		t.Fatalf("OOB %.3f vs held-out %.3f: estimate not unbiased", rep.Accuracy, heldOut)
+	}
+}
+
+func TestOOBRegression(t *testing.T) {
+	train, test := synth.Generate(synth.Spec{
+		Name: "oobr", Rows: 4000, NumNumeric: 6, NumClasses: 0, ConceptDepth: 3,
+		LabelNoise: 0.3, Seed: 102,
+	}, 0.25)
+	cfg := Config{Trees: 20, Params: core.Defaults(), ColFrac: -1, Bootstrap: true, Seed: 4}
+	schema := cluster.SchemaOf(train)
+	specs := Specs(schema, cfg)
+	f, err := Train(&Local{Table: train}, schema, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := OOB(f, specs, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heldOut := f.RMSE(test)
+	if rep.RMSE <= 0 {
+		t.Fatal("no OOB RMSE")
+	}
+	if math.Abs(rep.RMSE-heldOut) > 0.5*heldOut {
+		t.Fatalf("OOB rmse %.3f vs held-out %.3f", rep.RMSE, heldOut)
+	}
+}
+
+func TestOOBErrors(t *testing.T) {
+	train := synth.GenerateTrain(synth.Spec{
+		Name: "oobe", Rows: 500, NumNumeric: 3, NumClasses: 2, Seed: 103,
+	})
+	schema := cluster.SchemaOf(train)
+	cfg := Config{Trees: 3, Params: core.Defaults(), Bootstrap: true, Seed: 5}
+	specs := Specs(schema, cfg)
+	f, err := Train(&Local{Table: train}, schema, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OOB(f, specs[:2], train); err == nil {
+		t.Fatal("spec/tree count mismatch accepted")
+	}
+	noBag := Config{Trees: 3, Params: core.Defaults(), Seed: 5} // no bootstrap
+	nbSpecs := Specs(schema, noBag)
+	nbForest, err := Train(&Local{Table: train}, schema, noBag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OOB(nbForest, nbSpecs, train); err == nil {
+		t.Fatal("OOB without bootstrap accepted")
+	}
+}

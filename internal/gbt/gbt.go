@@ -1,0 +1,222 @@
+// Package gbt implements distributed gradient-boosted trees ON TOP of the
+// TreeServer engine — the extension the paper's tree-dependency discussion
+// (Section III, "Tree Scheduling") points at but does not build: boosting
+// rounds are sequential, but each round's regression tree trains with full
+// TreeServer parallelism (exact splits, column tasks, subtree tasks).
+//
+// Between rounds the driver computes pseudo-residuals from the current
+// ensemble and pushes them to the workers as the new target column via the
+// cluster's SetTarget protocol. Squared loss fits residuals directly;
+// binary classification follows Friedman's gradient boosting with the
+// logistic loss (trees fit y - p).
+package gbt
+
+import (
+	"fmt"
+	"math"
+
+	"treeserver/internal/cluster"
+	"treeserver/internal/core"
+	"treeserver/internal/dataset"
+	"treeserver/internal/metrics"
+)
+
+// Engine is the training substrate: the distributed cluster, or a local
+// stand-in for tests. Both retrain regression trees against a replaceable
+// numeric target.
+type Engine interface {
+	Train(specs []cluster.TreeSpec) ([]*core.Tree, error)
+	SetTarget(y []float64) error
+}
+
+// LocalEngine trains rounds serially on an in-memory copy of the table —
+// the reference the distributed engine is tested against.
+type LocalEngine struct {
+	Table *dataset.Table // feature columns are shared; Y is replaced
+}
+
+// Train implements Engine.
+func (l *LocalEngine) Train(specs []cluster.TreeSpec) ([]*core.Tree, error) {
+	out := make([]*core.Tree, len(specs))
+	for i, spec := range specs {
+		if spec.Bag.NumRows == 0 {
+			spec.Bag.NumRows = l.Table.NumRows()
+		}
+		out[i] = core.TrainLocal(l.Table, spec.Bag.Rows(), spec.Params)
+	}
+	return out, nil
+}
+
+// SetTarget implements Engine.
+func (l *LocalEngine) SetTarget(y []float64) error {
+	if len(y) != l.Table.NumRows() {
+		return fmt.Errorf("gbt: target has %d values, table has %d rows", len(y), l.Table.NumRows())
+	}
+	cols := append([]*dataset.Column(nil), l.Table.Cols...)
+	cols[l.Table.Target] = dataset.NewNumeric("Y", y)
+	l.Table = &dataset.Table{Cols: cols, Target: l.Table.Target}
+	return nil
+}
+
+// Config are the boosting hyperparameters.
+type Config struct {
+	Rounds       int
+	LearningRate float64 // default 0.1
+	MaxDepth     int     // default 4 (shallow trees boost best)
+	MinLeaf      int     // default 1
+	// Subsample draws a bootstrap fraction of rows per round (stochastic
+	// gradient boosting); 0 or 1 uses all rows.
+	Subsample float64
+	Seed      int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Rounds <= 0 {
+		c.Rounds = 10
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 4
+	}
+	if c.MinLeaf < 1 {
+		c.MinLeaf = 1
+	}
+	return c
+}
+
+// Model is a trained gradient-boosted ensemble of TreeServer trees.
+type Model struct {
+	Base           float64
+	LearningRate   float64
+	Trees          []*core.Tree
+	Classification bool // binary logistic when true
+}
+
+// Margin returns the raw additive score for a row.
+func (m *Model) Margin(tbl *dataset.Table, row int) float64 {
+	out := m.Base
+	for _, t := range m.Trees {
+		out += m.LearningRate * t.PredictValue(tbl, row, 0)
+	}
+	return out
+}
+
+// PredictValue returns the regression prediction.
+func (m *Model) PredictValue(tbl *dataset.Table, row int) float64 {
+	return m.Margin(tbl, row)
+}
+
+// PredictProb returns P(class 1) for binary models.
+func (m *Model) PredictProb(tbl *dataset.Table, row int) float64 {
+	return 1 / (1 + math.Exp(-m.Margin(tbl, row)))
+}
+
+// PredictClass returns 0/1 for binary models.
+func (m *Model) PredictClass(tbl *dataset.Table, row int) int32 {
+	if m.Margin(tbl, row) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Accuracy scores a binary model against a table's categorical labels.
+func (m *Model) Accuracy(tbl *dataset.Table) float64 {
+	pred := make([]int32, tbl.NumRows())
+	for r := range pred {
+		pred[r] = m.PredictClass(tbl, r)
+	}
+	return metrics.Accuracy(pred, tbl.Y().Cats)
+}
+
+// RMSE scores a regression model.
+func (m *Model) RMSE(tbl *dataset.Table) float64 {
+	pred := make([]float64, tbl.NumRows())
+	actual := make([]float64, tbl.NumRows())
+	for r := range pred {
+		pred[r] = m.PredictValue(tbl, r)
+		actual[r] = tbl.Y().Float(r)
+	}
+	return metrics.RMSE(pred, actual)
+}
+
+// Train fits a boosted model. tbl is the driver-side view of the training
+// table (used to compute gradients and route predictions); engine is where
+// the trees actually train — pass the cluster for distributed rounds.
+//
+// The engine's target column is consumed: after Train it holds the last
+// round's residuals.
+func Train(engine Engine, tbl *dataset.Table, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	n := tbl.NumRows()
+	if n == 0 {
+		return nil, fmt.Errorf("gbt: empty table")
+	}
+	y := tbl.Y()
+	m := &Model{LearningRate: cfg.LearningRate}
+	var labels []float64
+	switch {
+	case tbl.Task() == dataset.Regression:
+		labels = make([]float64, n)
+		var sum float64
+		for r := 0; r < n; r++ {
+			labels[r] = y.Floats[r]
+			sum += labels[r]
+		}
+		m.Base = sum / float64(n)
+	case tbl.NumClasses() == 2:
+		m.Classification = true
+		labels = make([]float64, n)
+		pos := 0
+		for r := 0; r < n; r++ {
+			labels[r] = float64(y.Cats[r])
+			pos += int(y.Cats[r])
+		}
+		// Base = prior log-odds.
+		p := (float64(pos) + 0.5) / (float64(n) + 1)
+		m.Base = math.Log(p / (1 - p))
+	default:
+		return nil, fmt.Errorf("gbt: only regression and binary classification are supported (got %d classes)", tbl.NumClasses())
+	}
+
+	margins := make([]float64, n)
+	for r := range margins {
+		margins[r] = m.Base
+	}
+	residuals := make([]float64, n)
+
+	params := core.Params{MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf}
+	for round := 0; round < cfg.Rounds; round++ {
+		// Pseudo-residuals of the loss at the current margins.
+		for r := 0; r < n; r++ {
+			if m.Classification {
+				p := 1 / (1 + math.Exp(-margins[r]))
+				residuals[r] = labels[r] - p
+			} else {
+				residuals[r] = labels[r] - margins[r]
+			}
+		}
+		if err := engine.SetTarget(residuals); err != nil {
+			return nil, fmt.Errorf("gbt: round %d: %w", round, err)
+		}
+		spec := cluster.TreeSpec{Params: params}
+		if cfg.Subsample > 0 && cfg.Subsample < 1 {
+			spec.Bag = cluster.BagSpec{
+				NumRows: n,
+				Sample:  int(cfg.Subsample * float64(n)),
+				Seed:    cfg.Seed + int64(round),
+			}
+		}
+		trees, err := engine.Train([]cluster.TreeSpec{spec})
+		if err != nil {
+			return nil, fmt.Errorf("gbt: round %d: %w", round, err)
+		}
+		tree := trees[0]
+		m.Trees = append(m.Trees, tree)
+		for r := 0; r < n; r++ {
+			margins[r] += cfg.LearningRate * tree.PredictValue(tbl, r, 0)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,175 @@
+package gbt
+
+import (
+	"math"
+	"testing"
+
+	"treeserver/internal/cluster"
+	"treeserver/internal/dataset"
+	"treeserver/internal/synth"
+	"treeserver/internal/task"
+)
+
+func TestLocalRegressionLearnsStep(t *testing.T) {
+	n := 2000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i-n/2) / 100
+		if xs[i] > 0 {
+			ys[i] = 10
+		}
+	}
+	tbl := dataset.MustNewTable([]*dataset.Column{
+		dataset.NewNumeric("x", xs), dataset.NewNumeric("y", ys),
+	}, 1)
+	m, err := Train(&LocalEngine{Table: tbl}, tbl, Config{Rounds: 25, MaxDepth: 2, LearningRate: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse := m.RMSE(tbl); rmse > 1 {
+		t.Fatalf("rmse %.3f too high", rmse)
+	}
+}
+
+func TestLocalBinaryClassification(t *testing.T) {
+	train, test := synth.Generate(synth.Spec{
+		Name: "gbtc", Rows: 5000, NumNumeric: 8, NumClasses: 2, ConceptDepth: 4, LabelNoise: 0.05, Seed: 61,
+	}, 0.25)
+	m, err := Train(&LocalEngine{Table: train}, train, Config{Rounds: 30, MaxDepth: 4, LearningRate: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Classification {
+		t.Fatal("not classification")
+	}
+	if acc := m.Accuracy(test); acc < 0.85 {
+		t.Fatalf("accuracy %.3f too low", acc)
+	}
+	// Probabilities are proper.
+	for r := 0; r < 20; r++ {
+		p := m.PredictProb(test, r)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("bad probability %g", p)
+		}
+	}
+}
+
+func TestAccuracyImprovesWithRounds(t *testing.T) {
+	train, test := synth.Generate(synth.Spec{
+		Name: "gbtr", Rows: 5000, NumNumeric: 10, NumClasses: 2, ConceptDepth: 6, LabelNoise: 0.05, Seed: 62,
+	}, 0.25)
+	few, err := Train(&LocalEngine{Table: train}, train, Config{Rounds: 2, MaxDepth: 4, LearningRate: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Train(&LocalEngine{Table: train}, train, Config{Rounds: 40, MaxDepth: 4, LearningRate: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Accuracy(test) <= few.Accuracy(test) {
+		t.Fatalf("rounds did not help: %d trees %.3f vs %d trees %.3f",
+			len(few.Trees), few.Accuracy(test), len(many.Trees), many.Accuracy(test))
+	}
+}
+
+func TestMulticlassRejected(t *testing.T) {
+	train := synth.GenerateTrain(synth.Spec{
+		Name: "gbtm", Rows: 500, NumNumeric: 4, NumClasses: 3, ConceptDepth: 3, Seed: 63,
+	})
+	if _, err := Train(&LocalEngine{Table: train}, train, Config{Rounds: 2}); err == nil {
+		t.Fatal("multiclass accepted")
+	}
+}
+
+// TestDistributedMatchesLocal is the headline: gradient boosting through
+// the TreeServer cluster — SetTarget between rounds, exact distributed
+// trees within rounds — must reproduce the local reference bit for bit.
+func TestDistributedMatchesLocal(t *testing.T) {
+	train, test := synth.Generate(synth.Spec{
+		Name: "gbtd", Rows: 4000, NumNumeric: 6, NumCategorical: 2, NumClasses: 2,
+		ConceptDepth: 4, LabelNoise: 0.05, Seed: 64,
+	}, 0.25)
+	cfg := Config{Rounds: 6, MaxDepth: 4, LearningRate: 0.3}
+
+	local, err := Train(&LocalEngine{Table: train}, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := cluster.NewInProcess(train, cluster.Config{
+		Workers: 3, Compers: 2,
+		Policy: task.Policy{TauD: 500, TauDFS: 2000, NPool: 4},
+	})
+	defer c.Close()
+	dist, err := Train(c, train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(dist.Trees) != len(local.Trees) {
+		t.Fatalf("tree counts %d vs %d", len(dist.Trees), len(local.Trees))
+	}
+	for i := range dist.Trees {
+		if !dist.Trees[i].Equal(local.Trees[i]) {
+			t.Fatalf("round %d tree differs between cluster and local", i)
+		}
+	}
+	if math.Abs(dist.Accuracy(test)-local.Accuracy(test)) > 1e-12 {
+		t.Fatal("accuracies differ")
+	}
+	if dist.Accuracy(test) < 0.75 {
+		t.Fatalf("distributed gbt accuracy %.3f too low", dist.Accuracy(test))
+	}
+}
+
+func TestSubsampleRounds(t *testing.T) {
+	train, test := synth.Generate(synth.Spec{
+		Name: "gbts", Rows: 4000, NumNumeric: 8, NumClasses: 2, ConceptDepth: 4, Seed: 65,
+	}, 0.25)
+	m, err := Train(&LocalEngine{Table: train}, train,
+		Config{Rounds: 20, MaxDepth: 4, LearningRate: 0.3, Subsample: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(test); acc < 0.8 {
+		t.Fatalf("stochastic gbt accuracy %.3f", acc)
+	}
+}
+
+func TestSetTargetValidation(t *testing.T) {
+	train := synth.GenerateTrain(synth.Spec{
+		Name: "gbtv", Rows: 100, NumNumeric: 3, NumClasses: 2, Seed: 66,
+	})
+	le := &LocalEngine{Table: train}
+	if err := le.SetTarget(make([]float64, 5)); err == nil {
+		t.Fatal("wrong-length target accepted locally")
+	}
+	c := cluster.NewInProcess(train, cluster.Config{Workers: 2, Compers: 1})
+	defer c.Close()
+	if err := c.SetTarget(make([]float64, 5)); err == nil {
+		t.Fatal("wrong-length target accepted by cluster")
+	}
+	if err := c.SetTarget(make([]float64, 100)); err != nil {
+		t.Fatalf("valid target rejected: %v", err)
+	}
+}
+
+func TestRegressionBaseIsMean(t *testing.T) {
+	tbl := dataset.MustNewTable([]*dataset.Column{
+		dataset.NewNumeric("x", []float64{1, 1, 1, 1}),
+		dataset.NewNumeric("y", []float64{2, 4, 6, 8}),
+	}, 1)
+	m, err := Train(&LocalEngine{Table: tbl}, tbl, Config{Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Base != 5 {
+		t.Fatalf("base = %g, want 5", m.Base)
+	}
+	for r := 0; r < 4; r++ {
+		if got := m.PredictValue(tbl, r); got != 5 {
+			t.Fatalf("constant feature should predict the mean, got %g", got)
+		}
+	}
+}

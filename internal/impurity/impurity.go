@@ -1,0 +1,218 @@
+// Package impurity provides the node impurity measures used to score split
+// conditions: Gini index and entropy for classification, variance for
+// regression. All three are exposed both as pure functions over summary
+// statistics and as incremental accumulators, so split finders can evaluate
+// every candidate threshold with O(1) work per row (Appendix B of the paper).
+package impurity
+
+import "math"
+
+// Measure selects an impurity function.
+type Measure uint8
+
+const (
+	// Gini is the Gini index, the paper's default for classification.
+	Gini Measure = iota
+	// Entropy is the Shannon entropy of the class distribution.
+	Entropy
+	// Variance is the Y variance, the paper's measure for regression.
+	Variance
+)
+
+// String implements fmt.Stringer.
+func (m Measure) String() string {
+	switch m {
+	case Gini:
+		return "gini"
+	case Entropy:
+		return "entropy"
+	case Variance:
+		return "variance"
+	default:
+		return "unknown"
+	}
+}
+
+// ForClassification reports whether the measure applies to categorical Y.
+func (m Measure) ForClassification() bool { return m == Gini || m == Entropy }
+
+// GiniFromCounts computes the Gini index 1 - sum(p_k^2) of a class count
+// vector. An empty node has impurity 0.
+func GiniFromCounts(counts []int) float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	sumSq := 0.0
+	for _, c := range counts {
+		p := float64(c) / float64(total)
+		sumSq += p * p
+	}
+	return 1 - sumSq
+}
+
+// EntropyFromCounts computes the Shannon entropy (base 2) of a class count
+// vector. An empty node has impurity 0.
+func EntropyFromCounts(counts []int) float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// VarianceFromMoments computes the population variance from a count, sum and
+// sum of squares. An empty node has impurity 0.
+func VarianceFromMoments(n int, sum, sumSq float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	mean := sum / float64(n)
+	v := sumSq/float64(n) - mean*mean
+	if v < 0 { // guard tiny negative values from floating-point cancellation
+		return 0
+	}
+	return v
+}
+
+// ClassCounter accumulates class counts incrementally so that split finders
+// can slide rows from the right partition to the left in O(1) per row.
+type ClassCounter struct {
+	Counts []int
+	N      int
+}
+
+// NewClassCounter returns a counter over k classes.
+func NewClassCounter(k int) *ClassCounter {
+	return &ClassCounter{Counts: make([]int, k)}
+}
+
+// Add records one observation of class c.
+func (cc *ClassCounter) Add(c int32) {
+	cc.Counts[c]++
+	cc.N++
+}
+
+// Remove removes one observation of class c.
+func (cc *ClassCounter) Remove(c int32) {
+	cc.Counts[c]--
+	cc.N--
+}
+
+// AddN records n observations of class c.
+func (cc *ClassCounter) AddN(c int32, n int) {
+	cc.Counts[c] += n
+	cc.N += n
+}
+
+// Reset zeroes the counter in place.
+func (cc *ClassCounter) Reset() {
+	for i := range cc.Counts {
+		cc.Counts[i] = 0
+	}
+	cc.N = 0
+}
+
+// Impurity evaluates the measure on the current counts. Variance is invalid
+// for a ClassCounter and panics.
+func (cc *ClassCounter) Impurity(m Measure) float64 {
+	switch m {
+	case Gini:
+		return GiniFromCounts(cc.Counts)
+	case Entropy:
+		return EntropyFromCounts(cc.Counts)
+	default:
+		panic("impurity: class counter cannot evaluate " + m.String())
+	}
+}
+
+// Majority returns the class with the highest count (lowest index wins ties)
+// or -1 when empty.
+func (cc *ClassCounter) Majority() int32 {
+	if cc.N == 0 {
+		return -1
+	}
+	best := 0
+	for i, c := range cc.Counts {
+		if c > cc.Counts[best] {
+			best = i
+		}
+	}
+	return int32(best)
+}
+
+// PMF returns the probability mass function over classes; nil when empty.
+func (cc *ClassCounter) PMF() []float64 {
+	if cc.N == 0 {
+		return nil
+	}
+	p := make([]float64, len(cc.Counts))
+	for i, c := range cc.Counts {
+		p[i] = float64(c) / float64(cc.N)
+	}
+	return p
+}
+
+// MomentAccumulator accumulates count/sum/sum-of-squares for regression
+// targets, the incremental counterpart of VarianceFromMoments.
+type MomentAccumulator struct {
+	N     int
+	Sum   float64
+	SumSq float64
+}
+
+// Add records one observation.
+func (ma *MomentAccumulator) Add(y float64) {
+	ma.N++
+	ma.Sum += y
+	ma.SumSq += y * y
+}
+
+// Remove removes one observation.
+func (ma *MomentAccumulator) Remove(y float64) {
+	ma.N--
+	ma.Sum -= y
+	ma.SumSq -= y * y
+}
+
+// Reset zeroes the accumulator.
+func (ma *MomentAccumulator) Reset() { *ma = MomentAccumulator{} }
+
+// Mean returns the running mean, or 0 when empty.
+func (ma *MomentAccumulator) Mean() float64 {
+	if ma.N == 0 {
+		return 0
+	}
+	return ma.Sum / float64(ma.N)
+}
+
+// Impurity returns the population variance of the accumulated observations.
+func (ma *MomentAccumulator) Impurity() float64 {
+	return VarianceFromMoments(ma.N, ma.Sum, ma.SumSq)
+}
+
+// WeightedSplit combines left/right impurities into the impurity of a split,
+// weighting each side by its row share. This is the quantity split finders
+// minimise; the parent impurity is constant per node so it can be ignored
+// when comparing candidates.
+func WeightedSplit(leftN int, leftImp float64, rightN int, rightImp float64) float64 {
+	total := leftN + rightN
+	if total == 0 {
+		return 0
+	}
+	return (float64(leftN)*leftImp + float64(rightN)*rightImp) / float64(total)
+}

@@ -1,0 +1,189 @@
+package impurity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGiniKnownValues(t *testing.T) {
+	cases := []struct {
+		counts []int
+		want   float64
+	}{
+		{[]int{0, 0}, 0},
+		{[]int{5, 0}, 0},
+		{[]int{5, 5}, 0.5},
+		{[]int{1, 1, 1, 1}, 0.75},
+		{[]int{9, 1}, 1 - 0.81 - 0.01},
+	}
+	for _, c := range cases {
+		if got := GiniFromCounts(c.counts); !almostEqual(got, c.want) {
+			t.Errorf("gini(%v) = %g, want %g", c.counts, got, c.want)
+		}
+	}
+}
+
+func TestEntropyKnownValues(t *testing.T) {
+	cases := []struct {
+		counts []int
+		want   float64
+	}{
+		{[]int{0}, 0},
+		{[]int{7, 0}, 0},
+		{[]int{4, 4}, 1},
+		{[]int{2, 2, 2, 2}, 2},
+	}
+	for _, c := range cases {
+		if got := EntropyFromCounts(c.counts); !almostEqual(got, c.want) {
+			t.Errorf("entropy(%v) = %g, want %g", c.counts, got, c.want)
+		}
+	}
+}
+
+func TestVarianceKnownValues(t *testing.T) {
+	// Values {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population variance 4.
+	vals := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var sum, sumSq float64
+	for _, v := range vals {
+		sum += v
+		sumSq += v * v
+	}
+	if got := VarianceFromMoments(len(vals), sum, sumSq); !almostEqual(got, 4) {
+		t.Fatalf("variance = %g, want 4", got)
+	}
+	if VarianceFromMoments(0, 0, 0) != 0 {
+		t.Fatal("empty variance must be 0")
+	}
+}
+
+func TestVarianceNeverNegative(t *testing.T) {
+	f := func(raw []float64) bool {
+		var m MomentAccumulator
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			m.Add(math.Mod(v, 1e6))
+		}
+		return m.Impurity() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassCounterIncrementalMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const k = 5
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		classes := make([]int32, n)
+		for i := range classes {
+			classes[i] = int32(rng.Intn(k))
+		}
+		// Add everything, then remove a random prefix; compare against batch
+		// counts of the suffix.
+		cc := NewClassCounter(k)
+		for _, c := range classes {
+			cc.Add(c)
+		}
+		cut := rng.Intn(n)
+		for _, c := range classes[:cut] {
+			cc.Remove(c)
+		}
+		batch := make([]int, k)
+		for _, c := range classes[cut:] {
+			batch[c]++
+		}
+		for i := range batch {
+			if cc.Counts[i] != batch[i] {
+				t.Fatalf("trial %d: incremental counts %v != batch %v", trial, cc.Counts, batch)
+			}
+		}
+		if !almostEqual(cc.Impurity(Gini), GiniFromCounts(batch)) {
+			t.Fatalf("trial %d: gini mismatch", trial)
+		}
+		if !almostEqual(cc.Impurity(Entropy), EntropyFromCounts(batch)) {
+			t.Fatalf("trial %d: entropy mismatch", trial)
+		}
+	}
+}
+
+func TestMomentAccumulatorIncrementalMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(200)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 10
+		}
+		var acc MomentAccumulator
+		for _, v := range vals {
+			acc.Add(v)
+		}
+		cut := rng.Intn(n)
+		for _, v := range vals[:cut] {
+			acc.Remove(v)
+		}
+		var batch MomentAccumulator
+		for _, v := range vals[cut:] {
+			batch.Add(v)
+		}
+		if acc.N != batch.N || math.Abs(acc.Impurity()-batch.Impurity()) > 1e-6 {
+			t.Fatalf("trial %d: incremental variance %g != batch %g", trial, acc.Impurity(), batch.Impurity())
+		}
+	}
+}
+
+func TestMajorityAndPMF(t *testing.T) {
+	cc := NewClassCounter(3)
+	if cc.Majority() != -1 || cc.PMF() != nil {
+		t.Fatal("empty counter should have no majority/PMF")
+	}
+	cc.AddN(0, 2)
+	cc.AddN(2, 5)
+	cc.AddN(1, 3)
+	if cc.Majority() != 2 {
+		t.Fatalf("majority = %d, want 2", cc.Majority())
+	}
+	pmf := cc.PMF()
+	if !almostEqual(pmf[0], 0.2) || !almostEqual(pmf[1], 0.3) || !almostEqual(pmf[2], 0.5) {
+		t.Fatalf("pmf = %v", pmf)
+	}
+	cc.Reset()
+	if cc.N != 0 || cc.Counts[2] != 0 {
+		t.Fatal("reset did not zero counter")
+	}
+}
+
+func TestMajorityTieBreaksLow(t *testing.T) {
+	cc := NewClassCounter(3)
+	cc.AddN(1, 4)
+	cc.AddN(2, 4)
+	if cc.Majority() != 1 {
+		t.Fatalf("tie majority = %d, want 1", cc.Majority())
+	}
+}
+
+func TestWeightedSplit(t *testing.T) {
+	if got := WeightedSplit(0, 0, 0, 0); got != 0 {
+		t.Fatal("empty split must be 0")
+	}
+	// 3 rows at impurity 0.4 and 1 row at 0.0 -> 0.3.
+	if got := WeightedSplit(3, 0.4, 1, 0); !almostEqual(got, 0.3) {
+		t.Fatalf("weighted = %g, want 0.3", got)
+	}
+}
+
+func TestMeasureStrings(t *testing.T) {
+	if Gini.String() != "gini" || Entropy.String() != "entropy" || Variance.String() != "variance" {
+		t.Fatal("measure strings wrong")
+	}
+	if !Gini.ForClassification() || !Entropy.ForClassification() || Variance.ForClassification() {
+		t.Fatal("ForClassification wrong")
+	}
+}

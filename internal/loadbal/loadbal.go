@@ -1,0 +1,314 @@
+// Package loadbal implements Section VI: the master's workload matrix
+// M_work and the greedy plan-to-worker assignment rules built on it. Each
+// worker row tracks three pending-workload estimates — Comp (instructions),
+// Send and Recv (message units) — and every new plan is placed so that the
+// dominant cost stays balanced. Charges are recorded so that the master can
+// deduct them when the task's result arrives.
+package loadbal
+
+import (
+	"math"
+	"sync"
+)
+
+// Resource indexes a column of M_work.
+type Resource uint8
+
+const (
+	// Comp is estimated computation workload.
+	Comp Resource = iota
+	// Send is estimated outbound communication.
+	Send
+	// Recv is estimated inbound communication.
+	Recv
+)
+
+// Charge is one recorded M_work update, kept with the task so it can be
+// reverted on completion (or on fault-recovery revocation).
+type Charge struct {
+	Worker   int
+	Resource Resource
+	Amount   float64
+}
+
+// Matrix is M_work. All methods are safe for concurrent use by the master's
+// main and receiving threads (the paper protects it with a mutex; so do we).
+type Matrix struct {
+	mu   sync.Mutex
+	work [3][]float64
+}
+
+// NewMatrix returns a matrix over n workers.
+func NewMatrix(n int) *Matrix {
+	m := &Matrix{}
+	for r := range m.work {
+		m.work[r] = make([]float64, n)
+	}
+	return m
+}
+
+// NumWorkers returns the number of worker rows.
+func (m *Matrix) NumWorkers() int { return len(m.work[Comp]) }
+
+// Apply adds the charges to the matrix.
+func (m *Matrix) Apply(charges []Charge) {
+	m.mu.Lock()
+	for _, c := range charges {
+		m.work[c.Resource][c.Worker] += c.Amount
+	}
+	m.mu.Unlock()
+}
+
+// Revert subtracts previously applied charges (task completed or revoked).
+func (m *Matrix) Revert(charges []Charge) {
+	m.mu.Lock()
+	for _, c := range charges {
+		m.work[c.Resource][c.Worker] -= c.Amount
+	}
+	m.mu.Unlock()
+}
+
+// Load returns the current value of one cell.
+func (m *Matrix) Load(w int, r Resource) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.work[r][w]
+}
+
+// Snapshot copies the matrix as [worker][resource].
+func (m *Matrix) Snapshot() [][3]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([][3]float64, m.NumWorkers())
+	for w := range out {
+		out[w] = [3]float64{m.work[Comp][w], m.work[Send][w], m.work[Recv][w]}
+	}
+	return out
+}
+
+// Placement describes where column replicas live: Owners[col] lists the
+// workers holding that column. Every worker holds the target column Y.
+type Placement struct {
+	Owners     map[int][]int
+	NumWorkers int
+}
+
+// RoundRobin builds the default placement: each column in cols is loaded on
+// k consecutive workers starting at a rotating offset, the paper's balanced
+// column partitioning with k replicas (k = 2 by default).
+func RoundRobin(cols []int, numWorkers, k int) Placement {
+	if k < 1 {
+		k = 1
+	}
+	if k > numWorkers {
+		k = numWorkers
+	}
+	p := Placement{Owners: map[int][]int{}, NumWorkers: numWorkers}
+	for i, col := range cols {
+		owners := make([]int, 0, k)
+		for r := 0; r < k; r++ {
+			owners = append(owners, (i+r)%numWorkers)
+		}
+		p.Owners[col] = owners
+	}
+	return p
+}
+
+// Holds reports whether worker w holds the column.
+func (p Placement) Holds(w, col int) bool {
+	for _, o := range p.Owners[col] {
+		if o == w {
+			return true
+		}
+	}
+	return false
+}
+
+// Assignment is the outcome of planning one task.
+type Assignment struct {
+	// KeyWorker is the subtree-task's collector (-1 for column tasks).
+	KeyWorker int
+	// ColumnServer maps each candidate column to the worker that serves or
+	// evaluates it.
+	ColumnServer map[int]int
+	// Charges are the M_work updates applied; revert them on completion.
+	Charges []Charge
+}
+
+// PerWorkerColumns groups the assignment's columns by worker, with each
+// worker's columns in ascending order.
+func (a Assignment) PerWorkerColumns() map[int][]int {
+	out := map[int][]int{}
+	for col, w := range a.ColumnServer {
+		out[w] = append(out[w], col)
+	}
+	for _, cols := range out {
+		insertionSortInts(cols)
+	}
+	return out
+}
+
+func insertionSortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// AssignSubtree places a subtree-task: the key worker is the worker with
+// minimum Comp (the task is CPU-bound), charged |I_x|·|C|·log|I_x|; each
+// candidate column is then assigned to a replica holder minimising the
+// maximum of the four Send/Recv updates of Section VI, with transfers
+// skipped when the data is already local. alive restricts eligibility (nil
+// means every worker is alive).
+func AssignSubtree(m *Matrix, p Placement, cols []int, size, parentWorker int, alive []bool) Assignment {
+	a := Assignment{KeyWorker: -1, ColumnServer: map[int]int{}}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	// Key worker: argmin of Comp among alive workers.
+	best := -1
+	for w := 0; w < p.NumWorkers; w++ {
+		if !isAlive(alive, w) {
+			continue
+		}
+		if best < 0 || m.work[Comp][w] < m.work[Comp][best] {
+			best = w
+		}
+	}
+	if best < 0 {
+		return a
+	}
+	a.KeyWorker = best
+	compCost := float64(size) * float64(len(cols)) * math.Log2(float64(size)+2)
+	a.Charges = append(a.Charges, Charge{best, Comp, compCost})
+	m.work[Comp][best] += compCost
+
+	requested := map[int]bool{} // workers already fetching I_x from the parent
+	for _, col := range cols {
+		w := m.pickServer(p, col, size, parentWorker, a.KeyWorker, requested, alive)
+		a.ColumnServer[col] = w
+		m.chargeTransfer(&a, col, w, size, parentWorker, a.KeyWorker, requested)
+	}
+	return a
+}
+
+// AssignColumns places a column-task: every candidate column goes to a
+// replica holder; the worker additionally receives I_x from the parent once
+// and pays |I_x| Comp per column examined. The server is chosen to minimise
+// max(Recv[j], Send[parent]) after the update, balancing communication.
+func AssignColumns(m *Matrix, p Placement, cols []int, size, parentWorker int, alive []bool) Assignment {
+	a := Assignment{KeyWorker: -1, ColumnServer: map[int]int{}}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	requested := map[int]bool{}
+	for _, col := range cols {
+		w := m.pickServer(p, col, size, parentWorker, -1, requested, alive)
+		a.ColumnServer[col] = w
+		comp := float64(size)
+		a.Charges = append(a.Charges, Charge{w, Comp, comp})
+		m.work[Comp][w] += comp
+		m.chargeTransfer(&a, col, w, size, parentWorker, -1, requested)
+	}
+	return a
+}
+
+// pickServer chooses, among the column's replica holders, the worker whose
+// post-update bottleneck metric is smallest. Holding the lock is required.
+func (m *Matrix) pickServer(p Placement, col, size, parentWorker, keyWorker int, requested map[int]bool, alive []bool) int {
+	owners := p.Owners[col]
+	if len(owners) == 0 {
+		// Y or an unplaced column: any alive worker; fall back to min Recv.
+		best := -1
+		for w := 0; w < p.NumWorkers; w++ {
+			if !isAlive(alive, w) {
+				continue
+			}
+			if best < 0 || m.work[Recv][w] < m.work[Recv][best] {
+				best = w
+			}
+		}
+		return best
+	}
+	bestW, bestScore := -1, math.Inf(1)
+	for _, w := range owners {
+		if !isAlive(alive, w) {
+			continue
+		}
+		score := m.transferScore(w, size, parentWorker, keyWorker, requested)
+		if score < bestScore {
+			bestW, bestScore = w, score
+		}
+	}
+	if bestW < 0 && len(owners) > 0 {
+		bestW = owners[0]
+	}
+	return bestW
+}
+
+func isAlive(alive []bool, w int) bool {
+	return alive == nil || (w >= 0 && w < len(alive) && alive[w])
+}
+
+// transferScore evaluates the bottleneck the four Section-VI updates would
+// create if column service went to worker w.
+func (m *Matrix) transferScore(w, size, parentWorker, keyWorker int, requested map[int]bool) float64 {
+	fsize := float64(size)
+	recvW := m.work[Recv][w]
+	sendPa := math.Inf(-1)
+	if parentWorker >= 0 && parentWorker != w && !requested[w] {
+		recvW += fsize // update (1): w receives I_x
+		sendPa = m.work[Send][parentWorker] + fsize
+	}
+	sendW := m.work[Send][w]
+	recvKey := math.Inf(-1)
+	if keyWorker >= 0 && keyWorker != w {
+		sendW += fsize // update (3): w sends column data to the key worker
+		recvKey = m.work[Recv][keyWorker] + fsize
+	}
+	return math.Max(math.Max(recvW, sendPa), math.Max(sendW, recvKey))
+}
+
+// chargeTransfer applies the Section-VI updates for assigning column col to
+// worker w, skipping local transfers, and records the charges.
+func (m *Matrix) chargeTransfer(a *Assignment, col, w, size, parentWorker, keyWorker int, requested map[int]bool) {
+	fsize := float64(size)
+	if parentWorker >= 0 && parentWorker != w && !requested[w] {
+		// Updates (1) and (2): one I_x fetch per worker, not per column.
+		a.Charges = append(a.Charges,
+			Charge{w, Recv, fsize},
+			Charge{parentWorker, Send, fsize})
+		m.work[Recv][w] += fsize
+		m.work[Send][parentWorker] += fsize
+	}
+	requested[w] = true
+	if keyWorker >= 0 && keyWorker != w {
+		// Updates (3) and (4): column payload to the key worker.
+		a.Charges = append(a.Charges,
+			Charge{w, Send, fsize},
+			Charge{keyWorker, Recv, fsize})
+		m.work[Send][w] += fsize
+		m.work[Recv][keyWorker] += fsize
+	}
+}
+
+// AssignRoundRobin is the ablation baseline: columns dealt to replica
+// holders cyclically with no cost model; the key worker cycles too.
+func AssignRoundRobin(p Placement, cols []int, counter *int, subtree bool) Assignment {
+	a := Assignment{KeyWorker: -1, ColumnServer: map[int]int{}}
+	if subtree {
+		a.KeyWorker = *counter % p.NumWorkers
+		*counter++
+	}
+	for _, col := range cols {
+		owners := p.Owners[col]
+		if len(owners) == 0 {
+			a.ColumnServer[col] = *counter % p.NumWorkers
+		} else {
+			a.ColumnServer[col] = owners[*counter%len(owners)]
+		}
+		*counter++
+	}
+	return a
+}

@@ -1,0 +1,181 @@
+package loadbal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRoundRobinPlacement(t *testing.T) {
+	p := RoundRobin([]int{10, 11, 12, 13}, 3, 2)
+	if p.NumWorkers != 3 {
+		t.Fatalf("workers = %d", p.NumWorkers)
+	}
+	for _, col := range []int{10, 11, 12, 13} {
+		owners := p.Owners[col]
+		if len(owners) != 2 {
+			t.Fatalf("col %d has %d replicas, want 2", col, len(owners))
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("col %d replicas on the same worker", col)
+		}
+	}
+	// Balance: with 4 columns × 2 replicas over 3 workers, max load <= 3.
+	load := map[int]int{}
+	for _, owners := range p.Owners {
+		for _, o := range owners {
+			load[o]++
+		}
+	}
+	for w, n := range load {
+		if n > 3 {
+			t.Fatalf("worker %d holds %d replicas", w, n)
+		}
+	}
+}
+
+func TestRoundRobinClampsReplicas(t *testing.T) {
+	p := RoundRobin([]int{0}, 2, 5)
+	if len(p.Owners[0]) != 2 {
+		t.Fatalf("replicas = %d, want clamped to 2", len(p.Owners[0]))
+	}
+	p = RoundRobin([]int{0}, 4, 0)
+	if len(p.Owners[0]) != 1 {
+		t.Fatalf("replicas = %d, want min 1", len(p.Owners[0]))
+	}
+}
+
+func TestMatrixApplyRevert(t *testing.T) {
+	m := NewMatrix(3)
+	charges := []Charge{{0, Comp, 100}, {1, Send, 50}, {2, Recv, 25}}
+	m.Apply(charges)
+	if m.Load(0, Comp) != 100 || m.Load(1, Send) != 50 || m.Load(2, Recv) != 25 {
+		t.Fatalf("apply wrong: %v", m.Snapshot())
+	}
+	m.Revert(charges)
+	for w := 0; w < 3; w++ {
+		for r := Comp; r <= Recv; r++ {
+			if m.Load(w, r) != 0 {
+				t.Fatalf("revert left residue at [%d][%d]", w, r)
+			}
+		}
+	}
+}
+
+func TestAssignSubtreePicksIdleKeyWorker(t *testing.T) {
+	m := NewMatrix(3)
+	m.Apply([]Charge{{0, Comp, 1000}, {1, Comp, 10}, {2, Comp, 500}})
+	p := RoundRobin([]int{0, 1}, 3, 2)
+	a := AssignSubtree(m, p, []int{0, 1}, 100, -1, nil)
+	if a.KeyWorker != 1 {
+		t.Fatalf("key worker = %d, want idle worker 1", a.KeyWorker)
+	}
+	// Comp charge |I_x|·|C|·log|I_x|.
+	wantComp := 10 + 100.0*2*math.Log2(102)
+	if got := m.Load(1, Comp); math.Abs(got-wantComp) > 1e-9 {
+		t.Fatalf("key comp = %g, want %g", got, wantComp)
+	}
+	// Every column must be assigned to one of its replica holders.
+	for col, w := range a.ColumnServer {
+		if !p.Holds(w, col) {
+			t.Fatalf("col %d assigned to non-holder %d", col, w)
+		}
+	}
+	// Reverting the recorded charges restores the pre-assignment state.
+	m.Revert(a.Charges)
+	if got := m.Load(1, Comp); got != 10 {
+		t.Fatalf("after revert comp = %g, want 10", got)
+	}
+}
+
+func TestAssignColumnsBalancesAcrossReplicas(t *testing.T) {
+	m := NewMatrix(2)
+	// Both workers hold both columns; worker 0 already busy receiving.
+	p := Placement{Owners: map[int][]int{5: {0, 1}, 6: {0, 1}}, NumWorkers: 2}
+	m.Apply([]Charge{{0, Recv, 10000}})
+	a := AssignColumns(m, p, []int{5, 6}, 100, -1, nil)
+	for col, w := range a.ColumnServer {
+		if w != 1 {
+			t.Fatalf("col %d went to busy worker %d", col, w)
+		}
+	}
+	// Comp charged per column examined.
+	if got := m.Load(1, Comp); got != 200 {
+		t.Fatalf("comp = %g, want 200", got)
+	}
+}
+
+func TestAssignColumnsChargesParentSendOnce(t *testing.T) {
+	// Updates (1) and (2) apply once per worker, not once per column.
+	m := NewMatrix(3)
+	p := Placement{Owners: map[int][]int{1: {2}, 2: {2}, 3: {2}}, NumWorkers: 3}
+	a := AssignColumns(m, p, []int{1, 2, 3}, 50, 0, nil)
+	if got := m.Load(0, Send); got != 50 {
+		t.Fatalf("parent send charged %g, want 50 (once)", got)
+	}
+	if got := m.Load(2, Recv); got != 50 {
+		t.Fatalf("server recv charged %g, want 50 (once)", got)
+	}
+	m.Revert(a.Charges)
+	if m.Load(0, Send) != 0 || m.Load(2, Recv) != 0 {
+		t.Fatal("revert incomplete")
+	}
+}
+
+func TestAssignSubtreeSkipsLocalTransfers(t *testing.T) {
+	// A single-worker cluster must incur no Send/Recv charges at all.
+	m := NewMatrix(1)
+	p := RoundRobin([]int{0, 1, 2}, 1, 1)
+	a := AssignSubtree(m, p, []int{0, 1, 2}, 100, 0, nil)
+	if a.KeyWorker != 0 {
+		t.Fatalf("key = %d", a.KeyWorker)
+	}
+	if m.Load(0, Send) != 0 || m.Load(0, Recv) != 0 {
+		t.Fatalf("local transfers charged: %v", m.Snapshot())
+	}
+}
+
+func TestAssignRespectsAliveMask(t *testing.T) {
+	m := NewMatrix(3)
+	p := Placement{Owners: map[int][]int{7: {0, 1}}, NumWorkers: 3}
+	alive := []bool{false, true, true}
+	a := AssignSubtree(m, p, []int{7}, 10, -1, alive)
+	if a.KeyWorker == 0 {
+		t.Fatal("dead worker chosen as key")
+	}
+	if a.ColumnServer[7] != 1 {
+		t.Fatalf("col served by %d, want surviving replica 1", a.ColumnServer[7])
+	}
+	ac := AssignColumns(m, p, []int{7}, 10, -1, alive)
+	if ac.ColumnServer[7] != 1 {
+		t.Fatalf("column task served by %d, want 1", ac.ColumnServer[7])
+	}
+}
+
+func TestPerWorkerColumnsSorted(t *testing.T) {
+	a := Assignment{ColumnServer: map[int]int{9: 1, 3: 1, 6: 0}}
+	per := a.PerWorkerColumns()
+	if got := per[1]; len(got) != 2 || got[0] != 3 || got[1] != 9 {
+		t.Fatalf("worker 1 cols = %v", got)
+	}
+	if got := per[0]; len(got) != 1 || got[0] != 6 {
+		t.Fatalf("worker 0 cols = %v", got)
+	}
+}
+
+func TestAssignRoundRobinCycles(t *testing.T) {
+	p := RoundRobin([]int{0, 1, 2, 3}, 4, 2)
+	counter := 0
+	seenKeys := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		a := AssignRoundRobin(p, []int{0, 1}, &counter, true)
+		seenKeys[a.KeyWorker] = true
+		for col, w := range a.ColumnServer {
+			if !p.Holds(w, col) {
+				t.Fatalf("rr assigned col %d to non-holder %d", col, w)
+			}
+		}
+	}
+	if len(seenKeys) < 2 {
+		t.Fatalf("round robin stuck on %v", seenKeys)
+	}
+}

@@ -1,0 +1,138 @@
+// Package metrics provides the evaluation measures the paper reports:
+// classification accuracy, regression RMSE, plus confusion matrices and the
+// averaging helpers ensemble predictors need.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Accuracy returns the fraction of rows where predicted == actual.
+func Accuracy(pred, actual []int32) float64 {
+	if len(pred) != len(actual) {
+		panic(fmt.Sprintf("metrics: accuracy length mismatch %d vs %d", len(pred), len(actual)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	hit := 0
+	for i := range pred {
+		if pred[i] == actual[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(pred))
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(pred, actual []float64) float64 {
+	if len(pred) != len(actual) {
+		panic(fmt.Sprintf("metrics: rmse length mismatch %d vs %d", len(pred), len(actual)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range pred {
+		d := pred[i] - actual[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(pred)))
+}
+
+// ConfusionMatrix counts [actual][predicted] pairs over k classes.
+type ConfusionMatrix struct {
+	K      int
+	Counts [][]int
+}
+
+// NewConfusionMatrix allocates a k×k matrix.
+func NewConfusionMatrix(k int) *ConfusionMatrix {
+	m := &ConfusionMatrix{K: k, Counts: make([][]int, k)}
+	for i := range m.Counts {
+		m.Counts[i] = make([]int, k)
+	}
+	return m
+}
+
+// Add records one (actual, predicted) observation.
+func (m *ConfusionMatrix) Add(actual, pred int32) { m.Counts[actual][pred]++ }
+
+// Accuracy returns the trace / total of the matrix.
+func (m *ConfusionMatrix) Accuracy() float64 {
+	diag, total := 0, 0
+	for i := range m.Counts {
+		for j, c := range m.Counts[i] {
+			total += c
+			if i == j {
+				diag += c
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(diag) / float64(total)
+}
+
+// String renders the matrix for debugging.
+func (m *ConfusionMatrix) String() string {
+	var b strings.Builder
+	for i := range m.Counts {
+		for j, c := range m.Counts[i] {
+			if j > 0 {
+				b.WriteByte('\t')
+			}
+			fmt.Fprintf(&b, "%d", c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ArgMax returns the index of the largest value (lowest index on ties),
+// or -1 for an empty slice.
+func ArgMax(v []float64) int32 {
+	if len(v) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return int32(best)
+}
+
+// MeanVectors averages a set of equal-length vectors elementwise — the
+// forest-level PMF combination deep forest uses. Returns nil when vs is
+// empty.
+func MeanVectors(vs [][]float64) []float64 {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]float64, len(vs[0]))
+	for _, v := range vs {
+		for i, x := range v {
+			out[i] += x
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(vs))
+	}
+	return out
+}
+
+// AddScaled adds scale*src into dst elementwise, allocating dst when nil.
+func AddScaled(dst, src []float64, scale float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(src))
+	}
+	for i, x := range src {
+		dst[i] += scale * x
+	}
+	return dst
+}

@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int32{1, 2, 3}, []int32{1, 0, 3}); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("accuracy = %g", got)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy must be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch not caught")
+		}
+	}()
+	Accuracy([]int32{1}, []int32{1, 2})
+}
+
+func TestRMSE(t *testing.T) {
+	if got := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("perfect rmse = %g", got)
+	}
+	// Errors {3, 4}: RMSE = sqrt((9+16)/2) = 3.5355...
+	got := RMSE([]float64{3, 0}, []float64{0, 4})
+	if math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("rmse = %g", got)
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	m := NewConfusionMatrix(3)
+	m.Add(0, 0)
+	m.Add(0, 1)
+	m.Add(1, 1)
+	m.Add(2, 2)
+	if got := m.Accuracy(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("accuracy = %g", got)
+	}
+	if m.Counts[0][1] != 1 {
+		t.Fatal("off-diagonal count wrong")
+	}
+	if m.String() == "" {
+		t.Fatal("empty render")
+	}
+	if NewConfusionMatrix(2).Accuracy() != 0 {
+		t.Fatal("empty matrix accuracy must be 0")
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax(nil) != -1 {
+		t.Fatal("empty argmax")
+	}
+	if ArgMax([]float64{0.1, 0.7, 0.2}) != 1 {
+		t.Fatal("argmax wrong")
+	}
+	if ArgMax([]float64{0.5, 0.5}) != 0 {
+		t.Fatal("tie must break low")
+	}
+}
+
+func TestMeanVectors(t *testing.T) {
+	if MeanVectors(nil) != nil {
+		t.Fatal("empty mean")
+	}
+	got := MeanVectors([][]float64{{1, 2}, {3, 4}})
+	if got[0] != 2 || got[1] != 3 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	dst := AddScaled(nil, []float64{1, 2}, 2)
+	if dst[0] != 2 || dst[1] != 4 {
+		t.Fatalf("addscaled = %v", dst)
+	}
+	dst = AddScaled(dst, []float64{1, 1}, -1)
+	if dst[0] != 1 || dst[1] != 3 {
+		t.Fatalf("addscaled = %v", dst)
+	}
+}

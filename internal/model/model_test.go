@@ -1,0 +1,221 @@
+package model
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+
+	"treeserver/internal/boost"
+	"treeserver/internal/cluster"
+	"treeserver/internal/core"
+	"treeserver/internal/dataset"
+	"treeserver/internal/forest"
+	"treeserver/internal/synth"
+)
+
+func trainedForest(t *testing.T) (*forest.Forest, *dataset.Table, *dataset.Table) {
+	t.Helper()
+	train, test := synth.Generate(synth.Spec{
+		Name: "model", Rows: 3000, NumNumeric: 4, NumCategorical: 2, CatLevels: 4,
+		NumClasses: 3, ConceptDepth: 4, Seed: 71,
+	}, 0.25)
+	f, err := forest.Train(&forest.Local{Table: train}, cluster.SchemaOf(train),
+		forest.Config{Trees: 5, Params: core.Defaults(), ColFrac: -1, Bootstrap: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, train, test
+}
+
+func TestForestRoundTrip(t *testing.T) {
+	f, train, test := trainedForest(t)
+	var buf bytes.Buffer
+	if err := SaveForest(&buf, "demo", f, SchemaOf(train)); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if loaded.Kind != "forest" || loaded.Name != "demo" || loaded.Forest == nil {
+		t.Fatalf("loaded = %+v", loaded)
+	}
+	if len(loaded.Forest.Trees) != 5 {
+		t.Fatalf("trees = %d", len(loaded.Forest.Trees))
+	}
+	// Predictions must survive the round trip exactly.
+	for r := 0; r < test.NumRows(); r++ {
+		if f.PredictClass(test, r, 0) != loaded.Forest.PredictClass(test, r, 0) {
+			t.Fatalf("row %d prediction changed", r)
+		}
+	}
+}
+
+func TestBoostRoundTrip(t *testing.T) {
+	train, test := synth.Generate(synth.Spec{
+		Name: "mboost", Rows: 3000, NumNumeric: 5, NumClasses: 2, ConceptDepth: 4, Seed: 72,
+	}, 0.25)
+	m, err := boost.Train(train, boost.Config{Rounds: 8, MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveBoost(&buf, "gbt", m, SchemaOf(train)); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if loaded.Boost == nil || loaded.Kind != "boost" {
+		t.Fatalf("loaded = %+v", loaded)
+	}
+	for r := 0; r < test.NumRows(); r++ {
+		if m.PredictClass(test, r) != loaded.Boost.PredictClass(test, r) {
+			t.Fatalf("row %d boost prediction changed", r)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var buf bytes.Buffer
+	f, train, _ := trainedForest(t)
+	_ = SaveForest(&buf, "x", f, SchemaOf(train))
+	truncated := buf.Bytes()[:buf.Len()/2] // payload cut off mid-stream
+	if _, err := Load(bytes.NewReader(truncated)); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	f, train, _ := trainedForest(t)
+	path := t.TempDir() + "/m.tsmodel"
+	if err := SaveForestFile(path, "file", f, SchemaOf(train)); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != "file" {
+		t.Fatalf("name = %q", loaded.Name)
+	}
+	if _, err := LoadFile(path + ".missing"); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestSchemaParseRows(t *testing.T) {
+	_, train, _ := trainedForest(t)
+	sc := SchemaOf(train)
+	rows := []map[string]string{
+		{"num0": "1.5", "num1": "0", "num2": "-2", "num3": "3", "cat0": "L1", "cat1": "L2"},
+		{"num0": "", "cat0": "NEVER_SEEN", "cat1": "L0"}, // missing + unseen
+	}
+	tbl, err := sc.ParseRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	if got := tbl.ColumnByName("num0").Float(0); got != 1.5 {
+		t.Fatalf("num0 = %g", got)
+	}
+	if !tbl.ColumnByName("num0").IsMissing(1) {
+		t.Fatal("empty value not missing")
+	}
+	if !tbl.ColumnByName("num1").IsMissing(1) {
+		t.Fatal("absent key not missing")
+	}
+	if got := tbl.ColumnByName("cat0").Cat(0); got != 1 {
+		t.Fatalf("cat0 = %d, want code for L1", got)
+	}
+	if got := tbl.ColumnByName("cat0").Cat(1); got != -1 {
+		t.Fatalf("unseen level code = %d, want -1", got)
+	}
+}
+
+func TestSchemaParseRowsBadNumeric(t *testing.T) {
+	_, train, _ := trainedForest(t)
+	sc := SchemaOf(train)
+	if _, err := sc.ParseRows([]map[string]string{{"num0": "abc"}}); err == nil {
+		t.Fatal("non-numeric accepted")
+	}
+}
+
+func TestPredictThroughFile(t *testing.T) {
+	f, train, test := trainedForest(t)
+	var buf bytes.Buffer
+	_ = SaveForest(&buf, "p", f, SchemaOf(train))
+	loaded, _ := Load(&buf)
+
+	// Rebuild a request from test rows and compare predictions.
+	rows := make([]map[string]string, 5)
+	for r := range rows {
+		rows[r] = map[string]string{}
+		for ci, c := range test.Cols {
+			if ci == test.Target {
+				continue
+			}
+			if c.Kind == dataset.Numeric {
+				rows[r][c.Name] = fmtFloat(c.Float(r))
+			} else {
+				rows[r][c.Name] = c.Levels[c.Cat(r)]
+			}
+		}
+	}
+	tbl, err := loaded.Schema.ParseRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := loaded.Predict(tbl)
+	for r, p := range preds {
+		want := loaded.Schema.TargetLevels()[f.PredictClass(test, r, 0)]
+		if p.Class != want {
+			t.Fatalf("row %d predicted %q, direct %q", r, p.Class, want)
+		}
+		if len(p.PMF) != 3 {
+			t.Fatalf("row %d pmf = %v", r, p.PMF)
+		}
+	}
+}
+
+func TestUnseenCategoricalStopsEarlyNotCrash(t *testing.T) {
+	f, train, _ := trainedForest(t)
+	var buf bytes.Buffer
+	_ = SaveForest(&buf, "u", f, SchemaOf(train))
+	loaded, _ := Load(&buf)
+	tbl, err := loaded.Schema.ParseRows([]map[string]string{{
+		"num0": "0", "num1": "0", "num2": "0", "num3": "0",
+		"cat0": "ALIEN", "cat1": "ALIEN",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := loaded.Predict(tbl)
+	if preds[0].Class == "" {
+		t.Fatal("no prediction for unseen categorical values")
+	}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	_, train, _ := trainedForest(t)
+	sc := SchemaOf(train)
+	if sc.Regression() {
+		t.Fatal("classification schema marked regression")
+	}
+	if len(sc.FeatureNames()) != 6 {
+		t.Fatalf("features = %v", sc.FeatureNames())
+	}
+	if len(sc.TargetLevels()) != 3 {
+		t.Fatalf("classes = %v", sc.TargetLevels())
+	}
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,476 @@
+// Package planet reproduces the comparator system of the paper's
+// experiments: PLANET-style distributed tree training as implemented by
+// Spark MLlib. Its design choices are exactly the ones TreeServer removes:
+//
+//   - rows are partitioned across machines, so no machine can evaluate a
+//     split exactly; statistics are equi-depth histograms (maxBins = 32 by
+//     default) aggregated at the driver — approximate split conditions;
+//   - nodes are processed strictly level by level; every level is one
+//     synchronous distributed job that rescans all partitions, paying a
+//     fixed per-stage scheduling overhead and a statistics shuffle;
+//   - forest trees are trained together in the shared per-level jobs (the
+//     MLlib node-queue design), so time grows linearly with tree count.
+//
+// The per-stage overhead and shuffle bandwidth are simulated (configurable,
+// defaults calibrated to Spark's documented scheduling costs) because the
+// real comparator ran on a 15-node cluster; everything else is computed for
+// real.
+package planet
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"treeserver/internal/cluster"
+	"treeserver/internal/core"
+	"treeserver/internal/dataset"
+	"treeserver/internal/dfs"
+	"treeserver/internal/impurity"
+	"treeserver/internal/split"
+)
+
+// Config tunes the simulated MLlib deployment.
+type Config struct {
+	// Partitions is the number of row partitions ("executors").
+	Partitions int
+	// Parallelism is the number of partition-processing goroutines
+	// (1 = the paper's "MLlib single thread" runs).
+	Parallelism int
+	// MaxBins is the histogram resolution (MLlib default 32).
+	MaxBins int
+	// StageOverhead is the simulated per-level job-scheduling cost (Spark
+	// stage launch + task serialisation). 0 disables the simulation.
+	StageOverhead time.Duration
+	// ShuffleBps simulates the histogram statistics shuffle bandwidth
+	// between executors and the driver. 0 disables.
+	ShuffleBps float64
+	// Store/Base, when set, make every level re-read the table's files from
+	// the DFS — PLANET proper runs on MapReduce and reads each row once per
+	// level from HDFS (the IO-bound behaviour the paper contrasts against).
+	// Spark MLlib caches the RDD, so the comparison harness leaves this off.
+	Store *dfs.Store
+	Base  string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Partitions <= 0 {
+		c.Partitions = 4
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+	if c.MaxBins <= 0 {
+		c.MaxBins = 32
+	}
+	return c
+}
+
+// treeState is one tree's in-progress construction.
+type treeState struct {
+	spec     cluster.TreeSpec
+	root     *core.Node
+	bag      []int32 // row ids, with multiplicity for bootstrap bags
+	assign   []int32 // bag position -> active node id, -1 once in a leaf
+	nodes    map[int32]*core.Node
+	nextNode int32
+	done     bool
+}
+
+// nodeKey addresses an active node across the forest's shared level job.
+type nodeKey struct {
+	tree int
+	node int32
+}
+
+// Trainer trains trees the PLANET/MLlib way over an in-memory table (the
+// cached RDD). It satisfies forest.Trainer so ensembles and experiment
+// harnesses can swap engines.
+type Trainer struct {
+	Table *dataset.Table
+	Cfg   Config
+}
+
+// Train implements the forest.Trainer contract: all trees are built
+// together, level-synchronously.
+func (tr *Trainer) Train(specs []cluster.TreeSpec) ([]*core.Tree, error) {
+	cfg := tr.Cfg.withDefaults()
+	tbl := tr.Table
+	numClasses := tbl.NumClasses()
+
+	// MLlib cannot handle missing values; the paper mean-filled for it.
+	hasMissing := false
+	for _, c := range tbl.Cols {
+		if c.MissingCount() > 0 {
+			hasMissing = true
+		}
+	}
+	if hasMissing {
+		tbl = dataset.FillMissingWithMean(tbl)
+	}
+
+	// findSplits: one-time equi-depth binning per feature, like MLlib.
+	allRows := dataset.AllRows(tbl.NumRows())
+	bins := make([]split.Bins, len(tbl.Cols))
+	for c := range tbl.Cols {
+		if c == tbl.Target {
+			continue
+		}
+		bins[c] = split.ComputeBins(tbl.Cols[c], c, cfg.MaxBins, allRows)
+	}
+
+	states := make([]*treeState, len(specs))
+	for i, spec := range specs {
+		if spec.Bag.NumRows == 0 {
+			spec.Bag.NumRows = tbl.NumRows()
+		}
+		normaliseSpec(&spec, tbl)
+		st := &treeState{spec: spec, bag: spec.Bag.Rows(), nodes: map[int32]*core.Node{}}
+		st.assign = make([]int32, len(st.bag))
+		st.root = &core.Node{ID: 0, Depth: 0, N: len(st.bag)}
+		st.nodes[0] = st.root
+		st.nextNode = 1
+		states[i] = st
+		for p := range st.assign {
+			st.assign[p] = 0
+		}
+	}
+
+	parts := dataset.RowSlices(tbl.NumRows(), cfg.Partitions)
+	for depth := 0; ; depth++ {
+		active := activeNodes(states)
+		if len(active) == 0 {
+			break
+		}
+		simulateStage(cfg)
+		simulateLevelScan(cfg)
+		merged := runLevelJob(tbl, states, active, bins, parts, cfg, numClasses)
+		simulateShuffle(cfg, merged)
+		splitLevel(tbl, states, active, bins, merged, numClasses, depth)
+	}
+
+	out := make([]*core.Tree, len(states))
+	for i, st := range states {
+		out[i] = finalize(st, tbl)
+	}
+	return out, nil
+}
+
+func normaliseSpec(spec *cluster.TreeSpec, tbl *dataset.Table) {
+	if spec.Params.Candidates == nil {
+		spec.Params.Candidates = tbl.FeatureIndexes()
+	}
+	if spec.Params.MinLeaf < 1 {
+		spec.Params.MinLeaf = 1
+	}
+	if tbl.Task() == dataset.Regression {
+		spec.Params.Measure = impurity.Variance
+	} else if !spec.Params.Measure.ForClassification() {
+		spec.Params.Measure = impurity.Gini
+	}
+}
+
+func activeNodes(states []*treeState) []nodeKey {
+	var keys []nodeKey
+	for t, st := range states {
+		if st.done {
+			continue
+		}
+		seen := map[int32]bool{}
+		for _, nid := range st.assign {
+			if nid >= 0 && !seen[nid] {
+				seen[nid] = true
+				keys = append(keys, nodeKey{t, nid})
+			}
+		}
+		if len(seen) == 0 {
+			st.done = true
+		}
+	}
+	return keys
+}
+
+// levelStats aggregates one node's histograms across all candidate columns.
+type levelStats struct {
+	hists map[int]*split.Histogram // column -> histogram
+	total cluster.NodeStats
+}
+
+// runLevelJob is the per-level "MapReduce job": each partition accumulates
+// local histograms for every (active node, candidate column), then the
+// driver merges them — MLlib's aggregateByKey.
+func runLevelJob(tbl *dataset.Table, states []*treeState, active []nodeKey,
+	bins []split.Bins, parts [][2]int, cfg Config, numClasses int) map[nodeKey]*levelStats {
+
+	activeSet := map[nodeKey]bool{}
+	for _, k := range active {
+		activeSet[k] = true
+	}
+	locals := make([]map[nodeKey]*levelStats, len(parts))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Parallelism)
+	for pi, pr := range parts {
+		wg.Add(1)
+		go func(pi int, pr [2]int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			locals[pi] = partitionPass(tbl, states, activeSet, bins, pr, numClasses)
+		}(pi, pr)
+	}
+	wg.Wait()
+
+	merged := map[nodeKey]*levelStats{}
+	for _, local := range locals {
+		for k, ls := range local {
+			dst, ok := merged[k]
+			if !ok {
+				merged[k] = ls
+				continue
+			}
+			for col, h := range ls.hists {
+				dst.hists[col].Merge(h)
+			}
+			mergeStats(&dst.total, ls.total)
+		}
+	}
+	return merged
+}
+
+// partitionPass scans one row partition once (PLANET's map phase), binning
+// every bagged occurrence of every row into its tree-node histograms.
+func partitionPass(tbl *dataset.Table, states []*treeState, active map[nodeKey]bool,
+	bins []split.Bins, pr [2]int, numClasses int) map[nodeKey]*levelStats {
+
+	out := map[nodeKey]*levelStats{}
+	y := tbl.Y()
+	for t, st := range states {
+		if st.done {
+			continue
+		}
+		cand := st.spec.Params.Candidates
+		for pos, row := range st.bag {
+			if int(row) < pr[0] || int(row) >= pr[1] {
+				continue
+			}
+			nid := st.assign[pos]
+			if nid < 0 {
+				continue
+			}
+			k := nodeKey{t, nid}
+			if !active[k] {
+				continue
+			}
+			ls, ok := out[k]
+			if !ok {
+				ls = &levelStats{hists: map[int]*split.Histogram{}}
+				for _, c := range cand {
+					ls.hists[c] = split.NewHistogram(bins[c].NumBins, numClasses)
+				}
+				if numClasses > 0 {
+					ls.total.Counts = make([]int, numClasses)
+				}
+				out[k] = ls
+			}
+			for _, c := range cand {
+				b := bins[c].BinOf(tbl.Cols[c], int(row))
+				if numClasses > 0 {
+					ls.hists[c].AddClass(b, y.Cats[row])
+				} else {
+					ls.hists[c].AddValue(b, y.Floats[row])
+				}
+			}
+			ls.total.N++
+			if numClasses > 0 {
+				ls.total.Counts[y.Cats[row]]++
+			} else {
+				v := y.Floats[row]
+				ls.total.Sum += v
+				ls.total.SumSq += v * v
+			}
+		}
+	}
+	return out
+}
+
+func mergeStats(dst *cluster.NodeStats, src cluster.NodeStats) {
+	dst.N += src.N
+	dst.Sum += src.Sum
+	dst.SumSq += src.SumSq
+	for i := range src.Counts {
+		dst.Counts[i] += src.Counts[i]
+	}
+}
+
+func statsPure(s cluster.NodeStats) bool {
+	if s.Counts != nil {
+		for _, c := range s.Counts {
+			if c == s.N {
+				return true
+			}
+		}
+		return s.N == 0
+	}
+	if s.N == 0 {
+		return true
+	}
+	mean := s.Sum / float64(s.N)
+	return s.SumSq/float64(s.N)-mean*mean < 1e-12
+}
+
+// splitLevel is the driver phase: choose each node's best approximate split
+// from the merged histograms, then one more partition pass reassigns rows
+// to the new children (PLANET broadcasts the split conditions).
+func splitLevel(tbl *dataset.Table, states []*treeState, active []nodeKey,
+	bins []split.Bins, merged map[nodeKey]*levelStats, numClasses, depth int) {
+
+	type decision struct {
+		cond  *split.Condition
+		left  int32
+		right int32
+	}
+	decisions := make(map[nodeKey]decision)
+	for _, k := range active {
+		st := states[k.tree]
+		ls := merged[k]
+		node := st.nodes[k.node]
+		if ls == nil {
+			continue
+		}
+		ls.total.Fill(node)
+		params := st.spec.Params
+		stop := statsPure(ls.total) || ls.total.N <= params.MinLeaf ||
+			(params.MaxDepth > 0 && depth >= params.MaxDepth)
+		var best split.Candidate
+		if !stop {
+			for _, c := range params.Candidates {
+				cand := split.BestFromHistogram(bins[c], ls.hists[c], params.Measure)
+				if cand.Better(best) {
+					best = cand
+				}
+			}
+		}
+		if stop || !best.Valid {
+			retire(st, k.node)
+			continue
+		}
+		cond := best.Cond
+		cond.Rehydrate()
+		node.Cond = &cond
+		node.SeenCodes = seenFromHistogram(bins[cond.Col], ls.hists[cond.Col])
+		left := &core.Node{ID: st.nextNode, Depth: depth + 1}
+		right := &core.Node{ID: st.nextNode + 1, Depth: depth + 1}
+		st.nextNode += 2
+		node.Left, node.Right = left, right
+		st.nodes[left.ID], st.nodes[right.ID] = left, right
+		decisions[k] = decision{cond: node.Cond, left: left.ID, right: right.ID}
+	}
+
+	// Broadcast + reassignment pass.
+	for t, st := range states {
+		if st.done {
+			continue
+		}
+		for pos, row := range st.bag {
+			nid := st.assign[pos]
+			if nid < 0 {
+				continue
+			}
+			d, ok := decisions[nodeKey{t, nid}]
+			if !ok {
+				if _, stillActive := st.nodes[nid]; !stillActive {
+					st.assign[pos] = -1 // node became a leaf this level
+				}
+				continue
+			}
+			if d.cond.GoesLeft(tbl.Cols[d.cond.Col], int(row)) {
+				st.assign[pos] = d.left
+			} else {
+				st.assign[pos] = d.right
+			}
+		}
+	}
+}
+
+// retire marks a node as a finished leaf by removing it from the active map
+// (rows pointing at it are parked at -1 in the next reassignment pass).
+func retire(st *treeState, nid int32) {
+	delete(st.nodes, nid)
+}
+
+func seenFromHistogram(b split.Bins, h *split.Histogram) []int32 {
+	if b.Kind != dataset.Categorical {
+		return nil
+	}
+	var codes []int32
+	for bin := 0; bin < b.NumBins; bin++ {
+		n := 0
+		if h.Counts != nil {
+			for _, c := range h.Counts[bin] {
+				n += c
+			}
+		} else {
+			n = h.Moments[bin].N
+		}
+		if n > 0 {
+			codes = append(codes, int32(bin))
+		}
+	}
+	return codes
+}
+
+func finalize(st *treeState, tbl *dataset.Table) *core.Tree {
+	t := &core.Tree{Root: st.root, Task: tbl.Task(), NumClasses: tbl.NumClasses()}
+	id := int32(0)
+	var walk func(*core.Node)
+	walk = func(n *core.Node) {
+		if n == nil {
+			return
+		}
+		n.ID = id
+		id++
+		if n.Depth > t.MaxDepth {
+			t.MaxDepth = n.Depth
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(st.root)
+	t.NumNodes = int(id)
+	return t
+}
+
+// simulateStage charges the per-level Spark job launch cost.
+func simulateStage(cfg Config) {
+	if cfg.StageOverhead > 0 {
+		time.Sleep(cfg.StageOverhead)
+	}
+}
+
+// simulateLevelScan re-reads the table's DFS files, charging the per-level
+// HDFS IO a MapReduce-based PLANET pays (no-op unless Store is configured).
+func simulateLevelScan(cfg Config) {
+	if cfg.Store == nil {
+		return
+	}
+	for _, path := range cfg.Store.List(cfg.Base + "/") {
+		_, _ = cfg.Store.Read(path)
+	}
+}
+
+// simulateShuffle charges the statistics shuffle for the merged histograms.
+func simulateShuffle(cfg Config, merged map[nodeKey]*levelStats) {
+	if cfg.ShuffleBps <= 0 {
+		return
+	}
+	var bytes int64
+	for _, ls := range merged {
+		for _, h := range ls.hists {
+			for _, bc := range h.Counts {
+				bytes += int64(8 * len(bc))
+			}
+			bytes += int64(24 * len(h.Moments))
+		}
+	}
+	time.Sleep(time.Duration(float64(bytes) / cfg.ShuffleBps * float64(time.Second)))
+}

@@ -1,0 +1,233 @@
+package planet
+
+import (
+	"testing"
+	"time"
+
+	"treeserver/internal/cluster"
+	"treeserver/internal/core"
+	"treeserver/internal/dataset"
+	"treeserver/internal/dfs"
+	"treeserver/internal/forest"
+	"treeserver/internal/metrics"
+	"treeserver/internal/synth"
+)
+
+func classify(tr *core.Tree, tbl *dataset.Table) []int32 {
+	out := make([]int32, tbl.NumRows())
+	for r := range out {
+		out[r] = tr.PredictClass(tbl, r, 0)
+	}
+	return out
+}
+
+func TestPlanetLearnsConcept(t *testing.T) {
+	train, test := synth.Generate(synth.Spec{
+		Name: "pl", Rows: 6000, NumNumeric: 8, NumClasses: 2, ConceptDepth: 4, Seed: 81,
+	}, 0.25)
+	tr := &Trainer{Table: train, Cfg: Config{Partitions: 4}}
+	trees, err := tr.Train([]cluster.TreeSpec{{Params: core.Defaults()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := trees[0]
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("invalid tree: %v", err)
+	}
+	acc := metrics.Accuracy(classify(tree, test), test.Y().Cats)
+	if acc < 0.88 {
+		t.Fatalf("planet accuracy %.3f too low", acc)
+	}
+}
+
+func TestPlanetApproximationVsExact(t *testing.T) {
+	// With continuous features, 32-bin histograms must not beat exact
+	// training on the training set, and should be close behind.
+	train, _ := synth.Generate(synth.Spec{
+		Name: "approx", Rows: 5000, NumNumeric: 6, NumClasses: 2, ConceptDepth: 5, Seed: 82,
+	}, 0)
+	exact := core.TrainLocal(train, dataset.AllRows(train.NumRows()), core.Defaults())
+	tr := &Trainer{Table: train, Cfg: Config{Partitions: 4, MaxBins: 32}}
+	trees, err := tr.Train([]cluster.TreeSpec{{Params: core.Defaults()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactAcc := metrics.Accuracy(classify(exact, train), train.Y().Cats)
+	approxAcc := metrics.Accuracy(classify(trees[0], train), train.Y().Cats)
+	if approxAcc > exactAcc+0.01 {
+		t.Fatalf("approximate training fit better than exact: %.4f vs %.4f", approxAcc, exactAcc)
+	}
+	if approxAcc < exactAcc-0.08 {
+		t.Fatalf("approximate training too far behind exact: %.4f vs %.4f", approxAcc, exactAcc)
+	}
+}
+
+func TestPlanetRegression(t *testing.T) {
+	train, test := synth.Generate(synth.Spec{
+		Name: "plreg", Rows: 5000, NumNumeric: 6, NumClasses: 0, ConceptDepth: 3, LabelNoise: 0.2, Seed: 83,
+	}, 0.25)
+	tr := &Trainer{Table: train, Cfg: Config{Partitions: 3}}
+	trees, err := tr.Train([]cluster.TreeSpec{{Params: core.Defaults()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := make([]float64, test.NumRows())
+	actual := make([]float64, test.NumRows())
+	for r := range pred {
+		pred[r] = trees[0].PredictValue(test, r, 0)
+		actual[r] = test.Y().Float(r)
+	}
+	if rmse := metrics.RMSE(pred, actual); rmse > 3 {
+		t.Fatalf("planet regression rmse %.3f", rmse)
+	}
+}
+
+func TestPlanetHandlesMissingByMeanFill(t *testing.T) {
+	train, test := synth.Generate(synth.Spec{
+		Name: "plmiss", Rows: 4000, NumNumeric: 6, NumClasses: 2, MissingRate: 0.1, ConceptDepth: 4, Seed: 84,
+	}, 0.25)
+	tr := &Trainer{Table: train, Cfg: Config{Partitions: 4}}
+	trees, err := tr.Train([]cluster.TreeSpec{{Params: core.Defaults()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filledTest := dataset.FillMissingWithMean(test)
+	acc := metrics.Accuracy(classify(trees[0], filledTest), filledTest.Y().Cats)
+	if acc < 0.75 {
+		t.Fatalf("planet accuracy with missing data %.3f", acc)
+	}
+}
+
+func TestPlanetForestTrainsTogether(t *testing.T) {
+	train, test := synth.Generate(synth.Spec{
+		Name: "plrf", Rows: 5000, NumNumeric: 10, NumClasses: 2, ConceptDepth: 5, LabelNoise: 0.1, Seed: 85,
+	}, 0.25)
+	schema := cluster.SchemaOf(train)
+	tr := &Trainer{Table: train, Cfg: Config{Partitions: 4}}
+	f, err := forest.Train(tr, schema, forest.Config{
+		Trees: 10, Params: core.Defaults(), ColFrac: -1, Bootstrap: true, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Trees) != 10 {
+		t.Fatalf("trees = %d", len(f.Trees))
+	}
+	if acc := f.Accuracy(test); acc < 0.8 {
+		t.Fatalf("planet forest accuracy %.3f", acc)
+	}
+	// Trees with different bags must differ.
+	if f.Trees[0].Equal(f.Trees[1]) {
+		t.Fatal("bagged trees identical")
+	}
+}
+
+func TestPlanetRespectsDepthAndCandidates(t *testing.T) {
+	train := synth.GenerateTrain(synth.Spec{
+		Name: "plc", Rows: 3000, NumNumeric: 6, NumClasses: 2, ConceptDepth: 4, Seed: 86,
+	})
+	params := core.Defaults()
+	params.MaxDepth = 3
+	params.Candidates = []int{1, 4}
+	tr := &Trainer{Table: train, Cfg: Config{Partitions: 2}}
+	trees, err := tr.Train([]cluster.TreeSpec{{Params: params}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees[0].Walk(func(n *core.Node) {
+		if n.Depth > 3 {
+			t.Fatalf("node at depth %d exceeds dmax 3", n.Depth)
+		}
+		if n.Cond != nil && n.Cond.Col != 1 && n.Cond.Col != 4 {
+			t.Fatalf("split on column %d outside C", n.Cond.Col)
+		}
+	})
+}
+
+func TestPlanetStageOverheadSimulation(t *testing.T) {
+	train := synth.GenerateTrain(synth.Spec{
+		Name: "plov", Rows: 1000, NumNumeric: 4, NumClasses: 2, ConceptDepth: 3, Seed: 87,
+	})
+	params := core.Defaults()
+	params.MaxDepth = 5
+	fast := &Trainer{Table: train, Cfg: Config{Partitions: 2}}
+	slow := &Trainer{Table: train, Cfg: Config{Partitions: 2, StageOverhead: 20 * time.Millisecond}}
+
+	start := time.Now()
+	if _, err := fast.Train([]cluster.TreeSpec{{Params: params}}); err != nil {
+		t.Fatal(err)
+	}
+	fastTime := time.Since(start)
+	start = time.Now()
+	if _, err := slow.Train([]cluster.TreeSpec{{Params: params}}); err != nil {
+		t.Fatal(err)
+	}
+	slowTime := time.Since(start)
+	if slowTime < fastTime+50*time.Millisecond {
+		t.Fatalf("stage overhead not applied: fast %v slow %v", fastTime, slowTime)
+	}
+}
+
+func TestPlanetSingleThreadMatchesParallel(t *testing.T) {
+	train := synth.GenerateTrain(synth.Spec{
+		Name: "plst", Rows: 3000, NumNumeric: 5, NumCategorical: 2, NumClasses: 2, ConceptDepth: 4, Seed: 88,
+	})
+	par := &Trainer{Table: train, Cfg: Config{Partitions: 4, Parallelism: 4}}
+	ser := &Trainer{Table: train, Cfg: Config{Partitions: 4, Parallelism: 1}}
+	a, err := par.Train([]cluster.TreeSpec{{Params: core.Defaults()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ser.Train([]cluster.TreeSpec{{Params: core.Defaults()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a[0].Equal(b[0]) {
+		t.Fatal("parallelism changed the trained tree")
+	}
+}
+
+func TestPlanetPureRootIsLeaf(t *testing.T) {
+	x := dataset.NewNumeric("x", []float64{1, 2, 3, 4})
+	y := dataset.NewCategorical("y", []int32{1, 1, 1, 1}, []string{"a", "b"})
+	tbl := dataset.MustNewTable([]*dataset.Column{x, y}, 1)
+	tr := &Trainer{Table: tbl, Cfg: Config{Partitions: 2}}
+	trees, err := tr.Train([]cluster.TreeSpec{{Params: core.Defaults()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !trees[0].Root.IsLeaf() || trees[0].Root.Class != 1 {
+		t.Fatalf("pure root not a leaf: %+v", trees[0].Root)
+	}
+}
+
+func TestPlanetDFSRescanPerLevel(t *testing.T) {
+	train := synth.GenerateTrain(synth.Spec{
+		Name: "plio", Rows: 2000, NumNumeric: 5, NumClasses: 2, ConceptDepth: 4, Seed: 89,
+	})
+	store := dfs.NewStore(dfs.Config{ConnectLatency: 0})
+	if _, err := dfs.PutTable(store, "t", train, 3, 500); err != nil {
+		t.Fatal(err)
+	}
+	store.ResetStats()
+	params := core.Defaults()
+	params.MaxDepth = 5
+	tr := &Trainer{Table: train, Cfg: Config{Partitions: 2, Store: store, Base: "t"}}
+	trees, err := tr.Train([]cluster.TreeSpec{{Params: params}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.Stats()
+	if st.Opens == 0 {
+		t.Fatal("no per-level DFS reads recorded")
+	}
+	// One full table read per level: opens must be a multiple of the file
+	// count and at least 2 levels' worth for a depth-5 tree.
+	files := int64(len(store.List("t/")))
+	if st.Opens < 2*files || st.Opens%files != 0 {
+		t.Fatalf("opens = %d, files = %d: not whole-table rescans", st.Opens, files)
+	}
+	if trees[0].Root.IsLeaf() {
+		t.Fatal("degenerate tree")
+	}
+}

@@ -1,0 +1,132 @@
+// Package serve exposes a trained TreeServer model over HTTP — the "client
+// queries" edge of Fig. 2. Endpoints:
+//
+//	GET  /healthz   liveness probe
+//	GET  /schema    feature names, kinds and class labels (JSON)
+//	POST /predict   JSON {"rows":[{"col":"value",...},...]} -> predictions
+//
+// Values arrive as strings and are parsed against the model's stored
+// training schema, so categorical codings always match training; missing
+// and unseen values follow the paper's Appendix-D semantics.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"treeserver/internal/model"
+)
+
+// Server wraps a loaded model file as an http.Handler.
+type Server struct {
+	Model *model.File
+	mux   *http.ServeMux
+}
+
+// New builds a server around a loaded model.
+func New(m *model.File) *Server {
+	s := &Server{Model: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/schema", s.handleSchema)
+	s.mux.HandleFunc("/predict", s.handlePredict)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// schemaResponse is the /schema payload.
+type schemaResponse struct {
+	Model      string   `json:"model"`
+	Kind       string   `json:"kind"`
+	Task       string   `json:"task"`
+	Features   []string `json:"features"`
+	Classes    []string `json:"classes,omitempty"`
+	NumTrees   int      `json:"num_trees,omitempty"`
+	NumRounds  int      `json:"num_rounds,omitempty"`
+	TargetName string   `json:"target"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
+	sc := s.Model.Schema
+	resp := schemaResponse{
+		Model:      s.Model.Name,
+		Kind:       s.Model.Kind,
+		Task:       "classification",
+		Features:   sc.FeatureNames(),
+		TargetName: sc.Names[sc.Target],
+	}
+	if sc.Regression() {
+		resp.Task = "regression"
+	} else {
+		resp.Classes = sc.TargetLevels()
+	}
+	if s.Model.Forest != nil {
+		resp.NumTrees = len(s.Model.Forest.Trees)
+	}
+	if s.Model.Boost != nil {
+		resp.NumRounds = len(s.Model.Boost.Rounds)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// predictRequest is the /predict payload.
+type predictRequest struct {
+	Rows []map[string]string `json:"rows"`
+}
+
+// predictResponse is the /predict result.
+type predictResponse struct {
+	Predictions []model.Prediction `json:"predictions"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if len(req.Rows) == 0 {
+		httpError(w, http.StatusBadRequest, "no rows")
+		return
+	}
+	const maxRows = 100000
+	if len(req.Rows) > maxRows {
+		httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("at most %d rows per request", maxRows))
+		return
+	}
+	tbl, err := s.Model.Schema.ParseRows(req.Rows)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, predictResponse{Predictions: s.Model.Predict(tbl)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing more to do than note it for the client.
+		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// ListenAndServe runs the server until the listener fails.
+func (s *Server) ListenAndServe(addr string) error {
+	return http.ListenAndServe(addr, s)
+}

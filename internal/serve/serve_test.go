@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"treeserver/internal/cluster"
+	"treeserver/internal/core"
+	"treeserver/internal/forest"
+	"treeserver/internal/model"
+	"treeserver/internal/synth"
+)
+
+func testServer(t *testing.T) (*Server, *model.File) {
+	t.Helper()
+	train, _ := synth.Generate(synth.Spec{
+		Name: "serve", Rows: 2500, NumNumeric: 3, NumCategorical: 1, CatLevels: 4,
+		NumClasses: 2, ConceptDepth: 3, Seed: 77,
+	}, 0)
+	f, err := forest.Train(&forest.Local{Table: train}, cluster.SchemaOf(train),
+		forest.Config{Trees: 4, Params: core.Defaults(), ColFrac: -1, Bootstrap: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.SaveForest(&buf, "t", f, model.SchemaOf(train)); err != nil {
+		t.Fatal(err)
+	}
+	mf, err := model.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(mf), mf
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := testServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("healthz: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestSchemaEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/schema", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("schema status %d", rec.Code)
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp["task"] != "classification" || resp["kind"] != "forest" {
+		t.Fatalf("schema = %v", resp)
+	}
+	if feats := resp["features"].([]any); len(feats) != 4 {
+		t.Fatalf("features = %v", feats)
+	}
+	if trees := resp["num_trees"].(float64); trees != 4 {
+		t.Fatalf("num_trees = %v", trees)
+	}
+}
+
+func TestPredictEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	body := `{"rows":[
+		{"num0":"0.5","num1":"-1","num2":"2","cat0":"L1"},
+		{"num0":"","cat0":"UNKNOWN"}
+	]}`
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("predict status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Predictions []model.Prediction `json:"predictions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Predictions) != 2 {
+		t.Fatalf("predictions = %d", len(resp.Predictions))
+	}
+	for i, p := range resp.Predictions {
+		if p.Class != "C0" && p.Class != "C1" {
+			t.Fatalf("prediction %d class %q", i, p.Class)
+		}
+		sum := 0.0
+		for _, v := range p.PMF {
+			sum += v
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("prediction %d pmf sums to %g", i, sum)
+		}
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	s, _ := testServer(t)
+
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/predict", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET predict status %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader("{garbage")))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad JSON status %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(`{"rows":[]}`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty rows status %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(`{"rows":[{"num0":"xx"}]}`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad numeric status %d", rec.Code)
+	}
+}
+
+func TestPredictMatchesDirectEvaluation(t *testing.T) {
+	s, mf := testServer(t)
+	row := map[string]string{"num0": "1.0", "num1": "0.2", "num2": "-0.7", "cat0": "L2"}
+	payload, _ := json.Marshal(map[string]any{"rows": []any{row}})
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/predict", bytes.NewReader(payload)))
+	var resp struct {
+		Predictions []model.Prediction `json:"predictions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := mf.Schema.ParseRow(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mf.Predict(tbl)[0]
+	if resp.Predictions[0].Class != want.Class {
+		t.Fatalf("HTTP %q != direct %q", resp.Predictions[0].Class, want.Class)
+	}
+}

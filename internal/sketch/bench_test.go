@@ -1,0 +1,40 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSketchAdd measures insertion throughput including periodic
+// compression — the per-row cost of split proposal in the booster.
+func BenchmarkSketchAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]float64, 65536)
+	weights := make([]float64, 65536)
+	for i := range values {
+		values[i] = rng.NormFloat64()
+		weights[i] = rng.Float64() + 0.01
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	s := New(256)
+	for i := 0; i < b.N; i++ {
+		s.Add(values[i&65535], weights[i&65535])
+	}
+}
+
+// BenchmarkSketchQuantiles measures proposal extraction.
+func BenchmarkSketchQuantiles(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	s := New(256)
+	for i := 0; i < 100000; i++ {
+		s.Add(rng.NormFloat64(), rng.Float64()+0.01)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cuts := s.Quantiles(32); len(cuts) == 0 {
+			b.Fatal("no cuts")
+		}
+	}
+}

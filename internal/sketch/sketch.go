@@ -1,0 +1,146 @@
+// Package sketch implements a mergeable weighted quantile summary, the
+// substrate XGBoost's approximate split finding is built on (Chen &
+// Guestrin 2016, §3.2): candidate split points are proposed at even
+// hessian-weight quantiles of each feature. The summary keeps at most
+// maxSize entries; each compression introduces at most W/maxSize rank error
+// for total weight W, which matches the ε = 1/maxSize sketch contract
+// closely enough for split proposal.
+package sketch
+
+import (
+	"sort"
+)
+
+// Entry is one summary point: a value carrying the collapsed weight of the
+// observations it represents.
+type Entry struct {
+	Value  float64
+	Weight float64
+}
+
+// Sketch accumulates weighted observations and answers quantile queries.
+// The zero value is unusable; call New.
+type Sketch struct {
+	maxSize int
+	entries []Entry // sorted, deduplicated after compression
+	buffer  []Entry // pending inserts
+	total   float64
+}
+
+// New returns a sketch that retains at most maxSize summary entries
+// (minimum 8).
+func New(maxSize int) *Sketch {
+	if maxSize < 8 {
+		maxSize = 8
+	}
+	return &Sketch{maxSize: maxSize}
+}
+
+// Add records one weighted observation. Non-positive weights are ignored.
+func (s *Sketch) Add(value, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	s.buffer = append(s.buffer, Entry{value, weight})
+	s.total += weight
+	if len(s.buffer) >= 2*s.maxSize {
+		s.compress()
+	}
+}
+
+// Merge folds another sketch into this one. The other sketch is unchanged.
+func (s *Sketch) Merge(o *Sketch) {
+	s.entries = append(s.entries, o.entries...)
+	s.buffer = append(s.buffer, o.buffer...)
+	s.total += o.total
+	sort.Slice(s.entries, func(i, j int) bool { return s.entries[i].Value < s.entries[j].Value })
+	s.compress()
+}
+
+// TotalWeight returns the summed weight of all observations.
+func (s *Sketch) TotalWeight() float64 { return s.total }
+
+// compress folds the buffer into the summary and prunes to maxSize entries
+// positioned at even cumulative-weight spacing.
+func (s *Sketch) compress() {
+	if len(s.buffer) == 0 && len(s.entries) <= s.maxSize {
+		return
+	}
+	all := append(s.entries, s.buffer...)
+	s.buffer = nil
+	sort.Slice(all, func(i, j int) bool { return all[i].Value < all[j].Value })
+	// Collapse equal values.
+	merged := all[:0]
+	for _, e := range all {
+		if n := len(merged); n > 0 && merged[n-1].Value == e.Value {
+			merged[n-1].Weight += e.Weight
+		} else {
+			merged = append(merged, e)
+		}
+	}
+	if len(merged) <= s.maxSize {
+		s.entries = append([]Entry(nil), merged...)
+		return
+	}
+	// Prune: keep first and last, and entries nearest the even-weight grid.
+	pruned := make([]Entry, 0, s.maxSize)
+	step := s.total / float64(s.maxSize-1)
+	nextRank := step
+	var cum float64
+	pruned = append(pruned, merged[0])
+	cum = merged[0].Weight
+	pendingWeight := 0.0
+	for _, e := range merged[1 : len(merged)-1] {
+		cum += e.Weight
+		pendingWeight += e.Weight
+		if cum >= nextRank {
+			pruned = append(pruned, Entry{e.Value, pendingWeight})
+			pendingWeight = 0
+			for cum >= nextRank {
+				nextRank += step
+			}
+		}
+	}
+	last := merged[len(merged)-1]
+	last.Weight += pendingWeight
+	pruned = append(pruned, last)
+	s.entries = pruned
+}
+
+// Quantiles returns up to k-1 interior cut points that partition the
+// observed weight into k roughly equal parts — the split proposals for a
+// k-bin discretisation. Duplicates are removed; fewer points are returned
+// when the data has few distinct values.
+func (s *Sketch) Quantiles(k int) []float64 {
+	s.compress()
+	if k < 2 || len(s.entries) == 0 || s.total <= 0 {
+		return nil
+	}
+	cuts := make([]float64, 0, k-1)
+	var cum float64
+	target := s.total / float64(k)
+	next := target
+	for _, e := range s.entries[:len(s.entries)-1] { // last value can't be a cut
+		cum += e.Weight
+		if cum >= next {
+			if len(cuts) == 0 || e.Value > cuts[len(cuts)-1] {
+				cuts = append(cuts, e.Value)
+			}
+			for cum >= next {
+				next += target
+			}
+		}
+	}
+	return cuts
+}
+
+// Values returns the current summary values in ascending order (testing and
+// exhaustive split proposal for small data).
+func (s *Sketch) Values() []float64 {
+	s.compress()
+	out := make([]float64, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = e.Value
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package sketch
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exactWeightedQuantile computes the true value at the given weight rank.
+func exactWeightedQuantile(values, weights []float64, frac float64) float64 {
+	type pair struct{ v, w float64 }
+	ps := make([]pair, len(values))
+	var total float64
+	for i := range values {
+		ps[i] = pair{values[i], weights[i]}
+		total += weights[i]
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].v < ps[j].v })
+	target := frac * total
+	var cum float64
+	for _, p := range ps {
+		cum += p.w
+		if cum >= target {
+			return p.v
+		}
+	}
+	return ps[len(ps)-1].v
+}
+
+func TestSketchExactWhenSmall(t *testing.T) {
+	s := New(64)
+	for i := 10; i >= 1; i-- {
+		s.Add(float64(i), 1)
+	}
+	vals := s.Values()
+	if len(vals) != 10 {
+		t.Fatalf("values = %v", vals)
+	}
+	for i, v := range vals {
+		if v != float64(i+1) {
+			t.Fatalf("values not sorted/complete: %v", vals)
+		}
+	}
+	if s.TotalWeight() != 10 {
+		t.Fatalf("total = %g", s.TotalWeight())
+	}
+}
+
+func TestSketchCollapsesDuplicates(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 1000; i++ {
+		s.Add(42, 1)
+	}
+	vals := s.Values()
+	if len(vals) != 1 || vals[0] != 42 {
+		t.Fatalf("values = %v", vals)
+	}
+	if s.TotalWeight() != 1000 {
+		t.Fatalf("weight lost: %g", s.TotalWeight())
+	}
+}
+
+func TestSketchWeightConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := New(32)
+	var total float64
+	for i := 0; i < 10000; i++ {
+		w := rng.Float64() + 0.01
+		s.Add(rng.NormFloat64(), w)
+		total += w
+	}
+	s.compress()
+	var kept float64
+	for _, e := range s.entries {
+		kept += e.Weight
+	}
+	if diff := kept - total; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("weight not conserved: kept %g of %g", kept, total)
+	}
+}
+
+func TestSketchQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 20000
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	s := New(256)
+	for i := range values {
+		values[i] = rng.NormFloat64() * 10
+		weights[i] = rng.Float64() + 0.1
+		s.Add(values[i], weights[i])
+	}
+	cuts := s.Quantiles(4) // quartile boundaries
+	if len(cuts) == 0 {
+		t.Fatal("no quantiles")
+	}
+	// Each returned cut must sit near its true quantile: compare the rank
+	// of the cut against the even grid with tolerance ~ a few /maxSize.
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	for i, cut := range cuts {
+		wantFrac := float64(i+1) / 4
+		var rank float64
+		for j := range values {
+			if values[j] <= cut {
+				rank += weights[j]
+			}
+		}
+		gotFrac := rank / total
+		if diff := gotFrac - wantFrac; diff > 0.05 || diff < -0.05 {
+			t.Fatalf("cut %d at rank %.3f, want %.3f (±0.05)", i, gotFrac, wantFrac)
+		}
+	}
+	// Cross-check one quartile against the exact computation.
+	exact := exactWeightedQuantile(values, weights, 0.5)
+	if d := cuts[1] - exact; d > 2 || d < -2 {
+		t.Fatalf("median cut %.3f vs exact %.3f", cuts[1], exact)
+	}
+}
+
+func TestSketchMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, b, whole := New(128), New(128), New(128)
+	for i := 0; i < 5000; i++ {
+		v, w := rng.NormFloat64(), rng.Float64()+0.1
+		whole.Add(v, w)
+		if i%2 == 0 {
+			a.Add(v, w)
+		} else {
+			b.Add(v, w)
+		}
+	}
+	a.Merge(b)
+	if d := a.TotalWeight() - whole.TotalWeight(); d > 1e-9 || d < -1e-9 {
+		t.Fatalf("merged weight %g != %g", a.TotalWeight(), whole.TotalWeight())
+	}
+	ca, cw := a.Quantiles(4), whole.Quantiles(4)
+	if len(ca) == 0 || len(cw) == 0 {
+		t.Fatal("no quantiles after merge")
+	}
+	for i := range ca {
+		if i < len(cw) {
+			if d := ca[i] - cw[i]; d > 0.5 || d < -0.5 {
+				t.Fatalf("merged quantile %d: %.3f vs %.3f", i, ca[i], cw[i])
+			}
+		}
+	}
+}
+
+func TestSketchIgnoresNonPositiveWeight(t *testing.T) {
+	s := New(8)
+	s.Add(1, 0)
+	s.Add(2, -5)
+	if s.TotalWeight() != 0 || len(s.Values()) != 0 {
+		t.Fatal("non-positive weights recorded")
+	}
+}
+
+func TestQuantilesStrictlyIncreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := New(32)
+	for i := 0; i < 5000; i++ {
+		s.Add(float64(rng.Intn(5)), 1) // heavy duplication
+	}
+	cuts := s.Quantiles(16)
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] <= cuts[i-1] {
+			t.Fatalf("cuts not strictly increasing: %v", cuts)
+		}
+	}
+	// The max value must never be a cut (it cannot separate anything).
+	for _, c := range cuts {
+		if c >= 4 {
+			t.Fatalf("max value appeared as a cut: %v", cuts)
+		}
+	}
+}
+
+func TestQuantilesEdgeCases(t *testing.T) {
+	s := New(8)
+	if s.Quantiles(4) != nil {
+		t.Fatal("empty sketch returned quantiles")
+	}
+	s.Add(1, 1)
+	if cuts := s.Quantiles(1); cuts != nil {
+		t.Fatalf("k=1 returned %v", cuts)
+	}
+}

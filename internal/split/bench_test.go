@@ -1,0 +1,117 @@
+package split
+
+import (
+	"math/rand"
+	"testing"
+
+	"treeserver/internal/dataset"
+	"treeserver/internal/impurity"
+)
+
+func benchColumns(n int, rng *rand.Rand) (*dataset.Column, *dataset.Column, *dataset.Column, *dataset.Column) {
+	num := make([]float64, n)
+	cat := make([]int32, n)
+	ycls := make([]int32, n)
+	yreg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		num[i] = rng.NormFloat64()
+		cat[i] = int32(rng.Intn(8))
+		if num[i]+rng.NormFloat64()*0.3 > 0 {
+			ycls[i] = 1
+		}
+		yreg[i] = num[i]*2 + rng.NormFloat64()
+	}
+	levels := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	return dataset.NewNumeric("x", num), dataset.NewCategorical("c", cat, levels),
+		dataset.NewCategorical("y", ycls, []string{"n", "p"}), dataset.NewNumeric("yr", yreg)
+}
+
+// BenchmarkFindBestNumericClassification measures the sort+sweep exact
+// splitter — the inner loop of every column-task.
+func BenchmarkFindBestNumericClassification(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	num, _, ycls, _ := benchColumns(10000, rng)
+	rows := dataset.AllRows(10000)
+	req := Request{Col: num, ColIdx: 0, Y: ycls, Rows: rows, Measure: impurity.Gini, NumClasses: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cand := FindBest(req); !cand.Valid {
+			b.Fatal("no split")
+		}
+	}
+}
+
+// BenchmarkFindBestNumericRegression measures the variance sweep.
+func BenchmarkFindBestNumericRegression(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	num, _, _, yreg := benchColumns(10000, rng)
+	rows := dataset.AllRows(10000)
+	req := Request{Col: num, ColIdx: 0, Y: yreg, Rows: rows, Measure: impurity.Variance}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FindBest(req)
+	}
+}
+
+// BenchmarkFindBestCategoricalClassification measures subset enumeration
+// over 8 levels (2^7 bipartitions).
+func BenchmarkFindBestCategoricalClassification(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	_, cat, ycls, _ := benchColumns(10000, rng)
+	rows := dataset.AllRows(10000)
+	req := Request{Col: cat, ColIdx: 0, Y: ycls, Rows: rows, Measure: impurity.Gini, NumClasses: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FindBest(req)
+	}
+}
+
+// BenchmarkFindBestCategoricalRegression measures Breiman's ordering trick.
+func BenchmarkFindBestCategoricalRegression(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	_, cat, _, yreg := benchColumns(10000, rng)
+	rows := dataset.AllRows(10000)
+	req := Request{Col: cat, ColIdx: 0, Y: yreg, Rows: rows, Measure: impurity.Variance}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FindBest(req)
+	}
+}
+
+// BenchmarkHistogramSplit measures the approximate PLANET path end to end:
+// binning plus boundary sweep.
+func BenchmarkHistogramSplit(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	num, _, ycls, _ := benchColumns(10000, rng)
+	rows := dataset.AllRows(10000)
+	bins := ComputeBins(num, 0, 32, rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := NewHistogram(bins.NumBins, 2)
+		for r := 0; r < 10000; r++ {
+			h.AddClass(bins.BinOf(num, r), ycls.Cats[r])
+		}
+		BestFromHistogram(bins, h, impurity.Gini)
+	}
+}
+
+// BenchmarkPartition measures the delegate worker's I_x split.
+func BenchmarkPartition(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	num, _, ycls, _ := benchColumns(100000, rng)
+	rows := dataset.AllRows(100000)
+	cand := FindBest(Request{Col: num, ColIdx: 0, Y: ycls, Rows: rows, Measure: impurity.Gini, NumClasses: 2})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, r := cand.Cond.Partition(num, rows)
+		if len(l)+len(r) != len(rows) {
+			b.Fatal("partition lost rows")
+		}
+	}
+}

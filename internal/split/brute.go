@@ -1,0 +1,140 @@
+package split
+
+import (
+	"treeserver/internal/dataset"
+	"treeserver/internal/impurity"
+)
+
+// FindBestBrute is an O(candidates × rows) reference implementation of
+// FindBest used by property tests: it evaluates every admissible condition
+// by fully re-partitioning the rows, with no incremental accumulators and no
+// ordering tricks. Its result must match FindBest's impurity on any input.
+func FindBestBrute(req Request) Candidate {
+	present := make([]int32, 0, len(req.Rows))
+	missN := 0
+	for _, r := range req.Rows {
+		if req.Col.IsMissing(int(r)) {
+			missN++
+		} else {
+			present = append(present, r)
+		}
+	}
+	if len(present) < 2 {
+		return Candidate{}
+	}
+	best := Candidate{}
+	for _, cond := range enumerateConditions(req, present) {
+		cand := scoreCondition(req, cond, present)
+		if cand.Better(best) {
+			best = cand
+		}
+	}
+	if !best.Valid {
+		return best
+	}
+	best.Cond.MissingLeft = best.LeftN >= best.RightN
+	if best.Cond.MissingLeft {
+		best.LeftN += missN
+	} else {
+		best.RightN += missN
+	}
+	return best
+}
+
+func enumerateConditions(req Request, rows []int32) []Condition {
+	var conds []Condition
+	if req.Col.Kind == dataset.Numeric {
+		seen := map[float64]bool{}
+		var values []float64
+		for _, r := range rows {
+			v := req.Col.Floats[r]
+			if !seen[v] {
+				seen[v] = true
+				values = append(values, v)
+			}
+		}
+		sortFloats(values)
+		for i := 0; i+1 < len(values); i++ {
+			conds = append(conds, NewNumericCondition(req.ColIdx, midpoint(values[i], values[i+1]), false))
+		}
+		return conds
+	}
+	present := map[int32]bool{}
+	var codes []int32
+	for _, r := range rows {
+		c := req.Col.Cats[r]
+		if !present[c] {
+			present[c] = true
+			codes = append(codes, c)
+		}
+	}
+	sortCodes(codes)
+	if len(codes) < 2 {
+		return nil
+	}
+	regression := req.Y.Kind == dataset.Numeric
+	exhaustive := len(codes) <= req.maxExhaustive()
+	switch {
+	case regression || exhaustive:
+		// Enumerate all bipartitions (codes[0] pinned right). For regression
+		// this super-set of Breiman's prefix family verifies its optimality.
+		rest := codes[1:]
+		for mask := 1; mask < 1<<uint(len(rest)); mask++ {
+			var leftSet []int32
+			for b, code := range rest {
+				if mask&(1<<uint(b)) != 0 {
+					leftSet = append(leftSet, code)
+				}
+			}
+			conds = append(conds, NewCategoricalCondition(req.ColIdx, leftSet, false))
+		}
+	default:
+		for _, code := range codes {
+			conds = append(conds, NewCategoricalCondition(req.ColIdx, []int32{code}, false))
+		}
+	}
+	return conds
+}
+
+func scoreCondition(req Request, cond Condition, rows []int32) Candidate {
+	left, right := cond.Partition(req.Col, rows)
+	if len(left) == 0 || len(right) == 0 {
+		return Candidate{}
+	}
+	imp := impurity.WeightedSplit(len(left), subsetImpurity(req, left), len(right), subsetImpurity(req, right))
+	return Candidate{Cond: cond, Impurity: imp, LeftN: len(left), RightN: len(right), Valid: true}
+}
+
+func subsetImpurity(req Request, rows []int32) float64 {
+	if req.Y.Kind == dataset.Categorical {
+		counts := make([]int, req.NumClasses)
+		for _, r := range rows {
+			counts[req.Y.Cats[r]]++
+		}
+		if req.Measure == impurity.Entropy {
+			return impurity.EntropyFromCounts(counts)
+		}
+		return impurity.GiniFromCounts(counts)
+	}
+	var m impurity.MomentAccumulator
+	for _, r := range rows {
+		m.Add(req.Y.Floats[r])
+	}
+	return m.Impurity()
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func sortCodes(v []int32) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

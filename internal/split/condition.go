@@ -1,0 +1,143 @@
+// Package split implements split-condition search for decision-tree nodes:
+// the three exact one-pass algorithms of the paper's Appendix B, a random
+// splitter for extra-trees, the approximate equi-depth histogram splitter
+// used by the PLANET/MLlib baseline, and a brute-force reference finder for
+// property tests.
+package split
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"treeserver/internal/dataset"
+)
+
+// Condition is a binary node-splitting condition on one attribute.
+//
+// For a numeric attribute the condition is "Ai <= Threshold"; for a
+// categorical attribute it is "Ai in LeftSet". Rows satisfying the condition
+// go to the left child. Rows with a missing attribute value go left when
+// MissingLeft is set (training routes them with the larger partition).
+type Condition struct {
+	Col         int // column index within the table
+	Kind        dataset.Kind
+	Threshold   float64 // numeric split value v
+	LeftSet     []int32 // sorted categorical codes routed left
+	leftMask    uint64  // fast-path bitmask when all codes < 64
+	maskValid   bool
+	MissingLeft bool
+}
+
+// NewNumericCondition builds an "Ai <= v" condition.
+func NewNumericCondition(col int, v float64, missingLeft bool) Condition {
+	return Condition{Col: col, Kind: dataset.Numeric, Threshold: v, MissingLeft: missingLeft}
+}
+
+// NewCategoricalCondition builds an "Ai in Sl" condition. The code slice is
+// copied and sorted.
+func NewCategoricalCondition(col int, leftSet []int32, missingLeft bool) Condition {
+	set := append([]int32(nil), leftSet...)
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	c := Condition{Col: col, Kind: dataset.Categorical, LeftSet: set, MissingLeft: missingLeft}
+	c.buildMask()
+	return c
+}
+
+func (c *Condition) buildMask() {
+	c.leftMask, c.maskValid = 0, true
+	for _, code := range c.LeftSet {
+		if code < 0 || code >= 64 {
+			c.maskValid = false
+			c.leftMask = 0
+			return
+		}
+		c.leftMask |= 1 << uint(code)
+	}
+}
+
+// LeftContains reports whether categorical code belongs to the left set.
+func (c *Condition) LeftContains(code int32) bool {
+	if c.maskValid {
+		return code >= 0 && code < 64 && c.leftMask&(1<<uint(code)) != 0
+	}
+	i := sort.Search(len(c.LeftSet), func(i int) bool { return c.LeftSet[i] >= code })
+	return i < len(c.LeftSet) && c.LeftSet[i] == code
+}
+
+// GoesLeft evaluates the condition on row r of column col. The caller must
+// pass the column the condition was built for. Missing values follow
+// MissingLeft.
+func (c *Condition) GoesLeft(col *dataset.Column, r int) bool {
+	if col.IsMissing(r) {
+		return c.MissingLeft
+	}
+	if c.Kind == dataset.Numeric {
+		return col.Floats[r] <= c.Threshold
+	}
+	return c.LeftContains(col.Cats[r])
+}
+
+// Rehydrate rebuilds unexported caches after the condition crossed a
+// serialisation boundary (gob only transfers exported fields).
+func (c *Condition) Rehydrate() {
+	if c.Kind == dataset.Categorical {
+		c.buildMask()
+	}
+}
+
+// String renders the condition using the column's metadata when provided.
+func (c Condition) String() string {
+	if c.Kind == dataset.Numeric {
+		return fmt.Sprintf("col[%d] <= %g", c.Col, c.Threshold)
+	}
+	codes := make([]string, len(c.LeftSet))
+	for i, code := range c.LeftSet {
+		codes[i] = fmt.Sprint(code)
+	}
+	return fmt.Sprintf("col[%d] in {%s}", c.Col, strings.Join(codes, ","))
+}
+
+// Candidate is a scored split condition: the outcome of evaluating one
+// column at one node. Workers ship Candidates (not row sets) to the master,
+// together with the left/right row counts the master needs to classify the
+// child tasks (Section V).
+type Candidate struct {
+	Cond     Condition
+	Impurity float64 // weighted child impurity; lower is better
+	LeftN    int
+	RightN   int
+	Valid    bool // false when the column admits no useful split at this node
+}
+
+// Better reports whether candidate a strictly beats candidate b. Invalid
+// candidates never win; ties break toward the lower column index so that
+// distributed and serial training choose identical trees.
+func (a Candidate) Better(b Candidate) bool {
+	if !a.Valid {
+		return false
+	}
+	if !b.Valid {
+		return true
+	}
+	if a.Impurity != b.Impurity {
+		return a.Impurity < b.Impurity
+	}
+	return a.Cond.Col < b.Cond.Col
+}
+
+// Partition splits rows into (left, right) according to the condition,
+// preserving relative order — the operation a delegate worker performs to
+// derive I_xl and I_xr from I_x.
+func (c *Condition) Partition(col *dataset.Column, rows []int32) (left, right []int32) {
+	left = make([]int32, 0, len(rows))
+	right = make([]int32, 0, len(rows))
+	for _, r := range rows {
+		if c.GoesLeft(col, int(r)) {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	return left, right
+}

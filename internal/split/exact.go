@@ -1,0 +1,333 @@
+package split
+
+import (
+	"sort"
+
+	"treeserver/internal/dataset"
+	"treeserver/internal/impurity"
+)
+
+// DefaultMaxExhaustiveLevels bounds full subset enumeration for categorical
+// attributes in classification. Above this, the finder restricts |Sl| = 1 as
+// the paper describes for large |Si|.
+const DefaultMaxExhaustiveLevels = 10
+
+// Request carries everything needed to find one column's best split at one
+// node. Rows index into Col and Y, which must be in the same coordinate
+// system (both full-table columns, or both gathered shards).
+type Request struct {
+	Col        *dataset.Column
+	ColIdx     int // value recorded in the resulting Condition
+	Y          *dataset.Column
+	Rows       []int32
+	Measure    impurity.Measure
+	NumClasses int // classes in Y for classification; ignored for regression
+	// MaxExhaustiveLevels overrides DefaultMaxExhaustiveLevels when > 0.
+	MaxExhaustiveLevels int
+}
+
+func (r *Request) maxExhaustive() int {
+	if r.MaxExhaustiveLevels > 0 {
+		return r.MaxExhaustiveLevels
+	}
+	return DefaultMaxExhaustiveLevels
+}
+
+// FindBest computes the exact best split condition of one column over the
+// rows D_x, dispatching on the (attribute kind, target kind) pair per
+// Appendix B. Rows with a missing attribute value are excluded from impurity
+// evaluation and then routed with the larger child; the returned counts
+// include them so the master can classify child tasks against τ_D and τ_dfs.
+func FindBest(req Request) Candidate {
+	var cand Candidate
+	present := req.Rows
+	missN := 0
+	if req.Col.MissingCount() > 0 {
+		present = make([]int32, 0, len(req.Rows))
+		for _, r := range req.Rows {
+			if req.Col.IsMissing(int(r)) {
+				missN++
+			} else {
+				present = append(present, r)
+			}
+		}
+	}
+	if len(present) < 2 {
+		return Candidate{}
+	}
+	switch {
+	case req.Col.Kind == dataset.Numeric:
+		cand = bestNumeric(req, present)
+	case req.Y.Kind == dataset.Numeric:
+		cand = bestCategoricalRegression(req, present)
+	default:
+		cand = bestCategoricalClassification(req, present)
+	}
+	if !cand.Valid {
+		return cand
+	}
+	cand.Cond.MissingLeft = cand.LeftN >= cand.RightN
+	if cand.Cond.MissingLeft {
+		cand.LeftN += missN
+	} else {
+		cand.RightN += missN
+	}
+	return cand
+}
+
+type valuePair struct {
+	v float64
+	y int32 // class code (classification)
+	f float64
+	r int32 // original row, kept for deterministic stable sort
+}
+
+// bestNumeric handles Case 1: ordinal attribute, either target kind.
+// Sort rows by attribute value, then a single sweep with incremental
+// accumulators evaluates every boundary between distinct values in O(1).
+func bestNumeric(req Request, rows []int32) Candidate {
+	pairs := make([]valuePair, len(rows))
+	classification := req.Y.Kind == dataset.Categorical
+	for i, r := range rows {
+		pairs[i] = valuePair{v: req.Col.Floats[r], r: r}
+		if classification {
+			pairs[i].y = req.Y.Cats[r]
+		} else {
+			pairs[i].f = req.Y.Floats[r]
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].v != pairs[j].v {
+			return pairs[i].v < pairs[j].v
+		}
+		return pairs[i].r < pairs[j].r
+	})
+
+	best := Candidate{Impurity: 0, Valid: false}
+	n := len(pairs)
+	if classification {
+		left := impurity.NewClassCounter(req.NumClasses)
+		right := impurity.NewClassCounter(req.NumClasses)
+		for _, p := range pairs {
+			right.Add(p.y)
+		}
+		for i := 0; i < n-1; i++ {
+			left.Add(pairs[i].y)
+			right.Remove(pairs[i].y)
+			if pairs[i].v == pairs[i+1].v {
+				continue
+			}
+			imp := impurity.WeightedSplit(left.N, left.Impurity(req.Measure), right.N, right.Impurity(req.Measure))
+			cand := Candidate{
+				Cond:     NewNumericCondition(req.ColIdx, midpoint(pairs[i].v, pairs[i+1].v), false),
+				Impurity: imp, LeftN: left.N, RightN: right.N, Valid: true,
+			}
+			if cand.Better(best) {
+				best = cand
+			}
+		}
+		return best
+	}
+
+	var left, right impurity.MomentAccumulator
+	for _, p := range pairs {
+		right.Add(p.f)
+	}
+	for i := 0; i < n-1; i++ {
+		left.Add(pairs[i].f)
+		right.Remove(pairs[i].f)
+		if pairs[i].v == pairs[i+1].v {
+			continue
+		}
+		imp := impurity.WeightedSplit(left.N, left.Impurity(), right.N, right.Impurity())
+		cand := Candidate{
+			Cond:     NewNumericCondition(req.ColIdx, midpoint(pairs[i].v, pairs[i+1].v), false),
+			Impurity: imp, LeftN: left.N, RightN: right.N, Valid: true,
+		}
+		if cand.Better(best) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// midpoint returns a threshold strictly between lo and hi that keeps lo on
+// the left side, falling back to lo when the mean rounds onto hi or out of
+// the open interval.
+func midpoint(lo, hi float64) float64 {
+	m := lo + (hi-lo)/2
+	if m < lo || m >= hi {
+		return lo
+	}
+	return m
+}
+
+// bestCategoricalRegression handles Case 2 via Breiman's ordering trick:
+// group rows by category, sort groups by mean Y, and the optimal subset
+// split is a prefix of that order — one pass over the groups.
+func bestCategoricalRegression(req Request, rows []int32) Candidate {
+	levels := req.Col.NumLevels()
+	moments := make([]impurity.MomentAccumulator, levels)
+	for _, r := range rows {
+		moments[req.Col.Cats[r]].Add(req.Y.Floats[r])
+	}
+	type group struct {
+		code int32
+		mean float64
+	}
+	groups := make([]group, 0, levels)
+	for code := range moments {
+		if moments[code].N > 0 {
+			groups = append(groups, group{int32(code), moments[code].Mean()})
+		}
+	}
+	if len(groups) < 2 {
+		return Candidate{}
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].mean != groups[j].mean {
+			return groups[i].mean < groups[j].mean
+		}
+		return groups[i].code < groups[j].code
+	})
+
+	var left, right impurity.MomentAccumulator
+	for _, g := range groups {
+		m := moments[g.code]
+		right.N += m.N
+		right.Sum += m.Sum
+		right.SumSq += m.SumSq
+	}
+	best := Candidate{}
+	prefix := make([]int32, 0, len(groups))
+	for i := 0; i < len(groups)-1; i++ {
+		m := moments[groups[i].code]
+		left.N += m.N
+		left.Sum += m.Sum
+		left.SumSq += m.SumSq
+		right.N -= m.N
+		right.Sum -= m.Sum
+		right.SumSq -= m.SumSq
+		prefix = append(prefix, groups[i].code)
+		imp := impurity.WeightedSplit(left.N, left.Impurity(), right.N, right.Impurity())
+		cand := Candidate{
+			Cond:     NewCategoricalCondition(req.ColIdx, prefix, false),
+			Impurity: imp, LeftN: left.N, RightN: right.N, Valid: true,
+		}
+		if cand.Better(best) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// bestCategoricalClassification handles Case 3. For small |Si| it enumerates
+// every subset exactly (fixing the first present level's side to skip mirror
+// duplicates). For large |Si| with a binary target, Breiman's theorem makes
+// ordering levels by P(class 1) exact with a one-pass prefix scan, just like
+// the regression case; only the multiclass large-|Si| case falls back to the
+// paper's |Sl| = 1 restriction.
+func bestCategoricalClassification(req Request, rows []int32) Candidate {
+	levels := req.Col.NumLevels()
+	counts := make([][]int, levels) // counts[code][class]
+	presentCodes := make([]int32, 0, levels)
+	for _, r := range rows {
+		code := req.Col.Cats[r]
+		if counts[code] == nil {
+			counts[code] = make([]int, req.NumClasses)
+			presentCodes = append(presentCodes, code)
+		}
+		counts[code][req.Y.Cats[r]]++
+	}
+	if len(presentCodes) < 2 {
+		return Candidate{}
+	}
+	sort.Slice(presentCodes, func(i, j int) bool { return presentCodes[i] < presentCodes[j] })
+
+	total := impurity.NewClassCounter(req.NumClasses)
+	for _, code := range presentCodes {
+		for class, n := range counts[code] {
+			total.AddN(int32(class), n)
+		}
+	}
+
+	evaluate := func(leftSet []int32) Candidate {
+		left := impurity.NewClassCounter(req.NumClasses)
+		for _, code := range leftSet {
+			for class, n := range counts[code] {
+				left.AddN(int32(class), n)
+			}
+		}
+		rightCounts := make([]int, req.NumClasses)
+		for class := range rightCounts {
+			rightCounts[class] = total.Counts[class] - left.Counts[class]
+		}
+		rightN := total.N - left.N
+		if left.N == 0 || rightN == 0 {
+			return Candidate{}
+		}
+		var rightImp float64
+		if req.Measure == impurity.Entropy {
+			rightImp = impurity.EntropyFromCounts(rightCounts)
+		} else {
+			rightImp = impurity.GiniFromCounts(rightCounts)
+		}
+		imp := impurity.WeightedSplit(left.N, left.Impurity(req.Measure), rightN, rightImp)
+		return Candidate{
+			Cond:     NewCategoricalCondition(req.ColIdx, leftSet, false),
+			Impurity: imp, LeftN: left.N, RightN: rightN, Valid: true,
+		}
+	}
+
+	best := Candidate{}
+	if len(presentCodes) <= req.maxExhaustive() {
+		// Enumerate subsets of presentCodes[1:]; presentCodes[0] is pinned to
+		// the right side, which covers every distinct bipartition once.
+		rest := presentCodes[1:]
+		for mask := 1; mask < 1<<uint(len(rest)); mask++ {
+			leftSet := make([]int32, 0, len(rest))
+			for b, code := range rest {
+				if mask&(1<<uint(b)) != 0 {
+					leftSet = append(leftSet, code)
+				}
+			}
+			if cand := evaluate(leftSet); cand.Better(best) {
+				best = cand
+			}
+		}
+		return best
+	}
+	if req.NumClasses == 2 {
+		// Breiman ordering: sort present levels by P(class 1) and scan
+		// prefixes — exact for any concave impurity (Gini, entropy).
+		type group struct {
+			code int32
+			p1   float64
+		}
+		groups := make([]group, 0, len(presentCodes))
+		for _, code := range presentCodes {
+			n := counts[code][0] + counts[code][1]
+			groups = append(groups, group{code, float64(counts[code][1]) / float64(n)})
+		}
+		sort.Slice(groups, func(i, j int) bool {
+			if groups[i].p1 != groups[j].p1 {
+				return groups[i].p1 < groups[j].p1
+			}
+			return groups[i].code < groups[j].code
+		})
+		prefix := make([]int32, 0, len(groups))
+		for i := 0; i < len(groups)-1; i++ {
+			prefix = append(prefix, groups[i].code)
+			if cand := evaluate(prefix); cand.Better(best) {
+				best = cand
+			}
+		}
+		return best
+	}
+	for _, code := range presentCodes {
+		if cand := evaluate([]int32{code}); cand.Better(best) {
+			best = cand
+		}
+	}
+	return best
+}

@@ -1,0 +1,374 @@
+package split
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"treeserver/internal/dataset"
+	"treeserver/internal/impurity"
+)
+
+// fig1Age and fig1Default reproduce the Age and Default columns of the
+// paper's Fig. 1; the known best root split is "Age <= 40".
+func fig1Cols() (age, edu, income, def *dataset.Column) {
+	age = dataset.NewNumeric("Age", []float64{24, 28, 44, 32, 36, 48, 37, 42, 54, 47})
+	eduLevels := []string{"Primary", "Secondary", "Bachelor", "Master", "PhD"}
+	edu = dataset.NewCategorical("Education", []int32{2, 3, 2, 1, 4, 2, 1, 2, 1, 4}, eduLevels)
+	income = dataset.NewNumeric("Income", []float64{5000, 7500, 5500, 6000, 10000, 6500, 3000, 6000, 4000, 8000})
+	def = dataset.NewCategorical("Default", []int32{0, 0, 0, 1, 0, 0, 1, 0, 1, 0}, []string{"No", "Yes"})
+	return
+}
+
+func allRows(n int) []int32 { return dataset.AllRows(n) }
+
+func TestNumericSplitOnFig1Age(t *testing.T) {
+	age, _, _, def := fig1Cols()
+	cand := FindBest(Request{Col: age, ColIdx: 0, Y: def, Rows: allRows(10), Measure: impurity.Gini, NumClasses: 2})
+	if !cand.Valid {
+		t.Fatal("no valid split found")
+	}
+	if cand.Cond.Kind != dataset.Numeric {
+		t.Fatal("split kind wrong")
+	}
+	// (The paper's Fig. 1 split "Age <= 40" is illustrative, not
+	// Gini-optimal; the optimum on this data isolates the 54-year-old
+	// defaulter. We assert optimality against brute force instead.)
+	brute := FindBestBrute(Request{Col: age, ColIdx: 0, Y: def, Rows: allRows(10), Measure: impurity.Gini, NumClasses: 2})
+	if math.Abs(cand.Impurity-brute.Impurity) > 1e-12 {
+		t.Fatalf("exact %g != brute %g", cand.Impurity, brute.Impurity)
+	}
+	left, right := cand.Cond.Partition(age, allRows(10))
+	if len(left)+len(right) != 10 || len(left) == 0 || len(right) == 0 {
+		t.Fatalf("partition %d/%d invalid", len(left), len(right))
+	}
+}
+
+func TestNumericSplitPerfectSeparation(t *testing.T) {
+	x := dataset.NewNumeric("x", []float64{1, 2, 3, 10, 11, 12})
+	y := dataset.NewCategorical("y", []int32{0, 0, 0, 1, 1, 1}, []string{"a", "b"})
+	cand := FindBest(Request{Col: x, ColIdx: 0, Y: y, Rows: allRows(6), Measure: impurity.Gini, NumClasses: 2})
+	if !cand.Valid || cand.Impurity != 0 {
+		t.Fatalf("perfect split not found: %+v", cand)
+	}
+	if cand.Cond.Threshold < 3 || cand.Cond.Threshold >= 10 {
+		t.Fatalf("threshold %g outside (3,10]", cand.Cond.Threshold)
+	}
+	if cand.LeftN != 3 || cand.RightN != 3 {
+		t.Fatalf("counts %d/%d", cand.LeftN, cand.RightN)
+	}
+}
+
+func TestConstantColumnInvalid(t *testing.T) {
+	x := dataset.NewNumeric("x", []float64{5, 5, 5, 5})
+	y := dataset.NewCategorical("y", []int32{0, 1, 0, 1}, []string{"a", "b"})
+	if cand := FindBest(Request{Col: x, ColIdx: 0, Y: y, Rows: allRows(4), Measure: impurity.Gini, NumClasses: 2}); cand.Valid {
+		t.Fatal("constant column produced a split")
+	}
+}
+
+func TestTooFewRowsInvalid(t *testing.T) {
+	x := dataset.NewNumeric("x", []float64{1, 2})
+	y := dataset.NewCategorical("y", []int32{0, 1}, []string{"a", "b"})
+	if cand := FindBest(Request{Col: x, ColIdx: 0, Y: y, Rows: []int32{0}, Measure: impurity.Gini, NumClasses: 2}); cand.Valid {
+		t.Fatal("single row produced a split")
+	}
+}
+
+func TestCategoricalRegressionBreiman(t *testing.T) {
+	// Category means: a=1, b=10, c=5. Breiman order a,c,b. Best cut must be a
+	// prefix of that order.
+	col := dataset.NewCategorical("c", []int32{0, 0, 1, 1, 2, 2}, []string{"a", "b", "c"})
+	y := dataset.NewNumeric("y", []float64{1, 1, 10, 10, 5, 5})
+	cand := FindBest(Request{Col: col, ColIdx: 0, Y: y, Rows: allRows(6), Measure: impurity.Variance})
+	if !cand.Valid {
+		t.Fatal("no split")
+	}
+	brute := FindBestBrute(Request{Col: col, ColIdx: 0, Y: y, Rows: allRows(6), Measure: impurity.Variance})
+	if math.Abs(cand.Impurity-brute.Impurity) > 1e-12 {
+		t.Fatalf("breiman %g != brute %g", cand.Impurity, brute.Impurity)
+	}
+}
+
+func TestCategoricalClassificationExhaustive(t *testing.T) {
+	// Labels pure per category pair: {a,c} -> 0, {b,d} -> 1.
+	col := dataset.NewCategorical("c", []int32{0, 1, 2, 3, 0, 1, 2, 3}, []string{"a", "b", "c", "d"})
+	y := dataset.NewCategorical("y", []int32{0, 1, 0, 1, 0, 1, 0, 1}, []string{"n", "p"})
+	cand := FindBest(Request{Col: col, ColIdx: 0, Y: y, Rows: allRows(8), Measure: impurity.Gini, NumClasses: 2})
+	if !cand.Valid || cand.Impurity != 0 {
+		t.Fatalf("exhaustive search missed pure split: %+v", cand)
+	}
+	// The winning left set must be {a,c} or {b,d}.
+	got := cand.Cond.LeftSet
+	ok := (len(got) == 2) && ((got[0] == 0 && got[1] == 2) || (got[0] == 1 && got[1] == 3))
+	if !ok {
+		t.Fatalf("left set %v not a pure bipartition", got)
+	}
+}
+
+func TestCategoricalSingletonFallback(t *testing.T) {
+	// 12 levels forces |Sl| = 1. Level 5 is the only impure-breaking one.
+	n := 120
+	codes := make([]int32, n)
+	ys := make([]int32, n)
+	levels := make([]string, 12)
+	for i := range levels {
+		levels[i] = string(rune('a' + i))
+	}
+	for i := 0; i < n; i++ {
+		codes[i] = int32(i % 12)
+		if codes[i] == 5 {
+			ys[i] = 1
+		}
+	}
+	col := dataset.NewCategorical("c", codes, levels)
+	y := dataset.NewCategorical("y", ys, []string{"n", "p"})
+	cand := FindBest(Request{Col: col, ColIdx: 0, Y: y, Rows: allRows(n), Measure: impurity.Gini, NumClasses: 2})
+	if !cand.Valid {
+		t.Fatal("no split")
+	}
+	// With a binary target the large-|Si| path uses Breiman ordering, which
+	// may return {5} or its mirror (all other levels); both isolate level 5.
+	isFive := len(cand.Cond.LeftSet) == 1 && cand.Cond.LeftSet[0] == 5
+	isMirror := len(cand.Cond.LeftSet) == 11 && !cand.Cond.LeftContains(5)
+	if !isFive && !isMirror {
+		t.Fatalf("split = %v, want {5} or its complement", cand.Cond.LeftSet)
+	}
+	if cand.Impurity != 0 {
+		t.Fatalf("impurity = %g, want 0", cand.Impurity)
+	}
+
+	// A 3-class target with many levels still uses the |Sl| = 1 fallback.
+	ys3 := make([]int32, n)
+	for i := 0; i < n; i++ {
+		ys3[i] = codes[i] % 3
+	}
+	y3 := dataset.NewCategorical("y3", ys3, []string{"a", "b", "c"})
+	cand3 := FindBest(Request{Col: col, ColIdx: 0, Y: y3, Rows: allRows(n), Measure: impurity.Gini, NumClasses: 3})
+	if !cand3.Valid || len(cand3.Cond.LeftSet) != 1 {
+		t.Fatalf("multiclass fallback split = %v, want a singleton", cand3.Cond.LeftSet)
+	}
+}
+
+func TestMissingValuesExcludedAndRouted(t *testing.T) {
+	x := dataset.NewNumeric("x", []float64{1, 2, 3, 10, 11, 12, 0, 0})
+	x.SetMissing(6)
+	x.SetMissing(7)
+	y := dataset.NewCategorical("y", []int32{0, 0, 0, 1, 1, 1, 0, 1}, []string{"a", "b"})
+	cand := FindBest(Request{Col: x, ColIdx: 0, Y: y, Rows: allRows(8), Measure: impurity.Gini, NumClasses: 2})
+	if !cand.Valid {
+		t.Fatal("no split")
+	}
+	if cand.Impurity != 0 {
+		t.Fatalf("missing rows contaminated impurity: %g", cand.Impurity)
+	}
+	// 6 present rows split 3/3; the 2 missing rows join one side (tie -> left).
+	if cand.LeftN+cand.RightN != 8 {
+		t.Fatalf("counts %d+%d must cover all rows", cand.LeftN, cand.RightN)
+	}
+	if !cand.Cond.MissingLeft || cand.LeftN != 5 {
+		t.Fatalf("missing rows not routed to left on tie: leftN=%d missingLeft=%v", cand.LeftN, cand.Cond.MissingLeft)
+	}
+	left, right := cand.Cond.Partition(x, allRows(8))
+	if len(left) != cand.LeftN || len(right) != cand.RightN {
+		t.Fatalf("partition %d/%d disagrees with candidate counts %d/%d", len(left), len(right), cand.LeftN, cand.RightN)
+	}
+}
+
+func TestPartitionCoversRowsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(100)
+		x := make([]float64, n)
+		yv := make([]int32, n)
+		for i := range x {
+			x[i] = float64(rng.Intn(10))
+			yv[i] = int32(rng.Intn(3))
+		}
+		col := dataset.NewNumeric("x", x)
+		y := dataset.NewCategorical("y", yv, []string{"a", "b", "c"})
+		cand := FindBest(Request{Col: col, ColIdx: 0, Y: y, Rows: allRows(n), Measure: impurity.Gini, NumClasses: 3})
+		if !cand.Valid {
+			continue
+		}
+		left, right := cand.Cond.Partition(col, allRows(n))
+		if len(left)+len(right) != n {
+			t.Fatalf("trial %d: partition lost rows", trial)
+		}
+		if len(left) != cand.LeftN || len(right) != cand.RightN {
+			t.Fatalf("trial %d: counts mismatch", trial)
+		}
+		seen := map[int32]bool{}
+		for _, r := range left {
+			seen[r] = true
+		}
+		for _, r := range right {
+			if seen[r] {
+				t.Fatalf("trial %d: row %d in both partitions", trial, r)
+			}
+		}
+	}
+}
+
+// TestExactMatchesBruteForce is the core correctness property: the one-pass
+// exact finders must agree with brute-force enumeration on the achieved
+// impurity, for every (column kind × target kind) combination.
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	kinds := []struct {
+		name    string
+		colCat  bool
+		yCat    bool
+		measure impurity.Measure
+	}{
+		{"numeric-classification-gini", false, true, impurity.Gini},
+		{"numeric-classification-entropy", false, true, impurity.Entropy},
+		{"numeric-regression", false, false, impurity.Variance},
+		{"categorical-classification", true, true, impurity.Gini},
+		{"categorical-regression", true, false, impurity.Variance},
+	}
+	for _, k := range kinds {
+		t.Run(k.name, func(t *testing.T) {
+			for trial := 0; trial < 60; trial++ {
+				n := 2 + rng.Intn(60)
+				levels := 2 + rng.Intn(6) // <= 8 keeps exhaustive reference tractable
+				var col *dataset.Column
+				if k.colCat {
+					codes := make([]int32, n)
+					levelNames := make([]string, levels)
+					for i := range levelNames {
+						levelNames[i] = string(rune('a' + i))
+					}
+					for i := range codes {
+						codes[i] = int32(rng.Intn(levels))
+					}
+					col = dataset.NewCategorical("c", codes, levelNames)
+				} else {
+					vals := make([]float64, n)
+					for i := range vals {
+						vals[i] = float64(rng.Intn(12)) // repeats exercise value ties
+					}
+					col = dataset.NewNumeric("c", vals)
+				}
+				var y *dataset.Column
+				numClasses := 0
+				if k.yCat {
+					numClasses = 2 + rng.Intn(3)
+					ys := make([]int32, n)
+					classNames := make([]string, numClasses)
+					for i := range classNames {
+						classNames[i] = string(rune('A' + i))
+					}
+					for i := range ys {
+						ys[i] = int32(rng.Intn(numClasses))
+					}
+					y = dataset.NewCategorical("y", ys, classNames)
+				} else {
+					ys := make([]float64, n)
+					for i := range ys {
+						ys[i] = rng.NormFloat64() * 5
+					}
+					y = dataset.NewNumeric("y", ys)
+				}
+				req := Request{Col: col, ColIdx: 3, Y: y, Rows: allRows(n), Measure: k.measure, NumClasses: numClasses}
+				fast := FindBest(req)
+				brute := FindBestBrute(req)
+				if fast.Valid != brute.Valid {
+					t.Fatalf("trial %d: validity fast=%v brute=%v", trial, fast.Valid, brute.Valid)
+				}
+				if fast.Valid && math.Abs(fast.Impurity-brute.Impurity) > 1e-9 {
+					t.Fatalf("trial %d: impurity fast=%g brute=%g (fast cond %v, brute cond %v)",
+						trial, fast.Impurity, brute.Impurity, fast.Cond, brute.Cond)
+				}
+			}
+		})
+	}
+}
+
+// TestBinaryBreimanMatchesExhaustive: for binary classification with many
+// levels, the P(class 1)-ordered prefix scan must find the same optimum as
+// full subset enumeration (Breiman's theorem for concave impurities).
+func TestBinaryBreimanMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 40; trial++ {
+		levels := 11 + rng.Intn(3) // > DefaultMaxExhaustiveLevels
+		n := 200 + rng.Intn(200)
+		codes := make([]int32, n)
+		ys := make([]int32, n)
+		names := make([]string, levels)
+		for i := range names {
+			names[i] = string(rune('a' + i))
+		}
+		for i := range codes {
+			codes[i] = int32(rng.Intn(levels))
+			if rng.Float64() < float64(codes[i])/float64(levels) {
+				ys[i] = 1
+			}
+		}
+		col := dataset.NewCategorical("c", codes, names)
+		y := dataset.NewCategorical("y", ys, []string{"n", "p"})
+		fast := FindBest(Request{Col: col, ColIdx: 0, Y: y, Rows: allRows(n),
+			Measure: impurity.Gini, NumClasses: 2}) // Breiman path (levels > 10)
+		full := FindBestBrute(Request{Col: col, ColIdx: 0, Y: y, Rows: allRows(n),
+			Measure: impurity.Gini, NumClasses: 2, MaxExhaustiveLevels: 16}) // full 2^(L-1) enumeration
+		if fast.Valid != full.Valid {
+			t.Fatalf("trial %d: validity mismatch", trial)
+		}
+		if fast.Valid && math.Abs(fast.Impurity-full.Impurity) > 1e-9 {
+			t.Fatalf("trial %d: breiman %g != exhaustive %g", trial, fast.Impurity, full.Impurity)
+		}
+	}
+}
+
+func TestCandidateBetterOrdering(t *testing.T) {
+	a := Candidate{Valid: true, Impurity: 0.2, Cond: Condition{Col: 3}}
+	b := Candidate{Valid: true, Impurity: 0.3, Cond: Condition{Col: 1}}
+	if !a.Better(b) || b.Better(a) {
+		t.Fatal("lower impurity must win")
+	}
+	c := Candidate{Valid: true, Impurity: 0.2, Cond: Condition{Col: 1}}
+	if !c.Better(a) || a.Better(c) {
+		t.Fatal("tie must break to lower column")
+	}
+	invalid := Candidate{}
+	if invalid.Better(a) || !a.Better(invalid) {
+		t.Fatal("invalid candidates must lose")
+	}
+	if invalid.Better(Candidate{}) {
+		t.Fatal("invalid vs invalid must be false")
+	}
+}
+
+func TestConditionLeftContainsLargeCodes(t *testing.T) {
+	// Codes >= 64 disable the bitmask fast path; binary search must agree.
+	cond := NewCategoricalCondition(0, []int32{3, 70, 100}, false)
+	for _, c := range []int32{3, 70, 100} {
+		if !cond.LeftContains(c) {
+			t.Fatalf("code %d missing from left set", c)
+		}
+	}
+	for _, c := range []int32{0, 64, 99, 101} {
+		if cond.LeftContains(c) {
+			t.Fatalf("code %d wrongly in left set", c)
+		}
+	}
+}
+
+func TestConditionRehydrate(t *testing.T) {
+	cond := NewCategoricalCondition(0, []int32{1, 2}, false)
+	stripped := Condition{Col: cond.Col, Kind: cond.Kind, LeftSet: cond.LeftSet} // simulates gob decode
+	stripped.Rehydrate()
+	if !stripped.LeftContains(1) || stripped.LeftContains(0) {
+		t.Fatal("rehydrated condition misroutes")
+	}
+}
+
+func TestMidpointStaysInInterval(t *testing.T) {
+	cases := [][2]float64{{1, 2}, {0, 1e-300}, {-5, -4.999999}, {1, math.Nextafter(1, 2)}}
+	for _, c := range cases {
+		m := midpoint(c[0], c[1])
+		if m < c[0] || m >= c[1] {
+			t.Fatalf("midpoint(%g,%g) = %g escapes [lo,hi)", c[0], c[1], m)
+		}
+	}
+}

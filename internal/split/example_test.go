@@ -1,0 +1,33 @@
+package split_test
+
+import (
+	"fmt"
+
+	"treeserver/internal/dataset"
+	"treeserver/internal/impurity"
+	"treeserver/internal/split"
+)
+
+// ExampleFindBest finds the exact best split of one column — the
+// computation a TreeServer column-task performs.
+func ExampleFindBest() {
+	income := dataset.NewNumeric("Income", []float64{3000, 4000, 5000, 6500, 7500, 8000})
+	label := dataset.NewCategorical("Default", []int32{1, 1, 1, 0, 0, 0}, []string{"No", "Yes"})
+	cand := split.FindBest(split.Request{
+		Col: income, ColIdx: 0, Y: label,
+		Rows:    dataset.AllRows(6),
+		Measure: impurity.Gini, NumClasses: 2,
+	})
+	fmt.Printf("%v (impurity %.2f, %d/%d rows)\n", cand.Cond, cand.Impurity, cand.LeftN, cand.RightN)
+	// Output: col[0] <= 5750 (impurity 0.00, 3/3 rows)
+}
+
+// ExampleCondition_Partition splits a row-index set the way a delegate
+// worker derives I_xl and I_xr from I_x.
+func ExampleCondition_Partition() {
+	age := dataset.NewNumeric("Age", []float64{24, 28, 44, 32, 36, 48})
+	cond := split.NewNumericCondition(0, 40, false)
+	left, right := cond.Partition(age, dataset.AllRows(6))
+	fmt.Println(left, right)
+	// Output: [0 1 3 4] [2 5]
+}

@@ -1,0 +1,300 @@
+package split
+
+import (
+	"sort"
+
+	"treeserver/internal/dataset"
+	"treeserver/internal/impurity"
+)
+
+// The histogram splitter reproduces how PLANET (and Spark MLlib on top of
+// it) finds split conditions approximately: numeric columns are discretised
+// once into maxBins equi-depth bins, per-(node, column, bin) statistics are
+// aggregated across row-partitioned workers, and only bin boundaries are
+// considered as candidate thresholds. This is the approximation TreeServer's
+// exact column-partitioned search avoids.
+
+// Bins is the immutable per-column discretisation computed before training.
+type Bins struct {
+	Col  int
+	Kind dataset.Kind
+	// Thresholds are ascending numeric upper bounds: bin b holds values
+	// <= Thresholds[b]; values above the last threshold fall in the final
+	// bin. len(Thresholds) == NumBins-1. Empty for categorical columns,
+	// where the bin of a row is its level code.
+	Thresholds []float64
+	NumBins    int
+}
+
+// ComputeBins derives equi-depth bins for a column from the given rows
+// (typically all rows, or a sample as MLlib does). Categorical columns get
+// one bin per level.
+func ComputeBins(col *dataset.Column, colIdx, maxBins int, rows []int32) Bins {
+	if col.Kind == dataset.Categorical {
+		return Bins{Col: colIdx, Kind: dataset.Categorical, NumBins: col.NumLevels()}
+	}
+	values := make([]float64, 0, len(rows))
+	for _, r := range rows {
+		if !col.IsMissing(int(r)) {
+			values = append(values, col.Floats[r])
+		}
+	}
+	sort.Float64s(values)
+	b := Bins{Col: colIdx, Kind: dataset.Numeric}
+	if len(values) == 0 {
+		b.NumBins = 1
+		return b
+	}
+	// Equi-depth boundaries at the maxBins quantiles, deduplicated so a
+	// heavily repeated value yields fewer, wider bins.
+	var thresholds []float64
+	for i := 1; i < maxBins; i++ {
+		q := values[i*len(values)/maxBins]
+		if len(thresholds) == 0 || q > thresholds[len(thresholds)-1] {
+			if q < values[len(values)-1] { // boundary must leave the max on the right
+				thresholds = append(thresholds, q)
+			}
+		}
+	}
+	b.Thresholds = thresholds
+	b.NumBins = len(thresholds) + 1
+	return b
+}
+
+// BinOf maps row r of col into its bin index; missing values map to bin 0.
+func (b *Bins) BinOf(col *dataset.Column, r int) int {
+	if col.IsMissing(r) {
+		return 0
+	}
+	if b.Kind == dataset.Categorical {
+		return int(col.Cats[r])
+	}
+	v := col.Floats[r]
+	return sort.SearchFloat64s(b.Thresholds, v) // first threshold >= v
+}
+
+// Histogram holds per-bin target statistics for one (node, column) pair.
+// For classification Counts[bin][class] is populated; for regression the
+// Moments per bin. Histograms from different workers Merge by addition —
+// the aggregation MapReduce performs between mappers and the driver.
+type Histogram struct {
+	Counts  [][]int
+	Moments []impurity.MomentAccumulator
+}
+
+// NewHistogram allocates a histogram with numBins bins. numClasses == 0
+// selects regression moments.
+func NewHistogram(numBins, numClasses int) *Histogram {
+	h := &Histogram{}
+	if numClasses > 0 {
+		h.Counts = make([][]int, numBins)
+		for i := range h.Counts {
+			h.Counts[i] = make([]int, numClasses)
+		}
+	} else {
+		h.Moments = make([]impurity.MomentAccumulator, numBins)
+	}
+	return h
+}
+
+// AddClass records a classification observation in bin.
+func (h *Histogram) AddClass(bin int, class int32) { h.Counts[bin][class]++ }
+
+// AddValue records a regression observation in bin.
+func (h *Histogram) AddValue(bin int, y float64) { h.Moments[bin].Add(y) }
+
+// Merge adds other's statistics into h. The shapes must match.
+func (h *Histogram) Merge(other *Histogram) {
+	for b := range h.Counts {
+		for c := range h.Counts[b] {
+			h.Counts[b][c] += other.Counts[b][c]
+		}
+	}
+	for b := range h.Moments {
+		h.Moments[b].N += other.Moments[b].N
+		h.Moments[b].Sum += other.Moments[b].Sum
+		h.Moments[b].SumSq += other.Moments[b].SumSq
+	}
+}
+
+// Total returns the number of observations aggregated.
+func (h *Histogram) Total() int {
+	n := 0
+	for _, bc := range h.Counts {
+		for _, c := range bc {
+			n += c
+		}
+	}
+	for _, m := range h.Moments {
+		n += m.N
+	}
+	return n
+}
+
+// BestFromHistogram scans the merged histogram for the best approximate
+// split. Numeric columns sweep bin boundaries in order. Categorical columns
+// use Breiman's mean ordering for regression and singleton left sets for
+// classification, matching MLlib's behaviour.
+func BestFromHistogram(bins Bins, h *Histogram, m impurity.Measure) Candidate {
+	if bins.Kind == dataset.Numeric {
+		return bestNumericHistogram(bins, h, m)
+	}
+	if h.Moments != nil {
+		return bestCategoricalHistogramRegression(bins, h)
+	}
+	return bestCategoricalHistogramClassification(bins, h, m)
+}
+
+func bestNumericHistogram(bins Bins, h *Histogram, m impurity.Measure) Candidate {
+	best := Candidate{}
+	if h.Counts != nil {
+		numClasses := 0
+		if len(h.Counts) > 0 {
+			numClasses = len(h.Counts[0])
+		}
+		left := impurity.NewClassCounter(numClasses)
+		right := impurity.NewClassCounter(numClasses)
+		for _, bc := range h.Counts {
+			for class, n := range bc {
+				right.AddN(int32(class), n)
+			}
+		}
+		for b := 0; b < bins.NumBins-1; b++ {
+			for class, n := range h.Counts[b] {
+				left.AddN(int32(class), n)
+				right.AddN(int32(class), -n)
+			}
+			if left.N == 0 || right.N == 0 {
+				continue
+			}
+			imp := impurity.WeightedSplit(left.N, left.Impurity(m), right.N, right.Impurity(m))
+			cand := Candidate{
+				Cond:     NewNumericCondition(bins.Col, bins.Thresholds[b], false),
+				Impurity: imp, LeftN: left.N, RightN: right.N, Valid: true,
+			}
+			if cand.Better(best) {
+				best = cand
+			}
+		}
+		return best
+	}
+	var left, right impurity.MomentAccumulator
+	for _, mo := range h.Moments {
+		right.N += mo.N
+		right.Sum += mo.Sum
+		right.SumSq += mo.SumSq
+	}
+	for b := 0; b < bins.NumBins-1; b++ {
+		mo := h.Moments[b]
+		left.N += mo.N
+		left.Sum += mo.Sum
+		left.SumSq += mo.SumSq
+		right.N -= mo.N
+		right.Sum -= mo.Sum
+		right.SumSq -= mo.SumSq
+		if left.N == 0 || right.N == 0 {
+			continue
+		}
+		imp := impurity.WeightedSplit(left.N, left.Impurity(), right.N, right.Impurity())
+		cand := Candidate{
+			Cond:     NewNumericCondition(bins.Col, bins.Thresholds[b], false),
+			Impurity: imp, LeftN: left.N, RightN: right.N, Valid: true,
+		}
+		if cand.Better(best) {
+			best = cand
+		}
+	}
+	return best
+}
+
+func bestCategoricalHistogramRegression(bins Bins, h *Histogram) Candidate {
+	type group struct {
+		code int32
+		mean float64
+	}
+	var groups []group
+	for code, mo := range h.Moments {
+		if mo.N > 0 {
+			groups = append(groups, group{int32(code), mo.Mean()})
+		}
+	}
+	if len(groups) < 2 {
+		return Candidate{}
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].mean != groups[j].mean {
+			return groups[i].mean < groups[j].mean
+		}
+		return groups[i].code < groups[j].code
+	})
+	var left, right impurity.MomentAccumulator
+	for _, g := range groups {
+		mo := h.Moments[g.code]
+		right.N += mo.N
+		right.Sum += mo.Sum
+		right.SumSq += mo.SumSq
+	}
+	best := Candidate{}
+	prefix := make([]int32, 0, len(groups))
+	for i := 0; i < len(groups)-1; i++ {
+		mo := h.Moments[groups[i].code]
+		left.N += mo.N
+		left.Sum += mo.Sum
+		left.SumSq += mo.SumSq
+		right.N -= mo.N
+		right.Sum -= mo.Sum
+		right.SumSq -= mo.SumSq
+		prefix = append(prefix, groups[i].code)
+		imp := impurity.WeightedSplit(left.N, left.Impurity(), right.N, right.Impurity())
+		cand := Candidate{
+			Cond:     NewCategoricalCondition(bins.Col, prefix, false),
+			Impurity: imp, LeftN: left.N, RightN: right.N, Valid: true,
+		}
+		if cand.Better(best) {
+			best = cand
+		}
+	}
+	return best
+}
+
+func bestCategoricalHistogramClassification(bins Bins, h *Histogram, m impurity.Measure) Candidate {
+	numClasses := 0
+	if len(h.Counts) > 0 {
+		numClasses = len(h.Counts[0])
+	}
+	total := impurity.NewClassCounter(numClasses)
+	for _, bc := range h.Counts {
+		for class, n := range bc {
+			total.AddN(int32(class), n)
+		}
+	}
+	best := Candidate{}
+	for code, bc := range h.Counts {
+		left := impurity.NewClassCounter(numClasses)
+		for class, n := range bc {
+			left.AddN(int32(class), n)
+		}
+		if left.N == 0 || left.N == total.N {
+			continue
+		}
+		rightCounts := make([]int, numClasses)
+		for class := range rightCounts {
+			rightCounts[class] = total.Counts[class] - left.Counts[class]
+		}
+		var rightImp float64
+		if m == impurity.Entropy {
+			rightImp = impurity.EntropyFromCounts(rightCounts)
+		} else {
+			rightImp = impurity.GiniFromCounts(rightCounts)
+		}
+		imp := impurity.WeightedSplit(left.N, left.Impurity(m), total.N-left.N, rightImp)
+		cand := Candidate{
+			Cond:     NewCategoricalCondition(bins.Col, []int32{int32(code)}, false),
+			Impurity: imp, LeftN: left.N, RightN: total.N - left.N, Valid: true,
+		}
+		if cand.Better(best) {
+			best = cand
+		}
+	}
+	return best
+}

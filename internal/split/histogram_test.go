@@ -1,0 +1,217 @@
+package split
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"treeserver/internal/dataset"
+	"treeserver/internal/impurity"
+)
+
+func TestComputeBinsEquiDepth(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	col := dataset.NewNumeric("x", vals)
+	bins := ComputeBins(col, 0, 4, allRows(100))
+	if bins.NumBins != 4 || len(bins.Thresholds) != 3 {
+		t.Fatalf("bins = %d thresholds = %v", bins.NumBins, bins.Thresholds)
+	}
+	// Uniform data: boundaries near the quartiles.
+	for i, want := range []float64{25, 50, 75} {
+		if math.Abs(bins.Thresholds[i]-want) > 2 {
+			t.Fatalf("threshold[%d] = %g, want ~%g", i, bins.Thresholds[i], want)
+		}
+	}
+}
+
+func TestComputeBinsSkewedDedup(t *testing.T) {
+	// 90% of values identical: dedup must not emit repeated thresholds.
+	vals := make([]float64, 100)
+	for i := 90; i < 100; i++ {
+		vals[i] = float64(i)
+	}
+	col := dataset.NewNumeric("x", vals)
+	bins := ComputeBins(col, 0, 8, allRows(100))
+	for i := 1; i < len(bins.Thresholds); i++ {
+		if bins.Thresholds[i] <= bins.Thresholds[i-1] {
+			t.Fatalf("thresholds not strictly increasing: %v", bins.Thresholds)
+		}
+	}
+	if bins.NumBins != len(bins.Thresholds)+1 {
+		t.Fatal("NumBins inconsistent")
+	}
+}
+
+func TestComputeBinsCategorical(t *testing.T) {
+	col := dataset.NewCategorical("c", []int32{0, 1, 2}, []string{"a", "b", "c"})
+	bins := ComputeBins(col, 2, 32, allRows(3))
+	if bins.Kind != dataset.Categorical || bins.NumBins != 3 {
+		t.Fatalf("categorical bins wrong: %+v", bins)
+	}
+	if bins.BinOf(col, 2) != 2 {
+		t.Fatal("categorical bin must be the level code")
+	}
+}
+
+func TestBinOfBoundaries(t *testing.T) {
+	col := dataset.NewNumeric("x", []float64{0, 5, 5.1, 10, 20})
+	bins := Bins{Col: 0, Kind: dataset.Numeric, Thresholds: []float64{5, 10}, NumBins: 3}
+	wants := []int{0, 0, 1, 1, 2} // v <= 5 -> bin 0; v <= 10 -> bin 1; else 2
+	for r, want := range wants {
+		if got := bins.BinOf(col, r); got != want {
+			t.Fatalf("BinOf(row %d, v=%g) = %d, want %d", r, col.Floats[r], got, want)
+		}
+	}
+}
+
+func TestHistogramMergeEqualsSingle(t *testing.T) {
+	// Splitting rows across two "workers" and merging must equal one pass.
+	rng := rand.New(rand.NewSource(3))
+	n := 400
+	vals := make([]float64, n)
+	ys := make([]int32, n)
+	for i := range vals {
+		vals[i] = rng.Float64() * 100
+		if vals[i] > 50 {
+			ys[i] = 1
+		}
+	}
+	col := dataset.NewNumeric("x", vals)
+	y := dataset.NewCategorical("y", ys, []string{"a", "b"})
+	bins := ComputeBins(col, 0, 16, allRows(n))
+
+	whole := NewHistogram(bins.NumBins, 2)
+	for r := 0; r < n; r++ {
+		whole.AddClass(bins.BinOf(col, r), y.Cats[r])
+	}
+	h1 := NewHistogram(bins.NumBins, 2)
+	h2 := NewHistogram(bins.NumBins, 2)
+	for r := 0; r < n; r++ {
+		h := h1
+		if r >= n/2 {
+			h = h2
+		}
+		h.AddClass(bins.BinOf(col, r), y.Cats[r])
+	}
+	h1.Merge(h2)
+	if h1.Total() != whole.Total() {
+		t.Fatal("merge lost observations")
+	}
+	c1 := BestFromHistogram(bins, h1, impurity.Gini)
+	c2 := BestFromHistogram(bins, whole, impurity.Gini)
+	if !c1.Valid || !c2.Valid || c1.Impurity != c2.Impurity || c1.Cond.Threshold != c2.Cond.Threshold {
+		t.Fatalf("merged split %+v != single-pass split %+v", c1, c2)
+	}
+}
+
+func TestHistogramApproximationNeverBeatsExact(t *testing.T) {
+	// The approximate split's impurity can never be lower than exact search.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 50 + rng.Intn(200)
+		vals := make([]float64, n)
+		ys := make([]int32, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 10
+			if vals[i]+rng.NormFloat64() > 0 {
+				ys[i] = 1
+			}
+		}
+		col := dataset.NewNumeric("x", vals)
+		y := dataset.NewCategorical("y", ys, []string{"a", "b"})
+		exact := FindBest(Request{Col: col, ColIdx: 0, Y: y, Rows: allRows(n), Measure: impurity.Gini, NumClasses: 2})
+		bins := ComputeBins(col, 0, 8, allRows(n))
+		h := NewHistogram(bins.NumBins, 2)
+		for r := 0; r < n; r++ {
+			h.AddClass(bins.BinOf(col, r), y.Cats[r])
+		}
+		approx := BestFromHistogram(bins, h, impurity.Gini)
+		if !exact.Valid || !approx.Valid {
+			continue
+		}
+		if approx.Impurity < exact.Impurity-1e-9 {
+			t.Fatalf("trial %d: approximate %g beat exact %g", trial, approx.Impurity, exact.Impurity)
+		}
+	}
+}
+
+func TestHistogramRegression(t *testing.T) {
+	n := 200
+	vals := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i)
+		if i >= 100 {
+			ys[i] = 50
+		}
+	}
+	col := dataset.NewNumeric("x", vals)
+	bins := ComputeBins(col, 0, 32, allRows(n))
+	h := NewHistogram(bins.NumBins, 0)
+	for r := 0; r < n; r++ {
+		h.AddValue(bins.BinOf(col, r), ys[r])
+	}
+	cand := BestFromHistogram(bins, h, impurity.Variance)
+	if !cand.Valid {
+		t.Fatal("no split")
+	}
+	// The step at x=100 falls near a bin boundary; impurity should be small.
+	if cand.Impurity > 60 {
+		t.Fatalf("impurity = %g, too high for a clean step", cand.Impurity)
+	}
+}
+
+func TestHistogramCategoricalClassification(t *testing.T) {
+	col := dataset.NewCategorical("c", []int32{0, 0, 1, 1, 2, 2}, []string{"a", "b", "c"})
+	y := dataset.NewCategorical("y", []int32{1, 1, 0, 0, 0, 0}, []string{"n", "p"})
+	bins := ComputeBins(col, 0, 32, allRows(6))
+	h := NewHistogram(bins.NumBins, 2)
+	for r := 0; r < 6; r++ {
+		h.AddClass(bins.BinOf(col, r), y.Cats[r])
+	}
+	cand := BestFromHistogram(bins, h, impurity.Gini)
+	if !cand.Valid || cand.Impurity != 0 {
+		t.Fatalf("pure singleton split missed: %+v", cand)
+	}
+	if len(cand.Cond.LeftSet) != 1 || cand.Cond.LeftSet[0] != 0 {
+		t.Fatalf("left set %v, want {0}", cand.Cond.LeftSet)
+	}
+}
+
+func TestHistogramCategoricalRegressionMatchesExact(t *testing.T) {
+	// With one bin per level the histogram path has full information, so it
+	// must match the exact Breiman search.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		n := 30 + rng.Intn(100)
+		levels := 3 + rng.Intn(5)
+		codes := make([]int32, n)
+		ys := make([]float64, n)
+		names := make([]string, levels)
+		for i := range names {
+			names[i] = string(rune('a' + i))
+		}
+		for i := range codes {
+			codes[i] = int32(rng.Intn(levels))
+			ys[i] = float64(codes[i])*3 + rng.NormFloat64()
+		}
+		col := dataset.NewCategorical("c", codes, names)
+		y := dataset.NewNumeric("y", ys)
+		exact := FindBest(Request{Col: col, ColIdx: 0, Y: y, Rows: allRows(n), Measure: impurity.Variance})
+		bins := ComputeBins(col, 0, 32, allRows(n))
+		h := NewHistogram(bins.NumBins, 0)
+		for r := 0; r < n; r++ {
+			h.AddValue(bins.BinOf(col, r), ys[r])
+		}
+		approx := BestFromHistogram(bins, h, impurity.Variance)
+		if exact.Valid != approx.Valid {
+			t.Fatalf("trial %d validity mismatch", trial)
+		}
+		if exact.Valid && math.Abs(exact.Impurity-approx.Impurity) > 1e-9 {
+			t.Fatalf("trial %d: exact %g != full-info histogram %g", trial, exact.Impurity, approx.Impurity)
+		}
+	}
+}

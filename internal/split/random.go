@@ -1,0 +1,89 @@
+package split
+
+import (
+	"math/rand"
+
+	"treeserver/internal/dataset"
+)
+
+// FindRandom draws the completely-random split used by extra-trees
+// (Appendix F): for a numeric column a uniform threshold in [min, max] of the
+// values present at the node; for a categorical column a random non-trivial
+// subset of the present levels. It returns an invalid candidate when the
+// column is constant over the rows. The candidate's Impurity is the weighted
+// child impurity so callers can still compare random draws if they wish.
+func FindRandom(req Request, rng *rand.Rand) Candidate {
+	present := make([]int32, 0, len(req.Rows))
+	missN := 0
+	for _, r := range req.Rows {
+		if req.Col.IsMissing(int(r)) {
+			missN++
+		} else {
+			present = append(present, r)
+		}
+	}
+	if len(present) < 2 {
+		return Candidate{}
+	}
+	var cond Condition
+	if req.Col.Kind == dataset.Numeric {
+		lo, hi := req.Col.Floats[present[0]], req.Col.Floats[present[0]]
+		for _, r := range present[1:] {
+			v := req.Col.Floats[r]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if lo == hi {
+			return Candidate{}
+		}
+		// Draw v in [lo, hi); rows with value <= v go left, so v = lo keeps
+		// at least the minimum on the left and v < hi keeps the max right.
+		cond = NewNumericCondition(req.ColIdx, lo+rng.Float64()*(hi-lo), false)
+	} else {
+		presentCodes := presentLevelCodes(req.Col, present)
+		if len(presentCodes) < 2 {
+			return Candidate{}
+		}
+		// Random non-empty proper subset: draw until both sides are non-empty
+		// (expected < 2 draws for any level count >= 2).
+		var leftSet []int32
+		for len(leftSet) == 0 || len(leftSet) == len(presentCodes) {
+			leftSet = leftSet[:0]
+			for _, code := range presentCodes {
+				if rng.Intn(2) == 0 {
+					leftSet = append(leftSet, code)
+				}
+			}
+		}
+		cond = NewCategoricalCondition(req.ColIdx, leftSet, false)
+	}
+	cand := scoreCondition(req, cond, present)
+	if !cand.Valid {
+		return cand
+	}
+	cand.Cond.MissingLeft = cand.LeftN >= cand.RightN
+	if cand.Cond.MissingLeft {
+		cand.LeftN += missN
+	} else {
+		cand.RightN += missN
+	}
+	return cand
+}
+
+func presentLevelCodes(col *dataset.Column, rows []int32) []int32 {
+	seen := make([]bool, col.NumLevels())
+	var codes []int32
+	for _, r := range rows {
+		c := col.Cats[r]
+		if !seen[c] {
+			seen[c] = true
+			codes = append(codes, c)
+		}
+	}
+	sortCodes(codes)
+	return codes
+}

@@ -1,0 +1,81 @@
+package split
+
+import (
+	"math/rand"
+	"testing"
+
+	"treeserver/internal/dataset"
+	"treeserver/internal/impurity"
+)
+
+func TestFindRandomNumericWithinRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := dataset.NewNumeric("x", []float64{3, 7, 1, 9, 5})
+	y := dataset.NewCategorical("y", []int32{0, 1, 0, 1, 0}, []string{"a", "b"})
+	for trial := 0; trial < 100; trial++ {
+		cand := FindRandom(Request{Col: x, ColIdx: 0, Y: y, Rows: allRows(5), Measure: impurity.Gini, NumClasses: 2}, rng)
+		if !cand.Valid {
+			t.Fatal("valid input produced no split")
+		}
+		if cand.Cond.Threshold < 1 || cand.Cond.Threshold >= 9 {
+			t.Fatalf("threshold %g outside [min, max)", cand.Cond.Threshold)
+		}
+		if cand.LeftN == 0 || cand.RightN == 0 {
+			t.Fatalf("degenerate partition %d/%d", cand.LeftN, cand.RightN)
+		}
+	}
+}
+
+func TestFindRandomConstantColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := dataset.NewNumeric("x", []float64{4, 4, 4})
+	y := dataset.NewCategorical("y", []int32{0, 1, 0}, []string{"a", "b"})
+	if cand := FindRandom(Request{Col: x, ColIdx: 0, Y: y, Rows: allRows(3), Measure: impurity.Gini, NumClasses: 2}, rng); cand.Valid {
+		t.Fatal("constant column produced a random split")
+	}
+}
+
+func TestFindRandomCategoricalProperSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	col := dataset.NewCategorical("c", []int32{0, 1, 2, 3, 0, 1, 2, 3}, []string{"a", "b", "c", "d"})
+	y := dataset.NewCategorical("y", []int32{0, 1, 0, 1, 0, 1, 0, 1}, []string{"n", "p"})
+	for trial := 0; trial < 100; trial++ {
+		cand := FindRandom(Request{Col: col, ColIdx: 0, Y: y, Rows: allRows(8), Measure: impurity.Gini, NumClasses: 2}, rng)
+		if !cand.Valid {
+			t.Fatal("no random categorical split")
+		}
+		if len(cand.Cond.LeftSet) == 0 || len(cand.Cond.LeftSet) == 4 {
+			t.Fatalf("left set %v is trivial", cand.Cond.LeftSet)
+		}
+	}
+}
+
+func TestFindRandomDeterministicPerSeed(t *testing.T) {
+	x := dataset.NewNumeric("x", []float64{1, 2, 3, 4, 5, 6})
+	y := dataset.NewNumeric("y", []float64{1, 2, 3, 4, 5, 6})
+	req := Request{Col: x, ColIdx: 0, Y: y, Rows: allRows(6), Measure: impurity.Variance}
+	a := FindRandom(req, rand.New(rand.NewSource(77)))
+	b := FindRandom(req, rand.New(rand.NewSource(77)))
+	if a.Cond.Threshold != b.Cond.Threshold {
+		t.Fatal("same seed produced different random splits")
+	}
+}
+
+func TestFindRandomSkipsMissing(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := dataset.NewNumeric("x", []float64{1, 2, 3, 100})
+	x.SetMissing(3) // missing row must not stretch the [min,max] range
+	y := dataset.NewNumeric("y", []float64{1, 2, 3, 4})
+	for trial := 0; trial < 50; trial++ {
+		cand := FindRandom(Request{Col: x, ColIdx: 0, Y: y, Rows: allRows(4), Measure: impurity.Variance}, rng)
+		if !cand.Valid {
+			t.Fatal("no split")
+		}
+		if cand.Cond.Threshold >= 3 {
+			t.Fatalf("threshold %g drawn from missing value's range", cand.Cond.Threshold)
+		}
+		if cand.LeftN+cand.RightN != 4 {
+			t.Fatal("missing row not routed")
+		}
+	}
+}

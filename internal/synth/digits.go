@@ -1,0 +1,137 @@
+package synth
+
+import (
+	"math/rand"
+)
+
+// ImageSet is a stack of equally-sized grayscale images with class labels —
+// the MNIST stand-in used by the deep-forest experiments (Table VII).
+// Pixel values are in [0, 1].
+type ImageSet struct {
+	W, H   int
+	Images [][]float64 // each of length W*H
+	Labels []int32
+}
+
+// NumClasses returns the number of digit classes (always 10 here).
+func (s *ImageSet) NumClasses() int { return 10 }
+
+// Len returns the number of images.
+func (s *ImageSet) Len() int { return len(s.Images) }
+
+// Seven-segment layout on the 28×28 canvas. Each digit lights a subset of
+// segments A..G; jitter, stroke-thickness variation and pixel noise make the
+// classes overlap enough that learning is nontrivial but local windows stay
+// informative — the property multi-grained scanning exploits.
+//
+//	 AAAA
+//	F    B
+//	F    B
+//	 GGGG
+//	E    C
+//	E    C
+//	 DDDD
+var segmentsByDigit = [10]uint8{
+	//      GFEDCBA
+	0: 0b0111111,
+	1: 0b0000110,
+	2: 0b1011011,
+	3: 0b1001111,
+	4: 0b1100110,
+	5: 0b1101101,
+	6: 0b1111101,
+	7: 0b0000111,
+	8: 0b1111111,
+	9: 0b1101111,
+}
+
+type segment struct{ x0, y0, x1, y1 int } // inclusive box in glyph coords
+
+// glyph box is 16 wide × 24 tall, centred on the canvas before jitter.
+var segmentBoxes = [7]segment{
+	{2, 0, 13, 2},    // A top
+	{13, 1, 15, 11},  // B top-right
+	{13, 13, 15, 23}, // C bottom-right
+	{2, 22, 13, 24},  // D bottom
+	{0, 13, 2, 23},   // E bottom-left
+	{0, 1, 2, 11},    // F top-left
+	{2, 11, 13, 13},  // G middle
+}
+
+// Digits generates n labelled 28×28 digit images with the given seed.
+// Labels are balanced round-robin and then shuffled.
+func Digits(n int, seed int64) *ImageSet {
+	const w, h = 28, 28
+	rng := rand.New(rand.NewSource(seed))
+	set := &ImageSet{W: w, H: h, Images: make([][]float64, n), Labels: make([]int32, n)}
+	order := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		label := int32(i % 10)
+		img := renderDigit(rng, int(label), w, h)
+		idx := order[i]
+		set.Images[idx] = img
+		set.Labels[idx] = label
+	}
+	return set
+}
+
+func renderDigit(rng *rand.Rand, digit, w, h int) []float64 {
+	img := make([]float64, w*h)
+	// Random placement of the 16×24 glyph box plus per-image intensity.
+	offX := 5 + rng.Intn(5) - 2 // nominal 5, jitter ±2
+	offY := 2 + rng.Intn(3) - 1
+	intensity := 0.75 + rng.Float64()*0.25
+	segs := segmentsByDigit[digit]
+	for s := 0; s < 7; s++ {
+		if segs&(1<<uint(s)) == 0 {
+			continue
+		}
+		box := segmentBoxes[s]
+		for y := box.y0; y <= box.y1; y++ {
+			for x := box.x0; x <= box.x1; x++ {
+				px, py := x+offX, y+offY
+				if px < 0 || px >= w || py < 0 || py >= h {
+					continue
+				}
+				v := intensity * (0.8 + rng.Float64()*0.2)
+				if v > 1 {
+					v = 1
+				}
+				img[py*w+px] = v
+			}
+		}
+	}
+	// Additive background noise plus salt dropout on strokes.
+	for i := range img {
+		img[i] += rng.Float64() * 0.12
+		if img[i] > 0.5 && rng.Float64() < 0.04 {
+			img[i] = rng.Float64() * 0.2
+		}
+		if img[i] > 1 {
+			img[i] = 1
+		}
+	}
+	return img
+}
+
+// SlideWindows extracts all stride-1 win×win patches from every image,
+// flattened row-major — the paper's multi-grained scanning "slide" step.
+// The returned patches are grouped per source image.
+func (s *ImageSet) SlideWindows(win int) [][][]float64 {
+	out := make([][][]float64, s.Len())
+	per := (s.W - win + 1) * (s.H - win + 1)
+	for i, img := range s.Images {
+		patches := make([][]float64, 0, per)
+		for y := 0; y+win <= s.H; y++ {
+			for x := 0; x+win <= s.W; x++ {
+				p := make([]float64, win*win)
+				for dy := 0; dy < win; dy++ {
+					copy(p[dy*win:(dy+1)*win], img[(y+dy)*s.W+x:(y+dy)*s.W+x+win])
+				}
+				patches = append(patches, p)
+			}
+		}
+		out[i] = patches
+	}
+	return out
+}

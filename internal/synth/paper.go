@@ -1,0 +1,71 @@
+package synth
+
+// The paper evaluates on 11 public datasets (Table I). We cannot ship those
+// datasets, so PaperSpecs returns generators matching each dataset's shape:
+// the same mix of numeric and categorical columns, the same problem type,
+// missing values where the original has them, and row counts that preserve
+// the datasets' relative sizes at a laptop-friendly scale.
+
+// PaperSpec pairs a generator spec with the original dataset's row count so
+// harnesses can report the scale factor they ran at.
+type PaperSpec struct {
+	Spec         Spec
+	OriginalRows int
+}
+
+// PaperSpecs returns the 11 Table-I datasets scaled so that the largest
+// (loan_y2-like) has baseRows rows. Row counts keep the paper's ordering;
+// the floor of 2000 rows keeps tiny scales trainable.
+func PaperSpecs(baseRows int) []PaperSpec {
+	type shape struct {
+		name     string
+		rows     int // original
+		num, cat int
+		classes  int // 0 = regression
+		missing  float64
+		levels   int
+	}
+	shapes := []shape{
+		{"allstate", 13184290, 13, 14, 0, 0.05, 8},
+		{"higgs_boson", 11000000, 28, 0, 2, 0, 0},
+		{"ms_ltrc", 723412, 136, 1, 5, 0, 5},
+		{"c14b", 473134, 700, 0, 5, 0, 0},
+		{"covtype", 581012, 54, 0, 7, 0, 0},
+		{"poker", 1025010, 0, 10, 10, 0, 13},
+		{"kdd99", 4898431, 38, 3, 5, 0, 6},
+		{"susy", 5000000, 18, 0, 2, 0, 0},
+		{"loan_m1", 6372703, 14, 13, 2, 0, 6},
+		{"loan_y1", 29581722, 14, 13, 2, 0, 6},
+		{"loan_y2", 54468375, 14, 13, 2, 0, 6},
+	}
+	const largest = 54468375
+	specs := make([]PaperSpec, 0, len(shapes))
+	for i, sh := range shapes {
+		rows := int(int64(sh.rows) * int64(baseRows) / largest)
+		if rows < 2000 {
+			rows = 2000
+		}
+		specs = append(specs, PaperSpec{
+			Spec: Spec{
+				Name: sh.name, Rows: rows,
+				NumNumeric: sh.num, NumCategorical: sh.cat,
+				CatLevels: sh.levels, NumClasses: sh.classes,
+				MissingRate: sh.missing, ConceptDepth: 7,
+				LabelNoise: 0.05, Seed: int64(1000 + i),
+			},
+			OriginalRows: sh.rows,
+		})
+	}
+	return specs
+}
+
+// PaperSpec returns the named Table-I spec at the given base scale, or false
+// when the name is unknown.
+func PaperSpecByName(name string, baseRows int) (PaperSpec, bool) {
+	for _, ps := range PaperSpecs(baseRows) {
+		if ps.Spec.Name == name {
+			return ps, true
+		}
+	}
+	return PaperSpec{}, false
+}

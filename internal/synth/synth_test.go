@@ -1,0 +1,219 @@
+package synth
+
+import (
+	"testing"
+
+	"treeserver/internal/dataset"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	spec := Spec{Name: "t", Rows: 1000, NumNumeric: 4, NumCategorical: 3, CatLevels: 5,
+		NumClasses: 3, MissingRate: 0.1, ConceptDepth: 4, Seed: 1}
+	train, test := Generate(spec, 0.2)
+	if train.NumRows() != 800 || test.NumRows() != 200 {
+		t.Fatalf("rows = %d/%d", train.NumRows(), test.NumRows())
+	}
+	if train.NumCols() != 8 {
+		t.Fatalf("cols = %d, want 4+3+1", train.NumCols())
+	}
+	if train.Task() != dataset.Classification || train.NumClasses() != 3 {
+		t.Fatal("task/classes wrong")
+	}
+	if err := train.Validate(); err != nil {
+		t.Fatalf("invalid train table: %v", err)
+	}
+	if err := test.Validate(); err != nil {
+		t.Fatalf("invalid test table: %v", err)
+	}
+	if train.Y().MissingCount() != 0 {
+		t.Fatal("labels have missing values")
+	}
+	// Missing rate applies to feature cells only, roughly.
+	miss := 0
+	for _, c := range train.Cols[:7] {
+		miss += c.MissingCount()
+	}
+	frac := float64(miss) / float64(7*800)
+	if frac < 0.05 || frac > 0.15 {
+		t.Fatalf("missing fraction %.3f, want ~0.1", frac)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Name: "d", Rows: 500, NumNumeric: 3, NumClasses: 2, Seed: 42}
+	a := GenerateTrain(spec)
+	b := GenerateTrain(spec)
+	for r := 0; r < 500; r++ {
+		if a.Cols[0].Float(r) != b.Cols[0].Float(r) || a.Y().Cat(r) != b.Y().Cat(r) {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	spec.Seed = 43
+	c := GenerateTrain(spec)
+	same := true
+	for r := 0; r < 500; r++ {
+		if a.Cols[0].Float(r) != c.Cols[0].Float(r) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical data")
+	}
+}
+
+func TestRegressionSpec(t *testing.T) {
+	spec := Spec{Name: "r", Rows: 500, NumNumeric: 4, NumClasses: 0, Seed: 3}
+	tbl := GenerateTrain(spec)
+	if tbl.Task() != dataset.Regression {
+		t.Fatal("not regression")
+	}
+	// Values should vary (leaves are N(0,10)).
+	first := tbl.Y().Float(0)
+	varies := false
+	for r := 1; r < 500; r++ {
+		if tbl.Y().Float(r) != first {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatal("constant regression target")
+	}
+}
+
+func TestConceptIsLearnable(t *testing.T) {
+	// All classes must actually appear; a degenerate concept would make
+	// accuracy numbers meaningless.
+	spec := Spec{Name: "l", Rows: 4000, NumNumeric: 6, NumClasses: 4, ConceptDepth: 5, Seed: 4}
+	tbl := GenerateTrain(spec)
+	counts := make([]int, 4)
+	for r := 0; r < tbl.NumRows(); r++ {
+		counts[tbl.Y().Cat(r)]++
+	}
+	for class, n := range counts {
+		if n == 0 {
+			t.Fatalf("class %d never appears", class)
+		}
+	}
+}
+
+func TestPaperSpecs(t *testing.T) {
+	specs := PaperSpecs(100000)
+	if len(specs) != 11 {
+		t.Fatalf("specs = %d, want 11", len(specs))
+	}
+	byName := map[string]PaperSpec{}
+	for _, ps := range specs {
+		byName[ps.Spec.Name] = ps
+	}
+	// Shapes mirror Table I.
+	if s := byName["allstate"].Spec; s.NumNumeric != 13 || s.NumCategorical != 14 || s.NumClasses != 0 || s.MissingRate == 0 {
+		t.Fatalf("allstate shape wrong: %+v", s)
+	}
+	if s := byName["poker"].Spec; s.NumNumeric != 0 || s.NumCategorical != 10 {
+		t.Fatalf("poker shape wrong: %+v", s)
+	}
+	if s := byName["c14b"].Spec; s.NumNumeric != 700 {
+		t.Fatalf("c14b shape wrong: %+v", s)
+	}
+	// The largest dataset lands at the base scale; relative sizes preserved.
+	if byName["loan_y2"].Spec.Rows != 100000 {
+		t.Fatalf("loan_y2 rows = %d", byName["loan_y2"].Spec.Rows)
+	}
+	if byName["loan_y1"].Spec.Rows >= byName["loan_y2"].Spec.Rows {
+		t.Fatal("relative sizes lost")
+	}
+	// Floor keeps tiny sets trainable.
+	if byName["c14b"].Spec.Rows < 2000 {
+		t.Fatalf("floor not applied: %d", byName["c14b"].Spec.Rows)
+	}
+	if _, ok := PaperSpecByName("covtype", 50000); !ok {
+		t.Fatal("lookup by name failed")
+	}
+	if _, ok := PaperSpecByName("nope", 50000); ok {
+		t.Fatal("unknown name found")
+	}
+}
+
+func TestDigits(t *testing.T) {
+	set := Digits(200, 9)
+	if set.Len() != 200 || set.W != 28 || set.H != 28 {
+		t.Fatalf("set shape %dx%dx%d", set.Len(), set.W, set.H)
+	}
+	counts := make([]int, 10)
+	for i, img := range set.Images {
+		if len(img) != 28*28 {
+			t.Fatalf("image %d has %d pixels", i, len(img))
+		}
+		counts[set.Labels[i]]++
+		for _, v := range img {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %g out of [0,1]", v)
+			}
+		}
+	}
+	for d, n := range counts {
+		if n != 20 {
+			t.Fatalf("digit %d appears %d times, want balanced 20", d, n)
+		}
+	}
+}
+
+func TestDigitsDistinguishable(t *testing.T) {
+	// Mean images of different digits must differ substantially: nearest-
+	// centroid on the training means should beat random guessing by a lot.
+	train := Digits(500, 10)
+	test := Digits(200, 11)
+	centroids := make([][]float64, 10)
+	counts := make([]int, 10)
+	for i := range centroids {
+		centroids[i] = make([]float64, 28*28)
+	}
+	for i, img := range train.Images {
+		l := train.Labels[i]
+		counts[l]++
+		for p, v := range img {
+			centroids[l][p] += v
+		}
+	}
+	for l := range centroids {
+		for p := range centroids[l] {
+			centroids[l][p] /= float64(counts[l])
+		}
+	}
+	hit := 0
+	for i, img := range test.Images {
+		best, bestDist := -1, 1e18
+		for l := range centroids {
+			d := 0.0
+			for p := range img {
+				diff := img[p] - centroids[l][p]
+				d += diff * diff
+			}
+			if d < bestDist {
+				best, bestDist = l, d
+			}
+		}
+		if int32(best) == test.Labels[i] {
+			hit++
+		}
+	}
+	acc := float64(hit) / float64(test.Len())
+	if acc < 0.6 {
+		t.Fatalf("nearest-centroid accuracy %.3f; digits not distinguishable", acc)
+	}
+}
+
+func TestSlideWindows(t *testing.T) {
+	set := Digits(3, 12)
+	patches := set.SlideWindows(5)
+	if len(patches) != 3 {
+		t.Fatalf("groups = %d", len(patches))
+	}
+	want := (28 - 5 + 1) * (28 - 5 + 1)
+	if len(patches[0]) != want {
+		t.Fatalf("patches per image = %d, want %d", len(patches[0]), want)
+	}
+	if len(patches[0][0]) != 25 {
+		t.Fatalf("patch dims = %d, want 25", len(patches[0][0]))
+	}
+}

@@ -1,0 +1,126 @@
+package task
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDequeMultisetProperty: any interleaving of head/tail pushes and pops
+// conserves elements — nothing is lost or duplicated.
+func TestDequeMultisetProperty(t *testing.T) {
+	f := func(ops []int16, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var d Deque[int16]
+		pushed := map[int16]int{}
+		popped := map[int16]int{}
+		for _, v := range ops {
+			switch rng.Intn(3) {
+			case 0:
+				d.PushHead(v)
+				pushed[v]++
+			case 1:
+				d.PushTail(v)
+				pushed[v]++
+			case 2:
+				if got, ok := d.PopHead(); ok {
+					popped[got]++
+				}
+			}
+		}
+		for {
+			got, ok := d.PopHead()
+			if !ok {
+				break
+			}
+			popped[got]++
+		}
+		if len(pushed) != len(popped) {
+			return false
+		}
+		for v, n := range pushed {
+			if popped[v] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDequeDFSRegionProperty: under the hybrid policy, after any sequence of
+// policy pushes, every DFS-inserted element that has not been displaced by a
+// later DFS push appears before every BFS-inserted element.
+func TestDequeDFSRegionProperty(t *testing.T) {
+	p := Policy{TauD: 10, TauDFS: 100, NPool: 1}
+	f := func(sizes []uint16) bool {
+		var d Deque[int]
+		for i, su := range sizes {
+			d.Push(i, int(su), p)
+		}
+		// Scan the deque: once a BFS element (size > TauDFS) appears, no DFS
+		// element may follow... that is NOT the invariant (later DFS pushes
+		// go to the head). The true invariant: BFS elements appear in FIFO
+		// order relative to each other, DFS elements in LIFO order.
+		snapshot := d.Snapshot()
+		var bfsSeen []int
+		var dfsSeen []int
+		for _, idx := range snapshot {
+			if int(sizes[idx]) > p.TauDFS {
+				bfsSeen = append(bfsSeen, idx)
+			} else {
+				dfsSeen = append(dfsSeen, idx)
+			}
+		}
+		for i := 1; i < len(bfsSeen); i++ {
+			if bfsSeen[i] < bfsSeen[i-1] { // FIFO: ascending insert order
+				return false
+			}
+		}
+		for i := 1; i < len(dfsSeen); i++ {
+			if dfsSeen[i] > dfsSeen[i-1] { // LIFO: descending insert order
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProgressNeverNegativeUntilDone: a tree completes exactly when done
+// calls match adds.
+func TestProgressProperty(t *testing.T) {
+	f := func(childCounts []uint8) bool {
+		p := NewProgress()
+		const tree = int32(7)
+		p.Add(tree, 1) // root
+		pending := 1
+		completed := false
+		for _, c := range childCounts {
+			children := int(c % 3) // 0, 1 or 2 children
+			if pending == 0 {
+				break
+			}
+			p.Add(tree, children)
+			pending += children
+			if p.Done(tree) {
+				completed = true
+			}
+			pending--
+			if completed != (pending == 0) {
+				return false
+			}
+			if completed {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package task provides the scheduling containers of the T-thinker engine:
+// the plan deque B_plan with the paper's hybrid BFS/DFS insertion policy,
+// the progress table T_prog that detects tree completion, and the task-ID
+// space shared by master and workers.
+package task
+
+import (
+	"sync"
+)
+
+// ID identifies one node-centric task within a job. IDs are issued by the
+// master and never reused.
+type ID int64
+
+// Kind distinguishes the two task types of Section III.
+type Kind uint8
+
+const (
+	// ColumnTask finds per-column best split conditions for a large node.
+	ColumnTask Kind = iota
+	// SubtreeTask pulls D_x to one worker and builds the whole subtree.
+	SubtreeTask
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == ColumnTask {
+		return "column-task"
+	}
+	return "subtree-task"
+}
+
+// Policy carries the scheduling thresholds of Section III.
+type Policy struct {
+	// TauD is τ_D: nodes with |D_x| <= τ_D become subtree-tasks.
+	TauD int
+	// TauDFS is τ_dfs: nodes with |D_x| <= τ_dfs are traversed depth-first
+	// (pushed at the deque head); larger nodes breadth-first (appended).
+	TauDFS int
+	// NPool is n_pool: the maximum number of trees under construction.
+	NPool int
+}
+
+// DefaultPolicy returns the paper's tuned defaults:
+// τ_D = 10,000, τ_dfs = 80,000, n_pool = 200.
+func DefaultPolicy() Policy {
+	return Policy{TauD: 10000, TauDFS: 80000, NPool: 200}
+}
+
+// KindFor classifies a node of the given |D_x| into its task kind.
+func (p Policy) KindFor(size int) Kind {
+	if size <= p.TauD {
+		return SubtreeTask
+	}
+	return ColumnTask
+}
+
+// DepthFirst reports whether a node of the given size enters the deque at
+// the head (depth-first region).
+func (p Policy) DepthFirst(size int) bool { return size <= p.TauDFS }
+
+// Deque is the plan buffer B_plan: a mutex-protected double-ended queue.
+// The main thread pops from the head; the receiving thread pushes new plans
+// at head or tail according to the hybrid policy.
+type Deque[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+// PushHead inserts at the front (depth-first insertion / requeue of revoked
+// tasks during fault recovery).
+func (d *Deque[T]) PushHead(v T) {
+	d.mu.Lock()
+	d.items = append(d.items, v) // grow, then shift right by one
+	copy(d.items[1:], d.items)
+	d.items[0] = v
+	d.mu.Unlock()
+}
+
+// PushTail appends at the back (breadth-first insertion).
+func (d *Deque[T]) PushTail(v T) {
+	d.mu.Lock()
+	d.items = append(d.items, v)
+	d.mu.Unlock()
+}
+
+// Push inserts according to the policy for a node of the given size.
+func (d *Deque[T]) Push(v T, size int, p Policy) {
+	if p.DepthFirst(size) {
+		d.PushHead(v)
+	} else {
+		d.PushTail(v)
+	}
+}
+
+// PopHead removes and returns the front element.
+func (d *Deque[T]) PopHead() (v T, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return v, false
+	}
+	v = d.items[0]
+	d.items = d.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued plans.
+func (d *Deque[T]) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}
+
+// Snapshot copies the current contents front-to-back, for tests and the
+// master's fault-recovery scan.
+func (d *Deque[T]) Snapshot() []T {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]T(nil), d.items...)
+}
+
+// Filter removes every element for which drop returns true, preserving
+// order, and returns the removed elements. Used to revoke queued plans of a
+// broken tree during fault recovery.
+func (d *Deque[T]) Filter(drop func(T) bool) []T {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	kept := d.items[:0]
+	var removed []T
+	for _, v := range d.items {
+		if drop(v) {
+			removed = append(removed, v)
+		} else {
+			kept = append(kept, v)
+		}
+	}
+	d.items = kept
+	return removed
+}
+
+// Progress is T_prog: per-tree pending-task counters. A tree is complete
+// when its counter returns to zero after having been positive. The master's
+// receiving thread must add child plans before decrementing the parent (the
+// paper's ordering rule), which Progress enforces by construction: Add is
+// called for children before Done for the parent.
+type Progress struct {
+	mu     sync.Mutex
+	counts map[int32]int
+}
+
+// NewProgress returns an empty progress table.
+func NewProgress() *Progress {
+	return &Progress{counts: map[int32]int{}}
+}
+
+// Add records delta new pending tasks for the tree and returns the count.
+func (p *Progress) Add(tree int32, delta int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.counts[tree] += delta
+	return p.counts[tree]
+}
+
+// Done records a completed task; it returns true when the tree has no
+// pending tasks left (the tree is fully constructed).
+func (p *Progress) Done(tree int32) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.counts[tree]--
+	if p.counts[tree] == 0 {
+		delete(p.counts, tree)
+		return true
+	}
+	return false
+}
+
+// Pending returns the tree's pending count.
+func (p *Progress) Pending(tree int32) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts[tree]
+}
+
+// Clear drops the tree's counter entirely (fault recovery restart).
+func (p *Progress) Clear(tree int32) {
+	p.mu.Lock()
+	delete(p.counts, tree)
+	p.mu.Unlock()
+}

@@ -1,0 +1,149 @@
+package task
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPolicyKinds(t *testing.T) {
+	p := DefaultPolicy()
+	if p.TauD != 10000 || p.TauDFS != 80000 || p.NPool != 200 {
+		t.Fatalf("defaults = %+v, want the paper's tuned values", p)
+	}
+	if p.KindFor(10000) != SubtreeTask || p.KindFor(10001) != ColumnTask {
+		t.Fatal("τ_D boundary wrong")
+	}
+	if !p.DepthFirst(80000) || p.DepthFirst(80001) {
+		t.Fatal("τ_dfs boundary wrong")
+	}
+	if ColumnTask.String() != "column-task" || SubtreeTask.String() != "subtree-task" {
+		t.Fatal("kind strings wrong")
+	}
+}
+
+func TestDequeFIFOAndLIFO(t *testing.T) {
+	var d Deque[int]
+	d.PushTail(1)
+	d.PushTail(2)
+	d.PushHead(0)
+	if d.Len() != 3 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	for want := 0; want <= 2; want++ {
+		v, ok := d.PopHead()
+		if !ok || v != want {
+			t.Fatalf("pop = %d,%v want %d", v, ok, want)
+		}
+	}
+	if _, ok := d.PopHead(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+}
+
+func TestDequeHybridPolicy(t *testing.T) {
+	// Fig. 5's example: node 4 (|Dx| <= τ_dfs) goes to the head, node 5
+	// (|Dx| > τ_dfs) to the tail.
+	p := Policy{TauD: 10000, TauDFS: 80000, NPool: 200}
+	var d Deque[string]
+	d.PushTail("pending")
+	d.Push("node5", 240000, p) // BFS: tail
+	d.Push("node4", 60000, p)  // DFS: head
+	want := []string{"node4", "pending", "node5"}
+	got := d.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("snapshot = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDequeFilter(t *testing.T) {
+	var d Deque[int]
+	for i := 0; i < 10; i++ {
+		d.PushTail(i)
+	}
+	removed := d.Filter(func(v int) bool { return v%2 == 0 })
+	if len(removed) != 5 {
+		t.Fatalf("removed %d, want 5", len(removed))
+	}
+	got := d.Snapshot()
+	if len(got) != 5 {
+		t.Fatalf("kept %d, want 5", len(got))
+	}
+	for i, v := range got {
+		if v != 2*i+1 {
+			t.Fatalf("kept order wrong: %v", got)
+		}
+	}
+}
+
+func TestDequeConcurrent(t *testing.T) {
+	var d Deque[int]
+	var wg sync.WaitGroup
+	const n = 1000
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			d.PushTail(i)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			d.PushHead(i)
+		}
+	}()
+	wg.Wait()
+	if d.Len() != 2*n {
+		t.Fatalf("len = %d, want %d", d.Len(), 2*n)
+	}
+	popped := 0
+	for {
+		if _, ok := d.PopHead(); !ok {
+			break
+		}
+		popped++
+	}
+	if popped != 2*n {
+		t.Fatalf("popped %d", popped)
+	}
+}
+
+func TestProgressCompletion(t *testing.T) {
+	p := NewProgress()
+	p.Add(1, 1) // root task
+	// Root splits: add children before done (the ordering rule).
+	p.Add(1, 2)
+	if p.Done(1) {
+		t.Fatal("tree complete with pending children")
+	}
+	if p.Done(1) {
+		t.Fatal("tree complete with one pending child")
+	}
+	if !p.Done(1) {
+		t.Fatal("tree not complete after last task")
+	}
+	if p.Pending(1) != 0 {
+		t.Fatalf("pending = %d after completion", p.Pending(1))
+	}
+}
+
+func TestProgressIndependentTrees(t *testing.T) {
+	p := NewProgress()
+	p.Add(1, 1)
+	p.Add(2, 1)
+	if p.Done(1) != true {
+		t.Fatal("tree 1 should complete")
+	}
+	if p.Pending(2) != 1 {
+		t.Fatal("tree 2 affected by tree 1")
+	}
+	p.Clear(2)
+	if p.Pending(2) != 0 {
+		t.Fatal("clear failed")
+	}
+}

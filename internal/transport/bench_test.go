@@ -1,0 +1,96 @@
+package transport
+
+import (
+	"testing"
+)
+
+// BenchmarkMemSendSmall measures small control messages (plans, confirms).
+func BenchmarkMemSendSmall(b *testing.B) {
+	net := NewMemNetwork()
+	defer net.Close()
+	a, c := net.Endpoint("a"), net.Endpoint("c")
+	done := make(chan struct{})
+	go func() {
+		for {
+			if _, ok := c.Recv(); !ok {
+				close(done)
+				return
+			}
+		}
+	}()
+	msg := testMsg{ID: 7, Body: []byte("confirm")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send("c", msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	net.Close()
+	<-done
+}
+
+// BenchmarkMemSendColumnShard measures a 64 KB data payload — the size
+// class of column shards between workers.
+func BenchmarkMemSendColumnShard(b *testing.B) {
+	net := NewMemNetwork()
+	defer net.Close()
+	a, c := net.Endpoint("a"), net.Endpoint("c")
+	done := make(chan struct{})
+	go func() {
+		for {
+			if _, ok := c.Recv(); !ok {
+				close(done)
+				return
+			}
+		}
+	}()
+	msg := testMsg{ID: 1, Body: make([]byte, 64<<10)}
+	b.SetBytes(64 << 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send("c", msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	net.Close()
+	<-done
+}
+
+// BenchmarkTCPSend measures the loopback TCP path with framing.
+func BenchmarkTCPSend(b *testing.B) {
+	dst, err := ListenTCP("dst", "127.0.0.1:0", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer dst.Close()
+	src, err := ListenTCP("src", "127.0.0.1:0", map[string]string{"dst": dst.Addr()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer src.Close()
+	done := make(chan struct{})
+	go func() {
+		for {
+			if _, ok := dst.Recv(); !ok {
+				close(done)
+				return
+			}
+		}
+	}()
+	msg := testMsg{ID: 1, Body: make([]byte, 4096)}
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := src.Send("dst", msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	dst.Close()
+	<-done
+}

@@ -1,0 +1,221 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// TCPEndpoint is a transport endpoint backed by real TCP sockets, for
+// running master and workers as separate OS processes (cmd/treeserver).
+// Frames are length-prefixed: 4-byte big-endian name length + name, then
+// 4-byte payload length + gob payload.
+type TCPEndpoint struct {
+	name     string
+	listener net.Listener
+	peers    map[string]string // name -> address
+	box      *mailbox
+
+	connMu sync.Mutex
+	conns  map[string]*tcpConn
+
+	msgsSent, msgsRecvd   atomic.Int64
+	bytesSent, bytesRecvd atomic.Int64
+
+	closeOnce sync.Once
+	closed    atomic.Bool
+	wg        sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// ListenTCP starts an endpoint listening on addr ("host:port", empty port
+// for ephemeral). peers maps every other endpoint name to its address; the
+// map may be extended before the first Send to a given peer.
+func ListenTCP(name, addr string, peers map[string]string) (*TCPEndpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	ep := &TCPEndpoint{
+		name:     name,
+		listener: ln,
+		peers:    map[string]string{},
+		box:      newMailbox(),
+		conns:    map[string]*tcpConn{},
+	}
+	for k, v := range peers {
+		ep.peers[k] = v
+	}
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Addr returns the endpoint's listening address.
+func (e *TCPEndpoint) Addr() string { return e.listener.Addr().String() }
+
+// AddPeer registers (or updates) a peer address.
+func (e *TCPEndpoint) AddPeer(name, addr string) {
+	e.connMu.Lock()
+	e.peers[name] = addr
+	e.connMu.Unlock()
+}
+
+// Name implements Endpoint.
+func (e *TCPEndpoint) Name() string { return e.name }
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		c, err := e.listener.Accept()
+		if err != nil {
+			return
+		}
+		e.wg.Add(1)
+		go e.readLoop(c)
+	}
+}
+
+func (e *TCPEndpoint) readLoop(c net.Conn) {
+	defer e.wg.Done()
+	defer c.Close()
+	for {
+		from, data, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		payload, err := DecodePayload(data)
+		if err != nil {
+			return
+		}
+		e.msgsRecvd.Add(1)
+		e.bytesRecvd.Add(int64(len(data)))
+		if !e.box.put(Envelope{From: from, Payload: payload}) {
+			return
+		}
+	}
+}
+
+func readFrame(r io.Reader) (from string, payload []byte, err error) {
+	var nameLen, payloadLen uint32
+	if err = binary.Read(r, binary.BigEndian, &nameLen); err != nil {
+		return
+	}
+	if nameLen > 1<<16 {
+		return "", nil, fmt.Errorf("transport: name frame too large: %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err = io.ReadFull(r, name); err != nil {
+		return
+	}
+	if err = binary.Read(r, binary.BigEndian, &payloadLen); err != nil {
+		return
+	}
+	if payloadLen > 1<<30 {
+		return "", nil, fmt.Errorf("transport: payload frame too large: %d", payloadLen)
+	}
+	payload = make([]byte, payloadLen)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return
+	}
+	return string(name), payload, nil
+}
+
+func writeFrame(w io.Writer, from string, payload []byte) error {
+	if err := binary.Write(w, binary.BigEndian, uint32(len(from))); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, from); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.BigEndian, uint32(len(payload))); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func (e *TCPEndpoint) dial(to string) (*tcpConn, error) {
+	e.connMu.Lock()
+	defer e.connMu.Unlock()
+	if tc, ok := e.conns[to]; ok {
+		return tc, nil
+	}
+	addr, ok := e.peers[to]
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown peer %q", to)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %q at %s: %w", to, addr, err)
+	}
+	tc := &tcpConn{c: c}
+	e.conns[to] = tc
+	return tc, nil
+}
+
+// Send implements Endpoint.
+func (e *TCPEndpoint) Send(to string, payload any) error {
+	if e.closed.Load() {
+		return fmt.Errorf("transport: endpoint %q closed", e.name)
+	}
+	data, err := EncodePayload(payload)
+	if err != nil {
+		return err
+	}
+	tc, err := e.dial(to)
+	if err != nil {
+		return err
+	}
+	tc.mu.Lock()
+	err = writeFrame(tc.c, e.name, data)
+	tc.mu.Unlock()
+	if err != nil {
+		// Drop the broken connection so a retry can redial.
+		e.connMu.Lock()
+		if e.conns[to] == tc {
+			delete(e.conns, to)
+		}
+		e.connMu.Unlock()
+		tc.c.Close()
+		return fmt.Errorf("transport: send to %q: %w", to, err)
+	}
+	e.msgsSent.Add(1)
+	e.bytesSent.Add(int64(len(data)))
+	return nil
+}
+
+// Recv implements Endpoint.
+func (e *TCPEndpoint) Recv() (Envelope, bool) { return e.box.get() }
+
+// Close implements Endpoint.
+func (e *TCPEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		e.closed.Store(true)
+		e.listener.Close()
+		e.connMu.Lock()
+		for _, tc := range e.conns {
+			tc.c.Close()
+		}
+		e.connMu.Unlock()
+		e.box.close()
+	})
+	return nil
+}
+
+// Stats implements Endpoint.
+func (e *TCPEndpoint) Stats() Stats {
+	return Stats{
+		MsgsSent:      e.msgsSent.Load(),
+		MsgsReceived:  e.msgsRecvd.Load(),
+		BytesSent:     e.bytesSent.Load(),
+		BytesReceived: e.bytesRecvd.Load(),
+	}
+}

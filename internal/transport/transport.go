@@ -1,0 +1,291 @@
+// Package transport provides the message fabric the TreeServer cluster runs
+// on: named endpoints exchanging gob-serialised payloads. Two realisations
+// share one interface — an in-memory network (every message still passes
+// through a gob encode/decode round-trip, so nothing is ever shared by
+// pointer between "machines", and per-endpoint byte counters plus an
+// optional bandwidth model reproduce network saturation) and a real TCP
+// network for multi-process deployments.
+//
+// The paper's two channel classes (Task Comm. master<->worker and Data
+// Comm. worker<->worker, Fig. 6) are both carried over this fabric; byte
+// accounting is separated per destination so experiments can report them
+// independently.
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Envelope is one delivered message.
+type Envelope struct {
+	From    string
+	Payload any
+}
+
+// Endpoint is a named participant on a network.
+type Endpoint interface {
+	// Name returns the endpoint's registered name.
+	Name() string
+	// Send delivers payload to the named endpoint. It never blocks on the
+	// receiver (mailboxes are unbounded); it returns an error if the target
+	// is unknown or the network is closed.
+	Send(to string, payload any) error
+	// Recv blocks for the next message; ok is false once the endpoint is
+	// closed and drained.
+	Recv() (env Envelope, ok bool)
+	// Close shuts the endpoint down, waking any blocked Recv.
+	Close() error
+	// Stats returns the endpoint's traffic counters.
+	Stats() Stats
+}
+
+// Stats counts an endpoint's traffic. Bytes measure the gob-encoded payload
+// size, the same quantity a real wire would carry.
+type Stats struct {
+	MsgsSent      int64
+	MsgsReceived  int64
+	BytesSent     int64
+	BytesReceived int64
+}
+
+// mailbox is an unbounded FIFO with blocking receive. Unboundedness is a
+// deliberate choice: handlers may send while processing a receive, and a
+// bounded channel there can deadlock two mutually-sending endpoints.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Envelope
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(env Envelope) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.queue = append(m.queue, env)
+	m.cond.Signal()
+	return true
+}
+
+func (m *mailbox) get() (Envelope, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return Envelope{}, false
+	}
+	env := m.queue[0]
+	m.queue = m.queue[1:]
+	return env, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// wire wraps the payload so gob can encode arbitrary registered types.
+type wire struct {
+	Payload any
+}
+
+// EncodePayload gob-encodes a payload the way both network flavours do,
+// returning the wire bytes.
+func EncodePayload(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&wire{Payload: v}); err != nil {
+		return nil, fmt.Errorf("transport: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodePayload reverses EncodePayload.
+func DecodePayload(data []byte) (any, error) {
+	var w wire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("transport: decode: %w", err)
+	}
+	return w.Payload, nil
+}
+
+// MemNetwork is the in-memory fabric. The zero value is not usable; call
+// NewMemNetwork.
+type MemNetwork struct {
+	mu        sync.Mutex
+	endpoints map[string]*MemEndpoint
+	closed    bool
+
+	// BandwidthBps, when > 0, models a per-endpoint full-duplex link: each
+	// endpoint's sends are paced to this many bytes per second, reproducing
+	// the 1 GigE saturation of the paper's Table VI.
+	BandwidthBps float64
+	// Passthrough skips the gob round-trip, delivering payloads by
+	// reference. Only safe when callers promise not to mutate shared data;
+	// used by benchmarks isolating protocol overhead from codec cost.
+	Passthrough bool
+}
+
+// NewMemNetwork creates an empty in-memory network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{endpoints: map[string]*MemEndpoint{}}
+}
+
+// Endpoint registers (or returns the existing) endpoint with the name.
+func (n *MemNetwork) Endpoint(name string) *MemEndpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[name]; ok {
+		return ep
+	}
+	ep := &MemEndpoint{name: name, net: n, box: newMailbox()}
+	n.endpoints[name] = ep
+	return ep
+}
+
+// Close shuts down every endpoint.
+func (n *MemNetwork) Close() {
+	n.mu.Lock()
+	n.closed = true
+	eps := make([]*MemEndpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.box.close()
+	}
+}
+
+func (n *MemNetwork) lookup(name string) (*MemEndpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, fmt.Errorf("transport: network closed")
+	}
+	ep, ok := n.endpoints[name]
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown endpoint %q", name)
+	}
+	return ep, nil
+}
+
+// MemEndpoint is one participant on a MemNetwork.
+type MemEndpoint struct {
+	name string
+	net  *MemNetwork
+	box  *mailbox
+
+	msgsSent, msgsRecvd   atomic.Int64
+	bytesSent, bytesRecvd atomic.Int64
+
+	paceMu   sync.Mutex
+	paceFree time.Time // when the modelled link next becomes idle
+
+	crashed atomic.Bool
+}
+
+// Name implements Endpoint.
+func (e *MemEndpoint) Name() string { return e.name }
+
+// Crash makes the endpoint drop all traffic in both directions without
+// closing cleanly — the fault-injection hook for worker-failure tests.
+func (e *MemEndpoint) Crash() {
+	e.crashed.Store(true)
+	e.box.close()
+}
+
+// Crashed reports whether Crash was called.
+func (e *MemEndpoint) Crashed() bool { return e.crashed.Load() }
+
+// Send implements Endpoint.
+func (e *MemEndpoint) Send(to string, payload any) error {
+	if e.crashed.Load() {
+		return fmt.Errorf("transport: endpoint %q crashed", e.name)
+	}
+	target, err := e.net.lookup(to)
+	if err != nil {
+		return err
+	}
+	size := 0
+	delivered := payload
+	if !e.net.Passthrough {
+		data, err := EncodePayload(payload)
+		if err != nil {
+			return err
+		}
+		size = len(data)
+		delivered, err = DecodePayload(data)
+		if err != nil {
+			return err
+		}
+	}
+	e.pace(size)
+	e.msgsSent.Add(1)
+	e.bytesSent.Add(int64(size))
+	if target.crashed.Load() {
+		// A crashed machine silently swallows traffic, like a dead NIC.
+		return nil
+	}
+	if !target.box.put(Envelope{From: e.name, Payload: delivered}) {
+		return fmt.Errorf("transport: endpoint %q closed", to)
+	}
+	target.msgsRecvd.Add(1)
+	target.bytesRecvd.Add(int64(size))
+	return nil
+}
+
+// pace models the send-side bandwidth limit by reserving link time.
+func (e *MemEndpoint) pace(size int) {
+	bw := e.net.BandwidthBps
+	if bw <= 0 || size == 0 {
+		return
+	}
+	cost := time.Duration(float64(size) / bw * float64(time.Second))
+	e.paceMu.Lock()
+	now := time.Now()
+	if e.paceFree.Before(now) {
+		e.paceFree = now
+	}
+	e.paceFree = e.paceFree.Add(cost)
+	wait := e.paceFree.Sub(now)
+	e.paceMu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+}
+
+// Recv implements Endpoint.
+func (e *MemEndpoint) Recv() (Envelope, bool) { return e.box.get() }
+
+// Close implements Endpoint.
+func (e *MemEndpoint) Close() error {
+	e.box.close()
+	return nil
+}
+
+// Stats implements Endpoint.
+func (e *MemEndpoint) Stats() Stats {
+	return Stats{
+		MsgsSent:      e.msgsSent.Load(),
+		MsgsReceived:  e.msgsRecvd.Load(),
+		BytesSent:     e.bytesSent.Load(),
+		BytesReceived: e.bytesRecvd.Load(),
+	}
+}

@@ -1,0 +1,305 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+type testMsg struct {
+	ID   int
+	Body []byte
+}
+
+func init() { gob.Register(testMsg{}) }
+
+func TestMemSendRecv(t *testing.T) {
+	net := NewMemNetwork()
+	defer net.Close()
+	a := net.Endpoint("a")
+	b := net.Endpoint("b")
+	if err := a.Send("b", testMsg{ID: 7, Body: []byte("hello")}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	env, ok := b.Recv()
+	if !ok {
+		t.Fatal("recv failed")
+	}
+	if env.From != "a" {
+		t.Fatalf("from = %q", env.From)
+	}
+	msg := env.Payload.(testMsg)
+	if msg.ID != 7 || string(msg.Body) != "hello" {
+		t.Fatalf("payload = %+v", msg)
+	}
+}
+
+func TestMemSerializationIsolation(t *testing.T) {
+	// The gob round-trip must prevent sharing: mutating the sent value after
+	// Send must not affect the received copy.
+	net := NewMemNetwork()
+	defer net.Close()
+	a, b := net.Endpoint("a"), net.Endpoint("b")
+	body := []byte("immutable")
+	if err := a.Send("b", testMsg{ID: 1, Body: body}); err != nil {
+		t.Fatal(err)
+	}
+	body[0] = 'X'
+	env, _ := b.Recv()
+	if got := string(env.Payload.(testMsg).Body); got != "immutable" {
+		t.Fatalf("received %q shares memory with sender", got)
+	}
+}
+
+func TestMemUnknownEndpoint(t *testing.T) {
+	net := NewMemNetwork()
+	defer net.Close()
+	a := net.Endpoint("a")
+	if err := a.Send("ghost", testMsg{}); err == nil {
+		t.Fatal("send to unknown endpoint succeeded")
+	}
+}
+
+func TestMemStats(t *testing.T) {
+	net := NewMemNetwork()
+	defer net.Close()
+	a, b := net.Endpoint("a"), net.Endpoint("b")
+	for i := 0; i < 5; i++ {
+		if err := a.Send("b", testMsg{ID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		b.Recv()
+	}
+	as, bs := a.Stats(), b.Stats()
+	if as.MsgsSent != 5 || bs.MsgsReceived != 5 {
+		t.Fatalf("msgs: sent %d recv %d", as.MsgsSent, bs.MsgsReceived)
+	}
+	if as.BytesSent <= 0 || as.BytesSent != bs.BytesReceived {
+		t.Fatalf("bytes: sent %d recv %d", as.BytesSent, bs.BytesReceived)
+	}
+}
+
+func TestMemOrderPreservedPerSender(t *testing.T) {
+	net := NewMemNetwork()
+	defer net.Close()
+	a, b := net.Endpoint("a"), net.Endpoint("b")
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := a.Send("b", testMsg{ID: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		env, ok := b.Recv()
+		if !ok {
+			t.Fatal("closed early")
+		}
+		if env.Payload.(testMsg).ID != i {
+			t.Fatalf("message %d arrived out of order", i)
+		}
+	}
+}
+
+func TestMemCloseWakesRecv(t *testing.T) {
+	net := NewMemNetwork()
+	a := net.Endpoint("a")
+	done := make(chan bool)
+	go func() {
+		_, ok := a.Recv()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("recv returned ok after close")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("recv did not wake on close")
+	}
+}
+
+func TestMemCrashSwallowsTraffic(t *testing.T) {
+	net := NewMemNetwork()
+	defer net.Close()
+	a, b := net.Endpoint("a"), net.Endpoint("b")
+	b.Crash()
+	if !b.Crashed() {
+		t.Fatal("crashed flag not set")
+	}
+	// Send to a crashed endpoint does not error (dead NIC semantics).
+	if err := a.Send("b", testMsg{ID: 1}); err != nil {
+		t.Fatalf("send to crashed: %v", err)
+	}
+	// A crashed endpoint cannot send.
+	if err := b.Send("a", testMsg{ID: 2}); err == nil {
+		t.Fatal("crashed endpoint sent successfully")
+	}
+}
+
+func TestMemConcurrentSenders(t *testing.T) {
+	net := NewMemNetwork()
+	defer net.Close()
+	recv := net.Endpoint("sink")
+	const senders, per = 8, 100
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		ep := net.Endpoint(fmt.Sprintf("s%d", s))
+		wg.Add(1)
+		go func(ep *MemEndpoint) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := ep.Send("sink", testMsg{ID: i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(ep)
+	}
+	got := 0
+	done := make(chan struct{})
+	go func() {
+		for got < senders*per {
+			if _, ok := recv.Recv(); !ok {
+				return
+			}
+			got++
+		}
+		close(done)
+	}()
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("received %d of %d", got, senders*per)
+	}
+}
+
+func TestBandwidthPacing(t *testing.T) {
+	net := NewMemNetwork()
+	defer net.Close()
+	net.BandwidthBps = 1e6 // 1 MB/s
+	a, b := net.Endpoint("a"), net.Endpoint("b")
+	payload := testMsg{Body: make([]byte, 50_000)}
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if err := a.Send("b", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	// ~200 KB at 1 MB/s = 200 ms minimum.
+	if elapsed < 150*time.Millisecond {
+		t.Fatalf("pacing too fast: %v for ~200KB at 1MB/s", elapsed)
+	}
+	for i := 0; i < 4; i++ {
+		b.Recv()
+	}
+}
+
+func TestPassthroughSkipsEncoding(t *testing.T) {
+	net := NewMemNetwork()
+	defer net.Close()
+	net.Passthrough = true
+	a, b := net.Endpoint("a"), net.Endpoint("b")
+	body := []byte("shared")
+	if err := a.Send("b", testMsg{Body: body}); err != nil {
+		t.Fatal(err)
+	}
+	env, _ := b.Recv()
+	body[0] = 'X'
+	if got := string(env.Payload.(testMsg).Body); got != "Xhared" {
+		t.Fatalf("passthrough should share memory, got %q", got)
+	}
+	if a.Stats().BytesSent != 0 {
+		t.Fatal("passthrough should not count encoded bytes")
+	}
+}
+
+func TestEncodeDecodePayload(t *testing.T) {
+	data, err := EncodePayload(testMsg{ID: 3, Body: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := DecodePayload(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(testMsg).ID != 3 {
+		t.Fatalf("round trip = %+v", v)
+	}
+}
+
+func TestTCPEndpoints(t *testing.T) {
+	a, err := ListenTCP("a", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("b", "127.0.0.1:0", map[string]string{"a": a.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.AddPeer("b", b.Addr())
+
+	if err := a.Send("b", testMsg{ID: 1, Body: []byte("over tcp")}); err != nil {
+		t.Fatalf("a->b: %v", err)
+	}
+	env, ok := b.Recv()
+	if !ok || env.From != "a" || env.Payload.(testMsg).ID != 1 {
+		t.Fatalf("b received %+v ok=%v", env, ok)
+	}
+	// Reply path.
+	if err := b.Send("a", testMsg{ID: 2}); err != nil {
+		t.Fatalf("b->a: %v", err)
+	}
+	env, ok = a.Recv()
+	if !ok || env.Payload.(testMsg).ID != 2 {
+		t.Fatalf("a received %+v ok=%v", env, ok)
+	}
+	if a.Stats().MsgsSent != 1 || a.Stats().MsgsReceived != 1 {
+		t.Fatalf("stats = %+v", a.Stats())
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	a, err := ListenTCP("a", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send("nowhere", testMsg{}); err == nil {
+		t.Fatal("send to unknown peer succeeded")
+	}
+}
+
+func TestTCPManyMessages(t *testing.T) {
+	a, _ := ListenTCP("a", "127.0.0.1:0", nil)
+	defer a.Close()
+	b, _ := ListenTCP("b", "127.0.0.1:0", map[string]string{"a": a.Addr()})
+	defer b.Close()
+	const n = 500
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := b.Send("a", testMsg{ID: i, Body: make([]byte, 100)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		env, ok := a.Recv()
+		if !ok {
+			t.Fatal("closed early")
+		}
+		if env.Payload.(testMsg).ID != i {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+}
