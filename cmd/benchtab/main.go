@@ -9,17 +9,94 @@
 //	benchtab -quick               # shrunken smoke run
 //	benchtab -rows 50000 -workers 8 -compers 4
 //	benchtab -ablations           # run only the design ablations
+//	benchtab -json BENCH_splits.json   # also write machine-readable results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"runtime"
 	"strings"
+	"testing"
 	"time"
 
+	"treeserver/internal/dataset"
 	"treeserver/internal/experiments"
+	"treeserver/internal/impurity"
+	"treeserver/internal/split"
 )
+
+// splitBenchResult is one microbenchmark row of the split-kernel suite.
+type splitBenchResult struct {
+	Name        string  `json:"name"`
+	Rows        int     `json:"rows"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchOutput is the schema of the -json file: the experiment tables that
+// ran plus the FindBest kernel microbenchmarks, for CI trend tracking.
+type benchOutput struct {
+	GeneratedAt string                `json:"generated_at"`
+	GoVersion   string                `json:"go_version"`
+	Scale       experiments.Scale     `json:"scale"`
+	Experiments []*experiments.Result `json:"experiments"`
+	SplitBench  []splitBenchResult    `json:"split_bench"`
+}
+
+// runSplitBench measures the exact numeric splitter's presorted fast path
+// and sort+sweep fallback on one dense node, mirroring the package
+// benchmarks in internal/split.
+func runSplitBench(n int) []splitBenchResult {
+	rng := rand.New(rand.NewSource(1))
+	num := make([]float64, n)
+	ycls := make([]int32, n)
+	for i := range num {
+		num[i] = rng.NormFloat64()
+		if num[i]+rng.NormFloat64()*0.3 > 0 {
+			ycls[i] = 1
+		}
+	}
+	col := dataset.NewNumeric("x", num)
+	y := dataset.NewCategorical("y", ycls, []string{"n", "p"})
+	rows := dataset.AllRows(n)
+	scratch := split.GetScratch()
+	defer split.PutScratch(scratch)
+
+	fast := split.Request{Col: col, Y: y, Rows: rows, Measure: impurity.Gini,
+		NumClasses: 2, RowSet: dataset.RowSetOf(rows, n), Scratch: scratch}
+	fallback := fast
+	fallback.RowSet = nil
+
+	out := make([]splitBenchResult, 0, 2)
+	for _, c := range []struct {
+		name string
+		req  split.Request
+	}{{"FindBestNumeric/presorted", fast}, {"FindBestNumeric/fallback", fallback}} {
+		req := c.req
+		split.FindBest(req) // warm up: sort index + scratch growth
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				split.FindBest(req)
+			}
+		})
+		out = append(out, splitBenchResult{
+			Name:        c.name,
+			Rows:        n,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -30,6 +107,7 @@ func main() {
 		workers   = flag.Int("workers", 4, "simulated worker machines")
 		compers   = flag.Int("compers", 4, "computing threads per worker")
 		ablations = flag.Bool("ablations", false, "run only the design ablations")
+		jsonPath  = flag.String("json", "", "write machine-readable results (tables + split kernel bench) to this file")
 	)
 	flag.Parse()
 
@@ -39,6 +117,7 @@ func main() {
 	}
 	scale := experiments.Scale{BaseRows: *rows, Workers: *workers, Compers: *compers, Quick: *quick}
 
+	var results []*experiments.Result
 	start := time.Now()
 	run := func(id string) {
 		f, ok := experiments.ByID(id)
@@ -50,6 +129,7 @@ func main() {
 		r := f(scale)
 		r.Fprint(os.Stdout)
 		fmt.Printf("[%s took %s]\n\n", r.ID, time.Since(t0).Round(time.Millisecond))
+		results = append(results, r)
 	}
 	switch {
 	case *table != "":
@@ -66,4 +146,29 @@ func main() {
 		}
 	}
 	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+
+	if *jsonPath != "" {
+		benchRows := 10000
+		if *quick {
+			benchRows = 2000
+		}
+		out := benchOutput{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GoVersion:   runtime.Version(),
+			Scale:       scale,
+			Experiments: results,
+			SplitBench:  runSplitBench(benchRows),
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal bench json: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
 }

@@ -17,7 +17,7 @@ package cluster
 import (
 	"encoding/gob"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"treeserver/internal/core"
 	"treeserver/internal/dataset"
@@ -48,7 +48,7 @@ func (b BagSpec) Rows() []int32 {
 	for i := range rows {
 		rows[i] = int32(rng.Intn(b.NumRows))
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	slices.Sort(rows)
 	return rows
 }
 

@@ -36,6 +36,11 @@ type Worker struct {
 	wg       sync.WaitGroup
 	stopOnce sync.Once
 	busyNs   atomic.Int64
+
+	// rowSets pools per-comper RowSet instances (all sized to the table) so
+	// concurrent column-tasks can engage the presorted split fast path
+	// without allocating a fresh membership set per task.
+	rowSets sync.Pool
 }
 
 // colWait parks a continuation until all its columns are installed. This
@@ -67,6 +72,9 @@ func NewWorker(id int, ep transport.Endpoint, schema Schema, cols map[int]*datas
 	if compers < 1 {
 		compers = 1
 	}
+	// Own the Kinds slice: over the in-memory fabric every worker receives
+	// the same backing array, and handleSetTarget mutates it in place.
+	schema.Kinds = append([]dataset.Kind(nil), schema.Kinds...)
 	return &Worker{
 		id: id, ep: ep, schema: schema, compers: compers,
 		cols: cols, y: y,
@@ -274,6 +282,21 @@ func (w *Worker) computeColumnTask(msg ColumnPlanMsg, rows []int32) {
 	}
 	w.mu.Unlock()
 
+	// Per-comper scratch keeps the exact-split kernels allocation-free, and
+	// a pooled RowSet loaded once per task lets every numeric column of the
+	// task reuse the same membership walk over its presorted index.
+	scratch := split.GetScratch()
+	defer split.PutScratch(scratch)
+	var rs *dataset.RowSet
+	if !msg.Random && split.Dense(len(rows), y.Len()) && anyNumeric(localCols) {
+		rs = w.getRowSet(y.Len())
+		rs.AddAll(rows)
+		defer func() {
+			rs.RemoveAll(rows)
+			w.rowSets.Put(rs)
+		}()
+	}
+
 	best := split.Candidate{}
 	for i, colIdx := range msg.Cols {
 		col := localCols[i]
@@ -285,6 +308,7 @@ func (w *Worker) computeColumnTask(msg ColumnPlanMsg, rows []int32) {
 			Col: col, ColIdx: colIdx, Y: y, Rows: rows,
 			Measure: msg.Measure, NumClasses: msg.NumClasses,
 			MaxExhaustiveLevels: msg.MaxExh,
+			RowSet:              rs, Scratch: scratch,
 		}
 		var cand split.Candidate
 		if msg.Random {
@@ -298,6 +322,29 @@ func (w *Worker) computeColumnTask(msg ColumnPlanMsg, rows []int32) {
 	}
 	stats := StatsOf(y, rows, msg.NumClasses)
 	w.send(MasterName, ColumnResultMsg{Task: msg.Task, Attempt: msg.Attempt, Worker: w.id, Best: best, Stats: stats})
+}
+
+// anyNumeric reports whether any held column of the task is numeric (nil
+// entries are reported as a task failure later; skip them here).
+func anyNumeric(cols []*dataset.Column) bool {
+	for _, c := range cols {
+		if c != nil && c.Kind == dataset.Numeric {
+			return true
+		}
+	}
+	return false
+}
+
+// getRowSet returns a pooled RowSet sized for numRows-row tables, allocating
+// one only when the pool is empty or the table size changed (SetTarget never
+// changes row counts, so in practice sizes match for a worker's lifetime).
+func (w *Worker) getRowSet(numRows int) *dataset.RowSet {
+	if v := w.rowSets.Get(); v != nil {
+		if rs := v.(*dataset.RowSet); rs.Cap() == numRows {
+			return rs
+		}
+	}
+	return dataset.NewRowSet(numRows)
 }
 
 // handleConfirm runs on the delegate worker: split I_x with the winning

@@ -2,7 +2,7 @@ package core
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 
 	"treeserver/internal/dataset"
 	"treeserver/internal/impurity"
@@ -60,6 +60,11 @@ func (p Params) normalise(tbl *dataset.Table) Params {
 // distributed engine must agree with.
 func TrainLocal(tbl *dataset.Table, rows []int32, params Params) *Tree {
 	b := newBuilder(tbl, params)
+	b.scratch = split.GetScratch()
+	defer func() {
+		split.PutScratch(b.scratch)
+		b.scratch = nil
+	}()
 	root := b.build(rows, 0)
 	return b.finish(root)
 }
@@ -72,16 +77,35 @@ type builder struct {
 	nextID     int32
 	numClasses int
 	maxDepth   int
+
+	// scratch is the pooled split-kernel buffer set reused across every
+	// node of this (single-threaded) build.
+	scratch *split.Scratch
+	// rowSet is the per-tree membership multiset: populated with a node's
+	// rows before split search so dense nodes take the presorted fast path,
+	// then unwound after the node splits. Allocated lazily on the first
+	// dense node with a numeric candidate.
+	rowSet *dataset.RowSet
+	// hasNumeric records whether any candidate column is numeric; without
+	// one the RowSet bookkeeping buys nothing.
+	hasNumeric bool
 }
 
 func newBuilder(tbl *dataset.Table, params Params) *builder {
 	params = params.normalise(tbl)
-	return &builder{
+	b := &builder{
 		tbl:        tbl,
 		params:     params,
 		rng:        rand.New(rand.NewSource(params.Seed)),
 		numClasses: tbl.NumClasses(),
 	}
+	for _, colIdx := range b.params.Candidates {
+		if tbl.Cols[colIdx].Kind == dataset.Numeric {
+			b.hasNumeric = true
+			break
+		}
+	}
+	return b
 }
 
 func (b *builder) finish(root *Node) *Tree {
@@ -185,9 +209,21 @@ func (b *builder) build(rows []int32, depth int) *Node {
 }
 
 // bestSplit searches candidate columns for the best split at the node.
+// Dense nodes load the per-tree RowSet first so numeric columns walk their
+// presorted index; the set is unwound afterwards so the next sibling starts
+// clean (O(|rows|) per node, never O(tableRows)).
 func (b *builder) bestSplit(rows []int32) split.Candidate {
 	if b.params.ExtraTrees {
 		return b.randomSplit(rows)
+	}
+	var rs *dataset.RowSet
+	if b.hasNumeric && split.Dense(len(rows), b.tbl.NumRows()) {
+		if b.rowSet == nil {
+			b.rowSet = dataset.NewRowSet(b.tbl.NumRows())
+		}
+		rs = b.rowSet
+		rs.AddAll(rows)
+		defer rs.RemoveAll(rows)
 	}
 	best := split.Candidate{}
 	for _, colIdx := range b.params.Candidates {
@@ -196,6 +232,7 @@ func (b *builder) bestSplit(rows []int32) split.Candidate {
 			Y: b.tbl.Y(), Rows: rows,
 			Measure: b.params.Measure, NumClasses: b.numClasses,
 			MaxExhaustiveLevels: b.params.MaxExhaustiveLevels,
+			RowSet:              rs, Scratch: b.scratch,
 		})
 		if cand.Better(best) {
 			best = cand
@@ -241,6 +278,6 @@ func SeenCodes(col *dataset.Column, rows []int32) []int32 {
 			codes = append(codes, c)
 		}
 	}
-	sort.Slice(codes, func(i, j int) bool { return codes[i] < codes[j] })
+	slices.Sort(codes)
 	return codes
 }

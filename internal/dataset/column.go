@@ -10,6 +10,7 @@ package dataset
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Kind discriminates the two attribute types the paper supports: ordinal
@@ -49,6 +50,11 @@ type Column struct {
 	Cats   []int32   // categorical level codes in [0, len(Levels))
 	Levels []string  // categorical level names; nil for numeric columns
 	Miss   []uint64  // missing bitmap, bit i => row i is missing; nil if none
+
+	// sortIdx caches SortIndex's presorted permutation. It is unexported so
+	// gob transfers never ship it: a freshly received replica or gathered
+	// shard rebuilds the index lazily on first use.
+	sortIdx atomic.Pointer[[]int32]
 }
 
 // NewNumeric builds a numeric column over values. The slice is retained, not

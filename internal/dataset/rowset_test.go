@@ -1,0 +1,45 @@
+package dataset
+
+import "testing"
+
+func TestRowSetAddRemove(t *testing.T) {
+	s := NewRowSet(10)
+	if s.Cap() != 10 || s.Len() != 0 {
+		t.Fatalf("fresh set cap=%d len=%d", s.Cap(), s.Len())
+	}
+	s.Add(3)
+	s.Add(3) // duplicates accumulate (bootstrap bags)
+	s.Add(7)
+	if s.Len() != 3 || s.Count(3) != 2 || !s.Contains(7) || s.Contains(0) {
+		t.Fatalf("after adds: len=%d count3=%d", s.Len(), s.Count(3))
+	}
+	s.Remove(3)
+	if s.Count(3) != 1 || s.Len() != 2 {
+		t.Fatalf("after remove: count3=%d len=%d", s.Count(3), s.Len())
+	}
+}
+
+func TestRowSetAddAllRemoveAllRoundTrip(t *testing.T) {
+	rows := []int32{1, 5, 5, 5, 9, 0}
+	s := RowSetOf(rows, 12)
+	if s.Len() != 6 || s.Count(5) != 3 {
+		t.Fatalf("RowSetOf: len=%d count5=%d", s.Len(), s.Count(5))
+	}
+	s.RemoveAll(rows)
+	if s.Len() != 0 {
+		t.Fatalf("len %d after RemoveAll round trip", s.Len())
+	}
+	for r := int32(0); r < 12; r++ {
+		if s.Count(r) != 0 {
+			t.Fatalf("row %d count %d after round trip", r, s.Count(r))
+		}
+	}
+}
+
+func TestRowSetReset(t *testing.T) {
+	s := RowSetOf([]int32{2, 2, 4}, 6)
+	s.Reset()
+	if s.Len() != 0 || s.Contains(2) || s.Contains(4) {
+		t.Fatal("reset left residue")
+	}
+}

@@ -1,0 +1,67 @@
+package dataset
+
+import "slices"
+
+// SortIndex returns the column's presorted row permutation: every row index
+// of the column ordered by ascending value, ties broken by row index, and
+// missing rows last (also ordered by row index). Split finders walk this
+// permutation filtered by node membership to evaluate numeric splits in O(n)
+// without re-sorting per node.
+//
+// The permutation is computed once per column and cached. Columns are
+// treated as immutable after construction (the repo never mutates values in
+// place), so the cache is never invalidated; gathered shards are fresh
+// Column objects and build their own index on first use — which is how a
+// subtree-task pays the sort once per task rather than once per node.
+//
+// Concurrent callers are safe: a race between two builders publishes one of
+// two identical permutations. Returns nil for categorical columns.
+func (c *Column) SortIndex() []int32 {
+	if c.Kind != Numeric {
+		return nil
+	}
+	if p := c.sortIdx.Load(); p != nil {
+		return *p
+	}
+	idx := make([]int32, len(c.Floats))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	slices.SortFunc(idx, func(a, b int32) int {
+		am, bm := c.IsMissing(int(a)), c.IsMissing(int(b))
+		if am != bm {
+			if bm {
+				return -1
+			}
+			return 1
+		}
+		if !am {
+			va, vb := c.Floats[a], c.Floats[b]
+			if va < vb {
+				return -1
+			}
+			if va > vb {
+				return 1
+			}
+			// Equal values (or unmarked NaNs, which compare false both
+			// ways) fall through to the row-id tiebreak, matching the
+			// (value, row) order of the sort+sweep fallback exactly.
+		}
+		return int(a) - int(b)
+	})
+	c.sortIdx.Store(&idx)
+	return idx
+}
+
+// HasSortIndex reports whether the presorted permutation has already been
+// built, without building it. Used by tests and memory accounting.
+func (c *Column) HasSortIndex() bool { return c.sortIdx.Load() != nil }
+
+// SortIndexBytes returns the memory footprint of the cached permutation:
+// 4 bytes per row once built, 0 before.
+func (c *Column) SortIndexBytes() int {
+	if p := c.sortIdx.Load(); p != nil {
+		return 4 * len(*p)
+	}
+	return 0
+}

@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestSortIndexOrdersValuesMissingLast(t *testing.T) {
+	c := NewNumeric("x", []float64{5, 1, 3, 2, 4, 9, 0})
+	c.SetMissing(2)
+	c.SetMissing(5)
+	idx := c.SortIndex()
+	if len(idx) != 7 {
+		t.Fatalf("index length %d, want 7", len(idx))
+	}
+	presentN := 5
+	for i := 1; i < presentN; i++ {
+		a, b := idx[i-1], idx[i]
+		if c.Floats[a] > c.Floats[b] {
+			t.Fatalf("values out of order at %d: %g > %g", i, c.Floats[a], c.Floats[b])
+		}
+	}
+	for i := presentN; i < len(idx); i++ {
+		if !c.IsMissing(int(idx[i])) {
+			t.Fatalf("row %d at tail position %d is not missing", idx[i], i)
+		}
+	}
+	for i := presentN + 1; i < len(idx); i++ {
+		if idx[i-1] >= idx[i] {
+			t.Fatalf("missing tail not ordered by row id: %d >= %d", idx[i-1], idx[i])
+		}
+	}
+}
+
+func TestSortIndexRowTiebreakAndCaching(t *testing.T) {
+	c := NewNumeric("x", []float64{2, 1, 2, 1, 2})
+	idx := c.SortIndex()
+	want := []int32{1, 3, 0, 2, 4}
+	for i, r := range want {
+		if idx[i] != r {
+			t.Fatalf("idx = %v, want %v", idx, want)
+		}
+	}
+	if !c.HasSortIndex() {
+		t.Fatal("index not cached after build")
+	}
+	if c.SortIndexBytes() != 4*5 {
+		t.Fatalf("SortIndexBytes = %d, want 20", c.SortIndexBytes())
+	}
+	idx2 := c.SortIndex()
+	if &idx[0] != &idx2[0] {
+		t.Fatal("second call rebuilt the index instead of reusing the cache")
+	}
+}
+
+func TestSortIndexCategoricalNil(t *testing.T) {
+	c := NewCategorical("c", []int32{0, 1}, []string{"a", "b"})
+	if c.SortIndex() != nil {
+		t.Fatal("categorical column returned a sort index")
+	}
+	if c.SortIndexBytes() != 0 {
+		t.Fatal("categorical column reports index bytes")
+	}
+}
+
+func TestSortIndexFreshAfterGatherAndClone(t *testing.T) {
+	c := NewNumeric("x", []float64{3, 1, 2})
+	_ = c.SortIndex()
+	g := c.Gather([]int32{2, 0})
+	if g.HasSortIndex() {
+		t.Fatal("gathered shard inherited the parent's sort index")
+	}
+	gi := g.SortIndex()
+	if gi[0] != 0 || gi[1] != 1 { // shard values are [2, 3]
+		t.Fatalf("shard index %v, want [0 1]", gi)
+	}
+	cl := c.Clone()
+	if cl.HasSortIndex() {
+		t.Fatal("clone inherited the cached sort index")
+	}
+}
+
+func TestSortIndexConcurrentBuild(t *testing.T) {
+	vals := make([]float64, 5000)
+	rng := rand.New(rand.NewSource(7))
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	c := NewNumeric("x", vals)
+	var wg sync.WaitGroup
+	results := make([][]int32, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = c.SortIndex()
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < 8; g++ {
+		for i := range results[0] {
+			if results[0][i] != results[g][i] {
+				t.Fatalf("goroutine %d saw a different permutation at %d", g, i)
+			}
+		}
+	}
+}

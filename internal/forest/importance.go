@@ -2,7 +2,7 @@ package forest
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"treeserver/internal/core"
 	"treeserver/internal/dataset"
@@ -76,11 +76,14 @@ func RankImportance(importance []float64) []RankedFeature {
 	for i, s := range importance {
 		out[i] = RankedFeature{Col: i, Score: s}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	slices.SortFunc(out, func(a, b RankedFeature) int {
+		if a.Score != b.Score {
+			if a.Score > b.Score {
+				return -1
+			}
+			return 1
 		}
-		return out[i].Col < out[j].Col
+		return a.Col - b.Col
 	})
 	return out
 }

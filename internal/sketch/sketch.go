@@ -8,7 +8,7 @@
 package sketch
 
 import (
-	"sort"
+	"slices"
 )
 
 // Entry is one summary point: a value carrying the collapsed weight of the
@@ -16,6 +16,18 @@ import (
 type Entry struct {
 	Value  float64
 	Weight float64
+}
+
+// cmpEntryValue orders entries by ascending value for the concrete-type
+// sorts (no reflection) used by Merge and compress.
+func cmpEntryValue(a, b Entry) int {
+	if a.Value < b.Value {
+		return -1
+	}
+	if a.Value > b.Value {
+		return 1
+	}
+	return 0
 }
 
 // Sketch accumulates weighted observations and answers quantile queries.
@@ -53,7 +65,7 @@ func (s *Sketch) Merge(o *Sketch) {
 	s.entries = append(s.entries, o.entries...)
 	s.buffer = append(s.buffer, o.buffer...)
 	s.total += o.total
-	sort.Slice(s.entries, func(i, j int) bool { return s.entries[i].Value < s.entries[j].Value })
+	slices.SortFunc(s.entries, cmpEntryValue)
 	s.compress()
 }
 
@@ -68,7 +80,7 @@ func (s *Sketch) compress() {
 	}
 	all := append(s.entries, s.buffer...)
 	s.buffer = nil
-	sort.Slice(all, func(i, j int) bool { return all[i].Value < all[j].Value })
+	slices.SortFunc(all, cmpEntryValue)
 	// Collapse equal values.
 	merged := all[:0]
 	for _, e := range all {

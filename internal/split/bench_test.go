@@ -26,13 +26,25 @@ func benchColumns(n int, rng *rand.Rand) (*dataset.Column, *dataset.Column, *dat
 		dataset.NewCategorical("y", ycls, []string{"n", "p"}), dataset.NewNumeric("yr", yreg)
 }
 
-// BenchmarkFindBestNumericClassification measures the sort+sweep exact
-// splitter — the inner loop of every column-task.
+// denseRequest builds a steady-state dense-node request: RowSet covering the
+// whole table, shared Scratch, and a warm-up call so the one-time SortIndex
+// build and scratch growth happen outside the timed region.
+func denseRequest(col, y *dataset.Column, rows []int32, m impurity.Measure, k int) Request {
+	req := Request{
+		Col: col, ColIdx: 0, Y: y, Rows: rows, Measure: m, NumClasses: k,
+		RowSet:  dataset.RowSetOf(rows, col.Len()),
+		Scratch: new(Scratch),
+	}
+	FindBest(req) // warm up: builds the sort index, grows scratch buffers
+	return req
+}
+
+// BenchmarkFindBestNumericClassification measures the presorted-index fast
+// path on a dense node — the inner loop of every column-task in steady state.
 func BenchmarkFindBestNumericClassification(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	num, _, ycls, _ := benchColumns(10000, rng)
-	rows := dataset.AllRows(10000)
-	req := Request{Col: num, ColIdx: 0, Y: ycls, Rows: rows, Measure: impurity.Gini, NumClasses: 2}
+	req := denseRequest(num, ycls, dataset.AllRows(10000), impurity.Gini, 2)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -42,12 +54,44 @@ func BenchmarkFindBestNumericClassification(b *testing.B) {
 	}
 }
 
-// BenchmarkFindBestNumericRegression measures the variance sweep.
+// BenchmarkFindBestNumericClassificationFallback measures the sort+sweep
+// fallback (no RowSet), the path sparse nodes take.
+func BenchmarkFindBestNumericClassificationFallback(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	num, _, ycls, _ := benchColumns(10000, rng)
+	rows := dataset.AllRows(10000)
+	req := Request{Col: num, ColIdx: 0, Y: ycls, Rows: rows, Measure: impurity.Gini, NumClasses: 2, Scratch: new(Scratch)}
+	FindBest(req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cand := FindBest(req); !cand.Valid {
+			b.Fatal("no split")
+		}
+	}
+}
+
+// BenchmarkFindBestNumericRegression measures the variance sweep on the
+// presorted fast path.
 func BenchmarkFindBestNumericRegression(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	num, _, _, yreg := benchColumns(10000, rng)
+	req := denseRequest(num, yreg, dataset.AllRows(10000), impurity.Variance, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FindBest(req)
+	}
+}
+
+// BenchmarkFindBestNumericRegressionFallback measures the sort+sweep
+// variance fallback.
+func BenchmarkFindBestNumericRegressionFallback(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	num, _, _, yreg := benchColumns(10000, rng)
 	rows := dataset.AllRows(10000)
-	req := Request{Col: num, ColIdx: 0, Y: yreg, Rows: rows, Measure: impurity.Variance}
+	req := Request{Col: num, ColIdx: 0, Y: yreg, Rows: rows, Measure: impurity.Variance, Scratch: new(Scratch)}
+	FindBest(req)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -61,7 +105,8 @@ func BenchmarkFindBestCategoricalClassification(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	_, cat, ycls, _ := benchColumns(10000, rng)
 	rows := dataset.AllRows(10000)
-	req := Request{Col: cat, ColIdx: 0, Y: ycls, Rows: rows, Measure: impurity.Gini, NumClasses: 2}
+	req := Request{Col: cat, ColIdx: 0, Y: ycls, Rows: rows, Measure: impurity.Gini, NumClasses: 2, Scratch: new(Scratch)}
+	FindBest(req)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -74,11 +119,55 @@ func BenchmarkFindBestCategoricalRegression(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))
 	_, cat, _, yreg := benchColumns(10000, rng)
 	rows := dataset.AllRows(10000)
-	req := Request{Col: cat, ColIdx: 0, Y: yreg, Rows: rows, Measure: impurity.Variance}
+	req := Request{Col: cat, ColIdx: 0, Y: yreg, Rows: rows, Measure: impurity.Variance, Scratch: new(Scratch)}
+	FindBest(req)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		FindBest(req)
+	}
+}
+
+// TestFastPathZeroAllocs is the allocation-regression gate: once the sort
+// index is built and the scratch is grown, the presorted numeric kernel must
+// not allocate at all.
+func TestFastPathZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	num, _, ycls, yreg := benchColumns(4096, rng)
+	cls := denseRequest(num, ycls, dataset.AllRows(4096), impurity.Gini, 2)
+	if allocs := testing.AllocsPerRun(20, func() { FindBest(cls) }); allocs != 0 {
+		t.Fatalf("numeric classification fast path: %v allocs/op, want 0", allocs)
+	}
+	reg := denseRequest(num, yreg, dataset.AllRows(4096), impurity.Variance, 0)
+	if allocs := testing.AllocsPerRun(20, func() { FindBest(reg) }); allocs != 0 {
+		t.Fatalf("numeric regression fast path: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestScratchReuseZeroAllocs: with a warmed Scratch, the sort+sweep fallback
+// must run allocation-free; the categorical kernels may allocate only the
+// winning Condition's owned LeftSet copy (it outlives the scratch), nothing
+// per evaluated subset.
+func TestScratchReuseZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	num, cat, ycls, yreg := benchColumns(4096, rng)
+	rows := dataset.AllRows(4096)
+	cases := []struct {
+		name      string
+		req       Request
+		maxAllocs float64
+	}{
+		{"numeric-fallback", Request{Col: num, Y: ycls, Rows: rows, Measure: impurity.Gini, NumClasses: 2}, 0},
+		{"categorical-subset", Request{Col: cat, Y: ycls, Rows: rows, Measure: impurity.Gini, NumClasses: 2}, 1},
+		{"categorical-breiman-reg", Request{Col: cat, Y: yreg, Rows: rows, Measure: impurity.Variance}, 1},
+	}
+	for _, tc := range cases {
+		req := tc.req
+		req.Scratch = new(Scratch)
+		FindBest(req) // warm up: grows the scratch buffers
+		if allocs := testing.AllocsPerRun(20, func() { FindBest(req) }); allocs > tc.maxAllocs {
+			t.Fatalf("%s with warm scratch: %v allocs/op, want <= %v", tc.name, allocs, tc.maxAllocs)
+		}
 	}
 }
 

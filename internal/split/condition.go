@@ -7,7 +7,7 @@ package split
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"treeserver/internal/dataset"
@@ -38,7 +38,7 @@ func NewNumericCondition(col int, v float64, missingLeft bool) Condition {
 // copied and sorted.
 func NewCategoricalCondition(col int, leftSet []int32, missingLeft bool) Condition {
 	set := append([]int32(nil), leftSet...)
-	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	slices.Sort(set)
 	c := Condition{Col: col, Kind: dataset.Categorical, LeftSet: set, MissingLeft: missingLeft}
 	c.buildMask()
 	return c
@@ -61,8 +61,8 @@ func (c *Condition) LeftContains(code int32) bool {
 	if c.maskValid {
 		return code >= 0 && code < 64 && c.leftMask&(1<<uint(code)) != 0
 	}
-	i := sort.Search(len(c.LeftSet), func(i int) bool { return c.LeftSet[i] >= code })
-	return i < len(c.LeftSet) && c.LeftSet[i] == code
+	_, found := slices.BinarySearch(c.LeftSet, code)
+	return found
 }
 
 // GoesLeft evaluates the condition on row r of column col. The caller must

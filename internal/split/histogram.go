@@ -1,7 +1,7 @@
 package split
 
 import (
-	"sort"
+	"slices"
 
 	"treeserver/internal/dataset"
 	"treeserver/internal/impurity"
@@ -39,7 +39,7 @@ func ComputeBins(col *dataset.Column, colIdx, maxBins int, rows []int32) Bins {
 			values = append(values, col.Floats[r])
 		}
 	}
-	sort.Float64s(values)
+	slices.Sort(values)
 	b := Bins{Col: colIdx, Kind: dataset.Numeric}
 	if len(values) == 0 {
 		b.NumBins = 1
@@ -70,7 +70,8 @@ func (b *Bins) BinOf(col *dataset.Column, r int) int {
 		return int(col.Cats[r])
 	}
 	v := col.Floats[r]
-	return sort.SearchFloat64s(b.Thresholds, v) // first threshold >= v
+	i, _ := slices.BinarySearch(b.Thresholds, v) // first threshold >= v
+	return i
 }
 
 // Histogram holds per-bin target statistics for one (node, column) pair.
@@ -221,11 +222,14 @@ func bestCategoricalHistogramRegression(bins Bins, h *Histogram) Candidate {
 	if len(groups) < 2 {
 		return Candidate{}
 	}
-	sort.Slice(groups, func(i, j int) bool {
-		if groups[i].mean != groups[j].mean {
-			return groups[i].mean < groups[j].mean
+	slices.SortFunc(groups, func(a, b group) int {
+		if a.mean != b.mean {
+			if a.mean < b.mean {
+				return -1
+			}
+			return 1
 		}
-		return groups[i].code < groups[j].code
+		return int(a.code) - int(b.code)
 	})
 	var left, right impurity.MomentAccumulator
 	for _, g := range groups {

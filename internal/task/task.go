@@ -61,26 +61,52 @@ func (p Policy) DepthFirst(size int) bool { return size <= p.TauDFS }
 
 // Deque is the plan buffer B_plan: a mutex-protected double-ended queue.
 // The main thread pops from the head; the receiving thread pushes new plans
-// at head or tail according to the hybrid policy.
+// at head or tail according to the hybrid policy. It is a ring buffer, so
+// both PushHead (the depth-first region's common case) and PushTail are
+// amortised O(1) — the former used to shift the whole queue on every
+// depth-first insertion.
 type Deque[T any] struct {
-	mu    sync.Mutex
-	items []T
+	mu   sync.Mutex
+	buf  []T
+	head int // index of the front element within buf
+	n    int
+}
+
+// growLocked doubles the ring capacity and re-linearises it. Caller holds mu.
+func (d *Deque[T]) growLocked() {
+	newCap := 2 * len(d.buf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	buf := make([]T, newCap)
+	for i := 0; i < d.n; i++ {
+		buf[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = buf
+	d.head = 0
 }
 
 // PushHead inserts at the front (depth-first insertion / requeue of revoked
 // tasks during fault recovery).
 func (d *Deque[T]) PushHead(v T) {
 	d.mu.Lock()
-	d.items = append(d.items, v) // grow, then shift right by one
-	copy(d.items[1:], d.items)
-	d.items[0] = v
+	if d.n == len(d.buf) {
+		d.growLocked()
+	}
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = v
+	d.n++
 	d.mu.Unlock()
 }
 
 // PushTail appends at the back (breadth-first insertion).
 func (d *Deque[T]) PushTail(v T) {
 	d.mu.Lock()
-	d.items = append(d.items, v)
+	if d.n == len(d.buf) {
+		d.growLocked()
+	}
+	d.buf[(d.head+d.n)%len(d.buf)] = v
+	d.n++
 	d.mu.Unlock()
 }
 
@@ -97,11 +123,14 @@ func (d *Deque[T]) Push(v T, size int, p Policy) {
 func (d *Deque[T]) PopHead() (v T, ok bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if len(d.items) == 0 {
+	if d.n == 0 {
 		return v, false
 	}
-	v = d.items[0]
-	d.items = d.items[1:]
+	v = d.buf[d.head]
+	var zero T
+	d.buf[d.head] = zero // release the reference for GC
+	d.head = (d.head + 1) % len(d.buf)
+	d.n--
 	return v, true
 }
 
@@ -109,7 +138,7 @@ func (d *Deque[T]) PopHead() (v T, ok bool) {
 func (d *Deque[T]) Len() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return len(d.items)
+	return d.n
 }
 
 // Snapshot copies the current contents front-to-back, for tests and the
@@ -117,7 +146,11 @@ func (d *Deque[T]) Len() int {
 func (d *Deque[T]) Snapshot() []T {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return append([]T(nil), d.items...)
+	out := make([]T, d.n)
+	for i := 0; i < d.n; i++ {
+		out[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	return out
 }
 
 // Filter removes every element for which drop returns true, preserving
@@ -126,16 +159,23 @@ func (d *Deque[T]) Snapshot() []T {
 func (d *Deque[T]) Filter(drop func(T) bool) []T {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	kept := d.items[:0]
 	var removed []T
-	for _, v := range d.items {
+	kept := 0
+	for i := 0; i < d.n; i++ {
+		v := d.buf[(d.head+i)%len(d.buf)]
 		if drop(v) {
 			removed = append(removed, v)
 		} else {
-			kept = append(kept, v)
+			d.buf[(d.head+kept)%len(d.buf)] = v
+			kept++
 		}
 	}
-	d.items = kept
+	// Zero the vacated trailing slots so dropped plans do not linger.
+	var zero T
+	for i := kept; i < d.n; i++ {
+		d.buf[(d.head+i)%len(d.buf)] = zero
+	}
+	d.n = kept
 	return removed
 }
 
