@@ -33,6 +33,14 @@ type Config struct {
 	Passthrough bool
 	// JobTimeout bounds each Train call (default 5 minutes; <0 disables).
 	JobTimeout time.Duration
+	// TaskRetry enables master-side task re-execution on this per-attempt
+	// deadline (0 = off); MaxTaskAttempts bounds executions per task.
+	TaskRetry       time.Duration
+	MaxTaskAttempts int
+	// WrapEndpoint, when set, decorates every endpoint (master and workers)
+	// before use — the hook the chaos harness uses to inject faults into the
+	// fabric without the cluster knowing.
+	WrapEndpoint func(transport.Endpoint) transport.Endpoint
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +89,14 @@ func NewInProcess(tbl *dataset.Table, cfg Config) *Cluster {
 	schema := SchemaOf(tbl)
 	placement := loadbal.RoundRobin(tbl.FeatureIndexes(), cfg.Workers, cfg.Replicas)
 
+	endpoint := func(name string) transport.Endpoint {
+		ep := transport.Endpoint(net.Endpoint(name))
+		if cfg.WrapEndpoint != nil {
+			ep = cfg.WrapEndpoint(ep)
+		}
+		return ep
+	}
+
 	c := &Cluster{Net: net, cfg: cfg, start: time.Now()}
 	for w := 0; w < cfg.Workers; w++ {
 		cols := map[int]*dataset.Column{}
@@ -91,16 +107,18 @@ func NewInProcess(tbl *dataset.Table, cfg Config) *Cluster {
 				}
 			}
 		}
-		worker := NewWorker(w, net.Endpoint(WorkerName(w)), schema, cols, tbl.Y(), cfg.Compers)
+		worker := NewWorker(w, endpoint(WorkerName(w)), schema, cols, tbl.Y(), cfg.Compers)
 		worker.Start()
 		c.Workers = append(c.Workers, worker)
 	}
-	c.Master = NewMaster(net.Endpoint(MasterName), schema, placement, MasterConfig{
+	c.Master = NewMaster(endpoint(MasterName), schema, placement, MasterConfig{
 		NumWorkers: cfg.Workers, Policy: cfg.Policy,
 		Heartbeat:        cfg.Heartbeat,
 		RoundRobinAssign: cfg.RoundRobinAssign,
 		RelayRows:        cfg.RelayRows,
 		JobTimeout:       cfg.JobTimeout,
+		TaskRetry:        cfg.TaskRetry,
+		MaxTaskAttempts:  cfg.MaxTaskAttempts,
 	})
 	c.Master.Start()
 	return c

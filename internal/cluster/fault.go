@@ -35,27 +35,8 @@ func (m *Master) heartbeatLoop() {
 		case <-ticker.C:
 		}
 		seq++
-		// A worker is failed when its latest pong lags the freshest pong
-		// from any worker by more than missedProbes probes. The relative
-		// comparison makes detection robust to master-side queue lag, which
-		// delays all pongs equally; the generous budget tolerates workers
-		// whose receive loop briefly stalls on large data requests.
-		const missedProbes = 20
 		m.mu.Lock()
-		var maxSeq int64
-		for w := 0; w < m.cfg.NumWorkers; w++ {
-			if m.alive[w] && m.lastSeq[w] > maxSeq {
-				maxSeq = m.lastSeq[w]
-			}
-		}
-		var failed []int
-		if maxSeq > missedProbes {
-			for w := 0; w < m.cfg.NumWorkers; w++ {
-				if m.alive[w] && maxSeq-m.lastSeq[w] > missedProbes {
-					failed = append(failed, w)
-				}
-			}
-		}
+		failed := failedWorkers(m.alive, m.lastSeq, heartbeatMissedProbes)
 		m.mu.Unlock()
 		for _, w := range failed {
 			m.NotifyWorkerFailure(w)
@@ -64,6 +45,37 @@ func (m *Master) heartbeatLoop() {
 			m.send(w, PingMsg{Seq: seq})
 		}
 	}
+}
+
+// heartbeatMissedProbes is the failure-detection budget: a worker is failed
+// when its latest pong lags the freshest pong by more than this many probes.
+const heartbeatMissedProbes = 20
+
+// failedWorkers applies the relative-lag detection rule to a pong-sequence
+// snapshot: a worker is failed when its latest pong lags the freshest pong
+// from any alive worker by more than missedProbes probes. The relative
+// comparison makes detection robust to master-side queue lag, which delays
+// all pongs equally; the generous budget tolerates workers whose receive
+// loop briefly stalls on large data requests. No worker is failed until the
+// freshest pong itself clears the budget, so a cluster that is merely slow
+// to start never triggers detection.
+func failedWorkers(alive []bool, lastSeq []int64, missedProbes int64) []int {
+	var maxSeq int64
+	for w := range alive {
+		if alive[w] && lastSeq[w] > maxSeq {
+			maxSeq = lastSeq[w]
+		}
+	}
+	if maxSeq <= missedProbes {
+		return nil
+	}
+	var failed []int
+	for w := range alive {
+		if alive[w] && maxSeq-lastSeq[w] > missedProbes {
+			failed = append(failed, w)
+		}
+	}
+	return failed
 }
 
 // NotifyWorkerFailure runs the recovery protocol for a failed worker. The
@@ -105,7 +117,7 @@ func (m *Master) NotifyWorkerFailure(failed int) {
 		}
 		for w := range entry.involved {
 			if w != failed && m.alive[w] {
-				m.send(w, DropTaskMsg{Task: id})
+				m.send(w, DropTaskMsg{Task: id, Attempt: entry.plan.attempt})
 			}
 		}
 		m.matrix.Revert(entry.charges)

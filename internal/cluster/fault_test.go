@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Unit tests for the heartbeat failure detector's decision rule, driven by
+// injected pong-sequence snapshots (no cluster, no clock).
+
+func TestFailedWorkersLaggingWorkerDetected(t *testing.T) {
+	alive := []bool{true, true, true, true}
+	// Worker 2 stopped ponging at seq 4; the freshest worker is at 40.
+	lastSeq := []int64{40, 39, 4, 38}
+	got := failedWorkers(alive, lastSeq, 20)
+	if !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("failedWorkers = %v, want [2]", got)
+	}
+}
+
+func TestFailedWorkersExactBudgetIsNotFailure(t *testing.T) {
+	alive := []bool{true, true}
+	// Lag of exactly missedProbes stays inside the budget...
+	if got := failedWorkers(alive, []int64{41, 21}, 20); got != nil {
+		t.Fatalf("lag == budget flagged %v", got)
+	}
+	// ...one more probe crosses it.
+	if got := failedWorkers(alive, []int64{42, 21}, 20); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("lag == budget+1 flagged %v, want [1]", got)
+	}
+}
+
+func TestFailedWorkersNoDetectionDuringWarmup(t *testing.T) {
+	// Until the freshest pong itself clears the budget, nobody is failed —
+	// even a worker that has never ponged (seq 0) at startup.
+	alive := []bool{true, true, true}
+	if got := failedWorkers(alive, []int64{20, 3, 0}, 20); got != nil {
+		t.Fatalf("warmup snapshot flagged %v", got)
+	}
+}
+
+func TestFailedWorkersMasterLagDelaysAllPongsEqually(t *testing.T) {
+	// The master's receive queue backing up delays every pong equally: each
+	// worker's lastSeq is far behind the probes actually sent, but their
+	// relative lag is small. Absolute-lag detection would kill the whole
+	// cluster here; the relative rule must keep everyone alive.
+	alive := []bool{true, true, true, true}
+	probesSent := int64(1000)
+	lastSeq := []int64{probesSent - 600, probesSent - 590, probesSent - 605, probesSent - 598}
+	if got := failedWorkers(alive, lastSeq, 20); got != nil {
+		t.Fatalf("equal master-side lag flagged %v, want none", got)
+	}
+	// The same absolute sequences with one genuinely dead worker still
+	// isolate exactly that worker.
+	lastSeq[2] = probesSent - 700
+	if got := failedWorkers(alive, lastSeq, 20); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("dead worker among lagged pongs flagged %v, want [2]", got)
+	}
+}
+
+func TestFailedWorkersIgnoresDeadWorkers(t *testing.T) {
+	// Already-failed workers neither anchor the freshest pong nor get
+	// re-reported.
+	alive := []bool{false, true, true}
+	lastSeq := []int64{500, 40, 39} // w0's stale high seq must not count
+	if got := failedWorkers(alive, lastSeq, 20); got != nil {
+		t.Fatalf("dead worker's seq influenced detection: %v", got)
+	}
+	// And a dead worker lagging far behind is not reported again.
+	lastSeq = []int64{2, 100, 99}
+	if got := failedWorkers(alive, lastSeq, 20); got != nil {
+		t.Fatalf("dead worker re-reported: %v", got)
+	}
+}
+
+func TestFailedWorkersMultipleFailures(t *testing.T) {
+	alive := []bool{true, true, true, true}
+	lastSeq := []int64{100, 2, 100, 5}
+	if got := failedWorkers(alive, lastSeq, 20); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Fatalf("failedWorkers = %v, want [1 3]", got)
+	}
+}

@@ -39,6 +39,15 @@ type MasterConfig struct {
 	RelayRows bool
 	// JobTimeout bounds Train; zero means no limit.
 	JobTimeout time.Duration
+	// TaskRetry enables master-side task re-execution: a task with no result
+	// after TaskRetry (doubled per attempt) is revoked and requeued, up to
+	// MaxTaskAttempts. It is the recovery of last resort for messages lost in
+	// the fabric — transport retries cannot see a silently dropped delivery.
+	// Zero disables re-execution.
+	TaskRetry time.Duration
+	// MaxTaskAttempts bounds executions per task (default 5 when TaskRetry
+	// is set); exhausting it fails the job.
+	MaxTaskAttempts int
 }
 
 // plan is a task not yet assigned to workers (an element of B_plan).
@@ -61,12 +70,14 @@ type mtask struct {
 	plan       *plan
 	charges    []loadbal.Charge
 	involved   map[int]bool
+	got        map[int]bool // workers whose result arrived (dedups retries)
 	expected   int
 	received   int
 	best       split.Candidate
 	bestWorker int
 	stats      NodeStats
 	statsSet   bool
+	assignedAt time.Time // when this attempt's plans were shipped
 }
 
 // assembly tracks one tree under construction.
@@ -157,6 +168,10 @@ func (m *Master) Start() {
 	if m.cfg.Heartbeat > 0 {
 		m.wg.Add(1)
 		go m.heartbeatLoop()
+	}
+	if m.cfg.TaskRetry > 0 {
+		m.wg.Add(1)
+		go m.retryLoop()
 	}
 }
 
@@ -339,7 +354,12 @@ func (m *Master) assignAndSend(p *plan) {
 	}
 
 	p.attempt++
-	entry := &mtask{plan: p, charges: assignment.Charges, involved: map[int]bool{}}
+	attempt := p.attempt // capture under the lock; retryLoop may bump it later
+	entry := &mtask{
+		plan: p, charges: assignment.Charges,
+		involved: map[int]bool{}, got: map[int]bool{},
+		assignedAt: time.Now(),
+	}
 	if p.kind == task.SubtreeTask {
 		entry.expected = 1
 		entry.involved[assignment.KeyWorker] = true
@@ -362,7 +382,7 @@ func (m *Master) assignAndSend(p *plan) {
 	if p.kind == task.SubtreeTask {
 		params := subtreeParams
 		m.send(assignment.KeyWorker, SubtreePlanMsg{
-			Task: p.id, Attempt: p.attempt, Tree: p.tree, Depth: p.depth, Size: p.size,
+			Task: p.id, Attempt: attempt, Tree: p.tree, Depth: p.depth, Size: p.size,
 			Parent: p.parent, Params: params, ColServer: assignment.ColumnServer,
 			Rows: p.rows,
 		})
@@ -370,7 +390,7 @@ func (m *Master) assignAndSend(p *plan) {
 	}
 	for w, wcols := range assignment.PerWorkerColumns() {
 		m.send(w, ColumnPlanMsg{
-			Task: p.id, Attempt: p.attempt, Tree: p.tree, Depth: p.depth, Size: p.size,
+			Task: p.id, Attempt: attempt, Tree: p.tree, Depth: p.depth, Size: p.size,
 			Cols: wcols, Parent: p.parent,
 			Measure: measure, NumClasses: numClasses, MaxExh: maxExh,
 			Random: randomDraw, RandomSeed: drawSeed,
@@ -379,8 +399,12 @@ func (m *Master) assignAndSend(p *plan) {
 	}
 }
 
+// send ships a control message with bounded retry: transient fabric errors
+// are retried under the default backoff policy, permanent ones (peer crashed,
+// endpoint closed) are left to the fault-recovery path. Deliveries the fabric
+// silently loses are recovered by task re-execution (retryLoop), not here.
 func (m *Master) send(worker int, payload any) {
-	_ = m.ep.Send(WorkerName(worker), payload)
+	_ = transport.SendWithRetry(m.ep, WorkerName(worker), payload, transport.DefaultRetryPolicy())
 }
 
 // --- θ_recv: result processing and tree assembly ---
@@ -419,10 +443,11 @@ func (m *Master) recvLoop() {
 func (m *Master) handleColumnResult(msg ColumnResultMsg) {
 	m.mu.Lock()
 	entry, ok := m.tasks[msg.Task]
-	if !ok || entry.plan.attempt != msg.Attempt {
+	if !ok || entry.plan.attempt != msg.Attempt || entry.got[msg.Worker] {
 		m.mu.Unlock()
-		return
+		return // unknown task, revoked attempt, or duplicate delivery
 	}
+	entry.got[msg.Worker] = true
 	entry.received++
 	if !entry.statsSet {
 		entry.stats, entry.statsSet = msg.Stats, true
@@ -451,7 +476,7 @@ func (m *Master) decideSplitLocked(entry *mtask) {
 			// Extra-trees drew a constant column: redraw and retry.
 			p.tries++
 			for w := range entry.involved {
-				m.send(w, DropTaskMsg{Task: p.id})
+				m.send(w, DropTaskMsg{Task: p.id, Attempt: p.attempt})
 			}
 			m.matrix.Revert(entry.charges)
 			delete(m.tasks, p.id)
@@ -464,10 +489,10 @@ func (m *Master) decideSplitLocked(entry *mtask) {
 	// Confirm the winner; everyone else drops their task object.
 	for w := range entry.involved {
 		if w != entry.bestWorker {
-			m.send(w, DropTaskMsg{Task: p.id})
+			m.send(w, DropTaskMsg{Task: p.id, Attempt: p.attempt})
 		}
 	}
-	m.send(entry.bestWorker, ConfirmSplitMsg{Task: p.id, Cond: entry.best.Cond, Relay: m.cfg.RelayRows})
+	m.send(entry.bestWorker, ConfirmSplitMsg{Task: p.id, Attempt: p.attempt, Cond: entry.best.Cond, Relay: m.cfg.RelayRows})
 }
 
 // makeLeafLocked turns the task's node into a leaf (pure node, or no column
@@ -478,7 +503,7 @@ func (m *Master) makeLeafLocked(entry *mtask) {
 		entry.stats.Fill(p.node)
 	}
 	for w := range entry.involved {
-		m.send(w, DropTaskMsg{Task: p.id})
+		m.send(w, DropTaskMsg{Task: p.id, Attempt: p.attempt})
 	}
 	m.matrix.Revert(entry.charges)
 	delete(m.tasks, p.id)
@@ -635,13 +660,91 @@ func finalizeTree(root *core.Node, schema Schema) *core.Tree {
 func (m *Master) handleWorkerError(msg WorkerErrorMsg) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, live := m.tasks[msg.Task]; !live && msg.Task != 0 {
+	entry, live := m.tasks[msg.Task]
+	if !live && msg.Task != 0 {
 		return // stale error from a revoked task
 	}
 	if msg.Worker >= 0 && msg.Worker < len(m.alive) && !m.alive[msg.Worker] {
 		return
 	}
+	if live && m.cfg.TaskRetry > 0 {
+		// A transient protocol failure (lost rows, missing replica mid-copy):
+		// re-execute the task instead of failing the job.
+		m.requeueTaskLocked(msg.Task, entry, fmt.Sprintf("worker %d: %s", msg.Worker, msg.Err))
+		return
+	}
 	m.failJobLocked(fmt.Errorf("cluster: worker %d task %d: %s", msg.Worker, msg.Task, msg.Err))
+}
+
+// --- Task re-execution (recovery of last resort for lost messages) ---
+
+// retryLoop periodically revokes and requeues tasks whose current attempt has
+// outlived its deadline. Together with attempt-tagged messages this gives the
+// protocol at-least-once task execution over a lossy fabric: any plan, result,
+// confirm or row transfer the fabric drops is eventually recovered by
+// re-executing the task from its (still reachable) parent row sets.
+func (m *Master) retryLoop() {
+	defer m.wg.Done()
+	interval := m.cfg.TaskRetry / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+		}
+		m.mu.Lock()
+		var stale []task.ID
+		now := time.Now()
+		for id, entry := range m.tasks {
+			if now.Sub(entry.assignedAt) > m.attemptDeadline(entry.plan.attempt) {
+				stale = append(stale, id)
+			}
+		}
+		for _, id := range stale {
+			if entry, ok := m.tasks[id]; ok {
+				m.requeueTaskLocked(id, entry, "no result before attempt deadline")
+			}
+		}
+		m.mu.Unlock()
+	}
+}
+
+// attemptDeadline is TaskRetry doubled per prior attempt (capped), so
+// re-executions back off exponentially under persistent faults.
+func (m *Master) attemptDeadline(attempt int) time.Duration {
+	d := m.cfg.TaskRetry
+	for i := 1; i < attempt && i < 6; i++ {
+		d *= 2
+	}
+	return d
+}
+
+// requeueTaskLocked revokes the task's current attempt at every involved
+// worker and requeues the plan at the head of B_plan; assignAndSend will bump
+// the attempt so stale messages from this execution are ignored everywhere.
+func (m *Master) requeueTaskLocked(id task.ID, entry *mtask, reason string) {
+	p := entry.plan
+	maxAttempts := m.cfg.MaxTaskAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 5
+	}
+	if p.attempt >= maxAttempts {
+		m.failJobLocked(fmt.Errorf("cluster: task %d failed after %d attempts: %s", id, p.attempt, reason))
+		return
+	}
+	for w := range entry.involved {
+		if w >= 0 && w < len(m.alive) && m.alive[w] {
+			m.send(w, DropTaskMsg{Task: id, Attempt: p.attempt})
+		}
+	}
+	m.matrix.Revert(entry.charges)
+	delete(m.tasks, id)
+	m.bplan.PushHead(p)
 }
 
 func (m *Master) failJobLocked(err error) {

@@ -208,7 +208,10 @@ type SubtreePlanMsg struct {
 // Cond, report SplitDoneMsg, and retain I_xl / I_xr for the child tasks.
 type ConfirmSplitMsg struct {
 	Task task.ID
-	Cond split.Condition
+	// Attempt must match the worker's task attempt; confirms from a revoked
+	// execution are ignored.
+	Attempt int
+	Cond    split.Condition
 	// Relay asks the delegate to ship I_xl and I_xr back to the master in
 	// SplitDoneMsg (relay-rows ablation).
 	Relay bool
@@ -218,6 +221,10 @@ type ConfirmSplitMsg struct {
 // column-task workers, revoked tasks during fault recovery).
 type DropTaskMsg struct {
 	Task task.ID
+	// Attempt scopes the drop: a worker discards its task object only when
+	// its attempt is <= Attempt, so a delayed drop from a revoked execution
+	// cannot destroy the state of a newer one.
+	Attempt int
 }
 
 // ReleaseSideMsg tells the delegate worker that no further requests for the
@@ -326,7 +333,10 @@ type RowsResponseMsg struct {
 // task's rows; the server fetches I_x from the parent delegate itself, so
 // the key worker never relays rows either.
 type ColDataRequestMsg struct {
-	ForTask   task.ID
+	ForTask task.ID
+	// Attempt is echoed into the response so the key worker can discard
+	// shards gathered for a revoked execution (whose column set may differ).
+	Attempt   int
 	Cols      []int
 	Parent    ParentRef
 	KeyWorker int
@@ -340,6 +350,7 @@ type ColDataRequestMsg struct {
 // ColDataResponseMsg returns the gathered column shards, aligned with Cols.
 type ColDataResponseMsg struct {
 	ForTask task.ID
+	Attempt int
 	Cols    []int
 	Data    []*dataset.Column
 }

@@ -46,13 +46,55 @@ func (m *Master) SetTarget(y []float64) error {
 	if timeout <= 0 {
 		timeout = time.Minute
 	}
-	select {
-	case <-ackCh:
-	case <-time.After(timeout):
-		return fmt.Errorf("cluster: target update not acknowledged by all workers within %v", timeout)
-	case <-m.stop:
-		return fmt.Errorf("cluster: master stopped")
+	// Re-send to unacked workers until everyone confirms: the update is
+	// idempotent on the worker, and over a lossy fabric either the message or
+	// its ack can vanish. Without TaskRetry a single send must suffice, so
+	// resends only arm when the re-execution machinery is on.
+	resendEvery := m.cfg.TaskRetry
+	if resendEvery <= 0 {
+		resendEvery = timeout
 	}
+	resend := time.NewTicker(resendEvery)
+	defer resend.Stop()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case <-ackCh:
+			goto acked
+		case <-resend.C:
+			m.mu.Lock()
+			var unacked []int
+			live := 0
+			for _, w := range alive {
+				if !m.alive[w] {
+					continue
+				}
+				live++
+				if !m.targetAcks[w] {
+					unacked = append(unacked, w)
+				}
+			}
+			// A worker that died mid-update is out of the quorum: once every
+			// still-alive worker has acked, the update is complete (the dead
+			// worker's columns are re-replicated from survivors that did ack).
+			done := live > 0 && len(unacked) == 0
+			if done {
+				m.targetAckCh = nil
+			}
+			m.mu.Unlock()
+			if done {
+				goto acked
+			}
+			for _, w := range unacked {
+				m.send(w, SetTargetMsg{Seq: seq, Y: y})
+			}
+		case <-deadline:
+			return fmt.Errorf("cluster: target update not acknowledged by all workers within %v", timeout)
+		case <-m.stop:
+			return fmt.Errorf("cluster: master stopped")
+		}
+	}
+acked:
 
 	m.mu.Lock()
 	m.schema.NumClasses = 0

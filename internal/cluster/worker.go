@@ -57,7 +57,12 @@ type wtask struct {
 	colPlan *ColumnPlanMsg
 	attempt int
 	rows    []int32
-	// Delegate state after ConfirmSplit.
+	// Delegate state after ConfirmSplit. confirmed and released guard against
+	// duplicate deliveries: a re-sent confirm must not re-partition, and a
+	// duplicated release must not double-decrement pendingReleases and free
+	// the other side's rows early.
+	confirmed           bool
+	released            [2]bool
 	leftRows, rightRows []int32
 	pendingReleases     int
 	// Subtree-task (key worker) state.
@@ -179,9 +184,10 @@ func (w *Worker) recvLoop() {
 }
 
 func (w *Worker) send(to string, payload any) {
-	// Send errors mean the peer crashed or the job is over; the master's
-	// fault-recovery path owns those situations, so sends are best-effort.
-	_ = w.ep.Send(to, payload)
+	// Transient fabric errors are retried with bounded backoff; permanent
+	// errors mean the peer crashed or the job is over, and the master's
+	// fault-recovery and task re-execution paths own those situations.
+	_ = transport.SendWithRetry(w.ep, to, payload, transport.DefaultRetryPolicy())
 }
 
 func (w *Worker) fail(t task.ID, format string, args ...any) {
@@ -250,6 +256,10 @@ func (w *Worker) lookupSideRows(parent task.ID, side uint8) ([]int32, bool) {
 func (w *Worker) handleColumnPlan(msg ColumnPlanMsg) {
 	entry := &wtask{colPlan: &msg, attempt: msg.Attempt}
 	w.mu.Lock()
+	if prev, ok := w.tasks[msg.Task]; ok && prev.attempt >= msg.Attempt {
+		w.mu.Unlock()
+		return // duplicated or stale plan delivery; keep the live state
+	}
 	w.tasks[msg.Task] = entry
 	w.mu.Unlock()
 	if msg.Rows != nil { // relay-rows ablation: I_x arrived with the plan
@@ -358,8 +368,14 @@ func (w *Worker) handleConfirm(msg ConfirmSplitMsg) {
 		col = w.cols[msg.Cond.Col]
 	}
 	w.mu.Unlock()
-	if !ok || entry.rows == nil {
-		w.fail(msg.Task, "confirm for unknown task")
+	if !ok || entry.attempt != msg.Attempt || entry.confirmed {
+		// Dropped task, revoked attempt, or a duplicated confirm delivery:
+		// all expected under lossy fabrics — the master's re-execution owns
+		// recovery, so a stale confirm is silently ignored.
+		return
+	}
+	if entry.rows == nil {
+		w.fail(msg.Task, "confirm for task with no rows")
 		return
 	}
 	if col == nil {
@@ -381,6 +397,7 @@ func (w *Worker) handleConfirm(msg ConfirmSplitMsg) {
 	}
 	w.mu.Lock()
 	entry.rows = nil
+	entry.confirmed = true
 	entry.leftRows, entry.rightRows = left, right
 	entry.pendingReleases = 2
 	w.mu.Unlock()
@@ -391,9 +408,10 @@ func (w *Worker) handleRelease(msg ReleaseSideMsg) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	entry, ok := w.tasks[msg.Task]
-	if !ok {
-		return
+	if !ok || msg.Side > 1 || entry.released[msg.Side] {
+		return // unknown task or duplicated release
 	}
+	entry.released[msg.Side] = true
 	if msg.Side == 0 {
 		entry.leftRows = nil
 	} else {
@@ -407,8 +425,10 @@ func (w *Worker) handleRelease(msg ReleaseSideMsg) {
 
 func (w *Worker) handleDrop(msg DropTaskMsg) {
 	w.mu.Lock()
-	delete(w.tasks, msg.Task)
-	delete(w.rowWaits, msg.Task)
+	if entry, ok := w.tasks[msg.Task]; ok && entry.attempt <= msg.Attempt {
+		delete(w.tasks, msg.Task)
+		delete(w.rowWaits, msg.Task)
+	}
 	w.mu.Unlock()
 }
 
@@ -438,6 +458,10 @@ func (w *Worker) handleRowsResponse(msg RowsResponseMsg) {
 func (w *Worker) handleSubtreePlan(msg SubtreePlanMsg) {
 	entry := &wtask{subPlan: &msg, attempt: msg.Attempt, shards: map[int]*dataset.Column{}}
 	w.mu.Lock()
+	if prev, ok := w.tasks[msg.Task]; ok && prev.attempt >= msg.Attempt {
+		w.mu.Unlock()
+		return // duplicated or stale plan delivery; keep the live state
+	}
 	w.tasks[msg.Task] = entry
 	w.mu.Unlock()
 	withRows := func(rows []int32) {
@@ -461,7 +485,7 @@ func (w *Worker) handleSubtreePlan(msg SubtreePlanMsg) {
 		for server, cols := range perWorker {
 			sort.Ints(cols)
 			req := ColDataRequestMsg{
-				ForTask: msg.Task, Cols: cols, Parent: msg.Parent,
+				ForTask: msg.Task, Attempt: msg.Attempt, Cols: cols, Parent: msg.Parent,
 				KeyWorker: w.id, Requester: w.id,
 			}
 			if msg.Rows != nil {
@@ -508,7 +532,7 @@ func (w *Worker) handleColDataRequest(msg ColDataRequestMsg) {
 			data[i] = col.Gather(rows)
 		}
 		w.mu.Unlock()
-		w.send(WorkerName(msg.KeyWorker), ColDataResponseMsg{ForTask: msg.ForTask, Cols: msg.Cols, Data: data})
+		w.send(WorkerName(msg.KeyWorker), ColDataResponseMsg{ForTask: msg.ForTask, Attempt: msg.Attempt, Cols: msg.Cols, Data: data})
 	}
 	// Serving runs off the receive loop so a large gather cannot delay
 	// heartbeat replies or other peers' row requests; it also waits for any
@@ -526,7 +550,9 @@ func (w *Worker) handleColDataRequest(msg ColDataRequestMsg) {
 func (w *Worker) handleColDataResponse(msg ColDataResponseMsg) {
 	w.mu.Lock()
 	entry, ok := w.tasks[msg.ForTask]
-	if !ok || entry.subPlan == nil {
+	if !ok || entry.subPlan == nil || entry.attempt != msg.Attempt {
+		// Unknown task or shards gathered for a revoked attempt, whose
+		// column set may not match this attempt's requests.
 		w.mu.Unlock()
 		return
 	}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"treeserver/internal/split"
+)
+
+// Canonical tree serialization for the distributed-vs-serial equivalence
+// harness. Canon renders every node field — floats in hex so equality is
+// bit-for-bit, not print-rounded — and DiffTrees pinpoints the first
+// divergent node by its root path, which is far more actionable in a chaos
+// failure than a bare "trees differ".
+//
+// Node IDs are deliberately excluded: the distributed assembler numbers
+// nodes in completion order, so IDs may differ between two semantically
+// identical trees. Position is addressed by the L/R path from the root
+// instead.
+
+// hexF formats a float64 exactly (hex mantissa/exponent, -0 and NaN kept
+// distinct from 0).
+func hexF(v float64) string {
+	return strconv.FormatFloat(v, 'x', -1, 64)
+}
+
+func canonCond(c *split.Condition) string {
+	if c == nil {
+		return "leaf"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "col=%d kind=%d thr=%s missLeft=%v", c.Col, c.Kind, hexF(c.Threshold), c.MissingLeft)
+	if c.LeftSet != nil {
+		b.WriteString(" left=[")
+		for i, v := range c.LeftSet {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", v)
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+func canonNode(n *Node, path string) string {
+	var b strings.Builder
+	if path == "" {
+		path = "."
+	}
+	fmt.Fprintf(&b, "%s depth=%d n=%d %s", path, n.Depth, n.N, canonCond(n.Cond))
+	if n.SeenCodes != nil {
+		b.WriteString(" seen=[")
+		for i, v := range n.SeenCodes {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", v)
+		}
+		b.WriteByte(']')
+	}
+	if n.PMF != nil {
+		b.WriteString(" pmf=[")
+		for i, v := range n.PMF {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(hexF(v))
+		}
+		b.WriteByte(']')
+	}
+	fmt.Fprintf(&b, " class=%d mean=%s", n.Class, hexF(n.Mean))
+	return b.String()
+}
+
+// Canon serializes the tree into one line per node, pre-order, with exact
+// (hex) float formatting. Two trees are bit-for-bit equivalent iff their
+// Canon strings are equal.
+func (t *Tree) Canon() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tree task=%d classes=%d\n", t.Task, t.NumClasses)
+	var rec func(n *Node, path string)
+	rec = func(n *Node, path string) {
+		if n == nil {
+			return
+		}
+		b.WriteString(canonNode(n, path))
+		b.WriteByte('\n')
+		rec(n.Left, path+"L")
+		rec(n.Right, path+"R")
+	}
+	rec(t.Root, "")
+	return b.String()
+}
+
+// DiffTrees compares two trees node by node in pre-order and returns a
+// description of the first divergence ("" when the trees are bit-for-bit
+// identical). The description names the path of the divergent node and
+// shows both canonical renderings.
+func DiffTrees(a, b *Tree) string {
+	if a == nil || b == nil {
+		if a == b {
+			return ""
+		}
+		return "one tree is nil"
+	}
+	if a.Task != b.Task || a.NumClasses != b.NumClasses {
+		return fmt.Sprintf("header differs: task=%d classes=%d vs task=%d classes=%d",
+			a.Task, a.NumClasses, b.Task, b.NumClasses)
+	}
+	var rec func(x, y *Node, path string) string
+	rec = func(x, y *Node, path string) string {
+		if x == nil && y == nil {
+			return ""
+		}
+		label := path
+		if label == "" {
+			label = "."
+		}
+		if (x == nil) != (y == nil) {
+			return fmt.Sprintf("node %s: present in one tree only (a=%v b=%v)", label, x != nil, y != nil)
+		}
+		if ca, cb := canonNode(x, path), canonNode(y, path); ca != cb {
+			return fmt.Sprintf("node %s differs:\n  a: %s\n  b: %s", label, ca, cb)
+		}
+		if d := rec(x.Left, y.Left, path+"L"); d != "" {
+			return d
+		}
+		return rec(x.Right, y.Right, path+"R")
+	}
+	return rec(a.Root, b.Root, "")
+}

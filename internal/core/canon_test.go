@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"treeserver/internal/dataset"
+)
+
+func copyNode(n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	c := *n
+	if n.Cond != nil {
+		cond := *n.Cond
+		cond.LeftSet = append([]int32(nil), n.Cond.LeftSet...)
+		c.Cond = &cond
+	}
+	c.SeenCodes = append([]int32(nil), n.SeenCodes...)
+	c.PMF = append([]float64(nil), n.PMF...)
+	c.Left = copyNode(n.Left)
+	c.Right = copyNode(n.Right)
+	return &c
+}
+
+func copyTree(t *Tree) *Tree {
+	c := *t
+	c.Root = copyNode(t.Root)
+	return &c
+}
+
+// TestCanonProperty: an exact copy of any random tree canonicalizes to the
+// same string and diffs empty; Equal agrees.
+func TestCanonProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree := &Tree{Root: randomTree(rng, 0), Task: dataset.Classification, NumClasses: 3}
+		cp := copyTree(tree)
+		return tree.Canon() == cp.Canon() && DiffTrees(tree, cp) == "" && tree.Equal(cp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCanonIsBitExact: a one-ULP perturbation anywhere must change the
+// canonical form — %v-style rounding would mask it.
+func TestCanonIsBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tree := &Tree{Root: randomTree(rng, 0), Task: dataset.Classification, NumClasses: 3}
+	cp := copyTree(tree)
+	cp.Root.Mean = math.Nextafter(cp.Root.Mean, math.Inf(1))
+	if tree.Canon() == cp.Canon() {
+		t.Fatal("one-ULP mean change left Canon unchanged")
+	}
+	if d := DiffTrees(tree, cp); d == "" || !strings.Contains(d, "node .") {
+		t.Fatalf("diff %q should name the root node", d)
+	}
+	// Negative zero is not zero.
+	a := &Tree{Root: &Node{N: 1, Mean: 0}}
+	b := &Tree{Root: &Node{N: 1, Mean: math.Copysign(0, -1)}}
+	if DiffTrees(a, b) == "" {
+		t.Fatal("0 and -0 canonicalize identically")
+	}
+}
+
+// TestDiffTreesPinpointsFirstDivergentNode: the diff must name the path of
+// the first pre-order divergence, not just report inequality.
+func TestDiffTreesPinpointsFirstDivergentNode(t *testing.T) {
+	leaf := func(n int) *Node { return &Node{N: n, Depth: 2} }
+	build := func() *Tree {
+		return &Tree{Root: &Node{
+			N: 4, Depth: 0,
+			Left:  &Node{N: 2, Depth: 1, Left: leaf(1), Right: leaf(1)},
+			Right: &Node{N: 2, Depth: 1, Left: leaf(1), Right: leaf(1)},
+		}}
+	}
+	a, b := build(), build()
+	b.Root.Right.Left.Mean = 1.5
+	d := DiffTrees(a, b)
+	if !strings.Contains(d, "node RL") {
+		t.Fatalf("diff %q should name node RL", d)
+	}
+	// Structural divergence: a child missing on one side.
+	c := build()
+	c.Root.Left.Right = nil
+	if d := DiffTrees(a, c); !strings.Contains(d, "node LR") || !strings.Contains(d, "present in one tree only") {
+		t.Fatalf("diff %q should report LR present in one tree only", d)
+	}
+	// PMF differences are caught even though Tree.Equal ignores them.
+	e := build()
+	e.Root.Left.PMF = []float64{0.25, 0.75}
+	f := copyTree(e)
+	f.Root.Left.PMF = []float64{0.75, 0.25}
+	if !e.Equal(f) {
+		t.Fatal("sanity: Equal ignores PMF")
+	}
+	if d := DiffTrees(e, f); !strings.Contains(d, "node L") {
+		t.Fatalf("diff %q should catch PMF divergence at L", d)
+	}
+}
+
+// TestCanonHeaderMismatch: task/class metadata differences are reported
+// before any node walk.
+func TestCanonHeaderMismatch(t *testing.T) {
+	a := &Tree{Root: &Node{N: 1}, Task: dataset.Classification, NumClasses: 2}
+	b := &Tree{Root: &Node{N: 1}, Task: dataset.Classification, NumClasses: 3}
+	if d := DiffTrees(a, b); !strings.Contains(d, "header differs") {
+		t.Fatalf("diff %q should report header mismatch", d)
+	}
+	if d := DiffTrees(nil, a); d == "" {
+		t.Fatal("nil vs tree must diff")
+	}
+	if d := DiffTrees(nil, nil); d != "" {
+		t.Fatalf("nil vs nil diffs: %q", d)
+	}
+}

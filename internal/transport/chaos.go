@@ -1,0 +1,401 @@
+package transport
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ChaosNetwork decorates any Endpoint fabric (mem or TCP) with deterministic
+// fault injection: per-link message drops, fixed/jittered delays,
+// duplication, reordering, transient send errors, temporary partitions and
+// scheduled endpoint kills. Every decision is drawn from a per-link
+// rand.Rand seeded by (Seed, link), consumes a fixed number of draws per
+// message, and is appended to a replayable trace — so the k-th message on
+// any link suffers exactly the same fate on every run of the same
+// (seed, plan) pair, regardless of how goroutines interleave across links.
+//
+// A killed endpoint behaves like a machine whose NIC died mid-packet: its
+// own sends fail with ErrCrashed and traffic addressed to it is silently
+// swallowed. Nothing is closed cleanly, which is exactly what the cluster's
+// failure detector must cope with.
+type ChaosNetwork struct {
+	seed int64
+	plan FaultPlan
+
+	mu     sync.Mutex
+	links  map[string]*chaosLink
+	sends  map[string]int // per-endpoint send counter, drives scheduled kills
+	killed map[string]bool
+	trace  []TraceEvent
+}
+
+// FaultPlan is a declarative fault schedule. Plans are plain data on
+// purpose: a failing test prints its (seed, plan) pair and re-running with
+// the same pair reproduces the same per-link fault sequence.
+type FaultPlan struct {
+	// Name labels the plan in traces and failure reports.
+	Name string
+	// Links are per-link fault rules; the first matching rule applies.
+	Links []LinkFault
+	// Partitions are temporary cuts between endpoint groups.
+	Partitions []Partition
+	// Kills schedules fail-stop endpoint deaths.
+	Kills []Kill
+}
+
+// LinkFault injects faults on messages from From to To ("*" matches any
+// endpoint). Probabilities are per message and independent; at most one of
+// Drop/Dup/Reorder/SendErr fires per message (checked in the order SendErr,
+// Drop, Dup, Reorder), while Delay+Jitter apply to every delivered message.
+type LinkFault struct {
+	From, To string
+	// Drop loses the message silently (Send still reports success, like a
+	// dropped UDP datagram).
+	Drop float64
+	// Dup delivers the message twice.
+	Dup float64
+	// Reorder holds the message back and delivers it after the link's next
+	// message (or after a short flush timer if the link goes quiet).
+	Reorder float64
+	// SendErr fails the Send call with a transient ErrInjected error
+	// WITHOUT delivering — the fault bounded-retry must absorb.
+	SendErr float64
+	// Delay is slept in the sender before delivery; Jitter adds a uniform
+	// random extra in [0, Jitter). Per-link FIFO order is preserved for
+	// plain delays; only Reorder breaks ordering.
+	Delay  time.Duration
+	Jitter time.Duration
+}
+
+// Partition cuts every link between group A and group B (both directions)
+// while the link's own message index lies in [FromSeq, UntilSeq). Windows
+// are expressed in per-link sequence numbers rather than wall time so that
+// activation is a pure function of (seed, plan, link, seq).
+type Partition struct {
+	A, B              []string
+	FromSeq, UntilSeq int
+}
+
+// Kill schedules a fail-stop death: the endpoint dies when it tries its
+// (AfterSends+1)-th send. Counting the victim's own sends makes the kill
+// deterministic in the victim's lifetime rather than in wall time.
+type Kill struct {
+	Name       string
+	AfterSends int
+}
+
+// String renders the plan compactly for failure reports.
+func (p FaultPlan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %q{", p.Name)
+	for _, l := range p.Links {
+		fmt.Fprintf(&b, " link(%s->%s drop=%g dup=%g reorder=%g senderr=%g delay=%v jitter=%v)",
+			l.From, l.To, l.Drop, l.Dup, l.Reorder, l.SendErr, l.Delay, l.Jitter)
+	}
+	for _, pt := range p.Partitions {
+		fmt.Fprintf(&b, " partition(%v|%v seq[%d,%d))", pt.A, pt.B, pt.FromSeq, pt.UntilSeq)
+	}
+	for _, k := range p.Kills {
+		fmt.Fprintf(&b, " kill(%s after %d sends)", k.Name, k.AfterSends)
+	}
+	b.WriteString(" }")
+	return b.String()
+}
+
+// TraceEvent records one fault decision. The per-link subsequence of events
+// is deterministic for a (seed, plan) pair; the interleaving across links
+// follows wall-clock send order.
+type TraceEvent struct {
+	Link   string // "from->to"
+	Seq    int    // message index on the link, from 0
+	Type   string // payload type, e.g. "cluster.ColumnPlanMsg"
+	Action string // deliver | drop | dup | reorder | senderr | partition | to-dead | kill
+	Delay  time.Duration
+}
+
+func (e TraceEvent) String() string {
+	s := fmt.Sprintf("%s #%d %s: %s", e.Link, e.Seq, e.Type, e.Action)
+	if e.Delay > 0 {
+		s += fmt.Sprintf(" (+%v)", e.Delay)
+	}
+	return s
+}
+
+// chaosLink is the per-(from,to) decision state.
+type chaosLink struct {
+	key        string
+	seq        int
+	rng        *rand.Rand
+	rule       LinkFault   // resolved first-matching rule (zero = clean link)
+	partitions []Partition // plan partitions that cut this link
+	held       *heldMsg    // reordered message awaiting release
+}
+
+type heldMsg struct {
+	to      string
+	payload any
+}
+
+// NewChaosNetwork builds a chaos decorator for the given seed and plan.
+// Wrap each fabric endpoint before handing it to its owner.
+func NewChaosNetwork(seed int64, plan FaultPlan) *ChaosNetwork {
+	return &ChaosNetwork{
+		seed:   seed,
+		plan:   plan,
+		links:  map[string]*chaosLink{},
+		sends:  map[string]int{},
+		killed: map[string]bool{},
+	}
+}
+
+// Seed returns the seed the network draws its decisions from.
+func (c *ChaosNetwork) Seed() int64 { return c.seed }
+
+// Plan returns the fault plan.
+func (c *ChaosNetwork) Plan() FaultPlan { return c.plan }
+
+// Wrap decorates one endpoint. The returned Endpoint applies the plan to
+// every Send; Name, Recv, Close and Stats pass through.
+func (c *ChaosNetwork) Wrap(inner Endpoint) Endpoint {
+	return &chaosEndpoint{name: inner.Name(), inner: inner, net: c}
+}
+
+// Kill marks an endpoint dead immediately (in addition to any scheduled
+// Kill entries): its sends fail and inbound traffic is swallowed.
+func (c *ChaosNetwork) Kill(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.killed[name] {
+		c.killed[name] = true
+		c.trace = append(c.trace, TraceEvent{Link: name, Action: "kill"})
+	}
+}
+
+// Alive reports whether the endpoint has not been killed.
+func (c *ChaosNetwork) Alive(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.killed[name]
+}
+
+// Trace returns a copy of all decisions taken so far.
+func (c *ChaosNetwork) Trace() []TraceEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]TraceEvent(nil), c.trace...)
+}
+
+// Faults counts trace events that were not clean deliveries.
+func (c *ChaosNetwork) Faults() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.trace {
+		if e.Action != "deliver" {
+			n++
+		}
+	}
+	return n
+}
+
+// TraceTail formats the last n trace events, one per line — the reproduction
+// breadcrumb a failing test prints next to its (seed, plan).
+func (c *ChaosNetwork) TraceTail(n int) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	start := len(c.trace) - n
+	if start < 0 {
+		start = 0
+	}
+	var b strings.Builder
+	for _, e := range c.trace[start:] {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (c *ChaosNetwork) linkLocked(from, to string) *chaosLink {
+	key := from + "->" + to
+	if l, ok := c.links[key]; ok {
+		return l
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	l := &chaosLink{
+		key: key,
+		rng: rand.New(rand.NewSource(c.seed ^ int64(h.Sum64()))),
+	}
+	for _, rule := range c.plan.Links {
+		if (rule.From == "*" || rule.From == from) && (rule.To == "*" || rule.To == to) {
+			l.rule = rule
+			break
+		}
+	}
+	for _, p := range c.plan.Partitions {
+		if crosses(p, from, to) {
+			l.partitions = append(l.partitions, p)
+		}
+	}
+	return c.linksPut(key, l)
+}
+
+func (c *ChaosNetwork) linksPut(key string, l *chaosLink) *chaosLink {
+	c.links[key] = l
+	return l
+}
+
+func crosses(p Partition, from, to string) bool {
+	inA := func(n string) bool { return contains(p.A, n) }
+	inB := func(n string) bool { return contains(p.B, n) }
+	return (inA(from) && inB(to)) || (inB(from) && inA(to))
+}
+
+func contains(names []string, n string) bool {
+	for _, x := range names {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *chaosLink) partitioned(seq int) bool {
+	for _, p := range l.partitions {
+		if seq >= p.FromSeq && seq < p.UntilSeq {
+			return true
+		}
+	}
+	return false
+}
+
+// chaosEndpoint is the per-endpoint decorator.
+type chaosEndpoint struct {
+	name  string
+	inner Endpoint
+	net   *ChaosNetwork
+}
+
+func (e *chaosEndpoint) Name() string           { return e.name }
+func (e *chaosEndpoint) Recv() (Envelope, bool) { return e.inner.Recv() }
+func (e *chaosEndpoint) Close() error           { return e.inner.Close() }
+func (e *chaosEndpoint) Stats() Stats           { return e.inner.Stats() }
+
+// reorderFlush bounds how long a reordered message waits for the link's next
+// message before being released anyway (so a reorder on a link that then
+// goes quiet never stalls the protocol).
+const reorderFlush = 25 * time.Millisecond
+
+// Send implements Endpoint, routing the message through the fault plan.
+func (e *chaosEndpoint) Send(to string, payload any) error {
+	c := e.net
+	c.mu.Lock()
+	if c.killed[e.name] {
+		c.mu.Unlock()
+		return fmt.Errorf("transport: chaos: %q: %w", e.name, ErrCrashed)
+	}
+	n := c.sends[e.name]
+	c.sends[e.name] = n + 1
+	for _, k := range c.plan.Kills {
+		if k.Name == e.name && n >= k.AfterSends {
+			c.killed[e.name] = true
+			c.trace = append(c.trace, TraceEvent{Link: e.name, Seq: n, Action: "kill"})
+			c.mu.Unlock()
+			return fmt.Errorf("transport: chaos: %q: %w", e.name, ErrCrashed)
+		}
+	}
+
+	l := c.linkLocked(e.name, to)
+	seq := l.seq
+	l.seq++
+	// Fixed draw count per message keeps decision k a pure function of
+	// (seed, plan, link, k) no matter which branches fire.
+	dSendErr := l.rng.Float64()
+	dDrop := l.rng.Float64()
+	dDup := l.rng.Float64()
+	dReorder := l.rng.Float64()
+	dJitter := l.rng.Float64()
+
+	action := "deliver"
+	switch {
+	case c.killed[to]:
+		action = "to-dead"
+	case l.partitioned(seq):
+		action = "partition"
+	case dSendErr < l.rule.SendErr:
+		action = "senderr"
+	case dDrop < l.rule.Drop:
+		action = "drop"
+	case dDup < l.rule.Dup:
+		action = "dup"
+	case dReorder < l.rule.Reorder:
+		action = "reorder"
+	}
+	var delay time.Duration
+	if l.rule.Delay > 0 || l.rule.Jitter > 0 {
+		delay = l.rule.Delay + time.Duration(dJitter*float64(l.rule.Jitter))
+	}
+	c.trace = append(c.trace, TraceEvent{
+		Link: l.key, Seq: seq, Type: fmt.Sprintf("%T", payload), Action: action, Delay: delay,
+	})
+
+	// Work out the delivery batch while still under the lock, so held
+	// messages release in a deterministic spot in the link sequence.
+	var deliver []any
+	switch action {
+	case "to-dead", "partition", "drop", "senderr":
+		// no delivery
+	case "deliver":
+		deliver = append(deliver, payload)
+	case "dup":
+		deliver = append(deliver, payload, payload)
+	case "reorder":
+		if l.held == nil {
+			held := &heldMsg{to: to, payload: payload}
+			l.held = held
+			time.AfterFunc(reorderFlush+delay, func() { c.flushHeld(e.inner, l, held) })
+		} else {
+			// A message is already held back: ship this one first and the
+			// held one behind it — the held message got its swap.
+			deliver = append(deliver, payload, l.held.payload)
+			l.held = nil
+		}
+	}
+	if len(deliver) > 0 && l.held != nil {
+		deliver = append(deliver, l.held.payload)
+		l.held = nil
+	}
+	c.mu.Unlock()
+
+	if action == "senderr" {
+		return fmt.Errorf("transport: chaos: %s #%d: %w", l.key, seq, ErrInjected)
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	var firstErr error
+	for i, p := range deliver {
+		if err := e.inner.Send(to, p); err != nil && i == 0 {
+			// The primary copy's failure propagates so callers can retry;
+			// extra (dup/reordered) deliveries are best-effort.
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// flushHeld releases a reordered message that no later traffic overtook.
+func (c *ChaosNetwork) flushHeld(inner Endpoint, l *chaosLink, h *heldMsg) {
+	c.mu.Lock()
+	if l.held != h {
+		c.mu.Unlock()
+		return
+	}
+	l.held = nil
+	c.mu.Unlock()
+	_ = inner.Send(h.to, h.payload)
+}

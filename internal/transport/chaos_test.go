@@ -1,0 +1,272 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// chaosPair builds a two-endpoint mem fabric wrapped in a chaos network.
+func chaosPair(seed int64, plan FaultPlan) (*ChaosNetwork, Endpoint, Endpoint, *MemNetwork) {
+	net := NewMemNetwork()
+	a := net.Endpoint("a")
+	b := net.Endpoint("b")
+	c := NewChaosNetwork(seed, plan)
+	return c, c.Wrap(a), c.Wrap(b), net
+}
+
+// TestChaosTraceReplays is the reproduction guarantee: the same (seed, plan)
+// pair applied to the same per-link message sequence yields the identical
+// fault trace, run after run.
+func TestChaosTraceReplays(t *testing.T) {
+	plan := FaultPlan{
+		Name: "replay",
+		Links: []LinkFault{{
+			From: "*", To: "*",
+			Drop: 0.2, Dup: 0.1, Reorder: 0.1, SendErr: 0.1,
+			Delay: 10 * time.Microsecond, Jitter: 50 * time.Microsecond,
+		}},
+		Partitions: []Partition{{A: []string{"a"}, B: []string{"b"}, FromSeq: 10, UntilSeq: 15}},
+	}
+	run := func() []TraceEvent {
+		c, a, _, net := chaosPair(99, plan)
+		defer net.Close()
+		for i := 0; i < 60; i++ {
+			_ = a.Send("b", fmt.Sprintf("msg-%d", i))
+		}
+		return c.Trace()
+	}
+	first := run()
+	if len(first) != 60 {
+		t.Fatalf("trace has %d events, want 60", len(first))
+	}
+	for run2 := 0; run2 < 3; run2++ {
+		if got := run(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d trace diverged from first run", run2)
+		}
+	}
+	actions := map[string]int{}
+	for _, e := range first {
+		actions[e.Action]++
+	}
+	for _, want := range []string{"deliver", "drop", "partition"} {
+		if actions[want] == 0 {
+			t.Fatalf("60 messages at these rates produced no %q event: %v", want, actions)
+		}
+	}
+}
+
+func TestChaosDifferentSeedsDiffer(t *testing.T) {
+	plan := FaultPlan{Links: []LinkFault{{From: "*", To: "*", Drop: 0.5}}}
+	trace := func(seed int64) []TraceEvent {
+		c, a, _, net := chaosPair(seed, plan)
+		defer net.Close()
+		for i := 0; i < 40; i++ {
+			_ = a.Send("b", i)
+		}
+		return c.Trace()
+	}
+	if reflect.DeepEqual(trace(1), trace(2)) {
+		t.Fatal("seeds 1 and 2 produced identical fault traces")
+	}
+}
+
+func TestChaosCleanPlanDeliversEverything(t *testing.T) {
+	_, a, b, net := chaosPair(7, FaultPlan{Name: "clean"})
+	defer net.Close()
+	for i := 0; i < 20; i++ {
+		if err := a.Send("b", i); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		env, ok := b.Recv()
+		if !ok || env.Payload.(int) != i {
+			t.Fatalf("recv %d: got %v ok=%v", i, env.Payload, ok)
+		}
+	}
+}
+
+func TestChaosSendErrIsTransient(t *testing.T) {
+	plan := FaultPlan{Links: []LinkFault{{From: "a", To: "b", SendErr: 1}}}
+	_, a, _, net := chaosPair(3, plan)
+	defer net.Close()
+	err := a.Send("b", "x")
+	if err == nil {
+		t.Fatal("SendErr=1 send succeeded")
+	}
+	if !errors.Is(err, ErrInjected) || !Transient(err) {
+		t.Fatalf("injected error %v should be transient ErrInjected", err)
+	}
+}
+
+func TestChaosDupDeliversTwice(t *testing.T) {
+	plan := FaultPlan{Links: []LinkFault{{From: "a", To: "b", Dup: 1}}}
+	_, a, b, net := chaosPair(3, plan)
+	defer net.Close()
+	if err := a.Send("b", "x"); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if env, ok := b.Recv(); !ok || env.Payload.(string) != "x" {
+			t.Fatalf("copy %d missing", i)
+		}
+	}
+}
+
+func TestChaosReorderSwapsWithoutLoss(t *testing.T) {
+	// Reorder=1 makes every odd message overtake its predecessor: 1,0,3,2…
+	// Nothing may be lost and the swaps must actually happen.
+	plan := FaultPlan{Links: []LinkFault{{From: "a", To: "b", Reorder: 1}}}
+	_, a, b, net := chaosPair(5, plan)
+	defer net.Close()
+	for i := 0; i < 10; i++ {
+		if err := a.Send("b", i); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	var order []int
+	for i := 0; i < 10; i++ {
+		env, ok := b.Recv()
+		if !ok {
+			t.Fatalf("recv %d failed", i)
+		}
+		order = append(order, env.Payload.(int))
+	}
+	want := []int{1, 0, 3, 2, 5, 4, 7, 6, 9, 8}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("delivery order %v, want %v", order, want)
+	}
+}
+
+func TestChaosScheduledKill(t *testing.T) {
+	plan := FaultPlan{Kills: []Kill{{Name: "a", AfterSends: 3}}}
+	c, a, b, net := chaosPair(11, plan)
+	defer net.Close()
+	for i := 0; i < 3; i++ {
+		if err := a.Send("b", i); err != nil {
+			t.Fatalf("send %d before kill: %v", i, err)
+		}
+	}
+	err := a.Send("b", 3)
+	if err == nil || !errors.Is(err, ErrCrashed) {
+		t.Fatalf("send after scheduled kill: %v, want ErrCrashed", err)
+	}
+	if Transient(err) {
+		t.Fatal("kill must be permanent")
+	}
+	if c.Alive("a") {
+		t.Fatal("a still alive after kill")
+	}
+	// Traffic TO the dead endpoint is swallowed silently.
+	if err := b.Send("a", "hello?"); err != nil {
+		t.Fatalf("send to dead endpoint should swallow, got %v", err)
+	}
+	last := c.Trace()[len(c.Trace())-1]
+	if last.Action != "to-dead" {
+		t.Fatalf("last trace action %q, want to-dead", last.Action)
+	}
+}
+
+func TestChaosManualKill(t *testing.T) {
+	c, a, _, net := chaosPair(1, FaultPlan{})
+	defer net.Close()
+	c.Kill("a")
+	if err := a.Send("b", 1); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("send from manually killed endpoint: %v", err)
+	}
+}
+
+func TestChaosDelayStillDelivers(t *testing.T) {
+	plan := FaultPlan{Links: []LinkFault{{From: "a", To: "b", Delay: time.Millisecond, Jitter: time.Millisecond}}}
+	c, a, b, net := chaosPair(13, plan)
+	defer net.Close()
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if err := a.Send("b", i); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Fatalf("5 sends with >=1ms delay took only %v", elapsed)
+	}
+	for i := 0; i < 5; i++ {
+		env, ok := b.Recv()
+		if !ok || env.Payload.(int) != i {
+			t.Fatalf("delayed FIFO broken at %d: %v", i, env.Payload)
+		}
+	}
+	for _, e := range c.Trace() {
+		if e.Delay < time.Millisecond {
+			t.Fatalf("trace event %v records delay below the fixed component", e)
+		}
+	}
+}
+
+func TestChaosPartitionWindowHeals(t *testing.T) {
+	plan := FaultPlan{Partitions: []Partition{{A: []string{"a"}, B: []string{"b"}, FromSeq: 0, UntilSeq: 5}}}
+	_, a, b, net := chaosPair(17, plan)
+	defer net.Close()
+	for i := 0; i < 10; i++ {
+		if err := a.Send("b", i); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	// Messages 0-4 fell into the partition window; 5-9 must arrive.
+	for want := 5; want < 10; want++ {
+		env, ok := b.Recv()
+		if !ok || env.Payload.(int) != want {
+			t.Fatalf("got %v, want %d", env.Payload, want)
+		}
+	}
+}
+
+func TestChaosWrapTCP(t *testing.T) {
+	// The decorator is fabric-agnostic: the same plan drives a TCP pair.
+	recv, err := ListenTCP("b", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer recv.Close()
+	send, err := ListenTCP("a", "127.0.0.1:0", map[string]string{"b": recv.Addr()})
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer send.Close()
+	c := NewChaosNetwork(23, FaultPlan{Links: []LinkFault{{From: "a", To: "b", Drop: 0.5}}})
+	a := c.Wrap(send)
+	for i := 0; i < 40; i++ {
+		if err := a.Send("b", i); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	dropped := 0
+	for _, e := range c.Trace() {
+		if e.Action == "drop" {
+			dropped++
+		}
+	}
+	if dropped == 0 || dropped == 40 {
+		t.Fatalf("drop=0.5 over 40 msgs dropped %d", dropped)
+	}
+	// Every non-dropped message must eventually arrive over real sockets.
+	arrived := make(chan int, 40)
+	go func() {
+		for {
+			if _, ok := recv.Recv(); !ok {
+				return
+			}
+			arrived <- 1
+		}
+	}()
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < 40-dropped; i++ {
+		select {
+		case <-arrived:
+		case <-deadline:
+			t.Fatalf("timed out after %d/%d deliveries", i, 40-dropped)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Close/drain semantics, for both fabrics: once an endpoint closes, queued
+// messages must still drain through Recv (then ok=false), and Sends racing
+// with the close must either deliver or fail cleanly — never panic, never
+// wedge a sender.
+
+func TestMemCloseDrainsQueueThenReportsClosed(t *testing.T) {
+	net := NewMemNetwork()
+	defer net.Close()
+	a := net.Endpoint("a")
+	b := net.Endpoint("b")
+	for i := 0; i < 10; i++ {
+		if err := a.Send("b", i); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// All 10 queued messages drain in order...
+	for i := 0; i < 10; i++ {
+		env, ok := b.Recv()
+		if !ok {
+			t.Fatalf("queue not drained: stopped at %d", i)
+		}
+		if env.Payload.(int) != i {
+			t.Fatalf("drained %v at position %d", env.Payload, i)
+		}
+	}
+	// ...then the endpoint reports closed, repeatedly.
+	for i := 0; i < 3; i++ {
+		if _, ok := b.Recv(); ok {
+			t.Fatal("Recv ok=true after drain on closed endpoint")
+		}
+	}
+	// And sends to it now fail with the permanent sentinel.
+	err := a.Send("b", 99)
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestMemCloseUnderConcurrentSenders(t *testing.T) {
+	net := NewMemNetwork()
+	defer net.Close()
+	recv := net.Endpoint("sink")
+	const senders, msgs = 8, 200
+	var wg sync.WaitGroup
+	var delivered, rejected atomic.Int64
+	for s := 0; s < senders; s++ {
+		ep := net.Endpoint(testEndpointName(s))
+		wg.Add(1)
+		go func(ep Endpoint) {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				err := ep.Send("sink", i)
+				switch {
+				case err == nil:
+					delivered.Add(1)
+				case errors.Is(err, ErrClosed):
+					rejected.Add(1)
+				default:
+					t.Errorf("unexpected send error: %v", err)
+					return
+				}
+			}
+		}(ep)
+	}
+	time.Sleep(time.Millisecond)
+	recv.Close()
+	wg.Wait()
+
+	drained := 0
+	for {
+		if _, ok := recv.Recv(); !ok {
+			break
+		}
+		drained++
+	}
+	if int64(drained) != delivered.Load() {
+		t.Fatalf("drained %d but %d sends reported success", drained, delivered.Load())
+	}
+	if delivered.Load()+rejected.Load() != senders*msgs {
+		t.Fatalf("accounting: %d delivered + %d rejected != %d sent",
+			delivered.Load(), rejected.Load(), senders*msgs)
+	}
+}
+
+// testEndpointName builds distinct endpoint names for concurrent-sender tests.
+func testEndpointName(i int) string {
+	return string(rune('A' + i))
+}
+
+func TestTCPCloseDrainsQueueThenReportsClosed(t *testing.T) {
+	recv, err := ListenTCP("sink", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	send, err := ListenTCP("src", "127.0.0.1:0", map[string]string{"sink": recv.Addr()})
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer send.Close()
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := send.Send("sink", i); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	// Wait until all frames landed in the mailbox before closing.
+	deadline := time.Now().Add(5 * time.Second)
+	for recv.Stats().MsgsReceived < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d frames arrived", recv.Stats().MsgsReceived, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	recv.Close()
+	for i := 0; i < n; i++ {
+		env, ok := recv.Recv()
+		if !ok {
+			t.Fatalf("TCP queue not drained: stopped at %d", i)
+		}
+		if env.Payload.(int) != i {
+			t.Fatalf("drained %v at position %d", env.Payload, i)
+		}
+	}
+	if _, ok := recv.Recv(); ok {
+		t.Fatal("Recv ok=true after drain on closed TCP endpoint")
+	}
+	// Send-after-Close on the closed endpoint itself fails permanently.
+	err = recv.Send("src", "x")
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("send from closed TCP endpoint: %v, want ErrClosed", err)
+	}
+}
+
+func TestTCPCloseUnderConcurrentSenders(t *testing.T) {
+	recv, err := ListenTCP("sink", "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	const senders = 4
+	var eps []*TCPEndpoint
+	for s := 0; s < senders; s++ {
+		ep, err := ListenTCP(testEndpointName(s), "127.0.0.1:0", map[string]string{"sink": recv.Addr()})
+		if err != nil {
+			t.Fatalf("listen sender %d: %v", s, err)
+		}
+		eps = append(eps, ep)
+		defer ep.Close()
+	}
+	var wg sync.WaitGroup
+	stopped := make(chan struct{})
+	for _, ep := range eps {
+		wg.Add(1)
+		go func(ep *TCPEndpoint) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopped:
+					return
+				default:
+				}
+				// Errors are expected once the sink closes; they must be
+				// errors, not hangs or panics.
+				_ = ep.Send("sink", i)
+			}
+		}(ep)
+	}
+	time.Sleep(5 * time.Millisecond)
+	recv.Close()
+	close(stopped)
+	wg.Wait()
+	// Drain whatever landed; must terminate with ok=false.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, ok := recv.Recv(); !ok {
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain after close did not terminate")
+	}
+}

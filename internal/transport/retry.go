@@ -1,0 +1,90 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+)
+
+// RetryPolicy bounds how SendWithRetry re-attempts a transient send failure:
+// at most Attempts tries, exponentially backed off from BaseDelay up to
+// MaxDelay, each individually capped at AttemptTimeout. The zero value is
+// usable and resolves to the defaults below.
+type RetryPolicy struct {
+	// Attempts is the total number of tries, including the first (default 4).
+	Attempts int
+	// BaseDelay is slept before the first retry and doubled per retry
+	// (default 1ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 50ms).
+	MaxDelay time.Duration
+	// AttemptTimeout bounds each individual attempt; an attempt still in
+	// flight when it expires counts as failed and the next one starts
+	// (delivery may still land later — receivers must tolerate duplicates).
+	// 0 disables the per-attempt timer and calls Send directly.
+	AttemptTimeout time.Duration
+}
+
+// DefaultRetryPolicy is the policy the cluster's control-plane sends use.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Attempts: 4, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 50 * time.Millisecond
+	}
+	return p
+}
+
+// SendWithRetry delivers payload like ep.Send, but survives transient fabric
+// errors (TCP hiccups, injected chaos faults, attempt timeouts) by retrying
+// under the policy. Permanent errors — closed, unknown or crashed endpoints
+// — return immediately: no amount of retrying resurrects those.
+//
+// The guarantee is at-least-once: a timed-out attempt may still deliver, so
+// a successful SendWithRetry can deliver the payload more than once.
+func SendWithRetry(ep Endpoint, to string, payload any, p RetryPolicy) error {
+	p = p.withDefaults()
+	delay := p.BaseDelay
+	var err error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(delay)
+			delay *= 2
+			if delay > p.MaxDelay {
+				delay = p.MaxDelay
+			}
+		}
+		err = sendOnce(ep, to, payload, p.AttemptTimeout)
+		if err == nil {
+			return nil
+		}
+		if !Transient(err) {
+			return err
+		}
+	}
+	return fmt.Errorf("transport: send to %q failed after %d attempts: %w", to, p.Attempts, err)
+}
+
+// sendOnce runs one attempt, bounded by timeout when non-zero. The underlying
+// Send cannot be cancelled; on timeout it is abandoned to finish (or fail) on
+// its own goroutine.
+func sendOnce(ep Endpoint, to string, payload any, timeout time.Duration) error {
+	if timeout <= 0 {
+		return ep.Send(to, payload)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ep.Send(to, payload) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		return fmt.Errorf("transport: send to %q: %w", to, ErrAttemptTimeout)
+	}
+}

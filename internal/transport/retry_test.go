@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyEndpoint fails the first n sends with the given error, then succeeds.
+type flakyEndpoint struct {
+	inner Endpoint
+	fails atomic.Int32
+	err   error
+	calls atomic.Int32
+}
+
+func (f *flakyEndpoint) Name() string { return f.inner.Name() }
+func (f *flakyEndpoint) Send(to string, payload any) error {
+	f.calls.Add(1)
+	if f.fails.Add(-1) >= 0 {
+		return f.err
+	}
+	return f.inner.Send(to, payload)
+}
+func (f *flakyEndpoint) Recv() (Envelope, bool) { return f.inner.Recv() }
+func (f *flakyEndpoint) Close() error           { return f.inner.Close() }
+func (f *flakyEndpoint) Stats() Stats           { return f.inner.Stats() }
+
+func TestSendWithRetryRecoversTransient(t *testing.T) {
+	net := NewMemNetwork()
+	defer net.Close()
+	a := net.Endpoint("a")
+	b := net.Endpoint("b")
+	f := &flakyEndpoint{inner: a, err: ErrInjected}
+	f.fails.Store(2)
+	if err := SendWithRetry(f, "b", "payload", RetryPolicy{Attempts: 4, BaseDelay: time.Microsecond}); err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if got := f.calls.Load(); got != 3 {
+		t.Fatalf("send attempted %d times, want 3", got)
+	}
+	if env, ok := b.Recv(); !ok || env.Payload.(string) != "payload" {
+		t.Fatal("payload not delivered")
+	}
+}
+
+func TestSendWithRetryGivesUpAfterBudget(t *testing.T) {
+	net := NewMemNetwork()
+	defer net.Close()
+	a := net.Endpoint("a")
+	net.Endpoint("b")
+	f := &flakyEndpoint{inner: a, err: ErrInjected}
+	f.fails.Store(100)
+	err := SendWithRetry(f, "b", "x", RetryPolicy{Attempts: 3, BaseDelay: time.Microsecond})
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("exhausted retry returned %v, want wrapped ErrInjected", err)
+	}
+	if got := f.calls.Load(); got != 3 {
+		t.Fatalf("attempted %d times, want exactly the 3 budgeted", got)
+	}
+}
+
+func TestSendWithRetryStopsOnPermanent(t *testing.T) {
+	net := NewMemNetwork()
+	defer net.Close()
+	a := net.Endpoint("a")
+	net.Endpoint("b")
+	f := &flakyEndpoint{inner: a, err: ErrClosed}
+	f.fails.Store(100)
+	err := SendWithRetry(f, "b", "x", RetryPolicy{Attempts: 5, BaseDelay: time.Microsecond})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+	if got := f.calls.Load(); got != 1 {
+		t.Fatalf("permanent error retried %d times, want 1 attempt", got)
+	}
+}
+
+func TestSendWithRetryBacksOffExponentially(t *testing.T) {
+	net := NewMemNetwork()
+	defer net.Close()
+	a := net.Endpoint("a")
+	net.Endpoint("b")
+	f := &flakyEndpoint{inner: a, err: ErrInjected}
+	f.fails.Store(100)
+	start := time.Now()
+	_ = SendWithRetry(f, "b", "x", RetryPolicy{Attempts: 4, BaseDelay: 5 * time.Millisecond, MaxDelay: time.Second})
+	// Backoffs: 5 + 10 + 20 = 35ms minimum.
+	if elapsed := time.Since(start); elapsed < 35*time.Millisecond {
+		t.Fatalf("4 attempts finished in %v, want >= 35ms of backoff", elapsed)
+	}
+}
+
+// blockingEndpoint never completes a Send until released.
+type blockingEndpoint struct {
+	inner   Endpoint
+	release chan struct{}
+}
+
+func (b *blockingEndpoint) Name() string { return b.inner.Name() }
+func (b *blockingEndpoint) Send(to string, payload any) error {
+	<-b.release
+	return b.inner.Send(to, payload)
+}
+func (b *blockingEndpoint) Recv() (Envelope, bool) { return b.inner.Recv() }
+func (b *blockingEndpoint) Close() error           { return b.inner.Close() }
+func (b *blockingEndpoint) Stats() Stats           { return b.inner.Stats() }
+
+func TestSendWithRetryAttemptTimeout(t *testing.T) {
+	net := NewMemNetwork()
+	defer net.Close()
+	a := net.Endpoint("a")
+	net.Endpoint("b")
+	blocked := &blockingEndpoint{inner: a, release: make(chan struct{})}
+	defer close(blocked.release)
+	err := SendWithRetry(blocked, "b", "x", RetryPolicy{
+		Attempts: 2, BaseDelay: time.Microsecond, AttemptTimeout: 5 * time.Millisecond,
+	})
+	if err == nil || !errors.Is(err, ErrAttemptTimeout) {
+		t.Fatalf("hung fabric returned %v, want wrapped ErrAttemptTimeout", err)
+	}
+}

@@ -150,7 +150,7 @@ func (e *TCPEndpoint) dial(to string) (*tcpConn, error) {
 	}
 	addr, ok := e.peers[to]
 	if !ok {
-		return nil, fmt.Errorf("transport: unknown peer %q", to)
+		return nil, fmt.Errorf("transport: %w: peer %q", ErrUnknownEndpoint, to)
 	}
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -164,7 +164,7 @@ func (e *TCPEndpoint) dial(to string) (*tcpConn, error) {
 // Send implements Endpoint.
 func (e *TCPEndpoint) Send(to string, payload any) error {
 	if e.closed.Load() {
-		return fmt.Errorf("transport: endpoint %q closed", e.name)
+		return fmt.Errorf("transport: endpoint %q: %w", e.name, ErrClosed)
 	}
 	data, err := EncodePayload(payload)
 	if err != nil {

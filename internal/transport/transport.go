@@ -15,11 +15,42 @@ package transport
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// Sentinel error conditions shared by every fabric. Callers classify send
+// failures with errors.Is (or the Transient helper): closed, unknown and
+// crashed endpoints are permanent — retrying cannot help — while everything
+// else (TCP dial/write hiccups, injected chaos faults, attempt timeouts) is
+// transient and worth a bounded retry.
+var (
+	// ErrClosed marks sends through or to an endpoint that has shut down.
+	ErrClosed = errors.New("endpoint closed")
+	// ErrUnknownEndpoint marks sends to a name no fabric member registered.
+	ErrUnknownEndpoint = errors.New("unknown endpoint")
+	// ErrCrashed marks sends from an endpoint that crashed (or was killed by
+	// a chaos plan).
+	ErrCrashed = errors.New("endpoint crashed")
+	// ErrInjected marks a transient send failure injected by a ChaosNetwork.
+	ErrInjected = errors.New("injected transient send failure")
+	// ErrAttemptTimeout marks one send attempt exceeding its per-attempt
+	// budget (see RetryPolicy.AttemptTimeout).
+	ErrAttemptTimeout = errors.New("send attempt timed out")
+)
+
+// Transient reports whether a send error is worth retrying. Closed, unknown
+// and crashed endpoints are permanent; everything else is assumed to be a
+// fabric hiccup.
+func Transient(err error) bool {
+	return err != nil &&
+		!errors.Is(err, ErrClosed) &&
+		!errors.Is(err, ErrUnknownEndpoint) &&
+		!errors.Is(err, ErrCrashed)
+}
 
 // Envelope is one delivered message.
 type Envelope struct {
@@ -177,11 +208,11 @@ func (n *MemNetwork) lookup(name string) (*MemEndpoint, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
-		return nil, fmt.Errorf("transport: network closed")
+		return nil, fmt.Errorf("transport: network: %w", ErrClosed)
 	}
 	ep, ok := n.endpoints[name]
 	if !ok {
-		return nil, fmt.Errorf("transport: unknown endpoint %q", name)
+		return nil, fmt.Errorf("transport: %w: %q", ErrUnknownEndpoint, name)
 	}
 	return ep, nil
 }
@@ -217,7 +248,7 @@ func (e *MemEndpoint) Crashed() bool { return e.crashed.Load() }
 // Send implements Endpoint.
 func (e *MemEndpoint) Send(to string, payload any) error {
 	if e.crashed.Load() {
-		return fmt.Errorf("transport: endpoint %q crashed", e.name)
+		return fmt.Errorf("transport: endpoint %q: %w", e.name, ErrCrashed)
 	}
 	target, err := e.net.lookup(to)
 	if err != nil {
@@ -244,7 +275,7 @@ func (e *MemEndpoint) Send(to string, payload any) error {
 		return nil
 	}
 	if !target.box.put(Envelope{From: e.name, Payload: delivered}) {
-		return fmt.Errorf("transport: endpoint %q closed", to)
+		return fmt.Errorf("transport: endpoint %q: %w", to, ErrClosed)
 	}
 	target.msgsRecvd.Add(1)
 	target.bytesRecvd.Add(int64(size))
