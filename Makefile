@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments ablations examples fmt vet clean
+.PHONY: all build test race cover bench experiments ablations examples fmt vet lint clean
 
 all: build test
 
@@ -41,6 +41,11 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# vet plus staticcheck; CI installs staticcheck, locally it is optional.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping"; fi
 
 clean:
 	$(GO) clean ./...

@@ -10,12 +10,14 @@
 //	benchtab -rows 50000 -workers 8 -compers 4
 //	benchtab -ablations           # run only the design ablations
 //	benchtab -json BENCH_splits.json   # also write machine-readable results
+//	benchtab -obs-json BENCH_obs.json  # telemetry on/off overhead A/B
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
 	"math/rand"
 	"os"
 	"runtime"
@@ -23,10 +25,15 @@ import (
 	"testing"
 	"time"
 
+	"treeserver/internal/cluster"
+	"treeserver/internal/core"
 	"treeserver/internal/dataset"
 	"treeserver/internal/experiments"
 	"treeserver/internal/impurity"
+	"treeserver/internal/obs"
 	"treeserver/internal/split"
+	"treeserver/internal/synth"
+	"treeserver/internal/task"
 )
 
 // splitBenchResult is one microbenchmark row of the split-kernel suite.
@@ -98,6 +105,127 @@ func runSplitBench(n int) []splitBenchResult {
 	return out
 }
 
+// obsOverheadResult is one telemetry A/B measurement: the same workload with
+// the registry absent (the production default) and attached.
+type obsOverheadResult struct {
+	Name        string  `json:"name"`
+	BaselineNs  float64 `json:"baseline_ns_per_op"`
+	TelemetryNs float64 `json:"telemetry_ns_per_op"`
+	Ratio       float64 `json:"ratio"` // telemetry / baseline; ~1.0 means within noise
+}
+
+// obsBenchOutput is the schema of the -obs-json file.
+type obsBenchOutput struct {
+	GeneratedAt string              `json:"generated_at"`
+	GoVersion   string              `json:"go_version"`
+	Quick       bool                `json:"quick"`
+	Results     []obsOverheadResult `json:"results"`
+}
+
+// runObsOverhead A/Bs the two hot paths the registry instruments: the dense
+// FindBest kernel (nil vs live SplitCounters — the ISSUE's <=2% budget) and
+// a short distributed forest job (nil vs live Observer).
+func runObsOverhead(quick bool) []obsOverheadResult {
+	kernelRows, trainRows, trees := 100000, 12000, 8
+	if quick {
+		kernelRows, trainRows, trees = 20000, 4000, 4
+	}
+	var out []obsOverheadResult
+
+	// Kernel A/B. The live counters come from a real registry so the bench
+	// exercises the same pointer chain the worker does.
+	rng := rand.New(rand.NewSource(1))
+	num := make([]float64, kernelRows)
+	ycls := make([]int32, kernelRows)
+	for i := range num {
+		num[i] = rng.NormFloat64()
+		if num[i]+rng.NormFloat64()*0.3 > 0 {
+			ycls[i] = 1
+		}
+	}
+	col := dataset.NewNumeric("x", num)
+	y := dataset.NewCategorical("y", ycls, []string{"n", "p"})
+	rows := dataset.AllRows(kernelRows)
+	scratch := split.GetScratch()
+	defer split.PutScratch(scratch)
+	req := split.Request{Col: col, Y: y, Rows: rows, Measure: impurity.Gini,
+		NumClasses: 2, RowSet: dataset.RowSetOf(rows, kernelRows), Scratch: scratch}
+	benchKernel := func(counters *obs.SplitCounters) float64 {
+		r := req
+		r.Counters = counters
+		split.FindBest(r) // warm up
+		b := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				split.FindBest(r)
+			}
+		})
+		return float64(b.T.Nanoseconds()) / float64(b.N)
+	}
+	base := benchKernel(nil)
+	live := benchKernel(obs.NewRegistry().Split())
+	out = append(out, obsOverheadResult{
+		Name: "FindBestNumeric/presorted", BaselineNs: base, TelemetryNs: live, Ratio: live / base,
+	})
+
+	// Forest-job A/B: same specs, fresh cluster per run so transport and
+	// scheduling state cannot leak between arms.
+	tbl := synth.GenerateTrain(synth.Spec{
+		Name: "obsbench", Rows: trainRows, NumNumeric: 6, NumCategorical: 2,
+		NumClasses: 2, ConceptDepth: 5, LabelNoise: 0.05, Seed: 51,
+	})
+	params := core.Defaults()
+	params.MaxDepth = 8
+	specs := make([]cluster.TreeSpec, trees)
+	for i := range specs {
+		specs[i] = cluster.TreeSpec{Params: params}
+	}
+	trainOnce := func(reg *obs.Registry) float64 {
+		c, err := cluster.NewInProcess(tbl,
+			cluster.WithWorkers(3), cluster.WithCompers(2),
+			cluster.WithPolicy(task.Policy{TauD: trainRows / 10, TauDFS: trainRows / 2, NPool: 16}),
+			cluster.WithObserver(reg),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		start := time.Now()
+		if _, err := c.Train(specs); err != nil {
+			log.Fatal(err)
+		}
+		return float64(time.Since(start).Nanoseconds())
+	}
+	trainOnce(nil) // warm up: page in the table, JIT the scratch pools
+	baseTrain := trainOnce(nil)
+	liveTrain := trainOnce(obs.NewRegistry())
+	out = append(out, obsOverheadResult{
+		Name: "cluster.Train/forest", BaselineNs: baseTrain, TelemetryNs: liveTrain, Ratio: liveTrain / baseTrain,
+	})
+	return out
+}
+
+func writeObsBench(path string, quick bool) {
+	results := runObsOverhead(quick)
+	for _, r := range results {
+		fmt.Printf("%-28s baseline %.0fns  telemetry %.0fns  ratio %.3f\n",
+			r.Name, r.BaselineNs, r.TelemetryNs, r.Ratio)
+	}
+	data, err := json.MarshalIndent(obsBenchOutput{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Quick:       quick,
+		Results:     results,
+	}, "", "  ")
+	if err != nil {
+		log.Fatalf("marshal obs bench json: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
 func main() {
 	var (
 		table     = flag.String("table", "", "run a single experiment id (see -list)")
@@ -108,6 +236,7 @@ func main() {
 		compers   = flag.Int("compers", 4, "computing threads per worker")
 		ablations = flag.Bool("ablations", false, "run only the design ablations")
 		jsonPath  = flag.String("json", "", "write machine-readable results (tables + split kernel bench) to this file")
+		obsJSON   = flag.String("obs-json", "", "run the telemetry on/off overhead bench and write it to this file")
 	)
 	flag.Parse()
 
@@ -115,6 +244,14 @@ func main() {
 		fmt.Println("experiments:", strings.Join(experiments.IDs(), " "))
 		return
 	}
+
+	if *obsJSON != "" {
+		writeObsBench(*obsJSON, *quick)
+		if *table == "" && !*ablations && *jsonPath == "" {
+			return
+		}
+	}
+
 	scale := experiments.Scale{BaseRows: *rows, Workers: *workers, Compers: *compers, Quick: *quick}
 
 	var results []*experiments.Result

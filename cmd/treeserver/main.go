@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"strings"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"treeserver/internal/forest"
 	"treeserver/internal/loadbal"
 	"treeserver/internal/model"
+	"treeserver/internal/obs"
 	"treeserver/internal/task"
 	"treeserver/internal/transport"
 )
@@ -57,18 +59,46 @@ func main() {
 		compers    = flag.Int("compers", 10, "computing threads per worker (worker/local role)")
 		workersN   = flag.Int("cluster-workers", 4, "workers for -role local")
 		out        = flag.String("out", "", "write the trained model to this file (tsserve-compatible)")
+		report     = flag.Bool("report", false, "print the end-of-train telemetry report")
+		debugAddr  = flag.String("debug", "", "serve /debug/obs, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
 
+	reg := newTelemetry(*report, *debugAddr)
 	switch *role {
 	case "local":
-		runLocal(*storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *compers, *workersN, *out)
+		runLocal(*storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *compers, *workersN, *out, reg, *report)
 	case "worker":
-		runWorker(*listen, *masterAddr, *workerList, *id, *storeDir, *tableName, *replicas, *compers)
+		runWorker(*listen, *masterAddr, *workerList, *id, *storeDir, *tableName, *replicas, *compers, reg)
 	case "master":
-		runMaster(*listen, *workerList, *storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *out)
+		runMaster(*listen, *workerList, *storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *out, reg, *report)
 	default:
 		log.Fatalf("unknown role %q", *role)
+	}
+}
+
+// newTelemetry builds the optional live registry: nil unless the user asked
+// for the report or the debug endpoints, so the default run stays on the
+// telemetry-disabled fast path.
+func newTelemetry(report bool, debugAddr string) *obs.Registry {
+	if !report && debugAddr == "" {
+		return nil
+	}
+	reg := obs.NewRegistry()
+	reg.PublishExpvar()
+	if debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(debugAddr, reg.Handler()); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
+	return reg
+}
+
+func printReport(reg *obs.Registry, report bool) {
+	if report && reg != nil {
+		fmt.Print(reg.Snapshot().Report())
 	}
 }
 
@@ -121,12 +151,16 @@ func writeModel(path, job string, trained []*core.Tree, tbl *dataset.Table) {
 	fmt.Printf("model with %d tree(s) written to %s (serve it with tsserve)\n", len(trained), path)
 }
 
-func runLocal(storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas, compers, workers int, out string) {
+func runLocal(storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas, compers, workers int, out string, reg *obs.Registry, report bool) {
 	tbl, _, _ := loadTable(storeDir, tableName)
-	c := cluster.NewInProcess(tbl, cluster.Config{
-		Workers: workers, Compers: compers, Replicas: replicas,
-		Policy: task.Policy{TauD: tauD, TauDFS: tauDFS, NPool: npool},
-	})
+	c, err := cluster.NewInProcess(tbl,
+		cluster.WithWorkers(workers), cluster.WithCompers(compers), cluster.WithReplicas(replicas),
+		cluster.WithPolicy(task.Policy{TauD: tauD, TauDFS: tauDFS, NPool: npool}),
+		cluster.WithObserver(reg),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer c.Close()
 	specs := jobSpecs(tbl, job, trees, dmax, minLeaf)
 	start := time.Now()
@@ -136,6 +170,7 @@ func runLocal(storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDF
 	}
 	fmt.Printf("trained %d tree(s) on %d rows in %s\n", len(trained), tbl.NumRows(), time.Since(start).Round(time.Millisecond))
 	writeModel(out, job, trained, tbl)
+	printReport(reg, report)
 }
 
 func parseWorkers(list string) []string {
@@ -161,7 +196,7 @@ func workerColumns(tbl *dataset.Table, numWorkers, replicas, id int) map[int]*da
 	return cols
 }
 
-func runWorker(listen, masterAddr, workerList string, id int, storeDir, tableName string, replicas, compers int) {
+func runWorker(listen, masterAddr, workerList string, id int, storeDir, tableName string, replicas, compers int, reg *obs.Registry) {
 	if masterAddr == "" {
 		log.Fatal("-master is required for workers")
 	}
@@ -180,14 +215,14 @@ func runWorker(listen, masterAddr, workerList string, id int, storeDir, tableNam
 		log.Fatal(err)
 	}
 	cols := workerColumns(tbl, len(addrs), replicas, id)
-	w := cluster.NewWorker(id, ep, cluster.SchemaOf(tbl), cols, tbl.Y(), compers)
+	w := cluster.NewWorker(id, reg.Wrap(ep), cluster.SchemaOf(tbl), cols, tbl.Y(), compers, reg)
 	w.Start()
 	fmt.Printf("worker %d serving %d columns on %s\n", id, len(cols), ep.Addr())
 	w.Wait()
 	fmt.Printf("worker %d: shutdown\n", id)
 }
 
-func runMaster(listen, workerList, storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas int, out string) {
+func runMaster(listen, workerList, storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas int, out string, reg *obs.Registry, report bool) {
 	addrs := parseWorkers(workerList)
 	if len(addrs) == 0 {
 		log.Fatal("-workers is required for the master")
@@ -203,10 +238,11 @@ func runMaster(listen, workerList, storeDir, tableName, job string, trees, dmax,
 		log.Fatal(err)
 	}
 	placement := loadbal.RoundRobin(tbl.FeatureIndexes(), len(addrs), replicas)
-	m := cluster.NewMaster(ep, cluster.SchemaOf(tbl), placement, cluster.MasterConfig{
+	m := cluster.NewMaster(reg.Wrap(ep), cluster.SchemaOf(tbl), placement, cluster.MasterConfig{
 		NumWorkers: len(addrs),
 		Policy:     task.Policy{TauD: tauD, TauDFS: tauDFS, NPool: npool},
 		Heartbeat:  time.Second,
+		Obs:        reg,
 	})
 	m.Start()
 	defer m.Stop()
@@ -220,4 +256,5 @@ func runMaster(listen, workerList, storeDir, tableName, job string, trees, dmax,
 	fmt.Printf("trained %d tree(s) on %d rows across %d workers in %s\n",
 		len(trained), tbl.NumRows(), len(addrs), time.Since(start).Round(time.Millisecond))
 	writeModel(out, job, trained, tbl)
+	printReport(reg, report)
 }

@@ -11,8 +11,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 
 	"treeserver/internal/model"
+	"treeserver/internal/obs"
 	"treeserver/internal/serve"
 )
 
@@ -22,11 +24,20 @@ func main() {
 	var (
 		modelPath = flag.String("model", "", "model file written by treeserver/tstrain")
 		listen    = flag.String("listen", ":8080", "HTTP listen address")
+		debugAddr = flag.String("debug", "", "serve /debug/obs, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
 	if *modelPath == "" {
 		flag.Usage()
 		log.Fatal("-model is required")
+	}
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, reg.Handler()); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 	m, err := model.LoadFile(*modelPath)
 	if err != nil {

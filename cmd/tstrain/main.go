@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"treeserver/internal/dataset"
 	"treeserver/internal/forest"
 	"treeserver/internal/model"
+	"treeserver/internal/obs"
 	"treeserver/internal/task"
 )
 
@@ -26,19 +28,21 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tstrain: ")
 	var (
-		csvPath  = flag.String("csv", "", "input CSV file (with header)")
-		target   = flag.String("target", "", "name of the Y column")
-		job      = flag.String("job", "rf", "dt | rf | xt")
-		trees    = flag.Int("trees", 20, "trees for rf/xt")
-		dmax     = flag.Int("dmax", 10, "maximum tree depth")
-		minLeaf  = flag.Int("tau-leaf", 1, "tau_leaf")
-		colFrac  = flag.Float64("col-frac", 0, "|C|/|A| per tree (0 = sqrt|A|, -1 = all)")
-		workers  = flag.Int("workers", 4, "in-process workers")
-		compers  = flag.Int("compers", 4, "compers per worker")
-		evalFrac = flag.Float64("eval", 0, "hold out this fraction of rows for evaluation")
-		out      = flag.String("out", "", "write the model here")
-		seed     = flag.Int64("seed", 1, "randomness seed")
-		forceCat = flag.String("force-categorical", "", "comma-separated columns parsed as categorical")
+		csvPath   = flag.String("csv", "", "input CSV file (with header)")
+		target    = flag.String("target", "", "name of the Y column")
+		job       = flag.String("job", "rf", "dt | rf | xt")
+		trees     = flag.Int("trees", 20, "trees for rf/xt")
+		dmax      = flag.Int("dmax", 10, "maximum tree depth")
+		minLeaf   = flag.Int("tau-leaf", 1, "tau_leaf")
+		colFrac   = flag.Float64("col-frac", 0, "|C|/|A| per tree (0 = sqrt|A|, -1 = all)")
+		workers   = flag.Int("workers", 4, "in-process workers")
+		compers   = flag.Int("compers", 4, "compers per worker")
+		evalFrac  = flag.Float64("eval", 0, "hold out this fraction of rows for evaluation")
+		out       = flag.String("out", "", "write the model here")
+		seed      = flag.Int64("seed", 1, "randomness seed")
+		forceCat  = flag.String("force-categorical", "", "comma-separated columns parsed as categorical")
+		report    = flag.Bool("report", false, "print the end-of-train telemetry report")
+		debugAddr = flag.String("debug", "", "serve /debug/obs, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
 	if *csvPath == "" || *target == "" {
@@ -67,11 +71,28 @@ func main() {
 	}
 	fmt.Println()
 
+	var reg *obs.Registry
+	if *report || *debugAddr != "" {
+		reg = obs.NewRegistry()
+		reg.PublishExpvar()
+		if *debugAddr != "" {
+			go func() {
+				if err := http.ListenAndServe(*debugAddr, reg.Handler()); err != nil {
+					log.Printf("debug listener: %v", err)
+				}
+			}()
+		}
+	}
+
 	rows := train.NumRows()
-	c := cluster.NewInProcess(train, cluster.Config{
-		Workers: *workers, Compers: *compers,
-		Policy: task.Policy{TauD: max(rows/10, 64), TauDFS: max(rows/2, 128), NPool: 200},
-	})
+	c, err := cluster.NewInProcess(train,
+		cluster.WithWorkers(*workers), cluster.WithCompers(*compers),
+		cluster.WithPolicy(task.Policy{TauD: max(rows/10, 64), TauDFS: max(rows/2, 128), NPool: 200}),
+		cluster.WithObserver(reg),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer c.Close()
 
 	params := core.Params{MaxDepth: *dmax, MinLeaf: *minLeaf}
@@ -110,5 +131,8 @@ func main() {
 			log.Fatalf("writing model: %v", err)
 		}
 		fmt.Printf("model written to %s (serve it with tsserve)\n", *out)
+	}
+	if *report && reg != nil {
+		fmt.Print(reg.Snapshot().Report())
 	}
 }

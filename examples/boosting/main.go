@@ -26,10 +26,13 @@ func main() {
 	fmt.Printf("dataset: %d train / %d test rows, binary classification\n\n",
 		train.NumRows(), test.NumRows())
 
-	c := cluster.NewInProcess(train, cluster.Config{
-		Workers: 4, Compers: 4,
-		Policy: task.Policy{TauD: 1500, TauDFS: 6000, NPool: 8},
-	})
+	c, err := cluster.NewInProcess(train,
+		cluster.WithWorkers(4), cluster.WithCompers(4),
+		cluster.WithPolicy(task.Policy{TauD: 1500, TauDFS: 6000, NPool: 8}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer c.Close()
 
 	fmt.Println("rounds  trees  test accuracy  elapsed")

@@ -70,10 +70,13 @@ func main() {
 	train := makeCustomers(12000, 1)
 	test := makeCustomers(3000, 2)
 
-	c := cluster.NewInProcess(train, cluster.Config{
-		Workers: 3, Compers: 2,
-		Policy: task.Policy{TauD: 1500, TauDFS: 6000, NPool: 4},
-	})
+	c, err := cluster.NewInProcess(train,
+		cluster.WithWorkers(3), cluster.WithCompers(2),
+		cluster.WithPolicy(task.Policy{TauD: 1500, TauDFS: 6000, NPool: 4}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer c.Close()
 
 	params := core.Defaults()

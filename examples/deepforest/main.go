@@ -29,10 +29,10 @@ func main() {
 	}
 	// Every MGS and CF forest trains on a fresh in-process TreeServer
 	// cluster over the step's feature table.
-	factory := deepforest.ClusterFactory(cluster.Config{
-		Workers: 3, Compers: 4,
-		Policy: task.Policy{TauD: 4000, TauDFS: 16000, NPool: 50},
-	})
+	factory := deepforest.ClusterFactory(
+		cluster.WithWorkers(3), cluster.WithCompers(4),
+		cluster.WithPolicy(task.Policy{TauD: 4000, TauDFS: 16000, NPool: 50}),
+	)
 
 	model, timings, err := deepforest.Train(trainSet, testSet, cfg, factory)
 	if err != nil {

@@ -25,12 +25,14 @@ func main() {
 		NumClasses: 2, ConceptDepth: 6, LabelNoise: 0.05, Seed: 33,
 	})
 
-	cfg := cluster.Config{
-		Workers: 5, Compers: 3, Replicas: 2,
-		Policy:    task.Policy{TauD: 1500, TauDFS: 6000, NPool: 16},
-		Heartbeat: 25 * time.Millisecond, // enables failure detection
+	c, err := cluster.NewInProcess(train,
+		cluster.WithWorkers(5), cluster.WithCompers(3), cluster.WithReplicas(2),
+		cluster.WithPolicy(task.Policy{TauD: 1500, TauDFS: 6000, NPool: 16}),
+		cluster.WithHeartbeat(25*time.Millisecond), // enables failure detection
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
-	c := cluster.NewInProcess(train, cfg)
 	defer c.Close()
 
 	params := core.Defaults()

@@ -32,10 +32,13 @@ func main() {
 
 	// 2. An in-process TreeServer deployment: 4 workers x 4 compers,
 	//    columns replicated twice, thresholds scaled to the dataset.
-	c := cluster.NewInProcess(train, cluster.Config{
-		Workers: 4, Compers: 4,
-		Policy: task.Policy{TauD: 2000, TauDFS: 8000, NPool: 50},
-	})
+	c, err := cluster.NewInProcess(train,
+		cluster.WithWorkers(4), cluster.WithCompers(4),
+		cluster.WithPolicy(task.Policy{TauD: 2000, TauDFS: 8000, NPool: 50}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer c.Close()
 
 	// 3. One exact decision tree (the Table II(a) workload).

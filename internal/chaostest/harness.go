@@ -16,6 +16,7 @@ import (
 	"treeserver/internal/cluster"
 	"treeserver/internal/core"
 	"treeserver/internal/gbt"
+	"treeserver/internal/obs"
 	"treeserver/internal/synth"
 	"treeserver/internal/transport"
 )
@@ -99,7 +100,16 @@ func Run(t *testing.T, cell Cell) {
 		chaos = transport.NewChaosNetwork(cell.Seed, cell.Plan)
 		cfg.WrapEndpoint = chaos.Wrap
 	}
-	c := cluster.NewInProcess(tbl, cfg)
+	// Every cell runs with live telemetry: the registry's atomics are hammered
+	// by the same goroutines the chaos fabric perturbs, so the -race grid
+	// doubles as the registry's concurrency certificate — and the bit-for-bit
+	// equality assertions prove observation does not change the model.
+	reg := obs.NewRegistry()
+	cfg.Observer = reg
+	c, err := cluster.NewInProcess(tbl, cluster.WithConfig(cfg))
+	if err != nil {
+		failf(t, cell, chaos, "NewInProcess: %v", err)
+	}
 	defer c.Close()
 
 	// Forest: distributed vs core.TrainLocal, tree by tree.
@@ -144,5 +154,31 @@ func Run(t *testing.T, cell Cell) {
 			failf(t, cell, chaos, "plan injected no faults — cell is not testing anything")
 		}
 		t.Logf("cell %q: seed=%d, %d messages traced, %d faults injected", cell.Name, chaos.Seed(), len(chaos.Trace()), chaos.Faults())
+	}
+
+	verifyTelemetry(t, cell, chaos, reg)
+}
+
+// verifyTelemetry asserts the snapshot invariants that must hold at
+// quiescence after a successful job, whatever faults the fabric injected.
+func verifyTelemetry(t *testing.T, cell Cell, chaos *transport.ChaosNetwork, reg *obs.Registry) {
+	t.Helper()
+	s := reg.Snapshot()
+	m := s.Master
+	if m.TasksPlanned <= 0 || m.TasksCompleted <= 0 {
+		failf(t, cell, chaos, "telemetry: planned %d / completed %d tasks after a successful job", m.TasksPlanned, m.TasksCompleted)
+	}
+	if m.TasksConfirmed > m.TasksPlanned {
+		failf(t, cell, chaos, "telemetry: %d confirms exceed %d plans", m.TasksConfirmed, m.TasksPlanned)
+	}
+	if m.TasksRetried < 0 || m.TasksSuperseded < 0 || s.Retries() < 0 {
+		failf(t, cell, chaos, "telemetry: negative retry counts (%d/%d/%d)", m.TasksRetried, m.TasksSuperseded, s.Retries())
+	}
+	var comp float64
+	for _, row := range s.MWork() {
+		comp += row[0]
+	}
+	if comp <= 0 {
+		failf(t, cell, chaos, "telemetry: measured M_work Comp column is zero after training")
 	}
 }

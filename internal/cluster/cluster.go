@@ -1,32 +1,69 @@
 package cluster
 
 import (
+	"fmt"
 	"time"
 
 	"treeserver/internal/core"
 	"treeserver/internal/dataset"
 	"treeserver/internal/loadbal"
+	"treeserver/internal/obs"
 	"treeserver/internal/task"
 	"treeserver/internal/transport"
 )
 
-// Config describes an in-process TreeServer deployment.
+// AblationMode selects one of the paper-reproduction ablations. The modes
+// are mutually exclusive by construction — the old pair of booleans could
+// express a combination no experiment defines.
+type AblationMode uint8
+
+const (
+	// AblationNone is the full TreeServer design (default).
+	AblationNone AblationMode = iota
+	// AblationRoundRobin replaces the Section-VI cost model with cyclic
+	// worker assignment — the load-balancing ablation.
+	AblationRoundRobin
+	// AblationRelayRows reverts to the naive design Section V eliminates:
+	// the master ships I_x inside every task plan — the row-relay ablation.
+	AblationRelayRows
+
+	ablationModes // sentinel for validation
+)
+
+// String implements fmt.Stringer.
+func (m AblationMode) String() string {
+	switch m {
+	case AblationNone:
+		return "none"
+	case AblationRoundRobin:
+		return "round-robin"
+	case AblationRelayRows:
+		return "relay-rows"
+	default:
+		return fmt.Sprintf("AblationMode(%d)", uint8(m))
+	}
+}
+
+// Config describes an in-process TreeServer deployment. It is the internal
+// carrier the Option constructors write into; callers normally use
+// NewInProcess(tbl, cluster.WithWorkers(8), ...) rather than building one
+// directly.
 type Config struct {
 	// Workers is the number of worker machines (paper: 15). Default 4.
 	Workers int
 	// Compers is the computing-thread pool size per worker (paper: 10).
 	// Default 4.
 	Compers int
-	// Replicas is k, the column replication factor (paper default 2).
+	// Replicas is k, the column replication factor (paper default 2, clamped
+	// to Workers when defaulted).
 	Replicas int
 	// Policy holds τ_D, τ_dfs and n_pool; zero value uses the paper's
 	// defaults.
 	Policy task.Policy
 	// Heartbeat enables failure detection (0 = off).
 	Heartbeat time.Duration
-	// RoundRobinAssign / RelayRows select the two ablation modes.
-	RoundRobinAssign bool
-	RelayRows        bool
+	// Ablation selects an ablation experiment mode (default AblationNone).
+	Ablation AblationMode
 	// BandwidthBps models per-machine link speed (0 = unlimited).
 	BandwidthBps float64
 	// Passthrough skips gob serialisation on the in-memory fabric.
@@ -41,6 +78,88 @@ type Config struct {
 	// before use — the hook the chaos harness uses to inject faults into the
 	// fabric without the cluster knowing.
 	WrapEndpoint func(transport.Endpoint) transport.Endpoint
+	// Observer, when set, threads live telemetry through the whole stack:
+	// transport links, master scheduling, worker stopwatches and split
+	// kernels. nil disables telemetry at one pointer check per event.
+	Observer *obs.Registry
+}
+
+// Option mutates a Config — the documented constructor surface of
+// NewInProcess.
+type Option func(*Config)
+
+// WithWorkers sets the number of worker machines.
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithCompers sets the computing-thread pool size per worker.
+func WithCompers(n int) Option { return func(c *Config) { c.Compers = n } }
+
+// WithReplicas sets k, the column replication factor.
+func WithReplicas(k int) Option { return func(c *Config) { c.Replicas = k } }
+
+// WithPolicy sets the scheduling thresholds (τ_D, τ_dfs, n_pool).
+func WithPolicy(p task.Policy) Option { return func(c *Config) { c.Policy = p } }
+
+// WithHeartbeat enables worker failure detection at the probe interval.
+func WithHeartbeat(d time.Duration) Option { return func(c *Config) { c.Heartbeat = d } }
+
+// WithAblation selects an ablation experiment mode.
+func WithAblation(m AblationMode) Option { return func(c *Config) { c.Ablation = m } }
+
+// WithBandwidth models per-machine link speed in bytes per second.
+func WithBandwidth(bps float64) Option { return func(c *Config) { c.BandwidthBps = bps } }
+
+// WithPassthrough toggles gob-free delivery on the in-memory fabric.
+func WithPassthrough(on bool) Option { return func(c *Config) { c.Passthrough = on } }
+
+// WithJobTimeout bounds each Train call (negative disables the bound).
+func WithJobTimeout(d time.Duration) Option { return func(c *Config) { c.JobTimeout = d } }
+
+// WithTaskRetry enables master-side task re-execution on the per-attempt
+// deadline, bounded to maxAttempts executions per task (0 = default 5).
+func WithTaskRetry(every time.Duration, maxAttempts int) Option {
+	return func(c *Config) {
+		c.TaskRetry = every
+		c.MaxTaskAttempts = maxAttempts
+	}
+}
+
+// WithEndpointWrapper decorates every endpoint before use (fault injection).
+func WithEndpointWrapper(wrap func(transport.Endpoint) transport.Endpoint) Option {
+	return func(c *Config) { c.WrapEndpoint = wrap }
+}
+
+// WithObserver attaches a telemetry registry to the deployment.
+func WithObserver(r *obs.Registry) Option { return func(c *Config) { c.Observer = r } }
+
+// WithConfig replaces the whole Config — the escape hatch for harnesses that
+// build configurations programmatically (chaos grids, experiment sweeps).
+// Options applied after it still take effect.
+func WithConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }
+
+// validate rejects configurations that previously defaulted or panicked
+// silently. It runs on the caller's values, before defaults are applied.
+func (c Config) validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("cluster: Workers %d is negative", c.Workers)
+	}
+	if c.Compers < 0 {
+		return fmt.Errorf("cluster: Compers %d is negative", c.Compers)
+	}
+	if c.Replicas < 0 {
+		return fmt.Errorf("cluster: Replicas %d is negative", c.Replicas)
+	}
+	workers := c.Workers
+	if workers == 0 {
+		workers = 4
+	}
+	if c.Replicas > workers {
+		return fmt.Errorf("cluster: Replicas %d exceeds Workers %d — a column cannot have more replicas than machines", c.Replicas, workers)
+	}
+	if c.Ablation >= ablationModes {
+		return fmt.Errorf("cluster: unknown AblationMode(%d)", uint8(c.Ablation))
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -52,6 +171,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Replicas <= 0 {
 		c.Replicas = 2
+		if c.Replicas > c.Workers {
+			c.Replicas = c.Workers
+		}
 	}
 	if c.Policy == (task.Policy{}) {
 		c.Policy = task.DefaultPolicy()
@@ -77,11 +199,25 @@ type Cluster struct {
 	start   time.Time
 }
 
-// NewInProcess partitions the table's columns over cfg.Workers workers
-// (k = cfg.Replicas copies each, Y everywhere — the paper's loading scheme)
-// and starts master and workers.
-func NewInProcess(tbl *dataset.Table, cfg Config) *Cluster {
+// NewInProcess partitions the table's columns over the configured number of
+// workers (k replicas each, Y everywhere — the paper's loading scheme) and
+// starts master and workers. Invalid configurations (negative counts, more
+// replicas than workers, unknown ablation modes, missing table) return an
+// error instead of silently defaulting, matching dataset.NewTable's
+// convention.
+func NewInProcess(tbl *dataset.Table, opts ...Option) (*Cluster, error) {
+	if tbl == nil {
+		return nil, fmt.Errorf("cluster: nil table")
+	}
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
+
 	net := transport.NewMemNetwork()
 	net.BandwidthBps = cfg.BandwidthBps
 	net.Passthrough = cfg.Passthrough
@@ -89,12 +225,15 @@ func NewInProcess(tbl *dataset.Table, cfg Config) *Cluster {
 	schema := SchemaOf(tbl)
 	placement := loadbal.RoundRobin(tbl.FeatureIndexes(), cfg.Workers, cfg.Replicas)
 
+	// The telemetry decorator wraps outermost so it observes exactly what the
+	// application sends and receives — after any fault-injection wrapper has
+	// had its chance to drop or delay the message.
 	endpoint := func(name string) transport.Endpoint {
 		ep := transport.Endpoint(net.Endpoint(name))
 		if cfg.WrapEndpoint != nil {
 			ep = cfg.WrapEndpoint(ep)
 		}
-		return ep
+		return cfg.Observer.Wrap(ep)
 	}
 
 	c := &Cluster{Net: net, cfg: cfg, start: time.Now()}
@@ -107,22 +246,26 @@ func NewInProcess(tbl *dataset.Table, cfg Config) *Cluster {
 				}
 			}
 		}
-		worker := NewWorker(w, endpoint(WorkerName(w)), schema, cols, tbl.Y(), cfg.Compers)
+		worker := NewWorker(w, endpoint(WorkerName(w)), schema, cols, tbl.Y(), cfg.Compers, cfg.Observer)
 		worker.Start()
 		c.Workers = append(c.Workers, worker)
 	}
 	c.Master = NewMaster(endpoint(MasterName), schema, placement, MasterConfig{
 		NumWorkers: cfg.Workers, Policy: cfg.Policy,
-		Heartbeat:        cfg.Heartbeat,
-		RoundRobinAssign: cfg.RoundRobinAssign,
-		RelayRows:        cfg.RelayRows,
-		JobTimeout:       cfg.JobTimeout,
-		TaskRetry:        cfg.TaskRetry,
-		MaxTaskAttempts:  cfg.MaxTaskAttempts,
+		Heartbeat:       cfg.Heartbeat,
+		Ablation:        cfg.Ablation,
+		JobTimeout:      cfg.JobTimeout,
+		TaskRetry:       cfg.TaskRetry,
+		MaxTaskAttempts: cfg.MaxTaskAttempts,
+		Obs:             cfg.Observer,
 	})
 	c.Master.Start()
-	return c
+	return c, nil
 }
+
+// Observer returns the telemetry registry the cluster was built with (nil
+// when telemetry is disabled).
+func (c *Cluster) Observer() *obs.Registry { return c.cfg.Observer }
 
 // Train runs one job and returns the trees in spec order.
 func (c *Cluster) Train(specs []TreeSpec) ([]*core.Tree, error) {

@@ -21,6 +21,17 @@ func testConfig() Config {
 	return Config{Workers: 4, Compers: 2, Replicas: 2, Policy: smallPolicy(), JobTimeout: time.Minute}
 }
 
+// newTestCluster builds a cluster from a literal Config, failing the test on
+// configuration errors.
+func newTestCluster(t *testing.T, tbl *dataset.Table, cfg Config) *Cluster {
+	t.Helper()
+	c, err := NewInProcess(tbl, WithConfig(cfg))
+	if err != nil {
+		t.Fatalf("NewInProcess: %v", err)
+	}
+	return c
+}
+
 func classifyAll(tr *core.Tree, tbl *dataset.Table) []int32 {
 	out := make([]int32, tbl.NumRows())
 	for r := range out {
@@ -42,7 +53,7 @@ func TestDistributedMatchesSerial(t *testing.T) {
 	for _, spec := range cases {
 		t.Run(spec.Name, func(t *testing.T) {
 			tbl := synth.GenerateTrain(spec)
-			c := NewInProcess(tbl, testConfig())
+			c := newTestCluster(t, tbl, testConfig())
 			defer c.Close()
 
 			params := core.Defaults()
@@ -73,7 +84,7 @@ func TestAllSubtreePath(t *testing.T) {
 	tbl := synth.GenerateTrain(synth.Spec{Name: "tiny", Rows: 500, NumNumeric: 5, NumClasses: 2, ConceptDepth: 3, Seed: 31})
 	cfg := testConfig()
 	cfg.Policy = task.Policy{TauD: 1000, TauDFS: 2000, NPool: 4}
-	c := NewInProcess(tbl, cfg)
+	c := newTestCluster(t, tbl, cfg)
 	defer c.Close()
 	got, err := c.TrainOne(core.Defaults())
 	if err != nil {
@@ -91,7 +102,7 @@ func TestAllColumnPath(t *testing.T) {
 	tbl := synth.GenerateTrain(synth.Spec{Name: "colsonly", Rows: 1500, NumNumeric: 5, NumCategorical: 2, NumClasses: 2, ConceptDepth: 4, Seed: 32})
 	cfg := testConfig()
 	cfg.Policy = task.Policy{TauD: 1, TauDFS: 800, NPool: 4}
-	c := NewInProcess(tbl, cfg)
+	c := newTestCluster(t, tbl, cfg)
 	defer c.Close()
 	params := core.Defaults()
 	params.MaxDepth = 6
@@ -110,7 +121,7 @@ func TestSingleWorkerCluster(t *testing.T) {
 	cfg := testConfig()
 	cfg.Workers = 1
 	cfg.Replicas = 1
-	c := NewInProcess(tbl, cfg)
+	c := newTestCluster(t, tbl, cfg)
 	defer c.Close()
 	got, err := c.TrainOne(core.Defaults())
 	if err != nil {
@@ -124,7 +135,7 @@ func TestSingleWorkerCluster(t *testing.T) {
 
 func TestForestJobWithBaggingAndColumnSampling(t *testing.T) {
 	tbl := synth.GenerateTrain(synth.Spec{Name: "forest", Rows: 4000, NumNumeric: 9, NumClasses: 2, ConceptDepth: 5, LabelNoise: 0.05, Seed: 34})
-	c := NewInProcess(tbl, testConfig())
+	c := newTestCluster(t, tbl, testConfig())
 	defer c.Close()
 
 	var specs []TreeSpec
@@ -180,7 +191,7 @@ func TestNPoolOne(t *testing.T) {
 	tbl := synth.GenerateTrain(synth.Spec{Name: "npool", Rows: 2000, NumNumeric: 5, NumClasses: 2, ConceptDepth: 4, Seed: 35})
 	cfg := testConfig()
 	cfg.Policy.NPool = 1
-	c := NewInProcess(tbl, cfg)
+	c := newTestCluster(t, tbl, cfg)
 	defer c.Close()
 	specs := make([]TreeSpec, 4)
 	for i := range specs {
@@ -201,7 +212,7 @@ func TestSequentialJobs(t *testing.T) {
 	// Boosting layers and deep-forest levels run as consecutive jobs on one
 	// cluster; state must not leak between them.
 	tbl := synth.GenerateTrain(synth.Spec{Name: "seq", Rows: 2000, NumNumeric: 5, NumClasses: 2, ConceptDepth: 4, Seed: 36})
-	c := NewInProcess(tbl, testConfig())
+	c := newTestCluster(t, tbl, testConfig())
 	defer c.Close()
 	first, err := c.TrainOne(core.Defaults())
 	if err != nil {
@@ -224,8 +235,10 @@ func TestMasterNeverShipsRows(t *testing.T) {
 
 	run := func(relay bool) (int64, *core.Tree) {
 		cfg := testConfig()
-		cfg.RelayRows = relay
-		c := NewInProcess(tbl, cfg)
+		if relay {
+			cfg.Ablation = AblationRelayRows
+		}
+		c := newTestCluster(t, tbl, cfg)
 		defer c.Close()
 		params := core.Defaults()
 		params.MaxDepth = 8
@@ -248,8 +261,8 @@ func TestMasterNeverShipsRows(t *testing.T) {
 func TestRoundRobinAblation(t *testing.T) {
 	tbl := synth.GenerateTrain(synth.Spec{Name: "rr", Rows: 3000, NumNumeric: 6, NumClasses: 2, ConceptDepth: 4, Seed: 38})
 	cfg := testConfig()
-	cfg.RoundRobinAssign = true
-	c := NewInProcess(tbl, cfg)
+	cfg.Ablation = AblationRoundRobin
+	c := newTestCluster(t, tbl, cfg)
 	defer c.Close()
 	got, err := c.TrainOne(core.Defaults())
 	if err != nil {
@@ -263,7 +276,7 @@ func TestRoundRobinAblation(t *testing.T) {
 
 func TestExtraTreesDistributed(t *testing.T) {
 	train, test := synth.Generate(synth.Spec{Name: "xt", Rows: 5000, NumNumeric: 6, NumClasses: 2, ConceptDepth: 4, Seed: 39}, 0.25)
-	c := NewInProcess(train, testConfig())
+	c := newTestCluster(t, train, testConfig())
 	defer c.Close()
 	params := core.Defaults()
 	params.ExtraTrees = true
@@ -285,7 +298,7 @@ func TestLoadBalancedBetterOrEqualMasterBytes(t *testing.T) {
 	// Sanity: the cost model must not change correctness and the workload
 	// matrix must return to ~zero once the job completes.
 	tbl := synth.GenerateTrain(synth.Spec{Name: "mwork", Rows: 3000, NumNumeric: 6, NumClasses: 2, ConceptDepth: 4, Seed: 40})
-	c := NewInProcess(tbl, testConfig())
+	c := newTestCluster(t, tbl, testConfig())
 	defer c.Close()
 	if _, err := c.TrainOne(core.Defaults()); err != nil {
 		t.Fatalf("train: %v", err)
@@ -305,7 +318,7 @@ func TestWorkerCrashRecovery(t *testing.T) {
 	cfg.Workers = 5
 	cfg.Heartbeat = 20 * time.Millisecond
 	cfg.JobTimeout = 2 * time.Minute
-	c := NewInProcess(tbl, cfg)
+	c := newTestCluster(t, tbl, cfg)
 	defer c.Close()
 
 	params := core.Defaults()

@@ -19,7 +19,7 @@ func TestPassthroughModeMatchesSerial(t *testing.T) {
 		Name: "pass", Rows: 2500, NumNumeric: 5, NumCategorical: 2,
 		NumClasses: 2, ConceptDepth: 4, Seed: 97,
 	})
-	c := NewInProcess(tbl, Config{
+	c := newTestCluster(t, tbl, Config{
 		Workers: 3, Compers: 2, Passthrough: true,
 		Policy: task.Policy{TauD: 300, TauDFS: 1200, NPool: 4},
 	})
@@ -41,7 +41,7 @@ func TestBandwidthModelSlowsTraining(t *testing.T) {
 		Name: "bw", Rows: 2500, NumNumeric: 6, NumClasses: 2, ConceptDepth: 4, Seed: 98,
 	})
 	run := func(bps float64) (time.Duration, *core.Tree) {
-		c := NewInProcess(tbl, Config{
+		c := newTestCluster(t, tbl, Config{
 			Workers: 3, Compers: 2, BandwidthBps: bps,
 			Policy: task.Policy{TauD: 300, TauDFS: 1200, NPool: 4},
 		})

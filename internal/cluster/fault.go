@@ -109,7 +109,8 @@ func (m *Master) NotifyWorkerFailure(failed int) {
 	}
 
 	// Pass 2: revoke tasks that involved the dead worker; requeue the
-	// recoverable ones at the head of B_plan.
+	// recoverable ones at the head of B_plan. A task of a broken tree is
+	// superseded — the restart re-plans the tree from its root instead.
 	for id, entry := range m.tasks {
 		involved := entry.involved[failed]
 		if !involved && !broken[entry.plan.tree] {
@@ -126,8 +127,13 @@ func (m *Master) NotifyWorkerFailure(failed int) {
 			entry.received = 0
 			entry.best.Valid = false
 			m.bplan.PushHead(entry.plan)
+			m.obs.TaskRetried()
+			m.obs.PlanRequeued()
+		} else {
+			m.obs.TaskSuperseded()
 		}
 	}
+	m.obs.SetDequeDepth(m.bplan.Len())
 
 	// Pass 3: restart broken trees from their roots.
 	if len(broken) > 0 {
@@ -210,11 +216,13 @@ func (m *Master) restartTreeLocked(tid int32) {
 		kind:   m.cfg.Policy.KindFor(size),
 		epoch:  a.epoch,
 	}
-	if m.cfg.RelayRows {
+	if m.cfg.Ablation == AblationRelayRows {
 		root.rows = a.spec.Bag.Rows()
 	}
 	m.prog.Add(tid, 1)
 	m.bplan.PushHead(root)
+	m.obs.PlanRequeued()
+	m.obs.SetDequeDepth(m.bplan.Len())
 }
 
 // AliveWorkers returns the indexes of workers currently believed alive.

@@ -10,6 +10,7 @@ import (
 	"treeserver/internal/dataset"
 	"treeserver/internal/impurity"
 	"treeserver/internal/loadbal"
+	"treeserver/internal/obs"
 	"treeserver/internal/split"
 	"treeserver/internal/task"
 	"treeserver/internal/transport"
@@ -31,12 +32,9 @@ type MasterConfig struct {
 	// Heartbeat enables worker failure detection at this probe interval;
 	// zero disables it (a worker is declared failed after 3 missed probes).
 	Heartbeat time.Duration
-	// RoundRobinAssign replaces the Section-VI cost model with cyclic
-	// assignment — the load-balancing ablation.
-	RoundRobinAssign bool
-	// RelayRows reverts to the naive design Section V eliminates: the
-	// master ships I_x inside every task plan — the row-relay ablation.
-	RelayRows bool
+	// Ablation selects the load-balancing or row-relay ablation (default
+	// AblationNone, the full design).
+	Ablation AblationMode
 	// JobTimeout bounds Train; zero means no limit.
 	JobTimeout time.Duration
 	// TaskRetry enables master-side task re-execution: a task with no result
@@ -48,6 +46,9 @@ type MasterConfig struct {
 	// MaxTaskAttempts bounds executions per task (default 5 when TaskRetry
 	// is set); exhausting it fails the job.
 	MaxTaskAttempts int
+	// Obs, when non-nil, receives the master's scheduling telemetry (B_plan
+	// pushes, pool occupancy, task lifecycle spans).
+	Obs *obs.Registry
 }
 
 // plan is a task not yet assigned to workers (an element of B_plan).
@@ -67,17 +68,18 @@ type plan struct {
 
 // mtask is the master-side task table entry.
 type mtask struct {
-	plan       *plan
-	charges    []loadbal.Charge
-	involved   map[int]bool
-	got        map[int]bool // workers whose result arrived (dedups retries)
-	expected   int
-	received   int
-	best       split.Candidate
-	bestWorker int
-	stats      NodeStats
-	statsSet   bool
-	assignedAt time.Time // when this attempt's plans were shipped
+	plan        *plan
+	charges     []loadbal.Charge
+	involved    map[int]bool
+	got         map[int]bool // workers whose result arrived (dedups retries)
+	expected    int
+	received    int
+	best        split.Candidate
+	bestWorker  int
+	stats       NodeStats
+	statsSet    bool
+	assignedAt  time.Time // when this attempt's plans were shipped
+	confirmedAt time.Time // when the winning split was confirmed (column tasks)
 }
 
 // assembly tracks one tree under construction.
@@ -103,6 +105,7 @@ type Master struct {
 	matrix    *loadbal.Matrix
 	bplan     *task.Deque[*plan]
 	prog      *task.Progress
+	obs       *obs.MasterObs // nil when telemetry is disabled
 
 	mu           sync.Mutex
 	tasks        map[task.ID]*mtask
@@ -145,6 +148,7 @@ func NewMaster(ep transport.Endpoint, schema Schema, placement loadbal.Placement
 		matrix:    loadbal.NewMatrix(cfg.NumWorkers),
 		bplan:     &task.Deque[*plan]{},
 		prog:      task.NewProgress(),
+		obs:       cfg.Obs.Master(),
 		tasks:     map[task.ID]*mtask{},
 		trees:     map[int32]*assembly{},
 		alive:     make([]bool, cfg.NumWorkers),
@@ -293,6 +297,7 @@ func (m *Master) mainLoop() {
 			time.Sleep(100 * time.Microsecond)
 			continue
 		}
+		m.obs.SetDequeDepth(m.bplan.Len())
 		m.assignAndSend(p)
 	}
 }
@@ -311,11 +316,14 @@ func (m *Master) admitTreeLocked(a *assembly) {
 		kind:   m.cfg.Policy.KindFor(size),
 		epoch:  a.epoch,
 	}
-	if m.cfg.RelayRows {
+	if m.cfg.Ablation == AblationRelayRows {
 		root.rows = a.spec.Bag.Rows()
 	}
 	m.prog.Add(tid, 1)
 	m.bplan.Push(root, size, m.cfg.Policy)
+	m.obs.SetPool(m.active)
+	m.obs.PlanPushed(m.cfg.Policy.DepthFirst(size))
+	m.obs.SetDequeDepth(m.bplan.Len())
 }
 
 func (m *Master) newTaskIDLocked() task.ID {
@@ -345,7 +353,7 @@ func (m *Master) assignAndSend(p *plan) {
 	}
 	alive := append([]bool(nil), m.alive...)
 	var assignment loadbal.Assignment
-	if m.cfg.RoundRobinAssign {
+	if m.cfg.Ablation == AblationRoundRobin {
 		assignment = loadbal.AssignRoundRobin(m.placement, cols, &m.rrCounter, p.kind == task.SubtreeTask)
 	} else if p.kind == task.SubtreeTask {
 		assignment = loadbal.AssignSubtree(m.matrix, m.placement, cols, p.size, p.parent.Worker, alive)
@@ -374,6 +382,7 @@ func (m *Master) assignAndSend(p *plan) {
 		}
 	}
 	m.tasks[p.id] = entry
+	m.obs.TaskPlanned(p.size, attempt)
 	measure := a.measure
 	numClasses := m.schema.NumClasses
 	maxExh := a.spec.Params.MaxExhaustiveLevels
@@ -481,6 +490,9 @@ func (m *Master) decideSplitLocked(entry *mtask) {
 			m.matrix.Revert(entry.charges)
 			delete(m.tasks, p.id)
 			m.bplan.PushHead(p)
+			m.obs.TaskRetried()
+			m.obs.PlanRequeued()
+			m.obs.SetDequeDepth(m.bplan.Len())
 			return
 		}
 		m.makeLeafLocked(entry)
@@ -492,7 +504,9 @@ func (m *Master) decideSplitLocked(entry *mtask) {
 			m.send(w, DropTaskMsg{Task: p.id, Attempt: p.attempt})
 		}
 	}
-	m.send(entry.bestWorker, ConfirmSplitMsg{Task: p.id, Attempt: p.attempt, Cond: entry.best.Cond, Relay: m.cfg.RelayRows})
+	entry.confirmedAt = time.Now()
+	m.obs.TaskConfirmed(entry.confirmedAt.Sub(entry.assignedAt))
+	m.send(entry.bestWorker, ConfirmSplitMsg{Task: p.id, Attempt: p.attempt, Cond: entry.best.Cond, Relay: m.cfg.Ablation == AblationRelayRows})
 }
 
 // makeLeafLocked turns the task's node into a leaf (pure node, or no column
@@ -507,6 +521,7 @@ func (m *Master) makeLeafLocked(entry *mtask) {
 	}
 	m.matrix.Revert(entry.charges)
 	delete(m.tasks, p.id)
+	m.obs.TaskCompleted()
 	m.releaseParentLocked(p)
 	m.finishTaskLocked(p)
 }
@@ -544,6 +559,10 @@ func (m *Master) handleSplitDone(msg SplitDoneMsg) {
 
 	m.matrix.Revert(entry.charges)
 	delete(m.tasks, p.id)
+	m.obs.TaskCompleted()
+	if !entry.confirmedAt.IsZero() {
+		m.obs.SplitApplied(time.Since(entry.confirmedAt))
+	}
 	m.releaseParentLocked(p)
 	m.finishTaskLocked(p)
 }
@@ -567,11 +586,13 @@ func (m *Master) spawnChildLocked(a *assembly, p *plan, delegate int, side uint8
 		kind:   m.cfg.Policy.KindFor(size),
 		epoch:  p.epoch,
 	}
-	if m.cfg.RelayRows {
+	if m.cfg.Ablation == AblationRelayRows {
 		child.rows = rows
 	}
 	m.prog.Add(p.tree, 1)
 	m.bplan.Push(child, size, m.cfg.Policy)
+	m.obs.PlanPushed(m.cfg.Policy.DepthFirst(size))
+	m.obs.SetDequeDepth(m.bplan.Len())
 }
 
 func (m *Master) handleSubtreeResult(msg SubtreeResultMsg) {
@@ -588,6 +609,7 @@ func (m *Master) handleSubtreeResult(msg SubtreeResultMsg) {
 	graft(p.node, msg.Subtree.Root, p.depth)
 	m.matrix.Revert(entry.charges)
 	delete(m.tasks, p.id)
+	m.obs.TaskCompleted()
 	m.releaseParentLocked(p)
 	m.finishTaskLocked(p)
 }
@@ -624,6 +646,7 @@ func (m *Master) finishTaskLocked(p *plan) {
 	a := m.trees[p.tree]
 	delete(m.trees, p.tree)
 	m.active--
+	m.obs.SetPool(m.active)
 	tree := finalizeTree(a.root, m.schema)
 	if m.results != nil && a.index < len(m.results) {
 		m.results[a.index] = tree
@@ -745,6 +768,9 @@ func (m *Master) requeueTaskLocked(id task.ID, entry *mtask, reason string) {
 	m.matrix.Revert(entry.charges)
 	delete(m.tasks, id)
 	m.bplan.PushHead(p)
+	m.obs.TaskRetried()
+	m.obs.PlanRequeued()
+	m.obs.SetDequeDepth(m.bplan.Len())
 }
 
 func (m *Master) failJobLocked(err error) {

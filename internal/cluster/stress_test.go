@@ -22,7 +22,7 @@ func TestManyTreesInterleaved(t *testing.T) {
 		Name: "stress", Rows: 3000, NumNumeric: 6, NumCategorical: 2,
 		NumClasses: 2, ConceptDepth: 5, LabelNoise: 0.05, Seed: 95,
 	})
-	c := NewInProcess(tbl, Config{
+	c := newTestCluster(t, tbl, Config{
 		Workers: 5, Compers: 3,
 		Policy:     task.Policy{TauD: 120, TauDFS: 700, NPool: 40},
 		JobTimeout: 3 * time.Minute,
@@ -53,7 +53,7 @@ func TestRepeatedJobsLeaveNoResidue(t *testing.T) {
 	tbl := synth.GenerateTrain(synth.Spec{
 		Name: "residue", Rows: 1200, NumNumeric: 4, NumClasses: 2, ConceptDepth: 3, Seed: 96,
 	})
-	c := NewInProcess(tbl, Config{
+	c := newTestCluster(t, tbl, Config{
 		Workers: 3, Compers: 2,
 		Policy: task.Policy{TauD: 200, TauDFS: 600, NPool: 8},
 	})

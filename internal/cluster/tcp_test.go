@@ -54,7 +54,7 @@ func TestClusterOverTCP(t *testing.T) {
 				}
 			}
 		}
-		workers[i] = NewWorker(i, ep, schema, cols, tbl.Y(), 2)
+		workers[i] = NewWorker(i, ep, schema, cols, tbl.Y(), 2, nil)
 		workers[i].Start()
 	}
 	m := NewMaster(mep, schema, placement, MasterConfig{

@@ -10,6 +10,7 @@ import (
 
 	"treeserver/internal/core"
 	"treeserver/internal/dataset"
+	"treeserver/internal/obs"
 	"treeserver/internal/split"
 	"treeserver/internal/task"
 	"treeserver/internal/transport"
@@ -41,6 +42,12 @@ type Worker struct {
 	// concurrent column-tasks can engage the presorted split fast path
 	// without allocating a fresh membership set per task.
 	rowSets sync.Pool
+
+	// obs is this worker's measured M_work row; sc the shared split-kernel
+	// counters. Both nil when telemetry is disabled — hot paths gate their
+	// stopwatches on the nil check so the disabled cost is one comparison.
+	obs *obs.WorkerObs
+	sc  *obs.SplitCounters
 }
 
 // colWait parks a continuation until all its columns are installed. This
@@ -73,7 +80,10 @@ type wtask struct {
 
 // NewWorker constructs a worker holding the given column replicas plus the
 // full target column y. Start must be called before the master sends plans.
-func NewWorker(id int, ep transport.Endpoint, schema Schema, cols map[int]*dataset.Column, y *dataset.Column, compers int) *Worker {
+// reg, when non-nil, receives the worker's Comp/Send/Recv stopwatches and
+// pool telemetry; the worker resolves its collectors once here so the hot
+// paths pay a single pointer check.
+func NewWorker(id int, ep transport.Endpoint, schema Schema, cols map[int]*dataset.Column, y *dataset.Column, compers int, reg *obs.Registry) *Worker {
 	if compers < 1 {
 		compers = 1
 	}
@@ -86,6 +96,8 @@ func NewWorker(id int, ep transport.Endpoint, schema Schema, cols map[int]*datas
 		tasks:    map[task.ID]*wtask{},
 		rowWaits: map[task.ID][]func([]int32){},
 		btask:    make(chan func(), 4096),
+		obs:      reg.Worker(id),
+		sc:       reg.Split(),
 	}
 }
 
@@ -135,7 +147,9 @@ func (w *Worker) comperLoop() {
 	for job := range w.btask {
 		start := time.Now()
 		job()
-		w.busyNs.Add(int64(time.Since(start)))
+		d := time.Since(start)
+		w.busyNs.Add(int64(d))
+		w.obs.AddComp(d) // the measured M_work Comp column
 	}
 }
 
@@ -146,47 +160,75 @@ func (w *Worker) recvLoop() {
 		if !ok {
 			return
 		}
-		switch msg := env.Payload.(type) {
-		case ColumnPlanMsg:
-			w.handleColumnPlan(msg)
-		case SubtreePlanMsg:
-			w.handleSubtreePlan(msg)
-		case ConfirmSplitMsg:
-			w.handleConfirm(msg)
-		case DropTaskMsg:
-			w.handleDrop(msg)
-		case ReleaseSideMsg:
-			w.handleRelease(msg)
-		case RowsRequestMsg:
-			w.handleRowsRequest(msg)
-		case RowsResponseMsg:
-			w.handleRowsResponse(msg)
-		case ColDataRequestMsg:
-			w.handleColDataRequest(msg)
-		case ColDataResponseMsg:
-			w.handleColDataResponse(msg)
-		case ReplicateColumnMsg:
-			w.handleReplicate(msg)
-		case ColumnCopyMsg:
-			w.handleColumnCopy(msg)
-		case SetTargetMsg:
-			w.handleSetTarget(msg)
-		case PingMsg:
-			w.send(MasterName, PongMsg{Worker: w.id, Seq: msg.Seq})
-		case ShutdownMsg:
-			w.stopOnce.Do(func() {
-				w.ep.Close()
-				close(w.btask)
-			})
+		if w.obs != nil {
+			// Time the handler (not the blocking Recv wait): that is the
+			// measured M_work Recv column, the receive-side protocol cost.
+			start := time.Now()
+			alive := w.dispatch(env)
+			w.obs.AddRecv(time.Since(start))
+			if !alive {
+				return
+			}
+			continue
+		}
+		if !w.dispatch(env) {
 			return
 		}
 	}
+}
+
+// dispatch routes one delivered message; it returns false on shutdown.
+func (w *Worker) dispatch(env transport.Envelope) bool {
+	switch msg := env.Payload.(type) {
+	case ColumnPlanMsg:
+		w.handleColumnPlan(msg)
+	case SubtreePlanMsg:
+		w.handleSubtreePlan(msg)
+	case ConfirmSplitMsg:
+		w.handleConfirm(msg)
+	case DropTaskMsg:
+		w.handleDrop(msg)
+	case ReleaseSideMsg:
+		w.handleRelease(msg)
+	case RowsRequestMsg:
+		w.handleRowsRequest(msg)
+	case RowsResponseMsg:
+		w.handleRowsResponse(msg)
+	case ColDataRequestMsg:
+		w.handleColDataRequest(msg)
+	case ColDataResponseMsg:
+		w.handleColDataResponse(msg)
+	case ReplicateColumnMsg:
+		w.handleReplicate(msg)
+	case ColumnCopyMsg:
+		w.handleColumnCopy(msg)
+	case SetTargetMsg:
+		w.handleSetTarget(msg)
+	case PingMsg:
+		w.send(MasterName, PongMsg{Worker: w.id, Seq: msg.Seq})
+	case ShutdownMsg:
+		w.stopOnce.Do(func() {
+			w.ep.Close()
+			close(w.btask)
+		})
+		return false
+	}
+	return true
 }
 
 func (w *Worker) send(to string, payload any) {
 	// Transient fabric errors are retried with bounded backoff; permanent
 	// errors mean the peer crashed or the job is over, and the master's
 	// fault-recovery and task re-execution paths own those situations.
+	if w.obs != nil {
+		// Retries and backoff sleeps are charged too: the measured M_work
+		// Send column is the wall cost of getting bytes out, not just the
+		// happy-path serialisation.
+		start := time.Now()
+		_ = transport.SendWithRetry(w.ep, to, payload, transport.DefaultRetryPolicy())
+		w.obs.AddSend(time.Since(start))
+		return
+	}
 	_ = transport.SendWithRetry(w.ep, to, payload, transport.DefaultRetryPolicy())
 }
 
@@ -295,7 +337,7 @@ func (w *Worker) computeColumnTask(msg ColumnPlanMsg, rows []int32) {
 	// Per-comper scratch keeps the exact-split kernels allocation-free, and
 	// a pooled RowSet loaded once per task lets every numeric column of the
 	// task reuse the same membership walk over its presorted index.
-	scratch := split.GetScratch()
+	scratch := split.GetScratchObserved(w.sc)
 	defer split.PutScratch(scratch)
 	var rs *dataset.RowSet
 	if !msg.Random && split.Dense(len(rows), y.Len()) && anyNumeric(localCols) {
@@ -319,6 +361,7 @@ func (w *Worker) computeColumnTask(msg ColumnPlanMsg, rows []int32) {
 			Measure: msg.Measure, NumClasses: msg.NumClasses,
 			MaxExhaustiveLevels: msg.MaxExh,
 			RowSet:              rs, Scratch: scratch,
+			Counters: w.sc,
 		}
 		var cand split.Candidate
 		if msg.Random {
@@ -351,9 +394,11 @@ func anyNumeric(cols []*dataset.Column) bool {
 func (w *Worker) getRowSet(numRows int) *dataset.RowSet {
 	if v := w.rowSets.Get(); v != nil {
 		if rs := v.(*dataset.RowSet); rs.Cap() == numRows {
+			w.obs.RowSetGet(true)
 			return rs
 		}
 	}
+	w.obs.RowSetGet(false)
 	return dataset.NewRowSet(numRows)
 }
 
@@ -435,12 +480,14 @@ func (w *Worker) handleDrop(msg DropTaskMsg) {
 // --- Row serving (Section V) ---
 
 func (w *Worker) handleRowsRequest(msg RowsRequestMsg) {
+	start := time.Now()
 	rows, ok := w.lookupSideRows(msg.Parent.Task, msg.Parent.Side)
 	if !ok {
 		w.fail(msg.ForTask, "rows request for task %d side %d: not held", msg.Parent.Task, msg.Parent.Side)
 		return
 	}
 	w.send(WorkerName(msg.Requester), RowsResponseMsg{ForTask: msg.ForTask, Rows: rows})
+	w.obs.RowServed(time.Since(start))
 }
 
 func (w *Worker) handleRowsResponse(msg RowsResponseMsg) {

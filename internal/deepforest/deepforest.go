@@ -78,10 +78,16 @@ func LocalFactory(parallelism int) TrainerFactory {
 	}
 }
 
-// ClusterFactory runs each job on a fresh in-process TreeServer cluster.
-func ClusterFactory(cfg cluster.Config) TrainerFactory {
+// ClusterFactory runs each job on a fresh in-process TreeServer cluster
+// configured by the given options. The options are caller-chosen constants,
+// so a configuration rejected by cluster.NewInProcess is a programming error
+// and panics rather than failing every pipeline step.
+func ClusterFactory(opts ...cluster.Option) TrainerFactory {
 	return func(tbl *dataset.Table) (forest.Trainer, func()) {
-		c := cluster.NewInProcess(tbl, cfg)
+		c, err := cluster.NewInProcess(tbl, opts...)
+		if err != nil {
+			panic(fmt.Errorf("deepforest: cluster factory: %w", err))
+		}
 		return c, c.Close
 	}
 }

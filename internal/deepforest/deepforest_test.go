@@ -61,10 +61,10 @@ func TestDeepForestClusterFactory(t *testing.T) {
 	cfg.TreesPerForest = 6
 	cfg.CFLevels = 1
 	cfg.Windows = []int{7}
-	factory := ClusterFactory(cluster.Config{
-		Workers: 3, Compers: 2,
-		Policy: task.Policy{TauD: 2000, TauDFS: 8000, NPool: 16},
-	})
+	factory := ClusterFactory(
+		cluster.WithWorkers(3), cluster.WithCompers(2),
+		cluster.WithPolicy(task.Policy{TauD: 2000, TauDFS: 8000, NPool: 16}),
+	)
 	model, timings, err := Train(train, test, cfg, factory)
 	if err != nil {
 		t.Fatal(err)

@@ -23,9 +23,13 @@ func AblationMasterRelay(s Scale) *Result {
 		Header: Row{"mode", "time(s)", "master sent MB", "workers sent MB"},
 	}
 	for _, relay := range []bool{false, true} {
-		c := cluster.NewInProcess(train, cluster.Config{
+		abl := cluster.AblationNone
+		if relay {
+			abl = cluster.AblationRelayRows
+		}
+		c := mustCluster(train, cluster.Config{
 			Workers: s.Workers, Compers: s.Compers,
-			Policy: policyFor(train.NumRows()), RelayRows: relay,
+			Policy: policyFor(train.NumRows()), Ablation: abl,
 		})
 		start := time.Now()
 		if _, err := c.Train(singleTreeSpec()); err != nil {
@@ -72,7 +76,7 @@ func AblationSchedPolicy(s Scale) *Result {
 		Header: Row{"policy", "time(s)", "CPU%"},
 	}
 	for _, m := range modes {
-		c := cluster.NewInProcess(train, cluster.Config{
+		c := mustCluster(train, cluster.Config{
 			Workers: s.Workers, Compers: s.Compers, Policy: m.pol,
 		})
 		start := time.Now()
@@ -135,9 +139,13 @@ func AblationLoadBal(s Scale) *Result {
 		Header: Row{"assigner", "time(s)", "busiest worker(s)", "idlest worker(s)"},
 	}
 	for _, rr := range []bool{false, true} {
-		c := cluster.NewInProcess(train, cluster.Config{
+		mode := cluster.AblationNone
+		if rr {
+			mode = cluster.AblationRoundRobin
+		}
+		c := mustCluster(train, cluster.Config{
 			Workers: s.Workers, Compers: s.Compers,
-			Policy: policyFor(train.NumRows()), RoundRobinAssign: rr,
+			Policy: policyFor(train.NumRows()), Ablation: mode,
 		})
 		start := time.Now()
 		if _, err := c.Train(rfSpecs(train, trees, 41)); err != nil {

@@ -172,10 +172,20 @@ func (s Scale) mllibConfig(parallel bool) planet.Config {
 
 // treeServer spins an in-process cluster for a table.
 func (s Scale) treeServer(tbl *dataset.Table) *cluster.Cluster {
-	return cluster.NewInProcess(tbl, cluster.Config{
+	return mustCluster(tbl, cluster.Config{
 		Workers: s.Workers, Compers: s.Compers,
 		Policy: policyFor(tbl.NumRows()),
 	})
+}
+
+// mustCluster builds a cluster from a programmatic Config. Experiment sweeps
+// construct configurations from validated scales, so an error here is a bug.
+func mustCluster(tbl *dataset.Table, cfg cluster.Config) *cluster.Cluster {
+	c, err := cluster.NewInProcess(tbl, cluster.WithConfig(cfg))
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 // evaluate scores trees on the test table: accuracy (classification) or

@@ -29,7 +29,7 @@ func ExtensionGBT(s Scale) *Result {
 	for _, n := range rounds {
 		cfg := gbt.Config{Rounds: n, MaxDepth: 4, LearningRate: 0.3}
 
-		c := cluster.NewInProcess(train, cluster.Config{
+		c := mustCluster(train, cluster.Config{
 			Workers: s.Workers, Compers: s.Compers, Policy: policyFor(train.NumRows()),
 		})
 		start := time.Now()

@@ -28,7 +28,7 @@ func table3Datasets(s Scale) []synth.PaperSpec {
 // policy and reports wall time + peak heap.
 func trainWithPolicy(s Scale, ps synth.PaperSpec, pol task.Policy, trees int) (secs, memMB float64) {
 	train, _ := generate(ps)
-	c := cluster.NewInProcess(train, cluster.Config{
+	c := mustCluster(train, cluster.Config{
 		Workers: s.Workers, Compers: s.Compers, Policy: pol,
 	})
 	defer c.Close()

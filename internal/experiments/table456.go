@@ -154,7 +154,7 @@ func TableVI(s Scale) *Result {
 	for _, ps := range specs {
 		train, test := generate(ps)
 		for _, m := range machines {
-			c := cluster.NewInProcess(train, cluster.Config{
+			c := mustCluster(train, cluster.Config{
 				Workers: m, Compers: s.Compers, Policy: policyFor(train.NumRows()),
 			})
 			start := time.Now()

@@ -148,10 +148,13 @@ func TestDistributedForestMatchesLocal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := cluster.NewInProcess(train, cluster.Config{
-		Workers: 3, Compers: 2,
-		Policy: task.Policy{TauD: 500, TauDFS: 2000, NPool: 4},
-	})
+	c, err := cluster.NewInProcess(train,
+		cluster.WithWorkers(3), cluster.WithCompers(2),
+		cluster.WithPolicy(task.Policy{TauD: 500, TauDFS: 2000, NPool: 4}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer c.Close()
 	dist, err := Train(c, schema, cfg)
 	if err != nil {

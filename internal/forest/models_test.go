@@ -15,10 +15,13 @@ func modelTestCluster(t *testing.T) (*cluster.Cluster, cluster.Schema, func()) {
 		Name: "models", Rows: 4000, NumNumeric: 6, NumCategorical: 2,
 		NumClasses: 2, ConceptDepth: 4, Seed: 81,
 	})
-	c := cluster.NewInProcess(train, cluster.Config{
-		Workers: 3, Compers: 2,
-		Policy: task.Policy{TauD: 500, TauDFS: 2000, NPool: 32},
-	})
+	c, err := cluster.NewInProcess(train,
+		cluster.WithWorkers(3), cluster.WithCompers(2),
+		cluster.WithPolicy(task.Policy{TauD: 500, TauDFS: 2000, NPool: 32}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return c, cluster.SchemaOf(train), c.Close
 }
 

@@ -97,10 +97,13 @@ func TestDistributedMatchesLocal(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c := cluster.NewInProcess(train, cluster.Config{
-		Workers: 3, Compers: 2,
-		Policy: task.Policy{TauD: 500, TauDFS: 2000, NPool: 4},
-	})
+	c, err := cluster.NewInProcess(train,
+		cluster.WithWorkers(3), cluster.WithCompers(2),
+		cluster.WithPolicy(task.Policy{TauD: 500, TauDFS: 2000, NPool: 4}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer c.Close()
 	dist, err := Train(c, train, cfg)
 	if err != nil {
@@ -145,7 +148,10 @@ func TestSetTargetValidation(t *testing.T) {
 	if err := le.SetTarget(make([]float64, 5)); err == nil {
 		t.Fatal("wrong-length target accepted locally")
 	}
-	c := cluster.NewInProcess(train, cluster.Config{Workers: 2, Compers: 1})
+	c, err := cluster.NewInProcess(train, cluster.WithWorkers(2), cluster.WithCompers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer c.Close()
 	if err := c.SetTarget(make([]float64, 5)); err == nil {
 		t.Fatal("wrong-length target accepted by cluster")

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// published holds the registry the process-wide expvar export reads from.
+// expvar names can only be claimed once per process, so the export is
+// installed once and indirected through this pointer; the last registry to
+// call PublishExpvar wins.
+var (
+	published   atomic.Pointer[Registry]
+	publishOnce sync.Once
+)
+
+// PublishExpvar exposes the registry's snapshot as the expvar variable
+// "treeserver_obs" (visible on /debug/vars). Calling it again — or from a
+// second registry — repoints the variable rather than panicking on the
+// duplicate name.
+func (r *Registry) PublishExpvar() {
+	if r == nil {
+		return
+	}
+	published.Store(r)
+	publishOnce.Do(func() {
+		expvar.Publish("treeserver_obs", expvar.Func(func() any {
+			return published.Load().Snapshot()
+		}))
+	})
+}
+
+// Handler returns the opt-in debug mux tsserve and tstrain mount:
+//
+//	/debug/obs     — the JSON Snapshot
+//	/debug/vars    — expvar (includes treeserver_obs after PublishExpvar)
+//	/debug/pprof/  — the standard pprof handlers
+func (r *Registry) Handler() http.Handler {
+	r.PublishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

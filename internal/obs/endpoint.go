@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+
+	"treeserver/internal/transport"
+)
+
+// Endpoint decorates a transport.Endpoint with per-link and per-message-type
+// accounting, the same decorator shape as transport.ChaosNetwork.Wrap. It
+// also implements transport.RetryReporter, so SendWithRetry re-attempts on a
+// wrapped endpoint land in the link's retry counter.
+type Endpoint struct {
+	inner transport.Endpoint
+	reg   *Registry
+}
+
+// Wrap decorates ep with the registry's accounting. A nil registry returns
+// ep unchanged, so the disabled path has zero indirection.
+func (r *Registry) Wrap(ep transport.Endpoint) transport.Endpoint {
+	if r == nil {
+		return ep
+	}
+	return &Endpoint{inner: ep, reg: r}
+}
+
+// Name implements transport.Endpoint.
+func (e *Endpoint) Name() string { return e.inner.Name() }
+
+// Send implements transport.Endpoint: successful sends are counted on the
+// from→to link under the payload's concrete type. Byte sizes come from a
+// second gob encode — telemetry-enabled runs accept that cost; disabled runs
+// never construct an obs.Endpoint at all. The measurement encode happens
+// BEFORE the inner send: a passthrough fabric delivers the payload pointer
+// itself, so once the inner Send returns the receiver may already be
+// mutating it (e.g. the master grafting a subtree result).
+func (e *Endpoint) Send(to string, payload any) error {
+	size := 0
+	if data, encErr := transport.EncodePayload(payload); encErr == nil {
+		size = len(data)
+	}
+	err := e.inner.Send(to, payload)
+	if err == nil {
+		e.reg.CountSend(e.inner.Name(), to, fmt.Sprintf("%T", payload), size)
+	}
+	return err
+}
+
+// Recv implements transport.Endpoint. Deliveries are not re-counted (the
+// sender's decorator already accounted the link); Recv passes through so
+// wrapping is transparent to the receive loops.
+func (e *Endpoint) Recv() (transport.Envelope, bool) { return e.inner.Recv() }
+
+// Close implements transport.Endpoint.
+func (e *Endpoint) Close() error { return e.inner.Close() }
+
+// Stats implements transport.Endpoint.
+func (e *Endpoint) Stats() transport.Stats { return e.inner.Stats() }
+
+// SendRetried implements transport.RetryReporter: SendWithRetry calls it
+// before each re-attempt.
+func (e *Endpoint) SendRetried(to string) { e.reg.CountRetry(e.inner.Name(), to) }
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+var _ transport.RetryReporter = (*Endpoint)(nil)

@@ -1,0 +1,376 @@
+// Package obs is the live telemetry registry of the TreeServer stack: the
+// measured counterpart of the cost model the master schedules by. Where
+// loadbal.Matrix holds the *predicted* M_work[worker][{Comp,Send,Recv}]
+// charges of Section VI, a Registry accumulates the *observed* quantities —
+// comper compute time, send/receive stopwatches, per-link traffic, B_plan
+// push behaviour, task lifecycle counts and split-kernel dispatch rates — so
+// the two can be compared on a real run.
+//
+// Every counter is an atomic behind a nil-safe method: a disabled deployment
+// passes a nil *Registry (or nil *MasterObs / *WorkerObs / *SplitCounters)
+// through the same call sites and pays one pointer check per event, which
+// keeps the hot kernels allocation-free and within noise of the
+// un-instrumented build.
+//
+// The registry is exposed three ways: Snapshot() returns a plain
+// gob/JSON-serialisable struct for tests and benchtab; Handler() serves the
+// snapshot plus expvar and pprof over HTTP (the tsserve/tstrain debug mux);
+// Report() renders the end-of-train summary cmd/treeserver prints.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry aggregates one deployment's telemetry. All methods are safe for
+// concurrent use and safe on a nil receiver (they become no-ops or return
+// nil sub-collectors, whose methods are in turn nil-safe).
+type Registry struct {
+	start time.Time
+
+	master MasterObs
+	split  SplitCounters
+
+	mu      sync.Mutex
+	workers map[int]*WorkerObs
+
+	links sync.Map // string "from→to" -> *LinkCounters
+	msgs  sync.Map // message type name -> *MsgCounters
+}
+
+// NewRegistry returns an empty registry with the uptime clock started.
+func NewRegistry() *Registry {
+	return &Registry{start: time.Now(), workers: map[int]*WorkerObs{}}
+}
+
+// Master returns the master-side collector (nil if r is nil).
+func (r *Registry) Master() *MasterObs {
+	if r == nil {
+		return nil
+	}
+	return &r.master
+}
+
+// Split returns the split-kernel collector (nil if r is nil).
+func (r *Registry) Split() *SplitCounters {
+	if r == nil {
+		return nil
+	}
+	return &r.split
+}
+
+// Worker returns (creating on first use) the collector of one worker. The
+// id is the cluster worker index; nil if r is nil.
+func (r *Registry) Worker(id int) *WorkerObs {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w, ok := r.workers[id]
+	if !ok {
+		w = &WorkerObs{id: id}
+		r.workers[id] = w
+	}
+	return w
+}
+
+// LinkCounters counts one directed link's traffic (from→to).
+type LinkCounters struct {
+	msgs    atomic.Int64
+	bytes   atomic.Int64
+	retries atomic.Int64
+}
+
+// MsgCounters counts one wire message type across all links.
+type MsgCounters struct {
+	count atomic.Int64
+	bytes atomic.Int64
+}
+
+func (r *Registry) link(from, to string) *LinkCounters {
+	key := from + "→" + to
+	if v, ok := r.links.Load(key); ok {
+		return v.(*LinkCounters)
+	}
+	v, _ := r.links.LoadOrStore(key, &LinkCounters{})
+	return v.(*LinkCounters)
+}
+
+func (r *Registry) msgType(name string) *MsgCounters {
+	if v, ok := r.msgs.Load(name); ok {
+		return v.(*MsgCounters)
+	}
+	v, _ := r.msgs.LoadOrStore(name, &MsgCounters{})
+	return v.(*MsgCounters)
+}
+
+// CountSend records one delivered message on the from→to link.
+func (r *Registry) CountSend(from, to, msgType string, bytes int) {
+	if r == nil {
+		return
+	}
+	l := r.link(from, to)
+	l.msgs.Add(1)
+	l.bytes.Add(int64(bytes))
+	m := r.msgType(msgType)
+	m.count.Add(1)
+	m.bytes.Add(int64(bytes))
+}
+
+// CountRetry records one send re-attempt on the from→to link.
+func (r *Registry) CountRetry(from, to string) {
+	if r == nil {
+		return
+	}
+	r.link(from, to).retries.Add(1)
+}
+
+// MasterObs collects the master's scheduling telemetry: B_plan behaviour,
+// pool occupancy and the task lifecycle (plan → confirm → complete, with
+// re-executions and supersessions). All methods are nil-safe.
+type MasterObs struct {
+	pushesBFS atomic.Int64 // PushTail insertions (|D_x| > τ_dfs)
+	pushesDFS atomic.Int64 // PushHead insertions (|D_x| <= τ_dfs)
+	requeues  atomic.Int64 // PushHead re-insertions of revoked plans
+
+	dequeDepth atomic.Int64 // live B_plan length gauge
+	dequeHigh  atomic.Int64 // high-water mark of dequeDepth
+	pool       atomic.Int64 // live n_pool occupancy (trees under construction)
+	poolHigh   atomic.Int64
+
+	planned    atomic.Int64 // attempts shipped by assignAndSend
+	confirmed  atomic.Int64 // ConfirmSplit decisions
+	completed  atomic.Int64 // tasks finished (leaf, split-done or subtree)
+	retried    atomic.Int64 // attempts revoked and requeued for re-execution
+	superseded atomic.Int64 // attempts revoked without requeue (tree restart)
+
+	rowsPlanned atomic.Int64 // Σ|D_x| over planned attempts
+	attemptHigh atomic.Int64 // highest attempt number any task reached
+
+	planNs       atomic.Int64 // plan→decision latency sum (column tasks)
+	planSpans    atomic.Int64
+	confirmNs    atomic.Int64 // confirm→split-done latency sum
+	confirmSpans atomic.Int64
+}
+
+// PlanPushed records one hybrid-policy insertion into B_plan.
+func (m *MasterObs) PlanPushed(depthFirst bool) {
+	if m == nil {
+		return
+	}
+	if depthFirst {
+		m.pushesDFS.Add(1)
+	} else {
+		m.pushesBFS.Add(1)
+	}
+}
+
+// PlanRequeued records a revoked plan re-entering B_plan at the head.
+func (m *MasterObs) PlanRequeued() {
+	if m == nil {
+		return
+	}
+	m.requeues.Add(1)
+}
+
+// SetDequeDepth updates the B_plan depth gauge and its high-water mark.
+func (m *MasterObs) SetDequeDepth(n int) {
+	if m == nil {
+		return
+	}
+	m.dequeDepth.Store(int64(n))
+	for {
+		hi := m.dequeHigh.Load()
+		if int64(n) <= hi || m.dequeHigh.CompareAndSwap(hi, int64(n)) {
+			return
+		}
+	}
+}
+
+// SetPool updates the n_pool occupancy gauge and its high-water mark.
+func (m *MasterObs) SetPool(n int) {
+	if m == nil {
+		return
+	}
+	m.pool.Store(int64(n))
+	for {
+		hi := m.poolHigh.Load()
+		if int64(n) <= hi || m.poolHigh.CompareAndSwap(hi, int64(n)) {
+			return
+		}
+	}
+}
+
+// TaskPlanned records one shipped attempt: |D_x| rows, attempt number.
+func (m *MasterObs) TaskPlanned(size, attempt int) {
+	if m == nil {
+		return
+	}
+	m.planned.Add(1)
+	m.rowsPlanned.Add(int64(size))
+	for {
+		hi := m.attemptHigh.Load()
+		if int64(attempt) <= hi || m.attemptHigh.CompareAndSwap(hi, int64(attempt)) {
+			break
+		}
+	}
+}
+
+// TaskConfirmed records a ConfirmSplit decision and the plan→decision span.
+func (m *MasterObs) TaskConfirmed(sinceAssign time.Duration) {
+	if m == nil {
+		return
+	}
+	m.confirmed.Add(1)
+	m.planNs.Add(int64(sinceAssign))
+	m.planSpans.Add(1)
+}
+
+// TaskCompleted records a finished task (leaf, split-done or subtree graft).
+func (m *MasterObs) TaskCompleted() {
+	if m == nil {
+		return
+	}
+	m.completed.Add(1)
+}
+
+// SplitApplied records the delegate's confirm→split-done span.
+func (m *MasterObs) SplitApplied(sinceConfirm time.Duration) {
+	if m == nil {
+		return
+	}
+	m.confirmNs.Add(int64(sinceConfirm))
+	m.confirmSpans.Add(1)
+}
+
+// TaskRetried records an attempt revoked and requeued for re-execution
+// (task-retry deadline, worker error, extra-trees redraw, fault recovery).
+func (m *MasterObs) TaskRetried() {
+	if m == nil {
+		return
+	}
+	m.retried.Add(1)
+}
+
+// TaskSuperseded records an attempt revoked without requeue: its tree
+// restarted from the root (or the job failed), so the attempt is abandoned.
+func (m *MasterObs) TaskSuperseded() {
+	if m == nil {
+		return
+	}
+	m.superseded.Add(1)
+}
+
+// WorkerObs collects one worker's measured cost row — the observed
+// M_work[w] = (Comp, Send, Recv) of Section VI — plus row-serving and pool
+// behaviour. All methods are nil-safe.
+type WorkerObs struct {
+	id   int
+	comp atomic.Int64 // ns compers spent executing jobs
+	send atomic.Int64 // ns spent in (retried) sends
+	recv atomic.Int64 // ns the dispatcher spent in message handlers
+	jobs atomic.Int64
+
+	rowServes  atomic.Int64 // delegate row-serve requests answered
+	rowServeNs atomic.Int64
+
+	rowSetHits   atomic.Int64 // RowSet pool reuses vs fresh allocations
+	rowSetMisses atomic.Int64
+}
+
+// AddComp charges comper compute time.
+func (w *WorkerObs) AddComp(d time.Duration) {
+	if w == nil {
+		return
+	}
+	w.comp.Add(int64(d))
+	w.jobs.Add(1)
+}
+
+// AddSend charges time spent sending (including retries and backoff).
+func (w *WorkerObs) AddSend(d time.Duration) {
+	if w == nil {
+		return
+	}
+	w.send.Add(int64(d))
+}
+
+// AddRecv charges receive-side handler time.
+func (w *WorkerObs) AddRecv(d time.Duration) {
+	if w == nil {
+		return
+	}
+	w.recv.Add(int64(d))
+}
+
+// RowServed records one answered RowsRequest (Section V delegate serving).
+func (w *WorkerObs) RowServed(d time.Duration) {
+	if w == nil {
+		return
+	}
+	w.rowServes.Add(1)
+	w.rowServeNs.Add(int64(d))
+}
+
+// RowSetGet records one RowSet pool checkout.
+func (w *WorkerObs) RowSetGet(hit bool) {
+	if w == nil {
+		return
+	}
+	if hit {
+		w.rowSetHits.Add(1)
+	} else {
+		w.rowSetMisses.Add(1)
+	}
+}
+
+// SplitCounters collects split-kernel dispatch and scratch-pool telemetry.
+// All methods are nil-safe; the counters are bumped once per FindBest call,
+// never per row, so the instrumented kernels stay within noise.
+type SplitCounters struct {
+	fastPath    atomic.Int64 // presorted membership-walk dispatches
+	fallback    atomic.Int64 // numeric sort+sweep dispatches
+	categorical atomic.Int64 // categorical kernel dispatches
+
+	scratchHits   atomic.Int64 // scratch-pool reuses vs fresh allocations
+	scratchMisses atomic.Int64
+}
+
+// DispatchFast records one presorted fast-path FindBest call.
+func (c *SplitCounters) DispatchFast() {
+	if c == nil {
+		return
+	}
+	c.fastPath.Add(1)
+}
+
+// DispatchFallback records one numeric sort+sweep FindBest call.
+func (c *SplitCounters) DispatchFallback() {
+	if c == nil {
+		return
+	}
+	c.fallback.Add(1)
+}
+
+// DispatchCategorical records one categorical-kernel FindBest call.
+func (c *SplitCounters) DispatchCategorical() {
+	if c == nil {
+		return
+	}
+	c.categorical.Add(1)
+}
+
+// ScratchGet records one scratch-pool checkout.
+func (c *SplitCounters) ScratchGet(hit bool) {
+	if c == nil {
+		return
+	}
+	if hit {
+		c.scratchHits.Add(1)
+	} else {
+		c.scratchMisses.Add(1)
+	}
+}

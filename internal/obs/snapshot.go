@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of a Registry with plain exported fields,
+// so it gob/JSON-serialises without ceremony. Tests assert on it, benchtab
+// embeds it, and the debug mux serves it.
+type Snapshot struct {
+	UptimeSeconds float64
+	Master        MasterSnapshot
+	Workers       []WorkerSnapshot // sorted by ID
+	Links         []LinkSnapshot   // sorted by (From, To)
+	Messages      []MessageCount   // sorted by Type
+	Split         SplitSnapshot
+}
+
+// MasterSnapshot is the master-side scheduling state.
+type MasterSnapshot struct {
+	// B_plan behaviour under the hybrid policy.
+	PushesBFS, PushesDFS, Requeues int64
+	DequeDepth, DequeHighWater     int64
+	// n_pool occupancy (trees under construction).
+	PoolOccupancy, PoolHighWater int64
+	// Task lifecycle. At quiescence after a successful job,
+	// Planned == Completed + Retried + Superseded.
+	TasksPlanned, TasksConfirmed, TasksCompleted int64
+	TasksRetried, TasksSuperseded                int64
+	// Σ|D_x| over planned attempts, and the deepest attempt number reached.
+	RowsPlanned, MaxAttempt int64
+	// Stage-latency sums: plan→decision and confirm→split-done.
+	PlanToDecideNs, PlanToDecideSpans     int64
+	ConfirmToSplitNs, ConfirmToSplitSpans int64
+}
+
+// WorkerSnapshot is one worker's measured cost row plus pool behaviour.
+type WorkerSnapshot struct {
+	ID                       int
+	CompNs, SendNs, RecvNs   int64
+	Jobs                     int64
+	RowServes, RowServeNs    int64
+	RowSetHits, RowSetMisses int64
+}
+
+// LinkSnapshot is one directed link's traffic.
+type LinkSnapshot struct {
+	From, To             string
+	Msgs, Bytes, Retries int64
+}
+
+// MessageCount is one wire message type's traffic across all links.
+type MessageCount struct {
+	Type         string
+	Count, Bytes int64
+}
+
+// SplitSnapshot is the split-kernel dispatch and scratch-pool telemetry.
+type SplitSnapshot struct {
+	FastPath, Fallback, Categorical int64
+	ScratchHits, ScratchMisses      int64
+}
+
+// Snapshot copies the registry's current state. Safe on a nil receiver
+// (returns the zero Snapshot) and concurrently with ongoing updates —
+// individual counters are read atomically, so the result is a consistent
+// enough view for invariant checks at quiescence.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		UptimeSeconds: time.Since(r.start).Seconds(),
+		Master: MasterSnapshot{
+			PushesBFS:           r.master.pushesBFS.Load(),
+			PushesDFS:           r.master.pushesDFS.Load(),
+			Requeues:            r.master.requeues.Load(),
+			DequeDepth:          r.master.dequeDepth.Load(),
+			DequeHighWater:      r.master.dequeHigh.Load(),
+			PoolOccupancy:       r.master.pool.Load(),
+			PoolHighWater:       r.master.poolHigh.Load(),
+			TasksPlanned:        r.master.planned.Load(),
+			TasksConfirmed:      r.master.confirmed.Load(),
+			TasksCompleted:      r.master.completed.Load(),
+			TasksRetried:        r.master.retried.Load(),
+			TasksSuperseded:     r.master.superseded.Load(),
+			RowsPlanned:         r.master.rowsPlanned.Load(),
+			MaxAttempt:          r.master.attemptHigh.Load(),
+			PlanToDecideNs:      r.master.planNs.Load(),
+			PlanToDecideSpans:   r.master.planSpans.Load(),
+			ConfirmToSplitNs:    r.master.confirmNs.Load(),
+			ConfirmToSplitSpans: r.master.confirmSpans.Load(),
+		},
+		Split: SplitSnapshot{
+			FastPath:      r.split.fastPath.Load(),
+			Fallback:      r.split.fallback.Load(),
+			Categorical:   r.split.categorical.Load(),
+			ScratchHits:   r.split.scratchHits.Load(),
+			ScratchMisses: r.split.scratchMisses.Load(),
+		},
+	}
+
+	r.mu.Lock()
+	for _, w := range r.workers {
+		s.Workers = append(s.Workers, WorkerSnapshot{
+			ID:           w.id,
+			CompNs:       w.comp.Load(),
+			SendNs:       w.send.Load(),
+			RecvNs:       w.recv.Load(),
+			Jobs:         w.jobs.Load(),
+			RowServes:    w.rowServes.Load(),
+			RowServeNs:   w.rowServeNs.Load(),
+			RowSetHits:   w.rowSetHits.Load(),
+			RowSetMisses: w.rowSetMisses.Load(),
+		})
+	}
+	r.mu.Unlock()
+	sort.Slice(s.Workers, func(i, j int) bool { return s.Workers[i].ID < s.Workers[j].ID })
+
+	r.links.Range(func(k, v any) bool {
+		lc := v.(*LinkCounters)
+		key := k.(string)
+		from, to, _ := strings.Cut(key, "→")
+		s.Links = append(s.Links, LinkSnapshot{
+			From: from, To: to,
+			Msgs: lc.msgs.Load(), Bytes: lc.bytes.Load(), Retries: lc.retries.Load(),
+		})
+		return true
+	})
+	sort.Slice(s.Links, func(i, j int) bool {
+		if s.Links[i].From != s.Links[j].From {
+			return s.Links[i].From < s.Links[j].From
+		}
+		return s.Links[i].To < s.Links[j].To
+	})
+
+	r.msgs.Range(func(k, v any) bool {
+		mc := v.(*MsgCounters)
+		s.Messages = append(s.Messages, MessageCount{
+			Type: k.(string), Count: mc.count.Load(), Bytes: mc.bytes.Load(),
+		})
+		return true
+	})
+	sort.Slice(s.Messages, func(i, j int) bool { return s.Messages[i].Type < s.Messages[j].Type })
+	return s
+}
+
+// MWork returns the measured cost matrix in the same shape and units as
+// loadbal.Matrix.Snapshot(): one row per worker (aligned with s.Workers),
+// columns Comp/Send/Recv in seconds.
+func (s Snapshot) MWork() [][3]float64 {
+	out := make([][3]float64, len(s.Workers))
+	for i, w := range s.Workers {
+		out[i] = [3]float64{
+			float64(w.CompNs) / 1e9,
+			float64(w.SendNs) / 1e9,
+			float64(w.RecvNs) / 1e9,
+		}
+	}
+	return out
+}
+
+// Retries sums re-attempted sends across all links.
+func (s Snapshot) Retries() int64 {
+	var n int64
+	for _, l := range s.Links {
+		n += l.Retries
+	}
+	return n
+}
+
+// Report renders the end-of-train summary cmd/treeserver prints: the
+// measured M_work matrix, B_plan behaviour, the task-lifecycle ledger and
+// the heaviest links and message types.
+func (s Snapshot) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== telemetry (%.2fs) ===\n", s.UptimeSeconds)
+
+	m := s.Master
+	fmt.Fprintf(&b, "tasks: planned %d, confirmed %d, completed %d, retried %d, superseded %d (max attempt %d, Σ|D_x| %d)\n",
+		m.TasksPlanned, m.TasksConfirmed, m.TasksCompleted, m.TasksRetried, m.TasksSuperseded, m.MaxAttempt, m.RowsPlanned)
+	fmt.Fprintf(&b, "B_plan: %d bfs / %d dfs pushes, %d requeues, high-water %d; n_pool high-water %d\n",
+		m.PushesBFS, m.PushesDFS, m.Requeues, m.DequeHighWater, m.PoolHighWater)
+	if m.PlanToDecideSpans > 0 {
+		fmt.Fprintf(&b, "spans: plan→decide avg %s over %d", time.Duration(m.PlanToDecideNs/m.PlanToDecideSpans), m.PlanToDecideSpans)
+		if m.ConfirmToSplitSpans > 0 {
+			fmt.Fprintf(&b, ", confirm→split avg %s over %d", time.Duration(m.ConfirmToSplitNs/m.ConfirmToSplitSpans), m.ConfirmToSplitSpans)
+		}
+		b.WriteString("\n")
+	}
+
+	if len(s.Workers) > 0 {
+		b.WriteString("measured M_work (seconds):\n")
+		b.WriteString("  worker      comp      send      recv   jobs  row-serves  rowset hit/miss\n")
+		for _, w := range s.Workers {
+			fmt.Fprintf(&b, "  w%-5d %9.3f %9.3f %9.3f %6d %11d  %d/%d\n",
+				w.ID, float64(w.CompNs)/1e9, float64(w.SendNs)/1e9, float64(w.RecvNs)/1e9,
+				w.Jobs, w.RowServes, w.RowSetHits, w.RowSetMisses)
+		}
+	}
+
+	sp := s.Split
+	if sp.FastPath+sp.Fallback+sp.Categorical > 0 {
+		fmt.Fprintf(&b, "split kernels: %d presorted fast-path, %d sort+sweep, %d categorical; scratch pool %d/%d hit/miss\n",
+			sp.FastPath, sp.Fallback, sp.Categorical, sp.ScratchHits, sp.ScratchMisses)
+	}
+
+	if len(s.Links) > 0 {
+		links := append([]LinkSnapshot(nil), s.Links...)
+		sort.Slice(links, func(i, j int) bool { return links[i].Bytes > links[j].Bytes })
+		if len(links) > 8 {
+			links = links[:8]
+		}
+		b.WriteString("heaviest links:\n")
+		for _, l := range links {
+			fmt.Fprintf(&b, "  %-8s → %-8s %8d msgs %12d bytes %5d retries\n", l.From, l.To, l.Msgs, l.Bytes, l.Retries)
+		}
+	}
+
+	if len(s.Messages) > 0 {
+		msgs := append([]MessageCount(nil), s.Messages...)
+		sort.Slice(msgs, func(i, j int) bool { return msgs[i].Bytes > msgs[j].Bytes })
+		if len(msgs) > 8 {
+			msgs = msgs[:8]
+		}
+		b.WriteString("heaviest message types:\n")
+		for _, mc := range msgs {
+			fmt.Fprintf(&b, "  %-24s %8d msgs %12d bytes\n", mc.Type, mc.Count, mc.Bytes)
+		}
+	}
+	return b.String()
+}

@@ -5,6 +5,7 @@ import (
 
 	"treeserver/internal/dataset"
 	"treeserver/internal/impurity"
+	"treeserver/internal/obs"
 )
 
 // DefaultMaxExhaustiveLevels bounds full subset enumeration for categorical
@@ -53,6 +54,10 @@ type Request struct {
 	// allocation-free. nil is allowed: a private scratch is used and its
 	// buffers are garbage afterwards (the pre-optimisation behaviour).
 	Scratch *Scratch
+	// Counters, when non-nil, receives one dispatch count per FindBest call
+	// (fast path vs sort+sweep fallback vs categorical). nil disables
+	// telemetry at the cost of a single pointer check.
+	Counters *obs.SplitCounters
 }
 
 func (r *Request) maxExhaustive() int {
@@ -94,6 +99,7 @@ func FindBest(req Request) Candidate {
 		s = new(Scratch)
 	}
 	if req.usePresorted() {
+		req.Counters.DispatchFast()
 		return bestNumericPresorted(req, s)
 	}
 	present := req.Rows
@@ -116,10 +122,13 @@ func FindBest(req Request) Candidate {
 	var cand Candidate
 	switch {
 	case req.Col.Kind == dataset.Numeric:
+		req.Counters.DispatchFallback()
 		cand = bestNumeric(req, present, s)
 	case req.Y.Kind == dataset.Numeric:
+		req.Counters.DispatchCategorical()
 		cand = bestCategoricalRegression(req, present, s)
 	default:
+		req.Counters.DispatchCategorical()
 		cand = bestCategoricalClassification(req, present, s)
 	}
 	return routeMissing(cand, missN)

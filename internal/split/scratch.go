@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"treeserver/internal/impurity"
+	"treeserver/internal/obs"
 )
 
 // Scratch holds the reusable buffers of one split-finding thread. Passing a
@@ -43,10 +44,23 @@ type catGroup struct {
 	key  float64
 }
 
-var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+// scratchPool has no New hook so checkouts can distinguish a reuse from a
+// fresh allocation — the pool hit rate is a telemetry quantity.
+var scratchPool sync.Pool
 
 // GetScratch checks a Scratch out of the shared pool.
-func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+func GetScratch() *Scratch { return GetScratchObserved(nil) }
+
+// GetScratchObserved is GetScratch with pool-hit telemetry: a non-nil
+// counter records whether the checkout reused a pooled Scratch or allocated.
+func GetScratchObserved(c *obs.SplitCounters) *Scratch {
+	if v := scratchPool.Get(); v != nil {
+		c.ScratchGet(true)
+		return v.(*Scratch)
+	}
+	c.ScratchGet(false)
+	return new(Scratch)
+}
 
 // PutScratch returns a Scratch to the pool. The caller must not retain it.
 func PutScratch(s *Scratch) { scratchPool.Put(s) }

@@ -42,6 +42,16 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
+// RetryReporter is an optional interface an Endpoint (typically a telemetry
+// decorator) may implement to observe SendWithRetry re-attempts. The base
+// fabrics do not implement it; SendWithRetry discovers it by type assertion,
+// which keeps transport free of any dependency on the observer.
+type RetryReporter interface {
+	// SendRetried is called once per re-attempt (not for the first try),
+	// before the backoff sleep.
+	SendRetried(to string)
+}
+
 // SendWithRetry delivers payload like ep.Send, but survives transient fabric
 // errors (TCP hiccups, injected chaos faults, attempt timeouts) by retrying
 // under the policy. Permanent errors — closed, unknown or crashed endpoints
@@ -51,10 +61,14 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // a successful SendWithRetry can deliver the payload more than once.
 func SendWithRetry(ep Endpoint, to string, payload any, p RetryPolicy) error {
 	p = p.withDefaults()
+	rr, _ := ep.(RetryReporter)
 	delay := p.BaseDelay
 	var err error
 	for attempt := 0; attempt < p.Attempts; attempt++ {
 		if attempt > 0 {
+			if rr != nil {
+				rr.SendRetried(to)
+			}
 			time.Sleep(delay)
 			delay *= 2
 			if delay > p.MaxDelay {
