@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments ablations examples fmt vet lint clean
+.PHONY: all build test race recovery cover bench experiments ablations examples fmt vet lint clean
 
 all: build test
 
@@ -14,6 +14,13 @@ test:
 
 race:
 	$(GO) test -race ./internal/cluster/ ./internal/transport/ ./internal/task/
+
+# Crash-restart recovery suite: checkpoint format, cluster resume tests and
+# the master-kill chaos cells, all under the race detector.
+recovery:
+	$(GO) test -race ./internal/checkpoint/
+	$(GO) test -race ./internal/cluster/ -run 'TestMasterKill|TestResume|TestCheckpoint|TestRereplicate|TestMaxTreeRestarts|TestHeartbeatBudget'
+	$(GO) test -race ./internal/chaostest/ -run TestMasterKillRecovery
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -226,6 +226,104 @@ func writeObsBench(path string, quick bool) {
 	fmt.Printf("wrote %s\n", path)
 }
 
+// ckptOverheadResult is the checkpointing A/B: the same forest job with
+// durable master checkpointing off (the default) and on.
+type ckptOverheadResult struct {
+	Name            string  `json:"name"`
+	BaselineNs      float64 `json:"baseline_ns_per_op"`
+	CheckpointNs    float64 `json:"checkpoint_ns_per_op"`
+	Ratio           float64 `json:"ratio"` // checkpoint / baseline
+	Snapshots       int64   `json:"snapshots"`
+	Records         int64   `json:"records"`
+	CheckpointBytes int64   `json:"checkpoint_bytes"`
+}
+
+// ckptBenchOutput is the schema of the -ckpt-json file.
+type ckptBenchOutput struct {
+	GeneratedAt string               `json:"generated_at"`
+	GoVersion   string               `json:"go_version"`
+	Quick       bool                 `json:"quick"`
+	Results     []ckptOverheadResult `json:"results"`
+}
+
+// runCkptOverhead measures what durable checkpointing costs a forest job:
+// one fsynced snapshot at job start and end plus an fsynced append per
+// completed tree. The checkpointed arm reports its write telemetry so the
+// JSON records how much durability work the ratio paid for.
+func runCkptOverhead(quick bool) []ckptOverheadResult {
+	trainRows, trees := 12000, 8
+	if quick {
+		trainRows, trees = 4000, 4
+	}
+	tbl := synth.GenerateTrain(synth.Spec{
+		Name: "ckptbench", Rows: trainRows, NumNumeric: 6, NumCategorical: 2,
+		NumClasses: 2, ConceptDepth: 5, LabelNoise: 0.05, Seed: 52,
+	})
+	params := core.Defaults()
+	params.MaxDepth = 8
+	specs := make([]cluster.TreeSpec, trees)
+	for i := range specs {
+		specs[i] = cluster.TreeSpec{Params: params,
+			Bag: cluster.BagSpec{NumRows: trainRows, Sample: trainRows, Seed: int64(i)}}
+	}
+	trainOnce := func(dir string, reg *obs.Registry) float64 {
+		opts := []cluster.Option{
+			cluster.WithWorkers(3), cluster.WithCompers(2),
+			cluster.WithPolicy(task.Policy{TauD: trainRows / 10, TauDFS: trainRows / 2, NPool: 16}),
+			cluster.WithObserver(reg),
+		}
+		if dir != "" {
+			opts = append(opts, cluster.WithCheckpoint(dir, 0))
+		}
+		c, err := cluster.NewInProcess(tbl, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		start := time.Now()
+		if _, err := c.Train(specs); err != nil {
+			log.Fatal(err)
+		}
+		return float64(time.Since(start).Nanoseconds())
+	}
+	trainOnce("", nil) // warm up
+	base := trainOnce("", nil)
+	dir, err := os.MkdirTemp("", "benchtab-ckpt-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	reg := obs.NewRegistry()
+	ck := trainOnce(dir, reg)
+	m := reg.Snapshot().Master
+	return []ckptOverheadResult{{
+		Name: "cluster.Train/forest", BaselineNs: base, CheckpointNs: ck, Ratio: ck / base,
+		Snapshots: m.CheckpointSnapshots, Records: m.CheckpointRecords, CheckpointBytes: m.CheckpointBytes,
+	}}
+}
+
+func writeCkptBench(path string, quick bool) {
+	results := runCkptOverhead(quick)
+	for _, r := range results {
+		fmt.Printf("%-24s baseline %.0fns  checkpointed %.0fns  ratio %.3f  (%d snapshots, %d records, %d bytes)\n",
+			r.Name, r.BaselineNs, r.CheckpointNs, r.Ratio, r.Snapshots, r.Records, r.CheckpointBytes)
+	}
+	data, err := json.MarshalIndent(ckptBenchOutput{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Quick:       quick,
+		Results:     results,
+	}, "", "  ")
+	if err != nil {
+		log.Fatalf("marshal ckpt bench json: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
 func main() {
 	var (
 		table     = flag.String("table", "", "run a single experiment id (see -list)")
@@ -237,6 +335,7 @@ func main() {
 		ablations = flag.Bool("ablations", false, "run only the design ablations")
 		jsonPath  = flag.String("json", "", "write machine-readable results (tables + split kernel bench) to this file")
 		obsJSON   = flag.String("obs-json", "", "run the telemetry on/off overhead bench and write it to this file")
+		ckptJSON  = flag.String("ckpt-json", "", "run the checkpointing on/off overhead bench and write it to this file")
 	)
 	flag.Parse()
 
@@ -247,9 +346,12 @@ func main() {
 
 	if *obsJSON != "" {
 		writeObsBench(*obsJSON, *quick)
-		if *table == "" && !*ablations && *jsonPath == "" {
-			return
-		}
+	}
+	if *ckptJSON != "" {
+		writeCkptBench(*ckptJSON, *quick)
+	}
+	if (*obsJSON != "" || *ckptJSON != "") && *table == "" && !*ablations && *jsonPath == "" {
+		return
 	}
 
 	scale := experiments.Scale{BaseRows: *rows, Workers: *workers, Compers: *compers, Quick: *quick}

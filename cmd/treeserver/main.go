@@ -61,20 +61,34 @@ func main() {
 		out        = flag.String("out", "", "write the trained model to this file (tsserve-compatible)")
 		report     = flag.Bool("report", false, "print the end-of-train telemetry report")
 		debugAddr  = flag.String("debug", "", "serve /debug/obs, /debug/vars and /debug/pprof on this address")
+		ckptDir    = flag.String("checkpoint-dir", "", "enable durable master checkpointing into this directory (master/local role)")
+		ckptEvery  = flag.Duration("checkpoint-every", 0, "periodic snapshot interval between tree boundaries (0 = tree boundaries only)")
+		resume     = flag.Bool("resume", false, "recover the interrupted job from -checkpoint-dir instead of starting fresh")
 	)
 	flag.Parse()
+	if *resume && *ckptDir == "" {
+		log.Fatal("-resume requires -checkpoint-dir")
+	}
 
+	ck := ckpt{dir: *ckptDir, every: *ckptEvery, resume: *resume}
 	reg := newTelemetry(*report, *debugAddr)
 	switch *role {
 	case "local":
-		runLocal(*storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *compers, *workersN, *out, reg, *report)
+		runLocal(*storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *compers, *workersN, *out, reg, *report, ck)
 	case "worker":
 		runWorker(*listen, *masterAddr, *workerList, *id, *storeDir, *tableName, *replicas, *compers, reg)
 	case "master":
-		runMaster(*listen, *workerList, *storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *out, reg, *report)
+		runMaster(*listen, *workerList, *storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *out, reg, *report, ck)
 	default:
 		log.Fatalf("unknown role %q", *role)
 	}
+}
+
+// ckpt carries the checkpoint/resume flags to the role runners.
+type ckpt struct {
+	dir    string
+	every  time.Duration
+	resume bool
 }
 
 // newTelemetry builds the optional live registry: nil unless the user asked
@@ -151,20 +165,28 @@ func writeModel(path, job string, trained []*core.Tree, tbl *dataset.Table) {
 	fmt.Printf("model with %d tree(s) written to %s (serve it with tsserve)\n", len(trained), path)
 }
 
-func runLocal(storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas, compers, workers int, out string, reg *obs.Registry, report bool) {
+func runLocal(storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas, compers, workers int, out string, reg *obs.Registry, report bool, ck ckpt) {
 	tbl, _, _ := loadTable(storeDir, tableName)
-	c, err := cluster.NewInProcess(tbl,
+	opts := []cluster.Option{
 		cluster.WithWorkers(workers), cluster.WithCompers(compers), cluster.WithReplicas(replicas),
 		cluster.WithPolicy(task.Policy{TauD: tauD, TauDFS: tauDFS, NPool: npool}),
 		cluster.WithObserver(reg),
-	)
+	}
+	if ck.dir != "" {
+		opts = append(opts, cluster.WithCheckpoint(ck.dir, ck.every))
+	}
+	c, err := cluster.NewInProcess(tbl, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer c.Close()
-	specs := jobSpecs(tbl, job, trees, dmax, minLeaf)
 	start := time.Now()
-	trained, err := c.Train(specs)
+	var trained []*core.Tree
+	if ck.resume {
+		trained, err = c.Resume()
+	} else {
+		trained, err = c.Train(jobSpecs(tbl, job, trees, dmax, minLeaf))
+	}
 	if err != nil {
 		log.Fatalf("training: %v", err)
 	}
@@ -222,7 +244,7 @@ func runWorker(listen, masterAddr, workerList string, id int, storeDir, tableNam
 	fmt.Printf("worker %d: shutdown\n", id)
 }
 
-func runMaster(listen, workerList, storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas int, out string, reg *obs.Registry, report bool) {
+func runMaster(listen, workerList, storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas int, out string, reg *obs.Registry, report bool, ck ckpt) {
 	addrs := parseWorkers(workerList)
 	if len(addrs) == 0 {
 		log.Fatal("-workers is required for the master")
@@ -238,18 +260,28 @@ func runMaster(listen, workerList, storeDir, tableName, job string, trees, dmax,
 		log.Fatal(err)
 	}
 	placement := loadbal.RoundRobin(tbl.FeatureIndexes(), len(addrs), replicas)
-	m := cluster.NewMaster(reg.Wrap(ep), cluster.SchemaOf(tbl), placement, cluster.MasterConfig{
-		NumWorkers: len(addrs),
-		Policy:     task.Policy{TauD: tauD, TauDFS: tauDFS, NPool: npool},
-		Heartbeat:  time.Second,
-		Obs:        reg,
+	m, err := cluster.NewMaster(reg.Wrap(ep), cluster.SchemaOf(tbl), placement, cluster.MasterConfig{
+		NumWorkers:      len(addrs),
+		Policy:          task.Policy{TauD: tauD, TauDFS: tauDFS, NPool: npool},
+		Heartbeat:       time.Second,
+		Replicas:        replicas,
+		CheckpointDir:   ck.dir,
+		CheckpointEvery: ck.every,
+		Obs:             reg,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	m.Start()
 	defer m.Stop()
 
-	specs := jobSpecs(tbl, job, trees, dmax, minLeaf)
 	start := time.Now()
-	trained, err := m.Train(specs)
+	var trained []*core.Tree
+	if ck.resume {
+		trained, err = m.Resume()
+	} else {
+		trained, err = m.Train(jobSpecs(tbl, job, trees, dmax, minLeaf))
+	}
 	if err != nil {
 		log.Fatalf("training: %v", err)
 	}

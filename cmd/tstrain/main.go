@@ -43,11 +43,17 @@ func main() {
 		forceCat  = flag.String("force-categorical", "", "comma-separated columns parsed as categorical")
 		report    = flag.Bool("report", false, "print the end-of-train telemetry report")
 		debugAddr = flag.String("debug", "", "serve /debug/obs, /debug/vars and /debug/pprof on this address")
+		ckptDir   = flag.String("checkpoint-dir", "", "enable durable master checkpointing into this directory")
+		ckptEvery = flag.Duration("checkpoint-every", 0, "periodic snapshot interval between tree boundaries (0 = tree boundaries only)")
+		resume    = flag.Bool("resume", false, "recover the interrupted job from -checkpoint-dir (same CSV and flags as the original run)")
 	)
 	flag.Parse()
 	if *csvPath == "" || *target == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *resume && *ckptDir == "" {
+		log.Fatal("-resume requires -checkpoint-dir")
 	}
 
 	f, err := os.Open(*csvPath)
@@ -85,11 +91,15 @@ func main() {
 	}
 
 	rows := train.NumRows()
-	c, err := cluster.NewInProcess(train,
+	copts := []cluster.Option{
 		cluster.WithWorkers(*workers), cluster.WithCompers(*compers),
 		cluster.WithPolicy(task.Policy{TauD: max(rows/10, 64), TauDFS: max(rows/2, 128), NPool: 200}),
 		cluster.WithObserver(reg),
-	)
+	}
+	if *ckptDir != "" {
+		copts = append(copts, cluster.WithCheckpoint(*ckptDir, *ckptEvery))
+	}
+	c, err := cluster.NewInProcess(train, copts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -111,23 +121,36 @@ func main() {
 	}
 
 	start := time.Now()
-	trained, err := forest.TrainModels(c, cluster.SchemaOf(train), []forest.ModelSpec{spec})
-	if err != nil {
-		log.Fatalf("training: %v", err)
+	var fst *forest.Forest
+	if *resume {
+		// The tree specs come from the checkpoint, so the CSV and flags must
+		// match the interrupted run for the model to be meaningful.
+		trees, err := c.Resume()
+		if err != nil {
+			log.Fatalf("resuming: %v", err)
+		}
+		fst = &forest.Forest{Trees: trees, Task: train.Task(), NumClasses: train.NumClasses()}
+		fmt.Printf("resumed %s with %d tree(s) in %s\n",
+			spec.Kind, len(fst.Trees), time.Since(start).Round(time.Millisecond))
+	} else {
+		trained, err := forest.TrainModels(c, cluster.SchemaOf(train), []forest.ModelSpec{spec})
+		if err != nil {
+			log.Fatalf("training: %v", err)
+		}
+		fst = trained[0].Forest
+		fmt.Printf("trained %s with %d tree(s) in %s\n",
+			trained[0].Spec.Kind, len(fst.Trees), time.Since(start).Round(time.Millisecond))
 	}
-	m := trained[0]
-	fmt.Printf("trained %s with %d tree(s) in %s\n",
-		m.Spec.Kind, len(m.Forest.Trees), time.Since(start).Round(time.Millisecond))
 
 	if test != nil {
 		if train.Task() == dataset.Classification {
-			fmt.Printf("held-out accuracy: %.2f%%\n", m.Forest.Accuracy(test)*100)
+			fmt.Printf("held-out accuracy: %.2f%%\n", fst.Accuracy(test)*100)
 		} else {
-			fmt.Printf("held-out RMSE: %.4f\n", m.Forest.RMSE(test))
+			fmt.Printf("held-out RMSE: %.4f\n", fst.RMSE(test))
 		}
 	}
 	if *out != "" {
-		if err := model.SaveForestFile(*out, *job, m.Forest, model.SchemaOf(train)); err != nil {
+		if err := model.SaveForestFile(*out, *job, fst, model.SchemaOf(train)); err != nil {
 			log.Fatalf("writing model: %v", err)
 		}
 		fmt.Printf("model written to %s (serve it with tsserve)\n", *out)

@@ -1,0 +1,160 @@
+// Package checkpoint is the master's durable-state subsystem: a versioned,
+// CRC-guarded on-disk format holding everything a restarted master needs to
+// resume a training job — the job spec (per-tree params and bags), the column
+// placement, the completed trees, and the task-ledger counters.
+//
+// A checkpoint file is a header followed by records:
+//
+//	header:  "TSCK" magic, u16 little-endian format version
+//	record:  kind u8 | len u32 LE | payload | crc32c u32 LE
+//
+// The CRC (Castagnoli) covers kind, length and payload, so any torn write,
+// bit flip or truncation is detected record-by-record. The first record of a
+// file is always a full Snapshot; subsequent TreeDone records are appended
+// (and fsynced) as trees complete, so the durable state advances at
+// tree-completion boundaries without rewriting the snapshot.
+//
+// Load reads the newest file first and falls back: a file whose header or
+// snapshot record is corrupt is skipped entirely in favour of the previous
+// one; a corrupt or truncated record tail keeps the valid prefix (the lost
+// trees are simply retrained — training is deterministic per (Params, Bag)).
+// Completed trees are stored alongside their core.Tree.Canon serialisation
+// and re-canonicalised on load, so a tree that decodes but does not round-trip
+// bit-identically is treated as corrupt too.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"treeserver/internal/core"
+	"treeserver/internal/loadbal"
+)
+
+// ErrNoCheckpoint is returned by Load when the directory holds no valid
+// checkpoint file at all.
+var ErrNoCheckpoint = errors.New("checkpoint: no valid checkpoint found")
+
+// Bag mirrors the cluster's bag spec: the deterministic recipe for one
+// tree's root row set. Field-identical to cluster.BagSpec so the two convert
+// directly; duplicated here because checkpoint must not import cluster.
+type Bag struct {
+	NumRows int
+	Sample  int
+	Seed    int64
+}
+
+// TreeState is one tree of the job: its deterministic training inputs and,
+// once complete, the finished tree plus its canonical serialisation.
+type TreeState struct {
+	Params core.Params
+	Bag    Bag
+	Done   bool
+	Tree   *core.Tree // nil unless Done
+	Canon  string     // core.Tree.Canon() of Tree, the integrity witness
+}
+
+// Ledger is the durable subset of the master's task-lifecycle counters,
+// restored (max-merged) into the telemetry registry after a recovery so the
+// end-of-train report spans the whole job, not just the resumed half.
+type Ledger struct {
+	TasksPlanned    int64
+	TasksConfirmed  int64
+	TasksCompleted  int64
+	TasksRetried    int64
+	TasksSuperseded int64
+	RowsPlanned     int64
+}
+
+// State is one full snapshot of the master's durable state.
+type State struct {
+	// Gen is the master generation that wrote the snapshot. A restarted
+	// master resumes at Gen+1 and fences its task IDs by generation, so
+	// results computed for a previous life can never collide with live tasks.
+	Gen        int64
+	NumWorkers int
+	Replicas   int
+	NextTreeID int32
+	Placement  loadbal.Placement
+	Trees      []TreeState
+	Ledger     Ledger
+}
+
+// TreeDone is the incremental record appended when one tree completes.
+type TreeDone struct {
+	Index int
+	Tree  *core.Tree
+	Canon string
+}
+
+// DoneTrees counts the completed trees in the state.
+func (s *State) DoneTrees() int {
+	n := 0
+	for _, t := range s.Trees {
+		if t.Done {
+			n++
+		}
+	}
+	return n
+}
+
+// apply folds a TreeDone record into the state. Out-of-range indexes are
+// rejected (a corrupt length field could otherwise panic the loader).
+func (s *State) apply(td TreeDone) error {
+	if td.Index < 0 || td.Index >= len(s.Trees) {
+		return fmt.Errorf("checkpoint: tree-done index %d out of range [0,%d)", td.Index, len(s.Trees))
+	}
+	s.Trees[td.Index] = TreeState{
+		Params: s.Trees[td.Index].Params,
+		Bag:    s.Trees[td.Index].Bag,
+		Done:   true,
+		Tree:   td.Tree,
+		Canon:  td.Canon,
+	}
+	return nil
+}
+
+// verifyTrees re-canonicalises every completed tree and compares against the
+// stored witness; a mismatch means the encoded tree was damaged in a way the
+// CRC did not catch (or was written corrupt), so the caller must reject it.
+func (s *State) verifyTrees() error {
+	for i, t := range s.Trees {
+		if !t.Done {
+			continue
+		}
+		if t.Tree == nil {
+			return fmt.Errorf("checkpoint: tree %d marked done but has no tree", i)
+		}
+		if got := t.Tree.Canon(); got != t.Canon {
+			return fmt.Errorf("checkpoint: tree %d canon mismatch after decode", i)
+		}
+	}
+	return nil
+}
+
+func verifyTreeDone(td TreeDone) error {
+	if td.Tree == nil {
+		return fmt.Errorf("checkpoint: tree-done record %d has no tree", td.Index)
+	}
+	if got := td.Tree.Canon(); got != td.Canon {
+		return fmt.Errorf("checkpoint: tree-done record %d canon mismatch", td.Index)
+	}
+	return nil
+}
+
+func encodeGob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeGob(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+package checkpoint
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"treeserver/internal/core"
+	"treeserver/internal/dataset"
+	"treeserver/internal/loadbal"
+)
+
+// trainTree builds a small real tree so the round-trip exercises the same
+// encoding path (core.Tree's MarshalBinary) production checkpoints use.
+func trainTree(t *testing.T, seed int64) *core.Tree {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := 200
+	x := make([]float64, n)
+	y := make([]int32, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		if x[i]+rng.NormFloat64()*0.2 > 0 {
+			y[i] = 1
+		}
+	}
+	tbl := &dataset.Table{
+		Cols:   []*dataset.Column{dataset.NewNumeric("x", x), dataset.NewCategorical("y", y, []string{"n", "p"})},
+		Target: 1,
+	}
+	params := core.Defaults()
+	params.MaxDepth = 4
+	return core.TrainLocal(tbl, dataset.AllRows(n), params)
+}
+
+func testState(t *testing.T) *State {
+	t.Helper()
+	done := trainTree(t, 1)
+	return &State{
+		Gen:        3,
+		NumWorkers: 4,
+		Replicas:   2,
+		NextTreeID: 7,
+		Placement:  loadbal.Placement{Owners: map[int][]int{0: {0, 1}, 2: {1, 3}}, NumWorkers: 4},
+		Trees: []TreeState{
+			{Params: core.Params{MaxDepth: 4, MinLeaf: 1}, Bag: Bag{NumRows: 200}, Done: true, Tree: done, Canon: done.Canon()},
+			{Params: core.Params{MaxDepth: 4, MinLeaf: 1}, Bag: Bag{NumRows: 200, Sample: 150, Seed: 9}},
+			{Params: core.Params{MaxDepth: 4, MinLeaf: 1}, Bag: Bag{NumRows: 200}},
+		},
+		Ledger: Ledger{TasksPlanned: 40, TasksConfirmed: 30, TasksCompleted: 38, TasksRetried: 2, RowsPlanned: 9000},
+	}
+}
+
+func TestSnapshotAppendRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	st := testState(t)
+	if n, err := w.Snapshot(st); err != nil || n <= 0 {
+		t.Fatalf("Snapshot: n=%d err=%v", n, err)
+	}
+	tree1 := trainTree(t, 2)
+	if n, err := w.AppendTreeDone(TreeDone{Index: 1, Tree: tree1, Canon: tree1.Canon()}); err != nil || n <= 0 {
+		t.Fatalf("AppendTreeDone: n=%d err=%v", n, err)
+	}
+
+	got, info, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if info.SkippedFiles != 0 || info.TruncatedRecords != 0 {
+		t.Fatalf("clean load reported damage: %+v", info)
+	}
+	if info.TreesRestored != 2 || got.DoneTrees() != 2 {
+		t.Fatalf("restored %d trees (info %d), want 2", got.DoneTrees(), info.TreesRestored)
+	}
+	if got.Gen != st.Gen || got.NumWorkers != st.NumWorkers || got.Replicas != st.Replicas || got.NextTreeID != st.NextTreeID {
+		t.Fatalf("scalar state mismatch: got %+v", got)
+	}
+	if len(got.Placement.Owners) != 2 || len(got.Placement.Owners[0]) != 2 {
+		t.Fatalf("placement mismatch: %+v", got.Placement)
+	}
+	if got.Ledger != st.Ledger {
+		t.Fatalf("ledger mismatch: got %+v want %+v", got.Ledger, st.Ledger)
+	}
+	if d := core.DiffTrees(st.Trees[0].Tree, got.Trees[0].Tree); d != "" {
+		t.Fatalf("snapshot tree diverged:\n%s", d)
+	}
+	if d := core.DiffTrees(tree1, got.Trees[1].Tree); d != "" {
+		t.Fatalf("appended tree diverged:\n%s", d)
+	}
+	if got.Trees[2].Done {
+		t.Fatal("tree 2 should still be pending")
+	}
+	if got.Trees[1].Bag != st.Trees[1].Bag {
+		t.Fatalf("bag lost on apply: %+v", got.Trees[1].Bag)
+	}
+}
+
+func TestLoadFallsBackToPreviousSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	st := testState(t)
+	if _, err := w.Snapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Snapshot(st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the newest file deep inside the snapshot payload.
+	newest := filepath.Join(dir, fileName(2))
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, info, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load after corruption: %v", err)
+	}
+	if info.Seq != 1 || info.SkippedFiles != 1 {
+		t.Fatalf("expected fallback to seq 1 skipping 1 file, got %+v", info)
+	}
+	if got.DoneTrees() != 1 {
+		t.Fatalf("fallback restored %d trees, want 1", got.DoneTrees())
+	}
+}
+
+func TestLoadKeepsValidPrefixOfTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	st := testState(t)
+	if _, err := w.Snapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	tree1, tree2 := trainTree(t, 2), trainTree(t, 3)
+	if _, err := w.AppendTreeDone(TreeDone{Index: 1, Tree: tree1, Canon: tree1.Canon()}); err != nil {
+		t.Fatal(err)
+	}
+	last, err := w.AppendTreeDone(TreeDone{Index: 2, Tree: tree2, Canon: tree2.Canon()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last record in half, as a crash mid-append would.
+	path := filepath.Join(dir, fileName(1))
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-int64(last/2)); err != nil {
+		t.Fatal(err)
+	}
+
+	got, info, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load with torn tail: %v", err)
+	}
+	if info.TruncatedRecords != 1 {
+		t.Fatalf("TruncatedRecords = %d, want 1: %+v", info.TruncatedRecords, info)
+	}
+	if got.DoneTrees() != 2 {
+		t.Fatalf("valid prefix has %d done trees, want 2 (snapshot + first append)", got.DoneTrees())
+	}
+	if got.Trees[2].Done {
+		t.Fatal("torn record's tree should not have been restored")
+	}
+}
+
+func TestLoadRejectsCanonMismatch(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	st := testState(t)
+	if _, err := w.Snapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	// A record whose canon witness does not match its tree must be dropped
+	// even though its CRC is fine.
+	tree := trainTree(t, 2)
+	if _, err := w.AppendTreeDone(TreeDone{Index: 1, Tree: tree, Canon: "bogus"}); err != nil {
+		t.Fatal(err)
+	}
+	got, info, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TruncatedRecords != 1 || got.Trees[1].Done {
+		t.Fatalf("canon-mismatching record survived: info %+v done=%v", info, got.Trees[1].Done)
+	}
+}
+
+func TestLoadRejectsBadMagicAndVersion(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Snapshot(testState(t)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, fileName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func([]byte){
+		"magic":   func(b []byte) { b[0] = 'X' },
+		"version": func(b []byte) { b[4] = 0xff },
+	} {
+		bad := append([]byte(nil), data...)
+		mutate(bad)
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Load(dir); !errors.Is(err, ErrNoCheckpoint) {
+			t.Fatalf("%s corruption: Load err = %v, want ErrNoCheckpoint", name, err)
+		}
+	}
+}
+
+func TestLoadEmptyDir(t *testing.T) {
+	if _, _, err := Load(t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Load of empty dir: %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestWriterContinuesSequenceAndPrunes(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := testState(t)
+	for i := 0; i < 3; i++ {
+		if _, err := w.Snapshot(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	seqs, err := listSeqs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != keepFiles || seqs[len(seqs)-1] != 3 {
+		t.Fatalf("after 3 snapshots: files %v, want newest %d of %d kept", seqs, 3, keepFiles)
+	}
+
+	// A second writer (the restarted master) must continue, not collide.
+	w2, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if _, err := w2.Snapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	if _, info, err := Load(dir); err != nil || info.Seq != 4 {
+		t.Fatalf("restarted writer: Load seq %d err %v, want seq 4", info.Seq, err)
+	}
+}
+
+func TestAppendBeforeSnapshotFails(t *testing.T) {
+	w, err := NewWriter(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.AppendTreeDone(TreeDone{}); err == nil {
+		t.Fatal("AppendTreeDone before Snapshot should fail")
+	}
+}

@@ -1,0 +1,342 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	magic   = "TSCK"
+	version = 1
+
+	// KindSnapshot is a full State record — always the first record of a file.
+	KindSnapshot = byte(1)
+	// KindTreeDone is an incremental tree-completion record.
+	KindTreeDone = byte(2)
+
+	// keepFiles is how many snapshot files Snapshot retains: the newest plus
+	// one predecessor, so a corrupt newest file always has a fallback.
+	keepFiles = 2
+
+	filePrefix = "ckpt-"
+	fileSuffix = ".tsck"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// fileName renders the sequence-numbered checkpoint file name; the zero-padded
+// decimal makes lexicographic and numeric order agree.
+func fileName(seq int) string {
+	return fmt.Sprintf("%s%08d%s", filePrefix, seq, fileSuffix)
+}
+
+// fileSeq parses a checkpoint file name back to its sequence number.
+func fileSeq(name string) (int, bool) {
+	if !strings.HasPrefix(name, filePrefix) || !strings.HasSuffix(name, fileSuffix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, filePrefix), fileSuffix))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSeqs returns the sequence numbers of the checkpoint files in dir,
+// ascending. A missing directory is simply empty.
+func listSeqs(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("checkpoint: reading %s: %w", dir, err)
+	}
+	var seqs []int
+	for _, e := range entries {
+		if seq, ok := fileSeq(e.Name()); ok && !e.IsDir() {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+// frameRecord renders one CRC-guarded record.
+func frameRecord(kind byte, payload []byte) []byte {
+	buf := make([]byte, 5+len(payload)+4)
+	buf[0] = kind
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(payload)))
+	copy(buf[5:], payload)
+	crc := crc32.Checksum(buf[:5+len(payload)], castagnoli)
+	binary.LittleEndian.PutUint32(buf[5+len(payload):], crc)
+	return buf
+}
+
+// parseRecord reads one record from data, returning the kind, payload and the
+// remaining bytes. A short or CRC-failing record returns an error — the
+// caller treats everything from here on as a torn tail.
+func parseRecord(data []byte) (kind byte, payload, rest []byte, err error) {
+	if len(data) < 9 {
+		return 0, nil, nil, fmt.Errorf("checkpoint: truncated record header (%d bytes)", len(data))
+	}
+	kind = data[0]
+	n := binary.LittleEndian.Uint32(data[1:5])
+	if uint64(len(data)) < 9+uint64(n) {
+		return 0, nil, nil, fmt.Errorf("checkpoint: truncated record payload (want %d bytes, have %d)", n, len(data)-9)
+	}
+	body := data[:5+n]
+	want := binary.LittleEndian.Uint32(data[5+n : 9+n])
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return 0, nil, nil, fmt.Errorf("checkpoint: record crc mismatch (got %08x, want %08x)", got, want)
+	}
+	return kind, data[5 : 5+n], data[9+n:], nil
+}
+
+// Writer owns one checkpoint directory: Snapshot starts a fresh
+// sequence-numbered file via write-to-temp + fsync + atomic rename, then
+// AppendTreeDone grows it record by record (each append fsynced). Old
+// snapshot files beyond the newest two are pruned. All methods are safe for
+// concurrent use.
+type Writer struct {
+	dir string
+
+	mu   sync.Mutex
+	seq  int      // sequence of the current (open) file
+	f    *os.File // nil until the first Snapshot
+	dirF *os.File // directory handle for fsyncing renames
+}
+
+// NewWriter opens (creating if necessary) a checkpoint directory. Sequence
+// numbering continues after any files already present, so a restarted master
+// never overwrites the state it is about to recover from.
+func NewWriter(dir string) (*Writer, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("checkpoint: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	seqs, err := listSeqs(dir)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{dir: dir}
+	if len(seqs) > 0 {
+		w.seq = seqs[len(seqs)-1]
+	}
+	w.dirF, err = os.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return w, nil
+}
+
+// Dir returns the writer's directory.
+func (w *Writer) Dir() string { return w.dir }
+
+// Snapshot writes a full State as the first record of a new checkpoint file:
+// temp file, fsync, atomic rename, directory fsync. Subsequent AppendTreeDone
+// calls extend this file. It returns the bytes written.
+func (w *Writer) Snapshot(st *State) (int, error) {
+	payload, err := encodeGob(st)
+	if err != nil {
+		return 0, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	seq := w.seq + 1
+	final := filepath.Join(w.dir, fileName(seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	var hdr [6]byte
+	copy(hdr[:4], magic)
+	binary.LittleEndian.PutUint16(hdr[4:], version)
+	rec := frameRecord(KindSnapshot, payload)
+	n := len(hdr) + len(rec)
+	if _, err := f.Write(hdr[:]); err == nil {
+		_, err = f.Write(rec)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("checkpoint: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	// The rename does not invalidate the open descriptor, so the same file
+	// keeps receiving appends under its durable name.
+	if w.f != nil {
+		w.f.Close()
+	}
+	w.f, w.seq = f, seq
+	if w.dirF != nil {
+		_ = w.dirF.Sync()
+	}
+	w.pruneLocked()
+	return n, nil
+}
+
+// AppendTreeDone appends (and fsyncs) one tree-completion record to the
+// current snapshot file. It returns the bytes written. Calling it before any
+// Snapshot is an error — there is no file to extend.
+func (w *Writer) AppendTreeDone(td TreeDone) (int, error) {
+	payload, err := encodeGob(&td)
+	if err != nil {
+		return 0, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return 0, fmt.Errorf("checkpoint: AppendTreeDone before Snapshot")
+	}
+	rec := frameRecord(KindTreeDone, payload)
+	if _, err := w.f.Write(rec); err != nil {
+		return 0, fmt.Errorf("checkpoint: appending record: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	return len(rec), nil
+}
+
+// pruneLocked removes snapshot files older than the newest keepFiles.
+func (w *Writer) pruneLocked() {
+	seqs, err := listSeqs(w.dir)
+	if err != nil || len(seqs) <= keepFiles {
+		return
+	}
+	for _, seq := range seqs[:len(seqs)-keepFiles] {
+		os.Remove(filepath.Join(w.dir, fileName(seq)))
+	}
+}
+
+// Close releases the writer's file handles.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var err error
+	if w.f != nil {
+		err = w.f.Close()
+		w.f = nil
+	}
+	if w.dirF != nil {
+		w.dirF.Close()
+		w.dirF = nil
+	}
+	return err
+}
+
+// LoadInfo describes how a Load succeeded: which file won, and how much
+// damage the loader had to route around.
+type LoadInfo struct {
+	Path string
+	Seq  int
+	// SkippedFiles counts newer files rejected whole (bad header, corrupt
+	// snapshot record).
+	SkippedFiles int
+	// TruncatedRecords counts tail records dropped from the winning file
+	// (torn writes, CRC failures, canon mismatches).
+	TruncatedRecords int
+	// TreesRestored is the number of completed trees recovered.
+	TreesRestored int
+}
+
+// Load reads the newest valid checkpoint from dir: newest file first, falling
+// back to older files when a header or snapshot record is corrupt, and
+// keeping the valid record prefix when the tail of a file is damaged.
+func Load(dir string) (*State, LoadInfo, error) {
+	seqs, err := listSeqs(dir)
+	if err != nil {
+		return nil, LoadInfo{}, err
+	}
+	info := LoadInfo{}
+	for i := len(seqs) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, fileName(seqs[i]))
+		st, truncated, err := loadFile(path)
+		if err != nil {
+			info.SkippedFiles++
+			continue
+		}
+		info.Path, info.Seq = path, seqs[i]
+		info.TruncatedRecords = truncated
+		info.TreesRestored = st.DoneTrees()
+		return st, info, nil
+	}
+	return nil, info, fmt.Errorf("%w in %s (%d file(s) skipped)", ErrNoCheckpoint, dir, info.SkippedFiles)
+}
+
+// loadFile parses one checkpoint file: header, snapshot record, then as many
+// valid TreeDone records as the tail holds. An invalid header or snapshot is
+// a file-level error; a broken tail only truncates.
+func loadFile(path string) (*State, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	if len(data) < 6 || string(data[:4]) != magic {
+		return nil, 0, fmt.Errorf("checkpoint: %s: bad magic", path)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != version {
+		return nil, 0, fmt.Errorf("checkpoint: %s: unsupported version %d", path, v)
+	}
+	kind, payload, rest, err := parseRecord(data[6:])
+	if err != nil {
+		return nil, 0, fmt.Errorf("checkpoint: %s: snapshot record: %w", path, err)
+	}
+	if kind != KindSnapshot {
+		return nil, 0, fmt.Errorf("checkpoint: %s: first record has kind %d, want snapshot", path, kind)
+	}
+	st := &State{}
+	if err := decodeGob(payload, st); err != nil {
+		return nil, 0, fmt.Errorf("checkpoint: %s: snapshot: %w", path, err)
+	}
+	if err := st.verifyTrees(); err != nil {
+		return nil, 0, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+
+	truncated := 0
+	for len(rest) > 0 {
+		kind, payload, next, err := parseRecord(rest)
+		if err != nil {
+			truncated++
+			break // torn tail: keep the valid prefix
+		}
+		if kind != KindTreeDone {
+			truncated++
+			break // unknown record kind: a newer writer or corruption
+		}
+		var td TreeDone
+		if err := decodeGob(payload, &td); err != nil {
+			truncated++
+			break
+		}
+		if err := verifyTreeDone(td); err != nil {
+			truncated++
+			break
+		}
+		if err := st.apply(td); err != nil {
+			truncated++
+			break
+		}
+		rest = next
+	}
+	return st, truncated, nil
+}

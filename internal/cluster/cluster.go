@@ -74,6 +74,19 @@ type Config struct {
 	// deadline (0 = off); MaxTaskAttempts bounds executions per task.
 	TaskRetry       time.Duration
 	MaxTaskAttempts int
+	// HeartbeatBudget overrides the failure-detection budget in missed
+	// probes (0 = default 20; negative is rejected).
+	HeartbeatBudget int
+	// MaxTreeRestarts bounds delegate-loss restarts per tree (0 = default 8;
+	// negative is rejected); exceeding it fails the job.
+	MaxTreeRestarts int
+	// CheckpointDir enables durable master checkpointing into this directory;
+	// CheckpointEvery adds periodic snapshots between tree boundaries.
+	CheckpointDir   string
+	CheckpointEvery time.Duration
+	// RejoinTimeout bounds the worker rejoin handshake during Resume
+	// (0 = default 10s).
+	RejoinTimeout time.Duration
 	// WrapEndpoint, when set, decorates every endpoint (master and workers)
 	// before use — the hook the chaos harness uses to inject faults into the
 	// fabric without the cluster knowing.
@@ -124,6 +137,29 @@ func WithTaskRetry(every time.Duration, maxAttempts int) Option {
 	}
 }
 
+// WithHeartbeatBudget overrides the failure-detection budget: a worker is
+// declared failed when its freshest pong lags the cluster's freshest pong by
+// more than this many probes.
+func WithHeartbeatBudget(probes int) Option {
+	return func(c *Config) { c.HeartbeatBudget = probes }
+}
+
+// WithMaxTreeRestarts bounds delegate-loss restarts per tree; exceeding it
+// fails the job with a clear error instead of restarting forever.
+func WithMaxTreeRestarts(n int) Option { return func(c *Config) { c.MaxTreeRestarts = n } }
+
+// WithCheckpoint enables durable master checkpointing into dir, with optional
+// periodic snapshots every `every` (0 = snapshots at tree boundaries only).
+func WithCheckpoint(dir string, every time.Duration) Option {
+	return func(c *Config) {
+		c.CheckpointDir = dir
+		c.CheckpointEvery = every
+	}
+}
+
+// WithRejoinTimeout bounds the worker rejoin handshake during Resume.
+func WithRejoinTimeout(d time.Duration) Option { return func(c *Config) { c.RejoinTimeout = d } }
+
 // WithEndpointWrapper decorates every endpoint before use (fault injection).
 func WithEndpointWrapper(wrap func(transport.Endpoint) transport.Endpoint) Option {
 	return func(c *Config) { c.WrapEndpoint = wrap }
@@ -158,6 +194,15 @@ func (c Config) validate() error {
 	}
 	if c.Ablation >= ablationModes {
 		return fmt.Errorf("cluster: unknown AblationMode(%d)", uint8(c.Ablation))
+	}
+	if c.HeartbeatBudget < 0 {
+		return fmt.Errorf("cluster: HeartbeatBudget %d is negative", c.HeartbeatBudget)
+	}
+	if c.MaxTreeRestarts < 0 {
+		return fmt.Errorf("cluster: MaxTreeRestarts %d is negative", c.MaxTreeRestarts)
+	}
+	if c.CheckpointDir == "" && c.CheckpointEvery != 0 {
+		return fmt.Errorf("cluster: CheckpointEvery set without CheckpointDir")
 	}
 	return nil
 }
@@ -197,6 +242,13 @@ type Cluster struct {
 	Net     *transport.MemNetwork
 	cfg     Config
 	start   time.Time
+
+	// Stored so RestartMaster can build a replacement master on the same
+	// fabric after KillMaster.
+	schema    Schema
+	placement loadbal.Placement
+	endpoint  func(string) transport.Endpoint
+	masterCfg MasterConfig
 }
 
 // NewInProcess partitions the table's columns over the configured number of
@@ -250,15 +302,31 @@ func NewInProcess(tbl *dataset.Table, opts ...Option) (*Cluster, error) {
 		worker.Start()
 		c.Workers = append(c.Workers, worker)
 	}
-	c.Master = NewMaster(endpoint(MasterName), schema, placement, MasterConfig{
+	c.schema, c.placement, c.endpoint = schema, placement, endpoint
+	c.masterCfg = MasterConfig{
 		NumWorkers: cfg.Workers, Policy: cfg.Policy,
 		Heartbeat:       cfg.Heartbeat,
+		HeartbeatBudget: cfg.HeartbeatBudget,
 		Ablation:        cfg.Ablation,
 		JobTimeout:      cfg.JobTimeout,
 		TaskRetry:       cfg.TaskRetry,
 		MaxTaskAttempts: cfg.MaxTaskAttempts,
+		MaxTreeRestarts: cfg.MaxTreeRestarts,
+		CheckpointDir:   cfg.CheckpointDir,
+		CheckpointEvery: cfg.CheckpointEvery,
+		RejoinTimeout:   cfg.RejoinTimeout,
+		Replicas:        cfg.Replicas,
 		Obs:             cfg.Observer,
-	})
+	}
+	m, err := NewMaster(endpoint(MasterName), schema, placement, c.masterCfg)
+	if err != nil {
+		for _, w := range c.Workers {
+			w.Stop()
+		}
+		net.Close()
+		return nil, err
+	}
+	c.Master = m
 	c.Master.Start()
 	return c, nil
 }
@@ -286,6 +354,34 @@ func (c *Cluster) TrainOne(params core.Params) (*core.Tree, error) {
 // manually via Master.NotifyWorkerFailure.
 func (c *Cluster) CrashWorker(i int) {
 	c.Net.Endpoint(WorkerName(i)).Crash()
+}
+
+// KillMaster simulates a master crash: its loops stop and its endpoint dies
+// without notifying the workers, which keep their column shards and idle.
+// RestartMaster builds the replacement.
+func (c *Cluster) KillMaster() {
+	c.Master.Kill()
+}
+
+// RestartMaster replaces a killed master with a fresh instance on the same
+// fabric, same configuration and same checkpoint directory. Call Resume on
+// the cluster afterwards to recover the interrupted job.
+func (c *Cluster) RestartMaster() error {
+	c.Net.Reset(MasterName)
+	m, err := NewMaster(c.endpoint(MasterName), c.schema, c.placement, c.masterCfg)
+	if err != nil {
+		return err
+	}
+	c.Master = m
+	c.Master.Start()
+	return nil
+}
+
+// Resume recovers the interrupted job from the checkpoint directory: done
+// trees are restored from disk, unfinished trees restart, and the result is
+// bit-identical to an uninterrupted run.
+func (c *Cluster) Resume() ([]*core.Tree, error) {
+	return c.Master.Resume()
 }
 
 // Close shuts the deployment down.

@@ -36,7 +36,7 @@ func (m *Master) heartbeatLoop() {
 		}
 		seq++
 		m.mu.Lock()
-		failed := failedWorkers(m.alive, m.lastSeq, heartbeatMissedProbes)
+		failed := failedWorkers(m.alive, m.lastSeq, int64(m.cfg.HeartbeatBudget))
 		m.mu.Unlock()
 		for _, w := range failed {
 			m.NotifyWorkerFailure(w)
@@ -47,8 +47,10 @@ func (m *Master) heartbeatLoop() {
 	}
 }
 
-// heartbeatMissedProbes is the failure-detection budget: a worker is failed
-// when its latest pong lags the freshest pong by more than this many probes.
+// heartbeatMissedProbes is the default failure-detection budget: a worker is
+// failed when its latest pong lags the freshest pong by more than this many
+// probes. MasterConfig.HeartbeatBudget (cluster.WithHeartbeatBudget)
+// overrides it.
 const heartbeatMissedProbes = 20
 
 // failedWorkers applies the relative-lag detection rule to a pong-sequence
@@ -199,7 +201,9 @@ func (m *Master) placementHoldsLocked(w, col int, survivors []int) bool {
 }
 
 // restartTreeLocked throws away a tree's partial construction and requeues
-// its root task at the head of B_plan.
+// its root task at the head of B_plan. A tree that exhausts MaxTreeRestarts
+// fails the job — repeated delegate loss on one tree is a systemic fault the
+// caller must see, not an excuse to loop forever.
 func (m *Master) restartTreeLocked(tid int32) {
 	a, ok := m.trees[tid]
 	if !ok {
@@ -207,6 +211,11 @@ func (m *Master) restartTreeLocked(tid int32) {
 	}
 	m.prog.Clear(tid)
 	a.epoch++
+	if a.epoch > m.cfg.MaxTreeRestarts {
+		m.failJobLocked(fmt.Errorf("cluster: tree %d restarted %d times, exceeding MaxTreeRestarts %d — repeated delegate failure", tid, a.epoch, m.cfg.MaxTreeRestarts))
+		return
+	}
+	m.obs.TreeRestarted(a.epoch)
 	size := a.spec.Bag.Size()
 	a.root = &core.Node{Depth: 0, N: size}
 	root := &plan{

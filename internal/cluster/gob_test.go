@@ -23,10 +23,10 @@ func messageSpecimens() []any {
 	return []any{
 		ColumnPlanMsg{}, SubtreePlanMsg{}, ConfirmSplitMsg{}, DropTaskMsg{},
 		ReleaseSideMsg{}, PingMsg{}, ReplicateColumnMsg{}, SetTargetMsg{},
-		TargetAckMsg{}, ShutdownMsg{}, ColumnResultMsg{}, SplitDoneMsg{},
-		SubtreeResultMsg{}, PongMsg{}, WorkerErrorMsg{}, RowsRequestMsg{},
-		RowsResponseMsg{}, ColDataRequestMsg{}, ColDataResponseMsg{},
-		ColumnCopyMsg{},
+		TargetAckMsg{}, ShutdownMsg{}, RejoinRequestMsg{}, RejoinReportMsg{},
+		ColumnResultMsg{}, SplitDoneMsg{}, SubtreeResultMsg{}, PongMsg{},
+		WorkerErrorMsg{}, RowsRequestMsg{}, RowsResponseMsg{},
+		ColDataRequestMsg{}, ColDataResponseMsg{}, ColumnCopyMsg{},
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"treeserver/internal/checkpoint"
 	"treeserver/internal/core"
 	"treeserver/internal/dataset"
 	"treeserver/internal/impurity"
@@ -46,6 +47,28 @@ type MasterConfig struct {
 	// MaxTaskAttempts bounds executions per task (default 5 when TaskRetry
 	// is set); exhausting it fails the job.
 	MaxTaskAttempts int
+	// HeartbeatBudget overrides the failure-detection budget: a worker is
+	// declared failed when its freshest pong lags the cluster's freshest pong
+	// by more than this many probes (default 20; negative is rejected).
+	HeartbeatBudget int
+	// MaxTreeRestarts bounds delegate-loss restarts per tree (default 8);
+	// a tree exceeding it fails the job instead of restarting forever.
+	MaxTreeRestarts int
+	// CheckpointDir, when non-empty, enables durable master checkpointing:
+	// a full snapshot at job start and end, an appended record per completed
+	// tree, and (optionally) periodic snapshots. A restarted master recovers
+	// the job from this directory via Resume.
+	CheckpointDir string
+	// CheckpointEvery adds periodic full snapshots between tree-completion
+	// boundaries (0 = tree boundaries only). Only meaningful with
+	// CheckpointDir set.
+	CheckpointEvery time.Duration
+	// RejoinTimeout bounds the worker rejoin handshake during Resume
+	// (default 10s). Workers that miss the deadline are treated as failed.
+	RejoinTimeout time.Duration
+	// Replicas is the column replication factor k the Resume reconciliation
+	// restores (default 2, clamped to the number of rejoined workers).
+	Replicas int
 	// Obs, when non-nil, receives the master's scheduling telemetry (B_plan
 	// pushes, pool occupancy, task lifecycle spans).
 	Obs *obs.Registry
@@ -122,6 +145,19 @@ type Master struct {
 	jobDone   chan struct{}
 	jobMu     sync.Mutex
 
+	// Durable checkpointing (nil/zero when CheckpointDir is unset). gen
+	// fences task IDs across master incarnations: a resumed master allocates
+	// IDs from gen<<40, so results a pre-crash worker emits for old task IDs
+	// can never match a post-restart task table entry.
+	ck       *checkpoint.Writer
+	gen      int64
+	jobSpecs []TreeSpec
+
+	// Rejoin handshake state (only non-nil while Resume is collecting).
+	rejoinGen     int64
+	rejoinReports map[int][]int
+	rejoinCh      chan struct{}
+
 	alive    []bool
 	lastPong []time.Time
 	lastSeq  []int64
@@ -137,10 +173,24 @@ type Master struct {
 }
 
 // NewMaster builds a master over the given endpoint. placement must match
-// the columns actually loaded on the workers.
-func NewMaster(ep transport.Endpoint, schema Schema, placement loadbal.Placement, cfg MasterConfig) *Master {
+// the columns actually loaded on the workers. With CheckpointDir set it also
+// opens (creating if necessary) the checkpoint directory; a directory that
+// cannot be opened is an error up front, not a silent loss of durability.
+func NewMaster(ep transport.Endpoint, schema Schema, placement loadbal.Placement, cfg MasterConfig) (*Master, error) {
 	if cfg.Policy == (task.Policy{}) {
 		cfg.Policy = task.DefaultPolicy()
+	}
+	if cfg.HeartbeatBudget < 0 {
+		return nil, fmt.Errorf("cluster: HeartbeatBudget %d is negative", cfg.HeartbeatBudget)
+	}
+	if cfg.HeartbeatBudget == 0 {
+		cfg.HeartbeatBudget = heartbeatMissedProbes
+	}
+	if cfg.MaxTreeRestarts < 0 {
+		return nil, fmt.Errorf("cluster: MaxTreeRestarts %d is negative", cfg.MaxTreeRestarts)
+	}
+	if cfg.MaxTreeRestarts == 0 {
+		cfg.MaxTreeRestarts = defaultMaxTreeRestarts
 	}
 	m := &Master{
 		ep: ep, cfg: cfg, schema: schema,
@@ -160,7 +210,14 @@ func NewMaster(ep transport.Endpoint, schema Schema, placement loadbal.Placement
 		m.alive[i] = true
 		m.lastPong[i] = time.Now()
 	}
-	return m
+	if cfg.CheckpointDir != "" {
+		ck, err := checkpoint.NewWriter(cfg.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+		m.ck = ck
+	}
+	return m, nil
 }
 
 // Start launches the master's main and receiving threads (θ_main, θ_recv)
@@ -177,6 +234,10 @@ func (m *Master) Start() {
 		m.wg.Add(1)
 		go m.retryLoop()
 	}
+	if m.ck != nil && m.cfg.CheckpointEvery > 0 {
+		m.wg.Add(1)
+		go m.checkpointLoop()
+	}
 }
 
 // Stop shuts the master down and notifies workers to terminate.
@@ -189,6 +250,39 @@ func (m *Master) Stop() {
 		m.ep.Close()
 	})
 	m.wg.Wait()
+	if m.ck != nil {
+		m.ck.Close()
+	}
+}
+
+// Kill simulates a master crash: loops stop and the endpoint dies without any
+// shutdown notice to the workers, which keep their column shards and target
+// column. Only the checkpoint file handles are released (every checkpoint
+// write is already fsynced, so closing adds no durability a crash would lack)
+// — a replacement master recovers the job via Resume.
+func (m *Master) Kill() {
+	m.stopOnce.Do(func() {
+		close(m.stop)
+		m.ep.Close()
+	})
+	m.wg.Wait()
+	if m.ck != nil {
+		m.ck.Close()
+	}
+}
+
+// CompletedTrees reports how many of the current job's trees are finished —
+// the probe crash-recovery tests use to time a mid-job master kill.
+func (m *Master) CompletedTrees() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, t := range m.results {
+		if t != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // TransportStats exposes the master's traffic counters — the quantity the
@@ -213,12 +307,22 @@ func (m *Master) Train(specs []TreeSpec) ([]*core.Tree, error) {
 	m.remaining = len(specs)
 	m.jobErr = nil
 	m.jobDone = make(chan struct{})
+	m.jobSpecs = specs
+	// The initial snapshot makes the job spec itself durable before any task
+	// is planned: a master killed a microsecond later already resumes.
+	m.writeSnapshotLocked()
 	for i, spec := range specs {
 		m.pendingTrees = append(m.pendingTrees, m.newAssembly(i, spec))
 	}
 	done := m.jobDone
 	m.mu.Unlock()
 
+	return m.awaitJob(done)
+}
+
+// awaitJob blocks until the current job completes (or times out / the master
+// stops) and returns its result, writing the final snapshot on success.
+func (m *Master) awaitJob(done chan struct{}) ([]*core.Tree, error) {
 	if m.cfg.JobTimeout > 0 {
 		select {
 		case <-done:
@@ -240,6 +344,9 @@ func (m *Master) Train(specs []TreeSpec) ([]*core.Tree, error) {
 	if m.jobErr != nil {
 		return nil, m.jobErr
 	}
+	// The final snapshot compacts the append log: a restart after this point
+	// restores every tree from one record and re-trains nothing.
+	m.writeSnapshotLocked()
 	return m.results, nil
 }
 
@@ -443,6 +550,8 @@ func (m *Master) recvLoop() {
 			m.mu.Unlock()
 		case TargetAckMsg:
 			m.handleTargetAck(msg)
+		case RejoinReportMsg:
+			m.handleRejoinReport(msg)
 		case WorkerErrorMsg:
 			m.handleWorkerError(msg)
 		}
@@ -651,6 +760,7 @@ func (m *Master) finishTaskLocked(p *plan) {
 	if m.results != nil && a.index < len(m.results) {
 		m.results[a.index] = tree
 		m.remaining--
+		m.appendTreeDoneLocked(a.index, tree)
 		if m.remaining == 0 && m.jobDone != nil {
 			close(m.jobDone)
 		}

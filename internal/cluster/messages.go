@@ -262,6 +262,13 @@ type TargetAckMsg struct {
 // ShutdownMsg terminates a worker's loops.
 type ShutdownMsg struct{}
 
+// RejoinRequestMsg is broadcast by a restarted master: workers discard all
+// in-flight task state (the new master re-plans everything unfinished under
+// generation Gen) and report the column replicas they still hold.
+type RejoinRequestMsg struct {
+	Gen int64
+}
+
 // --- Worker -> master messages (Task Comm.) ---
 
 // ColumnResultMsg reports one worker's best candidate over its assigned
@@ -304,6 +311,16 @@ type SubtreeResultMsg struct {
 type PongMsg struct {
 	Worker int
 	Seq    int64
+}
+
+// RejoinReportMsg answers RejoinRequestMsg: the worker's surviving column
+// replicas, sorted ascending. The reports are authoritative for placement
+// reconciliation — the checkpointed placement may predate re-replications or
+// crashes that happened after the snapshot was written.
+type RejoinReportMsg struct {
+	Worker int
+	Gen    int64
+	Cols   []int
 }
 
 // WorkerErrorMsg surfaces a worker-side protocol failure to the master.
@@ -373,6 +390,8 @@ func init() {
 	gob.Register(SetTargetMsg{})
 	gob.Register(TargetAckMsg{})
 	gob.Register(ShutdownMsg{})
+	gob.Register(RejoinRequestMsg{})
+	gob.Register(RejoinReportMsg{})
 	gob.Register(ColumnResultMsg{})
 	gob.Register(SplitDoneMsg{})
 	gob.Register(SubtreeResultMsg{})

@@ -57,11 +57,14 @@ func TestClusterOverTCP(t *testing.T) {
 		workers[i] = NewWorker(i, ep, schema, cols, tbl.Y(), 2, nil)
 		workers[i].Start()
 	}
-	m := NewMaster(mep, schema, placement, MasterConfig{
+	m, err := NewMaster(mep, schema, placement, MasterConfig{
 		NumWorkers: numWorkers,
 		Policy:     task.Policy{TauD: 400, TauDFS: 1600, NPool: 4},
 		JobTimeout: time.Minute,
 	})
+	if err != nil {
+		t.Fatalf("NewMaster: %v", err)
+	}
 	m.Start()
 	defer func() {
 		m.Stop()

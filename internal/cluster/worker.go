@@ -204,6 +204,8 @@ func (w *Worker) dispatch(env transport.Envelope) bool {
 		w.handleColumnCopy(msg)
 	case SetTargetMsg:
 		w.handleSetTarget(msg)
+	case RejoinRequestMsg:
+		w.handleRejoin(msg)
 	case PingMsg:
 		w.send(MasterName, PongMsg{Worker: w.id, Seq: msg.Seq})
 	case ShutdownMsg:
@@ -685,6 +687,27 @@ func (w *Worker) handleSetTarget(msg SetTargetMsg) {
 }
 
 // --- Fault-recovery support ---
+
+// handleRejoin re-registers the worker with a restarted master: all in-flight
+// task state is discarded (the new master re-plans everything unfinished, and
+// its generation-fenced task IDs make stale results unmatchable anyway) and
+// the surviving column replicas are reported, sorted, so the master can
+// reconcile placement against ground truth. Column shards and the target
+// column are kept — they are exactly what makes a master crash recoverable
+// without reloading data.
+func (w *Worker) handleRejoin(msg RejoinRequestMsg) {
+	w.mu.Lock()
+	w.tasks = map[task.ID]*wtask{}
+	w.rowWaits = map[task.ID][]func([]int32){}
+	w.colWaits = nil
+	cols := make([]int, 0, len(w.cols))
+	for c := range w.cols {
+		cols = append(cols, c)
+	}
+	w.mu.Unlock()
+	sort.Ints(cols)
+	w.send(MasterName, RejoinReportMsg{Worker: w.id, Gen: msg.Gen, Cols: cols})
+}
 
 func (w *Worker) handleReplicate(msg ReplicateColumnMsg) {
 	w.mu.Lock()

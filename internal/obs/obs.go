@@ -154,6 +154,119 @@ type MasterObs struct {
 	planSpans    atomic.Int64
 	confirmNs    atomic.Int64 // confirm→split-done latency sum
 	confirmSpans atomic.Int64
+
+	// Checkpoint/recovery telemetry (the durable-master subsystem).
+	ckSnapshots      atomic.Int64 // full snapshot files written
+	ckRecords        atomic.Int64 // incremental tree-done records appended
+	ckBytes          atomic.Int64 // total bytes written (snapshots + records)
+	ckNs             atomic.Int64 // wall time spent writing checkpoints
+	ckErrors         atomic.Int64 // failed checkpoint writes (training continues)
+	restores         atomic.Int64 // successful checkpoint restores
+	restoredTrees    atomic.Int64 // completed trees recovered across restores
+	restoreSkipped   atomic.Int64 // whole files skipped as corrupt during restore
+	restoreTruncated atomic.Int64 // torn tail records dropped during restore
+	treeRestarts     atomic.Int64 // tree restarts (delegate loss recovery)
+	treeRestartHigh  atomic.Int64 // most restarts any single tree needed
+}
+
+// TaskLedger is the durable subset of the master's task-lifecycle counters:
+// what checkpointing persists and a restore max-merges back in, so the
+// end-of-train report spans the whole job rather than just the resumed half.
+type TaskLedger struct {
+	Planned, Confirmed, Completed int64
+	Retried, Superseded           int64
+	RowsPlanned                   int64
+}
+
+// Ledger snapshots the durable counters.
+func (m *MasterObs) Ledger() TaskLedger {
+	if m == nil {
+		return TaskLedger{}
+	}
+	return TaskLedger{
+		Planned:     m.planned.Load(),
+		Confirmed:   m.confirmed.Load(),
+		Completed:   m.completed.Load(),
+		Retried:     m.retried.Load(),
+		Superseded:  m.superseded.Load(),
+		RowsPlanned: m.rowsPlanned.Load(),
+	}
+}
+
+// RestoreLedger folds a persisted ledger into the live counters with max
+// semantics: each counter becomes max(live, persisted). Max (not add) keeps
+// the restore idempotent and correct both for a fresh process (live ≈ 0) and
+// an in-process restart that reuses the registry (live ≥ persisted).
+func (m *MasterObs) RestoreLedger(l TaskLedger) {
+	if m == nil {
+		return
+	}
+	maxMerge := func(c *atomic.Int64, v int64) {
+		for {
+			cur := c.Load()
+			if v <= cur || c.CompareAndSwap(cur, v) {
+				return
+			}
+		}
+	}
+	maxMerge(&m.planned, l.Planned)
+	maxMerge(&m.confirmed, l.Confirmed)
+	maxMerge(&m.completed, l.Completed)
+	maxMerge(&m.retried, l.Retried)
+	maxMerge(&m.superseded, l.Superseded)
+	maxMerge(&m.rowsPlanned, l.RowsPlanned)
+}
+
+// CheckpointWritten records one durable write: a full snapshot file or an
+// appended tree-done record, its size and wall cost.
+func (m *MasterObs) CheckpointWritten(snapshot bool, bytes int, d time.Duration) {
+	if m == nil {
+		return
+	}
+	if snapshot {
+		m.ckSnapshots.Add(1)
+	} else {
+		m.ckRecords.Add(1)
+	}
+	m.ckBytes.Add(int64(bytes))
+	m.ckNs.Add(int64(d))
+}
+
+// CheckpointError records a failed checkpoint write. Training continues —
+// durability degrades, correctness does not — so the error is counted rather
+// than fatal.
+func (m *MasterObs) CheckpointError() {
+	if m == nil {
+		return
+	}
+	m.ckErrors.Add(1)
+}
+
+// RestoreCompleted records one successful checkpoint restore and how much
+// damage the loader routed around.
+func (m *MasterObs) RestoreCompleted(trees, skippedFiles, truncatedRecords int) {
+	if m == nil {
+		return
+	}
+	m.restores.Add(1)
+	m.restoredTrees.Add(int64(trees))
+	m.restoreSkipped.Add(int64(skippedFiles))
+	m.restoreTruncated.Add(int64(truncatedRecords))
+}
+
+// TreeRestarted records one tree restart; restarts is the tree's running
+// restart count, tracked as a high-water mark across trees.
+func (m *MasterObs) TreeRestarted(restarts int) {
+	if m == nil {
+		return
+	}
+	m.treeRestarts.Add(1)
+	for {
+		hi := m.treeRestartHigh.Load()
+		if int64(restarts) <= hi || m.treeRestartHigh.CompareAndSwap(hi, int64(restarts)) {
+			return
+		}
+	}
 }
 
 // PlanPushed records one hybrid-policy insertion into B_plan.

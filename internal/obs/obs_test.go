@@ -38,6 +38,14 @@ func TestNilSafety(t *testing.T) {
 	m.SplitApplied(time.Millisecond)
 	m.TaskRetried()
 	m.TaskSuperseded()
+	m.CheckpointWritten(true, 100, time.Millisecond)
+	m.CheckpointError()
+	m.RestoreCompleted(2, 1, 1)
+	m.TreeRestarted(1)
+	m.RestoreLedger(TaskLedger{Planned: 5})
+	if got := m.Ledger(); got != (TaskLedger{}) {
+		t.Fatalf("nil MasterObs ledger not zero: %+v", got)
+	}
 
 	w := r.Worker(0)
 	w.AddComp(time.Millisecond)
@@ -249,5 +257,67 @@ func TestDebugHandler(t *testing.T) {
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
 	if rec.Code != 200 {
 		t.Fatalf("/debug/pprof/ status %d", rec.Code)
+	}
+}
+
+// TestCheckpointCounters drives the durable-master telemetry end to end:
+// write accounting, restore accounting and tree-restart high-water marks.
+func TestCheckpointCounters(t *testing.T) {
+	r := NewRegistry()
+	m := r.Master()
+	m.CheckpointWritten(true, 1000, 2*time.Millisecond)
+	m.CheckpointWritten(false, 50, time.Millisecond)
+	m.CheckpointWritten(false, 50, time.Millisecond)
+	m.CheckpointError()
+	m.RestoreCompleted(3, 1, 2)
+	m.TreeRestarted(1)
+	m.TreeRestarted(2)
+
+	s := r.Snapshot().Master
+	if s.CheckpointSnapshots != 1 || s.CheckpointRecords != 2 {
+		t.Fatalf("write counts: snapshots %d records %d", s.CheckpointSnapshots, s.CheckpointRecords)
+	}
+	if s.CheckpointBytes != 1100 || s.CheckpointNs != int64(4*time.Millisecond) {
+		t.Fatalf("write sums: bytes %d ns %d", s.CheckpointBytes, s.CheckpointNs)
+	}
+	if s.CheckpointErrors != 1 {
+		t.Fatalf("errors %d, want 1", s.CheckpointErrors)
+	}
+	if s.Restores != 1 || s.RestoredTrees != 3 || s.RestoreSkippedFiles != 1 || s.RestoreTruncatedRecords != 2 {
+		t.Fatalf("restore counts: %+v", s)
+	}
+	if s.TreeRestarts != 2 || s.TreeRestartMax != 2 {
+		t.Fatalf("tree restarts %d max %d", s.TreeRestarts, s.TreeRestartMax)
+	}
+	report := r.Snapshot().Report()
+	for _, want := range []string{"checkpoint:", "recovery:", "tree restarts:"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestRestoreLedgerMaxMerge: restoring is max, not add — idempotent, and
+// safe whether the registry is fresh (live 0) or survived in-process.
+func TestRestoreLedgerMaxMerge(t *testing.T) {
+	r := NewRegistry()
+	m := r.Master()
+	m.TaskPlanned(100, 1)
+	m.TaskPlanned(100, 1)
+	m.TaskCompleted()
+
+	persisted := TaskLedger{Planned: 10, Confirmed: 4, Completed: 9, Retried: 1, RowsPlanned: 5000}
+	m.RestoreLedger(persisted)
+	m.RestoreLedger(persisted) // idempotent
+	got := m.Ledger()
+	want := TaskLedger{Planned: 10, Confirmed: 4, Completed: 9, Retried: 1, RowsPlanned: 5000}
+	if got != want {
+		t.Fatalf("after merge into fresh registry: got %+v want %+v", got, want)
+	}
+
+	// Live counters already past the persisted values stay untouched.
+	m.RestoreLedger(TaskLedger{Planned: 3, Completed: 2})
+	if got := m.Ledger(); got.Planned != 10 || got.Completed != 9 {
+		t.Fatalf("max-merge regressed live counters: %+v", got)
 	}
 }

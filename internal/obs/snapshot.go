@@ -35,6 +35,17 @@ type MasterSnapshot struct {
 	// Stage-latency sums: plan→decision and confirm→split-done.
 	PlanToDecideNs, PlanToDecideSpans     int64
 	ConfirmToSplitNs, ConfirmToSplitSpans int64
+	// Checkpoint writes: snapshot files, appended records, bytes, wall time
+	// and non-fatal write failures.
+	CheckpointSnapshots, CheckpointRecords int64
+	CheckpointBytes, CheckpointNs          int64
+	CheckpointErrors                       int64
+	// Restores: successful recoveries, trees recovered, and damage routed
+	// around (files skipped whole, tail records dropped).
+	Restores, RestoredTrees                      int64
+	RestoreSkippedFiles, RestoreTruncatedRecords int64
+	// Tree restarts (delegate-loss recovery), total and per-tree maximum.
+	TreeRestarts, TreeRestartMax int64
 }
 
 // WorkerSnapshot is one worker's measured cost row plus pool behaviour.
@@ -75,24 +86,35 @@ func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		UptimeSeconds: time.Since(r.start).Seconds(),
 		Master: MasterSnapshot{
-			PushesBFS:           r.master.pushesBFS.Load(),
-			PushesDFS:           r.master.pushesDFS.Load(),
-			Requeues:            r.master.requeues.Load(),
-			DequeDepth:          r.master.dequeDepth.Load(),
-			DequeHighWater:      r.master.dequeHigh.Load(),
-			PoolOccupancy:       r.master.pool.Load(),
-			PoolHighWater:       r.master.poolHigh.Load(),
-			TasksPlanned:        r.master.planned.Load(),
-			TasksConfirmed:      r.master.confirmed.Load(),
-			TasksCompleted:      r.master.completed.Load(),
-			TasksRetried:        r.master.retried.Load(),
-			TasksSuperseded:     r.master.superseded.Load(),
-			RowsPlanned:         r.master.rowsPlanned.Load(),
-			MaxAttempt:          r.master.attemptHigh.Load(),
-			PlanToDecideNs:      r.master.planNs.Load(),
-			PlanToDecideSpans:   r.master.planSpans.Load(),
-			ConfirmToSplitNs:    r.master.confirmNs.Load(),
-			ConfirmToSplitSpans: r.master.confirmSpans.Load(),
+			PushesBFS:               r.master.pushesBFS.Load(),
+			PushesDFS:               r.master.pushesDFS.Load(),
+			Requeues:                r.master.requeues.Load(),
+			DequeDepth:              r.master.dequeDepth.Load(),
+			DequeHighWater:          r.master.dequeHigh.Load(),
+			PoolOccupancy:           r.master.pool.Load(),
+			PoolHighWater:           r.master.poolHigh.Load(),
+			TasksPlanned:            r.master.planned.Load(),
+			TasksConfirmed:          r.master.confirmed.Load(),
+			TasksCompleted:          r.master.completed.Load(),
+			TasksRetried:            r.master.retried.Load(),
+			TasksSuperseded:         r.master.superseded.Load(),
+			RowsPlanned:             r.master.rowsPlanned.Load(),
+			MaxAttempt:              r.master.attemptHigh.Load(),
+			PlanToDecideNs:          r.master.planNs.Load(),
+			PlanToDecideSpans:       r.master.planSpans.Load(),
+			ConfirmToSplitNs:        r.master.confirmNs.Load(),
+			ConfirmToSplitSpans:     r.master.confirmSpans.Load(),
+			CheckpointSnapshots:     r.master.ckSnapshots.Load(),
+			CheckpointRecords:       r.master.ckRecords.Load(),
+			CheckpointBytes:         r.master.ckBytes.Load(),
+			CheckpointNs:            r.master.ckNs.Load(),
+			CheckpointErrors:        r.master.ckErrors.Load(),
+			Restores:                r.master.restores.Load(),
+			RestoredTrees:           r.master.restoredTrees.Load(),
+			RestoreSkippedFiles:     r.master.restoreSkipped.Load(),
+			RestoreTruncatedRecords: r.master.restoreTruncated.Load(),
+			TreeRestarts:            r.master.treeRestarts.Load(),
+			TreeRestartMax:          r.master.treeRestartHigh.Load(),
 		},
 		Split: SplitSnapshot{
 			FastPath:      r.split.fastPath.Load(),
@@ -190,6 +212,17 @@ func (s Snapshot) Report() string {
 			fmt.Fprintf(&b, ", confirm→split avg %s over %d", time.Duration(m.ConfirmToSplitNs/m.ConfirmToSplitSpans), m.ConfirmToSplitSpans)
 		}
 		b.WriteString("\n")
+	}
+	if m.CheckpointSnapshots+m.CheckpointRecords > 0 {
+		fmt.Fprintf(&b, "checkpoint: %d snapshots, %d records, %d bytes in %s (%d write errors)\n",
+			m.CheckpointSnapshots, m.CheckpointRecords, m.CheckpointBytes, time.Duration(m.CheckpointNs), m.CheckpointErrors)
+	}
+	if m.Restores > 0 {
+		fmt.Fprintf(&b, "recovery: %d restore(s), %d trees recovered; %d corrupt files skipped, %d torn records dropped\n",
+			m.Restores, m.RestoredTrees, m.RestoreSkippedFiles, m.RestoreTruncatedRecords)
+	}
+	if m.TreeRestarts > 0 {
+		fmt.Fprintf(&b, "tree restarts: %d total, worst tree %d\n", m.TreeRestarts, m.TreeRestartMax)
 	}
 
 	if len(s.Workers) > 0 {

@@ -190,6 +190,24 @@ func (n *MemNetwork) Endpoint(name string) *MemEndpoint {
 	return ep
 }
 
+// Reset discards the named endpoint — closing its mailbox and marking it
+// crashed so any goroutine still holding the old handle gets permanent send
+// errors — and registers a fresh endpoint under the same name. It is the
+// restart hook for crash-recovery: a killed machine's replacement rejoins the
+// fabric with an empty mailbox and clean counters, while traffic addressed to
+// the name flows to the new instance.
+func (n *MemNetwork) Reset(name string) *MemEndpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if old, ok := n.endpoints[name]; ok {
+		old.crashed.Store(true)
+		old.box.close()
+	}
+	ep := &MemEndpoint{name: name, net: n, box: newMailbox()}
+	n.endpoints[name] = ep
+	return ep
+}
+
 // Close shuts down every endpoint.
 func (n *MemNetwork) Close() {
 	n.mu.Lock()
