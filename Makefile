@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race recovery cover bench experiments ablations examples fmt vet lint clean
+.PHONY: all build test race recovery straggler cover bench experiments ablations examples fmt vet lint clean
 
 all: build test
 
@@ -21,6 +21,14 @@ recovery:
 	$(GO) test -race ./internal/checkpoint/
 	$(GO) test -race ./internal/cluster/ -run 'TestMasterKill|TestResume|TestCheckpoint|TestRereplicate|TestMaxTreeRestarts|TestHeartbeatBudget'
 	$(GO) test -race ./internal/chaostest/ -run TestMasterKillRecovery
+
+# Gray-failure suite: straggler scoring, hedged execution and quarantine unit
+# tests plus the degraded-worker chaos cells, all under the race detector.
+straggler:
+	$(GO) test -race ./internal/cluster/ -run 'TestHealth|TestQuarantine|TestWorkerFailedClearsQuarantine|TestPingRTT|TestAttemptDeadline|TestSetTargetDegraded|TestHedge'
+	$(GO) test -race ./internal/transport/ -run TestChaosDegrade
+	$(GO) test -race ./internal/loadbal/ -run Quarantine
+	$(GO) test -race ./internal/chaostest/ -run TestGrayFailure
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -34,6 +34,7 @@ import (
 	"treeserver/internal/split"
 	"treeserver/internal/synth"
 	"treeserver/internal/task"
+	"treeserver/internal/transport"
 )
 
 // splitBenchResult is one microbenchmark row of the split-kernel suite.
@@ -324,6 +325,110 @@ func writeCkptBench(path string, quick bool) {
 	fmt.Printf("wrote %s\n", path)
 }
 
+// hedgeOverheadResult is the gray-failure A/B: the same forest job through a
+// chaos fabric with one degraded (but alive) worker, hedging off vs on.
+type hedgeOverheadResult struct {
+	Name           string  `json:"name"`
+	NoHedgeNs      float64 `json:"no_hedge_ns_per_op"`
+	HedgedNs       float64 `json:"hedged_ns_per_op"`
+	Ratio          float64 `json:"ratio"` // hedged / no-hedge; < 1.0 means hedging paid off
+	HedgesLaunched int64   `json:"hedges_launched"`
+	HedgesWon      int64   `json:"hedges_won"`
+	HedgesWasted   int64   `json:"hedges_wasted"`
+}
+
+// hedgeBenchOutput is the schema of the -hedge-json file.
+type hedgeBenchOutput struct {
+	GeneratedAt string                `json:"generated_at"`
+	GoVersion   string                `json:"go_version"`
+	Quick       bool                  `json:"quick"`
+	Results     []hedgeOverheadResult `json:"results"`
+}
+
+// runHedgeOverhead trains the same forest twice over a chaos fabric where one
+// worker turns ~50× slow shortly into the job and never recovers: once with
+// hedging off (per-attempt deadlines are the only countermeasure) and once
+// with hedging on. Both arms see the identical fault schedule (same chaos
+// seed and plan), so the ratio isolates what hedged execution buys.
+func runHedgeOverhead(quick bool) []hedgeOverheadResult {
+	trainRows, trees := 12000, 6
+	if quick {
+		trainRows, trees = 4000, 4
+	}
+	tbl := synth.GenerateTrain(synth.Spec{
+		Name: "hedgebench", Rows: trainRows, NumNumeric: 6, NumCategorical: 2,
+		NumClasses: 2, ConceptDepth: 5, LabelNoise: 0.05, Seed: 53,
+	})
+	params := core.Defaults()
+	params.MaxDepth = 8
+	specs := make([]cluster.TreeSpec, trees)
+	for i := range specs {
+		specs[i] = cluster.TreeSpec{Params: params,
+			Bag: cluster.BagSpec{NumRows: trainRows, Sample: trainRows, Seed: int64(i)}}
+	}
+	plan := transport.FaultPlan{
+		Name:  "hedge-bench",
+		Links: []transport.LinkFault{{From: "*", To: "*", Delay: 100 * time.Microsecond, Jitter: 100 * time.Microsecond}},
+		Degrades: []transport.Degrade{{Name: cluster.WorkerName(1), Factor: 50,
+			Delay: 2 * time.Millisecond, Jitter: 500 * time.Microsecond, AfterSends: 30}},
+	}
+	trainOnce := func(hedge float64, reg *obs.Registry) float64 {
+		chaos := transport.NewChaosNetwork(7, plan)
+		cfg := cluster.Config{
+			Workers: 5, Compers: 2, Replicas: 2,
+			Policy: task.Policy{TauD: trainRows / 10, TauDFS: trainRows / 2, NPool: 8},
+			// Generous deadline so per-attempt re-execution stays out of the
+			// way and the A/B isolates hedging as the countermeasure.
+			TaskRetry:       2400 * time.Millisecond,
+			MaxTaskAttempts: 8,
+			HedgeFactor:     hedge,
+			WrapEndpoint:    chaos.Wrap,
+			Observer:        reg,
+		}
+		c, err := cluster.NewInProcess(tbl, cluster.WithConfig(cfg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		start := time.Now()
+		if _, err := c.Train(specs); err != nil {
+			log.Fatal(err)
+		}
+		return float64(time.Since(start).Nanoseconds())
+	}
+	trainOnce(0, nil) // warm up: page in the table, grow the scratch pools
+	noHedge := trainOnce(0, obs.NewRegistry())
+	reg := obs.NewRegistry()
+	hedged := trainOnce(8, reg)
+	m := reg.Snapshot().Master
+	return []hedgeOverheadResult{{
+		Name: "cluster.Train/degraded-worker", NoHedgeNs: noHedge, HedgedNs: hedged, Ratio: hedged / noHedge,
+		HedgesLaunched: m.HedgesLaunched, HedgesWon: m.HedgesWon, HedgesWasted: m.HedgesWasted,
+	}}
+}
+
+func writeHedgeBench(path string, quick bool) {
+	results := runHedgeOverhead(quick)
+	for _, r := range results {
+		fmt.Printf("%-30s no-hedge %.0fns  hedged %.0fns  ratio %.3f  (%d launched, %d won, %d wasted)\n",
+			r.Name, r.NoHedgeNs, r.HedgedNs, r.Ratio, r.HedgesLaunched, r.HedgesWon, r.HedgesWasted)
+	}
+	data, err := json.MarshalIndent(hedgeBenchOutput{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Quick:       quick,
+		Results:     results,
+	}, "", "  ")
+	if err != nil {
+		log.Fatalf("marshal hedge bench json: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
 func main() {
 	var (
 		table     = flag.String("table", "", "run a single experiment id (see -list)")
@@ -336,6 +441,7 @@ func main() {
 		jsonPath  = flag.String("json", "", "write machine-readable results (tables + split kernel bench) to this file")
 		obsJSON   = flag.String("obs-json", "", "run the telemetry on/off overhead bench and write it to this file")
 		ckptJSON  = flag.String("ckpt-json", "", "run the checkpointing on/off overhead bench and write it to this file")
+		hedgeJSON = flag.String("hedge-json", "", "run the hedging off/on A/B under one degraded worker and write it to this file")
 	)
 	flag.Parse()
 
@@ -350,7 +456,10 @@ func main() {
 	if *ckptJSON != "" {
 		writeCkptBench(*ckptJSON, *quick)
 	}
-	if (*obsJSON != "" || *ckptJSON != "") && *table == "" && !*ablations && *jsonPath == "" {
+	if *hedgeJSON != "" {
+		writeHedgeBench(*hedgeJSON, *quick)
+	}
+	if (*obsJSON != "" || *ckptJSON != "" || *hedgeJSON != "") && *table == "" && !*ablations && *jsonPath == "" {
 		return
 	}
 

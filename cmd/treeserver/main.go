@@ -64,6 +64,8 @@ func main() {
 		ckptDir    = flag.String("checkpoint-dir", "", "enable durable master checkpointing into this directory (master/local role)")
 		ckptEvery  = flag.Duration("checkpoint-every", 0, "periodic snapshot interval between tree boundaries (0 = tree boundaries only)")
 		resume     = flag.Bool("resume", false, "recover the interrupted job from -checkpoint-dir instead of starting fresh")
+		hedge      = flag.Float64("hedge-factor", 0, "hedge a task attempt outliving this multiple of the fleet latency estimate (0 = off; master/local role)")
+		quarantine = flag.Float64("quarantine-threshold", 0, "quarantine workers whose median-normalised health score drops below this, in [0,1) (0 = off; master/local role)")
 	)
 	flag.Parse()
 	if *resume && *ckptDir == "" {
@@ -71,14 +73,15 @@ func main() {
 	}
 
 	ck := ckpt{dir: *ckptDir, every: *ckptEvery, resume: *resume}
+	gf := gray{hedge: *hedge, quarantine: *quarantine}
 	reg := newTelemetry(*report, *debugAddr)
 	switch *role {
 	case "local":
-		runLocal(*storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *compers, *workersN, *out, reg, *report, ck)
+		runLocal(*storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *compers, *workersN, *out, reg, *report, ck, gf)
 	case "worker":
 		runWorker(*listen, *masterAddr, *workerList, *id, *storeDir, *tableName, *replicas, *compers, reg)
 	case "master":
-		runMaster(*listen, *workerList, *storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *out, reg, *report, ck)
+		runMaster(*listen, *workerList, *storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *out, reg, *report, ck, gf)
 	default:
 		log.Fatalf("unknown role %q", *role)
 	}
@@ -89,6 +92,12 @@ type ckpt struct {
 	dir    string
 	every  time.Duration
 	resume bool
+}
+
+// gray carries the gray-failure tolerance flags to the role runners.
+type gray struct {
+	hedge      float64
+	quarantine float64
 }
 
 // newTelemetry builds the optional live registry: nil unless the user asked
@@ -165,7 +174,7 @@ func writeModel(path, job string, trained []*core.Tree, tbl *dataset.Table) {
 	fmt.Printf("model with %d tree(s) written to %s (serve it with tsserve)\n", len(trained), path)
 }
 
-func runLocal(storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas, compers, workers int, out string, reg *obs.Registry, report bool, ck ckpt) {
+func runLocal(storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas, compers, workers int, out string, reg *obs.Registry, report bool, ck ckpt, gf gray) {
 	tbl, _, _ := loadTable(storeDir, tableName)
 	opts := []cluster.Option{
 		cluster.WithWorkers(workers), cluster.WithCompers(compers), cluster.WithReplicas(replicas),
@@ -174,6 +183,12 @@ func runLocal(storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDF
 	}
 	if ck.dir != "" {
 		opts = append(opts, cluster.WithCheckpoint(ck.dir, ck.every))
+	}
+	if gf.hedge > 0 {
+		opts = append(opts, cluster.WithHedgeFactor(gf.hedge))
+	}
+	if gf.quarantine > 0 {
+		opts = append(opts, cluster.WithQuarantine(gf.quarantine, 0))
 	}
 	c, err := cluster.NewInProcess(tbl, opts...)
 	if err != nil {
@@ -244,7 +259,7 @@ func runWorker(listen, masterAddr, workerList string, id int, storeDir, tableNam
 	fmt.Printf("worker %d: shutdown\n", id)
 }
 
-func runMaster(listen, workerList, storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas int, out string, reg *obs.Registry, report bool, ck ckpt) {
+func runMaster(listen, workerList, storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas int, out string, reg *obs.Registry, report bool, ck ckpt, gf gray) {
 	addrs := parseWorkers(workerList)
 	if len(addrs) == 0 {
 		log.Fatal("-workers is required for the master")
@@ -261,13 +276,15 @@ func runMaster(listen, workerList, storeDir, tableName, job string, trees, dmax,
 	}
 	placement := loadbal.RoundRobin(tbl.FeatureIndexes(), len(addrs), replicas)
 	m, err := cluster.NewMaster(reg.Wrap(ep), cluster.SchemaOf(tbl), placement, cluster.MasterConfig{
-		NumWorkers:      len(addrs),
-		Policy:          task.Policy{TauD: tauD, TauDFS: tauDFS, NPool: npool},
-		Heartbeat:       time.Second,
-		Replicas:        replicas,
-		CheckpointDir:   ck.dir,
-		CheckpointEvery: ck.every,
-		Obs:             reg,
+		NumWorkers:          len(addrs),
+		Policy:              task.Policy{TauD: tauD, TauDFS: tauDFS, NPool: npool},
+		Heartbeat:           time.Second,
+		Replicas:            replicas,
+		CheckpointDir:       ck.dir,
+		CheckpointEvery:     ck.every,
+		HedgeFactor:         gf.hedge,
+		QuarantineThreshold: gf.quarantine,
+		Obs:                 reg,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -46,6 +46,8 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "enable durable master checkpointing into this directory")
 		ckptEvery = flag.Duration("checkpoint-every", 0, "periodic snapshot interval between tree boundaries (0 = tree boundaries only)")
 		resume    = flag.Bool("resume", false, "recover the interrupted job from -checkpoint-dir (same CSV and flags as the original run)")
+		hedge     = flag.Float64("hedge-factor", 0, "hedge a task attempt outliving this multiple of the fleet latency estimate (0 = off)")
+		quarant   = flag.Float64("quarantine-threshold", 0, "quarantine workers whose median-normalised health score drops below this, in [0,1) (0 = off)")
 	)
 	flag.Parse()
 	if *csvPath == "" || *target == "" {
@@ -98,6 +100,12 @@ func main() {
 	}
 	if *ckptDir != "" {
 		copts = append(copts, cluster.WithCheckpoint(*ckptDir, *ckptEvery))
+	}
+	if *hedge > 0 {
+		copts = append(copts, cluster.WithHedgeFactor(*hedge))
+	}
+	if *quarant > 0 {
+		copts = append(copts, cluster.WithQuarantine(*quarant, 0))
 	}
 	c, err := cluster.NewInProcess(train, copts...)
 	if err != nil {

@@ -12,6 +12,7 @@ package chaostest
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"treeserver/internal/cluster"
 	"treeserver/internal/core"
@@ -51,6 +52,38 @@ type Cell struct {
 	// comparison always runs first: SetTarget permanently converts the
 	// cluster to regression.
 	GBTRounds int
+	// Verify, when set, receives the cell's telemetry registry after the
+	// standard checks — the gray-failure cells assert hedge and quarantine
+	// counters here.
+	Verify func(t *testing.T, reg *obs.Registry)
+}
+
+// planTimeout derives a cell's job timeout from its fault plan instead of a
+// hard-coded constant: a fixed base budget plus a few hundred round-trips of
+// the plan's worst per-message latency, so a cell whose links are configured
+// slow gets proportionally more wall-clock before it is declared hung.
+func planTimeout(plan transport.FaultPlan) time.Duration {
+	base := 2 * time.Minute
+	var worst time.Duration
+	for _, l := range plan.Links {
+		if d := l.Delay + l.Jitter; d > worst {
+			worst = d
+		}
+	}
+	for _, d := range plan.Degrades {
+		extra := d.Delay + d.Jitter
+		if d.Factor > 1 {
+			for _, l := range plan.Links {
+				if scaled := time.Duration(d.Factor * float64(l.Delay+l.Jitter)); scaled+d.Delay+d.Jitter > extra {
+					extra = scaled + d.Delay + d.Jitter
+				}
+			}
+		}
+		if extra > worst {
+			worst = extra
+		}
+	}
+	return base + 400*worst
 }
 
 // failf reports a failure with everything needed to replay it: the cell
@@ -96,6 +129,9 @@ func Run(t *testing.T, cell Cell) {
 
 	var chaos *transport.ChaosNetwork
 	cfg := cell.Cluster
+	if cfg.JobTimeout == 0 {
+		cfg.JobTimeout = planTimeout(cell.Plan)
+	}
 	if !cell.Raw {
 		chaos = transport.NewChaosNetwork(cell.Seed, cell.Plan)
 		cfg.WrapEndpoint = chaos.Wrap
@@ -157,6 +193,9 @@ func Run(t *testing.T, cell Cell) {
 	}
 
 	verifyTelemetry(t, cell, chaos, reg)
+	if cell.Verify != nil {
+		cell.Verify(t, reg)
+	}
 }
 
 // verifyTelemetry asserts the snapshot invariants that must hold at

@@ -87,6 +87,17 @@ type Config struct {
 	// RejoinTimeout bounds the worker rejoin handshake during Resume
 	// (0 = default 10s).
 	RejoinTimeout time.Duration
+	// HedgeFactor enables hedged task execution (0 = off): a task attempt
+	// outliving HedgeFactor × the fleet latency estimate for its size gets a
+	// racing duplicate on disjoint workers.
+	HedgeFactor float64
+	// QuarantineThreshold enables straggler quarantine (0 = off): workers
+	// whose median-normalised health score drops below it are excluded from
+	// new placement until a probe passes at fleet-typical speed.
+	QuarantineThreshold float64
+	// MaxQuarantined bounds simultaneously quarantined workers
+	// (0 = default max(1, Workers/4)).
+	MaxQuarantined int
 	// WrapEndpoint, when set, decorates every endpoint (master and workers)
 	// before use — the hook the chaos harness uses to inject faults into the
 	// fabric without the cluster knowing.
@@ -142,6 +153,23 @@ func WithTaskRetry(every time.Duration, maxAttempts int) Option {
 // more than this many probes.
 func WithHeartbeatBudget(probes int) Option {
 	return func(c *Config) { c.HeartbeatBudget = probes }
+}
+
+// WithHedgeFactor enables hedged task execution: a task attempt outliving
+// factor × the fleet latency estimate for its size gets a racing duplicate on
+// a disjoint set of workers; the first complete attempt wins.
+func WithHedgeFactor(factor float64) Option {
+	return func(c *Config) { c.HedgeFactor = factor }
+}
+
+// WithQuarantine enables straggler quarantine: workers scoring below
+// threshold are excluded from new placement (at most maxQuarantined at once;
+// 0 = default) until a probe round-trip passes at fleet-typical speed.
+func WithQuarantine(threshold float64, maxQuarantined int) Option {
+	return func(c *Config) {
+		c.QuarantineThreshold = threshold
+		c.MaxQuarantined = maxQuarantined
+	}
 }
 
 // WithMaxTreeRestarts bounds delegate-loss restarts per tree; exceeding it
@@ -305,18 +333,21 @@ func NewInProcess(tbl *dataset.Table, opts ...Option) (*Cluster, error) {
 	c.schema, c.placement, c.endpoint = schema, placement, endpoint
 	c.masterCfg = MasterConfig{
 		NumWorkers: cfg.Workers, Policy: cfg.Policy,
-		Heartbeat:       cfg.Heartbeat,
-		HeartbeatBudget: cfg.HeartbeatBudget,
-		Ablation:        cfg.Ablation,
-		JobTimeout:      cfg.JobTimeout,
-		TaskRetry:       cfg.TaskRetry,
-		MaxTaskAttempts: cfg.MaxTaskAttempts,
-		MaxTreeRestarts: cfg.MaxTreeRestarts,
-		CheckpointDir:   cfg.CheckpointDir,
-		CheckpointEvery: cfg.CheckpointEvery,
-		RejoinTimeout:   cfg.RejoinTimeout,
-		Replicas:        cfg.Replicas,
-		Obs:             cfg.Observer,
+		Heartbeat:           cfg.Heartbeat,
+		HeartbeatBudget:     cfg.HeartbeatBudget,
+		Ablation:            cfg.Ablation,
+		JobTimeout:          cfg.JobTimeout,
+		TaskRetry:           cfg.TaskRetry,
+		MaxTaskAttempts:     cfg.MaxTaskAttempts,
+		MaxTreeRestarts:     cfg.MaxTreeRestarts,
+		CheckpointDir:       cfg.CheckpointDir,
+		CheckpointEvery:     cfg.CheckpointEvery,
+		RejoinTimeout:       cfg.RejoinTimeout,
+		Replicas:            cfg.Replicas,
+		HedgeFactor:         cfg.HedgeFactor,
+		QuarantineThreshold: cfg.QuarantineThreshold,
+		MaxQuarantined:      cfg.MaxQuarantined,
+		Obs:                 cfg.Observer,
 	}
 	m, err := NewMaster(endpoint(MasterName), schema, placement, c.masterCfg)
 	if err != nil {

@@ -37,6 +37,7 @@ func (m *Master) heartbeatLoop() {
 		seq++
 		m.mu.Lock()
 		failed := failedWorkers(m.alive, m.lastSeq, int64(m.cfg.HeartbeatBudget))
+		m.health.PingSent(seq, time.Now())
 		m.mu.Unlock()
 		for _, w := range failed {
 			m.NotifyWorkerFailure(w)
@@ -90,6 +91,12 @@ func (m *Master) NotifyWorkerFailure(failed int) {
 		return
 	}
 	m.alive[failed] = false
+	if m.health != nil {
+		// Fail-stop recovery owns the worker now; quarantine bookkeeping for
+		// it (and any outstanding probe) is void.
+		m.health.WorkerFailed(failed)
+		m.healthMask = m.health.preferredMask()
+	}
 
 	if err := m.rereplicateLocked(failed); err != nil {
 		m.failJobLocked(err)
@@ -114,20 +121,19 @@ func (m *Master) NotifyWorkerFailure(failed int) {
 	// recoverable ones at the head of B_plan. A task of a broken tree is
 	// superseded — the restart re-plans the tree from its root instead.
 	for id, entry := range m.tasks {
-		involved := entry.involved[failed]
+		involved := false
+		for _, as := range entry.attempts {
+			if as.involved[failed] {
+				involved = true
+				break
+			}
+		}
 		if !involved && !broken[entry.plan.tree] {
 			continue
 		}
-		for w := range entry.involved {
-			if w != failed && m.alive[w] {
-				m.send(w, DropTaskMsg{Task: id, Attempt: entry.plan.attempt})
-			}
-		}
-		m.matrix.Revert(entry.charges)
+		m.cancelAttemptsLocked(entry, nil)
 		delete(m.tasks, id)
 		if !broken[entry.plan.tree] {
-			entry.received = 0
-			entry.best.Valid = false
 			m.bplan.PushHead(entry.plan)
 			m.obs.TaskRetried()
 			m.obs.PlanRequeued()

@@ -22,7 +22,8 @@ import (
 func messageSpecimens() []any {
 	return []any{
 		ColumnPlanMsg{}, SubtreePlanMsg{}, ConfirmSplitMsg{}, DropTaskMsg{},
-		ReleaseSideMsg{}, PingMsg{}, ReplicateColumnMsg{}, SetTargetMsg{},
+		ReleaseSideMsg{}, PingMsg{}, ProbeMsg{}, ProbeAckMsg{},
+		ReplicateColumnMsg{}, SetTargetMsg{},
 		TargetAckMsg{}, ShutdownMsg{}, RejoinRequestMsg{}, RejoinReportMsg{},
 		ColumnResultMsg{}, SplitDoneMsg{}, SubtreeResultMsg{}, PongMsg{},
 		WorkerErrorMsg{}, RowsRequestMsg{}, RowsResponseMsg{},

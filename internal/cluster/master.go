@@ -69,6 +69,22 @@ type MasterConfig struct {
 	// Replicas is the column replication factor k the Resume reconciliation
 	// restores (default 2, clamped to the number of rejoined workers).
 	Replicas int
+	// HedgeFactor enables hedged task execution: an attempt whose elapsed
+	// time exceeds HedgeFactor × the fleet latency estimate for its size gets
+	// a duplicate attempt on a disjoint set of healthy workers; the first
+	// complete attempt wins and the loser is dropped. Zero disables hedging
+	// (behaviour is then identical to a build without it). Typical: 3–8.
+	HedgeFactor float64
+	// QuarantineThreshold enables straggler quarantine: a worker whose
+	// median-normalised health score falls below the threshold is excluded
+	// from new placement until a probe round-trip returns at fleet-typical
+	// speed. Zero disables quarantine. Typical: 0.1–0.5.
+	QuarantineThreshold float64
+	// MaxQuarantined bounds simultaneously quarantined workers (default
+	// max(1, NumWorkers/4)), so scoring outliers can never drain placement
+	// capacity; column reachability is additionally protected by placement
+	// fallback, which bypasses quarantine rather than orphan a column.
+	MaxQuarantined int
 	// Obs, when non-nil, receives the master's scheduling telemetry (B_plan
 	// pushes, pool occupancy, task lifecycle spans).
 	Obs *obs.Registry
@@ -86,22 +102,53 @@ type plan struct {
 	rows    []int32 // relay-mode only
 	tries   int     // extra-trees column redraws
 	epoch   int     // assembly epoch; a restarted tree invalidates old plans
-	attempt int     // execution attempt; bumped when fault recovery requeues
+	attempt int     // attempt fence; bumped per shipped attempt, hedges included
+	spawns  int     // full (non-hedge) executions; drives MaxTaskAttempts and backoff
 }
 
-// mtask is the master-side task table entry.
+// attemptState is one outstanding execution of a task. A task normally has a
+// single attempt; hedging adds duplicates that race it, and the first
+// complete attempt wins while the losers' late messages die on their stale
+// attempt numbers.
+type attemptState struct {
+	attempt    int
+	hedge      bool
+	charges    []loadbal.Charge
+	involved   map[int]bool
+	keyWorker  int          // subtree-task key worker; -1 for column tasks
+	got        map[int]bool // workers whose result arrived (dedups retries)
+	expected   int
+	received   int
+	best       split.Candidate
+	bestWorker int
+	stats      NodeStats
+	statsSet   bool
+	assignedAt time.Time // when this attempt's plans were shipped
+}
+
+// shipSpec captures everything assignAndSend resolved about the task's work
+// content — candidate columns, extra-trees draw, subtree params — so a hedged
+// duplicate ships byte-identical work and both attempts compute the same
+// result.
+type shipSpec struct {
+	cols          []int
+	random        bool
+	drawSeed      int64
+	subtreeParams core.Params
+	measure       impurity.Measure
+	numClasses    int
+	maxExh        int
+}
+
+// mtask is the master-side task table entry: the plan, the work spec, and
+// the set of outstanding attempts racing to complete it.
 type mtask struct {
 	plan        *plan
-	charges     []loadbal.Charge
-	involved    map[int]bool
-	got         map[int]bool // workers whose result arrived (dedups retries)
-	expected    int
-	received    int
-	best        split.Candidate
-	bestWorker  int
-	stats       NodeStats
-	statsSet    bool
-	assignedAt  time.Time // when this attempt's plans were shipped
+	spec        shipSpec
+	attempts    map[int]*attemptState
+	winner      int       // confirmed attempt number (column tasks); 0 = undecided
+	hedged      bool      // a hedge was already launched for this execution round
+	assignedAt  time.Time // first attempt ship time — the retry-deadline base
 	confirmedAt time.Time // when the winning split was confirmed (column tasks)
 }
 
@@ -162,6 +209,12 @@ type Master struct {
 	lastPong []time.Time
 	lastSeq  []int64
 
+	// Gray-failure tolerance (nil unless HedgeFactor or QuarantineThreshold
+	// is set). healthMask is the cached quarantine preference handed to the
+	// load balancer: nil when every worker is in good standing.
+	health     *healthTracker
+	healthMask []bool
+
 	targetSeq   int64
 	targetAcks  map[int]bool
 	targetAckCh chan struct{}
@@ -192,6 +245,21 @@ func NewMaster(ep transport.Endpoint, schema Schema, placement loadbal.Placement
 	if cfg.MaxTreeRestarts == 0 {
 		cfg.MaxTreeRestarts = defaultMaxTreeRestarts
 	}
+	if cfg.HedgeFactor < 0 {
+		return nil, fmt.Errorf("cluster: HedgeFactor %g is negative", cfg.HedgeFactor)
+	}
+	if cfg.QuarantineThreshold < 0 || cfg.QuarantineThreshold >= 1 {
+		return nil, fmt.Errorf("cluster: QuarantineThreshold %g outside [0,1)", cfg.QuarantineThreshold)
+	}
+	if cfg.MaxQuarantined < 0 {
+		return nil, fmt.Errorf("cluster: MaxQuarantined %d is negative", cfg.MaxQuarantined)
+	}
+	if cfg.MaxQuarantined == 0 {
+		cfg.MaxQuarantined = cfg.NumWorkers / 4
+		if cfg.MaxQuarantined < 1 {
+			cfg.MaxQuarantined = 1
+		}
+	}
 	m := &Master{
 		ep: ep, cfg: cfg, schema: schema,
 		placement: placement,
@@ -209,6 +277,9 @@ func NewMaster(ep transport.Endpoint, schema Schema, placement loadbal.Placement
 	for i := range m.alive {
 		m.alive[i] = true
 		m.lastPong[i] = time.Now()
+	}
+	if cfg.HedgeFactor > 0 || cfg.QuarantineThreshold > 0 {
+		m.health = newHealthTracker(cfg.NumWorkers)
 	}
 	if cfg.CheckpointDir != "" {
 		ck, err := checkpoint.NewWriter(cfg.CheckpointDir)
@@ -237,6 +308,10 @@ func (m *Master) Start() {
 	if m.ck != nil && m.cfg.CheckpointEvery > 0 {
 		m.wg.Add(1)
 		go m.checkpointLoop()
+	}
+	if m.health != nil {
+		m.wg.Add(1)
+		go m.healthLoop()
 	}
 }
 
@@ -458,48 +533,75 @@ func (m *Master) assignAndSend(p *plan) {
 	if randomDraw {
 		subtreeParams.Seed = a.rng.Int63()
 	}
-	alive := append([]bool(nil), m.alive...)
+	elig := loadbal.Eligibility{
+		Alive:     append([]bool(nil), m.alive...),
+		Preferred: m.healthMask,
+	}
 	var assignment loadbal.Assignment
 	if m.cfg.Ablation == AblationRoundRobin {
 		assignment = loadbal.AssignRoundRobin(m.placement, cols, &m.rrCounter, p.kind == task.SubtreeTask)
 	} else if p.kind == task.SubtreeTask {
-		assignment = loadbal.AssignSubtree(m.matrix, m.placement, cols, p.size, p.parent.Worker, alive)
+		assignment = loadbal.AssignSubtree(m.matrix, m.placement, cols, p.size, p.parent.Worker, elig)
 	} else {
-		assignment = loadbal.AssignColumns(m.matrix, m.placement, cols, p.size, p.parent.Worker, alive)
+		assignment = loadbal.AssignColumns(m.matrix, m.placement, cols, p.size, p.parent.Worker, elig)
 	}
 
 	p.attempt++
+	p.spawns++
 	attempt := p.attempt // capture under the lock; retryLoop may bump it later
-	entry := &mtask{
-		plan: p, charges: assignment.Charges,
-		involved: map[int]bool{}, got: map[int]bool{},
-		assignedAt: time.Now(),
+	spec := shipSpec{
+		cols: cols, random: randomDraw, drawSeed: drawSeed,
+		subtreeParams: subtreeParams,
+		measure:       a.measure, numClasses: m.schema.NumClasses,
+		maxExh: a.spec.Params.MaxExhaustiveLevels,
 	}
-	if p.kind == task.SubtreeTask {
-		entry.expected = 1
-		entry.involved[assignment.KeyWorker] = true
-		for _, w := range assignment.ColumnServer {
-			entry.involved[w] = true
-		}
-	} else {
-		perWorker := assignment.PerWorkerColumns()
-		entry.expected = len(perWorker)
-		for w := range perWorker {
-			entry.involved[w] = true
-		}
+	now := time.Now()
+	as := newAttemptState(p.kind, attempt, false, assignment, now)
+	entry := &mtask{
+		plan: p, spec: spec,
+		attempts:   map[int]*attemptState{attempt: as},
+		assignedAt: now,
 	}
 	m.tasks[p.id] = entry
 	m.obs.TaskPlanned(p.size, attempt)
-	measure := a.measure
-	numClasses := m.schema.NumClasses
-	maxExh := a.spec.Params.MaxExhaustiveLevels
 	m.mu.Unlock()
 
+	m.shipAttempt(p, spec, attempt, assignment)
+}
+
+// newAttemptState builds the bookkeeping for one shipped attempt from its
+// worker assignment.
+func newAttemptState(kind task.Kind, attempt int, hedge bool, assignment loadbal.Assignment, now time.Time) *attemptState {
+	as := &attemptState{
+		attempt: attempt, hedge: hedge, charges: assignment.Charges,
+		involved: map[int]bool{}, got: map[int]bool{},
+		keyWorker: -1, assignedAt: now,
+	}
+	if kind == task.SubtreeTask {
+		as.expected = 1
+		as.keyWorker = assignment.KeyWorker
+		as.involved[assignment.KeyWorker] = true
+		for _, w := range assignment.ColumnServer {
+			as.involved[w] = true
+		}
+	} else {
+		perWorker := assignment.PerWorkerColumns()
+		as.expected = len(perWorker)
+		for w := range perWorker {
+			as.involved[w] = true
+		}
+	}
+	return as
+}
+
+// shipAttempt sends one attempt's plan messages. Called without m.mu held; a
+// hedged duplicate ships the same spec as the original, so both attempts
+// compute identical results.
+func (m *Master) shipAttempt(p *plan, spec shipSpec, attempt int, assignment loadbal.Assignment) {
 	if p.kind == task.SubtreeTask {
-		params := subtreeParams
 		m.send(assignment.KeyWorker, SubtreePlanMsg{
 			Task: p.id, Attempt: attempt, Tree: p.tree, Depth: p.depth, Size: p.size,
-			Parent: p.parent, Params: params, ColServer: assignment.ColumnServer,
+			Parent: p.parent, Params: spec.subtreeParams, ColServer: assignment.ColumnServer,
 			Rows: p.rows,
 		})
 		return
@@ -508,8 +610,8 @@ func (m *Master) assignAndSend(p *plan) {
 		m.send(w, ColumnPlanMsg{
 			Task: p.id, Attempt: attempt, Tree: p.tree, Depth: p.depth, Size: p.size,
 			Cols: wcols, Parent: p.parent,
-			Measure: measure, NumClasses: numClasses, MaxExh: maxExh,
-			Random: randomDraw, RandomSeed: drawSeed,
+			Measure: spec.measure, NumClasses: spec.numClasses, MaxExh: spec.maxExh,
+			Random: spec.random, RandomSeed: spec.drawSeed,
 			Rows: p.rows,
 		})
 	}
@@ -546,8 +648,11 @@ func (m *Master) recvLoop() {
 				if msg.Seq > m.lastSeq[msg.Worker] {
 					m.lastSeq[msg.Worker] = msg.Seq
 				}
+				m.health.PongReceived(msg.Worker, msg.Seq, time.Now())
 			}
 			m.mu.Unlock()
+		case ProbeAckMsg:
+			m.handleProbeAck(msg)
 		case TargetAckMsg:
 			m.handleTargetAck(msg)
 		case RejoinReportMsg:
@@ -561,42 +666,49 @@ func (m *Master) recvLoop() {
 func (m *Master) handleColumnResult(msg ColumnResultMsg) {
 	m.mu.Lock()
 	entry, ok := m.tasks[msg.Task]
-	if !ok || entry.plan.attempt != msg.Attempt || entry.got[msg.Worker] {
+	if !ok || entry.winner != 0 {
 		m.mu.Unlock()
-		return // unknown task, revoked attempt, or duplicate delivery
+		return // unknown task, or the race is already decided
 	}
-	entry.got[msg.Worker] = true
-	entry.received++
-	if !entry.statsSet {
-		entry.stats, entry.statsSet = msg.Stats, true
+	as, ok := entry.attempts[msg.Attempt]
+	if !ok || as.got[msg.Worker] {
+		m.mu.Unlock()
+		return // revoked/superseded attempt, or duplicate delivery
 	}
-	if msg.Best.Valid && msg.Best.Better(entry.best) {
-		entry.best = msg.Best
-		entry.bestWorker = msg.Worker
+	as.got[msg.Worker] = true
+	as.received++
+	if !as.statsSet {
+		as.stats, as.statsSet = msg.Stats, true
 	}
-	if entry.received < entry.expected {
+	if msg.Best.Valid && msg.Best.Better(as.best) {
+		as.best = msg.Best
+		as.bestWorker = msg.Worker
+	}
+	if m.health != nil {
+		m.health.ObserveTask(msg.Worker, entry.plan.size, time.Since(as.assignedAt))
+	}
+	if as.received < as.expected {
 		m.mu.Unlock()
 		return
 	}
-	m.decideSplitLocked(entry)
+	m.decideSplitLocked(entry, as)
 	m.mu.Unlock()
 }
 
-// decideSplitLocked runs once all column results for a task are in.
-func (m *Master) decideSplitLocked(entry *mtask) {
+// decideSplitLocked runs once all column results for one attempt are in. That
+// attempt wins the race: any other outstanding attempts are cancelled before
+// the split is confirmed, so exactly one worker ever applies it.
+func (m *Master) decideSplitLocked(entry *mtask, as *attemptState) {
 	p := entry.plan
 	a := m.trees[p.tree]
 	if a == nil {
 		return
 	}
-	if entry.stats.Pure || !entry.best.Valid {
-		if !entry.best.Valid && !entry.stats.Pure && a.spec.Params.ExtraTrees && p.tries < len(a.features) {
+	if as.stats.Pure || !as.best.Valid {
+		if !as.best.Valid && !as.stats.Pure && a.spec.Params.ExtraTrees && p.tries < len(a.features) {
 			// Extra-trees drew a constant column: redraw and retry.
 			p.tries++
-			for w := range entry.involved {
-				m.send(w, DropTaskMsg{Task: p.id, Attempt: p.attempt})
-			}
-			m.matrix.Revert(entry.charges)
+			m.cancelAttemptsLocked(entry, nil)
 			delete(m.tasks, p.id)
 			m.bplan.PushHead(p)
 			m.obs.TaskRetried()
@@ -604,31 +716,80 @@ func (m *Master) decideSplitLocked(entry *mtask) {
 			m.obs.SetDequeDepth(m.bplan.Len())
 			return
 		}
-		m.makeLeafLocked(entry)
+		m.makeLeafLocked(entry, as)
 		return
 	}
-	// Confirm the winner; everyone else drops their task object.
-	for w := range entry.involved {
-		if w != entry.bestWorker {
-			m.send(w, DropTaskMsg{Task: p.id, Attempt: p.attempt})
+	entry.winner = as.attempt
+	m.resolveRaceLocked(entry, as)
+	// Confirm the winner; everyone else in the attempt drops their task object.
+	for w := range as.involved {
+		if w != as.bestWorker {
+			m.send(w, DropTaskMsg{Task: p.id, Attempt: as.attempt})
 		}
 	}
 	entry.confirmedAt = time.Now()
 	m.obs.TaskConfirmed(entry.confirmedAt.Sub(entry.assignedAt))
-	m.send(entry.bestWorker, ConfirmSplitMsg{Task: p.id, Attempt: p.attempt, Cond: entry.best.Cond, Relay: m.cfg.Ablation == AblationRelayRows})
+	m.send(as.bestWorker, ConfirmSplitMsg{Task: p.id, Attempt: as.attempt, Cond: as.best.Cond, Relay: m.cfg.Ablation == AblationRelayRows})
+}
+
+// resolveRaceLocked cancels every attempt other than the winner: losers get
+// attempt-tagged DropTask messages (their attempt numbers, so a drop can
+// never hit the winner's state) and their cost-model charges are reverted.
+func (m *Master) resolveRaceLocked(entry *mtask, winner *attemptState) {
+	for n, as := range entry.attempts {
+		if n == winner.attempt {
+			continue
+		}
+		m.cancelOneAttemptLocked(entry, as)
+		delete(entry.attempts, n)
+	}
+	if winner.hedge {
+		m.obs.HedgeWon()
+	}
+}
+
+// cancelOneAttemptLocked revokes a single attempt at its (alive) workers and
+// reverts its charges.
+func (m *Master) cancelOneAttemptLocked(entry *mtask, as *attemptState) {
+	for w := range as.involved {
+		if w >= 0 && w < len(m.alive) && m.alive[w] {
+			m.send(w, DropTaskMsg{Task: entry.plan.id, Attempt: as.attempt})
+		}
+	}
+	m.matrix.Revert(as.charges)
+	if as.hedge {
+		m.obs.HedgeWasted()
+	}
+}
+
+// cancelAttemptsLocked revokes every outstanding attempt; keep, when non-nil,
+// is dropped from the table without DropTask sends (its workers are already
+// done with the task).
+func (m *Master) cancelAttemptsLocked(entry *mtask, keep *attemptState) {
+	for n, as := range entry.attempts {
+		if keep != nil && n == keep.attempt {
+			m.matrix.Revert(as.charges)
+			continue
+		}
+		m.cancelOneAttemptLocked(entry, as)
+	}
+	entry.attempts = map[int]*attemptState{}
+	entry.hedged = false
 }
 
 // makeLeafLocked turns the task's node into a leaf (pure node, or no column
 // admits a split).
-func (m *Master) makeLeafLocked(entry *mtask) {
+func (m *Master) makeLeafLocked(entry *mtask, as *attemptState) {
 	p := entry.plan
-	if entry.statsSet {
-		entry.stats.Fill(p.node)
+	if as.statsSet {
+		as.stats.Fill(p.node)
 	}
-	for w := range entry.involved {
-		m.send(w, DropTaskMsg{Task: p.id, Attempt: p.attempt})
+	entry.winner = as.attempt
+	m.resolveRaceLocked(entry, as)
+	for w := range as.involved {
+		m.send(w, DropTaskMsg{Task: p.id, Attempt: as.attempt})
 	}
-	m.matrix.Revert(entry.charges)
+	m.matrix.Revert(as.charges)
 	delete(m.tasks, p.id)
 	m.obs.TaskCompleted()
 	m.releaseParentLocked(p)
@@ -639,7 +800,11 @@ func (m *Master) handleSplitDone(msg SplitDoneMsg) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	entry, ok := m.tasks[msg.Task]
-	if !ok || entry.plan.attempt != msg.Attempt {
+	if !ok || entry.winner != msg.Attempt {
+		return
+	}
+	as, ok := entry.attempts[msg.Attempt]
+	if !ok {
 		return
 	}
 	p := entry.plan
@@ -647,12 +812,12 @@ func (m *Master) handleSplitDone(msg SplitDoneMsg) {
 	if a == nil {
 		return
 	}
-	cond := entry.best.Cond
+	cond := as.best.Cond
 	cond.Rehydrate()
 	p.node.Cond = &cond
 	p.node.SeenCodes = msg.SeenCodes
-	if entry.statsSet {
-		entry.stats.Fill(p.node)
+	if as.statsSet {
+		as.stats.Fill(p.node)
 	}
 
 	left := &core.Node{Depth: p.depth + 1}
@@ -666,7 +831,7 @@ func (m *Master) handleSplitDone(msg SplitDoneMsg) {
 	m.spawnChildLocked(a, p, msg.Worker, 0, left, msg.LeftN, msg.LeftStats, msg.LeftRows)
 	m.spawnChildLocked(a, p, msg.Worker, 1, right, msg.RightN, msg.RightStats, msg.RightRows)
 
-	m.matrix.Revert(entry.charges)
+	m.matrix.Revert(as.charges)
 	delete(m.tasks, p.id)
 	m.obs.TaskCompleted()
 	if !entry.confirmedAt.IsZero() {
@@ -708,15 +873,25 @@ func (m *Master) handleSubtreeResult(msg SubtreeResultMsg) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	entry, ok := m.tasks[msg.Task]
-	if !ok || entry.plan.attempt != msg.Attempt {
+	if !ok || entry.winner != 0 {
+		return
+	}
+	as, ok := entry.attempts[msg.Attempt]
+	if !ok {
 		return
 	}
 	p := entry.plan
 	if _, live := m.trees[p.tree]; !live {
 		return
 	}
+	// First complete attempt wins: losers are dropped before the graft.
+	entry.winner = as.attempt
+	m.resolveRaceLocked(entry, as)
+	if m.health != nil {
+		m.health.ObserveTask(msg.Worker, p.size, time.Since(as.assignedAt))
+	}
 	graft(p.node, msg.Subtree.Root, p.depth)
-	m.matrix.Revert(entry.charges)
+	m.matrix.Revert(as.charges)
 	delete(m.tasks, p.id)
 	m.obs.TaskCompleted()
 	m.releaseParentLocked(p)
@@ -834,7 +1009,7 @@ func (m *Master) retryLoop() {
 		var stale []task.ID
 		now := time.Now()
 		for id, entry := range m.tasks {
-			if now.Sub(entry.assignedAt) > m.attemptDeadline(entry.plan.attempt) {
+			if now.Sub(entry.assignedAt) > m.attemptDeadline(entry.plan.spawns, entry.plan.size) {
 				stale = append(stale, id)
 			}
 		}
@@ -847,35 +1022,37 @@ func (m *Master) retryLoop() {
 	}
 }
 
-// attemptDeadline is TaskRetry doubled per prior attempt (capped), so
-// re-executions back off exponentially under persistent faults.
-func (m *Master) attemptDeadline(attempt int) time.Duration {
+// attemptDeadline scales TaskRetry by task size — a leaf-level task over a
+// few dozen rows should be revoked long before a root-sized one — floored at
+// a quarter of the configured deadline so fixed per-task overheads (plan
+// delivery, row fetch round-trips) are always granted. The result doubles per
+// prior full execution (capped), so re-executions back off exponentially
+// under persistent faults.
+func (m *Master) attemptDeadline(executions, size int) time.Duration {
 	d := m.cfg.TaskRetry
-	for i := 1; i < attempt && i < 6; i++ {
+	if ref := m.schema.NumRows; ref > 0 && size < ref {
+		d = time.Duration(float64(d) * (0.25 + 0.75*float64(size)/float64(ref)))
+	}
+	for i := 1; i < executions && i < 6; i++ {
 		d *= 2
 	}
 	return d
 }
 
-// requeueTaskLocked revokes the task's current attempt at every involved
-// worker and requeues the plan at the head of B_plan; assignAndSend will bump
-// the attempt so stale messages from this execution are ignored everywhere.
+// requeueTaskLocked revokes every outstanding attempt at its involved workers
+// and requeues the plan at the head of B_plan; assignAndSend will bump the
+// attempt so stale messages from these executions are ignored everywhere.
 func (m *Master) requeueTaskLocked(id task.ID, entry *mtask, reason string) {
 	p := entry.plan
 	maxAttempts := m.cfg.MaxTaskAttempts
 	if maxAttempts <= 0 {
 		maxAttempts = 5
 	}
-	if p.attempt >= maxAttempts {
-		m.failJobLocked(fmt.Errorf("cluster: task %d failed after %d attempts: %s", id, p.attempt, reason))
+	if p.spawns >= maxAttempts {
+		m.failJobLocked(fmt.Errorf("cluster: task %d failed after %d attempts: %s", id, p.spawns, reason))
 		return
 	}
-	for w := range entry.involved {
-		if w >= 0 && w < len(m.alive) && m.alive[w] {
-			m.send(w, DropTaskMsg{Task: id, Attempt: p.attempt})
-		}
-	}
-	m.matrix.Revert(entry.charges)
+	m.cancelAttemptsLocked(entry, nil)
 	delete(m.tasks, id)
 	m.bplan.PushHead(p)
 	m.obs.TaskRetried()

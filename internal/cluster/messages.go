@@ -238,6 +238,12 @@ type ReleaseSideMsg struct {
 // PingMsg is the master's liveness probe.
 type PingMsg struct{ Seq int64 }
 
+// ProbeMsg is the master's quarantine-probation probe: a lightweight task the
+// worker must turn around immediately. Unlike PingMsg it is sent in waves to
+// every alive worker, so the acks of healthy workers form the latency
+// baseline a quarantined worker's probation is judged against.
+type ProbeMsg struct{ Seq int64 }
+
 // ReplicateColumnMsg asks a surviving replica holder to copy a column to
 // another worker (fault recovery).
 type ReplicateColumnMsg struct {
@@ -309,6 +315,13 @@ type SubtreeResultMsg struct {
 
 // PongMsg answers PingMsg.
 type PongMsg struct {
+	Worker int
+	Seq    int64
+}
+
+// ProbeAckMsg answers ProbeMsg; the round-trip time is the worker's probation
+// evidence.
+type ProbeAckMsg struct {
 	Worker int
 	Seq    int64
 }
@@ -386,6 +399,8 @@ func init() {
 	gob.Register(DropTaskMsg{})
 	gob.Register(ReleaseSideMsg{})
 	gob.Register(PingMsg{})
+	gob.Register(ProbeMsg{})
+	gob.Register(ProbeAckMsg{})
 	gob.Register(ReplicateColumnMsg{})
 	gob.Register(SetTargetMsg{})
 	gob.Register(TargetAckMsg{})

@@ -33,7 +33,14 @@ type Worker struct {
 	rowWaits map[task.ID][]func([]int32)
 	colWaits []colWait // work parked until re-replicated columns arrive
 
+	// SetTarget idempotence fence: sequences at or below targetSeq were
+	// already applied and are only re-acked. targetApplies counts actual
+	// applications for the duplicate-delivery tests.
+	targetSeq     int64
+	targetApplies int
+
 	btask    chan func()
+	done     chan struct{} // closed on shutdown; gates btask enqueues and comper exit
 	wg       sync.WaitGroup
 	stopOnce sync.Once
 	busyNs   atomic.Int64
@@ -96,6 +103,7 @@ func NewWorker(id int, ep transport.Endpoint, schema Schema, cols map[int]*datas
 		tasks:    map[task.ID]*wtask{},
 		rowWaits: map[task.ID][]func([]int32){},
 		btask:    make(chan func(), 4096),
+		done:     make(chan struct{}),
 		obs:      reg.Worker(id),
 		sc:       reg.Split(),
 	}
@@ -137,19 +145,39 @@ func (w *Worker) Wait() { w.wg.Wait() }
 func (w *Worker) Stop() {
 	w.stopOnce.Do(func() {
 		w.ep.Close()
-		close(w.btask)
+		close(w.done)
 	})
 	w.wg.Wait()
 }
 
+// enqueue hands a job to the comper pool. Late continuations (a delayed
+// RowsResponse landing after shutdown) must not panic or block forever, so
+// shutdown is signalled via the done channel rather than closing btask.
+func (w *Worker) enqueue(job func()) {
+	select {
+	case <-w.done:
+		return
+	default:
+	}
+	select {
+	case w.btask <- job:
+	case <-w.done:
+	}
+}
+
 func (w *Worker) comperLoop() {
 	defer w.wg.Done()
-	for job := range w.btask {
-		start := time.Now()
-		job()
-		d := time.Since(start)
-		w.busyNs.Add(int64(d))
-		w.obs.AddComp(d) // the measured M_work Comp column
+	for {
+		select {
+		case <-w.done:
+			return
+		case job := <-w.btask:
+			start := time.Now()
+			job()
+			d := time.Since(start)
+			w.busyNs.Add(int64(d))
+			w.obs.AddComp(d) // the measured M_work Comp column
+		}
 	}
 }
 
@@ -208,10 +236,12 @@ func (w *Worker) dispatch(env transport.Envelope) bool {
 		w.handleRejoin(msg)
 	case PingMsg:
 		w.send(MasterName, PongMsg{Worker: w.id, Seq: msg.Seq})
+	case ProbeMsg:
+		w.send(MasterName, ProbeAckMsg{Worker: w.id, Seq: msg.Seq})
 	case ShutdownMsg:
 		w.stopOnce.Do(func() {
 			w.ep.Close()
-			close(w.btask)
+			close(w.done)
 		})
 		return false
 	}
@@ -309,7 +339,7 @@ func (w *Worker) handleColumnPlan(msg ColumnPlanMsg) {
 	if msg.Rows != nil { // relay-rows ablation: I_x arrived with the plan
 		entry.rows = msg.Rows
 		w.whenColumnsPresent(msg.Cols, func() {
-			w.btask <- func() { w.computeColumnTask(msg, msg.Rows) }
+			w.enqueue(func() { w.computeColumnTask(msg, msg.Rows) })
 		})
 		return
 	}
@@ -322,7 +352,7 @@ func (w *Worker) handleColumnPlan(msg ColumnPlanMsg) {
 		entry.rows = rows
 		w.mu.Unlock()
 		w.whenColumnsPresent(msg.Cols, func() {
-			w.btask <- func() { w.computeColumnTask(msg, rows) }
+			w.enqueue(func() { w.computeColumnTask(msg, rows) })
 		})
 	})
 }
@@ -563,7 +593,7 @@ func (w *Worker) enqueueBuild(msg SubtreePlanMsg, entry *wtask) {
 		}
 	}
 	w.whenColumnsPresent(local, func() {
-		w.btask <- func() { w.buildSubtree(msg, entry) }
+		w.enqueue(func() { w.buildSubtree(msg, entry) })
 	})
 }
 
@@ -678,12 +708,28 @@ func (w *Worker) buildSubtree(msg SubtreePlanMsg, entry *wtask) {
 // lock, so no task references the old Y concurrently.
 func (w *Worker) handleSetTarget(msg SetTargetMsg) {
 	w.mu.Lock()
-	w.y = dataset.NewNumeric("Y", msg.Y)
-	w.schema.NumClasses = 0
-	w.schema.Task = dataset.Regression
-	w.schema.Kinds[w.schema.Target] = dataset.Numeric
+	// The master resends SetTarget until an alive quorum acks, so a degraded
+	// worker whose acks arrive late sees the same sequence repeatedly. Apply
+	// each sequence once; re-ack unconditionally (the ack may be the lost
+	// half of the exchange).
+	if msg.Seq > w.targetSeq {
+		w.targetSeq = msg.Seq
+		w.targetApplies++
+		w.y = dataset.NewNumeric("Y", msg.Y)
+		w.schema.NumClasses = 0
+		w.schema.Task = dataset.Regression
+		w.schema.Kinds[w.schema.Target] = dataset.Numeric
+	}
 	w.mu.Unlock()
 	w.send(MasterName, TargetAckMsg{Worker: w.id, Seq: msg.Seq})
+}
+
+// TargetApplies reports how many SetTarget sequences this worker has applied
+// — the probe the duplicate-delivery tests assert on.
+func (w *Worker) TargetApplies() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.targetApplies
 }
 
 // --- Fault-recovery support ---

@@ -156,26 +156,41 @@ func insertionSortInts(v []int) {
 	}
 }
 
+// Eligibility restricts which workers an assignment may use. Alive is the
+// hard constraint: dead endpoints never receive work (nil means every worker
+// is alive). Preferred, when non-nil, narrows the choice further — e.g.
+// quarantined stragglers are skipped as long as some preferred candidate can
+// fill the role; when none can (every replica holder of a column is
+// quarantined), the preference is bypassed and any alive candidate is used,
+// so replication reachability always beats quarantine.
+type Eligibility struct {
+	Alive     []bool
+	Preferred []bool
+}
+
+func (e Eligibility) alive(w int) bool { return masked(e.Alive, w) }
+
+func (e Eligibility) preferred(w int) bool { return e.alive(w) && masked(e.Preferred, w) }
+
+func masked(mask []bool, w int) bool {
+	return mask == nil || (w >= 0 && w < len(mask) && mask[w])
+}
+
 // AssignSubtree places a subtree-task: the key worker is the worker with
 // minimum Comp (the task is CPU-bound), charged |I_x|·|C|·log|I_x|; each
 // candidate column is then assigned to a replica holder minimising the
 // maximum of the four Send/Recv updates of Section VI, with transfers
-// skipped when the data is already local. alive restricts eligibility (nil
-// means every worker is alive).
-func AssignSubtree(m *Matrix, p Placement, cols []int, size, parentWorker int, alive []bool) Assignment {
+// skipped when the data is already local.
+func AssignSubtree(m *Matrix, p Placement, cols []int, size, parentWorker int, elig Eligibility) Assignment {
 	a := Assignment{KeyWorker: -1, ColumnServer: map[int]int{}}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
-	// Key worker: argmin of Comp among alive workers.
-	best := -1
-	for w := 0; w < p.NumWorkers; w++ {
-		if !isAlive(alive, w) {
-			continue
-		}
-		if best < 0 || m.work[Comp][w] < m.work[Comp][best] {
-			best = w
-		}
+	// Key worker: argmin of Comp among preferred workers, falling back to
+	// any alive worker when quarantine empties the preferred set.
+	best := m.argminComp(p.NumWorkers, elig.preferred)
+	if best < 0 {
+		best = m.argminComp(p.NumWorkers, elig.alive)
 	}
 	if best < 0 {
 		return a
@@ -187,24 +202,37 @@ func AssignSubtree(m *Matrix, p Placement, cols []int, size, parentWorker int, a
 
 	requested := map[int]bool{} // workers already fetching I_x from the parent
 	for _, col := range cols {
-		w := m.pickServer(p, col, size, parentWorker, a.KeyWorker, requested, alive)
+		w := m.pickServer(p, col, size, parentWorker, a.KeyWorker, requested, elig)
 		a.ColumnServer[col] = w
 		m.chargeTransfer(&a, col, w, size, parentWorker, a.KeyWorker, requested)
 	}
 	return a
 }
 
+func (m *Matrix) argminComp(n int, ok func(int) bool) int {
+	best := -1
+	for w := 0; w < n; w++ {
+		if !ok(w) {
+			continue
+		}
+		if best < 0 || m.work[Comp][w] < m.work[Comp][best] {
+			best = w
+		}
+	}
+	return best
+}
+
 // AssignColumns places a column-task: every candidate column goes to a
 // replica holder; the worker additionally receives I_x from the parent once
 // and pays |I_x| Comp per column examined. The server is chosen to minimise
 // max(Recv[j], Send[parent]) after the update, balancing communication.
-func AssignColumns(m *Matrix, p Placement, cols []int, size, parentWorker int, alive []bool) Assignment {
+func AssignColumns(m *Matrix, p Placement, cols []int, size, parentWorker int, elig Eligibility) Assignment {
 	a := Assignment{KeyWorker: -1, ColumnServer: map[int]int{}}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	requested := map[int]bool{}
 	for _, col := range cols {
-		w := m.pickServer(p, col, size, parentWorker, -1, requested, alive)
+		w := m.pickServer(p, col, size, parentWorker, -1, requested, elig)
 		a.ColumnServer[col] = w
 		comp := float64(size)
 		a.Charges = append(a.Charges, Charge{w, Comp, comp})
@@ -215,25 +243,45 @@ func AssignColumns(m *Matrix, p Placement, cols []int, size, parentWorker int, a
 }
 
 // pickServer chooses, among the column's replica holders, the worker whose
-// post-update bottleneck metric is smallest. Holding the lock is required.
-func (m *Matrix) pickServer(p Placement, col, size, parentWorker, keyWorker int, requested map[int]bool, alive []bool) int {
+// post-update bottleneck metric is smallest. Preferred holders are tried
+// first; when quarantine (or hedging exclusions) rules out every preferred
+// holder, any alive holder serves — a column must never become unreachable
+// because all its replicas scored badly. Holding the lock is required.
+func (m *Matrix) pickServer(p Placement, col, size, parentWorker, keyWorker int, requested map[int]bool, elig Eligibility) int {
 	owners := p.Owners[col]
 	if len(owners) == 0 {
-		// Y or an unplaced column: any alive worker; fall back to min Recv.
-		best := -1
-		for w := 0; w < p.NumWorkers; w++ {
-			if !isAlive(alive, w) {
-				continue
-			}
-			if best < 0 || m.work[Recv][w] < m.work[Recv][best] {
-				best = w
-			}
+		// Y or an unplaced column: any worker; fall back to min Recv.
+		if best := m.argminRecv(p.NumWorkers, elig.preferred); best >= 0 {
+			return best
 		}
+		return m.argminRecv(p.NumWorkers, elig.alive)
+	}
+	if best := m.bestOwner(owners, size, parentWorker, keyWorker, requested, elig.preferred); best >= 0 {
 		return best
 	}
+	if best := m.bestOwner(owners, size, parentWorker, keyWorker, requested, elig.alive); best >= 0 {
+		return best
+	}
+	return owners[0]
+}
+
+func (m *Matrix) argminRecv(n int, ok func(int) bool) int {
+	best := -1
+	for w := 0; w < n; w++ {
+		if !ok(w) {
+			continue
+		}
+		if best < 0 || m.work[Recv][w] < m.work[Recv][best] {
+			best = w
+		}
+	}
+	return best
+}
+
+func (m *Matrix) bestOwner(owners []int, size, parentWorker, keyWorker int, requested map[int]bool, ok func(int) bool) int {
 	bestW, bestScore := -1, math.Inf(1)
 	for _, w := range owners {
-		if !isAlive(alive, w) {
+		if !ok(w) {
 			continue
 		}
 		score := m.transferScore(w, size, parentWorker, keyWorker, requested)
@@ -241,14 +289,7 @@ func (m *Matrix) pickServer(p Placement, col, size, parentWorker, keyWorker int,
 			bestW, bestScore = w, score
 		}
 	}
-	if bestW < 0 && len(owners) > 0 {
-		bestW = owners[0]
-	}
 	return bestW
-}
-
-func isAlive(alive []bool, w int) bool {
-	return alive == nil || (w >= 0 && w < len(alive) && alive[w])
 }
 
 // transferScore evaluates the bottleneck the four Section-VI updates would

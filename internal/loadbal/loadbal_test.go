@@ -65,7 +65,7 @@ func TestAssignSubtreePicksIdleKeyWorker(t *testing.T) {
 	m := NewMatrix(3)
 	m.Apply([]Charge{{0, Comp, 1000}, {1, Comp, 10}, {2, Comp, 500}})
 	p := RoundRobin([]int{0, 1}, 3, 2)
-	a := AssignSubtree(m, p, []int{0, 1}, 100, -1, nil)
+	a := AssignSubtree(m, p, []int{0, 1}, 100, -1, Eligibility{})
 	if a.KeyWorker != 1 {
 		t.Fatalf("key worker = %d, want idle worker 1", a.KeyWorker)
 	}
@@ -92,7 +92,7 @@ func TestAssignColumnsBalancesAcrossReplicas(t *testing.T) {
 	// Both workers hold both columns; worker 0 already busy receiving.
 	p := Placement{Owners: map[int][]int{5: {0, 1}, 6: {0, 1}}, NumWorkers: 2}
 	m.Apply([]Charge{{0, Recv, 10000}})
-	a := AssignColumns(m, p, []int{5, 6}, 100, -1, nil)
+	a := AssignColumns(m, p, []int{5, 6}, 100, -1, Eligibility{})
 	for col, w := range a.ColumnServer {
 		if w != 1 {
 			t.Fatalf("col %d went to busy worker %d", col, w)
@@ -108,7 +108,7 @@ func TestAssignColumnsChargesParentSendOnce(t *testing.T) {
 	// Updates (1) and (2) apply once per worker, not once per column.
 	m := NewMatrix(3)
 	p := Placement{Owners: map[int][]int{1: {2}, 2: {2}, 3: {2}}, NumWorkers: 3}
-	a := AssignColumns(m, p, []int{1, 2, 3}, 50, 0, nil)
+	a := AssignColumns(m, p, []int{1, 2, 3}, 50, 0, Eligibility{})
 	if got := m.Load(0, Send); got != 50 {
 		t.Fatalf("parent send charged %g, want 50 (once)", got)
 	}
@@ -125,7 +125,7 @@ func TestAssignSubtreeSkipsLocalTransfers(t *testing.T) {
 	// A single-worker cluster must incur no Send/Recv charges at all.
 	m := NewMatrix(1)
 	p := RoundRobin([]int{0, 1, 2}, 1, 1)
-	a := AssignSubtree(m, p, []int{0, 1, 2}, 100, 0, nil)
+	a := AssignSubtree(m, p, []int{0, 1, 2}, 100, 0, Eligibility{})
 	if a.KeyWorker != 0 {
 		t.Fatalf("key = %d", a.KeyWorker)
 	}
@@ -138,16 +138,73 @@ func TestAssignRespectsAliveMask(t *testing.T) {
 	m := NewMatrix(3)
 	p := Placement{Owners: map[int][]int{7: {0, 1}}, NumWorkers: 3}
 	alive := []bool{false, true, true}
-	a := AssignSubtree(m, p, []int{7}, 10, -1, alive)
+	a := AssignSubtree(m, p, []int{7}, 10, -1, Eligibility{Alive: alive})
 	if a.KeyWorker == 0 {
 		t.Fatal("dead worker chosen as key")
 	}
 	if a.ColumnServer[7] != 1 {
 		t.Fatalf("col served by %d, want surviving replica 1", a.ColumnServer[7])
 	}
-	ac := AssignColumns(m, p, []int{7}, 10, -1, alive)
+	ac := AssignColumns(m, p, []int{7}, 10, -1, Eligibility{Alive: alive})
 	if ac.ColumnServer[7] != 1 {
 		t.Fatalf("column task served by %d, want 1", ac.ColumnServer[7])
+	}
+}
+
+func TestAssignAvoidsQuarantinedWorkers(t *testing.T) {
+	// A quarantined worker must lose key-worker and column-server roles to a
+	// preferred peer even when the cost model favours it.
+	m := NewMatrix(3)
+	m.Apply([]Charge{{1, Comp, 1000}, {2, Comp, 2000}})
+	p := Placement{Owners: map[int][]int{4: {0, 1}}, NumWorkers: 3}
+	elig := Eligibility{Preferred: []bool{false, true, true}} // 0 quarantined
+	a := AssignSubtree(m, p, []int{4}, 10, -1, elig)
+	if a.KeyWorker != 1 {
+		t.Fatalf("key worker = %d, want 1 (0 is quarantined, 2 busier)", a.KeyWorker)
+	}
+	if a.ColumnServer[4] != 1 {
+		t.Fatalf("col served by %d, want non-quarantined holder 1", a.ColumnServer[4])
+	}
+}
+
+func TestAssignBypassesQuarantineWhenAllHoldersQuarantined(t *testing.T) {
+	// Replication reachability beats quarantine: when every replica holder
+	// of a column is quarantined, placement must fall back to an alive
+	// holder rather than leave the column unservable.
+	m := NewMatrix(4)
+	p := Placement{Owners: map[int][]int{9: {0, 1}}, NumWorkers: 4}
+	elig := Eligibility{
+		Alive:     []bool{true, true, true, true},
+		Preferred: []bool{false, false, true, true}, // both holders quarantined
+	}
+	for _, a := range []Assignment{
+		AssignColumns(m, p, []int{9}, 10, -1, elig),
+		AssignSubtree(m, p, []int{9}, 10, -1, elig),
+	} {
+		w := a.ColumnServer[9]
+		if w != 0 && w != 1 {
+			t.Fatalf("col served by %d, want a quarantined-but-alive holder (0 or 1)", w)
+		}
+	}
+	// The subtree key worker, by contrast, has preferred alternatives and
+	// must use one.
+	a := AssignSubtree(m, p, []int{9}, 10, -1, elig)
+	if a.KeyWorker != 2 && a.KeyWorker != 3 {
+		t.Fatalf("key worker = %d, want a preferred worker (2 or 3)", a.KeyWorker)
+	}
+	// With every worker quarantined the preference dissolves entirely.
+	all := Eligibility{Preferred: []bool{false, false, false, false}}
+	if a := AssignSubtree(m, p, []int{9}, 10, -1, all); a.KeyWorker < 0 {
+		t.Fatal("fully-quarantined fleet must still get a key worker")
+	}
+	// A dead holder stays dead even when quarantine empties the preferred
+	// set: the alive mask is the hard constraint.
+	dead := Eligibility{
+		Alive:     []bool{false, true, true, true},
+		Preferred: []bool{false, false, true, true},
+	}
+	if a := AssignColumns(m, p, []int{9}, 10, -1, dead); a.ColumnServer[9] != 1 {
+		t.Fatalf("col served by %d, want 1 (0 is dead, not merely quarantined)", a.ColumnServer[9])
 	}
 }
 

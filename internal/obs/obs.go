@@ -167,6 +167,20 @@ type MasterObs struct {
 	restoreTruncated atomic.Int64 // torn tail records dropped during restore
 	treeRestarts     atomic.Int64 // tree restarts (delegate loss recovery)
 	treeRestartHigh  atomic.Int64 // most restarts any single tree needed
+
+	// Gray-failure telemetry (straggler scoring / hedging / quarantine).
+	hedgesLaunched atomic.Int64 // duplicate attempts shipped by the hedge loop
+	hedgesWon      atomic.Int64 // tasks whose winning result came from a hedge
+	hedgesWasted   atomic.Int64 // outstanding attempts cancelled because a sibling won
+	quarantines    atomic.Int64 // circuit-breaker closed→open transitions
+	probesSent     atomic.Int64 // probe messages shipped to workers
+	probations     atomic.Int64 // probation passes (half-open→closed restores)
+
+	// The health vector is a gauge, not a counter: the master overwrites it
+	// each scoring pass, so it lives behind a mutex rather than atomics.
+	healthMu         sync.Mutex
+	healthScores     []float64 // per-worker median-normalised score, 1 ≈ fleet-typical
+	quarantineStates []string  // per-worker circuit state: closed | open | half-open
 }
 
 // TaskLedger is the durable subset of the master's task-lifecycle counters:
@@ -375,6 +389,71 @@ func (m *MasterObs) TaskSuperseded() {
 		return
 	}
 	m.superseded.Add(1)
+}
+
+// HedgeLaunched records one duplicate attempt shipped because the original
+// outlived HedgeFactor × the fleet latency estimate.
+func (m *MasterObs) HedgeLaunched() {
+	if m == nil {
+		return
+	}
+	m.hedgesLaunched.Add(1)
+}
+
+// HedgeWon records a task whose winning result came from a hedged attempt.
+func (m *MasterObs) HedgeWon() {
+	if m == nil {
+		return
+	}
+	m.hedgesWon.Add(1)
+}
+
+// HedgeWasted records one outstanding attempt cancelled because a sibling
+// attempt of the same task won the race — duplicated work thrown away.
+func (m *MasterObs) HedgeWasted() {
+	if m == nil {
+		return
+	}
+	m.hedgesWasted.Add(1)
+}
+
+// WorkerQuarantined records one circuit-breaker closed→open transition.
+func (m *MasterObs) WorkerQuarantined() {
+	if m == nil {
+		return
+	}
+	m.quarantines.Add(1)
+}
+
+// ProbeSent records one probation probe shipped to a worker.
+func (m *MasterObs) ProbeSent() {
+	if m == nil {
+		return
+	}
+	m.probesSent.Add(1)
+}
+
+// WorkerRestored records one probation pass: a quarantined worker answered
+// its probe at normal speed and re-entered placement (half-open→closed).
+func (m *MasterObs) WorkerRestored() {
+	if m == nil {
+		return
+	}
+	m.probations.Add(1)
+}
+
+// SetWorkerHealth overwrites the per-worker health gauge: scores are
+// median-normalised (1 ≈ fleet-typical, lower is slower), states are the
+// quarantine circuit states ("closed", "open", "half-open"). Both slices are
+// copied.
+func (m *MasterObs) SetWorkerHealth(scores []float64, states []string) {
+	if m == nil {
+		return
+	}
+	m.healthMu.Lock()
+	m.healthScores = append(m.healthScores[:0], scores...)
+	m.quarantineStates = append(m.quarantineStates[:0], states...)
+	m.healthMu.Unlock()
 }
 
 // WorkerObs collects one worker's measured cost row — the observed

@@ -42,6 +42,13 @@ func TestNilSafety(t *testing.T) {
 	m.CheckpointError()
 	m.RestoreCompleted(2, 1, 1)
 	m.TreeRestarted(1)
+	m.HedgeLaunched()
+	m.HedgeWon()
+	m.HedgeWasted()
+	m.WorkerQuarantined()
+	m.ProbeSent()
+	m.WorkerRestored()
+	m.SetWorkerHealth([]float64{1, 0.5}, []string{"closed", "open"})
 	m.RestoreLedger(TaskLedger{Planned: 5})
 	if got := m.Ledger(); got != (TaskLedger{}) {
 		t.Fatalf("nil MasterObs ledger not zero: %+v", got)
@@ -66,6 +73,74 @@ func TestNilSafety(t *testing.T) {
 	}
 }
 
+// TestHealthTelemetry checks the gray-failure counters and the health gauge
+// round-trip through Snapshot and surface in Report.
+func TestHealthTelemetry(t *testing.T) {
+	r := NewRegistry()
+	m := r.Master()
+	for i := 0; i < 3; i++ {
+		m.HedgeLaunched()
+	}
+	m.HedgeWon()
+	m.HedgeWasted()
+	m.HedgeWasted()
+	m.WorkerQuarantined()
+	m.ProbeSent()
+	m.ProbeSent()
+	m.WorkerRestored()
+	m.SetWorkerHealth([]float64{1.0, 0.02, 0.97}, []string{"closed", "open", "closed"})
+	// Gauge semantics: a second pass overwrites, not appends.
+	m.SetWorkerHealth([]float64{1.0, 0.04, 0.99}, []string{"closed", "half-open", "closed"})
+
+	s := r.Snapshot()
+	if s.Master.HedgesLaunched != 3 || s.Master.HedgesWon != 1 || s.Master.HedgesWasted != 2 {
+		t.Fatalf("hedge counters: %+v", s.Master)
+	}
+	if s.Master.Quarantines != 1 || s.Master.ProbesSent != 2 || s.Master.QuarantineRestores != 1 {
+		t.Fatalf("quarantine counters: %+v", s.Master)
+	}
+	if len(s.Master.HealthScores) != 3 || s.Master.HealthScores[1] != 0.04 {
+		t.Fatalf("health scores: %v", s.Master.HealthScores)
+	}
+	if s.Master.QuarantineStates[1] != "half-open" {
+		t.Fatalf("quarantine states: %v", s.Master.QuarantineStates)
+	}
+	rep := s.Report()
+	for _, want := range []string{"hedging: 3 launched, 1 won, 2 wasted", "quarantine: 1 opened, 1 restored, 2 probes", "w1=0.04(half-open)"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// TestCounterAllocs proves the per-event collector methods allocate nothing:
+// they sit on worker/master hot paths and the kernel dispatch path.
+func TestCounterAllocs(t *testing.T) {
+	r := NewRegistry()
+	m := r.Master()
+	c := r.Split()
+	if n := testing.AllocsPerRun(100, func() {
+		m.HedgeLaunched()
+		m.HedgeWon()
+		m.HedgeWasted()
+		m.WorkerQuarantined()
+		m.ProbeSent()
+		m.WorkerRestored()
+		c.DispatchFast()
+		c.ScratchGet(true)
+	}); n != 0 {
+		t.Fatalf("counter methods allocate %v per run, want 0", n)
+	}
+	scores := []float64{1, 1}
+	states := []string{"closed", "closed"}
+	m.SetWorkerHealth(scores, states) // warm the gauge buffers
+	if n := testing.AllocsPerRun(100, func() {
+		m.SetWorkerHealth(scores, states)
+	}); n != 0 {
+		t.Fatalf("SetWorkerHealth allocates %v per run after warm-up, want 0", n)
+	}
+}
+
 // TestConcurrentCounters hammers one registry from many goroutines; run
 // under -race this is the package's data-race certificate.
 func TestConcurrentCounters(t *testing.T) {
@@ -85,6 +160,8 @@ func TestConcurrentCounters(t *testing.T) {
 				m.SetPool(i % 7)
 				m.TaskPlanned(10, 1)
 				m.TaskCompleted()
+				m.HedgeLaunched()
+				m.SetWorkerHealth([]float64{1, float64(i)}, []string{"closed", "open"})
 				w.AddComp(time.Microsecond)
 				w.AddRecv(time.Microsecond)
 				c.DispatchFast()

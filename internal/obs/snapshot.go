@@ -46,6 +46,16 @@ type MasterSnapshot struct {
 	RestoreSkippedFiles, RestoreTruncatedRecords int64
 	// Tree restarts (delegate-loss recovery), total and per-tree maximum.
 	TreeRestarts, TreeRestartMax int64
+	// Hedged execution: duplicates launched, races won by the hedge, and
+	// attempts cancelled as wasted work.
+	HedgesLaunched, HedgesWon, HedgesWasted int64
+	// Quarantine circuit breaker: open transitions, probes shipped and
+	// probation passes (restores).
+	Quarantines, ProbesSent, QuarantineRestores int64
+	// Health gauge at snapshot time: per-worker median-normalised scores
+	// (1 ≈ fleet-typical, lower is slower) and circuit states.
+	HealthScores     []float64
+	QuarantineStates []string
 }
 
 // WorkerSnapshot is one worker's measured cost row plus pool behaviour.
@@ -115,6 +125,12 @@ func (r *Registry) Snapshot() Snapshot {
 			RestoreTruncatedRecords: r.master.restoreTruncated.Load(),
 			TreeRestarts:            r.master.treeRestarts.Load(),
 			TreeRestartMax:          r.master.treeRestartHigh.Load(),
+			HedgesLaunched:          r.master.hedgesLaunched.Load(),
+			HedgesWon:               r.master.hedgesWon.Load(),
+			HedgesWasted:            r.master.hedgesWasted.Load(),
+			Quarantines:             r.master.quarantines.Load(),
+			ProbesSent:              r.master.probesSent.Load(),
+			QuarantineRestores:      r.master.probations.Load(),
 		},
 		Split: SplitSnapshot{
 			FastPath:      r.split.fastPath.Load(),
@@ -124,6 +140,11 @@ func (r *Registry) Snapshot() Snapshot {
 			ScratchMisses: r.split.scratchMisses.Load(),
 		},
 	}
+
+	r.master.healthMu.Lock()
+	s.Master.HealthScores = append([]float64(nil), r.master.healthScores...)
+	s.Master.QuarantineStates = append([]string(nil), r.master.quarantineStates...)
+	r.master.healthMu.Unlock()
 
 	r.mu.Lock()
 	for _, w := range r.workers {
@@ -223,6 +244,24 @@ func (s Snapshot) Report() string {
 	}
 	if m.TreeRestarts > 0 {
 		fmt.Fprintf(&b, "tree restarts: %d total, worst tree %d\n", m.TreeRestarts, m.TreeRestartMax)
+	}
+	if m.HedgesLaunched > 0 {
+		fmt.Fprintf(&b, "hedging: %d launched, %d won, %d wasted\n",
+			m.HedgesLaunched, m.HedgesWon, m.HedgesWasted)
+	}
+	if m.Quarantines > 0 || m.ProbesSent > 0 {
+		fmt.Fprintf(&b, "quarantine: %d opened, %d restored, %d probes\n",
+			m.Quarantines, m.QuarantineRestores, m.ProbesSent)
+	}
+	if len(m.HealthScores) > 0 {
+		b.WriteString("worker health:")
+		for w, sc := range m.HealthScores {
+			fmt.Fprintf(&b, " w%d=%.2f", w, sc)
+			if w < len(m.QuarantineStates) && m.QuarantineStates[w] != "closed" {
+				fmt.Fprintf(&b, "(%s)", m.QuarantineStates[w])
+			}
+		}
+		b.WriteString("\n")
 	}
 
 	if len(s.Workers) > 0 {

@@ -45,6 +45,8 @@ type FaultPlan struct {
 	Partitions []Partition
 	// Kills schedules fail-stop endpoint deaths.
 	Kills []Kill
+	// Degrades schedules gray failures: endpoints that turn slow and recover.
+	Degrades []Degrade
 }
 
 // LinkFault injects faults on messages from From to To ("*" matches any
@@ -88,6 +90,34 @@ type Kill struct {
 	AfterSends int
 }
 
+// Degrade schedules a gray failure: while the endpoint's own send count lies
+// in [AfterSends, UntilSends), every outbound message is slowed down but
+// still delivered — the machine limps instead of dying, which no fail-stop
+// detector can see. Like Kill, the window is expressed in the victim's own
+// send count so activation is deterministic in its lifetime. UntilSends == 0
+// means the degradation never heals.
+//
+// The extra delay per message is Factor × (link base delay) + Delay +
+// jittered extra in [0, Jitter), reusing the message's single jitter draw so
+// the per-link decision sequence stays identical with or without the rule.
+type Degrade struct {
+	Name string
+	// Factor scales the matched link rule's own Delay+Jitter while active
+	// (0 or 1 leaves it unscaled); use it to turn an already-slow link 50×
+	// slower mid-window.
+	Factor float64
+	// Delay and Jitter add an absolute slowdown on top, for plans whose
+	// links are otherwise clean.
+	Delay      time.Duration
+	Jitter     time.Duration
+	AfterSends int
+	UntilSends int
+}
+
+func (d Degrade) active(n int) bool {
+	return n >= d.AfterSends && (d.UntilSends == 0 || n < d.UntilSends)
+}
+
 // String renders the plan compactly for failure reports.
 func (p FaultPlan) String() string {
 	var b strings.Builder
@@ -102,6 +132,10 @@ func (p FaultPlan) String() string {
 	for _, k := range p.Kills {
 		fmt.Fprintf(&b, " kill(%s after %d sends)", k.Name, k.AfterSends)
 	}
+	for _, d := range p.Degrades {
+		fmt.Fprintf(&b, " degrade(%s ×%g +%v~%v sends[%d,%d))",
+			d.Name, d.Factor, d.Delay, d.Jitter, d.AfterSends, d.UntilSends)
+	}
 	b.WriteString(" }")
 	return b.String()
 }
@@ -113,7 +147,7 @@ type TraceEvent struct {
 	Link   string // "from->to"
 	Seq    int    // message index on the link, from 0
 	Type   string // payload type, e.g. "cluster.ColumnPlanMsg"
-	Action string // deliver | drop | dup | reorder | senderr | partition | to-dead | kill
+	Action string // deliver | degraded | drop | dup | reorder | senderr | partition | to-dead | kill
 	Delay  time.Duration
 }
 
@@ -339,6 +373,19 @@ func (e *chaosEndpoint) Send(to string, payload any) error {
 	if l.rule.Delay > 0 || l.rule.Jitter > 0 {
 		delay = l.rule.Delay + time.Duration(dJitter*float64(l.rule.Jitter))
 	}
+	for _, d := range c.plan.Degrades {
+		if d.Name != e.name || !d.active(n) {
+			continue
+		}
+		if d.Factor > 1 {
+			delay = time.Duration(float64(delay) * d.Factor)
+		}
+		delay += d.Delay + time.Duration(dJitter*float64(d.Jitter))
+		if action == "deliver" {
+			action = "degraded"
+		}
+		break
+	}
 	c.trace = append(c.trace, TraceEvent{
 		Link: l.key, Seq: seq, Type: fmt.Sprintf("%T", payload), Action: action, Delay: delay,
 	})
@@ -349,7 +396,7 @@ func (e *chaosEndpoint) Send(to string, payload any) error {
 	switch action {
 	case "to-dead", "partition", "drop", "senderr":
 		// no delivery
-	case "deliver":
+	case "deliver", "degraded":
 		deliver = append(deliver, payload)
 	case "dup":
 		deliver = append(deliver, payload, payload)

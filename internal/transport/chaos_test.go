@@ -223,6 +223,83 @@ func TestChaosPartitionWindowHeals(t *testing.T) {
 	}
 }
 
+func TestChaosDegradeWindowSlowsAndHeals(t *testing.T) {
+	// Sends 2..5 are degraded by 3ms each; everything still arrives in order.
+	plan := FaultPlan{
+		Name:     "gray",
+		Degrades: []Degrade{{Name: "a", Delay: 3 * time.Millisecond, AfterSends: 2, UntilSends: 6}},
+	}
+	c, a, b, net := chaosPair(29, plan)
+	defer net.Close()
+	for i := 0; i < 8; i++ {
+		if err := a.Send("b", i); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		env, ok := b.Recv()
+		if !ok || env.Payload.(int) != i {
+			t.Fatalf("degraded FIFO broken at %d: %v ok=%v", i, env.Payload, ok)
+		}
+	}
+	for _, e := range c.Trace() {
+		inWindow := e.Seq >= 2 && e.Seq < 6
+		if inWindow && (e.Action != "degraded" || e.Delay < 3*time.Millisecond) {
+			t.Fatalf("event %v inside window should be degraded by >=3ms", e)
+		}
+		if !inWindow && e.Action != "deliver" {
+			t.Fatalf("event %v outside window should be a clean deliver", e)
+		}
+	}
+}
+
+func TestChaosDegradeScalesLinkDelay(t *testing.T) {
+	// Factor multiplies the link's own base delay while the window is open.
+	plan := FaultPlan{
+		Links:    []LinkFault{{From: "a", To: "b", Delay: time.Millisecond}},
+		Degrades: []Degrade{{Name: "a", Factor: 5, AfterSends: 0}},
+	}
+	c, a, _, net := chaosPair(31, plan)
+	defer net.Close()
+	if err := a.Send("b", "x"); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	e := c.Trace()[0]
+	if e.Action != "degraded" || e.Delay < 5*time.Millisecond {
+		t.Fatalf("event %v: want degraded with >=5ms (5 × 1ms link delay)", e)
+	}
+}
+
+func TestChaosDegradePreservesDecisionSequence(t *testing.T) {
+	// Adding a Degrade rule must not shift the per-link RNG stream: the k-th
+	// message's drop/dup/reorder fate is identical with and without it.
+	base := FaultPlan{
+		Name:  "seq",
+		Links: []LinkFault{{From: "*", To: "*", Drop: 0.3, Dup: 0.2, Reorder: 0.1}},
+	}
+	degraded := base
+	degraded.Degrades = []Degrade{{Name: "a", Delay: time.Microsecond, AfterSends: 0}}
+	run := func(plan FaultPlan) []string {
+		c, a, _, net := chaosPair(41, plan)
+		defer net.Close()
+		for i := 0; i < 50; i++ {
+			_ = a.Send("b", i)
+		}
+		var actions []string
+		for _, e := range c.Trace() {
+			a := e.Action
+			if a == "degraded" {
+				a = "deliver" // degradation only slows; fate is unchanged
+			}
+			actions = append(actions, a)
+		}
+		return actions
+	}
+	if got, want := run(degraded), run(base); !reflect.DeepEqual(got, want) {
+		t.Fatalf("degrade rule shifted the fault decision sequence:\n got %v\nwant %v", got, want)
+	}
+}
+
 func TestChaosWrapTCP(t *testing.T) {
 	// The decorator is fabric-agnostic: the same plan drives a TCP pair.
 	recv, err := ListenTCP("b", "127.0.0.1:0", nil)
