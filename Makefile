@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race recovery straggler cover bench experiments ablations examples fmt vet lint clean
+.PHONY: all build test race recovery straggler hist cover bench experiments ablations examples fmt vet lint clean
 
 all: build test
 
@@ -29,6 +29,16 @@ straggler:
 	$(GO) test -race ./internal/transport/ -run TestChaosDegrade
 	$(GO) test -race ./internal/loadbal/ -run Quarantine
 	$(GO) test -race ./internal/chaostest/ -run TestGrayFailure
+
+# Histogram training mode: sketch and kernel unit tests, the saturated
+# hist-vs-exact equivalence properties, and the hist chaos cell, all under
+# the race detector.
+hist:
+	$(GO) test -race ./internal/sketch/
+	$(GO) test -race ./internal/split/ -run 'TestHist|TestBinsFromSketch'
+	$(GO) test -race ./internal/core/ -run TestTrainLocalHist
+	$(GO) test -race ./internal/cluster/ -run TestHist
+	$(GO) test -race ./internal/chaostest/ -run TestHistModeDeterministic
 
 cover:
 	$(GO) test -cover ./internal/...

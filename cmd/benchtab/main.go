@@ -429,6 +429,140 @@ func writeHedgeBench(path string, quick bool) {
 	fmt.Printf("wrote %s\n", path)
 }
 
+// histABResult is one row of the exact-vs-hist A/B: the same wide/deep
+// training job under both split modes, at one MaxBins setting.
+type histABResult struct {
+	Name             string  `json:"name"`
+	MaxBins          int     `json:"max_bins"`
+	TopK             int     `json:"top_k"`
+	ExactNs          float64 `json:"exact_ns"`
+	HistNs           float64 `json:"hist_ns"`
+	Speedup          float64 `json:"speedup"` // exact / hist wall clock; > 1 means hist is faster
+	ExactLinkBytes   int64   `json:"exact_link_bytes"`
+	HistLinkBytes    int64   `json:"hist_link_bytes"`
+	ByteReduction    float64 `json:"byte_reduction"` // exact / hist link bytes; > 1 means hist ships less
+	ExactAccuracy    float64 `json:"exact_accuracy"`
+	HistAccuracy     float64 `json:"hist_accuracy"`
+	AccuracyDelta    float64 `json:"accuracy_delta"` // exact - hist on held-out rows
+	BinRounds        int64   `json:"bin_rounds"`
+	HistogramsSent   int64   `json:"histograms_fetched"`
+	HistSubtractions int64   `json:"hist_subtractions"`
+}
+
+// histBenchOutput is the schema of the -hist-json file.
+type histBenchOutput struct {
+	GeneratedAt string         `json:"generated_at"`
+	GoVersion   string         `json:"go_version"`
+	Quick       bool           `json:"quick"`
+	Results     []histABResult `json:"results"`
+}
+
+// runHistAB trains the same wide/deep classification job once under the exact
+// protocol and once per MaxBins setting under hist mode, on identical
+// clusters. Wall clock, total link bytes (worker + master outbound) and
+// held-out accuracy quantify what sketch-binned histograms with top-k voting
+// trade away; the obs counters show how the hist arm got there. The job runs
+// with TauD = 1 so every split goes through the column-task protocol — the
+// regime the hist mode exists for; subtree handoff (large TauD) short-circuits
+// both arms into the identical serial trainer and measures nothing.
+func runHistAB(quick bool) []histABResult {
+	trainRows, maxDepth := 32000, 12
+	if quick {
+		trainRows, maxDepth = 8000, 9
+	}
+	train, test := synth.Generate(synth.Spec{
+		Name: "histbench", Rows: trainRows * 5 / 4, NumNumeric: 32, NumCategorical: 2,
+		NumClasses: 2, ConceptDepth: 8, LabelNoise: 0.05, Seed: 54,
+	}, 0.2)
+	params := core.Defaults()
+	params.MaxDepth = maxDepth
+	specs := []cluster.TreeSpec{{Params: params}, {Params: core.Params{
+		MaxDepth: params.MaxDepth, MinLeaf: params.MinLeaf, Measure: params.Measure, Seed: 1}}}
+
+	accuracy := func(tr *core.Tree) float64 {
+		hits := 0
+		for r := 0; r < test.NumRows(); r++ {
+			if tr.PredictClass(test, r, 0) == test.Y().Cats[r] {
+				hits++
+			}
+		}
+		return float64(hits) / float64(test.NumRows())
+	}
+	n := train.NumRows()
+	trainOnce := func(mode cluster.SplitMode, maxBins, topK int, reg *obs.Registry) (float64, int64, float64) {
+		opts := []cluster.Option{
+			cluster.WithWorkers(4), cluster.WithCompers(2),
+			cluster.WithPolicy(task.Policy{TauD: 1, TauDFS: n / 2, NPool: 8}),
+			cluster.WithObserver(reg), cluster.WithSplitMode(mode),
+		}
+		if maxBins > 0 {
+			opts = append(opts, cluster.WithMaxBins(maxBins), cluster.WithTopK(topK))
+		}
+		c, err := cluster.NewInProcess(train, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		start := time.Now()
+		trained, err := c.Train(specs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := c.MetricsSince(start)
+		return float64(time.Since(start).Nanoseconds()), m.WorkerSentBytes + m.MasterSentBytes, accuracy(trained[0])
+	}
+
+	trainOnce(cluster.SplitExact, 0, 0, nil) // warm up: page in the table, grow the pools
+	// Both arms carry a live registry so per-message telemetry sizing costs
+	// them equally.
+	exactNs, exactBytes, exactAcc := trainOnce(cluster.SplitExact, 0, 0, obs.NewRegistry())
+
+	// The bin sweep spans the tradeoff: at 32 bins the per-node work is far
+	// below the exact sort-and-sweep; by 256 bins the deep frontier's nodes
+	// hold fewer rows than the histogram holds bins, and clearing + scanning
+	// those slots costs more than exact splitting — the regime where exact
+	// still wins.
+	var out []histABResult
+	for _, maxBins := range []int{32, 64, 256} {
+		reg := obs.NewRegistry()
+		histNs, histBytes, histAcc := trainOnce(cluster.SplitHist, maxBins, 2, reg)
+		m := reg.Snapshot()
+		out = append(out, histABResult{
+			Name: "cluster.Train/wide-deep", MaxBins: maxBins, TopK: 2,
+			ExactNs: exactNs, HistNs: histNs, Speedup: exactNs / histNs,
+			ExactLinkBytes: exactBytes, HistLinkBytes: histBytes,
+			ByteReduction: float64(exactBytes) / float64(histBytes),
+			ExactAccuracy: exactAcc, HistAccuracy: histAcc, AccuracyDelta: exactAcc - histAcc,
+			BinRounds:      m.Master.BinRounds,
+			HistogramsSent: m.Master.HistogramsFetched, HistSubtractions: m.Split.HistSubtractions,
+		})
+	}
+	return out
+}
+
+func writeHistBench(path string, quick bool) {
+	results := runHistAB(quick)
+	for _, r := range results {
+		fmt.Printf("%-24s max-bins %-4d exact %.0fms hist %.0fms speedup %.2fx  bytes %.2fx less  acc %.4f vs %.4f (delta %.4f)\n",
+			r.Name, r.MaxBins, r.ExactNs/1e6, r.HistNs/1e6, r.Speedup, r.ByteReduction,
+			r.ExactAccuracy, r.HistAccuracy, r.AccuracyDelta)
+	}
+	data, err := json.MarshalIndent(histBenchOutput{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Quick:       quick,
+		Results:     results,
+	}, "", "  ")
+	if err != nil {
+		log.Fatalf("marshal hist bench json: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
 func main() {
 	var (
 		table     = flag.String("table", "", "run a single experiment id (see -list)")
@@ -442,6 +576,7 @@ func main() {
 		obsJSON   = flag.String("obs-json", "", "run the telemetry on/off overhead bench and write it to this file")
 		ckptJSON  = flag.String("ckpt-json", "", "run the checkpointing on/off overhead bench and write it to this file")
 		hedgeJSON = flag.String("hedge-json", "", "run the hedging off/on A/B under one degraded worker and write it to this file")
+		histJSON  = flag.String("hist-json", "", "run the exact-vs-hist split mode A/B and write it to this file")
 	)
 	flag.Parse()
 
@@ -459,7 +594,10 @@ func main() {
 	if *hedgeJSON != "" {
 		writeHedgeBench(*hedgeJSON, *quick)
 	}
-	if (*obsJSON != "" || *ckptJSON != "" || *hedgeJSON != "") && *table == "" && !*ablations && *jsonPath == "" {
+	if *histJSON != "" {
+		writeHistBench(*histJSON, *quick)
+	}
+	if (*obsJSON != "" || *ckptJSON != "" || *hedgeJSON != "" || *histJSON != "") && *table == "" && !*ablations && *jsonPath == "" {
 		return
 	}
 

@@ -66,25 +66,40 @@ func main() {
 		resume     = flag.Bool("resume", false, "recover the interrupted job from -checkpoint-dir instead of starting fresh")
 		hedge      = flag.Float64("hedge-factor", 0, "hedge a task attempt outliving this multiple of the fleet latency estimate (0 = off; master/local role)")
 		quarantine = flag.Float64("quarantine-threshold", 0, "quarantine workers whose median-normalised health score drops below this, in [0,1) (0 = off; master/local role)")
+		mode       = flag.String("mode", "exact", "split finding: exact | hist (sketch-binned histograms with top-k voting; master/local role)")
+		maxBins    = flag.Int("max-bins", 0, "hist mode: bins per numeric column (0 = cluster default)")
+		topK       = flag.Int("top-k", 0, "hist mode: candidate splits each worker votes per node (0 = cluster default)")
 	)
 	flag.Parse()
 	if *resume && *ckptDir == "" {
 		log.Fatal("-resume requires -checkpoint-dir")
 	}
+	splitMode, err := cluster.ParseSplitMode(*mode)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	ck := ckpt{dir: *ckptDir, every: *ckptEvery, resume: *resume}
 	gf := gray{hedge: *hedge, quarantine: *quarantine}
+	hm := histMode{mode: splitMode, maxBins: *maxBins, topK: *topK}
 	reg := newTelemetry(*report, *debugAddr)
 	switch *role {
 	case "local":
-		runLocal(*storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *compers, *workersN, *out, reg, *report, ck, gf)
+		runLocal(*storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *compers, *workersN, *out, reg, *report, ck, gf, hm)
 	case "worker":
 		runWorker(*listen, *masterAddr, *workerList, *id, *storeDir, *tableName, *replicas, *compers, reg)
 	case "master":
-		runMaster(*listen, *workerList, *storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *out, reg, *report, ck, gf)
+		runMaster(*listen, *workerList, *storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *out, reg, *report, ck, gf, hm)
 	default:
 		log.Fatalf("unknown role %q", *role)
 	}
+}
+
+// histMode carries the approximate-training flags to the role runners.
+// Workers need no flags: the bin protocol configures them over the wire.
+type histMode struct {
+	mode          cluster.SplitMode
+	maxBins, topK int
 }
 
 // ckpt carries the checkpoint/resume flags to the role runners.
@@ -174,12 +189,19 @@ func writeModel(path, job string, trained []*core.Tree, tbl *dataset.Table) {
 	fmt.Printf("model with %d tree(s) written to %s (serve it with tsserve)\n", len(trained), path)
 }
 
-func runLocal(storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas, compers, workers int, out string, reg *obs.Registry, report bool, ck ckpt, gf gray) {
+func runLocal(storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas, compers, workers int, out string, reg *obs.Registry, report bool, ck ckpt, gf gray, hm histMode) {
 	tbl, _, _ := loadTable(storeDir, tableName)
 	opts := []cluster.Option{
 		cluster.WithWorkers(workers), cluster.WithCompers(compers), cluster.WithReplicas(replicas),
 		cluster.WithPolicy(task.Policy{TauD: tauD, TauDFS: tauDFS, NPool: npool}),
 		cluster.WithObserver(reg),
+		cluster.WithSplitMode(hm.mode),
+	}
+	if hm.maxBins > 0 {
+		opts = append(opts, cluster.WithMaxBins(hm.maxBins))
+	}
+	if hm.topK > 0 {
+		opts = append(opts, cluster.WithTopK(hm.topK))
 	}
 	if ck.dir != "" {
 		opts = append(opts, cluster.WithCheckpoint(ck.dir, ck.every))
@@ -259,7 +281,7 @@ func runWorker(listen, masterAddr, workerList string, id int, storeDir, tableNam
 	fmt.Printf("worker %d: shutdown\n", id)
 }
 
-func runMaster(listen, workerList, storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas int, out string, reg *obs.Registry, report bool, ck ckpt, gf gray) {
+func runMaster(listen, workerList, storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas int, out string, reg *obs.Registry, report bool, ck ckpt, gf gray, hm histMode) {
 	addrs := parseWorkers(workerList)
 	if len(addrs) == 0 {
 		log.Fatal("-workers is required for the master")
@@ -284,6 +306,9 @@ func runMaster(listen, workerList, storeDir, tableName, job string, trees, dmax,
 		CheckpointEvery:     ck.every,
 		HedgeFactor:         gf.hedge,
 		QuarantineThreshold: gf.quarantine,
+		SplitMode:           hm.mode,
+		MaxBins:             hm.maxBins,
+		TopK:                hm.topK,
 		Obs:                 reg,
 	})
 	if err != nil {

@@ -48,6 +48,9 @@ func main() {
 		resume    = flag.Bool("resume", false, "recover the interrupted job from -checkpoint-dir (same CSV and flags as the original run)")
 		hedge     = flag.Float64("hedge-factor", 0, "hedge a task attempt outliving this multiple of the fleet latency estimate (0 = off)")
 		quarant   = flag.Float64("quarantine-threshold", 0, "quarantine workers whose median-normalised health score drops below this, in [0,1) (0 = off)")
+		mode      = flag.String("mode", "exact", "split finding: exact | hist (sketch-binned histograms with top-k voting)")
+		maxBins   = flag.Int("max-bins", 0, "hist mode: bins per numeric column (0 = cluster default)")
+		topK      = flag.Int("top-k", 0, "hist mode: candidate splits each worker votes per node (0 = cluster default)")
 	)
 	flag.Parse()
 	if *csvPath == "" || *target == "" {
@@ -106,6 +109,17 @@ func main() {
 	}
 	if *quarant > 0 {
 		copts = append(copts, cluster.WithQuarantine(*quarant, 0))
+	}
+	splitMode, err := cluster.ParseSplitMode(*mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	copts = append(copts, cluster.WithSplitMode(splitMode))
+	if *maxBins > 0 {
+		copts = append(copts, cluster.WithMaxBins(*maxBins))
+	}
+	if *topK > 0 {
+		copts = append(copts, cluster.WithTopK(*topK))
 	}
 	c, err := cluster.NewInProcess(train, copts...)
 	if err != nil {

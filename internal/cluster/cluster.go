@@ -44,6 +44,45 @@ func (m AblationMode) String() string {
 	}
 }
 
+// SplitMode selects how column tasks find split conditions.
+type SplitMode uint8
+
+const (
+	// SplitExact is the paper's exact column-partitioned search (default).
+	// It is byte-identical to a build without hist mode and serves as the
+	// correctness oracle.
+	SplitExact SplitMode = iota
+	// SplitHist is the approximate mode: sketch-proposed bins, per-column
+	// histograms with subtraction, and top-k vote aggregation.
+	SplitHist
+
+	splitModes // sentinel for validation
+)
+
+// String implements fmt.Stringer.
+func (m SplitMode) String() string {
+	switch m {
+	case SplitExact:
+		return "exact"
+	case SplitHist:
+		return "hist"
+	default:
+		return fmt.Sprintf("SplitMode(%d)", uint8(m))
+	}
+}
+
+// ParseSplitMode maps the -mode flag values onto SplitMode.
+func ParseSplitMode(s string) (SplitMode, error) {
+	switch s {
+	case "", "exact":
+		return SplitExact, nil
+	case "hist":
+		return SplitHist, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown split mode %q (want exact or hist)", s)
+	}
+}
+
 // Config describes an in-process TreeServer deployment. It is the internal
 // carrier the Option constructors write into; callers normally use
 // NewInProcess(tbl, cluster.WithWorkers(8), ...) rather than building one
@@ -98,6 +137,14 @@ type Config struct {
 	// MaxQuarantined bounds simultaneously quarantined workers
 	// (0 = default max(1, Workers/4)).
 	MaxQuarantined int
+	// SplitMode selects exact (default) or histogram-approximate split
+	// finding for column tasks. Subtree tasks always train exactly.
+	SplitMode SplitMode
+	// MaxBins bounds the bins per numeric column in hist mode (default 64).
+	MaxBins int
+	// TopK is the number of candidate splits each worker votes per node in
+	// hist mode (default 2).
+	TopK int
 	// WrapEndpoint, when set, decorates every endpoint (master and workers)
 	// before use — the hook the chaos harness uses to inject faults into the
 	// fabric without the cluster knowing.
@@ -172,6 +219,16 @@ func WithQuarantine(threshold float64, maxQuarantined int) Option {
 	}
 }
 
+// WithSplitMode selects exact or histogram-approximate split finding.
+func WithSplitMode(m SplitMode) Option { return func(c *Config) { c.SplitMode = m } }
+
+// WithMaxBins bounds the number of bins per numeric column in hist mode.
+func WithMaxBins(n int) Option { return func(c *Config) { c.MaxBins = n } }
+
+// WithTopK sets how many candidate splits each worker votes per node in hist
+// mode.
+func WithTopK(k int) Option { return func(c *Config) { c.TopK = k } }
+
 // WithMaxTreeRestarts bounds delegate-loss restarts per tree; exceeding it
 // fails the job with a clear error instead of restarting forever.
 func WithMaxTreeRestarts(n int) Option { return func(c *Config) { c.MaxTreeRestarts = n } }
@@ -232,6 +289,18 @@ func (c Config) validate() error {
 	if c.CheckpointDir == "" && c.CheckpointEvery != 0 {
 		return fmt.Errorf("cluster: CheckpointEvery set without CheckpointDir")
 	}
+	if c.SplitMode >= splitModes {
+		return fmt.Errorf("cluster: unknown SplitMode(%d)", uint8(c.SplitMode))
+	}
+	if c.MaxBins < 0 || c.MaxBins == 1 {
+		return fmt.Errorf("cluster: MaxBins %d must be 0 (default) or >= 2", c.MaxBins)
+	}
+	if c.MaxBins > 60000 {
+		return fmt.Errorf("cluster: MaxBins %d exceeds the uint16 bin-index range", c.MaxBins)
+	}
+	if c.TopK < 0 {
+		return fmt.Errorf("cluster: TopK %d is negative", c.TopK)
+	}
 	return nil
 }
 
@@ -256,6 +325,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobTimeout < 0 {
 		c.JobTimeout = 0
+	}
+	if c.SplitMode == SplitHist {
+		if c.MaxBins == 0 {
+			c.MaxBins = 64
+		}
+		if c.TopK <= 0 {
+			c.TopK = 2
+		}
 	}
 	return c
 }
@@ -347,6 +424,9 @@ func NewInProcess(tbl *dataset.Table, opts ...Option) (*Cluster, error) {
 		HedgeFactor:         cfg.HedgeFactor,
 		QuarantineThreshold: cfg.QuarantineThreshold,
 		MaxQuarantined:      cfg.MaxQuarantined,
+		SplitMode:           cfg.SplitMode,
+		MaxBins:             cfg.MaxBins,
+		TopK:                cfg.TopK,
 		Obs:                 cfg.Observer,
 	}
 	m, err := NewMaster(endpoint(MasterName), schema, placement, c.masterCfg)

@@ -28,6 +28,8 @@ func messageSpecimens() []any {
 		ColumnResultMsg{}, SplitDoneMsg{}, SubtreeResultMsg{}, PongMsg{},
 		WorkerErrorMsg{}, RowsRequestMsg{}, RowsResponseMsg{},
 		ColDataRequestMsg{}, ColDataResponseMsg{}, ColumnCopyMsg{},
+		BinProposalRequestMsg{}, BinProposalMsg{}, BinBroadcastMsg{},
+		BinAckMsg{}, TopKVoteMsg{}, HistogramRequestMsg{}, HistogramMsg{},
 	}
 }
 
@@ -190,41 +192,44 @@ func TestMessageFieldsAllExported(t *testing.T) {
 	}
 }
 
-// TestMessageSpecimenListIsComplete parses messages.go and checks that every
-// declared *Msg type is (a) covered by the round-trip test above and (b)
-// registered with gob in init(). Forgetting either fails here.
+// TestMessageSpecimenListIsComplete parses the message-declaring files and
+// checks that every declared *Msg type is (a) covered by the round-trip test
+// above and (b) registered with gob in an init(). Forgetting either fails
+// here.
 func TestMessageSpecimenListIsComplete(t *testing.T) {
-	fset := token.NewFileSet()
-	file, err := parser.ParseFile(fset, "messages.go", nil, 0)
-	if err != nil {
-		t.Fatalf("parsing messages.go: %v", err)
-	}
 	declared := map[string]bool{}
 	registered := map[string]bool{}
-	ast.Inspect(file, func(n ast.Node) bool {
-		switch node := n.(type) {
-		case *ast.TypeSpec:
-			if strings.HasSuffix(node.Name.Name, "Msg") {
-				declared[node.Name.Name] = true
-			}
-		case *ast.CallExpr:
-			sel, ok := node.Fun.(*ast.SelectorExpr)
-			if !ok || sel.Sel.Name != "Register" || len(node.Args) != 1 {
-				return true
-			}
-			if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "gob" {
-				return true
-			}
-			if lit, ok := node.Args[0].(*ast.CompositeLit); ok {
-				if ident, ok := lit.Type.(*ast.Ident); ok {
-					registered[ident.Name] = true
+	for _, src := range []string{"messages.go", "histmsg.go"} {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, src, nil, 0)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", src, err)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.TypeSpec:
+				if strings.HasSuffix(node.Name.Name, "Msg") {
+					declared[node.Name.Name] = true
+				}
+			case *ast.CallExpr:
+				sel, ok := node.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Register" || len(node.Args) != 1 {
+					return true
+				}
+				if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "gob" {
+					return true
+				}
+				if lit, ok := node.Args[0].(*ast.CompositeLit); ok {
+					if ident, ok := lit.Type.(*ast.Ident); ok {
+						registered[ident.Name] = true
+					}
 				}
 			}
-		}
-		return true
-	})
+			return true
+		})
+	}
 	if len(declared) == 0 {
-		t.Fatal("no *Msg types found in messages.go — parser broken?")
+		t.Fatal("no *Msg types found — parser broken?")
 	}
 	covered := map[string]bool{}
 	for _, msg := range messageSpecimens() {
@@ -235,7 +240,7 @@ func TestMessageSpecimenListIsComplete(t *testing.T) {
 			t.Errorf("%s is not in messageSpecimens — add it so the gob round-trip test covers it", name)
 		}
 		if !registered[name] {
-			t.Errorf("%s is not gob.Register'ed in messages.go init()", name)
+			t.Errorf("%s is not gob.Register'ed in an init()", name)
 		}
 	}
 }

@@ -1,0 +1,440 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"treeserver/internal/dataset"
+	"treeserver/internal/sketch"
+	"treeserver/internal/split"
+)
+
+// Master side of the histogram training mode. Two sub-protocols live here:
+//
+// Bin proposal (ensureBins): once per cluster, before the first hist job, the
+// master collects one quantile summary per owned column from every alive
+// worker, merges the replica summaries, derives immutable split.Bins, and
+// broadcasts them until an alive quorum acks. Merging replica sketches of the
+// same column collapses equal values into uniformly scaled weights, and the
+// quantile extraction is scale-invariant, so the derived bins are identical
+// regardless of which replicas happened to report — bins are deterministic
+// across runs, restarts and failure patterns.
+//
+// Vote aggregation (handleTopKVote → electAndFetchLocked → handleHistogram):
+// hist-mode column tasks answer with at most TopK candidate splits instead of
+// full histograms. The master flattens the votes in sorted worker order,
+// elects the best TopK distinct columns, fetches only those columns' full
+// node histograms from their owners, re-scores them centrally and hands the
+// winner to the unchanged decideSplit → ConfirmSplit flow. Under column
+// partitioning each vote is already exact with respect to the bins (a worker
+// holds every row of its columns), so the fetch round is a cross-column
+// merge/verification pass in the spirit of PV-Tree rather than a statistical
+// repair; it is also what keeps per-task traffic at O(TopK) histograms
+// instead of O(columns).
+
+// ensureBins runs the bin-proposal round if it has not completed yet. The
+// caller holds m.jobMu, so the round can only interleave between jobs. Bins
+// discretise feature columns, which never change for the life of the cluster,
+// so one successful round serves every subsequent job (SetTarget swaps only
+// the label column).
+func (m *Master) ensureBins() error {
+	m.mu.Lock()
+	if m.binsReady {
+		m.mu.Unlock()
+		return nil
+	}
+	m.binSeq++
+	seq := m.binSeq
+	var alive []int
+	for w, ok := range m.alive {
+		if ok {
+			alive = append(alive, w)
+		}
+	}
+	m.binProps = map[int]*BinProposalMsg{}
+	propCh := make(chan struct{}, 1)
+	m.binPropCh = propCh
+	m.mu.Unlock()
+
+	req := BinProposalRequestMsg{Seq: seq, MaxBins: m.cfg.MaxBins}
+	for _, w := range alive {
+		m.send(w, req)
+	}
+
+	timeout := m.cfg.JobTimeout
+	if timeout <= 0 {
+		timeout = time.Minute
+	}
+	// Proposals are recomputed idempotently on the worker, so resending to
+	// laggards is safe; as with SetTarget, resends only arm when the task
+	// re-execution machinery provides a cadence.
+	resendEvery := m.cfg.TaskRetry
+	if resendEvery <= 0 {
+		resendEvery = timeout
+	}
+	resend := time.NewTicker(resendEvery)
+	defer resend.Stop()
+	deadline := time.After(timeout)
+	for {
+		m.mu.Lock()
+		var missing []int
+		live := 0
+		for _, w := range alive {
+			if !m.alive[w] {
+				continue
+			}
+			live++
+			if _, ok := m.binProps[w]; !ok {
+				missing = append(missing, w)
+			}
+		}
+		done := live > 0 && len(missing) == 0
+		m.mu.Unlock()
+		if done {
+			break
+		}
+		select {
+		case <-propCh:
+		case <-resend.C:
+			for _, w := range missing {
+				m.send(w, req)
+			}
+		case <-deadline:
+			m.mu.Lock()
+			m.binProps, m.binPropCh = nil, nil
+			m.mu.Unlock()
+			return fmt.Errorf("cluster: bin proposals not received from all workers within %v", timeout)
+		case <-m.stop:
+			return fmt.Errorf("cluster: master stopped")
+		}
+	}
+
+	m.mu.Lock()
+	props := m.binProps
+	m.binProps, m.binPropCh = nil, nil
+	cols := make([]int, 0, len(m.placement.Owners))
+	for col := range m.placement.Owners {
+		cols = append(cols, col)
+	}
+	m.mu.Unlock()
+
+	bins, binsSlice, merges, err := mergeProposals(cols, props, m.cfg.MaxBins)
+	if err != nil {
+		return err
+	}
+	m.obs.BinRoundCompleted(merges)
+
+	// Broadcast with the SetTarget quorum template: resend to unacked
+	// workers; a worker that dies mid-round is out of the quorum.
+	m.mu.Lock()
+	m.bins = bins
+	m.binAcks = map[int]bool{}
+	ackCh := make(chan struct{})
+	m.binAckCh = ackCh
+	alive = alive[:0]
+	for w, ok := range m.alive {
+		if ok {
+			alive = append(alive, w)
+		}
+	}
+	m.binWant = len(alive)
+	m.mu.Unlock()
+
+	bcast := BinBroadcastMsg{Seq: seq, Bins: binsSlice}
+	for _, w := range alive {
+		m.send(w, bcast)
+	}
+	for {
+		select {
+		case <-ackCh:
+			goto acked
+		case <-resend.C:
+			m.mu.Lock()
+			var unacked []int
+			live := 0
+			for _, w := range alive {
+				if !m.alive[w] {
+					continue
+				}
+				live++
+				if !m.binAcks[w] {
+					unacked = append(unacked, w)
+				}
+			}
+			done := live > 0 && len(unacked) == 0
+			if done {
+				m.binAckCh = nil
+			}
+			m.mu.Unlock()
+			if done {
+				goto acked
+			}
+			for _, w := range unacked {
+				m.send(w, bcast)
+			}
+		case <-deadline:
+			m.mu.Lock()
+			m.binAckCh = nil
+			m.mu.Unlock()
+			return fmt.Errorf("cluster: bin broadcast not acknowledged by all workers within %v", timeout)
+		case <-m.stop:
+			return fmt.Errorf("cluster: master stopped")
+		}
+	}
+acked:
+
+	m.mu.Lock()
+	m.binsReady = true
+	m.mu.Unlock()
+	return nil
+}
+
+// mergeProposals derives the cluster-wide bins from the collected per-worker
+// sketches. Columns and reporting workers are iterated in sorted order, so
+// the result is independent of map iteration and message arrival order. A
+// column no reporting worker covers is an error: without bins its histograms
+// would be meaningless.
+func mergeProposals(cols []int, props map[int]*BinProposalMsg, maxBins int) (map[int]split.Bins, []split.Bins, int, error) {
+	sort.Ints(cols)
+	workers := make([]int, 0, len(props))
+	byWorker := make(map[int]map[int]ColumnSketch, len(props))
+	for w, p := range props {
+		workers = append(workers, w)
+		byCol := make(map[int]ColumnSketch, len(p.Sketches))
+		for _, cs := range p.Sketches {
+			byCol[cs.Col] = cs
+		}
+		byWorker[w] = byCol
+	}
+	sort.Ints(workers)
+
+	bins := make(map[int]split.Bins, len(cols))
+	binsSlice := make([]split.Bins, 0, len(cols))
+	merges := 0
+	for _, col := range cols {
+		var merged *sketch.Sketch
+		levels, reports := 0, 0
+		categorical := false
+		for _, w := range workers {
+			cs, ok := byWorker[w][col]
+			if !ok {
+				continue
+			}
+			reports++
+			if cs.Kind == dataset.Categorical {
+				categorical = true
+				if cs.Levels > levels {
+					levels = cs.Levels
+				}
+				continue
+			}
+			if merged == nil {
+				merged = sketch.New(histSketchSize(maxBins))
+			}
+			merged.Merge(sketch.FromEntries(histSketchSize(maxBins), cs.Entries))
+			merges++
+		}
+		if reports == 0 {
+			return nil, nil, 0, fmt.Errorf("cluster: no bin proposal covers column %d", col)
+		}
+		var b split.Bins
+		if categorical {
+			b = split.Bins{Col: col, Kind: dataset.Categorical, NumBins: levels}
+		} else {
+			b = split.BinsFromSketch(col, merged, maxBins)
+		}
+		bins[col] = b
+		binsSlice = append(binsSlice, b)
+	}
+	return bins, binsSlice, merges, nil
+}
+
+// handleBinProposal records one worker's sketches (first delivery wins; the
+// proposal recompute is deterministic, so duplicates carry identical data).
+func (m *Master) handleBinProposal(msg BinProposalMsg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.binProps == nil || msg.Seq != m.binSeq ||
+		msg.Worker < 0 || msg.Worker >= m.cfg.NumWorkers {
+		return
+	}
+	if _, dup := m.binProps[msg.Worker]; dup {
+		return
+	}
+	p := msg
+	m.binProps[msg.Worker] = &p
+	select {
+	case m.binPropCh <- struct{}{}:
+	default:
+	}
+}
+
+// handleBinAck records one worker's bin-broadcast acknowledgement.
+func (m *Master) handleBinAck(msg BinAckMsg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if msg.Seq != m.binSeq || m.binAckCh == nil {
+		return
+	}
+	if !m.binAcks[msg.Worker] {
+		m.binAcks[msg.Worker] = true
+		if len(m.binAcks) >= m.binWant {
+			close(m.binAckCh)
+			m.binAckCh = nil
+		}
+	}
+}
+
+// handleTopKVote is the hist-mode analogue of handleColumnResult: it records
+// one worker's top-k candidates and, once every involved worker has voted,
+// runs the election.
+func (m *Master) handleTopKVote(msg TopKVoteMsg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	entry, ok := m.tasks[msg.Task]
+	if !ok || entry.winner != 0 {
+		return // unknown task, or the race is already decided
+	}
+	as, ok := entry.attempts[msg.Attempt]
+	if !ok || !as.hist || as.got[msg.Worker] {
+		return // revoked/superseded attempt, wrong protocol, or duplicate
+	}
+	as.got[msg.Worker] = true
+	as.received++
+	if !as.statsSet {
+		as.stats, as.statsSet = msg.Stats, true
+	}
+	as.votesBy[msg.Worker] = msg.Votes
+	m.obs.VoteReceived(len(msg.Votes))
+	if m.health != nil {
+		m.health.ObserveTask(msg.Worker, entry.plan.size, time.Since(as.assignedAt))
+	}
+	if as.received < as.expected {
+		return
+	}
+	m.electAndFetchLocked(entry, as)
+}
+
+// electAndFetchLocked runs the global top-k election over one attempt's votes
+// and requests the elected columns' full histograms from their owners. Votes
+// are flattened in sorted worker order before sorting with the Better
+// comparator; since workers' columns are disjoint within an attempt, Better's
+// lower-column tie-break makes the order — and hence the election — a pure
+// function of the votes, never of arrival order.
+func (m *Master) electAndFetchLocked(entry *mtask, as *attemptState) {
+	workers := make([]int, 0, len(as.votesBy))
+	for w := range as.votesBy {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	type vote struct {
+		cand   split.Candidate
+		worker int
+	}
+	var votes []vote
+	for _, w := range workers {
+		for _, c := range as.votesBy[w] {
+			if c.Valid {
+				votes = append(votes, vote{c, w})
+			}
+		}
+	}
+	if as.stats.Pure || len(votes) == 0 {
+		// No column admits a split (or the node is pure): as.best stays
+		// invalid and decideSplit takes its leaf path.
+		m.decideSplitLocked(entry, as)
+		return
+	}
+	sort.SliceStable(votes, func(i, j int) bool { return votes[i].cand.Better(votes[j].cand) })
+
+	topK := entry.spec.topK
+	if topK < 1 {
+		topK = 1
+	}
+	as.fetchCol = map[int]int{}
+	perOwner := map[int][]int{}
+	for _, v := range votes {
+		col := v.cand.Cond.Col
+		if _, dup := as.fetchCol[col]; dup {
+			continue
+		}
+		as.fetchCol[col] = v.worker
+		perOwner[v.worker] = append(perOwner[v.worker], col)
+		if len(as.fetchCol) >= topK {
+			break
+		}
+	}
+
+	as.fetching = true
+	as.fetchWant = len(perOwner)
+	as.fetchGot = map[int]bool{}
+	as.hists = map[int]*split.Hist{}
+	for w, wcols := range perOwner {
+		sort.Ints(wcols)
+		m.send(w, HistogramRequestMsg{Task: entry.plan.id, Attempt: as.attempt, Cols: wcols})
+	}
+}
+
+// handleHistogram collects one owner's full histograms; when every requested
+// owner has answered, the fetched columns are re-scored centrally.
+func (m *Master) handleHistogram(msg HistogramMsg) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	entry, ok := m.tasks[msg.Task]
+	if !ok || entry.winner != 0 {
+		return
+	}
+	as, ok := entry.attempts[msg.Attempt]
+	if !ok || !as.fetching || as.fetchGot[msg.Worker] {
+		return
+	}
+	as.fetchGot[msg.Worker] = true
+	m.obs.HistogramsFetched(len(msg.Hists))
+	for i, col := range msg.Cols {
+		if i >= len(msg.Hists) || msg.Hists[i] == nil {
+			continue
+		}
+		if _, want := as.fetchCol[col]; !want {
+			continue
+		}
+		// Columns are disjoint per owner within an attempt, so a column
+		// normally arrives exactly once; Merge keeps a duplicate-coverage
+		// delivery from silently overwriting accumulated state.
+		if prev, ok := as.hists[col]; ok {
+			prev.Merge(msg.Hists[i])
+		} else {
+			as.hists[col] = msg.Hists[i]
+		}
+	}
+	if len(as.fetchGot) >= as.fetchWant {
+		m.finishHistFetchLocked(entry, as)
+	}
+}
+
+// finishHistFetchLocked scores the fetched histograms and hands the winner to
+// the unchanged confirm flow. Columns are scored in ascending order, matching
+// the tie-break direction of Better, so the decision is deterministic.
+func (m *Master) finishHistFetchLocked(entry *mtask, as *attemptState) {
+	as.fetching = false
+	s := split.GetScratch()
+	defer split.PutScratch(s)
+	cols := make([]int, 0, len(as.hists))
+	for col := range as.hists {
+		cols = append(cols, col)
+	}
+	sort.Ints(cols)
+	for _, col := range cols {
+		b, ok := m.bins[col]
+		if !ok {
+			continue
+		}
+		cand := split.BestFromHist(b, as.hists[col], entry.spec.measure, entry.spec.maxExh, s)
+		if cand.Valid && cand.Better(as.best) {
+			as.best = cand
+			as.bestWorker = as.fetchCol[col]
+		}
+	}
+	as.hists = nil
+	m.decideSplitLocked(entry, as)
+}

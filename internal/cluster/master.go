@@ -85,6 +85,12 @@ type MasterConfig struct {
 	// capacity; column reachability is additionally protected by placement
 	// fallback, which bypasses quarantine rather than orphan a column.
 	MaxQuarantined int
+	// SplitMode selects exact (default) or histogram-approximate split
+	// finding for column tasks; MaxBins and TopK tune the hist protocol
+	// (defaults 64 and 2).
+	SplitMode SplitMode
+	MaxBins   int
+	TopK      int
 	// Obs, when non-nil, receives the master's scheduling telemetry (B_plan
 	// pushes, pool occupancy, task lifecycle spans).
 	Obs *obs.Registry
@@ -124,6 +130,19 @@ type attemptState struct {
 	stats      NodeStats
 	statsSet   bool
 	assignedAt time.Time // when this attempt's plans were shipped
+
+	// Hist-mode aggregation state. Votes are kept per worker and flattened
+	// in sorted worker order at election time, so arrival order can never
+	// change the elected columns. perCols is the attempt's column→worker
+	// assignment, consulted to route histogram fetches.
+	hist      bool
+	perCols   map[int][]int
+	votesBy   map[int][]split.Candidate
+	fetching  bool
+	fetchWant int
+	fetchGot  map[int]bool
+	fetchCol  map[int]int // elected column -> owning worker
+	hists     map[int]*split.Hist
 }
 
 // shipSpec captures everything assignAndSend resolved about the task's work
@@ -138,6 +157,8 @@ type shipSpec struct {
 	measure       impurity.Measure
 	numClasses    int
 	maxExh        int
+	hist          bool // histogram-mode column task (top-k vote protocol)
+	topK          int
 }
 
 // mtask is the master-side task table entry: the plan, the work spec, and
@@ -220,6 +241,17 @@ type Master struct {
 	targetAckCh chan struct{}
 	targetWant  int
 
+	// Hist-mode bin state: the merged immutable bins per feature column,
+	// plus the transient proposal/ack collection of the quorum round.
+	binSeq    int64
+	binsReady bool
+	bins      map[int]split.Bins
+	binProps  map[int]*BinProposalMsg
+	binPropCh chan struct{}
+	binAcks   map[int]bool
+	binAckCh  chan struct{}
+	binWant   int
+
 	stop     chan struct{}
 	wg       sync.WaitGroup
 	stopOnce sync.Once
@@ -258,6 +290,23 @@ func NewMaster(ep transport.Endpoint, schema Schema, placement loadbal.Placement
 		cfg.MaxQuarantined = cfg.NumWorkers / 4
 		if cfg.MaxQuarantined < 1 {
 			cfg.MaxQuarantined = 1
+		}
+	}
+	if cfg.SplitMode >= splitModes {
+		return nil, fmt.Errorf("cluster: unknown SplitMode(%d)", uint8(cfg.SplitMode))
+	}
+	if cfg.MaxBins < 0 || cfg.MaxBins == 1 || cfg.MaxBins > 60000 {
+		return nil, fmt.Errorf("cluster: MaxBins %d must be 0 (default) or in [2, 60000]", cfg.MaxBins)
+	}
+	if cfg.TopK < 0 {
+		return nil, fmt.Errorf("cluster: TopK %d is negative", cfg.TopK)
+	}
+	if cfg.SplitMode == SplitHist {
+		if cfg.MaxBins == 0 {
+			cfg.MaxBins = 64
+		}
+		if cfg.TopK == 0 {
+			cfg.TopK = 2
 		}
 	}
 	m := &Master{
@@ -375,6 +424,13 @@ func (m *Master) Train(specs []TreeSpec) ([]*core.Tree, error) {
 	defer m.jobMu.Unlock()
 	if len(specs) == 0 {
 		return nil, nil
+	}
+	if m.cfg.SplitMode == SplitHist {
+		// Bins are proposed once per cluster and survive SetTarget rounds —
+		// they discretise feature columns, which never change.
+		if err := m.ensureBins(); err != nil {
+			return nil, err
+		}
 	}
 
 	m.mu.Lock()
@@ -554,9 +610,13 @@ func (m *Master) assignAndSend(p *plan) {
 		subtreeParams: subtreeParams,
 		measure:       a.measure, numClasses: m.schema.NumClasses,
 		maxExh: a.spec.Params.MaxExhaustiveLevels,
+		// Extra-trees draws stay exact: a single random threshold needs the
+		// raw values, not bins.
+		hist: m.cfg.SplitMode == SplitHist && p.kind == task.ColumnTask && !randomDraw,
+		topK: m.cfg.TopK,
 	}
 	now := time.Now()
-	as := newAttemptState(p.kind, attempt, false, assignment, now)
+	as := newAttemptState(p.kind, attempt, false, assignment, now, spec.hist)
 	entry := &mtask{
 		plan: p, spec: spec,
 		attempts:   map[int]*attemptState{attempt: as},
@@ -571,7 +631,7 @@ func (m *Master) assignAndSend(p *plan) {
 
 // newAttemptState builds the bookkeeping for one shipped attempt from its
 // worker assignment.
-func newAttemptState(kind task.Kind, attempt int, hedge bool, assignment loadbal.Assignment, now time.Time) *attemptState {
+func newAttemptState(kind task.Kind, attempt int, hedge bool, assignment loadbal.Assignment, now time.Time, hist bool) *attemptState {
 	as := &attemptState{
 		attempt: attempt, hedge: hedge, charges: assignment.Charges,
 		involved: map[int]bool{}, got: map[int]bool{},
@@ -589,6 +649,11 @@ func newAttemptState(kind task.Kind, attempt int, hedge bool, assignment loadbal
 		as.expected = len(perWorker)
 		for w := range perWorker {
 			as.involved[w] = true
+		}
+		if hist {
+			as.hist = true
+			as.perCols = perWorker
+			as.votesBy = map[int][]split.Candidate{}
 		}
 	}
 	return as
@@ -612,6 +677,7 @@ func (m *Master) shipAttempt(p *plan, spec shipSpec, attempt int, assignment loa
 			Cols: wcols, Parent: p.parent,
 			Measure: spec.measure, NumClasses: spec.numClasses, MaxExh: spec.maxExh,
 			Random: spec.random, RandomSeed: spec.drawSeed,
+			Hist: spec.hist, TopK: spec.topK,
 			Rows: p.rows,
 		})
 	}
@@ -655,6 +721,14 @@ func (m *Master) recvLoop() {
 			m.handleProbeAck(msg)
 		case TargetAckMsg:
 			m.handleTargetAck(msg)
+		case TopKVoteMsg:
+			m.handleTopKVote(msg)
+		case HistogramMsg:
+			m.handleHistogram(msg)
+		case BinProposalMsg:
+			m.handleBinProposal(msg)
+		case BinAckMsg:
+			m.handleBinAck(msg)
 		case RejoinReportMsg:
 			m.handleRejoinReport(msg)
 		case WorkerErrorMsg:

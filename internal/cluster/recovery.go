@@ -179,6 +179,14 @@ func (m *Master) resumeFrom(st *checkpoint.State, info checkpoint.LoadInfo) ([]*
 	if err := m.reconcilePlacement(reports); err != nil {
 		return nil, err
 	}
+	if m.cfg.SplitMode == SplitHist {
+		// A replacement master has no bins; workers reset theirs on rejoin.
+		// Re-running the proposal round over the same columns reproduces the
+		// same bins, so resumed trees stay deterministic.
+		if err := m.ensureBins(); err != nil {
+			return nil, err
+		}
+	}
 
 	m.mu.Lock()
 	// Durable before any new work: the snapshot with the bumped generation

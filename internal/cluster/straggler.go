@@ -528,7 +528,7 @@ func (m *Master) hedgeTask(id task.ID) {
 	}
 	p.attempt++
 	attempt := p.attempt
-	as := newAttemptState(p.kind, attempt, true, assignment, time.Now())
+	as := newAttemptState(p.kind, attempt, true, assignment, time.Now(), entry.spec.hist)
 	entry.attempts[attempt] = as
 	entry.hedged = true
 	spec := entry.spec

@@ -39,6 +39,14 @@ type Worker struct {
 	targetSeq     int64
 	targetApplies int
 
+	// Hist-mode state: the broadcast bins (fenced by binSeq), the lazily
+	// binned images of held columns, and the node-histogram cache backing
+	// subtraction and post-election fetches.
+	binSeq    int64
+	bins      map[int]split.Bins
+	binned    map[int]*split.BinnedColumn
+	histCache *histCache
+
 	btask    chan func()
 	done     chan struct{} // closed on shutdown; gates btask enqueues and comper exit
 	wg       sync.WaitGroup
@@ -100,12 +108,13 @@ func NewWorker(id int, ep transport.Endpoint, schema Schema, cols map[int]*datas
 	return &Worker{
 		id: id, ep: ep, schema: schema, compers: compers,
 		cols: cols, y: y,
-		tasks:    map[task.ID]*wtask{},
-		rowWaits: map[task.ID][]func([]int32){},
-		btask:    make(chan func(), 4096),
-		done:     make(chan struct{}),
-		obs:      reg.Worker(id),
-		sc:       reg.Split(),
+		tasks:     map[task.ID]*wtask{},
+		rowWaits:  map[task.ID][]func([]int32){},
+		histCache: newHistCache(defaultHistCacheCap),
+		btask:     make(chan func(), 4096),
+		done:      make(chan struct{}),
+		obs:       reg.Worker(id),
+		sc:        reg.Split(),
 	}
 }
 
@@ -232,6 +241,12 @@ func (w *Worker) dispatch(env transport.Envelope) bool {
 		w.handleColumnCopy(msg)
 	case SetTargetMsg:
 		w.handleSetTarget(msg)
+	case BinProposalRequestMsg:
+		w.handleBinProposalRequest(msg)
+	case BinBroadcastMsg:
+		w.handleBinBroadcast(msg)
+	case HistogramRequestMsg:
+		w.handleHistogramRequest(msg)
 	case RejoinRequestMsg:
 		w.handleRejoin(msg)
 	case PingMsg:
@@ -336,10 +351,14 @@ func (w *Worker) handleColumnPlan(msg ColumnPlanMsg) {
 	}
 	w.tasks[msg.Task] = entry
 	w.mu.Unlock()
+	compute := w.computeColumnTask
+	if msg.Hist {
+		compute = w.computeColumnTaskHist
+	}
 	if msg.Rows != nil { // relay-rows ablation: I_x arrived with the plan
 		entry.rows = msg.Rows
 		w.whenColumnsPresent(msg.Cols, func() {
-			w.enqueue(func() { w.computeColumnTask(msg, msg.Rows) })
+			w.enqueue(func() { compute(msg, msg.Rows) })
 		})
 		return
 	}
@@ -352,7 +371,7 @@ func (w *Worker) handleColumnPlan(msg ColumnPlanMsg) {
 		entry.rows = rows
 		w.mu.Unlock()
 		w.whenColumnsPresent(msg.Cols, func() {
-			w.enqueue(func() { w.computeColumnTask(msg, rows) })
+			w.enqueue(func() { compute(msg, rows) })
 		})
 	})
 }
@@ -712,6 +731,7 @@ func (w *Worker) handleSetTarget(msg SetTargetMsg) {
 	// worker whose acks arrive late sees the same sequence repeatedly. Apply
 	// each sequence once; re-ack unconditionally (the ack may be the lost
 	// half of the exchange).
+	applied := false
 	if msg.Seq > w.targetSeq {
 		w.targetSeq = msg.Seq
 		w.targetApplies++
@@ -719,8 +739,14 @@ func (w *Worker) handleSetTarget(msg SetTargetMsg) {
 		w.schema.NumClasses = 0
 		w.schema.Task = dataset.Regression
 		w.schema.Kinds[w.schema.Target] = dataset.Numeric
+		applied = true
 	}
 	w.mu.Unlock()
+	if applied {
+		// Cached node histograms aggregate the old labels; bins and binned
+		// columns survive (they discretise features, not the target).
+		w.histCache.reset()
+	}
 	w.send(MasterName, TargetAckMsg{Worker: w.id, Seq: msg.Seq})
 }
 
@@ -746,11 +772,17 @@ func (w *Worker) handleRejoin(msg RejoinRequestMsg) {
 	w.tasks = map[task.ID]*wtask{}
 	w.rowWaits = map[task.ID][]func([]int32){}
 	w.colWaits = nil
+	// A replacement master restarts its bin sequence at zero, so the fence
+	// must reset or its broadcast would be rejected as stale; the re-proposed
+	// bins are identical, but the protocol re-derives them for simplicity.
+	w.binSeq = 0
+	w.bins, w.binned = nil, nil
 	cols := make([]int, 0, len(w.cols))
 	for c := range w.cols {
 		cols = append(cols, c)
 	}
 	w.mu.Unlock()
+	w.histCache.reset()
 	sort.Ints(cols)
 	w.send(MasterName, RejoinReportMsg{Worker: w.id, Gen: msg.Gen, Cols: cols})
 }

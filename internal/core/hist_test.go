@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"treeserver/internal/dataset"
+	"treeserver/internal/metrics"
+	"treeserver/internal/synth"
+)
+
+// TestTrainLocalHistSaturated: with HistMaxBins large enough that every
+// distinct numeric value gets its own bin, the serial histogram splitter and
+// the exact sweep walk the same gaps — structure, partitions and predictions
+// must coincide, though a subset node's threshold may sit elsewhere in the
+// same gap.
+func TestTrainLocalHistSaturated(t *testing.T) {
+	tbl := synth.GenerateTrain(synth.Spec{
+		Name: "hist-serial", Rows: 1200, NumNumeric: 4, NumCategorical: 2,
+		CatLevels: 4, NumClasses: 3, ConceptDepth: 4, LabelNoise: 0.05, Seed: 81,
+	})
+	rows := dataset.AllRows(tbl.NumRows())
+	params := Defaults()
+	params.MaxDepth = 7
+
+	exact := TrainLocal(tbl, rows, params)
+	params.HistMaxBins = 4096
+	hist := TrainLocal(tbl, rows, params)
+
+	if hist.NumNodes != exact.NumNodes || hist.MaxDepth != exact.MaxDepth {
+		t.Fatalf("shape differs: %d nodes depth %d vs %d nodes depth %d",
+			hist.NumNodes, hist.MaxDepth, exact.NumNodes, exact.MaxDepth)
+	}
+	var histPred, exactPred []int32
+	for r := 0; r < tbl.NumRows(); r++ {
+		histPred = append(histPred, hist.PredictClass(tbl, r, 0))
+		exactPred = append(exactPred, exact.PredictClass(tbl, r, 0))
+	}
+	if metrics.Accuracy(histPred, exactPred) != 1 {
+		t.Fatal("saturated hist predictions differ from exact")
+	}
+}
+
+// TestTrainLocalHistCoarseDeterministicAndClose: coarse bins must be
+// deterministic run to run and stay close to exact accuracy on training data.
+func TestTrainLocalHistCoarseDeterministicAndClose(t *testing.T) {
+	tbl := synth.GenerateTrain(synth.Spec{
+		Name: "hist-serial-coarse", Rows: 3000, NumNumeric: 6,
+		NumClasses: 2, ConceptDepth: 5, LabelNoise: 0.05, Seed: 82,
+	})
+	rows := dataset.AllRows(tbl.NumRows())
+	params := Defaults()
+	params.MaxDepth = 8
+	params.HistMaxBins = 32
+
+	first := TrainLocal(tbl, rows, params)
+	second := TrainLocal(tbl, rows, params)
+	if !first.Equal(second) {
+		t.Fatal("serial hist training is not deterministic")
+	}
+
+	exactParams := params
+	exactParams.HistMaxBins = 0
+	exact := TrainLocal(tbl, rows, exactParams)
+	truth := make([]int32, tbl.NumRows())
+	for r := range truth {
+		truth[r] = tbl.Y().Cats[r]
+	}
+	var histPred, exactPred []int32
+	for r := 0; r < tbl.NumRows(); r++ {
+		histPred = append(histPred, first.PredictClass(tbl, r, 0))
+		exactPred = append(exactPred, exact.PredictClass(tbl, r, 0))
+	}
+	histAcc := metrics.Accuracy(histPred, truth)
+	exactAcc := metrics.Accuracy(exactPred, truth)
+	if histAcc < exactAcc-0.02 {
+		t.Fatalf("hist accuracy %.4f trails exact %.4f by more than 2%%", histAcc, exactAcc)
+	}
+}

@@ -30,6 +30,12 @@ type Params struct {
 	Seed int64
 	// MaxExhaustiveLevels bounds subset enumeration for categorical splits.
 	MaxExhaustiveLevels int
+	// HistMaxBins > 0 selects the serial histogram splitter: numeric columns
+	// are discretised once per tree into at most HistMaxBins sketch-proposed
+	// bins and every node is scored from pooled bin histograms instead of the
+	// exact sweep. 0 keeps exact training. Ignored under ExtraTrees, whose
+	// random draws never sweep.
+	HistMaxBins int
 }
 
 // Defaults returns the paper's default model parameters: dmax = 10,
@@ -89,6 +95,9 @@ type builder struct {
 	// hasNumeric records whether any candidate column is numeric; without
 	// one the RowSet bookkeeping buys nothing.
 	hasNumeric bool
+	// binned holds the per-candidate-column binned images when HistMaxBins
+	// selects the histogram splitter; nil under exact training.
+	binned map[int]*split.BinnedColumn
 }
 
 func newBuilder(tbl *dataset.Table, params Params) *builder {
@@ -103,6 +112,14 @@ func newBuilder(tbl *dataset.Table, params Params) *builder {
 		if tbl.Cols[colIdx].Kind == dataset.Numeric {
 			b.hasNumeric = true
 			break
+		}
+	}
+	if params.HistMaxBins > 0 && !params.ExtraTrees {
+		b.binned = make(map[int]*split.BinnedColumn, len(b.params.Candidates))
+		for _, colIdx := range b.params.Candidates {
+			col := tbl.Cols[colIdx]
+			bins := split.ProposeBins(colIdx, col, params.HistMaxBins)
+			b.binned[colIdx] = split.BinColumn(col, bins)
 		}
 	}
 	return b
@@ -216,6 +233,9 @@ func (b *builder) bestSplit(rows []int32) split.Candidate {
 	if b.params.ExtraTrees {
 		return b.randomSplit(rows)
 	}
+	if b.binned != nil {
+		return b.histSplit(rows)
+	}
 	var rs *dataset.RowSet
 	if b.hasNumeric && split.Dense(len(rows), b.tbl.NumRows()) {
 		if b.rowSet == nil {
@@ -234,6 +254,28 @@ func (b *builder) bestSplit(rows []int32) split.Candidate {
 			MaxExhaustiveLevels: b.params.MaxExhaustiveLevels,
 			RowSet:              rs, Scratch: b.scratch,
 		})
+		if cand.Better(best) {
+			best = cand
+		}
+	}
+	return best
+}
+
+// histSplit scores the node from per-column bin histograms — the serial form
+// of hist mode. Direct fills only: the single-threaded build never holds a
+// sibling pair, so subtraction would only add cache bookkeeping.
+func (b *builder) histSplit(rows []int32) split.Candidate {
+	classes := 0
+	if b.tbl.Task() == dataset.Classification {
+		classes = b.numClasses
+	}
+	best := split.Candidate{}
+	for _, colIdx := range b.params.Candidates {
+		bc := b.binned[colIdx]
+		h := split.GetHist(bc.Bins.NumBins, classes)
+		h.Fill(bc, b.tbl.Y(), rows)
+		cand := split.BestFromHist(bc.Bins, h, b.params.Measure, b.params.MaxExhaustiveLevels, b.scratch)
+		split.PutHist(h)
 		if cand.Better(best) {
 			best = cand
 		}

@@ -68,6 +68,12 @@ type Config struct {
 	// gradient boosting); 0 or 1 uses all rows.
 	Subsample float64
 	Seed      int64
+	// HistMaxBins > 0 trains each round's tree with the histogram splitter
+	// (at most that many bins per numeric column) instead of the exact
+	// sweep. When the engine is a hist-mode cluster this only needs to match
+	// its MaxBins for local/distributed parity; serially it selects
+	// core.Params.HistMaxBins.
+	HistMaxBins int
 }
 
 func (c Config) withDefaults() Config {
@@ -186,7 +192,7 @@ func Train(engine Engine, tbl *dataset.Table, cfg Config) (*Model, error) {
 	}
 	residuals := make([]float64, n)
 
-	params := core.Params{MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf}
+	params := core.Params{MaxDepth: cfg.MaxDepth, MinLeaf: cfg.MinLeaf, HistMaxBins: cfg.HistMaxBins}
 	for round := 0; round < cfg.Rounds; round++ {
 		// Pseudo-residuals of the loss at the current margins.
 		for r := 0; r < n; r++ {

@@ -29,16 +29,14 @@ func (e *Endpoint) Name() string { return e.inner.Name() }
 
 // Send implements transport.Endpoint: successful sends are counted on the
 // from→to link under the payload's concrete type. Byte sizes come from a
-// second gob encode — telemetry-enabled runs accept that cost; disabled runs
-// never construct an obs.Endpoint at all. The measurement encode happens
+// second, measurement-only gob encode over a pooled persistent stream
+// (transport.PayloadSize) — telemetry-enabled runs accept that cost; disabled
+// runs never construct an obs.Endpoint at all. The measurement encode happens
 // BEFORE the inner send: a passthrough fabric delivers the payload pointer
 // itself, so once the inner Send returns the receiver may already be
 // mutating it (e.g. the master grafting a subtree result).
 func (e *Endpoint) Send(to string, payload any) error {
-	size := 0
-	if data, encErr := transport.EncodePayload(payload); encErr == nil {
-		size = len(data)
-	}
+	size := transport.PayloadSize(payload)
 	err := e.inner.Send(to, payload)
 	if err == nil {
 		e.reg.CountSend(e.inner.Name(), to, fmt.Sprintf("%T", payload), size)

@@ -176,6 +176,13 @@ type MasterObs struct {
 	probesSent     atomic.Int64 // probe messages shipped to workers
 	probations     atomic.Int64 // probation passes (half-open→closed restores)
 
+	// Histogram-mode telemetry (bin proposal and top-k vote aggregation).
+	binRounds    atomic.Int64 // bin proposal/broadcast rounds completed
+	sketchMerges atomic.Int64 // replica quantile summaries merged during bin proposal
+	voteMsgs     atomic.Int64 // TopKVoteMsg deliveries accepted
+	votes        atomic.Int64 // candidate splits received across those votes
+	histsFetched atomic.Int64 // full histograms shipped master-ward on request
+
 	// The health vector is a gauge, not a counter: the master overwrites it
 	// each scoring pass, so it lives behind a mutex rather than atomics.
 	healthMu         sync.Mutex
@@ -456,6 +463,34 @@ func (m *MasterObs) SetWorkerHealth(scores []float64, states []string) {
 	m.healthMu.Unlock()
 }
 
+// BinRoundCompleted records one finished bin proposal/broadcast round and how
+// many replica sketches the master merged to derive the bins.
+func (m *MasterObs) BinRoundCompleted(sketchMerges int) {
+	if m == nil {
+		return
+	}
+	m.binRounds.Add(1)
+	m.sketchMerges.Add(int64(sketchMerges))
+}
+
+// VoteReceived records one accepted TopKVoteMsg carrying n candidate splits.
+func (m *MasterObs) VoteReceived(n int) {
+	if m == nil {
+		return
+	}
+	m.voteMsgs.Add(1)
+	m.votes.Add(int64(n))
+}
+
+// HistogramsFetched records n full histograms shipped to the master after a
+// top-k election — the only histograms that ever cross the wire.
+func (m *MasterObs) HistogramsFetched(n int) {
+	if m == nil {
+		return
+	}
+	m.histsFetched.Add(int64(n))
+}
+
 // WorkerObs collects one worker's measured cost row — the observed
 // M_work[w] = (Comp, Send, Recv) of Section VI — plus row-serving and pool
 // behaviour. All methods are nil-safe.
@@ -529,6 +564,26 @@ type SplitCounters struct {
 
 	scratchHits   atomic.Int64 // scratch-pool reuses vs fresh allocations
 	scratchMisses atomic.Int64
+
+	histFills atomic.Int64 // histograms accumulated by scanning rows
+	histSubs  atomic.Int64 // histograms derived by parent − sibling subtraction
+}
+
+// HistFilled records one histogram accumulated by a direct row scan.
+func (c *SplitCounters) HistFilled() {
+	if c == nil {
+		return
+	}
+	c.histFills.Add(1)
+}
+
+// HistSubtracted records one histogram derived by subtracting the cached
+// sibling from the cached parent instead of re-scanning rows.
+func (c *SplitCounters) HistSubtracted() {
+	if c == nil {
+		return
+	}
+	c.histSubs.Add(1)
 }
 
 // DispatchFast records one presorted fast-path FindBest call.

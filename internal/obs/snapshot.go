@@ -52,6 +52,11 @@ type MasterSnapshot struct {
 	// Quarantine circuit breaker: open transitions, probes shipped and
 	// probation passes (restores).
 	Quarantines, ProbesSent, QuarantineRestores int64
+	// Histogram mode: bin rounds run, replica sketches merged, top-k vote
+	// messages (and candidates) accepted, full histograms fetched.
+	BinRounds, SketchMerges int64
+	VoteMsgs, Votes         int64
+	HistogramsFetched       int64
 	// Health gauge at snapshot time: per-worker median-normalised scores
 	// (1 ≈ fleet-typical, lower is slower) and circuit states.
 	HealthScores     []float64
@@ -83,6 +88,9 @@ type MessageCount struct {
 type SplitSnapshot struct {
 	FastPath, Fallback, Categorical int64
 	ScratchHits, ScratchMisses      int64
+	// Histogram-kernel accumulation: direct row-scan fills vs histograms
+	// derived by parent − sibling subtraction.
+	HistFills, HistSubtractions int64
 }
 
 // Snapshot copies the registry's current state. Safe on a nil receiver
@@ -131,13 +139,20 @@ func (r *Registry) Snapshot() Snapshot {
 			Quarantines:             r.master.quarantines.Load(),
 			ProbesSent:              r.master.probesSent.Load(),
 			QuarantineRestores:      r.master.probations.Load(),
+			BinRounds:               r.master.binRounds.Load(),
+			SketchMerges:            r.master.sketchMerges.Load(),
+			VoteMsgs:                r.master.voteMsgs.Load(),
+			Votes:                   r.master.votes.Load(),
+			HistogramsFetched:       r.master.histsFetched.Load(),
 		},
 		Split: SplitSnapshot{
-			FastPath:      r.split.fastPath.Load(),
-			Fallback:      r.split.fallback.Load(),
-			Categorical:   r.split.categorical.Load(),
-			ScratchHits:   r.split.scratchHits.Load(),
-			ScratchMisses: r.split.scratchMisses.Load(),
+			FastPath:         r.split.fastPath.Load(),
+			Fallback:         r.split.fallback.Load(),
+			Categorical:      r.split.categorical.Load(),
+			ScratchHits:      r.split.scratchHits.Load(),
+			ScratchMisses:    r.split.scratchMisses.Load(),
+			HistFills:        r.split.histFills.Load(),
+			HistSubtractions: r.split.histSubs.Load(),
 		},
 	}
 
@@ -253,6 +268,10 @@ func (s Snapshot) Report() string {
 		fmt.Fprintf(&b, "quarantine: %d opened, %d restored, %d probes\n",
 			m.Quarantines, m.QuarantineRestores, m.ProbesSent)
 	}
+	if m.BinRounds > 0 {
+		fmt.Fprintf(&b, "hist mode: %d bin round(s) merging %d sketches; %d vote msgs carrying %d candidates; %d histograms fetched\n",
+			m.BinRounds, m.SketchMerges, m.VoteMsgs, m.Votes, m.HistogramsFetched)
+	}
 	if len(m.HealthScores) > 0 {
 		b.WriteString("worker health:")
 		for w, sc := range m.HealthScores {
@@ -278,6 +297,9 @@ func (s Snapshot) Report() string {
 	if sp.FastPath+sp.Fallback+sp.Categorical > 0 {
 		fmt.Fprintf(&b, "split kernels: %d presorted fast-path, %d sort+sweep, %d categorical; scratch pool %d/%d hit/miss\n",
 			sp.FastPath, sp.Fallback, sp.Categorical, sp.ScratchHits, sp.ScratchMisses)
+	}
+	if sp.HistFills+sp.HistSubtractions > 0 {
+		fmt.Fprintf(&b, "hist kernel: %d fills, %d subtraction hits\n", sp.HistFills, sp.HistSubtractions)
 	}
 
 	if len(s.Links) > 0 {

@@ -60,12 +60,67 @@ func (s *Sketch) Add(value, weight float64) {
 	}
 }
 
+// AddBulk records one unit-weight observation per value in a single batch.
+// It summarises the same data as calling Add(v, 1) per value, but sorts the
+// raw float64s once with the specialized sort and folds them into the
+// summary with one linear merge, instead of re-sorting entry structs on
+// every buffered compression — the fast path for sketching a whole resident
+// column during bin proposal. The batch compresses at different points than
+// the streaming path, so the retained entries may differ (both satisfy the
+// same rank-error contract, and both are deterministic in their input).
+func (s *Sketch) AddBulk(values []float64) {
+	if len(values) == 0 {
+		return
+	}
+	sorted := append(make([]float64, 0, len(values)), values...)
+	slices.Sort(sorted)
+	s.compress() // fold any pending buffer so entries holds the full summary
+	merged := make([]Entry, 0, len(s.entries)+len(sorted))
+	i := 0
+	for j := 0; j < len(sorted); {
+		v := sorted[j]
+		var w float64
+		for j < len(sorted) && sorted[j] == v {
+			w++
+			j++
+		}
+		for i < len(s.entries) && s.entries[i].Value < v {
+			merged = append(merged, s.entries[i])
+			i++
+		}
+		if i < len(s.entries) && s.entries[i].Value == v {
+			w += s.entries[i].Weight
+			i++
+		}
+		merged = append(merged, Entry{v, w})
+	}
+	merged = append(merged, s.entries[i:]...)
+	s.total += float64(len(values))
+	if len(merged) <= s.maxSize {
+		s.entries = merged
+		return
+	}
+	s.prune(merged)
+}
+
 // Merge folds another sketch into this one. The other sketch is unchanged.
+// Equal values are collapsed eagerly, so merging replicas of the same data
+// leaves the distinct-value summary unchanged (with uniformly scaled
+// weights) rather than duplicated.
 func (s *Sketch) Merge(o *Sketch) {
 	s.entries = append(s.entries, o.entries...)
 	s.buffer = append(s.buffer, o.buffer...)
 	s.total += o.total
 	slices.SortFunc(s.entries, cmpEntryValue)
+	merged := s.entries[:0]
+	for _, e := range s.entries {
+		if n := len(merged); n > 0 && merged[n-1].Value == e.Value {
+			merged[n-1].Weight += e.Weight
+		} else {
+			merged = append(merged, e)
+		}
+	}
+	s.entries = merged
 	s.compress()
 }
 
@@ -94,7 +149,13 @@ func (s *Sketch) compress() {
 		s.entries = append([]Entry(nil), merged...)
 		return
 	}
-	// Prune: keep first and last, and entries nearest the even-weight grid.
+	s.prune(merged)
+}
+
+// prune reduces a sorted, value-deduplicated summary to maxSize entries —
+// the extremes plus the entries nearest the even cumulative-weight grid —
+// and installs it as the new summary.
+func (s *Sketch) prune(merged []Entry) {
 	pruned := make([]Entry, 0, s.maxSize)
 	step := s.total / float64(s.maxSize-1)
 	nextRank := step
@@ -144,6 +205,27 @@ func (s *Sketch) Quantiles(k int) []float64 {
 		}
 	}
 	return cuts
+}
+
+// Entries returns a copy of the compressed summary entries in ascending
+// value order — the wire representation a worker ships to the master during
+// bin proposal.
+func (s *Sketch) Entries() []Entry {
+	s.compress()
+	return append([]Entry(nil), s.entries...)
+}
+
+// FromEntries reconstructs a sketch from transported entries, the inverse of
+// Entries. The entries are copied, sorted, and compressed under maxSize.
+func FromEntries(maxSize int, entries []Entry) *Sketch {
+	s := New(maxSize)
+	s.entries = append(s.entries, entries...)
+	slices.SortFunc(s.entries, cmpEntryValue)
+	for _, e := range entries {
+		s.total += e.Weight
+	}
+	s.compress()
+	return s
 }
 
 // Values returns the current summary values in ascending order (testing and

@@ -325,7 +325,14 @@ func bestCategoricalRegression(req Request, rows []int32, s *Scratch) Candidate 
 	for _, r := range rows {
 		moments[req.Col.Cats[r]].Add(req.Y.Floats[r])
 	}
-	groups := s.groupBuf(levels)
+	return bestCategoricalRegressionFromMoments(req.ColIdx, moments, s)
+}
+
+// bestCategoricalRegressionFromMoments runs the Breiman prefix scan over
+// already-aggregated per-level moments. Shared by the exact row kernel above
+// and the histogram kernel, which rebuilds identical moments from bins.
+func bestCategoricalRegressionFromMoments(colIdx int, moments []impurity.MomentAccumulator, s *Scratch) Candidate {
+	groups := s.groupBuf(len(moments))
 	for code := range moments {
 		if moments[code].N > 0 {
 			groups = append(groups, catGroup{int32(code), moments[code].Mean()})
@@ -368,7 +375,7 @@ func bestCategoricalRegression(req Request, rows []int32, s *Scratch) Candidate 
 			prefix = append(prefix, groups[i].code)
 		}
 		s.prefix = prefix
-		best.Cond = NewCategoricalCondition(req.ColIdx, prefix, false)
+		best.Cond = NewCategoricalCondition(colIdx, prefix, false)
 	}
 	return best
 }
@@ -396,8 +403,17 @@ func bestCategoricalClassification(req Request, rows []int32, s *Scratch) Candid
 		return Candidate{}
 	}
 	slices.Sort(presentCodes)
+	return bestCategoricalClassificationFromCounts(
+		req.ColIdx, counts, presentCodes, req.NumClasses, req.Measure, req.maxExhaustive(), s)
+}
 
-	total := s.totalCounter(req.NumClasses)
+// bestCategoricalClassificationFromCounts runs the subset search over an
+// already-aggregated level x class count matrix and its sorted present
+// codes. Shared by the exact row kernel above and the histogram kernel,
+// which rebuilds an identical matrix from bins — identical counts make the
+// two paths agree bit-for-bit.
+func bestCategoricalClassificationFromCounts(colIdx int, counts [][]int, presentCodes []int32, numClasses int, measure impurity.Measure, maxExhaustive int, s *Scratch) Candidate {
+	total := s.totalCounter(numClasses)
 	for _, code := range presentCodes {
 		for class, n := range counts[code] {
 			total.AddN(int32(class), n)
@@ -407,7 +423,7 @@ func bestCategoricalClassification(req Request, rows []int32, s *Scratch) Candid
 	// evaluate scores one bipartition without building a Condition; the
 	// winner's Condition is materialised once per call so the enumeration
 	// itself stays allocation-free.
-	left, _ := s.classCounters(req.NumClasses)
+	left, _ := s.classCounters(numClasses)
 	evaluate := func(leftSet []int32) (imp float64, leftN, rightN int, ok bool) {
 		left.Reset()
 		for _, code := range leftSet {
@@ -415,7 +431,7 @@ func bestCategoricalClassification(req Request, rows []int32, s *Scratch) Candid
 				left.AddN(int32(class), n)
 			}
 		}
-		rightCounts := s.rightCountsBuf(req.NumClasses)
+		rightCounts := s.rightCountsBuf(numClasses)
 		for class := range rightCounts {
 			rightCounts[class] = total.Counts[class] - left.Counts[class]
 		}
@@ -424,17 +440,17 @@ func bestCategoricalClassification(req Request, rows []int32, s *Scratch) Candid
 			return 0, 0, 0, false
 		}
 		var rightImp float64
-		if req.Measure == impurity.Entropy {
+		if measure == impurity.Entropy {
 			rightImp = impurity.EntropyFromCounts(rightCounts)
 		} else {
 			rightImp = impurity.GiniFromCounts(rightCounts)
 		}
-		imp = impurity.WeightedSplit(left.N, left.Impurity(req.Measure), rightN, rightImp)
+		imp = impurity.WeightedSplit(left.N, left.Impurity(measure), rightN, rightImp)
 		return imp, left.N, rightN, true
 	}
 
 	best := Candidate{}
-	if len(presentCodes) <= req.maxExhaustive() {
+	if len(presentCodes) <= maxExhaustive {
 		// Enumerate subsets of presentCodes[1:]; presentCodes[0] is pinned to
 		// the right side, which covers every distinct bipartition once.
 		rest := presentCodes[1:]
@@ -460,11 +476,11 @@ func bestCategoricalClassification(req Request, rows []int32, s *Scratch) Candid
 				}
 			}
 			s.leftSet = leftSet
-			best.Cond = NewCategoricalCondition(req.ColIdx, leftSet, false)
+			best.Cond = NewCategoricalCondition(colIdx, leftSet, false)
 		}
 		return best
 	}
-	if req.NumClasses == 2 {
+	if numClasses == 2 {
 		// Breiman ordering: sort present levels by P(class 1) and scan
 		// prefixes — exact for any concave impurity (Gini, entropy).
 		groups := s.groupBuf(len(presentCodes))
@@ -485,7 +501,7 @@ func bestCategoricalClassification(req Request, rows []int32, s *Scratch) Candid
 		}
 		s.prefix = prefix
 		if best.Valid {
-			best.Cond = NewCategoricalCondition(req.ColIdx, prefix[:bestLen], false)
+			best.Cond = NewCategoricalCondition(colIdx, prefix[:bestLen], false)
 		}
 		return best
 	}
@@ -503,7 +519,7 @@ func bestCategoricalClassification(req Request, rows []int32, s *Scratch) Candid
 		leftSet := s.leftSetBuf(1)
 		leftSet = append(leftSet, bestCode)
 		s.leftSet = leftSet
-		best.Cond = NewCategoricalCondition(req.ColIdx, leftSet, false)
+		best.Cond = NewCategoricalCondition(colIdx, leftSet, false)
 	}
 	return best
 }

@@ -76,7 +76,8 @@ type Endpoint interface {
 }
 
 // Stats counts an endpoint's traffic. Bytes measure the gob-encoded payload
-// size, the same quantity a real wire would carry.
+// size as a long-lived connection would carry it: type definitions are
+// counted when a type first crosses a stream and amortise to zero after.
 type Stats struct {
 	MsgsSent      int64
 	MsgsReceived  int64
@@ -137,8 +138,10 @@ type wire struct {
 	Payload any
 }
 
-// EncodePayload gob-encodes a payload the way both network flavours do,
-// returning the wire bytes.
+// EncodePayload gob-encodes a payload into a self-contained frame (type
+// definitions included), the format the TCP fabric ships. Per-frame stream
+// setup is expensive; hot in-process paths use the pooled codec pairs below
+// instead.
 func EncodePayload(v any) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&wire{Payload: v}); err != nil {
@@ -154,6 +157,82 @@ func DecodePayload(data []byte) (any, error) {
 		return nil, fmt.Errorf("transport: decode: %w", err)
 	}
 	return w.Payload, nil
+}
+
+// codecPair is a matched gob encoder/decoder joined by one buffer — the
+// stream state of a single long-lived connection. gob transmits each type's
+// definition once per stream, then compiles and caches the codec machinery;
+// building a fresh Encoder/Decoder per message re-pays that setup on every
+// send, which profiles as the dominant cost of the in-memory fabric. A pair
+// must stay matched for life: the decoder only understands types whose
+// definitions its own encoder already emitted.
+type codecPair struct {
+	buf bytes.Buffer
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+var codecPool = sync.Pool{New: func() any {
+	p := &codecPair{}
+	p.enc = gob.NewEncoder(&p.buf)
+	p.dec = gob.NewDecoder(&p.buf)
+	return p
+}}
+
+// roundTripPayload deep-copies v through a pooled gob stream, returning the
+// decoded copy and its encoded size. The size is what a persistent connection
+// would carry: type definitions count the first time a type crosses a given
+// pair, then amortise to zero. On error the pair is abandoned (its stream may
+// be desynchronised mid-message); a bytes.Buffer is an io.ByteReader, so a
+// successful decode always drains the buffer completely and the pair re-pools
+// clean.
+func roundTripPayload(v any) (any, int, error) {
+	p := codecPool.Get().(*codecPair)
+	if err := p.enc.Encode(&wire{Payload: v}); err != nil {
+		return nil, 0, fmt.Errorf("transport: encode: %w", err)
+	}
+	size := p.buf.Len()
+	var w wire
+	if err := p.dec.Decode(&w); err != nil {
+		return nil, 0, fmt.Errorf("transport: decode: %w", err)
+	}
+	codecPool.Put(p)
+	return w.Payload, size, nil
+}
+
+// countingWriter measures bytes without retaining them.
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// sizeCodec is a persistent encoder used only for measurement.
+type sizeCodec struct {
+	cw  countingWriter
+	enc *gob.Encoder
+}
+
+var sizePool = sync.Pool{New: func() any {
+	s := &sizeCodec{}
+	s.enc = gob.NewEncoder(&s.cw)
+	return s
+}}
+
+// PayloadSize returns the encoded size of a payload on a long-lived stream
+// (amortised type definitions), without materialising the bytes. It is the
+// cheap sizing hook for telemetry decorators; 0 means the payload failed to
+// encode.
+func PayloadSize(v any) int {
+	s := sizePool.Get().(*sizeCodec)
+	before := s.cw.n
+	if err := s.enc.Encode(&wire{Payload: v}); err != nil {
+		return 0 // abandoned: the stream may be desynchronised
+	}
+	size := int(s.cw.n - before)
+	sizePool.Put(s)
+	return size
 }
 
 // MemNetwork is the in-memory fabric. The zero value is not usable; call
@@ -275,12 +354,8 @@ func (e *MemEndpoint) Send(to string, payload any) error {
 	size := 0
 	delivered := payload
 	if !e.net.Passthrough {
-		data, err := EncodePayload(payload)
-		if err != nil {
-			return err
-		}
-		size = len(data)
-		delivered, err = DecodePayload(data)
+		var err error
+		delivered, size, err = roundTripPayload(payload)
 		if err != nil {
 			return err
 		}
