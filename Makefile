@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race recovery straggler hist cover bench experiments ablations examples fmt vet lint clean
+.PHONY: all build test race recovery straggler hist failover cover bench experiments ablations examples fmt vet lint clean
 
 all: build test
 
@@ -39,6 +39,15 @@ hist:
 	$(GO) test -race ./internal/core/ -run TestTrainLocalHist
 	$(GO) test -race ./internal/cluster/ -run TestHist
 	$(GO) test -race ./internal/chaostest/ -run TestHistModeDeterministic
+
+# Hot-standby failover suite: the checkpoint stream and lease machinery
+# (including the randomized-interleaving lease property test), the in-cluster
+# standby tests, and the failover chaos cells (primary kill, lossy fabric,
+# split-brain), all under the race detector.
+failover:
+	$(GO) test -race ./internal/checkpoint/ -run 'TestStream|TestReplica|TestMultiSink'
+	$(GO) test -race ./internal/cluster/ -run 'TestLease|TestStandby|TestNoStandbyNoStreamTraffic'
+	$(GO) test -race ./internal/chaostest/ -run TestStandbyFailover
 
 cover:
 	$(GO) test -cover ./internal/...

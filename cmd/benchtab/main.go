@@ -563,6 +563,105 @@ func writeHistBench(path string, quick bool) {
 	fmt.Printf("wrote %s\n", path)
 }
 
+// failoverOverheadResult is the hot-standby A/B: the same forest job with no
+// standby (the default) and with a live standby replicating every streamed
+// checkpoint record and acking lease renewals. The primary never fails, so
+// the ratio is the pure steady-state cost the standby adds to the training
+// critical path — the stream send is off-path (a buffered queue drained by
+// its own goroutine), so the ratio should sit within run-to-run noise.
+type failoverOverheadResult struct {
+	Name           string  `json:"name"`
+	BaselineNs     float64 `json:"baseline_ns_per_op"`
+	StandbyNs      float64 `json:"standby_ns_per_op"`
+	Ratio          float64 `json:"ratio"` // standby / baseline; ~1.0 means within noise
+	StreamRecords  int64   `json:"stream_records"`
+	StreamBytes    int64   `json:"stream_bytes"`
+	ReplicaApplied int64   `json:"replica_applied"`
+	LeaseRenewals  int64   `json:"lease_renewals"`
+	LeaseAcks      int64   `json:"lease_acks"`
+}
+
+// failoverBenchOutput is the schema of the -failover-json file.
+type failoverBenchOutput struct {
+	GeneratedAt string                   `json:"generated_at"`
+	GoVersion   string                   `json:"go_version"`
+	Quick       bool                     `json:"quick"`
+	Results     []failoverOverheadResult `json:"results"`
+}
+
+// runFailoverOverhead measures what a hot standby costs a healthy forest
+// job: every checkpoint record encoded and streamed, plus the lease
+// renew/ack exchange, with no disk in either arm.
+func runFailoverOverhead(quick bool) []failoverOverheadResult {
+	trainRows, trees := 12000, 8
+	if quick {
+		trainRows, trees = 4000, 4
+	}
+	tbl := synth.GenerateTrain(synth.Spec{
+		Name: "fobench", Rows: trainRows, NumNumeric: 6, NumCategorical: 2,
+		NumClasses: 2, ConceptDepth: 5, LabelNoise: 0.05, Seed: 53,
+	})
+	params := core.Defaults()
+	params.MaxDepth = 8
+	specs := make([]cluster.TreeSpec, trees)
+	for i := range specs {
+		specs[i] = cluster.TreeSpec{Params: params,
+			Bag: cluster.BagSpec{NumRows: trainRows, Sample: trainRows, Seed: int64(i)}}
+	}
+	trainOnce := func(standby bool, reg *obs.Registry) float64 {
+		opts := []cluster.Option{
+			cluster.WithWorkers(3), cluster.WithCompers(2),
+			cluster.WithPolicy(task.Policy{TauD: trainRows / 10, TauDFS: trainRows / 2, NPool: 16}),
+			cluster.WithObserver(reg),
+		}
+		if standby {
+			opts = append(opts, cluster.WithLease(250*time.Millisecond))
+		}
+		c, err := cluster.NewInProcess(tbl, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		start := time.Now()
+		if _, err := c.Train(specs); err != nil {
+			log.Fatal(err)
+		}
+		return float64(time.Since(start).Nanoseconds())
+	}
+	trainOnce(false, nil) // warm up
+	base := trainOnce(false, nil)
+	reg := obs.NewRegistry()
+	sb := trainOnce(true, reg)
+	m := reg.Snapshot().Master
+	return []failoverOverheadResult{{
+		Name: "cluster.Train/forest", BaselineNs: base, StandbyNs: sb, Ratio: sb / base,
+		StreamRecords: m.StreamRecords, StreamBytes: m.StreamBytes, ReplicaApplied: m.StreamApplied,
+		LeaseRenewals: m.LeaseRenewals, LeaseAcks: m.LeaseAcks,
+	}}
+}
+
+func writeFailoverBench(path string, quick bool) {
+	results := runFailoverOverhead(quick)
+	for _, r := range results {
+		fmt.Printf("%-24s baseline %.0fns  with-standby %.0fns  ratio %.3f  (%d records / %d bytes streamed, %d applied, %d renewals / %d acks)\n",
+			r.Name, r.BaselineNs, r.StandbyNs, r.Ratio, r.StreamRecords, r.StreamBytes, r.ReplicaApplied, r.LeaseRenewals, r.LeaseAcks)
+	}
+	data, err := json.MarshalIndent(failoverBenchOutput{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Quick:       quick,
+		Results:     results,
+	}, "", "  ")
+	if err != nil {
+		log.Fatalf("marshal failover bench json: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
 func main() {
 	var (
 		table     = flag.String("table", "", "run a single experiment id (see -list)")
@@ -577,6 +676,7 @@ func main() {
 		ckptJSON  = flag.String("ckpt-json", "", "run the checkpointing on/off overhead bench and write it to this file")
 		hedgeJSON = flag.String("hedge-json", "", "run the hedging off/on A/B under one degraded worker and write it to this file")
 		histJSON  = flag.String("hist-json", "", "run the exact-vs-hist split mode A/B and write it to this file")
+		failJSON  = flag.String("failover-json", "", "run the hot-standby on/off overhead bench and write it to this file")
 	)
 	flag.Parse()
 
@@ -597,7 +697,10 @@ func main() {
 	if *histJSON != "" {
 		writeHistBench(*histJSON, *quick)
 	}
-	if (*obsJSON != "" || *ckptJSON != "" || *hedgeJSON != "" || *histJSON != "") && *table == "" && !*ablations && *jsonPath == "" {
+	if *failJSON != "" {
+		writeFailoverBench(*failJSON, *quick)
+	}
+	if (*obsJSON != "" || *ckptJSON != "" || *hedgeJSON != "" || *histJSON != "" || *failJSON != "") && *table == "" && !*ablations && *jsonPath == "" {
 		return
 	}
 

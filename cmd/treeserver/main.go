@@ -15,6 +15,12 @@
 //	treeserver -role worker -id 0 -listen :7071 \
 //	    -master host0:7070 -workers host1:7071,host2:7072 \
 //	    -store /mnt/dfs -table mytable -compers 10
+//
+// Hot standby (add -standby-addr hostS:7069 to the master's flags):
+//
+//	treeserver -role standby -listen hostS:7069 -promote-listen hostS:7070 \
+//	    -master host0:7070 -workers host1:7071,host2:7072 \
+//	    -store /mnt/dfs -table mytable -lease-ttl 2s
 package main
 
 import (
@@ -69,6 +75,12 @@ func main() {
 		mode       = flag.String("mode", "exact", "split finding: exact | hist (sketch-binned histograms with top-k voting; master/local role)")
 		maxBins    = flag.Int("max-bins", 0, "hist mode: bins per numeric column (0 = cluster default)")
 		topK       = flag.Int("top-k", 0, "hist mode: candidate splits each worker votes per node (0 = cluster default)")
+
+		standbyAddr = flag.String("standby-addr", "", "stream checkpoints to a hot standby at this address (master role)")
+		leaseTTL    = flag.Duration("lease-ttl", 0, "failover lease duration (0 = default; master/standby/local role)")
+		advertise   = flag.String("advertise", "", "externally reachable master address, sent to rejoining workers (master role)")
+		standbyOn   = flag.Bool("standby", false, "attach an in-process hot standby (local role)")
+		promoteAddr = flag.String("promote-listen", "", "host:port the promoted master listens on after failover; must be reachable by workers (standby role)")
 	)
 	flag.Parse()
 	if *resume && *ckptDir == "" {
@@ -82,17 +94,30 @@ func main() {
 	ck := ckpt{dir: *ckptDir, every: *ckptEvery, resume: *resume}
 	gf := gray{hedge: *hedge, quarantine: *quarantine}
 	hm := histMode{mode: splitMode, maxBins: *maxBins, topK: *topK}
+	hc := ha{standbyAddr: *standbyAddr, leaseTTL: *leaseTTL, advertise: *advertise,
+		standby: *standbyOn, promoteListen: *promoteAddr}
 	reg := newTelemetry(*report, *debugAddr)
 	switch *role {
 	case "local":
-		runLocal(*storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *compers, *workersN, *out, reg, *report, ck, gf, hm)
+		runLocal(*storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *compers, *workersN, *out, reg, *report, ck, gf, hm, hc)
 	case "worker":
 		runWorker(*listen, *masterAddr, *workerList, *id, *storeDir, *tableName, *replicas, *compers, reg)
 	case "master":
-		runMaster(*listen, *workerList, *storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *out, reg, *report, ck, gf, hm)
+		runMaster(*listen, *workerList, *storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *out, reg, *report, ck, gf, hm, hc)
+	case "standby":
+		runStandby(*listen, *masterAddr, *workerList, *storeDir, *tableName, *job, *tauD, *tauDFS, *npool, *replicas, *out, reg, *report, ck, gf, hm, hc)
 	default:
 		log.Fatalf("unknown role %q", *role)
 	}
+}
+
+// ha carries the hot-standby / failover flags to the role runners.
+type ha struct {
+	standbyAddr   string
+	leaseTTL      time.Duration
+	advertise     string
+	standby       bool
+	promoteListen string
 }
 
 // histMode carries the approximate-training flags to the role runners.
@@ -189,13 +214,19 @@ func writeModel(path, job string, trained []*core.Tree, tbl *dataset.Table) {
 	fmt.Printf("model with %d tree(s) written to %s (serve it with tsserve)\n", len(trained), path)
 }
 
-func runLocal(storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas, compers, workers int, out string, reg *obs.Registry, report bool, ck ckpt, gf gray, hm histMode) {
+func runLocal(storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas, compers, workers int, out string, reg *obs.Registry, report bool, ck ckpt, gf gray, hm histMode, hc ha) {
 	tbl, _, _ := loadTable(storeDir, tableName)
 	opts := []cluster.Option{
 		cluster.WithWorkers(workers), cluster.WithCompers(compers), cluster.WithReplicas(replicas),
 		cluster.WithPolicy(task.Policy{TauD: tauD, TauDFS: tauDFS, NPool: npool}),
 		cluster.WithObserver(reg),
 		cluster.WithSplitMode(hm.mode),
+	}
+	if hc.standby {
+		opts = append(opts, cluster.WithStandby())
+	}
+	if hc.leaseTTL > 0 {
+		opts = append(opts, cluster.WithLease(hc.leaseTTL))
 	}
 	if hm.maxBins > 0 {
 		opts = append(opts, cluster.WithMaxBins(hm.maxBins))
@@ -223,6 +254,15 @@ func runLocal(storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDF
 		trained, err = c.Resume()
 	} else {
 		trained, err = c.Train(jobSpecs(tbl, job, trees, dmax, minLeaf))
+	}
+	if err != nil && c.Standby != nil {
+		// The primary failed with a hot standby attached: the takeover may
+		// still finish the job from the streamed replica.
+		select {
+		case <-c.Standby.Done():
+			trained, err = c.Standby.Result()
+		case <-time.After(time.Minute):
+		}
 	}
 	if err != nil {
 		log.Fatalf("training: %v", err)
@@ -281,7 +321,7 @@ func runWorker(listen, masterAddr, workerList string, id int, storeDir, tableNam
 	fmt.Printf("worker %d: shutdown\n", id)
 }
 
-func runMaster(listen, workerList, storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas int, out string, reg *obs.Registry, report bool, ck ckpt, gf gray, hm histMode) {
+func runMaster(listen, workerList, storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas int, out string, reg *obs.Registry, report bool, ck ckpt, gf gray, hm histMode, hc ha) {
 	addrs := parseWorkers(workerList)
 	if len(addrs) == 0 {
 		log.Fatal("-workers is required for the master")
@@ -292,12 +332,7 @@ func runMaster(listen, workerList, storeDir, tableName, job string, trees, dmax,
 	for i, a := range addrs {
 		peers[cluster.WorkerName(i)] = a
 	}
-	ep, err := transport.ListenTCP(cluster.MasterName, listen, peers)
-	if err != nil {
-		log.Fatal(err)
-	}
-	placement := loadbal.RoundRobin(tbl.FeatureIndexes(), len(addrs), replicas)
-	m, err := cluster.NewMaster(reg.Wrap(ep), cluster.SchemaOf(tbl), placement, cluster.MasterConfig{
+	cfg := cluster.MasterConfig{
 		NumWorkers:          len(addrs),
 		Policy:              task.Policy{TauD: tauD, TauDFS: tauDFS, NPool: npool},
 		Heartbeat:           time.Second,
@@ -309,8 +344,20 @@ func runMaster(listen, workerList, storeDir, tableName, job string, trees, dmax,
 		SplitMode:           hm.mode,
 		MaxBins:             hm.maxBins,
 		TopK:                hm.topK,
+		AdvertiseAddr:       hc.advertise,
 		Obs:                 reg,
-	})
+	}
+	if hc.standbyAddr != "" {
+		peers[cluster.StandbyName] = hc.standbyAddr
+		cfg.StandbyName = cluster.StandbyName
+		cfg.LeaseTTL = hc.leaseTTL
+	}
+	ep, err := transport.ListenTCP(cluster.MasterName, listen, peers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	placement := loadbal.RoundRobin(tbl.FeatureIndexes(), len(addrs), replicas)
+	m, err := cluster.NewMaster(reg.Wrap(ep), cluster.SchemaOf(tbl), placement, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -329,6 +376,86 @@ func runMaster(listen, workerList, storeDir, tableName, job string, trees, dmax,
 	}
 	fmt.Printf("trained %d tree(s) on %d rows across %d workers in %s\n",
 		len(trained), tbl.NumRows(), len(addrs), time.Since(start).Round(time.Millisecond))
+	writeModel(out, job, trained, tbl)
+	printReport(reg, report)
+}
+
+// runStandby runs the hot-standby role: it materialises the primary's
+// streamed checkpoint records, acks its lease renewals, and — if the lease
+// lapses — promotes itself, listens on -promote-listen as the new master,
+// re-homes the workers through the rejoin handshake, and finishes the job.
+// The process exits when the takeover job completes; while the primary stays
+// healthy it just keeps replicating.
+func runStandby(listen, masterAddr, workerList, storeDir, tableName, job string, tauD, tauDFS, npool, replicas int, out string, reg *obs.Registry, report bool, ck ckpt, gf gray, hm histMode, hc ha) {
+	if masterAddr == "" {
+		log.Fatal("-master is required for the standby")
+	}
+	addrs := parseWorkers(workerList)
+	if len(addrs) == 0 {
+		log.Fatal("-workers is required for the standby (the promoted master must reach the fleet)")
+	}
+	if hc.promoteListen == "" || strings.HasSuffix(hc.promoteListen, ":0") {
+		log.Fatal("-promote-listen is required for the standby: a concrete host:port the workers can reach after failover")
+	}
+	tbl, _, _ := loadTable(storeDir, tableName)
+
+	peers := map[string]string{cluster.MasterName: masterAddr}
+	workerPeers := map[string]string{}
+	for i, a := range addrs {
+		peers[cluster.WorkerName(i)] = a
+		workerPeers[cluster.WorkerName(i)] = a
+	}
+	ep, err := transport.ListenTCP(cluster.StandbyName, listen, peers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ttl := hc.leaseTTL
+	if ttl == 0 {
+		ttl = cluster.DefaultLeaseTTL
+	}
+	sb, err := cluster.NewStandby(reg.Wrap(ep), cluster.StandbyConfig{
+		Schema: cluster.SchemaOf(tbl),
+		MasterCfg: cluster.MasterConfig{
+			NumWorkers:          len(addrs),
+			Policy:              task.Policy{TauD: tauD, TauDFS: tauDFS, NPool: npool},
+			Heartbeat:           time.Second,
+			Replicas:            replicas,
+			CheckpointDir:       ck.dir,
+			CheckpointEvery:     ck.every,
+			HedgeFactor:         gf.hedge,
+			QuarantineThreshold: gf.quarantine,
+			SplitMode:           hm.mode,
+			MaxBins:             hm.maxBins,
+			TopK:                hm.topK,
+			AdvertiseAddr:       hc.promoteListen,
+			Obs:                 reg,
+		},
+		LeaseTTL: ttl,
+		// Over TCP the old primary's listener cannot be closed from here;
+		// fencing relies on the takeover announcement plus the generation
+		// fence carried by every rejoin request and task message.
+		Rebind: func() (transport.Endpoint, error) {
+			mep, err := transport.ListenTCP(cluster.MasterName, hc.promoteListen, workerPeers)
+			if err != nil {
+				return nil, err
+			}
+			return reg.Wrap(mep), nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sb.Start()
+	defer sb.Stop()
+	fmt.Printf("standby on %s watching master %s (lease ttl %s)\n", ep.Addr(), masterAddr, ttl)
+
+	<-sb.Done()
+	trained, err := sb.Result()
+	if err != nil {
+		log.Fatalf("takeover: %v", err)
+	}
+	fmt.Printf("failover complete: finished %d tree(s) on %d rows across %d workers\n",
+		len(trained), tbl.NumRows(), len(addrs))
 	writeModel(out, job, trained, tbl)
 	printReport(reg, report)
 }

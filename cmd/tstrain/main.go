@@ -51,6 +51,8 @@ func main() {
 		mode      = flag.String("mode", "exact", "split finding: exact | hist (sketch-binned histograms with top-k voting)")
 		maxBins   = flag.Int("max-bins", 0, "hist mode: bins per numeric column (0 = cluster default)")
 		topK      = flag.Int("top-k", 0, "hist mode: candidate splits each worker votes per node (0 = cluster default)")
+		standby   = flag.Bool("standby", false, "attach an in-process hot-standby master (diskless failover)")
+		leaseTTL  = flag.Duration("lease-ttl", 0, "failover lease duration (0 = default; implies -standby)")
 	)
 	flag.Parse()
 	if *csvPath == "" || *target == "" {
@@ -115,6 +117,12 @@ func main() {
 		log.Fatal(err)
 	}
 	copts = append(copts, cluster.WithSplitMode(splitMode))
+	if *standby {
+		copts = append(copts, cluster.WithStandby())
+	}
+	if *leaseTTL > 0 {
+		copts = append(copts, cluster.WithLease(*leaseTTL))
+	}
 	if *maxBins > 0 {
 		copts = append(copts, cluster.WithMaxBins(*maxBins))
 	}

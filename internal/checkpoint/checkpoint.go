@@ -77,6 +77,11 @@ type State struct {
 	NumWorkers int
 	Replicas   int
 	NextTreeID int32
+	// Regression records that SetTarget swapped the label column to a
+	// numeric target (gradient-boosting rounds). A replacement master must
+	// restore the swapped schema or it would plan classification-measure
+	// tasks against the workers' regression labels.
+	Regression bool
 	Placement  loadbal.Placement
 	Trees      []TreeState
 	Ledger     Ledger

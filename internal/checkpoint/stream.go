@@ -1,0 +1,232 @@
+// Checkpoint streaming: the sink/source abstraction that lets the same
+// records the master fsyncs locally also feed a hot-standby replica over
+// the transport fabric. A Sink receives snapshot and tree-done records (the
+// file Writer is one Sink; StreamSink forwards records to a send loop;
+// MultiSink fans out to both), and a Replica is the receiving side that
+// re-materialises the exact State a disk Load would have produced — without
+// any disk.
+package checkpoint
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sink receives the master's durable-state records. Writer implements Sink
+// (append to the local log); StreamSink implements it by handing records to
+// an emit function. Snapshot and AppendTreeDone return the payload bytes
+// produced, mirroring Writer's accounting.
+type Sink interface {
+	Snapshot(st *State) (int, error)
+	AppendTreeDone(td TreeDone) (int, error)
+	Close() error
+}
+
+// Writer must satisfy Sink: the stream layer is an abstraction over it.
+var _ Sink = (*Writer)(nil)
+
+// Record is one checkpoint record in streamed form. Seq is the snapshot
+// epoch: each Snapshot bumps it and every subsequent TreeDone carries it,
+// so a replica that missed a snapshot (dropped or reordered delivery) can
+// recognise — and discard — tree-done records it has no base state for.
+type Record struct {
+	Seq     int
+	Kind    byte   // KindSnapshot or KindTreeDone
+	Payload []byte // gob-encoded State or TreeDone
+}
+
+// StreamSink converts sink calls into Records and hands them to emit. The
+// emit function is called synchronously under the sink's lock (so records
+// are emitted in epoch order) and must not block: the master's send loop
+// buffers behind it. A StreamSink works with no checkpoint directory at
+// all, which is what lets a standby-backed cluster run diskless.
+type StreamSink struct {
+	mu   sync.Mutex
+	seq  int
+	emit func(Record)
+}
+
+// NewStreamSink returns a StreamSink forwarding records to emit.
+func NewStreamSink(emit func(Record)) *StreamSink {
+	return &StreamSink{emit: emit}
+}
+
+// Snapshot implements Sink: it starts a new epoch.
+func (s *StreamSink) Snapshot(st *State) (int, error) {
+	payload, err := encodeGob(st)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	s.emit(Record{Seq: s.seq, Kind: KindSnapshot, Payload: payload})
+	return len(payload), nil
+}
+
+// AppendTreeDone implements Sink: the record joins the current epoch.
+func (s *StreamSink) AppendTreeDone(td TreeDone) (int, error) {
+	payload, err := encodeGob(&td)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seq == 0 {
+		return 0, fmt.Errorf("checkpoint: stream AppendTreeDone before Snapshot")
+	}
+	s.emit(Record{Seq: s.seq, Kind: KindTreeDone, Payload: payload})
+	return len(payload), nil
+}
+
+// Close implements Sink.
+func (s *StreamSink) Close() error { return nil }
+
+// multiSink fans every record out to all child sinks.
+type multiSink struct {
+	sinks []Sink
+}
+
+// MultiSink combines sinks into one. Nil entries are skipped; a single
+// remaining sink is returned unwrapped; no sinks yields nil. The returned
+// bytes come from the first sink (the durable one, by convention) and the
+// first error wins — but every sink still sees every record.
+func MultiSink(sinks ...Sink) Sink {
+	var live []Sink
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &multiSink{sinks: live}
+}
+
+func (m *multiSink) Snapshot(st *State) (int, error) {
+	var n int
+	var first error
+	for i, s := range m.sinks {
+		bytes, err := s.Snapshot(st)
+		if i == 0 {
+			n = bytes
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return n, first
+}
+
+func (m *multiSink) AppendTreeDone(td TreeDone) (int, error) {
+	var n int
+	var first error
+	for i, s := range m.sinks {
+		bytes, err := s.AppendTreeDone(td)
+		if i == 0 {
+			n = bytes
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return n, first
+}
+
+func (m *multiSink) Close() error {
+	var first error
+	for _, s := range m.sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Replica is the receiving end of a checkpoint stream: it folds Records
+// into the same State a disk Load would return, with the same integrity
+// checks (canon witnesses, bounds). It tolerates a lossy, duplicating,
+// reordering stream: stale epochs are discarded, tree-done records only
+// apply to the epoch they belong to, and duplicates are idempotent — a
+// dropped tree-done merely means that tree is retrained after takeover,
+// which is deterministic per (Params, Bag).
+type Replica struct {
+	mu      sync.Mutex
+	seq     int // adopted snapshot epoch; 0 = none yet
+	st      *State
+	applied int64
+	dropped int64
+}
+
+// NewReplica returns an empty replica.
+func NewReplica() *Replica { return &Replica{} }
+
+// Apply folds one streamed record into the replica. Records that cannot be
+// used (stale epoch, no base snapshot) are counted as dropped, not errors;
+// only payloads that fail decoding or integrity checks return an error.
+func (r *Replica) Apply(rec Record) error {
+	switch rec.Kind {
+	case KindSnapshot:
+		st := new(State)
+		if err := decodeGob(rec.Payload, st); err != nil {
+			return err
+		}
+		if err := st.verifyTrees(); err != nil {
+			return err
+		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if rec.Seq <= r.seq {
+			r.dropped++
+			return nil
+		}
+		r.seq = rec.Seq
+		r.st = st
+		r.applied++
+		return nil
+	case KindTreeDone:
+		var td TreeDone
+		if err := decodeGob(rec.Payload, &td); err != nil {
+			return err
+		}
+		if err := verifyTreeDone(td); err != nil {
+			return err
+		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.st == nil || rec.Seq != r.seq {
+			r.dropped++
+			return nil
+		}
+		if err := r.st.apply(td); err != nil {
+			return err
+		}
+		r.applied++
+		return nil
+	default:
+		return fmt.Errorf("checkpoint: unknown streamed record kind %d", rec.Kind)
+	}
+}
+
+// State returns the materialised state, or ErrNoCheckpoint if no snapshot
+// has been adopted yet. The caller takes ownership — a promoting standby
+// resumes from it exactly as a restarted master resumes from a disk Load.
+func (r *Replica) State() (*State, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.st == nil {
+		return nil, ErrNoCheckpoint
+	}
+	return r.st, nil
+}
+
+// Stats reports how many records were applied and how many discarded.
+func (r *Replica) Stats() (applied, dropped int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied, r.dropped
+}

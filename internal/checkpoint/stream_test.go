@@ -1,0 +1,222 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+
+	"treeserver/internal/core"
+)
+
+func collectSink() (*StreamSink, *[]Record) {
+	recs := &[]Record{}
+	s := NewStreamSink(func(r Record) { *recs = append(*recs, r) })
+	return s, recs
+}
+
+func TestStreamSinkEpochs(t *testing.T) {
+	s, recs := collectSink()
+	st := testState(t)
+
+	// Appending before any snapshot mirrors the file Writer's contract.
+	tree := trainTree(t, 2)
+	if _, err := s.AppendTreeDone(TreeDone{Index: 1, Tree: tree, Canon: tree.Canon()}); err == nil {
+		t.Fatal("AppendTreeDone before Snapshot must fail")
+	}
+
+	if n, err := s.Snapshot(st); err != nil || n <= 0 {
+		t.Fatalf("Snapshot: n=%d err=%v", n, err)
+	}
+	if _, err := s.AppendTreeDone(TreeDone{Index: 1, Tree: tree, Canon: tree.Canon()}); err != nil {
+		t.Fatalf("AppendTreeDone: %v", err)
+	}
+	if _, err := s.Snapshot(st); err != nil {
+		t.Fatalf("second Snapshot: %v", err)
+	}
+
+	got := *recs
+	if len(got) != 3 {
+		t.Fatalf("emitted %d records, want 3", len(got))
+	}
+	if got[0].Kind != KindSnapshot || got[0].Seq != 1 {
+		t.Fatalf("record 0: kind=%d seq=%d", got[0].Kind, got[0].Seq)
+	}
+	if got[1].Kind != KindTreeDone || got[1].Seq != 1 {
+		t.Fatalf("record 1 must join epoch 1: kind=%d seq=%d", got[1].Kind, got[1].Seq)
+	}
+	if got[2].Kind != KindSnapshot || got[2].Seq != 2 {
+		t.Fatalf("record 2 must open epoch 2: kind=%d seq=%d", got[2].Kind, got[2].Seq)
+	}
+}
+
+func TestReplicaMaterialisesState(t *testing.T) {
+	s, recs := collectSink()
+	st := testState(t)
+	if _, err := s.Snapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	tree := trainTree(t, 2)
+	if _, err := s.AppendTreeDone(TreeDone{Index: 1, Tree: tree, Canon: tree.Canon()}); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReplica()
+	if _, err := r.State(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty replica State: %v, want ErrNoCheckpoint", err)
+	}
+	for _, rec := range *recs {
+		if err := r.Apply(rec); err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+	}
+	got, err := r.State()
+	if err != nil {
+		t.Fatalf("State: %v", err)
+	}
+	if got.DoneTrees() != 2 {
+		t.Fatalf("replica has %d done trees, want 2", got.DoneTrees())
+	}
+	if got.Gen != st.Gen || got.Ledger != st.Ledger {
+		t.Fatalf("replica state mismatch: %+v", got)
+	}
+	if d := core.DiffTrees(tree, got.Trees[1].Tree); d != "" {
+		t.Fatalf("streamed tree diverged:\n%s", d)
+	}
+	if applied, dropped := r.Stats(); applied != 2 || dropped != 0 {
+		t.Fatalf("stats applied=%d dropped=%d, want 2/0", applied, dropped)
+	}
+}
+
+func TestReplicaLossyStream(t *testing.T) {
+	s, recs := collectSink()
+	st := testState(t)
+	tree1, tree2 := trainTree(t, 2), trainTree(t, 3)
+	if _, err := s.Snapshot(st); err != nil { // epoch 1
+		t.Fatal(err)
+	}
+	if _, err := s.AppendTreeDone(TreeDone{Index: 1, Tree: tree1, Canon: tree1.Canon()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Snapshot(st); err != nil { // epoch 2
+		t.Fatal(err)
+	}
+	if _, err := s.AppendTreeDone(TreeDone{Index: 2, Tree: tree2, Canon: tree2.Canon()}); err != nil {
+		t.Fatal(err)
+	}
+	all := *recs // [snap1, td1@1, snap2, td2@2]
+
+	// The epoch-1 tree-done arrives after the epoch-2 snapshot (reordered):
+	// it must be discarded, not applied to the wrong base.
+	r := NewReplica()
+	for _, rec := range []Record{all[0], all[2], all[1], all[3]} {
+		if err := r.Apply(rec); err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+	}
+	got, err := r.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trees[1].Done {
+		t.Fatal("cross-epoch tree-done must be discarded")
+	}
+	if !got.Trees[2].Done {
+		t.Fatal("current-epoch tree-done must apply")
+	}
+
+	// A duplicated tree-done is idempotent; a stale re-delivered snapshot
+	// must not roll the replica back.
+	if err := r.Apply(all[3]); err != nil {
+		t.Fatalf("duplicate Apply: %v", err)
+	}
+	if err := r.Apply(all[0]); err != nil {
+		t.Fatalf("stale snapshot Apply: %v", err)
+	}
+	got, _ = r.State()
+	if !got.Trees[2].Done {
+		t.Fatal("stale snapshot rolled the replica back")
+	}
+	if _, dropped := r.Stats(); dropped != 2 {
+		t.Fatalf("dropped=%d, want 2 (cross-epoch td + stale snapshot)", dropped)
+	}
+
+	// A replica that never saw a snapshot drops tree-dones silently: the
+	// tree is simply retrained after takeover.
+	fresh := NewReplica()
+	if err := fresh.Apply(all[1]); err != nil {
+		t.Fatalf("baseless Apply: %v", err)
+	}
+	if _, err := fresh.State(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatal("baseless replica must stay empty")
+	}
+}
+
+func TestReplicaRejectsCorruptPayloads(t *testing.T) {
+	st := testState(t)
+	payload, err := encodeGob(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReplica()
+	if err := r.Apply(Record{Seq: 1, Kind: KindSnapshot, Payload: payload[:len(payload)/2]}); err == nil {
+		t.Fatal("truncated snapshot payload must be rejected")
+	}
+	if err := r.Apply(Record{Seq: 1, Kind: 99, Payload: payload}); err == nil {
+		t.Fatal("unknown record kind must be rejected")
+	}
+
+	// A tree whose canon witness does not match must be rejected exactly as
+	// the disk loader rejects it.
+	tree := trainTree(t, 2)
+	bad, err := encodeGob(&TreeDone{Index: 1, Tree: tree, Canon: "not-the-canon"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Apply(Record{Seq: 1, Kind: KindTreeDone, Payload: bad}); err == nil {
+		t.Fatal("canon mismatch must be rejected")
+	}
+}
+
+func TestMultiSinkFansOut(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, recs := collectSink()
+	sink := MultiSink(nil, w, stream)
+	if sink == w || sink == Sink(stream) {
+		t.Fatal("two live sinks must wrap, not unwrap")
+	}
+
+	st := testState(t)
+	tree := trainTree(t, 2)
+	if n, err := sink.Snapshot(st); err != nil || n <= 0 {
+		t.Fatalf("Snapshot: n=%d err=%v", n, err)
+	}
+	if _, err := sink.AppendTreeDone(TreeDone{Index: 1, Tree: tree, Canon: tree.Canon()}); err != nil {
+		t.Fatalf("AppendTreeDone: %v", err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Both sides saw both records: disk loads them, stream emitted them.
+	got, _, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.DoneTrees() != 2 {
+		t.Fatalf("disk side has %d done trees, want 2", got.DoneTrees())
+	}
+	if len(*recs) != 2 {
+		t.Fatalf("stream side saw %d records, want 2", len(*recs))
+	}
+
+	// Degenerate cases: nil-only collapses to nil, single sink unwraps.
+	if MultiSink(nil, nil) != nil {
+		t.Fatal("all-nil MultiSink must be nil")
+	}
+	if MultiSink(nil, stream) != Sink(stream) {
+		t.Fatal("single live sink must be returned unwrapped")
+	}
+}

@@ -145,6 +145,13 @@ type Config struct {
 	// TopK is the number of candidate splits each worker votes per node in
 	// hist mode (default 2).
 	TopK int
+	// Standby enables the hot-standby master: checkpoint records stream to a
+	// live replica that takes over via the failover lease when the primary
+	// dies. Works with or without CheckpointDir (diskless failover).
+	Standby bool
+	// LeaseTTL is the failover lease duration (0 = default 2s). Requires
+	// Standby.
+	LeaseTTL time.Duration
 	// WrapEndpoint, when set, decorates every endpoint (master and workers)
 	// before use — the hook the chaos harness uses to inject faults into the
 	// fabric without the cluster knowing.
@@ -242,6 +249,19 @@ func WithCheckpoint(dir string, every time.Duration) Option {
 	}
 }
 
+// WithStandby enables the hot-standby master: every checkpoint record
+// streams to a live replica that takes over, diskless, when the failover
+// lease lapses.
+func WithStandby() Option { return func(c *Config) { c.Standby = true } }
+
+// WithLease enables the standby with an explicit failover lease duration.
+func WithLease(ttl time.Duration) Option {
+	return func(c *Config) {
+		c.Standby = true
+		c.LeaseTTL = ttl
+	}
+}
+
 // WithRejoinTimeout bounds the worker rejoin handshake during Resume.
 func WithRejoinTimeout(d time.Duration) Option { return func(c *Config) { c.RejoinTimeout = d } }
 
@@ -286,8 +306,14 @@ func (c Config) validate() error {
 	if c.MaxTreeRestarts < 0 {
 		return fmt.Errorf("cluster: MaxTreeRestarts %d is negative", c.MaxTreeRestarts)
 	}
-	if c.CheckpointDir == "" && c.CheckpointEvery != 0 {
-		return fmt.Errorf("cluster: CheckpointEvery set without CheckpointDir")
+	if c.CheckpointDir == "" && !c.Standby && c.CheckpointEvery != 0 {
+		return fmt.Errorf("cluster: CheckpointEvery set without CheckpointDir or Standby")
+	}
+	if c.LeaseTTL < 0 {
+		return fmt.Errorf("cluster: LeaseTTL %v is negative", c.LeaseTTL)
+	}
+	if c.LeaseTTL > 0 && !c.Standby {
+		return fmt.Errorf("cluster: LeaseTTL set without Standby")
 	}
 	if c.SplitMode >= splitModes {
 		return fmt.Errorf("cluster: unknown SplitMode(%d)", uint8(c.SplitMode))
@@ -334,6 +360,9 @@ func (c Config) withDefaults() Config {
 			c.TopK = 2
 		}
 	}
+	if c.Standby && c.LeaseTTL == 0 {
+		c.LeaseTTL = DefaultLeaseTTL
+	}
 	return c
 }
 
@@ -344,6 +373,7 @@ func (c Config) withDefaults() Config {
 type Cluster struct {
 	Master  *Master
 	Workers []*Worker
+	Standby *Standby // non-nil when built WithStandby/WithLease
 	Net     *transport.MemNetwork
 	cfg     Config
 	start   time.Time
@@ -429,8 +459,32 @@ func NewInProcess(tbl *dataset.Table, opts ...Option) (*Cluster, error) {
 		TopK:                cfg.TopK,
 		Obs:                 cfg.Observer,
 	}
+	if cfg.Standby {
+		// The standby endpoint must exist before the master starts: the
+		// in-memory fabric treats a send to an unknown name as permanent.
+		c.masterCfg.StandbyName = StandbyName
+		c.masterCfg.LeaseTTL = cfg.LeaseTTL
+		sb, err := NewStandby(endpoint(StandbyName), StandbyConfig{
+			Schema:    schema,
+			MasterCfg: c.masterCfg,
+			LeaseTTL:  cfg.LeaseTTL,
+			Rebind:    c.rebindMasterEndpoint,
+		})
+		if err != nil {
+			for _, w := range c.Workers {
+				w.Stop()
+			}
+			net.Close()
+			return nil, err
+		}
+		c.Standby = sb
+		c.Standby.Start()
+	}
 	m, err := NewMaster(endpoint(MasterName), schema, placement, c.masterCfg)
 	if err != nil {
+		if c.Standby != nil {
+			c.Standby.Stop()
+		}
 		for _, w := range c.Workers {
 			w.Stop()
 		}
@@ -440,6 +494,16 @@ func NewInProcess(tbl *dataset.Table, opts ...Option) (*Cluster, error) {
 	c.Master = m
 	c.Master.Start()
 	return c, nil
+}
+
+// rebindMasterEndpoint re-homes the master transport name: the old
+// incarnation's mailbox closes (its recv loop sees the endpoint die) and a
+// fresh endpoint with the same name — same telemetry and fault-injection
+// wrapping — is returned for the successor. Shared by RestartMaster and the
+// standby takeover: both replace the master behind an unchanged fleet.
+func (c *Cluster) rebindMasterEndpoint() (transport.Endpoint, error) {
+	c.Net.Reset(MasterName)
+	return c.endpoint(MasterName), nil
 }
 
 // Observer returns the telemetry registry the cluster was built with (nil
@@ -478,8 +542,11 @@ func (c *Cluster) KillMaster() {
 // fabric, same configuration and same checkpoint directory. Call Resume on
 // the cluster afterwards to recover the interrupted job.
 func (c *Cluster) RestartMaster() error {
-	c.Net.Reset(MasterName)
-	m, err := NewMaster(c.endpoint(MasterName), c.schema, c.placement, c.masterCfg)
+	ep, err := c.rebindMasterEndpoint()
+	if err != nil {
+		return err
+	}
+	m, err := NewMaster(ep, c.schema, c.placement, c.masterCfg)
 	if err != nil {
 		return err
 	}
@@ -497,6 +564,9 @@ func (c *Cluster) Resume() ([]*core.Tree, error) {
 
 // Close shuts the deployment down.
 func (c *Cluster) Close() {
+	if c.Standby != nil {
+		c.Standby.Stop()
+	}
 	c.Master.Stop()
 	for _, w := range c.Workers {
 		w.Stop()

@@ -30,6 +30,8 @@ func messageSpecimens() []any {
 		ColDataRequestMsg{}, ColDataResponseMsg{}, ColumnCopyMsg{},
 		BinProposalRequestMsg{}, BinProposalMsg{}, BinBroadcastMsg{},
 		BinAckMsg{}, TopKVoteMsg{}, HistogramRequestMsg{}, HistogramMsg{},
+		CkptRecordMsg{}, LeaseGrantMsg{}, LeaseRenewMsg{}, LeaseAckMsg{},
+		TakeoverMsg{},
 	}
 }
 
@@ -199,7 +201,7 @@ func TestMessageFieldsAllExported(t *testing.T) {
 func TestMessageSpecimenListIsComplete(t *testing.T) {
 	declared := map[string]bool{}
 	registered := map[string]bool{}
-	for _, src := range []string{"messages.go", "histmsg.go"} {
+	for _, src := range []string{"messages.go", "histmsg.go", "standbymsg.go"} {
 		fset := token.NewFileSet()
 		file, err := parser.ParseFile(fset, src, nil, 0)
 		if err != nil {

@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"time"
+
+	"treeserver/internal/checkpoint"
+	"treeserver/internal/transport"
+)
+
+// Master-side hot-standby integration: checkpoint-record streaming and the
+// failover lease. The standby side lives in standby.go; the pure lease
+// state machine in lease.go.
+//
+// The lease is the STANDBY's takeover gate, not the primary's licence to
+// act: a primary whose lease lapses (standby dead, partitioned away, acks
+// lost) keeps training — killing a healthy job because the backup vanished
+// would invert the availability the standby exists to add. What actually
+// stops a superseded primary is fencing: the takeover rebinds the master
+// transport name (the recv loop sees its endpoint die and fails the job
+// with ErrFenced), a reachable primary additionally gets a best-effort
+// TakeoverMsg, and any in-flight work from the old generation dies on the
+// gen<<40 task-ID fence at the new master. "Both believe they lead" can
+// therefore happen for a bounded window under partition — the split-brain
+// chaos cell exercises exactly that — and is harmless by construction.
+
+const (
+	// DefaultLeaseTTL is the failover lease duration when StandbyName is set
+	// without an explicit LeaseTTL.
+	DefaultLeaseTTL = 2 * time.Second
+	// streamBuffer bounds the record queue between checkpoint writes (under
+	// m.mu) and the stream send loop. A full queue drops the record rather
+	// than stall training: a dropped tree-done only means the standby
+	// retrains that tree after takeover, and a dropped snapshot is superseded
+	// by the next one.
+	streamBuffer = 64
+)
+
+// emitRecordLocked is the StreamSink emit hook. It runs under m.mu (every
+// checkpoint write holds it), so reading m.gen is safe and it must not
+// block — hence the non-blocking queue handoff.
+func (m *Master) emitRecordLocked(rec checkpoint.Record) {
+	msg := CkptRecordMsg{Gen: m.gen, Seq: rec.Seq, Kind: rec.Kind, Payload: rec.Payload}
+	select {
+	case m.streamCh <- msg:
+		m.streamSent.Add(1)
+		m.obs.StreamRecordQueued(len(rec.Payload))
+	default:
+		m.obs.StreamRecordDropped()
+	}
+}
+
+// streamLoop ships queued checkpoint records to the standby. Send failures
+// are counted and dropped — the stream is best-effort by design; durability
+// is the local log's job and replica gaps heal at the next snapshot.
+func (m *Master) streamLoop() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case msg := <-m.streamCh:
+			if err := transport.SendWithRetry(m.ep, m.cfg.StandbyName, msg, transport.DefaultRetryPolicy()); err != nil {
+				m.obs.StreamSendError()
+			}
+		}
+	}
+}
+
+// leaseLoop acquires the lease at this master's generation, announces it to
+// the standby, then renews at TTL/3. Renewals only extend the lease when
+// the standby's ack returns (see leaseMachine); if the machine fences —
+// lapse or a higher generation observed — the loop stops renewing but does
+// NOT fail the job, per the fencing design in the file comment.
+func (m *Master) leaseLoop() {
+	defer m.wg.Done()
+	m.mu.Lock()
+	gen := leaseGen(m.gen)
+	m.mu.Unlock()
+
+	m.leaseMu.Lock()
+	err := m.lease.Acquire(time.Now(), gen)
+	m.leaseMu.Unlock()
+	if err != nil {
+		return // machine pre-fenced (cannot happen on a fresh master)
+	}
+	_ = transport.SendWithRetry(m.ep, m.cfg.StandbyName, LeaseGrantMsg{Gen: gen, TTL: m.cfg.LeaseTTL}, transport.DefaultRetryPolicy())
+
+	tick := time.NewTicker(m.cfg.LeaseTTL / 3)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-tick.C:
+			m.leaseMu.Lock()
+			seq, err := m.lease.Renew(time.Now())
+			fenced := m.lease.Fenced()
+			m.leaseMu.Unlock()
+			if fenced {
+				m.obs.LeaseLost()
+				return
+			}
+			if err == nil {
+				m.obs.LeaseRenewed()
+				_ = transport.SendWithRetry(m.ep, m.cfg.StandbyName, LeaseRenewMsg{Gen: gen, Seq: seq}, transport.DefaultRetryPolicy())
+			}
+		}
+	}
+}
+
+// handleLeaseAck extends the lease with the standby's acknowledgement and
+// records stream lag (records queued locally minus records the standby has
+// applied).
+func (m *Master) handleLeaseAck(msg LeaseAckMsg) {
+	if m.lease == nil {
+		return
+	}
+	m.leaseMu.Lock()
+	if msg.Gen == m.lease.Gen() {
+		m.lease.Ack(msg.Seq)
+	}
+	m.leaseMu.Unlock()
+	m.obs.LeaseAcked()
+	if lag := m.streamSent.Load() - msg.Records; lag >= 0 {
+		m.obs.SetStreamLag(lag)
+	}
+}
+
+// handleTakeover is the best-effort fast path of fencing: a reachable
+// primary that hears a higher generation announce itself fails the job
+// immediately instead of discovering the rebind through its dead endpoint.
+func (m *Master) handleTakeover(msg TakeoverMsg) {
+	m.mu.Lock()
+	own := leaseGen(m.gen)
+	m.mu.Unlock()
+	if m.lease != nil {
+		m.leaseMu.Lock()
+		m.lease.Observe(time.Now(), msg.Gen)
+		m.leaseMu.Unlock()
+	}
+	if msg.Gen > own {
+		m.fence()
+	}
+}
+
+// fence fails the current job with ErrFenced and stops the master's loops
+// without the shutdown broadcast (the workers now belong to the new
+// master). Safe to call from the recv loop: it does not wait for the
+// WaitGroup.
+func (m *Master) fence() {
+	m.mu.Lock()
+	m.failJobLocked(ErrFenced)
+	m.mu.Unlock()
+	m.stopOnce.Do(func() {
+		close(m.stop)
+		m.ep.Close()
+	})
+}

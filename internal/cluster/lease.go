@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrFenced is the job error a master reports when it has been fenced by a
+// standby takeover: its lease lapsed (or its endpoint was rebound under it)
+// and a higher generation now owns the fleet.
+var ErrFenced = errors.New("cluster: master fenced by standby takeover")
+
+// leaseGen maps a master generation to its lease generation. Lease
+// generations must be strictly positive so a fresh master (gen 0) can
+// acquire against a zero-valued machine, hence the +1 offset.
+func leaseGen(masterGen int64) int64 { return masterGen + 1 }
+
+type leaseState int
+
+const (
+	leaseFollower leaseState = iota
+	leaseLeader
+	leaseFenced
+)
+
+func (s leaseState) String() string {
+	switch s {
+	case leaseFollower:
+		return "follower"
+	case leaseLeader:
+		return "leader"
+	case leaseFenced:
+		return "fenced"
+	}
+	return "unknown"
+}
+
+// leaseMachine is the pure lease/failover state machine: candidate→leader
+// acquisition, renewal, lapse and fencing. It never reads the wall clock —
+// every transition takes `now` as an argument — so tests drive it with a
+// fake clock and the master/standby drive it with time.Now().
+//
+// Safety argument (at most one unfenced leader at any instant): a renewal
+// only extends the leader's lease once the follower ACKS it, and then only
+// to the renewal's SEND time + ttl; the follower extends its watched expiry
+// to the renewal's RECEIPT time + ttl the moment it arrives. Receipt is
+// never earlier than send, so the follower's promise always covers the
+// leader's lease: if renewals (or their acks) are dropped, delayed or
+// partitioned away, the leader's lease simply stops extending and it
+// self-fences at expiry — strictly before the follower's watched window,
+// which outlives it, can lapse and admit a takeover. Generations are
+// strictly monotonic (Acquire requires gen > every generation ever
+// observed), so a fenced generation can never re-acquire.
+type leaseMachine struct {
+	state   leaseState
+	ttl     time.Duration
+	gen     int64     // generation this node leads (or led) under
+	maxGen  int64     // highest lease generation ever observed or acquired
+	expiry  time.Time // leader: own lease expiry; follower: watched expiry
+	seq     int64     // last renewal sequence issued by this leader
+	pending map[int64]time.Time
+}
+
+// newLeaseMachine returns a follower with no watched lease. The follower's
+// lapse clock does not start until the first Observe.
+func newLeaseMachine(ttl time.Duration) *leaseMachine {
+	return &leaseMachine{state: leaseFollower, ttl: ttl}
+}
+
+// Acquire attempts the candidate→leader transition at generation gen.
+// It fails unless the node is an eligible follower, gen beats every
+// generation ever observed, and any watched lease has already lapsed.
+func (m *leaseMachine) Acquire(now time.Time, gen int64) error {
+	if m.state != leaseFollower {
+		return fmt.Errorf("lease: acquire from %s state", m.state)
+	}
+	if gen <= m.maxGen {
+		return fmt.Errorf("lease: acquire gen %d not above observed max %d", gen, m.maxGen)
+	}
+	if !m.expiry.IsZero() && now.Before(m.expiry) {
+		return fmt.Errorf("lease: acquire before watched lease expires (%s early)", m.expiry.Sub(now))
+	}
+	m.state = leaseLeader
+	m.gen = gen
+	m.maxGen = gen
+	m.expiry = now.Add(m.ttl) // self-grant; extensions need follower acks
+	m.pending = map[int64]time.Time{}
+	return nil
+}
+
+// Renew issues a renewal attempt: it records the send time under a fresh
+// sequence number (returned, for the wire message) but does NOT extend the
+// lease — only the follower's ack does, via Ack. Renewing after the lease
+// already expired fences the node: a standby may have taken over in the
+// gap, so the old leader must not keep acting on a lapsed lease.
+func (m *leaseMachine) Renew(now time.Time) (int64, error) {
+	if m.state != leaseLeader {
+		return 0, fmt.Errorf("lease: renew from %s state", m.state)
+	}
+	if now.After(m.expiry) {
+		m.state = leaseFenced
+		return 0, fmt.Errorf("lease: renewed %s after expiry; fenced", now.Sub(m.expiry))
+	}
+	m.seq++
+	m.pending[m.seq] = now
+	return m.seq, nil
+}
+
+// Ack records the follower's acknowledgement of renewal seq, extending the
+// leader's lease to the renewal's send time + ttl. Unknown or duplicate
+// sequence numbers and acks arriving after a fence are ignored.
+func (m *leaseMachine) Ack(seq int64) {
+	if m.state != leaseLeader {
+		return
+	}
+	sent, ok := m.pending[seq]
+	if !ok {
+		return
+	}
+	// Acks are cumulative: seeing seq means the follower's watched window
+	// covers every earlier renewal too, so drop them all.
+	for s := range m.pending {
+		if s <= seq {
+			delete(m.pending, s)
+		}
+	}
+	if e := sent.Add(m.ttl); e.After(m.expiry) {
+		m.expiry = e
+	}
+}
+
+// Observe records a grant or renewal received from generation gen. A leader
+// observing a higher generation has been superseded and fences itself. A
+// follower observing the newest generation pushes its watched expiry out
+// from receipt time — the pessimistic side of the safety argument above.
+// Stale generations are ignored.
+func (m *leaseMachine) Observe(now time.Time, gen int64) {
+	if gen > m.maxGen {
+		m.maxGen = gen
+	}
+	switch m.state {
+	case leaseLeader:
+		if gen > m.gen {
+			m.state = leaseFenced
+		}
+	case leaseFollower:
+		// Only ever extend the watched window — a reordered older renewal
+		// must not rewind the promise already made for a newer one.
+		if e := now.Add(m.ttl); gen == m.maxGen && e.After(m.expiry) {
+			m.expiry = e
+		}
+	}
+}
+
+// Leading reports whether the node holds a valid lease at instant now. A
+// leader whose lease has lapsed is fenced on the spot: it must discover its
+// own demotion no later than anyone else can acquire.
+func (m *leaseMachine) Leading(now time.Time) bool {
+	if m.state == leaseLeader && now.After(m.expiry) {
+		m.state = leaseFenced
+	}
+	return m.state == leaseLeader
+}
+
+// Lapsed reports whether a follower's watched lease has expired, i.e. the
+// leader has missed enough renewals that takeover is now safe. A follower
+// that has never observed a grant is not lapsed — its clock hasn't started.
+func (m *leaseMachine) Lapsed(now time.Time) bool {
+	return m.state == leaseFollower && !m.expiry.IsZero() && now.After(m.expiry)
+}
+
+// Fence forces the node into the terminal fenced state.
+func (m *leaseMachine) Fence() { m.state = leaseFenced }
+
+// Fenced reports whether the node is permanently fenced.
+func (m *leaseMachine) Fenced() bool { return m.state == leaseFenced }
+
+// Gen returns the generation this node leads (or last led) under.
+func (m *leaseMachine) Gen() int64 { return m.gen }
+
+// MaxObserved returns the highest lease generation ever seen; a candidate
+// acquires at MaxObserved()+1.
+func (m *leaseMachine) MaxObserved() int64 { return m.maxGen }

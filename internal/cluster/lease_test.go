@@ -1,0 +1,289 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func leaseClock() time.Time { return time.Unix(1000, 0) }
+
+func TestLeaseAcquireRenewLapse(t *testing.T) {
+	now := leaseClock()
+	ttl := 100 * time.Millisecond
+	m := newLeaseMachine(ttl)
+
+	if m.Leading(now) {
+		t.Fatal("fresh machine should not lead")
+	}
+	if m.Lapsed(now) {
+		t.Fatal("follower with no observed grant must not report lapsed")
+	}
+	if err := m.Acquire(now, leaseGen(0)); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if !m.Leading(now) {
+		t.Fatal("should lead after acquire")
+	}
+	// An acked renewal extends the lease from the renewal's send time.
+	sendAt := now.Add(ttl / 2)
+	seq, err := m.Renew(sendAt)
+	if err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	m.Ack(seq)
+	if !m.Leading(sendAt.Add(ttl - time.Millisecond)) {
+		t.Fatal("should still lead inside acked window")
+	}
+	// Letting the lease lapse fences the leader on its next check.
+	if m.Leading(sendAt.Add(ttl + time.Millisecond)) {
+		t.Fatal("lapsed leader must not report leading")
+	}
+	if !m.Fenced() {
+		t.Fatal("lapsed leader must self-fence")
+	}
+}
+
+func TestLeaseUnackedRenewDoesNotExtend(t *testing.T) {
+	now := leaseClock()
+	ttl := 100 * time.Millisecond
+	m := newLeaseMachine(ttl)
+	if err := m.Acquire(now, 1); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	// Renewals whose acks never arrive must not extend the lease.
+	if _, err := m.Renew(now.Add(ttl / 3)); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	if _, err := m.Renew(now.Add(2 * ttl / 3)); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	if m.Leading(now.Add(ttl + time.Millisecond)) {
+		t.Fatal("unacked renewals must not keep the leader alive")
+	}
+	if !m.Fenced() {
+		t.Fatal("leader must self-fence at the self-granted expiry")
+	}
+}
+
+func TestLeaseCumulativeAndStaleAcks(t *testing.T) {
+	now := leaseClock()
+	ttl := 100 * time.Millisecond
+	m := newLeaseMachine(ttl)
+	if err := m.Acquire(now, 1); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	s1, _ := m.Renew(now.Add(20 * time.Millisecond))
+	s2, _ := m.Renew(now.Add(40 * time.Millisecond))
+	m.Ack(s2)
+	// Ack of s2 covers s1; a late s1 ack must not rewind the expiry.
+	m.Ack(s1)
+	if !m.Leading(now.Add(40*time.Millisecond + ttl - time.Millisecond)) {
+		t.Fatal("expiry should follow the newest acked renewal")
+	}
+	m.Ack(99) // unknown seq ignored
+	if m.Leading(now.Add(40*time.Millisecond + ttl + time.Millisecond)) {
+		t.Fatal("unknown-seq ack must not extend the lease")
+	}
+}
+
+func TestLeaseRenewAfterLapseFences(t *testing.T) {
+	now := leaseClock()
+	ttl := 50 * time.Millisecond
+	m := newLeaseMachine(ttl)
+	if err := m.Acquire(now, 1); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if _, err := m.Renew(now.Add(ttl + time.Millisecond)); err == nil {
+		t.Fatal("renew after expiry must fail")
+	}
+	if !m.Fenced() {
+		t.Fatal("renew after expiry must fence")
+	}
+}
+
+func TestLeaseLeaderFencedByHigherGen(t *testing.T) {
+	now := leaseClock()
+	m := newLeaseMachine(100 * time.Millisecond)
+	if err := m.Acquire(now, 1); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	m.Observe(now, 2)
+	if !m.Fenced() {
+		t.Fatal("leader observing a higher generation must fence")
+	}
+	if m.Leading(now) {
+		t.Fatal("fenced leader must not report leading")
+	}
+}
+
+func TestLeaseFollowerWatchedExpiry(t *testing.T) {
+	now := leaseClock()
+	ttl := 100 * time.Millisecond
+	m := newLeaseMachine(ttl)
+	m.Observe(now, 1)
+	if m.Lapsed(now.Add(ttl / 2)) {
+		t.Fatal("follower must not lapse inside the watched window")
+	}
+	// A renewal pushes the watched expiry out from receipt time.
+	now = now.Add(ttl / 2)
+	m.Observe(now, 1)
+	if m.Lapsed(now.Add(ttl - time.Millisecond)) {
+		t.Fatal("renewal must extend the watched window")
+	}
+	if !m.Lapsed(now.Add(ttl + time.Millisecond)) {
+		t.Fatal("follower must lapse after the watched window")
+	}
+	// Cannot acquire before the watched lease expires, even with a new gen.
+	if err := m.Acquire(now.Add(ttl/2), 2); err == nil {
+		t.Fatal("acquire inside watched window must fail")
+	}
+	if err := m.Acquire(now.Add(ttl+time.Millisecond), 2); err != nil {
+		t.Fatalf("acquire after watched lapse: %v", err)
+	}
+}
+
+func TestLeaseStaleObserveIgnored(t *testing.T) {
+	now := leaseClock()
+	ttl := 100 * time.Millisecond
+	m := newLeaseMachine(ttl)
+	m.Observe(now, 5)
+	// A delayed renewal from a superseded generation must not extend the
+	// watched window.
+	m.Observe(now.Add(ttl/2), 3)
+	if !m.Lapsed(now.Add(ttl + time.Millisecond)) {
+		t.Fatal("stale-generation observe must not extend the watched window")
+	}
+}
+
+func TestLeaseFencedGenerationNeverReacquires(t *testing.T) {
+	now := leaseClock()
+	ttl := 50 * time.Millisecond
+	m := newLeaseMachine(ttl)
+	if err := m.Acquire(now, 1); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if m.Leading(now.Add(2 * ttl)) {
+		t.Fatal("should have lapsed")
+	}
+	// Fenced is terminal: neither acquire nor renew can revive the node.
+	if err := m.Acquire(now.Add(3*ttl), 99); err == nil {
+		t.Fatal("fenced node must not re-acquire")
+	}
+	if _, err := m.Renew(now.Add(3 * ttl)); err == nil {
+		t.Fatal("fenced node must not renew")
+	}
+}
+
+// leaseSimMsg is an in-flight renewal or ack in the property test's
+// delayed-delivery network.
+type leaseSimMsg struct {
+	at   time.Time
+	kind byte // 'r' renewal (leader→follower), 'a' ack (follower→leader)
+	gen  int64
+	seq  int64
+	to   int
+}
+
+// TestLeasePropertyAtMostOneLeader drives a primary + standby pair (the
+// deployment topology) through randomized interleavings of renewals,
+// delayed and dropped deliveries, delayed acks, lapses, takeovers and
+// revival attempts by fenced nodes, asserting after every step that at most
+// one node holds an unfenced lease and that a fenced generation never
+// re-acquires.
+func TestLeasePropertyAtMostOneLeader(t *testing.T) {
+	const nodes = 2
+	for seed := int64(1); seed <= 80; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			ttl := 80 * time.Millisecond
+			now := leaseClock()
+			ms := make([]*leaseMachine, nodes)
+			for i := range ms {
+				ms[i] = newLeaseMachine(ttl)
+			}
+			var inflight []leaseSimMsg
+			send := func(kind byte, from int, gen, seq int64) {
+				to := 1 - from
+				if rng.Float64() < 0.15 { // dropped message
+					return
+				}
+				delay := time.Duration(rng.Int63n(int64(3 * ttl / 2)))
+				inflight = append(inflight, leaseSimMsg{at: now.Add(delay), kind: kind, gen: gen, seq: seq, to: to})
+			}
+			// Node 0 boots as primary; node 1 watches the grant.
+			if err := ms[0].Acquire(now, leaseGen(0)); err != nil {
+				t.Fatalf("initial acquire: %v", err)
+			}
+			send('r', 0, ms[0].Gen(), 0)
+
+			fencedGens := map[int64]bool{}
+			maxAcquired := ms[0].Gen()
+			for step := 0; step < 600; step++ {
+				now = now.Add(time.Duration(1+rng.Int63n(20)) * time.Millisecond)
+				// Deliver due messages.
+				rest := inflight[:0]
+				for _, msg := range inflight {
+					if msg.at.After(now) {
+						rest = append(rest, msg)
+						continue
+					}
+					m := ms[msg.to]
+					switch msg.kind {
+					case 'r':
+						m.Observe(msg.at, msg.gen)
+						// Follower acks the renewal it just observed.
+						if !m.Leading(msg.at) {
+							send('a', msg.to, msg.gen, msg.seq)
+						}
+					case 'a':
+						if m.Gen() == msg.gen {
+							m.Ack(msg.seq)
+						}
+					}
+				}
+				inflight = rest
+
+				for i, m := range ms {
+					switch {
+					case m.Fenced():
+						fencedGens[m.Gen()] = true
+						// Revival attempts by a fenced node must all fail.
+						if err := m.Acquire(now, m.MaxObserved()+1); err == nil {
+							t.Fatalf("step %d: fenced node %d re-acquired", step, i)
+						}
+					case m.Leading(now):
+						if rng.Float64() < 0.8 {
+							if seq, err := m.Renew(now); err == nil {
+								send('r', i, m.Gen(), seq)
+							}
+						}
+					case m.Lapsed(now):
+						gen := m.MaxObserved() + 1
+						if err := m.Acquire(now, gen); err == nil {
+							if fencedGens[gen] {
+								t.Fatalf("step %d: fenced generation %d re-acquired", step, gen)
+							}
+							if gen <= maxAcquired {
+								t.Fatalf("step %d: generation %d acquired twice (max %d)", step, gen, maxAcquired)
+							}
+							maxAcquired = gen
+							send('r', i, gen, 0)
+						}
+					}
+				}
+
+				leaders := 0
+				for _, m := range ms {
+					if m.Leading(now) {
+						leaders++
+					}
+				}
+				if leaders > 1 {
+					t.Fatalf("step %d: %d simultaneous unfenced leaders", step, leaders)
+				}
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"treeserver/internal/checkpoint"
@@ -63,6 +64,20 @@ type MasterConfig struct {
 	// boundaries (0 = tree boundaries only). Only meaningful with
 	// CheckpointDir set.
 	CheckpointEvery time.Duration
+	// StandbyName, when non-empty, enables the hot standby: every checkpoint
+	// record is streamed to this transport endpoint as it is written locally,
+	// and the master renews a failover lease against it. Streaming works with
+	// or without CheckpointDir — a standby-backed cluster can run diskless.
+	// The standby endpoint must exist before the master starts.
+	StandbyName string
+	// LeaseTTL is the failover lease duration (default 2s when StandbyName is
+	// set): the primary renews at TTL/3 and the standby takes over once the
+	// lease it watches has lapsed.
+	LeaseTTL time.Duration
+	// AdvertiseAddr, when non-empty, rides in rejoin requests so TCP workers
+	// can repoint their master peer at a promoted standby's listen address.
+	// In-memory fabrics rebind by name and leave it empty.
+	AdvertiseAddr string
 	// RejoinTimeout bounds the worker rejoin handshake during Resume
 	// (default 10s). Workers that miss the deadline are treated as failed.
 	RejoinTimeout time.Duration
@@ -221,6 +236,17 @@ type Master struct {
 	gen      int64
 	jobSpecs []TreeSpec
 
+	// sink is where checkpoint records go: the file writer, the standby
+	// stream, both, or nil when neither is configured. streamCh decouples
+	// record emission (under m.mu) from fabric sends; lease is the failover
+	// lease machine (nil without a standby), guarded by leaseMu because the
+	// lease and renew loops race the recv loop's ack handling.
+	sink       checkpoint.Sink
+	streamCh   chan CkptRecordMsg
+	streamSent atomic.Int64
+	lease      *leaseMachine
+	leaseMu    sync.Mutex
+
 	// Rejoin handshake state (only non-nil while Resume is collecting).
 	rejoinGen     int64
 	rejoinReports map[int][]int
@@ -309,6 +335,10 @@ func NewMaster(ep transport.Endpoint, schema Schema, placement loadbal.Placement
 			cfg.TopK = 2
 		}
 	}
+	// Own the Kinds slice: SetTarget mutates it in place, and a master built
+	// by a promoted standby shares the caller's backing array with the old
+	// incarnation otherwise.
+	schema.Kinds = append([]dataset.Kind(nil), schema.Kinds...)
 	m := &Master{
 		ep: ep, cfg: cfg, schema: schema,
 		placement: placement,
@@ -330,13 +360,31 @@ func NewMaster(ep transport.Endpoint, schema Schema, placement loadbal.Placement
 	if cfg.HedgeFactor > 0 || cfg.QuarantineThreshold > 0 {
 		m.health = newHealthTracker(cfg.NumWorkers)
 	}
+	if cfg.LeaseTTL < 0 {
+		return nil, fmt.Errorf("cluster: LeaseTTL %v is negative", cfg.LeaseTTL)
+	}
+	if cfg.LeaseTTL > 0 && cfg.StandbyName == "" {
+		return nil, fmt.Errorf("cluster: LeaseTTL set without StandbyName")
+	}
+	if cfg.StandbyName != "" && cfg.LeaseTTL == 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	m.cfg = cfg
+	var sinks []checkpoint.Sink
 	if cfg.CheckpointDir != "" {
 		ck, err := checkpoint.NewWriter(cfg.CheckpointDir)
 		if err != nil {
 			return nil, err
 		}
 		m.ck = ck
+		sinks = append(sinks, ck)
 	}
+	if cfg.StandbyName != "" {
+		m.streamCh = make(chan CkptRecordMsg, streamBuffer)
+		m.lease = newLeaseMachine(cfg.LeaseTTL)
+		sinks = append(sinks, checkpoint.NewStreamSink(m.emitRecordLocked))
+	}
+	m.sink = checkpoint.MultiSink(sinks...)
 	return m, nil
 }
 
@@ -354,13 +402,18 @@ func (m *Master) Start() {
 		m.wg.Add(1)
 		go m.retryLoop()
 	}
-	if m.ck != nil && m.cfg.CheckpointEvery > 0 {
+	if m.sink != nil && m.cfg.CheckpointEvery > 0 {
 		m.wg.Add(1)
 		go m.checkpointLoop()
 	}
 	if m.health != nil {
 		m.wg.Add(1)
 		go m.healthLoop()
+	}
+	if m.cfg.StandbyName != "" {
+		m.wg.Add(2)
+		go m.streamLoop()
+		go m.leaseLoop()
 	}
 }
 
@@ -374,8 +427,8 @@ func (m *Master) Stop() {
 		m.ep.Close()
 	})
 	m.wg.Wait()
-	if m.ck != nil {
-		m.ck.Close()
+	if m.sink != nil {
+		m.sink.Close()
 	}
 }
 
@@ -390,8 +443,8 @@ func (m *Master) Kill() {
 		m.ep.Close()
 	})
 	m.wg.Wait()
-	if m.ck != nil {
-		m.ck.Close()
+	if m.sink != nil {
+		m.sink.Close()
 	}
 }
 
@@ -698,6 +751,15 @@ func (m *Master) recvLoop() {
 	for {
 		env, ok := m.ep.Recv()
 		if !ok {
+			// Distinguish orderly shutdown from the endpoint dying under us:
+			// a standby takeover rebinds the master's transport name, which
+			// closes this incarnation's mailbox. Without the check the old
+			// primary would sit in awaitJob until the job timeout.
+			select {
+			case <-m.stop:
+			default:
+				m.fence()
+			}
 			return
 		}
 		switch msg := env.Payload.(type) {
@@ -731,6 +793,10 @@ func (m *Master) recvLoop() {
 			m.handleBinAck(msg)
 		case RejoinReportMsg:
 			m.handleRejoinReport(msg)
+		case LeaseAckMsg:
+			m.handleLeaseAck(msg)
+		case TakeoverMsg:
+			m.handleTakeover(msg)
 		case WorkerErrorMsg:
 			m.handleWorkerError(msg)
 		}

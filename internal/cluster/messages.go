@@ -272,11 +272,14 @@ type TargetAckMsg struct {
 // ShutdownMsg terminates a worker's loops.
 type ShutdownMsg struct{}
 
-// RejoinRequestMsg is broadcast by a restarted master: workers discard all
-// in-flight task state (the new master re-plans everything unfinished under
-// generation Gen) and report the column replicas they still hold.
+// RejoinRequestMsg is broadcast by a restarted (or promoted-standby) master:
+// workers discard all in-flight task state (the new master re-plans
+// everything unfinished under generation Gen) and report the column replicas
+// they still hold. MasterAddr, when non-empty, is the new master's transport
+// address — TCP workers repoint their "master" peer at it before replying.
 type RejoinRequestMsg struct {
-	Gen int64
+	Gen        int64
+	MasterAddr string
 }
 
 // --- Worker -> master messages (Task Comm.) ---

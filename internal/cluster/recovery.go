@@ -7,6 +7,7 @@ import (
 
 	"treeserver/internal/checkpoint"
 	"treeserver/internal/core"
+	"treeserver/internal/dataset"
 	"treeserver/internal/loadbal"
 	"treeserver/internal/obs"
 	"treeserver/internal/task"
@@ -39,6 +40,7 @@ func (m *Master) checkpointStateLocked() *checkpoint.State {
 		NumWorkers: m.cfg.NumWorkers,
 		Replicas:   m.cfg.Replicas,
 		NextTreeID: m.nextTreeID,
+		Regression: m.schema.Task == dataset.Regression,
 		Placement:  loadbal.Placement{Owners: make(map[int][]int, len(m.placement.Owners)), NumWorkers: m.placement.NumWorkers},
 	}
 	for col, owners := range m.placement.Owners {
@@ -59,36 +61,43 @@ func (m *Master) checkpointStateLocked() *checkpoint.State {
 	return st
 }
 
-// writeSnapshotLocked writes a full snapshot file. A failed write is counted
-// and otherwise ignored — checkpointing degrades, the job does not.
+// writeSnapshotLocked writes a full snapshot through the checkpoint sink —
+// the local log, the standby stream, or both. A failed write is counted and
+// otherwise ignored — checkpointing degrades, the job does not.
 func (m *Master) writeSnapshotLocked() {
-	if m.ck == nil || m.jobSpecs == nil {
+	if m.sink == nil || m.jobSpecs == nil {
 		return
 	}
 	start := time.Now()
-	n, err := m.ck.Snapshot(m.checkpointStateLocked())
+	n, err := m.sink.Snapshot(m.checkpointStateLocked())
 	if err != nil {
 		m.obs.CheckpointError()
 		return
 	}
-	m.obs.CheckpointWritten(true, n, time.Since(start))
+	// The checkpoint counters mean durable disk writes; a stream-only sink
+	// reports through the stream counters instead.
+	if m.ck != nil {
+		m.obs.CheckpointWritten(true, n, time.Since(start))
+	}
 }
 
 // appendTreeDoneLocked durably records one completed tree. If the append
 // fails (e.g. the current file vanished) it falls back to a full snapshot so
 // the completion is never lost silently.
 func (m *Master) appendTreeDoneLocked(index int, tree *core.Tree) {
-	if m.ck == nil {
+	if m.sink == nil {
 		return
 	}
 	start := time.Now()
-	n, err := m.ck.AppendTreeDone(checkpoint.TreeDone{Index: index, Tree: tree, Canon: tree.Canon()})
+	n, err := m.sink.AppendTreeDone(checkpoint.TreeDone{Index: index, Tree: tree, Canon: tree.Canon()})
 	if err != nil {
 		m.obs.CheckpointError()
 		m.writeSnapshotLocked()
 		return
 	}
-	m.obs.CheckpointWritten(false, n, time.Since(start))
+	if m.ck != nil {
+		m.obs.CheckpointWritten(false, n, time.Since(start))
+	}
 }
 
 // checkpointLoop writes periodic snapshots between tree boundaries, bounding
@@ -139,6 +148,14 @@ func (m *Master) resumeFrom(st *checkpoint.State, info checkpoint.LoadInfo) ([]*
 	m.nextTaskID = task.ID(m.gen << 40)
 	m.nextTreeID = st.NextTreeID
 	m.placement = st.Placement
+	if st.Regression && m.schema.Task != dataset.Regression {
+		// The job being resumed ran after a SetTarget swap; the workers still
+		// hold the numeric labels, so only the master's schema needs to catch
+		// up or it would plan classification-measure tasks over them.
+		m.schema.NumClasses = 0
+		m.schema.Task = dataset.Regression
+		m.schema.Kinds[m.schema.Target] = dataset.Numeric
+	}
 	specs := make([]TreeSpec, len(st.Trees))
 	m.results = make([]*core.Tree, len(st.Trees))
 	m.remaining = 0
@@ -214,7 +231,7 @@ func (m *Master) rejoinWorkers(gen int64) (map[int][]int, error) {
 	m.mu.Unlock()
 
 	for w := 0; w < m.cfg.NumWorkers; w++ {
-		m.send(w, RejoinRequestMsg{Gen: gen})
+		m.send(w, RejoinRequestMsg{Gen: gen, MasterAddr: m.cfg.AdvertiseAddr})
 	}
 
 	timeout := m.cfg.RejoinTimeout

@@ -1,0 +1,70 @@
+// Hot-standby wire protocol: the primary master streams its checkpoint
+// records to a live standby and renews a lease against it; when the lease
+// lapses the standby announces a takeover and re-homes the fleet. All
+// messages travel over the same transport fabric as the training protocol.
+package cluster
+
+import (
+	"encoding/gob"
+	"time"
+)
+
+// StandbyName is the hot-standby master's transport name.
+const StandbyName = "standby"
+
+// --- Primary -> standby messages ---
+
+// CkptRecordMsg streams one checkpoint record (a full snapshot or a
+// tree-done append) to the standby as the primary fsyncs it locally. Seq is
+// the snapshot epoch from checkpoint.Record; Gen is the sending master's
+// generation, so records from a fenced primary are recognisably stale.
+type CkptRecordMsg struct {
+	Gen     int64
+	Seq     int
+	Kind    uint8
+	Payload []byte
+}
+
+// LeaseGrantMsg opens the lease protocol: it tells the standby which
+// generation currently leads and with what TTL, starting the standby's
+// watched-lapse clock. Sent once at master start (and harmless if resent).
+type LeaseGrantMsg struct {
+	Gen int64 // lease generation (master generation + 1)
+	TTL time.Duration
+}
+
+// LeaseRenewMsg is the primary's periodic lease renewal. The primary's
+// lease only extends when the matching LeaseAckMsg returns — see
+// leaseMachine for the safety argument.
+type LeaseRenewMsg struct {
+	Gen int64
+	Seq int64
+}
+
+// --- Standby -> primary messages ---
+
+// LeaseAckMsg acknowledges a renewal: the standby promises not to take over
+// for TTL from receipt. Records echoes how many stream records the standby
+// has applied, giving the primary a stream-lag signal for telemetry.
+type LeaseAckMsg struct {
+	Gen     int64
+	Seq     int64
+	Records int64
+}
+
+// TakeoverMsg is the standby's best-effort fencing announcement to the old
+// primary: a higher lease generation now owns the fleet. The authoritative
+// fence is the generation stamp on task IDs plus the endpoint rebind — this
+// message just lets a reachable stale primary fail fast instead of timing
+// out.
+type TakeoverMsg struct {
+	Gen int64 // the new lease generation
+}
+
+func init() {
+	gob.Register(CkptRecordMsg{})
+	gob.Register(LeaseGrantMsg{})
+	gob.Register(LeaseRenewMsg{})
+	gob.Register(LeaseAckMsg{})
+	gob.Register(TakeoverMsg{})
+}

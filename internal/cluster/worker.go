@@ -777,6 +777,10 @@ func (w *Worker) handleRejoin(msg RejoinRequestMsg) {
 	// bins are identical, but the protocol re-derives them for simplicity.
 	w.binSeq = 0
 	w.bins, w.binned = nil, nil
+	// Same story for the SetTarget sequence: the replacement master counts
+	// from zero, so an unreset fence would silently swallow its first target
+	// swap — boosting rounds after a failover would train on stale labels.
+	w.targetSeq = 0
 	cols := make([]int, 0, len(w.cols))
 	for c := range w.cols {
 		cols = append(cols, c)
@@ -784,6 +788,24 @@ func (w *Worker) handleRejoin(msg RejoinRequestMsg) {
 	w.mu.Unlock()
 	w.histCache.reset()
 	sort.Ints(cols)
+	// A promoted standby on TCP listens on a new address; repoint the master
+	// peer before replying so the report (and everything after) reaches it.
+	// The in-memory fabric rebinds by name and leaves MasterAddr empty. The
+	// endpoint may sit behind telemetry/chaos decorators, hence the unwrap
+	// walk to the fabric that actually holds the peer table.
+	if msg.MasterAddr != "" {
+		for ep := w.ep; ep != nil; {
+			if rp, ok := ep.(interface{ RepointPeer(string, string) }); ok {
+				rp.RepointPeer(MasterName, msg.MasterAddr)
+				break
+			}
+			u, ok := ep.(interface{ Unwrap() transport.Endpoint })
+			if !ok {
+				break
+			}
+			ep = u.Unwrap()
+		}
+	}
 	w.send(MasterName, RejoinReportMsg{Worker: w.id, Gen: msg.Gen, Cols: cols})
 }
 

@@ -59,5 +59,9 @@ func (e *Endpoint) Stats() transport.Stats { return e.inner.Stats() }
 // before each re-attempt.
 func (e *Endpoint) SendRetried(to string) { e.reg.CountRetry(e.inner.Name(), to) }
 
+// Unwrap exposes the decorated endpoint so callers can reach optional
+// capabilities of the underlying fabric (e.g. TCP peer repointing).
+func (e *Endpoint) Unwrap() transport.Endpoint { return e.inner }
+
 var _ transport.Endpoint = (*Endpoint)(nil)
 var _ transport.RetryReporter = (*Endpoint)(nil)

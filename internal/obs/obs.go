@@ -176,6 +176,19 @@ type MasterObs struct {
 	probesSent     atomic.Int64 // probe messages shipped to workers
 	probations     atomic.Int64 // probation passes (half-open→closed restores)
 
+	// Hot-standby telemetry (checkpoint streaming and the failover lease).
+	streamRecords atomic.Int64 // checkpoint records queued for the standby
+	streamBytes   atomic.Int64 // payload bytes of those records
+	streamDropped atomic.Int64 // records dropped on a full stream queue
+	streamErrors  atomic.Int64 // records lost to transport send failures
+	streamApplied atomic.Int64 // records the replica materialised (standby side)
+	streamStale   atomic.Int64 // records the replica discarded as stale (standby side)
+	streamLag     atomic.Int64 // gauge: records queued minus records the standby acked
+	leaseRenewals atomic.Int64 // renewals the primary shipped
+	leaseAcks     atomic.Int64 // acks the primary received back
+	leaseLost     atomic.Int64 // primary lease machines that fenced (lapse/higher gen)
+	failovers     atomic.Int64 // standby promotions driven to completion
+
 	// Histogram-mode telemetry (bin proposal and top-k vote aggregation).
 	binRounds    atomic.Int64 // bin proposal/broadcast rounds completed
 	sketchMerges atomic.Int64 // replica quantile summaries merged during bin proposal
@@ -461,6 +474,86 @@ func (m *MasterObs) SetWorkerHealth(scores []float64, states []string) {
 	m.healthScores = append(m.healthScores[:0], scores...)
 	m.quarantineStates = append(m.quarantineStates[:0], states...)
 	m.healthMu.Unlock()
+}
+
+// StreamRecordQueued records one checkpoint record handed to the standby
+// stream loop, carrying bytes of payload.
+func (m *MasterObs) StreamRecordQueued(bytes int) {
+	if m == nil {
+		return
+	}
+	m.streamRecords.Add(1)
+	m.streamBytes.Add(int64(bytes))
+}
+
+// StreamRecordDropped records a checkpoint record dropped because the stream
+// queue was full — the standby heals at the next snapshot.
+func (m *MasterObs) StreamRecordDropped() {
+	if m == nil {
+		return
+	}
+	m.streamDropped.Add(1)
+}
+
+// StreamSendError records a checkpoint record lost to a transport failure.
+func (m *MasterObs) StreamSendError() {
+	if m == nil {
+		return
+	}
+	m.streamErrors.Add(1)
+}
+
+// StreamApplied records the standby replica's running applied/stale record
+// counts (overwrite semantics: the replica reports totals, not deltas).
+func (m *MasterObs) StreamApplied(applied, stale int64) {
+	if m == nil {
+		return
+	}
+	m.streamApplied.Store(applied)
+	m.streamStale.Store(stale)
+}
+
+// SetStreamLag updates the stream-lag gauge: records the primary queued minus
+// records the standby last acknowledged applying.
+func (m *MasterObs) SetStreamLag(lag int64) {
+	if m == nil {
+		return
+	}
+	m.streamLag.Store(lag)
+}
+
+// LeaseRenewed records one lease renewal shipped to the standby.
+func (m *MasterObs) LeaseRenewed() {
+	if m == nil {
+		return
+	}
+	m.leaseRenewals.Add(1)
+}
+
+// LeaseAcked records one renewal acknowledgement received back.
+func (m *MasterObs) LeaseAcked() {
+	if m == nil {
+		return
+	}
+	m.leaseAcks.Add(1)
+}
+
+// LeaseLost records a primary lease machine fencing — its renewals stopped
+// being acknowledged (standby gone) or a higher generation was observed.
+func (m *MasterObs) LeaseLost() {
+	if m == nil {
+		return
+	}
+	m.leaseLost.Add(1)
+}
+
+// FailoverCompleted records one standby promotion that drove the job to
+// completion.
+func (m *MasterObs) FailoverCompleted() {
+	if m == nil {
+		return
+	}
+	m.failovers.Add(1)
 }
 
 // BinRoundCompleted records one finished bin proposal/broadcast round and how

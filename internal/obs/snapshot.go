@@ -52,6 +52,14 @@ type MasterSnapshot struct {
 	// Quarantine circuit breaker: open transitions, probes shipped and
 	// probation passes (restores).
 	Quarantines, ProbesSent, QuarantineRestores int64
+	// Hot standby: checkpoint records streamed (queued/bytes/dropped/send
+	// errors), the replica's applied/stale totals, the stream-lag gauge,
+	// lease traffic, lease machines fenced and promotions completed.
+	StreamRecords, StreamBytes            int64
+	StreamDropped, StreamErrors           int64
+	StreamApplied, StreamStale, StreamLag int64
+	LeaseRenewals, LeaseAcks              int64
+	LeaseLost, Failovers                  int64
 	// Histogram mode: bin rounds run, replica sketches merged, top-k vote
 	// messages (and candidates) accepted, full histograms fetched.
 	BinRounds, SketchMerges int64
@@ -139,6 +147,17 @@ func (r *Registry) Snapshot() Snapshot {
 			Quarantines:             r.master.quarantines.Load(),
 			ProbesSent:              r.master.probesSent.Load(),
 			QuarantineRestores:      r.master.probations.Load(),
+			StreamRecords:           r.master.streamRecords.Load(),
+			StreamBytes:             r.master.streamBytes.Load(),
+			StreamDropped:           r.master.streamDropped.Load(),
+			StreamErrors:            r.master.streamErrors.Load(),
+			StreamApplied:           r.master.streamApplied.Load(),
+			StreamStale:             r.master.streamStale.Load(),
+			StreamLag:               r.master.streamLag.Load(),
+			LeaseRenewals:           r.master.leaseRenewals.Load(),
+			LeaseAcks:               r.master.leaseAcks.Load(),
+			LeaseLost:               r.master.leaseLost.Load(),
+			Failovers:               r.master.failovers.Load(),
 			BinRounds:               r.master.binRounds.Load(),
 			SketchMerges:            r.master.sketchMerges.Load(),
 			VoteMsgs:                r.master.voteMsgs.Load(),
@@ -267,6 +286,12 @@ func (s Snapshot) Report() string {
 	if m.Quarantines > 0 || m.ProbesSent > 0 {
 		fmt.Fprintf(&b, "quarantine: %d opened, %d restored, %d probes\n",
 			m.Quarantines, m.QuarantineRestores, m.ProbesSent)
+	}
+	if m.StreamRecords+m.StreamDropped > 0 || m.LeaseRenewals > 0 || m.Failovers > 0 {
+		fmt.Fprintf(&b, "standby: %d records streamed (%d bytes, %d dropped, %d send errors), replica applied %d / stale %d, lag %d; lease %d renewals / %d acks, %d lost; %d failover(s)\n",
+			m.StreamRecords, m.StreamBytes, m.StreamDropped, m.StreamErrors,
+			m.StreamApplied, m.StreamStale, m.StreamLag,
+			m.LeaseRenewals, m.LeaseAcks, m.LeaseLost, m.Failovers)
 	}
 	if m.BinRounds > 0 {
 		fmt.Fprintf(&b, "hist mode: %d bin round(s) merging %d sketches; %d vote msgs carrying %d candidates; %d histograms fetched\n",

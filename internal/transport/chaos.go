@@ -318,6 +318,7 @@ func (e *chaosEndpoint) Name() string           { return e.name }
 func (e *chaosEndpoint) Recv() (Envelope, bool) { return e.inner.Recv() }
 func (e *chaosEndpoint) Close() error           { return e.inner.Close() }
 func (e *chaosEndpoint) Stats() Stats           { return e.inner.Stats() }
+func (e *chaosEndpoint) Unwrap() Endpoint       { return e.inner }
 
 // reorderFlush bounds how long a reordered message waits for the link's next
 // message before being released anyway (so a reorder on a link that then

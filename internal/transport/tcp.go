@@ -68,6 +68,22 @@ func (e *TCPEndpoint) AddPeer(name, addr string) {
 	e.connMu.Unlock()
 }
 
+// RepointPeer re-homes a peer name to a new address and drops any cached
+// connection to the old one, so the next Send dials fresh. Workers use it
+// when a promoted standby master announces its address in the rejoin
+// handshake.
+func (e *TCPEndpoint) RepointPeer(name, addr string) {
+	e.connMu.Lock()
+	if tc, ok := e.conns[name]; ok {
+		tc.mu.Lock()
+		tc.c.Close()
+		tc.mu.Unlock()
+		delete(e.conns, name)
+	}
+	e.peers[name] = addr
+	e.connMu.Unlock()
+}
+
 // Name implements Endpoint.
 func (e *TCPEndpoint) Name() string { return e.name }
 
