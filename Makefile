@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race recovery straggler hist failover cover bench experiments ablations examples fmt vet lint clean
+.PHONY: all build test race recovery straggler hist failover serve cover bench experiments ablations examples fmt vet lint clean
 
 all: build test
 
@@ -48,6 +48,13 @@ failover:
 	$(GO) test -race ./internal/checkpoint/ -run 'TestStream|TestReplica|TestMultiSink'
 	$(GO) test -race ./internal/cluster/ -run 'TestLease|TestStandby|TestNoStandbyNoStreamTraffic'
 	$(GO) test -race ./internal/chaostest/ -run TestStandbyFailover
+
+# Serving suite: compiled-vs-interpreter equivalence properties and
+# zero-alloc guards, registry hot-swap storm, and the /v1 handler tests,
+# all under the race detector, plus the legacy-vs-compiled serving A/B.
+serve:
+	$(GO) test -race ./internal/infer/ ./internal/registry/ ./internal/serve/
+	$(GO) run ./cmd/benchtab -quick -serve-json BENCH_serve.json
 
 cover:
 	$(GO) test -cover ./internal/...

@@ -677,6 +677,7 @@ func main() {
 		hedgeJSON = flag.String("hedge-json", "", "run the hedging off/on A/B under one degraded worker and write it to this file")
 		histJSON  = flag.String("hist-json", "", "run the exact-vs-hist split mode A/B and write it to this file")
 		failJSON  = flag.String("failover-json", "", "run the hot-standby on/off overhead bench and write it to this file")
+		serveJSON = flag.String("serve-json", "", "run the legacy-vs-compiled serving A/B and write it to this file")
 	)
 	flag.Parse()
 
@@ -700,7 +701,10 @@ func main() {
 	if *failJSON != "" {
 		writeFailoverBench(*failJSON, *quick)
 	}
-	if (*obsJSON != "" || *ckptJSON != "" || *hedgeJSON != "" || *histJSON != "" || *failJSON != "") && *table == "" && !*ablations && *jsonPath == "" {
+	if *serveJSON != "" {
+		writeServeBench(*serveJSON, *quick)
+	}
+	if (*obsJSON != "" || *ckptJSON != "" || *hedgeJSON != "" || *histJSON != "" || *failJSON != "" || *serveJSON != "") && *table == "" && !*ablations && *jsonPath == "" {
 		return
 	}
 

@@ -1,0 +1,256 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+
+	"treeserver/internal/cluster"
+	"treeserver/internal/core"
+	"treeserver/internal/forest"
+	"treeserver/internal/infer"
+	"treeserver/internal/model"
+	"treeserver/internal/synth"
+)
+
+// serveBenchResult is one arm × batch-size (or depth) cell of the serving
+// A/B. RowsPerSecPerCore is single-goroutine throughput, so per-core equals
+// absolute; p50/p99 come from sorted per-call wall times over a fixed-length
+// measurement loop, allocs/op from testing.Benchmark.
+type serveBenchResult struct {
+	Arm            string  `json:"arm"` // "legacy" or "compiled"
+	Batch          int     `json:"batch"`
+	MaxDepth       int     `json:"max_depth,omitempty"` // 0 = full trees
+	NsPerOp        float64 `json:"ns_per_op"`
+	RowsPerSecCore float64 `json:"rows_per_sec_per_core"`
+	P50Ns          int64   `json:"p50_ns"`
+	P99Ns          int64   `json:"p99_ns"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+}
+
+// serveBenchOutput is the schema of the -serve-json file.
+type serveBenchOutput struct {
+	GeneratedAt string             `json:"generated_at"`
+	GoVersion   string             `json:"go_version"`
+	Quick       bool               `json:"quick"`
+	Trees       int                `json:"trees"`
+	MaxTreeDep  int                `json:"max_tree_depth"`
+	Batches     []serveBenchResult `json:"batches"`
+	DepthSweep  []serveBenchResult `json:"depth_sweep"`
+	// SpeedupAtBatch64 is compiled over legacy rows/sec at batch 64 — the
+	// acceptance headline.
+	SpeedupAtBatch64 float64 `json:"speedup_at_batch_64"`
+}
+
+// serveBenchArm measures one request-shaped workload end to end: parse the
+// JSON body, score every row, encode the response. It reports mean ns/op,
+// percentiles over `calls` timed invocations, and allocs/op.
+func serveBenchArm(body []byte, work func([]byte)) (float64, int64, int64, int64) {
+	work(body) // warm up pools and scratch
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			work(body)
+		}
+	})
+	nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+	calls := 400
+	lat := make([]int64, calls)
+	for i := range lat {
+		t0 := time.Now()
+		work(body)
+		lat[i] = time.Since(t0).Nanoseconds()
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return nsPerOp, lat[calls/2], lat[calls*99/100], r.AllocsPerOp()
+}
+
+// runServeBench trains a forest once, then A/Bs the legacy interpreter path
+// (encoding/json → Schema.ParseRows → File.Predict → encoding/json) against
+// the compiled path (infer.DecodeRequest → Model.Predict → pooled append
+// encode) on identical request bodies at several batch sizes, plus a
+// MaxDepth truncation sweep on the compiled arm.
+func runServeBench(quick bool) serveBenchOutput {
+	trainRows, trees := 20000, 16
+	if quick {
+		trainRows, trees = 5000, 8
+	}
+	train := synth.GenerateTrain(synth.Spec{
+		Name: "servebench", Rows: trainRows, NumNumeric: 6, NumCategorical: 2, CatLevels: 8,
+		NumClasses: 3, ConceptDepth: 6, LabelNoise: 0.05, Seed: 61,
+	})
+	f, err := forest.Train(&forest.Local{Table: train}, cluster.SchemaOf(train),
+		forest.Config{Trees: trees, Params: core.Defaults(), ColFrac: -1, Bootstrap: true, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.SaveForest(&buf, "servebench", f, model.SchemaOf(train)); err != nil {
+		log.Fatal(err)
+	}
+	mf, err := model.Load(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cm, err := infer.Compile(mf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Request bodies mirror what a /predict caller sends: string-valued
+	// cells, every feature present, drawn from the training distribution.
+	rng := rand.New(rand.NewSource(7))
+	names := mf.Schema.FeatureNames()
+	makeBody := func(batch int) []byte {
+		var b bytes.Buffer
+		b.WriteString(`{"rows":[`)
+		for r := 0; r < batch; r++ {
+			if r > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteByte('{')
+			for i, name := range names {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.Quote(name))
+				b.WriteByte(':')
+				if i < 6 {
+					b.WriteString(strconv.Quote(strconv.FormatFloat(rng.NormFloat64()*2, 'g', 6, 64)))
+				} else {
+					b.WriteString(strconv.Quote("L" + strconv.Itoa(rng.Intn(8))))
+				}
+			}
+			b.WriteByte('}')
+		}
+		b.WriteString(`]}`)
+		return b.Bytes()
+	}
+
+	legacyWork := func(body []byte) {
+		var req struct {
+			Rows []map[string]string `json:"rows"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			log.Fatal(err)
+		}
+		tbl, err := mf.Schema.ParseRows(req.Rows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		preds := mf.Predict(tbl)
+		if _, err := json.Marshal(struct {
+			Predictions []model.Prediction `json:"predictions"`
+		}{preds}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var out bytes.Buffer
+	compiledWorkAt := func(depth int) func([]byte) {
+		return func(body []byte) {
+			block := cm.GetBlock()
+			res := cm.GetResult()
+			reqDepth, err := cm.DecodeRequest(block, body, 1<<20)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if reqDepth == 0 {
+				reqDepth = depth
+			}
+			cm.Predict(block, res, reqDepth)
+			out.Reset()
+			b := out.AvailableBuffer()
+			b = append(b, `{"predictions":[`...)
+			classes := cm.Classes()
+			for i := 0; i < res.Len(); i++ {
+				if i > 0 {
+					b = append(b, ',')
+				}
+				b = append(b, `{"class":`...)
+				b = strconv.AppendQuote(b, classes[res.Class(i)])
+				b = append(b, `,"pmf":[`...)
+				for j, p := range res.PMF(i) {
+					if j > 0 {
+						b = append(b, ',')
+					}
+					b = strconv.AppendFloat(b, p, 'g', -1, 64)
+				}
+				b = append(b, ']', '}')
+			}
+			b = append(b, ']', '}')
+			out.Write(b)
+			cm.PutResult(res)
+			cm.PutBlock(block)
+		}
+	}
+	compiledWork := compiledWorkAt(0)
+
+	output := serveBenchOutput{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Quick:       quick,
+		Trees:       trees,
+		MaxTreeDep:  cm.MaxTreeDepth(),
+	}
+	for _, batch := range []int{1, 64, 1024} {
+		body := makeBody(batch)
+		for _, arm := range []struct {
+			name string
+			work func([]byte)
+		}{{"legacy", legacyWork}, {"compiled", compiledWork}} {
+			ns, p50, p99, allocs := serveBenchArm(body, arm.work)
+			res := serveBenchResult{
+				Arm: arm.name, Batch: batch, NsPerOp: ns,
+				RowsPerSecCore: float64(batch) / (ns / 1e9),
+				P50Ns:          p50, P99Ns: p99, AllocsPerOp: allocs,
+			}
+			output.Batches = append(output.Batches, res)
+			fmt.Printf("serve %-8s batch %-5d %12.0f ns/op  %12.0f rows/s/core  p50 %8dns p99 %8dns  %5d allocs/op\n",
+				arm.name, batch, ns, res.RowsPerSecCore, p50, p99, allocs)
+		}
+	}
+	for i := 0; i+1 < len(output.Batches); i += 2 {
+		if output.Batches[i].Batch == 64 {
+			output.SpeedupAtBatch64 = output.Batches[i+1].RowsPerSecCore / output.Batches[i].RowsPerSecCore
+		}
+	}
+	fmt.Printf("serve speedup at batch 64: %.2fx\n", output.SpeedupAtBatch64)
+
+	// MaxDepth sweep: the Appendix-D truncation knob on the compiled arm.
+	// Depths step from 2 up to the deepest trained tree.
+	body := makeBody(256)
+	for depth := 2; depth <= cm.MaxTreeDepth(); depth += 2 {
+		ns, p50, p99, allocs := serveBenchArm(body, compiledWorkAt(depth))
+		res := serveBenchResult{
+			Arm: "compiled", Batch: 256, MaxDepth: depth, NsPerOp: ns,
+			RowsPerSecCore: 256 / (ns / 1e9),
+			P50Ns:          p50, P99Ns: p99, AllocsPerOp: allocs,
+		}
+		output.DepthSweep = append(output.DepthSweep, res)
+		fmt.Printf("serve compiled depth %-3d   %12.0f ns/op  %12.0f rows/s/core  p50 %8dns p99 %8dns\n",
+			depth, ns, res.RowsPerSecCore, p50, p99)
+	}
+	return output
+}
+
+func writeServeBench(path string, quick bool) {
+	out := runServeBench(quick)
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		log.Fatalf("marshal serve bench json: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatalf("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

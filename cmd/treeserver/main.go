@@ -65,6 +65,7 @@ func main() {
 		compers    = flag.Int("compers", 10, "computing threads per worker (worker/local role)")
 		workersN   = flag.Int("cluster-workers", 4, "workers for -role local")
 		out        = flag.String("out", "", "write the trained model to this file (tsserve-compatible)")
+		modelName  = flag.String("model-name", "", "registry name stored in the model file (default: the -job name)")
 		report     = flag.Bool("report", false, "print the end-of-train telemetry report")
 		debugAddr  = flag.String("debug", "", "serve /debug/obs, /debug/vars and /debug/pprof on this address")
 		ckptDir    = flag.String("checkpoint-dir", "", "enable durable master checkpointing into this directory (master/local role)")
@@ -83,6 +84,7 @@ func main() {
 		promoteAddr = flag.String("promote-listen", "", "host:port the promoted master listens on after failover; must be reachable by workers (standby role)")
 	)
 	flag.Parse()
+	savedModelName = *modelName
 	if *resume && *ckptDir == "" {
 		log.Fatal("-resume requires -checkpoint-dir")
 	}
@@ -203,12 +205,20 @@ func jobSpecs(tbl *dataset.Table, job string, trees, dmax, minLeaf int) []cluste
 	}
 }
 
+// savedModelName is the registry name written into model files; set from
+// -model-name, falling back to the job name.
+var savedModelName string
+
 func writeModel(path, job string, trained []*core.Tree, tbl *dataset.Table) {
 	if path == "" {
 		return
 	}
+	name := savedModelName
+	if name == "" {
+		name = job
+	}
 	f := &forest.Forest{Trees: trained, Task: tbl.Task(), NumClasses: tbl.NumClasses()}
-	if err := model.SaveForestFile(path, job, f, model.SchemaOf(tbl)); err != nil {
+	if err := model.SaveForestFile(path, name, f, model.SchemaOf(tbl)); err != nil {
 		log.Fatalf("writing model: %v", err)
 	}
 	fmt.Printf("model with %d tree(s) written to %s (serve it with tsserve)\n", len(trained), path)

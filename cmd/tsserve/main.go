@@ -1,9 +1,17 @@
-// Command tsserve serves a trained TreeServer model file over HTTP.
+// Command tsserve serves trained TreeServer models over HTTP.
+//
+// Single-model (legacy) mode serves one file under the /v1 API and the
+// deprecated /predict and /schema aliases:
 //
 //	tsserve -model forest.tsmodel -listen :8080
 //
-//	curl localhost:8080/schema
-//	curl -X POST localhost:8080/predict \
+// Registry mode loads every *.tsmodel in a directory, activates the newest
+// version of each, and optionally watches the directory for new versions:
+//
+//	tsserve -model-dir models/ -default-model forest -watch 2s -listen :8080
+//
+//	curl localhost:8080/v1/models
+//	curl -X POST localhost:8080/v1/models/forest/predict \
 //	     -d '{"rows":[{"Age":"37","Income":"5200","Education":"Bachelor","HomeOwner":"No"}]}'
 package main
 
@@ -15,6 +23,7 @@ import (
 
 	"treeserver/internal/model"
 	"treeserver/internal/obs"
+	"treeserver/internal/registry"
 	"treeserver/internal/serve"
 )
 
@@ -22,32 +31,78 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tsserve: ")
 	var (
-		modelPath = flag.String("model", "", "model file written by treeserver/tstrain")
-		listen    = flag.String("listen", ":8080", "HTTP listen address")
-		debugAddr = flag.String("debug", "", "serve /debug/obs, /debug/vars and /debug/pprof on this address")
+		modelPath    = flag.String("model", "", "single model file written by treeserver/tstrain")
+		modelDir     = flag.String("model-dir", "", "directory of *.tsmodel files to load into the registry")
+		defaultModel = flag.String("default-model", "", "model served by the legacy /predict alias (default: the only loaded model)")
+		maxDepth     = flag.Int("max-depth", 0, "truncate forest traversal at this depth (0 = full trees)")
+		watch        = flag.Duration("watch", 0, "poll -model-dir at this interval and hot-swap changed files (0 = off)")
+		listen       = flag.String("listen", ":8080", "HTTP listen address")
+		debugAddr    = flag.String("debug", "", "serve /debug/obs, /debug/vars and /debug/pprof on this address")
 	)
 	flag.Parse()
-	if *modelPath == "" {
+	if (*modelPath == "") == (*modelDir == "") {
 		flag.Usage()
-		log.Fatal("-model is required")
+		log.Fatal("exactly one of -model or -model-dir is required")
 	}
+
+	obsReg := obs.NewRegistry()
 	if *debugAddr != "" {
-		reg := obs.NewRegistry()
 		go func() {
-			if err := http.ListenAndServe(*debugAddr, reg.Handler()); err != nil {
+			if err := http.ListenAndServe(*debugAddr, obsReg.Handler()); err != nil {
 				log.Printf("debug listener: %v", err)
 			}
 		}()
 	}
-	m, err := model.LoadFile(*modelPath)
-	if err != nil {
-		log.Fatal(err)
+
+	opts := []serve.Option{serve.WithObs(obsReg)}
+	if *maxDepth > 0 {
+		opts = append(opts, serve.WithMaxDepth(*maxDepth))
 	}
-	task := "classification"
-	if m.Schema.Regression() {
-		task = "regression"
+	if *defaultModel != "" {
+		opts = append(opts, serve.WithDefaultModel(*defaultModel))
 	}
-	fmt.Printf("serving %s model %q (%s, %d features) on %s\n",
-		m.Kind, m.Name, task, len(m.Schema.FeatureNames()), *listen)
-	log.Fatal(serve.New(m).ListenAndServe(*listen))
+
+	var srv *serve.Server
+	if *modelPath != "" {
+		m, err := model.LoadFile(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err = serve.NewSingle(m, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		task := "classification"
+		if m.Schema.Regression() {
+			task = "regression"
+		}
+		fmt.Printf("serving %s model %q (%s, %d features) on %s\n",
+			m.Kind, m.Name, task, len(m.Schema.FeatureNames()), *listen)
+	} else {
+		reg := registry.New()
+		names, err := reg.LoadDir(*modelDir)
+		if err != nil {
+			log.Printf("load warnings: %v", err)
+		}
+		if len(names) == 0 {
+			log.Fatalf("no loadable models in %s", *modelDir)
+		}
+		for _, name := range names {
+			if _, err := reg.Activate(name, 0); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *watch > 0 {
+			go reg.Watch(*modelDir, *watch, nil, func(msg string) {
+				obsReg.Serve().Swap()
+				log.Print(msg)
+			})
+		}
+		srv = serve.New(reg, opts...)
+		fmt.Printf("serving %d model(s) %v from %s on %s\n", len(names), names, *modelDir, *listen)
+	}
+	if *watch > 0 && *modelPath != "" {
+		log.Printf("-watch ignored in single-model mode")
+	}
+	log.Fatal(srv.ListenAndServe(*listen))
 }

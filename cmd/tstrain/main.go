@@ -39,6 +39,7 @@ func main() {
 		compers   = flag.Int("compers", 4, "compers per worker")
 		evalFrac  = flag.Float64("eval", 0, "hold out this fraction of rows for evaluation")
 		out       = flag.String("out", "", "write the model here")
+		modelName = flag.String("model-name", "", "registry name stored in the model file (default: the -job name)")
 		seed      = flag.Int64("seed", 1, "randomness seed")
 		forceCat  = flag.String("force-categorical", "", "comma-separated columns parsed as categorical")
 		report    = flag.Bool("report", false, "print the end-of-train telemetry report")
@@ -180,7 +181,11 @@ func main() {
 		}
 	}
 	if *out != "" {
-		if err := model.SaveForestFile(*out, *job, fst, model.SchemaOf(train)); err != nil {
+		name := *modelName
+		if name == "" {
+			name = *job
+		}
+		if err := model.SaveForestFile(*out, name, fst, model.SchemaOf(train)); err != nil {
 			log.Fatalf("writing model: %v", err)
 		}
 		fmt.Printf("model written to %s (serve it with tsserve)\n", *out)

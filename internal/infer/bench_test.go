@@ -1,0 +1,92 @@
+package infer
+
+import (
+	"bytes"
+	"testing"
+
+	"treeserver/internal/cluster"
+	"treeserver/internal/core"
+	"treeserver/internal/forest"
+	"treeserver/internal/model"
+	"treeserver/internal/synth"
+)
+
+func benchModel(b *testing.B) (*model.File, *Model, []map[string]string) {
+	b.Helper()
+	spec := synth.Spec{Name: "bench", Rows: 4000, NumNumeric: 6, NumCategorical: 2,
+		CatLevels: 8, NumClasses: 3, MissingRate: 0.05, ConceptDepth: 5, Seed: 91}
+	train, test := synth.Generate(spec, 0.25)
+	f, err := forest.Train(&forest.Local{Table: train}, cluster.SchemaOf(train),
+		forest.Config{Trees: 8, Params: core.Defaults(), ColFrac: -1, Bootstrap: true, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.SaveForest(&buf, "bench", f, model.SchemaOf(train)); err != nil {
+		b.Fatal(err)
+	}
+	mf, err := model.Load(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := Compile(mf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := make([]map[string]string, 256)
+	for r := range rows {
+		rows[r] = rowToMap(test, r)
+	}
+	return mf, m, rows
+}
+
+// BenchmarkInterpreterPredict is the legacy path: schema scan parse + pointer
+// tree walk, per batch of 256 rows.
+func BenchmarkInterpreterPredict(b *testing.B) {
+	mf, _, rows := benchModel(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl, err := mf.Schema.ParseRows(rows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = mf.Predict(tbl)
+	}
+}
+
+// BenchmarkCompiledPredict is the compiled path: dict parse into a pooled
+// block + SoA traversal, per batch of 256 rows.
+func BenchmarkCompiledPredict(b *testing.B) {
+	_, m, rows := benchModel(b)
+	block := m.GetBlock()
+	res := m.GetResult()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		block.Reset()
+		for _, row := range rows {
+			if err := m.AppendRow(block, row); err != nil {
+				b.Fatal(err)
+			}
+		}
+		m.Predict(block, res, 0)
+	}
+}
+
+// BenchmarkCompiledDepth4 shows the truncation dial's effect on traversal.
+func BenchmarkCompiledDepth4(b *testing.B) {
+	_, m, rows := benchModel(b)
+	block := m.GetBlock()
+	for _, row := range rows {
+		if err := m.AppendRow(block, row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	res := m.GetResult()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(block, res, 4)
+	}
+}

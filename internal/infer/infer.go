@@ -1,0 +1,779 @@
+// Package infer is the compiled serving engine: it flattens trained models
+// into cache-friendly structure-of-arrays node tables and evaluates them over
+// row blocks with a zero-allocation steady state.
+//
+// The interpreter in core/forest walks pointer-linked Node values — fine for
+// training-time evaluation, but a serving hot path pays for the pointer
+// chasing, the per-request schema scans and the per-call allocations. Compile
+// applies the cache-conscious layout playbook of "Breadth-first, Depth-next
+// Training of Random Forests" (1910.06853) to prediction instead:
+//
+//   - every tree becomes parallel flat arrays (feature slot, threshold,
+//     left/right int32 offsets, per-node leaf payloads) laid out in
+//     breadth-first order, so traversal is array indexing, not chasing;
+//   - categorical seen/left sets become packed bitsets in one shared word
+//     pool per tree;
+//   - categorical dictionaries (level string → code) are built once at
+//     compile time, so request parsing is a map lookup, not a linear scan of
+//     the training levels;
+//   - row blocks and result buffers are pooled per model, so the parse →
+//     predict → encode path allocates nothing after warm-up.
+//
+// Because every node carries its training-time prediction (Appendix D), a
+// compiled model can stop traversal at any depth: Predict's maxDepth is the
+// latency/accuracy dial the paper's depth-truncated evaluation guarantees,
+// with no retraining. Predictions are bit-identical to the interpreter
+// (forest.Forest.Predict* / boost.Model.Predict*) — the equivalence property
+// tests in this package hold the engine to that.
+package infer
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"treeserver/internal/boost"
+	"treeserver/internal/core"
+	"treeserver/internal/dataset"
+	"treeserver/internal/model"
+)
+
+// Categorical cell sentinels. Both stop forest traversal at the current node
+// (Appendix D routes missing and unseen values the same way), but boost
+// models route missing values by the learned default direction while an
+// unseen level keeps its -1 code as a numeric value, exactly like the
+// interpreter's feature view — so the two cases stay distinguishable.
+const (
+	// unseenCode marks a categorical value absent from the training levels.
+	unseenCode int32 = -1
+	// missingCode marks a missing categorical cell.
+	missingCode int32 = -2
+)
+
+// Node kinds in the flat tables.
+const (
+	nodeLeaf uint8 = iota
+	nodeNumeric
+	nodeCategorical
+)
+
+// soaTree is one tree flattened into parallel arrays. Nodes are indexed by
+// int32 offsets with the root at 0, laid out in breadth-first order so the
+// hot top-of-tree levels share cache lines.
+type soaTree struct {
+	kind   []uint8
+	depth  []int32
+	slot   []int32   // row-block slot of the split feature
+	thresh []float64 // numeric split value
+	left   []int32
+	right  []int32
+
+	// Categorical membership sets, packed two per node into words: the seen
+	// set at setOff (codes observed in D_x during training) followed by the
+	// left set (codes routed left), each setLen words wide.
+	setOff []int32
+	setLen []int32
+	words  []uint64
+
+	// Per-node payloads: traversal can stop anywhere (leaf, missing value,
+	// unseen level, depth truncation), so every node carries its prediction.
+	class []int32   // classification: argmax class
+	pmf   []float64 // classification: node-major PMFs, numClasses stride
+	mean  []float64 // regression mean / boost leaf weight
+
+	missLeft []bool // boost: learned default direction for missing values
+}
+
+// Model is an immutable compiled inference artifact. All methods are safe
+// for concurrent use; mutability lives in the per-call RowBlock/Result pairs.
+type Model struct {
+	schema     model.Schema
+	kind       string // "forest" or "boost"
+	regression bool
+	numClasses int
+	classes    []string
+	dmax       int // deepest node depth across member trees
+
+	// Feature plumbing: schema column index → row-block slot.
+	colSlot  []int32 // slot within nums (numeric) or cats (categorical); -1 for the target
+	colCat   []bool
+	numSlots int
+	catSlots int
+	dicts    []map[string]int32 // categorical columns: level → code
+	byName   map[string]int     // feature name → schema column index
+
+	trees []soaTree
+
+	// Boost-only shape: base margin and trees-per-round group count.
+	boostBase    float64
+	boostGroups  int
+	boostClasses int // boost.Model.NumClasses: 0 regression, 1 binary, >=3 softmax
+
+	blockPool sync.Pool
+	resPool   sync.Pool
+}
+
+// Kind returns "forest" or "boost".
+func (m *Model) Kind() string { return m.kind }
+
+// Regression reports whether the model predicts a numeric target.
+func (m *Model) Regression() bool { return m.regression }
+
+// NumClasses returns the class count (0 for regression).
+func (m *Model) NumClasses() int {
+	if m.regression {
+		return 0
+	}
+	return m.numClasses
+}
+
+// Classes returns the class label names (nil for regression). Shared; do not
+// mutate.
+func (m *Model) Classes() []string { return m.classes }
+
+// NumTrees returns the flattened tree count (boost: rounds × groups).
+func (m *Model) NumTrees() int { return len(m.trees) }
+
+// MaxTreeDepth returns the deepest node depth across member trees — the
+// upper end of the MaxDepth truncation dial.
+func (m *Model) MaxTreeDepth() int { return m.dmax }
+
+// Schema returns the training schema the model parses requests against.
+func (m *Model) Schema() model.Schema { return m.schema }
+
+// DepthTruncation reports whether Predict honours maxDepth. Forests carry
+// Appendix D payloads on every node; boost trees predict only at leaves, so
+// truncating them has nothing to return.
+func (m *Model) DepthTruncation() bool { return m.kind == "forest" }
+
+// Compile flattens a loaded model file into a compiled engine.
+func Compile(f *model.File) (*Model, error) {
+	if f == nil {
+		return nil, fmt.Errorf("infer: nil model file")
+	}
+	s := f.Schema
+	if s.NumCols() == 0 {
+		return nil, fmt.Errorf("infer: model %q has an empty schema", f.Name)
+	}
+	m := &Model{
+		schema:     s,
+		regression: s.Regression(),
+		colSlot:    make([]int32, s.NumCols()),
+		colCat:     make([]bool, s.NumCols()),
+		dicts:      make([]map[string]int32, s.NumCols()),
+		byName:     make(map[string]int, s.NumCols()),
+	}
+	if !m.regression {
+		m.classes = s.TargetLevels()
+		m.numClasses = len(m.classes)
+	}
+	for ci := range s.Names {
+		m.colSlot[ci] = -1
+		if ci == s.Target {
+			continue
+		}
+		m.byName[s.Names[ci]] = ci
+		if s.Kinds[ci] == dataset.Categorical {
+			m.colCat[ci] = true
+			m.colSlot[ci] = int32(m.catSlots)
+			m.catSlots++
+			dict := make(map[string]int32, len(s.Levels[ci]))
+			for code, level := range s.Levels[ci] {
+				dict[level] = int32(code)
+			}
+			m.dicts[ci] = dict
+		} else {
+			m.colSlot[ci] = int32(m.numSlots)
+			m.numSlots++
+		}
+	}
+	switch {
+	case f.Forest != nil:
+		m.kind = "forest"
+		if len(f.Forest.Trees) == 0 {
+			return nil, fmt.Errorf("infer: model %q has no trees", f.Name)
+		}
+		if !m.regression && f.Forest.NumClasses != m.numClasses {
+			return nil, fmt.Errorf("infer: model %q: forest has %d classes, schema %d",
+				f.Name, f.Forest.NumClasses, m.numClasses)
+		}
+		m.trees = make([]soaTree, len(f.Forest.Trees))
+		for i, t := range f.Forest.Trees {
+			if err := m.compileTree(&m.trees[i], t); err != nil {
+				return nil, fmt.Errorf("infer: model %q tree %d: %w", f.Name, i, err)
+			}
+		}
+	case f.Boost != nil:
+		m.kind = "boost"
+		b := f.Boost
+		if len(b.Rounds) == 0 || len(b.Rounds[0]) == 0 {
+			return nil, fmt.Errorf("infer: model %q has no boosting rounds", f.Name)
+		}
+		m.boostBase = b.Base
+		m.boostGroups = len(b.Rounds[0])
+		m.boostClasses = b.NumClasses
+		for r, trees := range b.Rounds {
+			if len(trees) != m.boostGroups {
+				return nil, fmt.Errorf("infer: model %q round %d has %d trees, want %d",
+					f.Name, r, len(trees), m.boostGroups)
+			}
+			for k, t := range trees {
+				var st soaTree
+				if err := m.compileGTree(&st, t); err != nil {
+					return nil, fmt.Errorf("infer: model %q round %d tree %d: %w", f.Name, r, k, err)
+				}
+				m.trees = append(m.trees, st)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("infer: model %q holds neither forest nor boost payload", f.Name)
+	}
+	m.blockPool.New = func() any {
+		return &RowBlock{numStride: m.numSlots, catStride: m.catSlots}
+	}
+	m.resPool.New = func() any { return &Result{} }
+	return m, nil
+}
+
+// compileTree flattens one core.Tree breadth-first into dst.
+func (m *Model) compileTree(dst *soaTree, t *core.Tree) error {
+	if t == nil || t.Root == nil {
+		return fmt.Errorf("empty tree")
+	}
+	nc := m.numClasses
+	// Breadth-first queue; indices are assigned in dequeue order, so a
+	// node's children always land after it and the top levels stay adjacent.
+	queue := []*core.Node{t.Root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		idx := len(dst.kind)
+		dst.kind = append(dst.kind, nodeLeaf)
+		dst.depth = append(dst.depth, int32(n.Depth))
+		dst.slot = append(dst.slot, 0)
+		dst.thresh = append(dst.thresh, 0)
+		dst.left = append(dst.left, 0)
+		dst.right = append(dst.right, 0)
+		dst.setOff = append(dst.setOff, 0)
+		dst.setLen = append(dst.setLen, 0)
+		dst.class = append(dst.class, n.Class)
+		dst.mean = append(dst.mean, n.Mean)
+		if nc > 0 {
+			pmf := make([]float64, nc)
+			copy(pmf, n.PMF)
+			dst.pmf = append(dst.pmf, pmf...)
+		}
+		if n.IsLeaf() {
+			continue
+		}
+		col := n.Cond.Col
+		if col < 0 || col >= len(m.colSlot) || m.colSlot[col] < 0 {
+			return fmt.Errorf("node %d splits on column %d outside the feature schema", n.ID, col)
+		}
+		dst.slot[idx] = m.colSlot[col]
+		if n.Cond.Kind == dataset.Numeric {
+			if m.colCat[col] {
+				return fmt.Errorf("node %d: numeric split on categorical column %d", n.ID, col)
+			}
+			dst.kind[idx] = nodeNumeric
+			dst.thresh[idx] = n.Cond.Threshold
+		} else {
+			if !m.colCat[col] {
+				return fmt.Errorf("node %d: categorical split on numeric column %d", n.ID, col)
+			}
+			dst.kind[idx] = nodeCategorical
+			nw := int32((len(m.schema.Levels[col]) + 63) / 64)
+			if nw == 0 {
+				nw = 1
+			}
+			dst.setOff[idx] = int32(len(dst.words))
+			dst.setLen[idx] = nw
+			dst.words = append(dst.words, make([]uint64, 2*nw)...)
+			seen := dst.words[dst.setOff[idx] : dst.setOff[idx]+nw]
+			left := dst.words[dst.setOff[idx]+nw : dst.setOff[idx]+2*nw]
+			for _, code := range n.SeenCodes {
+				if code < 0 || int(code) >= int(nw)*64 {
+					return fmt.Errorf("node %d: seen code %d outside column %d's %d levels",
+						n.ID, code, col, len(m.schema.Levels[col]))
+				}
+				seen[code>>6] |= 1 << uint(code&63)
+			}
+			for _, code := range n.Cond.LeftSet {
+				if code < 0 || int(code) >= int(nw)*64 {
+					return fmt.Errorf("node %d: left code %d outside column %d's %d levels",
+						n.ID, code, col, len(m.schema.Levels[col]))
+				}
+				left[code>>6] |= 1 << uint(code&63)
+			}
+		}
+		// Children are appended to the queue in (left, right) order; their
+		// final indices are the current queue tail positions.
+		dst.left[idx] = int32(len(dst.kind) + len(queue))
+		queue = append(queue, n.Left)
+		dst.right[idx] = int32(len(dst.kind) + len(queue))
+		queue = append(queue, n.Right)
+		if n.Depth >= m.dmax {
+			m.dmax = n.Depth + 1
+		}
+	}
+	return nil
+}
+
+// compileGTree flattens one boosted regression tree. Gradient trees always
+// compare the feature as float64 (categorical codes numeric, like the
+// interpreter's feature view) and route missing values by the learned
+// default direction.
+func (m *Model) compileGTree(dst *soaTree, t *boost.GTree) error {
+	if t == nil || t.Root == nil {
+		return fmt.Errorf("empty tree")
+	}
+	type item struct {
+		n     *boost.GNode
+		depth int32
+	}
+	queue := []item{{t.Root, 0}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		n := it.n
+		idx := len(dst.kind)
+		dst.kind = append(dst.kind, nodeLeaf)
+		dst.depth = append(dst.depth, it.depth)
+		dst.slot = append(dst.slot, 0)
+		dst.thresh = append(dst.thresh, 0)
+		dst.left = append(dst.left, 0)
+		dst.right = append(dst.right, 0)
+		dst.mean = append(dst.mean, n.Weight)
+		dst.missLeft = append(dst.missLeft, n.MissingLeft)
+		if int(it.depth) >= m.dmax {
+			m.dmax = int(it.depth)
+		}
+		if n.Leaf {
+			continue
+		}
+		col := n.Feature
+		if col < 0 || col >= len(m.colSlot) || m.colSlot[col] < 0 {
+			return fmt.Errorf("node splits on column %d outside the feature schema", col)
+		}
+		dst.slot[idx] = m.colSlot[col]
+		dst.thresh[idx] = n.Threshold
+		if m.colCat[col] {
+			dst.kind[idx] = nodeCategorical
+		} else {
+			dst.kind[idx] = nodeNumeric
+		}
+		dst.left[idx] = int32(len(dst.kind) + len(queue))
+		queue = append(queue, item{n.Left, it.depth + 1})
+		dst.right[idx] = int32(len(dst.kind) + len(queue))
+		queue = append(queue, item{n.Right, it.depth + 1})
+	}
+	return nil
+}
+
+// route walks one row down a compiled forest tree, stopping at leaves, depth
+// truncation, missing values (numeric NaN or categorical missingCode) and
+// categorical codes unseen at the node during training — the Appendix D
+// semantics of core.Tree.route, over flat arrays.
+func (t *soaTree) route(nums []float64, cats []int32, numOff, catOff int, maxDepth int32) int32 {
+	n := int32(0)
+	for {
+		k := t.kind[n]
+		if k == nodeLeaf {
+			return n
+		}
+		if maxDepth > 0 && t.depth[n] >= maxDepth {
+			return n
+		}
+		if k == nodeNumeric {
+			v := nums[numOff+int(t.slot[n])]
+			if v != v { // NaN: missing stops traversal
+				return n
+			}
+			if v <= t.thresh[n] {
+				n = t.left[n]
+			} else {
+				n = t.right[n]
+			}
+			continue
+		}
+		c := cats[catOff+int(t.slot[n])]
+		w := c >> 6
+		if c < 0 || w >= t.setLen[n] {
+			return n // missing or unseen level
+		}
+		off := t.setOff[n]
+		bit := uint64(1) << uint(c&63)
+		if t.words[off+w]&bit == 0 {
+			return n // level not observed at this node during training
+		}
+		if t.words[off+t.setLen[n]+w]&bit != 0 {
+			n = t.left[n]
+		} else {
+			n = t.right[n]
+		}
+	}
+}
+
+// routeBoost walks one row down a compiled gradient tree: missing values
+// follow the learned default direction, every other value is compared as
+// float64 (unseen categorical levels keep their -1 code as a value, exactly
+// like boost's feature view).
+func (t *soaTree) routeBoost(nums []float64, cats []int32, numOff, catOff int) int32 {
+	n := int32(0)
+	for t.kind[n] != nodeLeaf {
+		var v float64
+		miss := false
+		if t.kind[n] == nodeNumeric {
+			v = nums[numOff+int(t.slot[n])]
+			miss = v != v
+		} else {
+			c := cats[catOff+int(t.slot[n])]
+			if c == missingCode {
+				miss = true
+			} else {
+				v = float64(c)
+			}
+		}
+		if miss {
+			if t.missLeft[n] {
+				n = t.left[n]
+			} else {
+				n = t.right[n]
+			}
+			continue
+		}
+		if v <= t.thresh[n] {
+			n = t.left[n]
+		} else {
+			n = t.right[n]
+		}
+	}
+	return n
+}
+
+// Predict scores every row of the block into res, truncating forest
+// traversal at maxDepth (0 = full depth; ignored for boost models, whose
+// internal nodes carry no predictions). The result holds, per row: the class
+// code and PMF (classification forests), the class code (boost
+// classification) or the value (regression). Zero allocations in steady
+// state once res has grown to the block size.
+func (m *Model) Predict(b *RowBlock, res *Result, maxDepth int) {
+	res.grow(b.n, m.numClasses, m.kind == "forest" && !m.regression)
+	if m.kind == "forest" {
+		if m.regression {
+			m.predictForestValue(b, res, int32(maxDepth))
+		} else {
+			m.predictForestClass(b, res, int32(maxDepth))
+		}
+		return
+	}
+	if m.regression {
+		m.predictBoostValue(b, res)
+	} else {
+		m.predictBoostClass(b, res)
+	}
+}
+
+// predictForestClass mirrors forest.Forest.PredictPMF followed by the strict
+// argmax of model.File.Predict: trees accumulate in member order, the sums
+// divide by the tree count, ties break to the lowest class index — so the
+// compiled PMFs and classes are bit-identical to the interpreter.
+func (m *Model) predictForestClass(b *RowBlock, res *Result, maxDepth int32) {
+	nc := m.numClasses
+	pmf := res.pmf[:b.n*nc]
+	for i := range pmf {
+		pmf[i] = 0
+	}
+	for ti := range m.trees {
+		t := &m.trees[ti]
+		for row := 0; row < b.n; row++ {
+			n := t.route(b.nums, b.cats, row*b.numStride, row*b.catStride, maxDepth)
+			src := t.pmf[int(n)*nc : int(n)*nc+nc]
+			dst := pmf[row*nc : row*nc+nc]
+			for i, p := range src {
+				dst[i] += p
+			}
+		}
+	}
+	numTrees := float64(len(m.trees))
+	for i := range pmf {
+		pmf[i] /= numTrees
+	}
+	for row := 0; row < b.n; row++ {
+		res.classes[row] = argMax(pmf[row*nc : row*nc+nc])
+	}
+}
+
+func (m *Model) predictForestValue(b *RowBlock, res *Result, maxDepth int32) {
+	vals := res.values[:b.n]
+	for i := range vals {
+		vals[i] = 0
+	}
+	for ti := range m.trees {
+		t := &m.trees[ti]
+		for row := 0; row < b.n; row++ {
+			n := t.route(b.nums, b.cats, row*b.numStride, row*b.catStride, maxDepth)
+			vals[row] += t.mean[n]
+		}
+	}
+	numTrees := float64(len(m.trees))
+	for i := range vals {
+		vals[i] /= numTrees
+	}
+}
+
+func (m *Model) predictBoostValue(b *RowBlock, res *Result) {
+	vals := res.values[:b.n]
+	for i := range vals {
+		vals[i] = m.boostBase
+	}
+	// Rounds were flattened in order with group 0 first; regression models
+	// only ever have one group.
+	for ti := 0; ti < len(m.trees); ti += m.boostGroups {
+		t := &m.trees[ti]
+		for row := 0; row < b.n; row++ {
+			n := t.routeBoost(b.nums, b.cats, row*b.numStride, row*b.catStride)
+			vals[row] += t.mean[n]
+		}
+	}
+}
+
+func (m *Model) predictBoostClass(b *RowBlock, res *Result) {
+	if m.boostClasses == 1 { // binary logistic: sign of the margin
+		vals := res.values[:b.n]
+		for i := range vals {
+			vals[i] = 0
+		}
+		for ti := 0; ti < len(m.trees); ti += m.boostGroups {
+			t := &m.trees[ti]
+			for row := 0; row < b.n; row++ {
+				n := t.routeBoost(b.nums, b.cats, row*b.numStride, row*b.catStride)
+				vals[row] += t.mean[n]
+			}
+		}
+		for row := 0; row < b.n; row++ {
+			if vals[row] > 0 {
+				res.classes[row] = 1
+			} else {
+				res.classes[row] = 0
+			}
+		}
+		return
+	}
+	// Softmax: scores accumulate in (round, group) order, argmax ties break
+	// to the lowest class — matching boost.Model.PredictClass.
+	nc := m.boostClasses
+	scores := res.pmf[:b.n*nc]
+	for i := range scores {
+		scores[i] = 0
+	}
+	for ti := range m.trees {
+		t := &m.trees[ti]
+		k := ti % m.boostGroups
+		for row := 0; row < b.n; row++ {
+			n := t.routeBoost(b.nums, b.cats, row*b.numStride, row*b.catStride)
+			scores[row*nc+k] += t.mean[n]
+		}
+	}
+	for row := 0; row < b.n; row++ {
+		res.classes[row] = argMax(scores[row*nc : row*nc+nc])
+	}
+}
+
+// argMax returns the index of the strictly largest value, lowest index on
+// ties — the tie-break every interpreter path uses.
+func argMax(v []float64) int32 {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return int32(best)
+}
+
+// --- row blocks ---
+
+// RowBlock is a reusable batch of parsed rows in the model's coordinate
+// system: numeric features as float64 (NaN = missing), categorical features
+// as int32 codes (missingCode / unseenCode sentinels). Obtain blocks from
+// Model.GetBlock and return them with PutBlock; a block is only valid with
+// the model that produced it.
+type RowBlock struct {
+	n         int
+	numStride int
+	catStride int
+	nums      []float64
+	cats      []int32
+	scratch   []byte // JSON string unescape buffer, reused across requests
+}
+
+// Len returns the number of rows currently in the block.
+func (b *RowBlock) Len() int { return b.n }
+
+// Reset empties the block, keeping capacity.
+func (b *RowBlock) Reset() { b.n = 0 }
+
+// GetBlock returns an empty pooled row block for this model.
+func (m *Model) GetBlock() *RowBlock {
+	b := m.blockPool.Get().(*RowBlock)
+	b.Reset()
+	return b
+}
+
+// PutBlock returns a block to the model's pool.
+func (m *Model) PutBlock(b *RowBlock) {
+	if b != nil {
+		m.blockPool.Put(b)
+	}
+}
+
+// GetResult returns a pooled result buffer for this model.
+func (m *Model) GetResult() *Result {
+	return m.resPool.Get().(*Result)
+}
+
+// PutResult returns a result buffer to the model's pool.
+func (m *Model) PutResult(r *Result) {
+	if r != nil {
+		m.resPool.Put(r)
+	}
+}
+
+// grow ensures one more row of capacity.
+func (b *RowBlock) grow() (numOff, catOff int) {
+	numOff = b.n * b.numStride
+	catOff = b.n * b.catStride
+	if need := numOff + b.numStride; need > len(b.nums) {
+		b.nums = append(b.nums, make([]float64, need-len(b.nums))...)
+	}
+	if need := catOff + b.catStride; need > len(b.cats) {
+		b.cats = append(b.cats, make([]int32, need-len(b.cats))...)
+	}
+	b.n++
+	return numOff, catOff
+}
+
+// AppendRow parses one feature map (name → raw string value) into the block
+// using the model's compiled dictionaries. The missing-value conventions
+// match model.Schema.ParseRows: absent keys, empty strings, "NA" and "?" are
+// missing; categorical values outside the training levels become unseen
+// codes. Unknown feature names are ignored, like the interpreter. The one
+// divergence: a numeric cell spelled "NaN" is treated as missing here (the
+// interpreter stores it as an unflagged NaN value that always routes right).
+func (m *Model) AppendRow(b *RowBlock, values map[string]string) error {
+	numOff, catOff := b.grow()
+	s := &m.schema
+	for ci, name := range s.Names {
+		slot := m.colSlot[ci]
+		if slot < 0 {
+			continue // target column: not a prediction input
+		}
+		raw, ok := values[name]
+		raw = strings.TrimSpace(raw)
+		missing := !ok || raw == "" || raw == "NA" || raw == "?"
+		if m.colCat[ci] {
+			code := missingCode
+			if !missing {
+				var found bool
+				if code, found = m.dicts[ci][raw]; !found {
+					code = unseenCode
+				}
+			}
+			b.cats[catOff+int(slot)] = code
+			continue
+		}
+		if missing {
+			b.nums[numOff+int(slot)] = math.NaN()
+			continue
+		}
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			b.n--
+			return fmt.Errorf("infer: row %d column %q: %q is not numeric", b.n, name, raw)
+		}
+		b.nums[numOff+int(slot)] = v
+	}
+	return nil
+}
+
+// AppendTableRow copies row r of a schema-shaped table (the column order the
+// model was trained on, e.g. one produced by model.Schema.ParseRows) into
+// the block. Missing cells follow the table's bitmap.
+func (m *Model) AppendTableRow(b *RowBlock, tbl *dataset.Table, r int) error {
+	if len(tbl.Cols) != len(m.colSlot) {
+		return fmt.Errorf("infer: table has %d columns, schema %d", len(tbl.Cols), len(m.colSlot))
+	}
+	numOff, catOff := b.grow()
+	for ci, col := range tbl.Cols {
+		slot := m.colSlot[ci]
+		if slot < 0 {
+			continue
+		}
+		if m.colCat[ci] {
+			if col.Kind != dataset.Categorical {
+				b.n--
+				return fmt.Errorf("infer: column %d is %v, schema wants categorical", ci, col.Kind)
+			}
+			if col.IsMissing(r) {
+				b.cats[catOff+int(slot)] = missingCode
+			} else {
+				b.cats[catOff+int(slot)] = col.Cats[r]
+			}
+			continue
+		}
+		if col.Kind != dataset.Numeric {
+			b.n--
+			return fmt.Errorf("infer: column %d is %v, schema wants numeric", ci, col.Kind)
+		}
+		if col.IsMissing(r) {
+			b.nums[numOff+int(slot)] = math.NaN()
+		} else {
+			b.nums[numOff+int(slot)] = col.Floats[r]
+		}
+	}
+	return nil
+}
+
+// --- results ---
+
+// Result holds Predict's per-row outputs. Buffers are reused across calls;
+// accessors index into them without copying.
+type Result struct {
+	n          int
+	numClasses int
+	classes    []int32
+	pmf        []float64
+	values     []float64
+}
+
+// grow sizes the buffers for n rows.
+func (r *Result) grow(n, numClasses int, wantPMF bool) {
+	r.n, r.numClasses = n, numClasses
+	if len(r.classes) < n {
+		r.classes = append(r.classes, make([]int32, n-len(r.classes))...)
+	}
+	if len(r.values) < n {
+		r.values = append(r.values, make([]float64, n-len(r.values))...)
+	}
+	if need := n * numClasses; (wantPMF || numClasses > 0) && len(r.pmf) < need {
+		r.pmf = append(r.pmf, make([]float64, need-len(r.pmf))...)
+	}
+}
+
+// Len returns the number of scored rows.
+func (r *Result) Len() int { return r.n }
+
+// Class returns row i's predicted class code (classification only).
+func (r *Result) Class(i int) int32 { return r.classes[i] }
+
+// PMF returns row i's class distribution (classification forests only). The
+// slice aliases the result buffer; read it before the next Predict.
+func (r *Result) PMF(i int) []float64 {
+	return r.pmf[i*r.numClasses : i*r.numClasses+r.numClasses]
+}
+
+// Value returns row i's regression prediction.
+func (r *Result) Value(i int) float64 { return r.values[i] }

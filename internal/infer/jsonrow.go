@@ -1,0 +1,524 @@
+package infer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// ErrTooManyRows is wrapped by DecodeRequest when the row cap is exceeded;
+// handlers map it to 413.
+var ErrTooManyRows = errors.New("too many rows")
+
+// DecodeRequest parses a predict request body straight into the row block —
+// the zero-allocation ingest path. The expected shape is
+//
+//	{"rows":[{"feature":value,...},...], "max_depth":N}
+//
+// where each cell value may be a JSON string (parsed exactly like
+// AppendRow: trimmed, ""/"NA"/"?" missing, dictionaries for categorical
+// levels), a JSON number (numeric columns take it directly; categorical
+// columns look the literal text up as a level), or null (missing). Unknown
+// envelope and feature keys are skipped like encoding/json would. Rows may
+// omit features — omitted cells are missing. maxRows <= 0 means unlimited.
+//
+// Unlike the encoding/json route this never materialises per-row maps:
+// feature names and level strings are matched with the compiler's
+// zero-copy map-lookup idiom, so steady-state decoding allocates nothing.
+func (m *Model) DecodeRequest(b *RowBlock, body []byte, maxRows int) (maxDepth int, err error) {
+	s := scanner{data: body, scratch: b.scratch}
+	defer func() { b.scratch = s.scratch }()
+	s.ws()
+	if err := s.expect('{'); err != nil {
+		return 0, err
+	}
+	sawRows := false
+	for {
+		s.ws()
+		if s.peek() == '}' {
+			s.pos++
+			break
+		}
+		key, err := s.string()
+		if err != nil {
+			return 0, err
+		}
+		s.ws()
+		if err := s.expect(':'); err != nil {
+			return 0, err
+		}
+		s.ws()
+		switch {
+		case string(key) == "rows":
+			sawRows = true
+			if err := m.decodeRows(&s, b, maxRows); err != nil {
+				return 0, err
+			}
+		case string(key) == "max_depth":
+			n, err := s.number()
+			if err != nil {
+				return 0, err
+			}
+			d, perr := strconv.Atoi(string(n))
+			if perr != nil {
+				return 0, fmt.Errorf("infer: max_depth %q is not an integer", n)
+			}
+			maxDepth = d
+		default:
+			if err := s.skipValue(); err != nil {
+				return 0, err
+			}
+		}
+		s.ws()
+		switch s.peek() {
+		case ',':
+			s.pos++
+		case '}':
+			s.pos++
+			goto done
+		default:
+			return 0, s.errAt("expected ',' or '}'")
+		}
+	}
+done:
+	if !sawRows {
+		return 0, fmt.Errorf("infer: request has no \"rows\"")
+	}
+	return maxDepth, nil
+}
+
+func (m *Model) decodeRows(s *scanner, b *RowBlock, maxRows int) error {
+	if err := s.expect('['); err != nil {
+		return err
+	}
+	s.ws()
+	if s.peek() == ']' {
+		s.pos++
+		return nil
+	}
+	for {
+		if maxRows > 0 && b.n >= maxRows {
+			return fmt.Errorf("infer: %w (limit %d)", ErrTooManyRows, maxRows)
+		}
+		if err := m.decodeRow(s, b); err != nil {
+			return err
+		}
+		s.ws()
+		switch s.peek() {
+		case ',':
+			s.pos++
+			s.ws()
+		case ']':
+			s.pos++
+			return nil
+		default:
+			return s.errAt("expected ',' or ']'")
+		}
+	}
+}
+
+// decodeRow parses one row object. All cells default to missing; keys seen
+// in the object overwrite their slot (last duplicate wins, like
+// encoding/json).
+func (m *Model) decodeRow(s *scanner, b *RowBlock) error {
+	row := b.n
+	numOff, catOff := b.grow()
+	for i := 0; i < b.numStride; i++ {
+		b.nums[numOff+i] = math.NaN()
+	}
+	for i := 0; i < b.catStride; i++ {
+		b.cats[catOff+i] = missingCode
+	}
+	if err := s.expect('{'); err != nil {
+		return err
+	}
+	for {
+		s.ws()
+		if s.peek() == '}' {
+			s.pos++
+			return nil
+		}
+		key, err := s.string()
+		if err != nil {
+			return err
+		}
+		ci, known := m.byName[string(key)]
+		s.ws()
+		if err := s.expect(':'); err != nil {
+			return err
+		}
+		s.ws()
+		if !known { // unknown feature: skip its value, like the legacy parser
+			if err := s.skipValue(); err != nil {
+				return err
+			}
+		} else if err := m.decodeCell(s, b, row, ci, numOff, catOff); err != nil {
+			return err
+		}
+		s.ws()
+		switch s.peek() {
+		case ',':
+			s.pos++
+		case '}':
+			s.pos++
+			return nil
+		default:
+			return s.errAt("expected ',' or '}'")
+		}
+	}
+}
+
+func (m *Model) decodeCell(s *scanner, b *RowBlock, row, ci, numOff, catOff int) error {
+	name := m.schema.Names[ci]
+	slot := int(m.colSlot[ci])
+	switch c := s.peek(); {
+	case c == '"':
+		raw, err := s.string()
+		if err != nil {
+			return err
+		}
+		return m.assignRaw(b, row, ci, raw, numOff, catOff)
+	case c == 'n':
+		if err := s.literal("null"); err != nil {
+			return err
+		}
+		return nil // defaults already say missing
+	case c == 't' || c == 'f':
+		lit := "true"
+		if c == 'f' {
+			lit = "false"
+		}
+		if err := s.literal(lit); err != nil {
+			return err
+		}
+		if m.colCat[ci] {
+			return m.assignRaw(b, row, ci, []byte(lit), numOff, catOff)
+		}
+		return fmt.Errorf("infer: row %d column %q: boolean is not numeric", row, name)
+	case c == '{' || c == '[':
+		return fmt.Errorf("infer: row %d column %q: cell must be a scalar", row, name)
+	default:
+		raw, err := s.number()
+		if err != nil {
+			return err
+		}
+		if m.colCat[ci] {
+			// A bare number for a categorical column names the level by its
+			// literal text, same as the quoted form.
+			code, found := m.dicts[ci][string(raw)]
+			if !found {
+				code = unseenCode
+			}
+			b.cats[catOff+slot] = code
+			return nil
+		}
+		v, perr := strconv.ParseFloat(string(raw), 64)
+		if perr != nil {
+			return fmt.Errorf("infer: row %d column %q: %q is not numeric", row, name, raw)
+		}
+		b.nums[numOff+slot] = v
+		return nil
+	}
+}
+
+// assignRaw applies AppendRow's string-cell conventions to one slot.
+func (m *Model) assignRaw(b *RowBlock, row, ci int, raw []byte, numOff, catOff int) error {
+	slot := int(m.colSlot[ci])
+	trimmed := trimBytes(raw)
+	if len(trimmed) == 0 || string(trimmed) == "NA" || string(trimmed) == "?" {
+		return nil // defaults already say missing
+	}
+	if m.colCat[ci] {
+		code, found := m.dicts[ci][string(trimmed)]
+		if !found {
+			code = unseenCode
+		}
+		b.cats[catOff+slot] = code
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(trimmed), 64)
+	if err != nil {
+		return fmt.Errorf("infer: row %d column %q: %q is not numeric", row, m.schema.Names[ci], trimmed)
+	}
+	b.nums[numOff+slot] = v
+	return nil
+}
+
+// trimBytes is strings.TrimSpace over bytes, ASCII fast path first.
+func trimBytes(b []byte) []byte {
+	for len(b) > 0 && asciiSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && asciiSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	if len(b) > 0 && (b[0] >= utf8.RuneSelf || b[len(b)-1] >= utf8.RuneSelf) {
+		return []byte(strings.TrimSpace(string(b))) // rare: unicode spaces
+	}
+	return b
+}
+
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v'
+}
+
+// scanner is a minimal JSON scanner over a byte slice. It only implements
+// what the predict request shape needs; anything else is a parse error with
+// a byte offset.
+type scanner struct {
+	data    []byte
+	pos     int
+	scratch []byte // unescape buffer, owned by the row block between calls
+}
+
+func (s *scanner) ws() {
+	for s.pos < len(s.data) {
+		switch s.data[s.pos] {
+		case ' ', '\t', '\n', '\r':
+			s.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (s *scanner) peek() byte {
+	if s.pos < len(s.data) {
+		return s.data[s.pos]
+	}
+	return 0
+}
+
+func (s *scanner) expect(c byte) error {
+	if s.pos >= len(s.data) || s.data[s.pos] != c {
+		return s.errAt(fmt.Sprintf("expected %q", c))
+	}
+	s.pos++
+	return nil
+}
+
+func (s *scanner) errAt(msg string) error {
+	return fmt.Errorf("infer: invalid JSON at byte %d: %s", s.pos, msg)
+}
+
+func (s *scanner) literal(lit string) error {
+	if s.pos+len(lit) > len(s.data) || string(s.data[s.pos:s.pos+len(lit)]) != lit {
+		return s.errAt("expected " + lit)
+	}
+	s.pos += len(lit)
+	return nil
+}
+
+// string scans a JSON string and returns its contents. Unescaped strings
+// alias the input; escaped ones are decoded into the scratch buffer. The
+// returned slice is valid until the next string call.
+func (s *scanner) string() ([]byte, error) {
+	if err := s.expect('"'); err != nil {
+		return nil, err
+	}
+	start := s.pos
+	for s.pos < len(s.data) {
+		switch c := s.data[s.pos]; {
+		case c == '"':
+			out := s.data[start:s.pos]
+			s.pos++
+			return out, nil
+		case c == '\\':
+			return s.stringSlow(start)
+		case c < 0x20:
+			return nil, s.errAt("control character in string")
+		default:
+			s.pos++
+		}
+	}
+	return nil, s.errAt("unterminated string")
+}
+
+// stringSlow finishes a string containing escapes, decoding into scratch.
+func (s *scanner) stringSlow(start int) ([]byte, error) {
+	s.scratch = append(s.scratch[:0], s.data[start:s.pos]...)
+	for s.pos < len(s.data) {
+		c := s.data[s.pos]
+		switch {
+		case c == '"':
+			s.pos++
+			return s.scratch, nil
+		case c < 0x20:
+			return nil, s.errAt("control character in string")
+		case c != '\\':
+			s.scratch = append(s.scratch, c)
+			s.pos++
+			continue
+		}
+		s.pos++
+		if s.pos >= len(s.data) {
+			return nil, s.errAt("unterminated escape")
+		}
+		e := s.data[s.pos]
+		s.pos++
+		switch e {
+		case '"', '\\', '/':
+			s.scratch = append(s.scratch, e)
+		case 'b':
+			s.scratch = append(s.scratch, '\b')
+		case 'f':
+			s.scratch = append(s.scratch, '\f')
+		case 'n':
+			s.scratch = append(s.scratch, '\n')
+		case 'r':
+			s.scratch = append(s.scratch, '\r')
+		case 't':
+			s.scratch = append(s.scratch, '\t')
+		case 'u':
+			r, err := s.hex4()
+			if err != nil {
+				return nil, err
+			}
+			if utf16.IsSurrogate(r) {
+				if s.pos+1 < len(s.data) && s.data[s.pos] == '\\' && s.data[s.pos+1] == 'u' {
+					s.pos += 2
+					r2, err := s.hex4()
+					if err != nil {
+						return nil, err
+					}
+					r = utf16.DecodeRune(r, r2)
+				} else {
+					r = utf8.RuneError
+				}
+			}
+			s.scratch = utf8.AppendRune(s.scratch, r)
+		default:
+			return nil, s.errAt("bad escape")
+		}
+	}
+	return nil, s.errAt("unterminated string")
+}
+
+func (s *scanner) hex4() (rune, error) {
+	if s.pos+4 > len(s.data) {
+		return 0, s.errAt("truncated \\u escape")
+	}
+	var r rune
+	for i := 0; i < 4; i++ {
+		c := s.data[s.pos+i]
+		switch {
+		case c >= '0' && c <= '9':
+			r = r<<4 | rune(c-'0')
+		case c >= 'a' && c <= 'f':
+			r = r<<4 | rune(c-'a'+10)
+		case c >= 'A' && c <= 'F':
+			r = r<<4 | rune(c-'A'+10)
+		default:
+			return 0, s.errAt("bad \\u escape")
+		}
+	}
+	s.pos += 4
+	return r, nil
+}
+
+// number scans a JSON number and returns its literal bytes.
+func (s *scanner) number() ([]byte, error) {
+	start := s.pos
+	if s.peek() == '-' {
+		s.pos++
+	}
+	digits := 0
+	for s.pos < len(s.data) && s.data[s.pos] >= '0' && s.data[s.pos] <= '9' {
+		s.pos++
+		digits++
+	}
+	if digits == 0 {
+		return nil, s.errAt("expected a number")
+	}
+	if s.peek() == '.' {
+		s.pos++
+		for s.pos < len(s.data) && s.data[s.pos] >= '0' && s.data[s.pos] <= '9' {
+			s.pos++
+		}
+	}
+	if c := s.peek(); c == 'e' || c == 'E' {
+		s.pos++
+		if c := s.peek(); c == '+' || c == '-' {
+			s.pos++
+		}
+		for s.pos < len(s.data) && s.data[s.pos] >= '0' && s.data[s.pos] <= '9' {
+			s.pos++
+		}
+	}
+	return s.data[start:s.pos], nil
+}
+
+// skipValue consumes any JSON value.
+func (s *scanner) skipValue() error {
+	s.ws()
+	switch c := s.peek(); c {
+	case '"':
+		_, err := s.string()
+		return err
+	case '{':
+		s.pos++
+		s.ws()
+		if s.peek() == '}' {
+			s.pos++
+			return nil
+		}
+		for {
+			s.ws()
+			if _, err := s.string(); err != nil {
+				return err
+			}
+			s.ws()
+			if err := s.expect(':'); err != nil {
+				return err
+			}
+			if err := s.skipValue(); err != nil {
+				return err
+			}
+			s.ws()
+			switch s.peek() {
+			case ',':
+				s.pos++
+			case '}':
+				s.pos++
+				return nil
+			default:
+				return s.errAt("expected ',' or '}'")
+			}
+		}
+	case '[':
+		s.pos++
+		s.ws()
+		if s.peek() == ']' {
+			s.pos++
+			return nil
+		}
+		for {
+			if err := s.skipValue(); err != nil {
+				return err
+			}
+			s.ws()
+			switch s.peek() {
+			case ',':
+				s.pos++
+			case ']':
+				s.pos++
+				return nil
+			default:
+				return s.errAt("expected ',' or ']'")
+			}
+		}
+	case 't':
+		return s.literal("true")
+	case 'f':
+		return s.literal("false")
+	case 'n':
+		return s.literal("null")
+	default:
+		_, err := s.number()
+		return err
+	}
+}

@@ -1,0 +1,219 @@
+package infer
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"treeserver/internal/synth"
+)
+
+func decodeTestModel(t *testing.T) (*Model, []map[string]string) {
+	t.Helper()
+	spec := synth.Spec{Name: "jsonrow", Rows: 900, NumNumeric: 2, NumCategorical: 2,
+		CatLevels: 5, NumClasses: 2, MissingRate: 0.15, ConceptDepth: 3, Seed: 81}
+	mf, test := trainForestFile(t, spec, 3, 4)
+	m, err := Compile(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]map[string]string, test.NumRows())
+	for r := range rows {
+		rows[r] = rowToMap(test, r)
+	}
+	return m, rows
+}
+
+func blocksEqual(t *testing.T, a, b *RowBlock) {
+	t.Helper()
+	if a.n != b.n {
+		t.Fatalf("row counts %d != %d", a.n, b.n)
+	}
+	for i := 0; i < a.n*a.numStride; i++ {
+		av, bv := a.nums[i], b.nums[i]
+		if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+			t.Fatalf("nums[%d]: %v != %v", i, av, bv)
+		}
+	}
+	for i := 0; i < a.n*a.catStride; i++ {
+		if a.cats[i] != b.cats[i] {
+			t.Fatalf("cats[%d]: %d != %d", i, a.cats[i], b.cats[i])
+		}
+	}
+}
+
+// TestDecodeRequestMatchesAppendRow proves the hand-rolled scanner and the
+// map path load bit-identical blocks from the same logical rows.
+func TestDecodeRequestMatchesAppendRow(t *testing.T) {
+	m, rows := decodeTestModel(t)
+	body, err := json.Marshal(map[string]any{"rows": rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	viaMaps := m.GetBlock()
+	for _, row := range rows {
+		if err := m.AppendRow(viaMaps, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	viaJSON := m.GetBlock()
+	depth, err := m.DecodeRequest(viaJSON, body, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth != 0 {
+		t.Fatalf("absent max_depth decoded as %d", depth)
+	}
+	blocksEqual(t, viaMaps, viaJSON)
+}
+
+// TestDecodeRequestForms covers the value forms the scanner accepts beyond
+// plain strings: native numbers, nulls, booleans for categorical cells,
+// escaped strings, unknown keys with nested values, and max_depth.
+func TestDecodeRequestForms(t *testing.T) {
+	m, _ := decodeTestModel(t)
+	names := m.Schema().Names // num0 num1 cat0 cat1 target
+	body := `{
+		"max_depth": 2,
+		"ignored": {"nested": [1, "two", {"three": null}], "b": true},
+		"rows": [
+			{"` + names[0] + `": 1.25e1, "` + names[1] + `": -0.5, "` + names[2] + `": "L1", "` + names[3] + `": null},
+			{"` + names[0] + `": " 3.5 ", "` + names[2] + `": "martian", "unknown": [{}], "` + names[3] + `": true},
+			{}
+		]
+	}`
+	b := m.GetBlock()
+	depth, err := m.DecodeRequest(b, []byte(body), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth != 2 {
+		t.Fatalf("max_depth = %d", depth)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("rows = %d", b.Len())
+	}
+	if b.nums[0] != 12.5 || b.nums[1] != -0.5 {
+		t.Fatalf("row 0 nums = %v", b.nums[:2])
+	}
+	if b.cats[0] != 1 { // "L1" unescapes to L1
+		t.Fatalf("row 0 cat0 = %d", b.cats[0])
+	}
+	if b.cats[1] != missingCode { // explicit null
+		t.Fatalf("row 0 cat1 = %d", b.cats[1])
+	}
+	if b.nums[2] != 3.5 { // quoted, padded numeric
+		t.Fatalf("row 1 num0 = %v", b.nums[2])
+	}
+	if !math.IsNaN(b.nums[3]) { // omitted numeric
+		t.Fatalf("row 1 num1 = %v", b.nums[3])
+	}
+	if b.cats[2] != unseenCode { // unknown level
+		t.Fatalf("row 1 cat0 = %d", b.cats[2])
+	}
+	if b.cats[3] != unseenCode { // boolean for a categorical: literal text lookup
+		t.Fatalf("row 1 cat1 = %d", b.cats[3])
+	}
+	for i := 4; i < 6; i++ { // empty row object: all missing
+		if !math.IsNaN(b.nums[i]) {
+			t.Fatalf("row 2 num = %v", b.nums[i])
+		}
+	}
+}
+
+func TestDecodeRequestErrors(t *testing.T) {
+	m, _ := decodeTestModel(t)
+	num := m.Schema().Names[0]
+	bad := []string{
+		``, `[`, `{`, `{"rows":}`, `{"rows":[}`, `{"rows":[{]}`,
+		`{"rows":[{"` + num + `": }]}`,
+		`{"rows":[{"` + num + `": "abc"}]}`,
+		`{"rows":[{"` + num + `": true}]}`,
+		`{"rows":[{"` + num + `": [1]}]}`,
+		`{"rows":[{"` + num + `": {"a":1}}]}`,
+		`{"rows":[{"` + num + `": 1} {"` + num + `": 2}]}`,
+		`{"max_depth": 1.5, "rows":[]}`,
+		`{"max_depth": 1}`, // rows required
+		`{"rows":"nope"}`,
+		`{"rows":[{"` + num + `": "\q"}]}`,
+		`{"rows":[{"` + num + `": "\u12"}]}`,
+	}
+	for _, body := range bad {
+		b := m.GetBlock()
+		if _, err := m.DecodeRequest(b, []byte(body), 0); err == nil {
+			t.Errorf("accepted %q", body)
+		}
+		m.PutBlock(b)
+	}
+}
+
+func TestDecodeRequestRowCap(t *testing.T) {
+	m, _ := decodeTestModel(t)
+	body := `{"rows":[{},{},{},{}]}`
+	b := m.GetBlock()
+	_, err := m.DecodeRequest(b, []byte(body), 2)
+	if !errors.Is(err, ErrTooManyRows) {
+		t.Fatalf("err = %v, want ErrTooManyRows", err)
+	}
+	b.Reset()
+	if _, err := m.DecodeRequest(b, []byte(body), 4); err != nil {
+		t.Fatalf("at the cap: %v", err)
+	}
+}
+
+// TestDecodeRequestZeroAlloc proves the JSON ingest path allocates nothing
+// in steady state — the property that makes the /v1 hot path pool-friendly.
+func TestDecodeRequestZeroAlloc(t *testing.T) {
+	m, rows := decodeTestModel(t)
+	body, err := json.Marshal(map[string]any{"rows": rows[:64], "max_depth": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Include an escape so the scratch path warms up too.
+	body = []byte(strings.Replace(string(body), `"L1"`, `"L1"`, 1))
+	b := m.GetBlock()
+	res := m.GetResult()
+	work := func() {
+		b.Reset()
+		depth, err := m.DecodeRequest(b, body, 100000)
+		if err != nil {
+			panic(err)
+		}
+		m.Predict(b, res, depth)
+	}
+	work()
+	if avg := testing.AllocsPerRun(100, work); avg != 0 {
+		t.Fatalf("steady-state decode+predict allocates %.1f per request, want 0", avg)
+	}
+}
+
+// TestDecodeEquivalentPredictions ties it together: a JSON-decoded block
+// predicts identically to the interpreter on the same rows.
+func TestDecodeEquivalentPredictions(t *testing.T) {
+	m, rows := decodeTestModel(t)
+	mf, _ := trainForestFile(t, synth.Spec{Name: "jsonrow", Rows: 900, NumNumeric: 2,
+		NumCategorical: 2, CatLevels: 5, NumClasses: 2, MissingRate: 0.15,
+		ConceptDepth: 3, Seed: 81}, 3, 4)
+	body, err := json.Marshal(map[string]any{"rows": rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := m.GetBlock()
+	if _, err := m.DecodeRequest(b, body, 0); err != nil {
+		t.Fatal(err)
+	}
+	res := m.GetResult()
+	m.Predict(b, res, 0)
+	parsed, err := mf.Schema.ParseRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, p := range mf.Predict(parsed) {
+		if got := m.Classes()[res.Class(r)]; got != p.Class {
+			t.Fatalf("row %d: %q != %q", r, got, p.Class)
+		}
+	}
+}

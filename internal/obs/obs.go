@@ -32,6 +32,7 @@ type Registry struct {
 
 	master MasterObs
 	split  SplitCounters
+	serve  ServeObs
 
 	mu      sync.Mutex
 	workers map[int]*WorkerObs

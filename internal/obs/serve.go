@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// ServeObs collects the serving hot path's telemetry: request/error/row
+// counts globally and per model, hot-swap events, and a log2-bucketed
+// latency histogram that Snapshot turns into p50/p99. One Request call per
+// HTTP request — a sync.Map lookup and a handful of atomic adds — keeps the
+// zero-alloc predict path zero-alloc. All methods are nil-safe.
+type ServeObs struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	rows     atomic.Int64
+	swaps    atomic.Int64
+
+	// latency[b] counts requests with bits.Len64(ns) == b, i.e. durations in
+	// [2^(b-1), 2^b) ns — ~1.4σ resolution per decade, constant memory.
+	latency [64]atomic.Int64
+
+	models sync.Map // model name -> *ModelServeObs
+}
+
+// ModelServeObs is one model's serving counters.
+type ModelServeObs struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	rows     atomic.Int64
+}
+
+// Serve returns the serving collector (nil if r is nil).
+func (r *Registry) Serve() *ServeObs {
+	if r == nil {
+		return nil
+	}
+	return &r.serve
+}
+
+// Request records one predict request: the model it hit, rows scored,
+// wall-clock nanoseconds, and whether it failed.
+func (s *ServeObs) Request(model string, rows int, ns int64, isErr bool) {
+	if s == nil {
+		return
+	}
+	s.requests.Add(1)
+	s.rows.Add(int64(rows))
+	if ns > 0 {
+		s.latency[bits.Len64(uint64(ns))].Add(1)
+	}
+	if isErr {
+		s.errors.Add(1)
+	}
+	if model == "" {
+		return
+	}
+	var m *ModelServeObs
+	if v, ok := s.models.Load(model); ok {
+		m = v.(*ModelServeObs)
+	} else {
+		v, _ := s.models.LoadOrStore(model, &ModelServeObs{})
+		m = v.(*ModelServeObs)
+	}
+	m.requests.Add(1)
+	m.rows.Add(int64(rows))
+	if isErr {
+		m.errors.Add(1)
+	}
+}
+
+// Swap records one model activation or rollback taking effect.
+func (s *ServeObs) Swap() {
+	if s == nil {
+		return
+	}
+	s.swaps.Add(1)
+}
+
+// ServeSnapshot is the serving-path state inside a Snapshot.
+type ServeSnapshot struct {
+	Requests, Errors, Rows int64
+	Swaps                  int64
+	// Latency percentiles from the log2 histogram: each is the upper bound
+	// of the bucket containing that quantile (≤2× resolution).
+	P50Ns, P99Ns int64
+	// QPS is Requests over registry uptime.
+	QPS    float64
+	Models []ModelServeSnapshot // sorted by name
+}
+
+// ModelServeSnapshot is one model's serving counters.
+type ModelServeSnapshot struct {
+	Name                   string
+	Requests, Errors, Rows int64
+}
+
+// percentile returns the upper bound (ns) of the histogram bucket holding
+// quantile q of the recorded requests, 0 if none were recorded.
+func (s *ServeObs) percentile(q float64) int64 {
+	var total int64
+	for i := range s.latency {
+		total += s.latency[i].Load()
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := range s.latency {
+		seen += s.latency[i].Load()
+		if seen >= target {
+			if i >= 63 {
+				return int64(1) << 62 // beyond representable; saturate
+			}
+			return int64(1) << uint(i)
+		}
+	}
+	return int64(1) << 62
+}
+
+// serveSnapshot captures the serving counters; uptimeSeconds feeds QPS.
+func (s *ServeObs) snapshot(uptimeSeconds float64) ServeSnapshot {
+	out := ServeSnapshot{
+		Requests: s.requests.Load(),
+		Errors:   s.errors.Load(),
+		Rows:     s.rows.Load(),
+		Swaps:    s.swaps.Load(),
+		P50Ns:    s.percentile(0.50),
+		P99Ns:    s.percentile(0.99),
+	}
+	if uptimeSeconds > 0 {
+		out.QPS = float64(out.Requests) / uptimeSeconds
+	}
+	s.models.Range(func(k, v any) bool {
+		m := v.(*ModelServeObs)
+		out.Models = append(out.Models, ModelServeSnapshot{
+			Name:     k.(string),
+			Requests: m.requests.Load(),
+			Errors:   m.errors.Load(),
+			Rows:     m.rows.Load(),
+		})
+		return true
+	})
+	sort.Slice(out.Models, func(i, j int) bool { return out.Models[i].Name < out.Models[j].Name })
+	return out
+}

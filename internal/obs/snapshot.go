@@ -17,6 +17,7 @@ type Snapshot struct {
 	Links         []LinkSnapshot   // sorted by (From, To)
 	Messages      []MessageCount   // sorted by Type
 	Split         SplitSnapshot
+	Serve         ServeSnapshot
 }
 
 // MasterSnapshot is the master-side scheduling state.
@@ -174,6 +175,7 @@ func (r *Registry) Snapshot() Snapshot {
 			HistSubtractions: r.split.histSubs.Load(),
 		},
 	}
+	s.Serve = r.serve.snapshot(s.UptimeSeconds)
 
 	r.master.healthMu.Lock()
 	s.Master.HealthScores = append([]float64(nil), r.master.healthScores...)
@@ -325,6 +327,16 @@ func (s Snapshot) Report() string {
 	}
 	if sp.HistFills+sp.HistSubtractions > 0 {
 		fmt.Fprintf(&b, "hist kernel: %d fills, %d subtraction hits\n", sp.HistFills, sp.HistSubtractions)
+	}
+
+	if sv := s.Serve; sv.Requests > 0 {
+		fmt.Fprintf(&b, "serving: %d requests (%d errors, %d rows, %d swaps), %.1f qps, p50 ≤%s p99 ≤%s\n",
+			sv.Requests, sv.Errors, sv.Rows, sv.Swaps, sv.QPS,
+			time.Duration(sv.P50Ns), time.Duration(sv.P99Ns))
+		for _, mdl := range sv.Models {
+			fmt.Fprintf(&b, "  model %-16s %8d requests %6d errors %10d rows\n",
+				mdl.Name, mdl.Requests, mdl.Errors, mdl.Rows)
+		}
 	}
 
 	if len(s.Links) > 0 {

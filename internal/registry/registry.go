@@ -1,0 +1,377 @@
+// Package registry holds named, versioned, compiled models for serving.
+//
+// Every loaded model file is compiled once (infer.Compile) into an immutable
+// artifact and staged as a numbered Version. Activation swaps a per-model
+// copy-on-write pointer, so the serving hot path reads the active version
+// with two atomic loads and no locks — a request that started on version N
+// keeps using N even if N+1 activates mid-flight, and a torn model can never
+// be observed. Rollback re-activates whatever was active before the last
+// activation. A corrupt or incompatible model file fails in Load/compile,
+// before any pointer moves, so the active version is never disturbed.
+//
+// Watch polls a directory (stdlib-only, so no inotify) and load+activates
+// changed .tsmodel files, which is how tsserve hot-reloads without dropping
+// requests.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"treeserver/internal/infer"
+	"treeserver/internal/model"
+)
+
+// Ext is the model file extension the directory loaders look for.
+const Ext = ".tsmodel"
+
+// keepVersions bounds the staged-version list per model; older versions are
+// pruned (an active or history-referenced version stays usable — pruning
+// only limits what Activate can name by sequence).
+const keepVersions = 8
+
+// Version is one immutable compiled model artifact. Fields are never
+// mutated after publication, which is what makes the lock-free hot path
+// sound.
+type Version struct {
+	Name     string // model name in the registry
+	Seq      int    // 1-based, monotonically increasing per name
+	Source   string // provenance: file path, or a caller-supplied tag
+	LoadedAt time.Time
+	File     *model.File
+	Compiled *infer.Model
+}
+
+// entry is one model name's state. The active pointer is the only field the
+// hot path touches; everything else is guarded by the registry mutex.
+type entry struct {
+	active   atomic.Pointer[Version]
+	versions []*Version // staged, ascending Seq
+	history  []*Version // previously-active stack, for Rollback
+	nextSeq  int
+}
+
+// Registry maps model names to versioned entries. The name map itself is
+// copy-on-write so lookups never lock.
+type Registry struct {
+	mu     sync.Mutex
+	models atomic.Pointer[map[string]*entry]
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	r := &Registry{}
+	empty := map[string]*entry{}
+	r.models.Store(&empty)
+	return r
+}
+
+// Active returns the active version of a model, lock-free. ok is false if
+// the name is unknown or nothing has been activated yet.
+func (r *Registry) Active(name string) (*Version, bool) {
+	e, ok := (*r.models.Load())[name]
+	if !ok {
+		return nil, false
+	}
+	v := e.active.Load()
+	return v, v != nil
+}
+
+// lookup returns the entry for name, creating it if missing.
+func (r *Registry) lookup(name string, create bool) *entry {
+	if e, ok := (*r.models.Load())[name]; ok {
+		return e
+	}
+	if !create {
+		return nil
+	}
+	old := *r.models.Load()
+	next := make(map[string]*entry, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	e := &entry{nextSeq: 1}
+	next[name] = e
+	r.models.Store(&next)
+	return e
+}
+
+// Load compiles a model file and stages it as a new version of name (the
+// file's own name if name is empty). The version is not active until
+// Activate. Compilation failures leave the registry untouched.
+func (r *Registry) Load(name string, mf *model.File, source string) (*Version, error) {
+	if mf == nil {
+		return nil, fmt.Errorf("registry: nil model file")
+	}
+	if name == "" {
+		name = mf.Name
+	}
+	if name == "" {
+		return nil, fmt.Errorf("registry: model has no name")
+	}
+	compiled, err := infer.Compile(mf)
+	if err != nil {
+		return nil, fmt.Errorf("registry: compiling %q: %w", name, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.lookup(name, true)
+	v := &Version{
+		Name: name, Seq: e.nextSeq, Source: source, LoadedAt: time.Now(),
+		File: mf, Compiled: compiled,
+	}
+	e.nextSeq++
+	e.versions = append(e.versions, v)
+	if len(e.versions) > keepVersions {
+		e.versions = append(e.versions[:0:0], e.versions[len(e.versions)-keepVersions:]...)
+	}
+	return v, nil
+}
+
+// LoadFile loads and stages a model from a path. A file that fails to read,
+// parse or compile is rejected without touching existing versions.
+func (r *Registry) LoadFile(name, path string) (*Version, error) {
+	mf, err := model.LoadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("registry: %w", err)
+	}
+	return r.Load(name, mf, path)
+}
+
+// Activate makes a staged version the active one. seq <= 0 selects the
+// newest staged version. The previously active version is pushed for
+// Rollback. Returns the activated version.
+func (r *Registry) Activate(name string, seq int) (*Version, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.lookup(name, false)
+	if e == nil {
+		return nil, fmt.Errorf("registry: unknown model %q", name)
+	}
+	var v *Version
+	if seq <= 0 {
+		if len(e.versions) == 0 {
+			return nil, fmt.Errorf("registry: model %q has no staged versions", name)
+		}
+		v = e.versions[len(e.versions)-1]
+	} else {
+		for _, cand := range e.versions {
+			if cand.Seq == seq {
+				v = cand
+				break
+			}
+		}
+		if v == nil {
+			return nil, fmt.Errorf("registry: model %q has no version %d", name, seq)
+		}
+	}
+	if prev := e.active.Load(); prev != nil && prev != v {
+		e.history = append(e.history, prev)
+	}
+	e.active.Store(v)
+	return v, nil
+}
+
+// Rollback re-activates the version that was active before the most recent
+// activation.
+func (r *Registry) Rollback(name string) (*Version, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.lookup(name, false)
+	if e == nil {
+		return nil, fmt.Errorf("registry: unknown model %q", name)
+	}
+	if len(e.history) == 0 {
+		return nil, fmt.Errorf("registry: model %q has no prior version to roll back to", name)
+	}
+	v := e.history[len(e.history)-1]
+	e.history = e.history[:len(e.history)-1]
+	e.active.Store(v)
+	return v, nil
+}
+
+// VersionInfo is one staged version in a listing.
+type VersionInfo struct {
+	Seq      int       `json:"seq"`
+	Source   string    `json:"source,omitempty"`
+	LoadedAt time.Time `json:"loaded_at"`
+	Active   bool      `json:"active"`
+	NumTrees int       `json:"num_trees"`
+}
+
+// Info is one model's listing entry.
+type Info struct {
+	Name      string        `json:"name"`
+	ActiveSeq int           `json:"active_seq"` // 0: nothing active
+	Kind      string        `json:"kind,omitempty"`
+	Task      string        `json:"task,omitempty"`
+	Features  []string      `json:"features,omitempty"`
+	Classes   []string      `json:"classes,omitempty"`
+	MaxDepth  int           `json:"max_depth,omitempty"` // deepest tree depth of the active version
+	Versions  []VersionInfo `json:"versions"`
+}
+
+func (r *Registry) info(name string, e *entry) *Info {
+	active := e.active.Load()
+	in := &Info{Name: name}
+	describe := active
+	if describe == nil && len(e.versions) > 0 {
+		describe = e.versions[len(e.versions)-1]
+	}
+	if describe != nil {
+		in.Kind = describe.Compiled.Kind()
+		if describe.Compiled.Regression() {
+			in.Task = "regression"
+		} else {
+			in.Task = "classification"
+			in.Classes = describe.Compiled.Classes()
+		}
+		in.Features = describe.File.Schema.FeatureNames()
+		in.MaxDepth = describe.Compiled.MaxTreeDepth()
+	}
+	if active != nil {
+		in.ActiveSeq = active.Seq
+	}
+	for _, v := range e.versions {
+		in.Versions = append(in.Versions, VersionInfo{
+			Seq: v.Seq, Source: v.Source, LoadedAt: v.LoadedAt,
+			Active: v == active, NumTrees: v.Compiled.NumTrees(),
+		})
+	}
+	return in
+}
+
+// Get returns one model's listing.
+func (r *Registry) Get(name string) (*Info, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.lookup(name, false)
+	if e == nil {
+		return nil, false
+	}
+	return r.info(name, e), true
+}
+
+// List returns every model's listing, sorted by name.
+func (r *Registry) List() []*Info {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := *r.models.Load()
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*Info, 0, len(names))
+	for _, name := range names {
+		out = append(out, r.info(name, m[name]))
+	}
+	return out
+}
+
+// Names returns the registered model names, sorted.
+func (r *Registry) Names() []string {
+	m := *r.models.Load()
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LoadDir loads and activates every .tsmodel file in dir, named by file
+// base name. Files that fail to load are skipped and reported in the joined
+// error; good files still load, so one corrupt file never blocks the rest.
+func (r *Registry) LoadDir(dir string) (loaded []string, err error) {
+	paths, globErr := filepath.Glob(filepath.Join(dir, "*"+Ext))
+	if globErr != nil {
+		return nil, fmt.Errorf("registry: scanning %s: %w", dir, globErr)
+	}
+	sort.Strings(paths)
+	var errs []error
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), Ext)
+		if _, lerr := r.LoadFile(name, path); lerr != nil {
+			errs = append(errs, lerr)
+			continue
+		}
+		if _, aerr := r.Activate(name, 0); aerr != nil {
+			errs = append(errs, aerr)
+			continue
+		}
+		loaded = append(loaded, name)
+	}
+	return loaded, errors.Join(errs...)
+}
+
+// Watch polls dir every interval and load+activates new or changed .tsmodel
+// files until stop closes. Each reload (or failure) is reported through
+// onEvent if non-nil. Run it in its own goroutine.
+func (r *Registry) Watch(dir string, interval time.Duration, stop <-chan struct{}, onEvent func(msg string)) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	note := func(format string, args ...any) {
+		if onEvent != nil {
+			onEvent(fmt.Sprintf(format, args...))
+		}
+	}
+	type stamp struct {
+		mod  time.Time
+		size int64
+	}
+	seen := map[string]stamp{}
+	record := func(path string) (stamp, bool) {
+		fi, err := os.Stat(path)
+		if err != nil {
+			return stamp{}, false
+		}
+		return stamp{fi.ModTime(), fi.Size()}, true
+	}
+	// Prime with the current state so startup loads (LoadDir) aren't redone.
+	if paths, err := filepath.Glob(filepath.Join(dir, "*"+Ext)); err == nil {
+		for _, p := range paths {
+			if st, ok := record(p); ok {
+				seen[p] = st
+			}
+		}
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		paths, err := filepath.Glob(filepath.Join(dir, "*"+Ext))
+		if err != nil {
+			continue
+		}
+		for _, path := range paths {
+			st, ok := record(path)
+			if !ok || seen[path] == st {
+				continue
+			}
+			seen[path] = st
+			name := strings.TrimSuffix(filepath.Base(path), Ext)
+			if _, err := r.LoadFile(name, path); err != nil {
+				note("watch: %s rejected: %v", path, err)
+				continue
+			}
+			if _, err := r.Activate(name, 0); err != nil {
+				note("watch: %s staged but not activated: %v", path, err)
+				continue
+			}
+			note("watch: %s activated as %s", path, name)
+		}
+	}
+}

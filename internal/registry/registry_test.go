@@ -1,0 +1,375 @@
+package registry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"treeserver/internal/cluster"
+	"treeserver/internal/core"
+	"treeserver/internal/forest"
+	"treeserver/internal/infer"
+	"treeserver/internal/model"
+	"treeserver/internal/synth"
+)
+
+// trainFile trains a small forest with the given seed; different seeds pick
+// different bootstraps (and tree counts), giving observably different
+// predictions on the same rows.
+func trainFile(t testing.TB, seed int64) (*model.File, []map[string]string) {
+	t.Helper()
+	spec := synth.Spec{Name: "reg", Rows: 900, NumNumeric: 3, NumCategorical: 1,
+		CatLevels: 4, NumClasses: 2, ConceptDepth: 4, Seed: 5}
+	train, test := synth.Generate(spec, 0.2)
+	trees := 3
+	if seed%2 == 0 {
+		trees = 2 // even seeds train a structurally different ensemble
+	}
+	f, err := forest.Train(&forest.Local{Table: train}, cluster.SchemaOf(train),
+		forest.Config{Trees: trees, Params: core.Defaults(), ColFrac: -1, Bootstrap: true, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := model.SaveForest(&buf, "reg", f, model.SchemaOf(train)); err != nil {
+		t.Fatal(err)
+	}
+	mf, err := model.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]map[string]string, 32)
+	for r := range rows {
+		row := map[string]string{}
+		for ci, col := range test.Cols {
+			if ci == test.Target || col.IsMissing(r) {
+				continue
+			}
+			if col.Levels == nil {
+				row[col.Name] = strconv.FormatFloat(col.Floats[r], 'g', -1, 64)
+			} else {
+				row[col.Name] = col.Levels[col.Cats[r]]
+			}
+		}
+		rows[r] = row
+	}
+	return mf, rows
+}
+
+// pmfFingerprint scores rows with a compiled model and returns the
+// concatenated PMFs — bit-identical across calls on the same version.
+func pmfFingerprint(t testing.TB, m *infer.Model, rows []map[string]string) []float64 {
+	t.Helper()
+	b := m.GetBlock()
+	defer m.PutBlock(b)
+	for _, row := range rows {
+		if err := m.AppendRow(b, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := m.GetResult()
+	defer m.PutResult(res)
+	m.Predict(b, res, 0)
+	out := make([]float64, 0, len(rows)*m.NumClasses())
+	for r := 0; r < len(rows); r++ {
+		out = append(out, res.PMF(r)...)
+	}
+	return out
+}
+
+func sameFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLoadActivateRollback(t *testing.T) {
+	r := New()
+	mf1, _ := trainFile(t, 1)
+	mf2, _ := trainFile(t, 2)
+
+	if _, ok := r.Active("m"); ok {
+		t.Fatal("empty registry has an active model")
+	}
+	v1, err := r.Load("m", mf1, "test-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Seq != 1 {
+		t.Fatalf("first version seq = %d", v1.Seq)
+	}
+	if _, ok := r.Active("m"); ok {
+		t.Fatal("staged version became active without Activate")
+	}
+	if _, err := r.Activate("m", 0); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := r.Active("m"); !ok || v.Seq != 1 {
+		t.Fatalf("active = %+v, %v", v, ok)
+	}
+
+	v2, err := r.Load("m", mf2, "test-v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Seq != 2 {
+		t.Fatalf("second version seq = %d", v2.Seq)
+	}
+	if _, err := r.Activate("m", 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := r.Active("m"); v.Seq != 2 {
+		t.Fatalf("active seq = %d, want 2", v.Seq)
+	}
+
+	back, err := r.Rollback("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seq != 1 {
+		t.Fatalf("rollback landed on seq %d, want 1", back.Seq)
+	}
+	if v, _ := r.Active("m"); v.Seq != 1 {
+		t.Fatalf("active after rollback = %d", v.Seq)
+	}
+	if _, err := r.Rollback("m"); err == nil {
+		t.Fatal("second rollback with empty history succeeded")
+	}
+
+	if _, err := r.Activate("m", 99); err == nil {
+		t.Fatal("activating a nonexistent seq succeeded")
+	}
+	if _, err := r.Activate("ghost", 0); err == nil {
+		t.Fatal("activating an unknown model succeeded")
+	}
+
+	infos := r.List()
+	if len(infos) != 1 || infos[0].Name != "m" || infos[0].ActiveSeq != 1 {
+		t.Fatalf("list = %+v", infos[0])
+	}
+	if len(infos[0].Versions) != 2 {
+		t.Fatalf("versions = %+v", infos[0].Versions)
+	}
+	if infos[0].Task != "classification" || infos[0].Kind != "forest" {
+		t.Fatalf("info = %+v", infos[0])
+	}
+}
+
+// TestHotSwapStorm activates back and forth between two versions while
+// predictor goroutines hammer the active model. Every request must produce
+// a result bit-identical to one version or the other — a mixture would mean
+// a torn read. Run under -race.
+func TestHotSwapStorm(t *testing.T) {
+	r := New()
+	mf1, rows := trainFile(t, 1)
+	mf2, _ := trainFile(t, 2)
+	if _, err := r.Load("m", mf1, "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Load("m", mf2, "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Activate("m", 1); err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := r.Active("m")
+	want1 := pmfFingerprint(t, v1.Compiled, rows)
+	if _, err := r.Activate("m", 2); err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := r.Active("m")
+	want2 := pmfFingerprint(t, v2.Compiled, rows)
+	if sameFloats(want1, want2) {
+		t.Fatal("test needs distinguishable versions")
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v, ok := r.Active("m")
+				if !ok {
+					errCh <- "active model vanished"
+					return
+				}
+				got := pmfFingerprint(t, v.Compiled, rows)
+				if !sameFloats(got, want1) && !sameFloats(got, want2) {
+					errCh <- "request produced a result matching neither version"
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 300; i++ {
+		if i%2 == 0 {
+			if _, err := r.Activate("m", 1); err != nil {
+				t.Fatal(err)
+			}
+		} else if _, err := r.Rollback("m"); err != nil {
+			// History can drain when consecutive activations repeat a
+			// version; re-activate instead.
+			if _, err := r.Activate("m", 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-errCh:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestCorruptFileRejected proves a bad file on disk cannot disturb the
+// active version.
+func TestCorruptFileRejected(t *testing.T) {
+	dir := t.TempDir()
+	r := New()
+	mf1, rows := trainFile(t, 1)
+	if _, err := r.Load("m", mf1, "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Activate("m", 0); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := r.Active("m")
+	want := pmfFingerprint(t, before.Compiled, rows)
+
+	bad := filepath.Join(dir, "m"+Ext)
+	if err := os.WriteFile(bad, []byte("certainly not gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.LoadFile("m", bad); err == nil {
+		t.Fatal("corrupt file loaded")
+	}
+	// Truncated real model: valid prefix, torn tail.
+	var buf bytes.Buffer
+	if err := model.SaveForest(&buf, "m", mf1.Forest, mf1.Schema); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, buf.Bytes()[:buf.Len()/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.LoadFile("m", bad); err == nil {
+		t.Fatal("truncated file loaded")
+	}
+
+	after, ok := r.Active("m")
+	if !ok || after != before {
+		t.Fatal("active version disturbed by rejected loads")
+	}
+	if got := pmfFingerprint(t, after.Compiled, rows); !sameFloats(got, want) {
+		t.Fatal("active version predictions changed")
+	}
+	if info, _ := r.Get("m"); len(info.Versions) != 1 {
+		t.Fatalf("rejected loads staged versions: %+v", info.Versions)
+	}
+}
+
+func TestLoadDirSkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	mf1, _ := trainFile(t, 1)
+	if err := model.SaveForestFile(filepath.Join(dir, "good"+Ext), "good", mf1.Forest, mf1.Schema); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad"+Ext), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ignored.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	loaded, err := r.LoadDir(dir)
+	if err == nil || !strings.Contains(err.Error(), "model") {
+		t.Fatalf("corrupt file not reported: %v", err)
+	}
+	if len(loaded) != 1 || loaded[0] != "good" {
+		t.Fatalf("loaded = %v", loaded)
+	}
+	if v, ok := r.Active("good"); !ok || v.Seq != 1 {
+		t.Fatalf("good model not active: %+v %v", v, ok)
+	}
+	if _, ok := r.Active("bad"); ok {
+		t.Fatal("corrupt model active")
+	}
+}
+
+func TestWatchReloads(t *testing.T) {
+	dir := t.TempDir()
+	mf1, rows := trainFile(t, 1)
+	mf2, _ := trainFile(t, 2)
+	path := filepath.Join(dir, "m"+Ext)
+	if err := model.SaveForestFile(path, "m", mf1.Forest, mf1.Schema); err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	if _, err := r.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := r.Active("m")
+	want1 := pmfFingerprint(t, v1.Compiled, rows)
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go r.Watch(dir, 5*time.Millisecond, stop, nil)
+
+	// Same-size rewrite could share an mtime stamp on coarse filesystems;
+	// wait a beat so ModTime moves.
+	time.Sleep(20 * time.Millisecond)
+	if err := model.SaveForestFile(path, "m", mf2.Forest, mf2.Schema); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v, _ := r.Active("m")
+		if v != nil && v.Seq == 2 {
+			if got := pmfFingerprint(t, v.Compiled, rows); sameFloats(got, want1) {
+				t.Fatal("reloaded version predicts like the old one")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watch never activated the rewritten model")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestVersionPruning(t *testing.T) {
+	r := New()
+	mf1, _ := trainFile(t, 1)
+	for i := 0; i < keepVersions+3; i++ {
+		if _, err := r.Load("m", mf1, "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, _ := r.Get("m")
+	if len(info.Versions) != keepVersions {
+		t.Fatalf("kept %d versions, want %d", len(info.Versions), keepVersions)
+	}
+	if info.Versions[len(info.Versions)-1].Seq != keepVersions+3 {
+		t.Fatalf("newest kept seq = %d", info.Versions[len(info.Versions)-1].Seq)
+	}
+}

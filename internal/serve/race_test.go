@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled skips allocation-count assertions: the race detector
+// instruments every allocation and inflates AllocsPerRun.
+const raceEnabled = true

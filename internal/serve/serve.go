@@ -1,48 +1,477 @@
-// Package serve exposes a trained TreeServer model over HTTP — the "client
-// queries" edge of Fig. 2. Endpoints:
+// Package serve is the production serving surface: a versioned /v1 HTTP API
+// over the compiled inference engine (internal/infer) and the hot-swap model
+// registry (internal/registry).
 //
-//	GET  /healthz   liveness probe
-//	GET  /schema    feature names, kinds and class labels (JSON)
-//	POST /predict   JSON {"rows":[{"col":"value",...},...]} -> predictions
+//	GET  /healthz                        liveness probe
+//	GET  /v1/models                      registry listing (versions, schema)
+//	GET  /v1/models/{name}               one model's listing
+//	POST /v1/models/{name}/predict       {"rows":[{...}],"max_depth":N}
+//	POST /v1/models/{name}/activate      {"seq":N} (omit/0 = newest staged)
+//	POST /v1/models/{name}/rollback      re-activate the previous version
 //
-// Values arrive as strings and are parsed against the model's stored
-// training schema, so categorical codings always match training; missing
-// and unseen values follow the paper's Appendix-D semantics.
+// Every /v1 handler reports failures as a structured envelope
+// {"error":{"code":"...","message":"..."}}. The predict hot path is
+// allocation-free in steady state: request bodies land in pooled buffers,
+// rows are decoded straight into the model's pooled row blocks
+// (infer.Model.DecodeRequest), and responses are rendered by a pooled
+// hand-written encoder.
+//
+// The pre-/v1 routes survive as deprecated aliases so existing callers keep
+// working: /predict and /schema forward to the default model with their
+// original response and error shapes.
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync"
+	"time"
+	"unicode/utf8"
 
+	"treeserver/internal/infer"
 	"treeserver/internal/model"
+	"treeserver/internal/obs"
+	"treeserver/internal/registry"
 )
 
-// Server wraps a loaded model file as an http.Handler.
+// Error codes of the /v1 envelope.
+const (
+	CodeInvalidRequest   = "invalid_request"
+	CodeTooManyRows      = "too_many_rows"
+	CodeModelNotFound    = "model_not_found"
+	CodeNoActiveVersion  = "no_active_version"
+	CodeVersionNotFound  = "version_not_found"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeNotFound         = "not_found"
+)
+
+// DefaultMaxRows caps rows per predict request unless overridden.
+const DefaultMaxRows = 100000
+
+// Server is the HTTP front end over a model registry.
 type Server struct {
-	Model *model.File
-	mux   *http.ServeMux
+	reg          *registry.Registry
+	obs          *obs.Registry
+	defaultModel string
+	maxRows      int
+	defaultDepth int // default truncation depth for forests (0 = full)
+	mux          *http.ServeMux
+	bufPool      sync.Pool // *bytes.Buffer: request bodies and responses
 }
 
-// New builds a server around a loaded model.
-func New(m *model.File) *Server {
-	s := &Server{Model: m, mux: http.NewServeMux()}
+// Option configures a Server.
+type Option func(*Server)
+
+// WithObs threads serving telemetry into an obs registry.
+func WithObs(r *obs.Registry) Option { return func(s *Server) { s.obs = r } }
+
+// WithDefaultModel names the model the legacy /predict and /schema aliases
+// forward to. Unset, the alias resolves only when exactly one model exists.
+func WithDefaultModel(name string) Option { return func(s *Server) { s.defaultModel = name } }
+
+// WithMaxRows overrides the per-request row cap.
+func WithMaxRows(n int) Option { return func(s *Server) { s.maxRows = n } }
+
+// WithMaxDepth sets the default Appendix-D truncation depth applied to
+// forest predictions when the request doesn't carry its own max_depth.
+func WithMaxDepth(d int) Option { return func(s *Server) { s.defaultDepth = d } }
+
+// New builds a server over a registry.
+func New(reg *registry.Registry, opts ...Option) *Server {
+	s := &Server{reg: reg, maxRows: DefaultMaxRows, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.bufPool.New = func() any { return &bytes.Buffer{} }
 	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/schema", s.handleSchema)
-	s.mux.HandleFunc("/predict", s.handlePredict)
+	s.mux.HandleFunc("/v1/models", s.handleList)
+	s.mux.HandleFunc("/v1/models/{name}", s.handleGet)
+	s.mux.HandleFunc("/v1/models/{name}/predict", s.handlePredict)
+	s.mux.HandleFunc("/v1/models/{name}/activate", s.handleActivate)
+	s.mux.HandleFunc("/v1/models/{name}/rollback", s.handleRollback)
+	s.mux.HandleFunc("/predict", s.handleLegacyPredict)
+	s.mux.HandleFunc("/schema", s.handleLegacySchema)
+	s.mux.HandleFunc("/", s.handleFallback)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// ListenAndServe runs the server until the listener fails.
+func (s *Server) ListenAndServe(addr string) error {
+	return http.ListenAndServe(addr, s)
+}
+
+// --- error envelope ---
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorEnvelope{Error: errorBody{Code: code, Message: msg}})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// --- plumbing handlers ---
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
-// schemaResponse is the /schema payload.
-type schemaResponse struct {
+func (s *Server) handleFallback(w http.ResponseWriter, r *http.Request) {
+	s.writeError(w, http.StatusNotFound, CodeNotFound, "no such route: "+r.URL.Path)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
+		return
+	}
+	infos := s.reg.List()
+	if infos == nil {
+		infos = []*registry.Info{}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"models": infos})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
+		return
+	}
+	name := r.PathValue("name")
+	info, ok := s.reg.Get(name)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, CodeModelNotFound, "unknown model "+strconv.Quote(name))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, info)
+}
+
+type activateRequest struct {
+	Seq int `json:"seq"`
+}
+
+type activateResponse struct {
+	Name      string `json:"name"`
+	ActiveSeq int    `json:"active_seq"`
+}
+
+func (s *Server) handleActivate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST required")
+		return
+	}
+	name := r.PathValue("name")
+	var req activateRequest
+	if r.Body != nil && r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			s.writeError(w, http.StatusBadRequest, CodeInvalidRequest, "invalid JSON: "+err.Error())
+			return
+		}
+	}
+	v, err := s.reg.Activate(name, req.Seq)
+	if err != nil {
+		code, status := CodeVersionNotFound, http.StatusNotFound
+		if _, known := s.reg.Get(name); !known {
+			code = CodeModelNotFound
+		}
+		s.writeError(w, status, code, err.Error())
+		return
+	}
+	s.obs.Serve().Swap()
+	s.writeJSON(w, http.StatusOK, activateResponse{Name: name, ActiveSeq: v.Seq})
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST required")
+		return
+	}
+	name := r.PathValue("name")
+	v, err := s.reg.Rollback(name)
+	if err != nil {
+		code := CodeVersionNotFound
+		if _, known := s.reg.Get(name); !known {
+			code = CodeModelNotFound
+		}
+		s.writeError(w, http.StatusNotFound, code, err.Error())
+		return
+	}
+	s.obs.Serve().Swap()
+	s.writeJSON(w, http.StatusOK, activateResponse{Name: name, ActiveSeq: v.Seq})
+}
+
+// --- predict hot path ---
+
+// predictOutcome is what the shared predict core reports for telemetry.
+type predictOutcome struct {
+	rows  int
+	isErr bool
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	name := r.PathValue("name")
+	out := s.predict(w, r, name, false)
+	s.obs.Serve().Request(name, out.rows, time.Since(start).Nanoseconds(), out.isErr)
+}
+
+// resolveDefault names the model legacy aliases forward to: the configured
+// default, or the registry's only model.
+func (s *Server) resolveDefault() string {
+	if s.defaultModel != "" {
+		return s.defaultModel
+	}
+	if names := s.reg.Names(); len(names) == 1 {
+		return names[0]
+	}
+	return ""
+}
+
+// predict runs the shared predict core. legacy selects the pre-/v1 response
+// and error shapes. Returns telemetry for the caller to record.
+func (s *Server) predict(w http.ResponseWriter, r *http.Request, name string, legacy bool) predictOutcome {
+	fail := func(status int, code, msg string) predictOutcome {
+		if legacy {
+			// The pre-/v1 error shape was a bare {"error":"message"}.
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			fmt.Fprintf(w, "{\"error\":%s}\n", strconv.Quote(msg))
+		} else {
+			s.writeError(w, status, code, msg)
+		}
+		return predictOutcome{isErr: true}
+	}
+	if r.Method != http.MethodPost {
+		return fail(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST required")
+	}
+	if name == "" {
+		return fail(http.StatusNotFound, CodeModelNotFound,
+			"no default model configured; use /v1/models/{name}/predict")
+	}
+	v, ok := s.reg.Active(name)
+	if !ok {
+		if _, known := s.reg.Get(name); known {
+			return fail(http.StatusServiceUnavailable, CodeNoActiveVersion,
+				"model "+strconv.Quote(name)+" has no active version")
+		}
+		return fail(http.StatusNotFound, CodeModelNotFound, "unknown model "+strconv.Quote(name))
+	}
+	m := v.Compiled
+
+	body := s.bufPool.Get().(*bytes.Buffer)
+	body.Reset()
+	defer s.bufPool.Put(body)
+	if _, err := body.ReadFrom(r.Body); err != nil {
+		return fail(http.StatusBadRequest, CodeInvalidRequest, "reading body: "+err.Error())
+	}
+
+	block := m.GetBlock()
+	defer m.PutBlock(block)
+	depth, err := m.DecodeRequest(block, body.Bytes(), s.maxRows)
+	if err != nil {
+		if errors.Is(err, infer.ErrTooManyRows) {
+			return fail(http.StatusRequestEntityTooLarge, CodeTooManyRows, err.Error())
+		}
+		return fail(http.StatusBadRequest, CodeInvalidRequest, err.Error())
+	}
+	if block.Len() == 0 {
+		return fail(http.StatusBadRequest, CodeInvalidRequest, "no rows")
+	}
+	switch {
+	case depth < 0:
+		return fail(http.StatusBadRequest, CodeInvalidRequest, "max_depth must be >= 0")
+	case depth > 0 && !m.DepthTruncation():
+		return fail(http.StatusBadRequest, CodeInvalidRequest,
+			"max_depth applies only to forest models (boost trees predict at leaves)")
+	case depth == 0 && m.DepthTruncation():
+		depth = s.defaultDepth
+	}
+
+	res := m.GetResult()
+	defer m.PutResult(res)
+	m.Predict(block, res, depth)
+
+	resp := s.bufPool.Get().(*bytes.Buffer)
+	resp.Reset()
+	defer s.bufPool.Put(resp)
+	if legacy {
+		encodeLegacyResponse(resp, m, res)
+	} else {
+		encodeResponse(resp, v, m, res)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(resp.Bytes())
+	return predictOutcome{rows: res.Len()}
+}
+
+// encodeResponse renders the /v1 predict response:
+//
+//	{"model":"m","version":2,"predictions":[{"class":"C1","pmf":[..]},...]}
+//
+// hand-written into a pooled buffer so the hot path stays zero-alloc.
+func encodeResponse(buf *bytes.Buffer, v *registry.Version, m *infer.Model, res *infer.Result) {
+	b := buf.AvailableBuffer()
+	b = append(b, `{"model":`...)
+	b = appendJSONString(b, v.Name)
+	b = append(b, `,"version":`...)
+	b = strconv.AppendInt(b, int64(v.Seq), 10)
+	b = append(b, `,"predictions":[`...)
+	classes := m.Classes()
+	for i := 0; i < res.Len(); i++ {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		switch {
+		case m.Regression():
+			b = append(b, `{"value":`...)
+			b = appendJSONFloat(b, res.Value(i))
+			b = append(b, '}')
+		case m.Kind() == "forest":
+			b = append(b, `{"class":`...)
+			b = appendJSONString(b, classes[res.Class(i)])
+			b = append(b, `,"pmf":[`...)
+			for j, p := range res.PMF(i) {
+				if j > 0 {
+					b = append(b, ',')
+				}
+				b = appendJSONFloat(b, p)
+			}
+			b = append(b, ']', '}')
+		default: // boost classification: class only
+			b = append(b, `{"class":`...)
+			b = appendJSONString(b, classes[res.Class(i)])
+			b = append(b, '}')
+		}
+	}
+	b = append(b, `]}`...)
+	b = append(b, '\n')
+	_, _ = buf.Write(b)
+}
+
+// encodeLegacyResponse renders the pre-/v1 shape: {"predictions":[...]}
+// with encoding/json omitempty semantics (class omitted when empty, pmf when
+// absent, value when zero) so old callers see byte-compatible output.
+func encodeLegacyResponse(buf *bytes.Buffer, m *infer.Model, res *infer.Result) {
+	b := buf.AvailableBuffer()
+	b = append(b, `{"predictions":[`...)
+	classes := m.Classes()
+	for i := 0; i < res.Len(); i++ {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, '{')
+		if !m.Regression() {
+			b = append(b, `"class":`...)
+			b = appendJSONString(b, classes[res.Class(i)])
+			if m.Kind() == "forest" {
+				b = append(b, `,"pmf":[`...)
+				for j, p := range res.PMF(i) {
+					if j > 0 {
+						b = append(b, ',')
+					}
+					b = appendJSONFloat(b, p)
+				}
+				b = append(b, ']')
+			}
+		} else if res.Value(i) != 0 {
+			b = append(b, `"value":`...)
+			b = appendJSONFloat(b, res.Value(i))
+		}
+		b = append(b, '}')
+	}
+	b = append(b, `]}`...)
+	b = append(b, '\n')
+	_, _ = buf.Write(b)
+}
+
+// appendJSONFloat appends a float the way encoding/json does for the common
+// cases: shortest round-trip decimal. (NaN/Inf cannot reach here — PMFs and
+// means are finite.)
+func appendJSONFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// appendJSONString appends a JSON-escaped string. strconv.AppendQuote is not
+// usable here: it emits Go-syntax \x escapes, which are invalid JSON.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' && c < utf8.RuneSelf {
+			i++
+			continue
+		}
+		b = append(b, s[start:i]...)
+		if c >= utf8.RuneSelf {
+			// Valid UTF-8 passes through untouched; invalid bytes become the
+			// replacement rune, like encoding/json.
+			r, size := utf8.DecodeRuneInString(s[i:])
+			if r == utf8.RuneError && size == 1 {
+				b = append(b, `�`...)
+			} else {
+				b = append(b, s[i:i+size]...)
+			}
+			i += size
+			start = i
+			continue
+		}
+		switch c {
+		case '"':
+			b = append(b, '\\', '"')
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		case '\r':
+			b = append(b, '\\', 'r')
+		case '\t':
+			b = append(b, '\\', 't')
+		default:
+			b = append(b, `\u00`...)
+			const hex = "0123456789abcdef"
+			b = append(b, hex[c>>4], hex[c&0xF])
+		}
+		i++
+		start = i
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+// --- legacy aliases ---
+
+func (s *Server) handleLegacyPredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	name := s.resolveDefault()
+	out := s.predict(w, r, name, true)
+	s.obs.Serve().Request(name, out.rows, time.Since(start).Nanoseconds(), out.isErr)
+}
+
+// legacySchemaResponse is the pre-/v1 /schema payload, kept byte-compatible.
+type legacySchemaResponse struct {
 	Model      string   `json:"model"`
 	Kind       string   `json:"kind"`
 	Task       string   `json:"task"`
@@ -53,11 +482,20 @@ type schemaResponse struct {
 	TargetName string   `json:"target"`
 }
 
-func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
-	sc := s.Model.Schema
-	resp := schemaResponse{
-		Model:      s.Model.Name,
-		Kind:       s.Model.Kind,
+func (s *Server) handleLegacySchema(w http.ResponseWriter, r *http.Request) {
+	name := s.resolveDefault()
+	v, ok := s.reg.Active(name)
+	if !ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprintln(w, `{"error":"no default model"}`)
+		return
+	}
+	mf := v.File
+	sc := mf.Schema
+	resp := legacySchemaResponse{
+		Model:      mf.Name,
+		Kind:       mf.Kind,
 		Task:       "classification",
 		Features:   sc.FeatureNames(),
 		TargetName: sc.Names[sc.Target],
@@ -67,66 +505,28 @@ func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
 	} else {
 		resp.Classes = sc.TargetLevels()
 	}
-	if s.Model.Forest != nil {
-		resp.NumTrees = len(s.Model.Forest.Trees)
+	if mf.Forest != nil {
+		resp.NumTrees = len(mf.Forest.Trees)
 	}
-	if s.Model.Boost != nil {
-		resp.NumRounds = len(s.Model.Boost.Rounds)
+	if mf.Boost != nil {
+		resp.NumRounds = len(mf.Boost.Rounds)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// predictRequest is the /predict payload.
-type predictRequest struct {
-	Rows []map[string]string `json:"rows"`
-}
-
-// predictResponse is the /predict result.
-type predictResponse struct {
-	Predictions []model.Prediction `json:"predictions"`
-}
-
-func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST required")
-		return
+// NewSingle wraps one loaded model file in a registry and serves it — the
+// tsserve -model fast path and a convenience for tests.
+func NewSingle(mf *model.File, opts ...Option) (*Server, error) {
+	reg := registry.New()
+	name := mf.Name
+	if name == "" {
+		name = "default"
 	}
-	var req predictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
-		return
+	if _, err := reg.Load(name, mf, "inline"); err != nil {
+		return nil, err
 	}
-	if len(req.Rows) == 0 {
-		httpError(w, http.StatusBadRequest, "no rows")
-		return
+	if _, err := reg.Activate(name, 0); err != nil {
+		return nil, err
 	}
-	const maxRows = 100000
-	if len(req.Rows) > maxRows {
-		httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("at most %d rows per request", maxRows))
-		return
-	}
-	tbl, err := s.Model.Schema.ParseRows(req.Rows)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	writeJSON(w, http.StatusOK, predictResponse{Predictions: s.Model.Predict(tbl)})
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers are gone; nothing more to do than note it for the client.
-		fmt.Fprintf(w, `{"error":%q}`, err.Error())
-	}
-}
-
-func httpError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
-}
-
-// ListenAndServe runs the server until the listener fails.
-func (s *Server) ListenAndServe(addr string) error {
-	return http.ListenAndServe(addr, s)
+	return New(reg, append([]Option{WithDefaultModel(name)}, opts...)...), nil
 }
