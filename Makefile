@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race recovery straggler hist failover serve cover bench experiments ablations examples fmt vet lint clean
+.PHONY: all build test race recovery straggler hist failover elastic serve cover bench experiments ablations examples fmt vet lint clean
 
 all: build test
 
@@ -48,6 +48,16 @@ failover:
 	$(GO) test -race ./internal/checkpoint/ -run 'TestStream|TestReplica|TestMultiSink'
 	$(GO) test -race ./internal/cluster/ -run 'TestLease|TestStandby|TestNoStandbyNoStreamTraffic'
 	$(GO) test -race ./internal/chaostest/ -run TestStandbyFailover
+
+# Elastic-fleet suite: membership protocol unit tests (live join, graceful
+# drain, fleet cap, generation fence), membership checkpoint records, and the
+# churn chaos cells (join under drops, drain mid-tree, join racing failover,
+# churn storm), all under the race detector.
+elastic:
+	$(GO) test -race ./internal/cluster/ -run 'TestJoin|TestDrain|TestFleetCap'
+	$(GO) test -race ./internal/checkpoint/ -run TestMembership
+	$(GO) test -race ./internal/loadbal/ -run TestMatrixGrow
+	$(GO) test -race ./internal/chaostest/ -run TestElasticChurn
 
 # Serving suite: compiled-vs-interpreter equivalence properties and
 # zero-alloc guards, registry hot-swap storm, and the /v1 handler tests,

@@ -10,6 +10,8 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -29,11 +31,15 @@ type serveBenchResult struct {
 	Arm            string  `json:"arm"` // "legacy" or "compiled"
 	Batch          int     `json:"batch"`
 	MaxDepth       int     `json:"max_depth,omitempty"` // 0 = full trees
-	NsPerOp        float64 `json:"ns_per_op"`
-	RowsPerSecCore float64 `json:"rows_per_sec_per_core"`
-	P50Ns          int64   `json:"p50_ns"`
-	P99Ns          int64   `json:"p99_ns"`
-	AllocsPerOp    int64   `json:"allocs_per_op"`
+	NsPerOp        float64 `json:"ns_per_op,omitempty"`
+	RowsPerSecCore float64 `json:"rows_per_sec_per_core,omitempty"`
+	P50Ns          int64   `json:"p50_ns,omitempty"`
+	P99Ns          int64   `json:"p99_ns,omitempty"`
+	AllocsPerOp    int64   `json:"allocs_per_op,omitempty"`
+	// Load-generator cells: aggregate throughput over this many concurrent
+	// client goroutines (0 = single-goroutine microbenchmark cell).
+	Goroutines int     `json:"goroutines,omitempty"`
+	RowsPerSec float64 `json:"rows_per_sec,omitempty"`
 }
 
 // serveBenchOutput is the schema of the -serve-json file.
@@ -45,6 +51,9 @@ type serveBenchOutput struct {
 	MaxTreeDep  int                `json:"max_tree_depth"`
 	Batches     []serveBenchResult `json:"batches"`
 	DepthSweep  []serveBenchResult `json:"depth_sweep"`
+	// LoadSweep is the multi-goroutine load-generator grid: aggregate
+	// rows/sec for each arm at 1, 4 and NumCPU concurrent clients.
+	LoadSweep []serveBenchResult `json:"load_sweep"`
 	// SpeedupAtBatch64 is compiled over legacy rows/sec at batch 64 — the
 	// acceptance headline.
 	SpeedupAtBatch64 float64 `json:"speedup_at_batch_64"`
@@ -71,6 +80,38 @@ func serveBenchArm(body []byte, work func([]byte)) (float64, int64, int64, int64
 	}
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	return nsPerOp, lat[calls/2], lat[calls*99/100], r.AllocsPerOp()
+}
+
+// loadThroughput drives the workload from n concurrent client goroutines for
+// a fixed wall-clock window and returns aggregate rows/sec. makeWork is
+// called once per goroutine so closures carrying per-client scratch (the
+// compiled arm's encode buffer) are never shared.
+func loadThroughput(makeWork func() func([]byte), body []byte, batch, n int, window time.Duration) float64 {
+	var ops atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		work := makeWork()
+		work(body) // warm per-client scratch outside the timed window
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					work(body)
+					ops.Add(1)
+				}
+			}
+		}()
+	}
+	t0 := time.Now()
+	time.Sleep(window)
+	close(stop)
+	wg.Wait()
+	return float64(ops.Load()) * float64(batch) / time.Since(t0).Seconds()
 }
 
 // runServeBench trains a forest once, then A/Bs the legacy interpreter path
@@ -154,8 +195,11 @@ func runServeBench(quick bool) serveBenchOutput {
 		}
 	}
 
-	var out bytes.Buffer
-	compiledWorkAt := func(depth int) func([]byte) {
+	// newCompiledWork builds one request-scoring closure with its own encode
+	// buffer — per-client state, exactly as each connection goroutine owns
+	// one in the server. The load generator calls this once per goroutine.
+	newCompiledWork := func(depth int) func([]byte) {
+		var out bytes.Buffer
 		return func(body []byte) {
 			block := cm.GetBlock()
 			res := cm.GetResult()
@@ -192,7 +236,7 @@ func runServeBench(quick bool) serveBenchOutput {
 			cm.PutBlock(block)
 		}
 	}
-	compiledWork := compiledWorkAt(0)
+	compiledWork := newCompiledWork(0)
 
 	output := serveBenchOutput{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -225,11 +269,41 @@ func runServeBench(quick bool) serveBenchOutput {
 	}
 	fmt.Printf("serve speedup at batch 64: %.2fx\n", output.SpeedupAtBatch64)
 
+	// Multi-goroutine load generator: aggregate throughput at 1, 4 and
+	// NumCPU concurrent clients on the batch-64 body — how the serving path
+	// scales when connections pile on, not just how fast one core runs.
+	window := 300 * time.Millisecond
+	if quick {
+		window = 150 * time.Millisecond
+	}
+	loadBody := makeBody(64)
+	seen := map[int]bool{}
+	for _, g := range []int{1, 4, runtime.NumCPU()} {
+		if g < 1 || seen[g] {
+			continue
+		}
+		seen[g] = true
+		for _, arm := range []struct {
+			name string
+			mk   func() func([]byte)
+		}{
+			// legacyWork keeps no per-call state, so every client can share it.
+			{"legacy", func() func([]byte) { return legacyWork }},
+			{"compiled", func() func([]byte) { return newCompiledWork(0) }},
+		} {
+			rps := loadThroughput(arm.mk, loadBody, 64, g, window)
+			output.LoadSweep = append(output.LoadSweep, serveBenchResult{
+				Arm: arm.name, Batch: 64, Goroutines: g, RowsPerSec: rps,
+			})
+			fmt.Printf("serve %-8s load %2d goroutine(s)  %12.0f rows/s aggregate\n", arm.name, g, rps)
+		}
+	}
+
 	// MaxDepth sweep: the Appendix-D truncation knob on the compiled arm.
 	// Depths step from 2 up to the deepest trained tree.
 	body := makeBody(256)
 	for depth := 2; depth <= cm.MaxTreeDepth(); depth += 2 {
-		ns, p50, p99, allocs := serveBenchArm(body, compiledWorkAt(depth))
+		ns, p50, p99, allocs := serveBenchArm(body, newCompiledWork(depth))
 		res := serveBenchResult{
 			Arm: "compiled", Batch: 256, MaxDepth: depth, NsPerOp: ns,
 			RowsPerSecCore: 256 / (ns / 1e9),

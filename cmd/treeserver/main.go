@@ -82,6 +82,10 @@ func main() {
 		advertise   = flag.String("advertise", "", "externally reachable master address, sent to rejoining workers (master role)")
 		standbyOn   = flag.Bool("standby", false, "attach an in-process hot standby (local role)")
 		promoteAddr = flag.String("promote-listen", "", "host:port the promoted master listens on after failover; must be reachable by workers (standby role)")
+
+		joinN    = flag.Int("join", 0, "live-join this many extra workers through the membership handshake after the cluster starts (local role)")
+		drainW   = flag.Int("drain", -1, "gracefully drain this worker index (cordon, hand off columns, retire) before training (local role)")
+		fleetCap = flag.Int("fleet-cap", 0, "reject live joins that would grow the fleet past this size (0 = unbounded; local role)")
 	)
 	flag.Parse()
 	savedModelName = *modelName
@@ -98,10 +102,11 @@ func main() {
 	hm := histMode{mode: splitMode, maxBins: *maxBins, topK: *topK}
 	hc := ha{standbyAddr: *standbyAddr, leaseTTL: *leaseTTL, advertise: *advertise,
 		standby: *standbyOn, promoteListen: *promoteAddr}
+	el := elastic{join: *joinN, drain: *drainW, fleetCap: *fleetCap}
 	reg := newTelemetry(*report, *debugAddr)
 	switch *role {
 	case "local":
-		runLocal(*storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *compers, *workersN, *out, reg, *report, ck, gf, hm, hc)
+		runLocal(*storeDir, *tableName, *job, *trees, *dmax, *minLeaf, *tauD, *tauDFS, *npool, *replicas, *compers, *workersN, *out, reg, *report, ck, gf, hm, hc, el)
 	case "worker":
 		runWorker(*listen, *masterAddr, *workerList, *id, *storeDir, *tableName, *replicas, *compers, reg)
 	case "master":
@@ -110,6 +115,35 @@ func main() {
 		runStandby(*listen, *masterAddr, *workerList, *storeDir, *tableName, *job, *tauD, *tauDFS, *npool, *replicas, *out, reg, *report, ck, gf, hm, hc)
 	default:
 		log.Fatalf("unknown role %q", *role)
+	}
+}
+
+// elastic carries the fleet-membership flags to the local role runner: how
+// many workers to live-join, which worker to gracefully drain, and the
+// admission cap on fleet growth.
+type elastic struct {
+	join     int
+	drain    int
+	fleetCap int
+}
+
+// applyTo runs the configured membership transitions against a started
+// cluster: join the extra workers through the live handshake, then drain
+// the chosen worker. Both go through exactly the protocol a mid-job
+// transition uses.
+func (e elastic) applyTo(c *cluster.Cluster) {
+	for i := 0; i < e.join; i++ {
+		w, err := c.Join()
+		if err != nil {
+			log.Fatalf("live join: %v", err)
+		}
+		fmt.Printf("worker %d joined the fleet live\n", w.ID())
+	}
+	if e.drain >= 0 {
+		if err := c.Drain(e.drain); err != nil {
+			log.Fatalf("draining worker %d: %v", e.drain, err)
+		}
+		fmt.Printf("worker %d drained gracefully\n", e.drain)
 	}
 }
 
@@ -224,7 +258,7 @@ func writeModel(path, job string, trained []*core.Tree, tbl *dataset.Table) {
 	fmt.Printf("model with %d tree(s) written to %s (serve it with tsserve)\n", len(trained), path)
 }
 
-func runLocal(storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas, compers, workers int, out string, reg *obs.Registry, report bool, ck ckpt, gf gray, hm histMode, hc ha) {
+func runLocal(storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDFS, npool, replicas, compers, workers int, out string, reg *obs.Registry, report bool, ck ckpt, gf gray, hm histMode, hc ha, el elastic) {
 	tbl, _, _ := loadTable(storeDir, tableName)
 	opts := []cluster.Option{
 		cluster.WithWorkers(workers), cluster.WithCompers(compers), cluster.WithReplicas(replicas),
@@ -253,11 +287,15 @@ func runLocal(storeDir, tableName, job string, trees, dmax, minLeaf, tauD, tauDF
 	if gf.quarantine > 0 {
 		opts = append(opts, cluster.WithQuarantine(gf.quarantine, 0))
 	}
+	if el.fleetCap > 0 {
+		opts = append(opts, cluster.WithFleetCap(el.fleetCap))
+	}
 	c, err := cluster.NewInProcess(tbl, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer c.Close()
+	el.applyTo(c)
 	start := time.Now()
 	var trained []*core.Tree
 	if ck.resume {

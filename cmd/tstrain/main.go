@@ -54,6 +54,9 @@ func main() {
 		topK      = flag.Int("top-k", 0, "hist mode: candidate splits each worker votes per node (0 = cluster default)")
 		standby   = flag.Bool("standby", false, "attach an in-process hot-standby master (diskless failover)")
 		leaseTTL  = flag.Duration("lease-ttl", 0, "failover lease duration (0 = default; implies -standby)")
+		joinN     = flag.Int("join", 0, "live-join this many extra workers through the membership handshake after the cluster starts")
+		drainW    = flag.Int("drain", -1, "gracefully drain this worker index (cordon, hand off columns, retire) before training")
+		fleetCap  = flag.Int("fleet-cap", 0, "reject live joins that would grow the fleet past this size (0 = unbounded)")
 	)
 	flag.Parse()
 	if *csvPath == "" || *target == "" {
@@ -130,11 +133,30 @@ func main() {
 	if *topK > 0 {
 		copts = append(copts, cluster.WithTopK(*topK))
 	}
+	if *fleetCap > 0 {
+		copts = append(copts, cluster.WithFleetCap(*fleetCap))
+	}
 	c, err := cluster.NewInProcess(train, copts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer c.Close()
+
+	// Elastic-fleet transitions: joins and drains go through exactly the
+	// membership protocol a mid-job transition uses.
+	for i := 0; i < *joinN; i++ {
+		w, err := c.Join()
+		if err != nil {
+			log.Fatalf("live join: %v", err)
+		}
+		fmt.Printf("worker %d joined the fleet live\n", w.ID())
+	}
+	if *drainW >= 0 {
+		if err := c.Drain(*drainW); err != nil {
+			log.Fatalf("draining worker %d: %v", *drainW, err)
+		}
+		fmt.Printf("worker %d drained gracefully\n", *drainW)
+	}
 
 	params := core.Params{MaxDepth: *dmax, MinLeaf: *minLeaf}
 	var spec forest.ModelSpec

@@ -94,6 +94,17 @@ type TreeDone struct {
 	Canon string
 }
 
+// Membership is the incremental record appended when the fleet changes: a
+// worker joined live (fleet grew, the joiner now holds replicas) or a worker
+// was gracefully drained (its columns were handed to survivors and it left
+// the placement). A recovering master — disk restart or standby takeover —
+// folds it into the snapshot state so a failover mid-join or mid-drain
+// resumes with a consistent fleet view.
+type Membership struct {
+	NumWorkers int
+	Placement  loadbal.Placement
+}
+
 // DoneTrees counts the completed trees in the state.
 func (s *State) DoneTrees() int {
 	n := 0
@@ -134,6 +145,38 @@ func (s *State) verifyTrees() error {
 		}
 		if got := t.Tree.Canon(); got != t.Canon {
 			return fmt.Errorf("checkpoint: tree %d canon mismatch after decode", i)
+		}
+	}
+	return nil
+}
+
+// applyMembership folds a membership record into the state.
+func (s *State) applyMembership(mb Membership) error {
+	if err := verifyMembership(mb); err != nil {
+		return err
+	}
+	s.NumWorkers = mb.NumWorkers
+	s.Placement = mb.Placement
+	return nil
+}
+
+// verifyMembership bounds-checks a membership record: a corrupt fleet size
+// or an owner index outside the fleet would otherwise poison every slice
+// the recovering master sizes from it.
+func verifyMembership(mb Membership) error {
+	if mb.NumWorkers <= 0 {
+		return fmt.Errorf("checkpoint: membership record has fleet size %d", mb.NumWorkers)
+	}
+	if mb.Placement.NumWorkers > mb.NumWorkers {
+		return fmt.Errorf("checkpoint: membership placement spans %d workers, fleet is %d",
+			mb.Placement.NumWorkers, mb.NumWorkers)
+	}
+	for col, owners := range mb.Placement.Owners {
+		for _, w := range owners {
+			if w < 0 || w >= mb.NumWorkers {
+				return fmt.Errorf("checkpoint: membership owner %d of column %d outside fleet [0,%d)",
+					w, col, mb.NumWorkers)
+			}
 		}
 	}
 	return nil

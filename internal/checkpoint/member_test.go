@@ -1,0 +1,99 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"treeserver/internal/loadbal"
+)
+
+// Membership-record coverage: the durable log and the standby stream must
+// both reproduce a fleet transition (live join, drain retirement) exactly,
+// and reject corrupt records instead of materialising an impossible fleet.
+
+func grownMembership() Membership {
+	return Membership{
+		NumWorkers: 5,
+		Placement: loadbal.Placement{
+			Owners:     map[int][]int{0: {0, 1, 4}, 2: {1, 3}},
+			NumWorkers: 5,
+		},
+	}
+}
+
+func TestMembershipWriterRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	if _, err := w.Snapshot(testState(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendMembership(grownMembership()); err != nil {
+		t.Fatalf("AppendMembership: %v", err)
+	}
+
+	st, info, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if info.TruncatedRecords != 0 {
+		t.Fatalf("clean log reported %d truncated records", info.TruncatedRecords)
+	}
+	if st.NumWorkers != 5 || st.Placement.NumWorkers != 5 {
+		t.Fatalf("membership not applied: NumWorkers %d, placement span %d",
+			st.NumWorkers, st.Placement.NumWorkers)
+	}
+	owners := st.Placement.Owners[0]
+	if len(owners) != 3 || owners[2] != 4 {
+		t.Fatalf("column 0 owners after membership: %v, want [0 1 4]", owners)
+	}
+}
+
+func TestMembershipStreamsToReplica(t *testing.T) {
+	s, recs := collectSink()
+	if _, err := s.AppendMembership(grownMembership()); err == nil {
+		t.Fatal("AppendMembership before Snapshot must fail")
+	}
+	if _, err := s.Snapshot(testState(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendMembership(grownMembership()); err != nil {
+		t.Fatalf("AppendMembership: %v", err)
+	}
+
+	r := NewReplica()
+	for _, rec := range *recs {
+		if err := r.Apply(rec); err != nil {
+			t.Fatalf("Apply kind %d: %v", rec.Kind, err)
+		}
+	}
+	st, err := r.State()
+	if err != nil {
+		t.Fatalf("replica State: %v", err)
+	}
+	if st.NumWorkers != 5 || st.Placement.NumWorkers != 5 {
+		t.Fatalf("replica fleet after membership: NumWorkers %d span %d",
+			st.NumWorkers, st.Placement.NumWorkers)
+	}
+}
+
+func TestMembershipVerifyRejectsCorruptRecords(t *testing.T) {
+	cases := map[string]Membership{
+		"zero fleet":       {NumWorkers: 0},
+		"negative fleet":   {NumWorkers: -3},
+		"span over fleet":  {NumWorkers: 3, Placement: loadbal.Placement{NumWorkers: 9}},
+		"owner over fleet": {NumWorkers: 3, Placement: loadbal.Placement{Owners: map[int][]int{1: {0, 7}}, NumWorkers: 3}},
+		"negative owner":   {NumWorkers: 3, Placement: loadbal.Placement{Owners: map[int][]int{1: {-1}}, NumWorkers: 3}},
+	}
+	for name, mb := range cases {
+		if err := verifyMembership(mb); err == nil {
+			t.Errorf("%s: corrupt membership record accepted", name)
+		}
+	}
+	if err := verifyMembership(grownMembership()); err != nil {
+		t.Errorf("valid membership rejected: %v", err)
+	}
+}

@@ -14,11 +14,12 @@ import (
 
 // Sink receives the master's durable-state records. Writer implements Sink
 // (append to the local log); StreamSink implements it by handing records to
-// an emit function. Snapshot and AppendTreeDone return the payload bytes
-// produced, mirroring Writer's accounting.
+// an emit function. Snapshot, AppendTreeDone and AppendMembership return the
+// payload bytes produced, mirroring Writer's accounting.
 type Sink interface {
 	Snapshot(st *State) (int, error)
 	AppendTreeDone(td TreeDone) (int, error)
+	AppendMembership(mb Membership) (int, error)
 	Close() error
 }
 
@@ -31,8 +32,8 @@ var _ Sink = (*Writer)(nil)
 // recognise — and discard — tree-done records it has no base state for.
 type Record struct {
 	Seq     int
-	Kind    byte   // KindSnapshot or KindTreeDone
-	Payload []byte // gob-encoded State or TreeDone
+	Kind    byte   // KindSnapshot, KindTreeDone or KindMembership
+	Payload []byte // gob-encoded State, TreeDone or Membership
 }
 
 // StreamSink converts sink calls into Records and hands them to emit. The
@@ -76,6 +77,22 @@ func (s *StreamSink) AppendTreeDone(td TreeDone) (int, error) {
 		return 0, fmt.Errorf("checkpoint: stream AppendTreeDone before Snapshot")
 	}
 	s.emit(Record{Seq: s.seq, Kind: KindTreeDone, Payload: payload})
+	return len(payload), nil
+}
+
+// AppendMembership implements Sink: the fleet change joins the current
+// epoch.
+func (s *StreamSink) AppendMembership(mb Membership) (int, error) {
+	payload, err := encodeGob(&mb)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seq == 0 {
+		return 0, fmt.Errorf("checkpoint: stream AppendMembership before Snapshot")
+	}
+	s.emit(Record{Seq: s.seq, Kind: KindMembership, Payload: payload})
 	return len(payload), nil
 }
 
@@ -127,6 +144,21 @@ func (m *multiSink) AppendTreeDone(td TreeDone) (int, error) {
 	var first error
 	for i, s := range m.sinks {
 		bytes, err := s.AppendTreeDone(td)
+		if i == 0 {
+			n = bytes
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return n, first
+}
+
+func (m *multiSink) AppendMembership(mb Membership) (int, error) {
+	var n int
+	var first error
+	for i, s := range m.sinks {
+		bytes, err := s.AppendMembership(mb)
 		if i == 0 {
 			n = bytes
 		}
@@ -203,6 +235,25 @@ func (r *Replica) Apply(rec Record) error {
 			return nil
 		}
 		if err := r.st.apply(td); err != nil {
+			return err
+		}
+		r.applied++
+		return nil
+	case KindMembership:
+		var mb Membership
+		if err := decodeGob(rec.Payload, &mb); err != nil {
+			return err
+		}
+		if err := verifyMembership(mb); err != nil {
+			return err
+		}
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.st == nil || rec.Seq != r.seq {
+			r.dropped++
+			return nil
+		}
+		if err := r.st.applyMembership(mb); err != nil {
 			return err
 		}
 		r.applied++

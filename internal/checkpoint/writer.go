@@ -20,6 +20,9 @@ const (
 	KindSnapshot = byte(1)
 	// KindTreeDone is an incremental tree-completion record.
 	KindTreeDone = byte(2)
+	// KindMembership is an incremental fleet-change record (live join or
+	// graceful drain): new fleet size plus the rebalanced placement.
+	KindMembership = byte(3)
 
 	// keepFiles is how many snapshot files Snapshot retains: the newest plus
 	// one predecessor, so a corrupt newest file always has a fallback.
@@ -217,6 +220,29 @@ func (w *Writer) AppendTreeDone(td TreeDone) (int, error) {
 	return len(rec), nil
 }
 
+// AppendMembership appends (and fsyncs) one fleet-change record to the
+// current snapshot file. It returns the bytes written. Like AppendTreeDone,
+// calling it before any Snapshot is an error.
+func (w *Writer) AppendMembership(mb Membership) (int, error) {
+	payload, err := encodeGob(&mb)
+	if err != nil {
+		return 0, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return 0, fmt.Errorf("checkpoint: AppendMembership before Snapshot")
+	}
+	rec := frameRecord(KindMembership, payload)
+	if _, err := w.f.Write(rec); err != nil {
+		return 0, fmt.Errorf("checkpoint: appending record: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	return len(rec), nil
+}
+
 // pruneLocked removes snapshot files older than the newest keepFiles.
 func (w *Writer) pruneLocked() {
 	seqs, err := listSeqs(w.dir)
@@ -319,22 +345,34 @@ func loadFile(path string) (*State, int, error) {
 			truncated++
 			break // torn tail: keep the valid prefix
 		}
-		if kind != KindTreeDone {
+		switch kind {
+		case KindTreeDone:
+			var td TreeDone
+			if err := decodeGob(payload, &td); err != nil {
+				truncated++
+				return st, truncated, nil
+			}
+			if err := verifyTreeDone(td); err != nil {
+				truncated++
+				return st, truncated, nil
+			}
+			if err := st.apply(td); err != nil {
+				truncated++
+				return st, truncated, nil
+			}
+		case KindMembership:
+			var mb Membership
+			if err := decodeGob(payload, &mb); err != nil {
+				truncated++
+				return st, truncated, nil
+			}
+			if err := st.applyMembership(mb); err != nil {
+				truncated++
+				return st, truncated, nil
+			}
+		default:
 			truncated++
-			break // unknown record kind: a newer writer or corruption
-		}
-		var td TreeDone
-		if err := decodeGob(payload, &td); err != nil {
-			truncated++
-			break
-		}
-		if err := verifyTreeDone(td); err != nil {
-			truncated++
-			break
-		}
-		if err := st.apply(td); err != nil {
-			truncated++
-			break
+			return st, truncated, nil // unknown kind: a newer writer or corruption
 		}
 		rest = next
 	}

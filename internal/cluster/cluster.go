@@ -126,6 +126,9 @@ type Config struct {
 	// RejoinTimeout bounds the worker rejoin handshake during Resume
 	// (0 = default 10s).
 	RejoinTimeout time.Duration
+	// FleetCap bounds the total fleet size live joins may grow the cluster
+	// to (0 = unbounded). Must be 0 or >= Workers.
+	FleetCap int
 	// HedgeFactor enables hedged task execution (0 = off): a task attempt
 	// outliving HedgeFactor × the fleet latency estimate for its size gets a
 	// racing duplicate on disjoint workers.
@@ -265,6 +268,11 @@ func WithLease(ttl time.Duration) Option {
 // WithRejoinTimeout bounds the worker rejoin handshake during Resume.
 func WithRejoinTimeout(d time.Duration) Option { return func(c *Config) { c.RejoinTimeout = d } }
 
+// WithFleetCap bounds the total fleet size live joins may grow the cluster
+// to (0 = unbounded). Join requests that would exceed the cap are rejected
+// at admission.
+func WithFleetCap(n int) Option { return func(c *Config) { c.FleetCap = n } }
+
 // WithEndpointWrapper decorates every endpoint before use (fault injection).
 func WithEndpointWrapper(wrap func(transport.Endpoint) transport.Endpoint) Option {
 	return func(c *Config) { c.WrapEndpoint = wrap }
@@ -296,6 +304,12 @@ func (c Config) validate() error {
 	}
 	if c.Replicas > workers {
 		return fmt.Errorf("cluster: Replicas %d exceeds Workers %d — a column cannot have more replicas than machines", c.Replicas, workers)
+	}
+	if c.FleetCap < 0 {
+		return fmt.Errorf("cluster: FleetCap %d is negative", c.FleetCap)
+	}
+	if c.FleetCap > 0 && c.FleetCap < workers {
+		return fmt.Errorf("cluster: FleetCap %d is below the initial fleet of %d workers", c.FleetCap, workers)
 	}
 	if c.Ablation >= ablationModes {
 		return fmt.Errorf("cluster: unknown AblationMode(%d)", uint8(c.Ablation))
@@ -384,6 +398,10 @@ type Cluster struct {
 	placement loadbal.Placement
 	endpoint  func(string) transport.Endpoint
 	masterCfg MasterConfig
+
+	// y is the shared label column, kept so Join can hand it to workers
+	// created after construction (the paper loads Y on every machine).
+	y *dataset.Column
 }
 
 // NewInProcess partitions the table's columns over the configured number of
@@ -438,6 +456,7 @@ func NewInProcess(tbl *dataset.Table, opts ...Option) (*Cluster, error) {
 		c.Workers = append(c.Workers, worker)
 	}
 	c.schema, c.placement, c.endpoint = schema, placement, endpoint
+	c.y = tbl.Y()
 	c.masterCfg = MasterConfig{
 		NumWorkers: cfg.Workers, Policy: cfg.Policy,
 		Heartbeat:           cfg.Heartbeat,
@@ -457,6 +476,7 @@ func NewInProcess(tbl *dataset.Table, opts ...Option) (*Cluster, error) {
 		SplitMode:           cfg.SplitMode,
 		MaxBins:             cfg.MaxBins,
 		TopK:                cfg.TopK,
+		FleetCap:            cfg.FleetCap,
 		Obs:                 cfg.Observer,
 	}
 	if cfg.Standby {
@@ -522,6 +542,41 @@ func (c *Cluster) TrainOne(params core.Params) (*core.Tree, error) {
 		return nil, err
 	}
 	return trees[0], nil
+}
+
+// Join spins up a fresh worker machine on the cluster's fabric and runs the
+// live-join handshake: the worker announces itself, receives its column
+// replicas from the master-driven rebalance, and blocks until admitted into
+// the fleet (or terminally rejected — fleet cap, generation fence). The
+// worker is appended to c.Workers either way so Close still stops it. Not
+// safe for concurrent Join calls.
+func (c *Cluster) Join() (*Worker, error) {
+	i := len(c.Workers)
+	w := NewWorker(i, c.endpoint(WorkerName(i)), c.schema, map[int]*dataset.Column{}, c.y, c.cfg.Compers, c.cfg.Observer)
+	w.Start()
+	c.Workers = append(c.Workers, w)
+	if err := w.Join(c.cfg.JobTimeout); err != nil {
+		return w, err
+	}
+	return w, nil
+}
+
+// Drain cordons worker i, lets its in-flight work finish, hands its
+// last-replica columns to survivors and retires it without failing the job.
+// Blocks until the worker is retired (or force-shed on timeout).
+func (c *Cluster) Drain(i int) error {
+	return c.activeMaster().Drain(i)
+}
+
+// activeMaster resolves the cluster's acting master: the promoted standby
+// after a failover, the original otherwise.
+func (c *Cluster) activeMaster() *Master {
+	if c.Standby != nil {
+		if m := c.Standby.Master(); m != nil {
+			return m
+		}
+	}
+	return c.Master
 }
 
 // CrashWorker simulates a machine failure: the worker's endpoint starts

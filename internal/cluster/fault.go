@@ -25,7 +25,6 @@ import (
 
 func (m *Master) heartbeatLoop() {
 	defer m.wg.Done()
-	var seq int64
 	ticker := time.NewTicker(m.cfg.Heartbeat)
 	defer ticker.Stop()
 	for {
@@ -34,15 +33,20 @@ func (m *Master) heartbeatLoop() {
 			return
 		case <-ticker.C:
 		}
-		seq++
+		// The probe sequence lives on the master (m.hbSeq, under m.mu)
+		// rather than in a loop-local: a worker admitted mid-job starts at
+		// the current sequence, so the relative-lag detector grants it a
+		// full budget instead of failing it on its first probe.
 		m.mu.Lock()
+		m.hbSeq++
+		seq := m.hbSeq
 		failed := failedWorkers(m.alive, m.lastSeq, int64(m.cfg.HeartbeatBudget))
 		m.health.PingSent(seq, time.Now())
 		m.mu.Unlock()
 		for _, w := range failed {
 			m.NotifyWorkerFailure(w)
 		}
-		for w := 0; w < m.cfg.NumWorkers; w++ {
+		for w := 0; w < m.fleet(); w++ {
 			m.send(w, PingMsg{Seq: seq})
 		}
 	}
@@ -91,12 +95,16 @@ func (m *Master) NotifyWorkerFailure(failed int) {
 		return
 	}
 	m.alive[failed] = false
+	if failed < len(m.draining) {
+		// A draining worker that dies (or is force-shed) is simply dead.
+		m.draining[failed] = false
+	}
 	if m.health != nil {
 		// Fail-stop recovery owns the worker now; quarantine bookkeeping for
 		// it (and any outstanding probe) is void.
 		m.health.WorkerFailed(failed)
-		m.healthMask = m.health.preferredMask()
 	}
+	m.refreshMaskLocked()
 
 	if err := m.rereplicateLocked(failed); err != nil {
 		m.failJobLocked(err)
@@ -181,7 +189,7 @@ func (m *Master) rereplicateLocked(failed int) error {
 			}
 		}
 		for w := 0; w < m.cfg.NumWorkers; w++ {
-			if !m.alive[w] || m.placementHoldsLocked(w, col, survivors) {
+			if !m.alive[w] || m.draining[w] || m.placementHoldsLocked(w, col, survivors) {
 				continue
 			}
 			if held[w] < best {

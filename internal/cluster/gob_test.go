@@ -32,6 +32,8 @@ func messageSpecimens() []any {
 		BinAckMsg{}, TopKVoteMsg{}, HistogramRequestMsg{}, HistogramMsg{},
 		CkptRecordMsg{}, LeaseGrantMsg{}, LeaseRenewMsg{}, LeaseAckMsg{},
 		TakeoverMsg{},
+		JoinRequestMsg{}, JoinAcceptMsg{}, JoinRejectMsg{}, JoinReadyMsg{},
+		JoinAdmitMsg{}, DrainRequestMsg{}, ColumnCopyAckMsg{},
 	}
 }
 
@@ -201,7 +203,7 @@ func TestMessageFieldsAllExported(t *testing.T) {
 func TestMessageSpecimenListIsComplete(t *testing.T) {
 	declared := map[string]bool{}
 	registered := map[string]bool{}
-	for _, src := range []string{"messages.go", "histmsg.go", "standbymsg.go"} {
+	for _, src := range []string{"messages.go", "histmsg.go", "standbymsg.go", "membermsg.go"} {
 		fset := token.NewFileSet()
 		file, err := parser.ParseFile(fset, src, nil, 0)
 		if err != nil {

@@ -106,6 +106,10 @@ type MasterConfig struct {
 	SplitMode SplitMode
 	MaxBins   int
 	TopK      int
+	// FleetCap bounds the fleet size live joins may grow to (0 = unbounded).
+	// A join request that would push the fleet past the cap is rejected
+	// non-retryably. Must be zero or at least NumWorkers.
+	FleetCap int
 	// Obs, when non-nil, receives the master's scheduling telemetry (B_plan
 	// pushes, pool occupancy, task lifecycle spans).
 	Obs *obs.Registry
@@ -256,6 +260,21 @@ type Master struct {
 	lastPong []time.Time
 	lastSeq  []int64
 
+	// Elastic-fleet state. fleetSize atomically mirrors cfg.NumWorkers so
+	// the unlocked loops (heartbeat pings, shutdown broadcast, rejoin) see
+	// live fleet growth; hbSeq is the heartbeat probe sequence, kept under
+	// m.mu so an admitted joiner can start at the current value and get a
+	// full lag budget from the failure detector; draining cordons workers
+	// mid-drain (composed into healthMask); joins holds in-flight join
+	// handshakes; targetY retains the last SetTarget payload so a joiner
+	// can be caught up mid-boosting.
+	fleetSize  atomic.Int64
+	hbSeq      int64
+	draining   []bool
+	joins      map[int]*joinState
+	targetY    []float64
+	copyLanded map[[2]int]bool // (worker, col) column copies acknowledged
+
 	// Gray-failure tolerance (nil unless HedgeFactor or QuarantineThreshold
 	// is set). healthMask is the cached quarantine preference handed to the
 	// load balancer: nil when every worker is in good standing.
@@ -318,6 +337,12 @@ func NewMaster(ep transport.Endpoint, schema Schema, placement loadbal.Placement
 			cfg.MaxQuarantined = 1
 		}
 	}
+	if cfg.FleetCap < 0 {
+		return nil, fmt.Errorf("cluster: FleetCap %d is negative", cfg.FleetCap)
+	}
+	if cfg.FleetCap > 0 && cfg.FleetCap < cfg.NumWorkers {
+		return nil, fmt.Errorf("cluster: FleetCap %d below initial fleet %d", cfg.FleetCap, cfg.NumWorkers)
+	}
 	if cfg.SplitMode >= splitModes {
 		return nil, fmt.Errorf("cluster: unknown SplitMode(%d)", uint8(cfg.SplitMode))
 	}
@@ -351,8 +376,11 @@ func NewMaster(ep transport.Endpoint, schema Schema, placement loadbal.Placement
 		alive:     make([]bool, cfg.NumWorkers),
 		lastPong:  make([]time.Time, cfg.NumWorkers),
 		lastSeq:   make([]int64, cfg.NumWorkers),
+		draining:  make([]bool, cfg.NumWorkers),
+		joins:     map[int]*joinState{},
 		stop:      make(chan struct{}),
 	}
+	m.fleetSize.Store(int64(cfg.NumWorkers))
 	for i := range m.alive {
 		m.alive[i] = true
 		m.lastPong[i] = time.Now()
@@ -421,7 +449,7 @@ func (m *Master) Start() {
 func (m *Master) Stop() {
 	m.stopOnce.Do(func() {
 		close(m.stop)
-		for w := 0; w < m.cfg.NumWorkers; w++ {
+		for w := 0; w < m.fleet(); w++ {
 			_ = m.ep.Send(WorkerName(w), ShutdownMsg{})
 		}
 		m.ep.Close()
@@ -793,6 +821,15 @@ func (m *Master) recvLoop() {
 			m.handleBinAck(msg)
 		case RejoinReportMsg:
 			m.handleRejoinReport(msg)
+		case JoinRequestMsg:
+			m.handleJoinRequest(msg)
+		case JoinReadyMsg:
+			m.handleJoinReady(msg)
+		case DrainRequestMsg:
+			// Drain blocks until the worker quiesces; never stall θ_recv.
+			go func() { _ = m.Drain(msg.Worker) }()
+		case ColumnCopyAckMsg:
+			m.handleColumnCopyAck(msg)
 		case LeaseAckMsg:
 			m.handleLeaseAck(msg)
 		case TakeoverMsg:

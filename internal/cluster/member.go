@@ -1,0 +1,641 @@
+package cluster
+
+// Elastic fleet: live worker join, graceful drain, and replication-aware
+// rebalancing under churn. This generalizes the PR 4/PR 7 rejoin handshake
+// (crashed worker re-enters its old slot during Resume) into a membership
+// protocol that works mid-job:
+//
+//   - Live join: a brand-new worker announces itself with JoinRequestMsg and
+//     retries until it sees an admit or a terminal reject, so every message
+//     of the handshake may be lost and the join still converges. The master
+//     grows the fleet, draws a fair share of column replicas from the most
+//     loaded holders (the same least-loaded placement rule fail-stop
+//     re-replication uses), ships the copies through the existing
+//     ReplicateColumnMsg/ColumnCopyMsg path, and only marks the joiner
+//     schedulable after the joiner confirms every replica landed
+//     (JoinReadyMsg). Admission is fenced: a request carrying a newer
+//     generation than the master's proves the master is stale, and a
+//     configured FleetCap bounds growth.
+//
+//   - Graceful drain: Master.Drain cordons a worker (excluded from the load
+//     balancer's preference mask immediately), tops its columns back up to
+//     the replication factor on survivors, waits for the copies to be
+//     acknowledged and for every in-flight attempt touching the worker to
+//     finish, then retires it with zero failed tasks. A cordoned worker that
+//     will not quiesce — or that trips the PR 5 quarantine breaker mid-drain
+//     — is force-shed through the fail-stop path instead, so a drain can
+//     degrade but never wedge the job.
+//
+//   - Churn-safe invariants: every admission and retirement appends a
+//     checkpoint Membership record (and is folded into snapshots), which
+//     also streams to the hot standby, so a failover mid-join or mid-drain
+//     recovers a consistent fleet view. Determinism is unaffected by
+//     placement: a joiner only adds replicas, and every candidate column is
+//     still evaluated exactly once per task wherever it lives, so forests
+//     remain bit-identical to the serial oracle under churn.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"treeserver/internal/checkpoint"
+	"treeserver/internal/loadbal"
+	"treeserver/internal/split"
+)
+
+// joinState is one in-flight join handshake: the generation the accept was
+// issued under and the column replicas assigned to the joiner.
+type joinState struct {
+	gen  int64
+	cols []int
+}
+
+// drainCopy is one column hand-off a drain is waiting on: col must be
+// confirmed on worker to before the drainee may retire.
+type drainCopy struct {
+	col int
+	to  int
+}
+
+const (
+	// defaultDrainTimeout bounds how long Drain waits for a cordoned worker
+	// to quiesce before force-shedding it through the fail-stop path.
+	defaultDrainTimeout = 60 * time.Second
+	// drainPollEvery is the quiesce-poll interval.
+	drainPollEvery = 2 * time.Millisecond
+	// drainResendEvery re-drives unacknowledged column copies (the fabric
+	// may have dropped the ReplicateColumnMsg or the copy itself).
+	drainResendEvery = 250 * time.Millisecond
+)
+
+// fleet returns the current fleet size. It is the unlocked twin of
+// cfg.NumWorkers: loops that run outside m.mu (heartbeat pings, shutdown
+// broadcast, rejoin collection) must use it, or they would race live join's
+// fleet growth.
+func (m *Master) fleet() int { return int(m.fleetSize.Load()) }
+
+// refreshMaskLocked recomputes the scheduling preference mask handed to the
+// load balancer: a worker is preferred iff its quarantine circuit is closed
+// AND it is not draining. nil means no constraint. Caller holds m.mu.
+func (m *Master) refreshMaskLocked() {
+	base := m.health.preferredMask() // nil-safe; nil = all in good standing
+	anyDraining := false
+	for _, d := range m.draining {
+		if d {
+			anyDraining = true
+			break
+		}
+	}
+	if !anyDraining {
+		m.healthMask = base
+		return
+	}
+	mask := make([]bool, m.cfg.NumWorkers)
+	for w := range mask {
+		ok := base == nil || (w < len(base) && base[w])
+		mask[w] = ok && !m.draining[w]
+	}
+	m.healthMask = mask
+}
+
+// growFleetLocked extends every per-worker structure to n slots. New slots
+// are born dead (alive=false) — they become schedulable only through
+// admission. Shrinking never happens: worker ids are dense array indices
+// everywhere, so a retired slot is a permanent alive=false hole instead.
+// Caller holds m.mu.
+func (m *Master) growFleetLocked(n int) {
+	if n <= m.cfg.NumWorkers {
+		return
+	}
+	for len(m.alive) < n {
+		m.alive = append(m.alive, false)
+	}
+	for len(m.lastPong) < n {
+		m.lastPong = append(m.lastPong, time.Time{})
+	}
+	for len(m.lastSeq) < n {
+		m.lastSeq = append(m.lastSeq, 0)
+	}
+	for len(m.draining) < n {
+		m.draining = append(m.draining, false)
+	}
+	m.cfg.NumWorkers = n
+	m.fleetSize.Store(int64(n))
+	m.placement.NumWorkers = n
+	m.matrix.Grow(n)
+	m.health.grow(n)
+	m.refreshMaskLocked()
+}
+
+// placementCopyLocked deep-copies the current placement. Caller holds m.mu.
+func (m *Master) placementCopyLocked() loadbal.Placement {
+	p := loadbal.Placement{
+		Owners:     make(map[int][]int, len(m.placement.Owners)),
+		NumWorkers: m.placement.NumWorkers,
+	}
+	for col, owners := range m.placement.Owners {
+		p.Owners[col] = append([]int(nil), owners...)
+	}
+	return p
+}
+
+// PlacementSnapshot returns a deep copy of the current column placement —
+// the elastic chaos cells assert replication invariants on it.
+func (m *Master) PlacementSnapshot() loadbal.Placement {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.placementCopyLocked()
+}
+
+// appendMembershipLocked durably records a fleet transition (join admitted
+// or drain retired): an incremental Membership record through the sink —
+// which also streams it to the standby — falling back to a full snapshot if
+// the append fails, mirroring appendTreeDoneLocked. Before the first job
+// snapshot exists there is nothing to append to (and nothing to recover), so
+// pre-job transitions are captured by Train's initial snapshot instead.
+// Caller holds m.mu.
+func (m *Master) appendMembershipLocked() {
+	if m.sink == nil || m.jobSpecs == nil {
+		return
+	}
+	start := time.Now()
+	mb := checkpoint.Membership{NumWorkers: m.cfg.NumWorkers, Placement: m.placementCopyLocked()}
+	n, err := m.sink.AppendMembership(mb)
+	if err != nil {
+		m.obs.CheckpointError()
+		m.writeSnapshotLocked()
+		return
+	}
+	if m.ck != nil {
+		m.obs.CheckpointWritten(false, n, time.Since(start))
+	}
+}
+
+// rebalanceTargetsLocked picks the column replicas a joiner will receive: a
+// fair share (total replica slots over the post-join member count, at least
+// one) drawn from the columns whose current holders are the most loaded.
+// The draw is deterministic — sorted by (holder load desc, col asc) — so a
+// duplicated join request computes the same assignment. Caller holds m.mu.
+func (m *Master) rebalanceTargetsLocked(joiner int) []int {
+	held := make(map[int]int, m.cfg.NumWorkers)
+	total := 0
+	for _, owners := range m.placement.Owners {
+		for _, o := range owners {
+			held[o]++
+			total++
+		}
+	}
+	members := 1 // the joiner
+	for w := 0; w < m.cfg.NumWorkers; w++ {
+		if w != joiner && m.alive[w] && !m.draining[w] {
+			members++
+		}
+	}
+	share := total / members
+	if share < 1 {
+		share = 1
+	}
+	if n := len(m.placement.Owners); share > n {
+		share = n
+	}
+	type scored struct{ col, load int }
+	cand := make([]scored, 0, len(m.placement.Owners))
+	for col, owners := range m.placement.Owners {
+		if holdsCol(owners, joiner) {
+			continue
+		}
+		load := 0
+		for _, o := range owners {
+			if held[o] > load {
+				load = held[o]
+			}
+		}
+		cand = append(cand, scored{col: col, load: load})
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].load != cand[j].load {
+			return cand[i].load > cand[j].load
+		}
+		return cand[i].col < cand[j].col
+	})
+	if len(cand) > share {
+		cand = cand[:share]
+	}
+	cols := make([]int, 0, len(cand))
+	for _, c := range cand {
+		cols = append(cols, c.col)
+	}
+	sort.Ints(cols)
+	return cols
+}
+
+// replicaSourcesLocked resolves, for each assigned column, the worker that
+// will serve the copy: the first alive non-draining holder other than the
+// joiner (-1 if the column currently has none — the copy must wait for
+// recovery to restore one). Caller holds m.mu.
+func (m *Master) replicaSourcesLocked(cols []int, joiner int) []int {
+	srcs := make([]int, len(cols))
+	for i, col := range cols {
+		srcs[i] = -1
+		for _, o := range m.placement.Owners[col] {
+			if o != joiner && o >= 0 && o < len(m.alive) && m.alive[o] && !m.draining[o] {
+				srcs[i] = o
+				break
+			}
+		}
+	}
+	return srcs
+}
+
+// handleJoinRequest runs the admission gate. Every arm is idempotent: the
+// joiner retries its request until it sees JoinAdmitMsg or a non-retryable
+// JoinRejectMsg, so a duplicate request re-drives whatever stage the
+// handshake is in (re-accept + re-copy, or re-admit).
+func (m *Master) handleJoinRequest(msg JoinRequestMsg) {
+	w := msg.Worker
+	if w < 0 {
+		return
+	}
+	m.mu.Lock()
+	gen := m.gen
+	if msg.Gen > gen {
+		// The joiner has heard from a newer master: this primary is stale.
+		// Refusing (rather than admitting into a fenced fleet) is the same
+		// rule the lease takeover applies to task results.
+		m.mu.Unlock()
+		m.obs.JoinRejected()
+		m.send(w, JoinRejectMsg{Worker: w, Gen: gen,
+			Reason: fmt.Sprintf("generation fence: joiner saw gen %d, master is gen %d", msg.Gen, gen)})
+		return
+	}
+	if m.rejoinReports != nil {
+		// Mid-Resume: the fleet is being reconciled from rejoin reports;
+		// admitting now would race the reconciliation. Retryable — the
+		// joiner's retry loop lands after recovery completes.
+		m.mu.Unlock()
+		m.obs.JoinRejected()
+		m.send(w, JoinRejectMsg{Worker: w, Gen: gen, Reason: "master is mid-recovery", Retryable: true})
+		return
+	}
+	if js, ok := m.joins[w]; ok {
+		// Handshake already in flight: re-accept and re-drive the copies
+		// (the originals may have been lost).
+		cols := append([]int(nil), js.cols...)
+		srcs := m.replicaSourcesLocked(cols, w)
+		n := m.cfg.NumWorkers
+		jgen := js.gen
+		m.mu.Unlock()
+		m.send(w, JoinAcceptMsg{Worker: w, Gen: jgen, Cols: cols, NumWorkers: n})
+		for i, col := range cols {
+			if srcs[i] >= 0 {
+				m.send(srcs[i], ReplicateColumnMsg{Col: col, To: w})
+			}
+		}
+		return
+	}
+	if w < m.cfg.NumWorkers && m.alive[w] {
+		// Already admitted — the admit was lost; repeat it.
+		n := m.cfg.NumWorkers
+		m.mu.Unlock()
+		m.send(w, JoinAdmitMsg{Worker: w, Gen: gen, NumWorkers: n})
+		return
+	}
+	if w > m.cfg.NumWorkers {
+		// Worker ids are dense array indices; admitting w would leave a hole.
+		n := m.cfg.NumWorkers
+		m.mu.Unlock()
+		m.obs.JoinRejected()
+		m.send(w, JoinRejectMsg{Worker: w, Gen: gen,
+			Reason: fmt.Sprintf("worker index %d not contiguous with fleet of %d", w, n)})
+		return
+	}
+	if w == m.cfg.NumWorkers {
+		if m.cfg.FleetCap > 0 && m.cfg.NumWorkers+1 > m.cfg.FleetCap {
+			n := m.cfg.NumWorkers
+			m.mu.Unlock()
+			m.obs.JoinRejected()
+			m.send(w, JoinRejectMsg{Worker: w, Gen: gen,
+				Reason: fmt.Sprintf("fleet cap %d reached (fleet is %d)", m.cfg.FleetCap, n)})
+			return
+		}
+		m.growFleetLocked(w + 1)
+	}
+	// Fresh join into the grown tail slot — or a dead slot reclaimed by a
+	// new process, which starts columnless and is treated identically.
+	cols := m.rebalanceTargetsLocked(w)
+	m.joins[w] = &joinState{gen: gen, cols: cols}
+	srcs := m.replicaSourcesLocked(cols, w)
+	n := m.cfg.NumWorkers
+	m.mu.Unlock()
+	m.send(w, JoinAcceptMsg{Worker: w, Gen: gen, Cols: cols, NumWorkers: n})
+	for i, col := range cols {
+		if srcs[i] >= 0 {
+			m.send(srcs[i], ReplicateColumnMsg{Col: col, To: w})
+		}
+	}
+}
+
+// handleJoinReady admits a joiner whose replicas all landed: it becomes
+// alive (schedulable), enters the placement for the columns it reports
+// holding (the worker's report is authoritative, as in the rejoin
+// handshake), the transition is checkpointed, and the joiner is caught up
+// on cluster-wide state it missed — the current regression target and the
+// histogram bins — before the admit is sent.
+func (m *Master) handleJoinReady(msg JoinReadyMsg) {
+	w := msg.Worker
+	m.mu.Lock()
+	js, ok := m.joins[w]
+	if !ok || msg.Gen != js.gen || w < 0 || w >= m.cfg.NumWorkers {
+		m.mu.Unlock()
+		return // duplicate ready after admission, or a stale generation
+	}
+	delete(m.joins, w)
+	m.alive[w] = true
+	m.draining[w] = false
+	m.lastPong[w] = time.Now()
+	// Start the joiner at the current probe sequence: the relative-lag
+	// failure detector compares against the fleet's freshest pong, and a
+	// zero lastSeq would read as an instantly-dead worker.
+	m.lastSeq[w] = m.hbSeq
+	for _, col := range msg.Cols {
+		owners, ok := m.placement.Owners[col]
+		if ok && !holdsCol(owners, w) {
+			m.placement.Owners[col] = append(owners, w)
+		}
+	}
+	m.refreshMaskLocked()
+	m.obs.WorkerJoined()
+	m.obs.ColumnsRebalanced(len(msg.Cols))
+	m.appendMembershipLocked()
+	gen := js.gen
+	n := m.cfg.NumWorkers
+	var target *SetTargetMsg
+	if m.targetSeq > 0 && m.targetY != nil {
+		target = &SetTargetMsg{Seq: m.targetSeq, Y: m.targetY}
+	}
+	var binCatchup *BinBroadcastMsg
+	if m.binsReady {
+		cols := make([]int, 0, len(m.bins))
+		for col := range m.bins {
+			cols = append(cols, col)
+		}
+		sort.Ints(cols)
+		bins := make([]split.Bins, 0, len(cols))
+		for _, col := range cols {
+			bins = append(bins, m.bins[col])
+		}
+		binCatchup = &BinBroadcastMsg{Seq: m.binSeq, Bins: bins}
+	}
+	m.mu.Unlock()
+	m.send(w, JoinAdmitMsg{Worker: w, Gen: gen, NumWorkers: n})
+	if target != nil {
+		m.send(w, *target)
+	}
+	if binCatchup != nil {
+		m.send(w, *binCatchup)
+	}
+}
+
+// handleColumnCopyAck records a landed column copy; drains poll these.
+func (m *Master) handleColumnCopyAck(msg ColumnCopyAckMsg) {
+	m.mu.Lock()
+	if m.copyLanded == nil {
+		m.copyLanded = map[[2]int]bool{}
+	}
+	m.copyLanded[[2]int{msg.Worker, msg.Col}] = true
+	m.mu.Unlock()
+}
+
+// Drain gracefully retires worker w: cordon, hand-off, quiesce, retire. It
+// blocks until the worker is retired (returns nil), the worker was
+// force-shed through the fail-stop path because it would not quiesce or
+// tripped the quarantine breaker (also nil — the job continues either way),
+// or the drain could not start (error). Concurrent drains of different
+// workers are safe; draining the last survivor is refused.
+func (m *Master) Drain(w int) error {
+	m.mu.Lock()
+	if w < 0 || w >= m.cfg.NumWorkers {
+		m.mu.Unlock()
+		return fmt.Errorf("cluster: Drain(%d) outside fleet [0,%d)", w, m.cfg.NumWorkers)
+	}
+	if !m.alive[w] {
+		m.mu.Unlock()
+		return fmt.Errorf("cluster: Drain(%d): worker is not alive", w)
+	}
+	if m.draining[w] {
+		m.mu.Unlock()
+		return fmt.Errorf("cluster: Drain(%d): already draining", w)
+	}
+	survivors := 0
+	for x := 0; x < m.cfg.NumWorkers; x++ {
+		if x != w && m.alive[x] && !m.draining[x] {
+			survivors++
+		}
+	}
+	if survivors == 0 {
+		m.mu.Unlock()
+		return fmt.Errorf("cluster: Drain(%d): no surviving worker to hand columns to", w)
+	}
+	// Cordon: new assignments prefer everyone else from this instant.
+	m.draining[w] = true
+	m.refreshMaskLocked()
+	copies := m.drainHandoffLocked(w)
+	m.mu.Unlock()
+	if n := len(copies); n > 0 {
+		m.obs.ColumnsRebalanced(n)
+	}
+
+	// Quiesce: wait until every hand-off copy is acknowledged and no task
+	// state references w — no attempt involves it and no plan's parent
+	// delegate is it (children fetch their rows from the parent's delegate,
+	// so w must keep serving until the last such child completes).
+	deadline := time.Now().Add(defaultDrainTimeout)
+	lastResend := time.Now()
+	for {
+		select {
+		case <-m.stop:
+			return fmt.Errorf("cluster: master stopped during drain of worker %d", w)
+		case <-time.After(drainPollEvery):
+		}
+		m.mu.Lock()
+		pending := m.pendingCopiesLocked(copies)
+		busy := len(pending) > 0 || m.drainBusyLocked(w)
+		stuck := m.health != nil && w < len(m.health.state) && m.health.state[w] != circuitClosed
+		m.mu.Unlock()
+		if !busy {
+			break
+		}
+		if stuck || time.Now().After(deadline) {
+			// The cordoned worker will not quiesce (or the PR 5 quarantine
+			// tracker already gave up on it): shed it through fail-stop
+			// recovery — re-replication and task requeue keep the job alive.
+			m.obs.DrainShed()
+			m.NotifyWorkerFailure(w)
+			return nil
+		}
+		if time.Since(lastResend) >= drainResendEvery && len(pending) > 0 {
+			lastResend = time.Now()
+			m.resendDrainCopies(pending, w)
+		}
+	}
+
+	// Retire: the worker leaves the placement and the alive set; the
+	// transition is made durable; the worker is told to shut down.
+	m.mu.Lock()
+	m.alive[w] = false
+	m.draining[w] = false
+	for col, owners := range m.placement.Owners {
+		kept := owners[:0]
+		for _, o := range owners {
+			if o != w {
+				kept = append(kept, o)
+			}
+		}
+		m.placement.Owners[col] = kept
+	}
+	m.refreshMaskLocked()
+	m.obs.WorkerDrained()
+	m.appendMembershipLocked()
+	m.mu.Unlock()
+	m.send(w, ShutdownMsg{})
+	return nil
+}
+
+// drainHandoffLocked tops every column held by the drainee back up to the
+// replication factor on alive non-draining workers, choosing the least
+// loaded non-holders — the same placement rule as fail-stop re-replication.
+// Targets enter the placement optimistically (plans landing on them park on
+// whenColumnsPresent until the copy arrives); the returned copies are what
+// the drain waits to see acknowledged. Caller holds m.mu.
+func (m *Master) drainHandoffLocked(w int) []drainCopy {
+	repl := m.cfg.Replicas
+	if repl < 1 {
+		repl = 1
+	}
+	held := make(map[int]int, m.cfg.NumWorkers)
+	for _, owners := range m.placement.Owners {
+		for _, o := range owners {
+			held[o]++
+		}
+	}
+	cols := make([]int, 0, len(m.placement.Owners))
+	for col, owners := range m.placement.Owners {
+		if holdsCol(owners, w) {
+			cols = append(cols, col)
+		}
+	}
+	sort.Ints(cols)
+	var copies []drainCopy
+	for _, col := range cols {
+		good := 0
+		for _, o := range m.placement.Owners[col] {
+			if o != w && m.alive[o] && !m.draining[o] {
+				good++
+			}
+		}
+		for good < repl {
+			target, best := -1, int(^uint(0)>>1)
+			for x := 0; x < m.cfg.NumWorkers; x++ {
+				if x == w || !m.alive[x] || m.draining[x] || holdsCol(m.placement.Owners[col], x) {
+					continue
+				}
+				if held[x] < best {
+					target, best = x, held[x]
+				}
+			}
+			if target < 0 {
+				break // no eligible worker left; survivors already hold it
+			}
+			if m.copyLanded != nil {
+				delete(m.copyLanded, [2]int{target, col})
+			}
+			m.placement.Owners[col] = append(m.placement.Owners[col], target)
+			held[target]++
+			copies = append(copies, drainCopy{col: col, to: target})
+			good++
+		}
+	}
+	// Ship each copy from a non-draining holder when one exists, else from
+	// the drainee itself (it is still alive and serving until retirement).
+	for _, c := range copies {
+		if src := m.drainCopySourceLocked(c, w); src >= 0 {
+			m.send(src, ReplicateColumnMsg{Col: c.col, To: c.to})
+		}
+	}
+	return copies
+}
+
+// drainCopySourceLocked picks the worker to serve one hand-off copy: the
+// first alive non-draining holder other than the target, else the drainee
+// itself, else any alive holder. Caller holds m.mu.
+func (m *Master) drainCopySourceLocked(c drainCopy, drainee int) int {
+	owners := m.placement.Owners[c.col]
+	for _, o := range owners {
+		if o != c.to && o != drainee && o >= 0 && o < len(m.alive) && m.alive[o] && !m.draining[o] {
+			return o
+		}
+	}
+	if holdsCol(owners, drainee) && m.alive[drainee] {
+		return drainee
+	}
+	for _, o := range owners {
+		if o != c.to && o >= 0 && o < len(m.alive) && m.alive[o] {
+			return o
+		}
+	}
+	return -1
+}
+
+// pendingCopiesLocked filters the hand-off list down to copies not yet
+// acknowledged. Caller holds m.mu.
+func (m *Master) pendingCopiesLocked(copies []drainCopy) []drainCopy {
+	var pending []drainCopy
+	for _, c := range copies {
+		if m.copyLanded == nil || !m.copyLanded[[2]int{c.to, c.col}] {
+			pending = append(pending, c)
+		}
+	}
+	return pending
+}
+
+// resendDrainCopies re-drives lost hand-off copies (called without m.mu).
+func (m *Master) resendDrainCopies(pending []drainCopy, drainee int) {
+	m.mu.Lock()
+	type ship struct{ src, col, to int }
+	ships := make([]ship, 0, len(pending))
+	for _, c := range pending {
+		if src := m.drainCopySourceLocked(c, drainee); src >= 0 {
+			ships = append(ships, ship{src: src, col: c.col, to: c.to})
+		}
+	}
+	m.mu.Unlock()
+	for _, s := range ships {
+		m.send(s.src, ReplicateColumnMsg{Col: s.col, To: s.to})
+	}
+}
+
+// drainBusyLocked reports whether any task state still references the
+// draining worker: an outstanding attempt that involves it (column share,
+// subtree key worker, hist fetch — all covered by involved/keyWorker), or a
+// task/plan whose parent delegate is it (its children fetch rows from it).
+// Once false with the cordon in place, no future reference can appear.
+// Caller holds m.mu.
+func (m *Master) drainBusyLocked(w int) bool {
+	for _, entry := range m.tasks {
+		if entry.plan.parent.Worker == w {
+			return true
+		}
+		for _, as := range entry.attempts {
+			if as.involved[w] || as.keyWorker == w {
+				return true
+			}
+		}
+	}
+	for _, p := range m.bplan.Snapshot() {
+		if p.parent.Worker == w {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+package cluster
+
+// Elastic-fleet membership wire messages. The PR 4/PR 7 rejoin handshake
+// covers workers that crash back into an existing slot; these messages
+// generalize it into a full membership protocol: a brand-new worker can
+// announce itself mid-job (join), and a live worker can be cordoned and
+// retired without failing the job (drain). The join handshake is
+// idempotent end to end — the joiner resends JoinRequestMsg until it sees
+// an admit or a reject, and every master-side transition tolerates
+// duplicates — so lost accepts, lost column copies, and even a master
+// failover mid-join all self-heal.
+
+import "encoding/gob"
+
+// JoinRequestMsg announces a prospective worker to the master. Worker is
+// the slot index the joiner wants (its endpoint is already registered as
+// WorkerName(Worker)). Gen is the highest master generation the joiner has
+// observed, or -1 for a fresh worker that has never spoken to any master;
+// a request carrying Gen newer than the receiving master's own generation
+// proves the receiver is a stale primary and is rejected (the same fencing
+// rule the lease takeover uses).
+type JoinRequestMsg struct {
+	Worker int
+	Gen    int64
+}
+
+// JoinAcceptMsg tells a joiner it is provisionally accepted: Cols lists
+// the column replicas it will receive (shipped separately as
+// ColumnCopyMsg, reusing the re-replication path), NumWorkers is the fleet
+// size after growth, and Gen is the admitting master's generation. The
+// joiner is NOT schedulable yet — it must collect every column in Cols and
+// answer with JoinReadyMsg.
+type JoinAcceptMsg struct {
+	Worker     int
+	Gen        int64
+	Cols       []int
+	NumWorkers int
+}
+
+// JoinRejectMsg refuses a join: generation fence violated, fleet cap
+// reached, or the master is mid-recovery. Reason is human-readable;
+// Retryable tells the joiner whether resending later can succeed (a
+// mid-recovery reject is retryable, a fleet-cap or fence reject is not).
+type JoinRejectMsg struct {
+	Worker    int
+	Gen       int64
+	Reason    string
+	Retryable bool
+}
+
+// JoinReadyMsg is the joiner's confirmation that every column replica in
+// its accept has landed. Cols echoes the held set (sorted) so the master's
+// placement update is driven by what the worker actually holds, mirroring
+// the authoritative-report rule of the rejoin handshake.
+type JoinReadyMsg struct {
+	Worker int
+	Gen    int64
+	Cols   []int
+}
+
+// JoinAdmitMsg completes the handshake: the worker is now alive,
+// schedulable, and counted in the fleet of NumWorkers. Receipt stops the
+// joiner's request-retry loop.
+type JoinAdmitMsg struct {
+	Worker     int
+	Gen        int64
+	NumWorkers int
+}
+
+// DrainRequestMsg asks the master to gracefully retire a worker: cordon
+// it, hand its last-replica columns to survivors, let in-flight attempts
+// finish, then shut it down. Sent by CLIs/tests that cannot call
+// Master.Drain directly.
+type DrainRequestMsg struct {
+	Worker int
+}
+
+// ColumnCopyAckMsg tells the master a ColumnCopyMsg landed: Worker now
+// holds a replica of Col. Drains wait on these acks before retiring the
+// drainee — a column whose only copy was on the drainee must be confirmed
+// on a survivor, or a lossy fabric could silently destroy its last replica.
+// Acks for copies nobody is waiting on (fail-stop re-replication) are
+// recorded and otherwise ignored.
+type ColumnCopyAckMsg struct {
+	Worker int
+	Col    int
+}
+
+func init() {
+	gob.Register(JoinRequestMsg{})
+	gob.Register(JoinAcceptMsg{})
+	gob.Register(JoinRejectMsg{})
+	gob.Register(JoinReadyMsg{})
+	gob.Register(JoinAdmitMsg{})
+	gob.Register(DrainRequestMsg{})
+	gob.Register(ColumnCopyAckMsg{})
+}

@@ -1,0 +1,132 @@
+package cluster
+
+// Worker-side elastic-fleet client: the joiner's half of the membership
+// protocol. A fresh worker calls Join, which resends JoinRequestMsg until a
+// terminal outcome — every other message of the handshake (accept, column
+// copies, ready, admit) may be lost, duplicated, or superseded by a master
+// failover, and the retry converges through the master's idempotent
+// admission arms.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// joinRetryEvery paces the join-request retry loop. It is deliberately
+// shorter than typical task-retry deadlines: a request is tiny, and the
+// retry is what heals every lost message of the handshake.
+const joinRetryEvery = 250 * time.Millisecond
+
+// Join announces the worker to the master and blocks until it is admitted
+// into the fleet (nil), terminally rejected (the reject's reason), stopped,
+// or timed out. Safe to call once per worker; the endpoint must already be
+// registered as WorkerName(id) and Start must have been called.
+func (w *Worker) Join(timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	w.mu.Lock()
+	done := w.joinDone
+	gen := w.joinGen
+	w.mu.Unlock()
+	w.send(MasterName, JoinRequestMsg{Worker: w.id, Gen: gen})
+	retry := time.NewTicker(joinRetryEvery)
+	defer retry.Stop()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case <-done:
+			w.mu.Lock()
+			err := w.joinErr
+			w.mu.Unlock()
+			return err
+		case <-w.done:
+			return fmt.Errorf("cluster: worker %d stopped before join completed", w.id)
+		case <-deadline:
+			return fmt.Errorf("cluster: worker %d join timed out after %v", w.id, timeout)
+		case <-retry.C:
+			w.mu.Lock()
+			gen = w.joinGen
+			w.mu.Unlock()
+			w.send(MasterName, JoinRequestMsg{Worker: w.id, Gen: gen})
+		}
+	}
+}
+
+// Joined reports whether the worker has been admitted into a fleet.
+func (w *Worker) Joined() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.joined
+}
+
+// handleJoinAccept arms the readiness confirmation: once every assigned
+// column replica is installed (ColumnCopyMsg deliveries), the worker
+// reports ready. A duplicate accept re-arms the wait and re-sends the
+// ready, which the master ignores after admission.
+func (w *Worker) handleJoinAccept(msg JoinAcceptMsg) {
+	if msg.Worker != w.id {
+		return
+	}
+	w.mu.Lock()
+	if msg.Gen > w.joinGen {
+		w.joinGen = msg.Gen
+	}
+	w.mu.Unlock()
+	cols := append([]int(nil), msg.Cols...)
+	sort.Ints(cols)
+	w.whenColumnsPresent(cols, func() {
+		w.send(MasterName, JoinReadyMsg{Worker: w.id, Gen: msg.Gen, Cols: cols})
+	})
+}
+
+// handleJoinAdmit completes the handshake: the worker is a fleet member and
+// the Join call unblocks. Duplicates are idempotent.
+func (w *Worker) handleJoinAdmit(msg JoinAdmitMsg) {
+	if msg.Worker != w.id {
+		return
+	}
+	w.mu.Lock()
+	if msg.Gen > w.joinGen {
+		w.joinGen = msg.Gen
+	}
+	w.joined = true
+	w.joinErr = nil
+	var done chan struct{}
+	if !w.joinClosed {
+		w.joinClosed = true
+		done = w.joinDone
+	}
+	w.mu.Unlock()
+	if done != nil {
+		close(done)
+	}
+}
+
+// handleJoinReject ends the join on a terminal refusal. Retryable rejects
+// (master mid-recovery) leave the retry loop running; a reject arriving
+// after admission is a fenced stale primary's and is ignored.
+func (w *Worker) handleJoinReject(msg JoinRejectMsg) {
+	if msg.Worker != w.id {
+		return
+	}
+	w.mu.Lock()
+	if msg.Gen > w.joinGen {
+		w.joinGen = msg.Gen
+	}
+	if msg.Retryable || w.joined {
+		w.mu.Unlock()
+		return
+	}
+	w.joinErr = fmt.Errorf("cluster: join rejected: %s", msg.Reason)
+	var done chan struct{}
+	if !w.joinClosed {
+		w.joinClosed = true
+		done = w.joinDone
+	}
+	w.mu.Unlock()
+	if done != nil {
+		close(done)
+	}
+}

@@ -148,6 +148,12 @@ func (m *Master) resumeFrom(st *checkpoint.State, info checkpoint.LoadInfo) ([]*
 	m.nextTaskID = task.ID(m.gen << 40)
 	m.nextTreeID = st.NextTreeID
 	m.placement = st.Placement
+	if st.NumWorkers > m.cfg.NumWorkers {
+		// Workers joined live before the crash: the checkpointed fleet is
+		// larger than this master was configured for. Adopt the grown fleet
+		// so the rejoin broadcast addresses every slot.
+		m.growFleetLocked(st.NumWorkers)
+	}
 	if st.Regression && m.schema.Task != dataset.Regression {
 		// The job being resumed ran after a SetTarget swap; the workers still
 		// hold the numeric labels, so only the master's schema needs to catch
@@ -230,7 +236,7 @@ func (m *Master) rejoinWorkers(gen int64) (map[int][]int, error) {
 	ch := m.rejoinCh
 	m.mu.Unlock()
 
-	for w := 0; w < m.cfg.NumWorkers; w++ {
+	for w := 0; w < m.fleet(); w++ {
 		m.send(w, RejoinRequestMsg{Gen: gen, MasterAddr: m.cfg.AdvertiseAddr})
 	}
 
@@ -245,7 +251,7 @@ func (m *Master) rejoinWorkers(gen int64) (map[int][]int, error) {
 		m.mu.Lock()
 		n := len(m.rejoinReports)
 		m.mu.Unlock()
-		if n >= m.cfg.NumWorkers {
+		if n >= m.fleet() {
 			break
 		}
 		select {

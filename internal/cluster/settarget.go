@@ -26,6 +26,9 @@ func (m *Master) SetTarget(y []float64) error {
 	m.mu.Lock()
 	m.targetSeq++
 	seq := m.targetSeq
+	// Retain the payload: a worker that joins mid-boosting is caught up with
+	// exactly this target at admission.
+	m.targetY = append([]float64(nil), y...)
 	var alive []int
 	for w, ok := range m.alive {
 		if ok {

@@ -250,6 +250,12 @@ func (s *Standby) promote() {
 	cfg := s.cfg.MasterCfg
 	cfg.StandbyName = "" // the promoted master runs without a standby
 	cfg.LeaseTTL = 0
+	if st.NumWorkers > cfg.NumWorkers {
+		// Membership records streamed before the failover grew the fleet
+		// past the configured size: the promoted master adopts the larger
+		// fleet so live-joined workers stay addressable.
+		cfg.NumWorkers = st.NumWorkers
+	}
 	m, err := NewMaster(ep, s.cfg.Schema, st.Placement, cfg)
 	if err != nil {
 		s.finish(nil, err)

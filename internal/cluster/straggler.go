@@ -111,6 +111,24 @@ func newHealthTracker(n int) *healthTracker {
 	}
 }
 
+// grow extends the tracker to n workers with no samples and closed
+// circuits, so a live-joined worker starts in good standing. Nil-safe
+// (health tracking may be disabled); shrinking is a no-op.
+func (h *healthTracker) grow(n int) {
+	if h == nil {
+		return
+	}
+	for len(h.state) < n {
+		h.taskEwma = append(h.taskEwma, 0)
+		h.taskSamples = append(h.taskSamples, 0)
+		h.durEwma = append(h.durEwma, 0)
+		h.durSamples = append(h.durSamples, 0)
+		h.rttEwma = append(h.rttEwma, 0)
+		h.rttSamples = append(h.rttSamples, 0)
+		h.state = append(h.state, circuitClosed)
+	}
+}
+
 func ewmaAdd(e *float64, count *int, sample float64) {
 	if *count == 0 {
 		*e = sample
@@ -395,7 +413,7 @@ func (m *Master) healthTick(now time.Time) {
 	if m.cfg.QuarantineThreshold > 0 {
 		opened = m.health.evaluate(scores, m.cfg.QuarantineThreshold, m.cfg.MaxQuarantined, m.alive)
 		probeSeq, probes = m.health.probeDue(now, m.alive)
-		m.healthMask = m.health.preferredMask()
+		m.refreshMaskLocked()
 	}
 	var hedges []task.ID
 	if m.cfg.HedgeFactor > 0 {
@@ -420,7 +438,7 @@ func (m *Master) handleProbeAck(msg ProbeAckMsg) {
 	m.mu.Lock()
 	restored := m.health.ProbeAck(msg.Worker, msg.Seq, time.Now())
 	if restored {
-		m.healthMask = m.health.preferredMask()
+		m.refreshMaskLocked()
 	}
 	m.mu.Unlock()
 	if restored {

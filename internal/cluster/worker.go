@@ -39,6 +39,17 @@ type Worker struct {
 	targetSeq     int64
 	targetApplies int
 
+	// Elastic-fleet join-client state: the highest master generation this
+	// worker has observed (-1 until a master speaks to it — carried in join
+	// requests so a stale primary can be fenced), whether the worker has
+	// been admitted, and the channel Join blocks on (closed exactly once on
+	// the first terminal outcome).
+	joinGen    int64
+	joined     bool
+	joinErr    error
+	joinDone   chan struct{}
+	joinClosed bool
+
 	// Hist-mode state: the broadcast bins (fenced by binSeq), the lazily
 	// binned images of held columns, and the node-histogram cache backing
 	// subtraction and post-election fetches.
@@ -113,6 +124,8 @@ func NewWorker(id int, ep transport.Endpoint, schema Schema, cols map[int]*datas
 		histCache: newHistCache(defaultHistCacheCap),
 		btask:     make(chan func(), 4096),
 		done:      make(chan struct{}),
+		joinGen:   -1,
+		joinDone:  make(chan struct{}),
 		obs:       reg.Worker(id),
 		sc:        reg.Split(),
 	}
@@ -249,6 +262,12 @@ func (w *Worker) dispatch(env transport.Envelope) bool {
 		w.handleHistogramRequest(msg)
 	case RejoinRequestMsg:
 		w.handleRejoin(msg)
+	case JoinAcceptMsg:
+		w.handleJoinAccept(msg)
+	case JoinAdmitMsg:
+		w.handleJoinAdmit(msg)
+	case JoinRejectMsg:
+		w.handleJoinReject(msg)
 	case PingMsg:
 		w.send(MasterName, PongMsg{Worker: w.id, Seq: msg.Seq})
 	case ProbeMsg:
@@ -769,6 +788,12 @@ func (w *Worker) TargetApplies() int {
 // without reloading data.
 func (w *Worker) handleRejoin(msg RejoinRequestMsg) {
 	w.mu.Lock()
+	// Track the master generation for the join fence: a worker that has
+	// rejoined a promoted master carries its generation in join retries,
+	// which lets a not-yet-fenced stale primary reject itself.
+	if msg.Gen > w.joinGen {
+		w.joinGen = msg.Gen
+	}
 	w.tasks = map[task.ID]*wtask{}
 	w.rowWaits = map[task.ID][]func([]int32){}
 	w.colWaits = nil
@@ -841,6 +866,9 @@ func (w *Worker) handleColumnCopy(msg ColumnCopyMsg) {
 	}
 	w.colWaits = remaining
 	w.mu.Unlock()
+	// Acknowledge the landed copy (idempotent — duplicates re-ack): drains
+	// wait on these before retiring the source of a last replica.
+	w.send(MasterName, ColumnCopyAckMsg{Worker: w.id, Col: msg.Col})
 	for _, cont := range ready {
 		cont()
 	}

@@ -50,6 +50,19 @@ func NewMatrix(n int) *Matrix {
 // NumWorkers returns the number of worker rows.
 func (m *Matrix) NumWorkers() int { return len(m.work[Comp]) }
 
+// Grow extends the matrix to n workers, appending zero-load rows for the
+// newcomers. Shrinking is not supported (worker ids are dense array
+// indices everywhere); a smaller or equal n is a no-op.
+func (m *Matrix) Grow(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for r := range m.work {
+		for len(m.work[r]) < n {
+			m.work[r] = append(m.work[r], 0)
+		}
+	}
+}
+
 // Apply adds the charges to the matrix.
 func (m *Matrix) Apply(charges []Charge) {
 	m.mu.Lock()

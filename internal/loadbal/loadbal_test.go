@@ -61,6 +61,31 @@ func TestMatrixApplyRevert(t *testing.T) {
 	}
 }
 
+func TestMatrixGrow(t *testing.T) {
+	m := NewMatrix(2)
+	m.Apply([]Charge{{0, Comp, 100}, {1, Send, 50}})
+	m.Grow(4)
+	if m.NumWorkers() != 4 {
+		t.Fatalf("grew to %d workers, want 4", m.NumWorkers())
+	}
+	// Existing load survives; newcomers start idle.
+	if m.Load(0, Comp) != 100 || m.Load(1, Send) != 50 {
+		t.Fatalf("grow disturbed existing load: %v", m.Snapshot())
+	}
+	for w := 2; w < 4; w++ {
+		for r := Comp; r <= Recv; r++ {
+			if m.Load(w, r) != 0 {
+				t.Fatalf("new worker %d has load at resource %d", w, r)
+			}
+		}
+	}
+	// Shrinking is a no-op: worker ids are dense indices everywhere.
+	m.Grow(1)
+	if m.NumWorkers() != 4 {
+		t.Fatalf("Grow(1) shrank the matrix to %d workers", m.NumWorkers())
+	}
+}
+
 func TestAssignSubtreePicksIdleKeyWorker(t *testing.T) {
 	m := NewMatrix(3)
 	m.Apply([]Charge{{0, Comp, 1000}, {1, Comp, 10}, {2, Comp, 500}})

@@ -197,6 +197,13 @@ type MasterObs struct {
 	votes        atomic.Int64 // candidate splits received across those votes
 	histsFetched atomic.Int64 // full histograms shipped master-ward on request
 
+	// Elastic-fleet telemetry (live join / graceful drain / rebalancing).
+	joins          atomic.Int64 // workers admitted mid-job via the join handshake
+	joinRejects    atomic.Int64 // join requests refused (fence, fleet cap, mid-recovery)
+	drains         atomic.Int64 // workers gracefully drained and retired
+	drainSheds     atomic.Int64 // cordoned workers force-shed past the drain deadline
+	rebalancedCols atomic.Int64 // column replicas moved by join/drain rebalancing
+
 	// The health vector is a gauge, not a counter: the master overwrites it
 	// each scoring pass, so it lives behind a mutex rather than atomics.
 	healthMu         sync.Mutex
@@ -583,6 +590,53 @@ func (m *MasterObs) HistogramsFetched(n int) {
 		return
 	}
 	m.histsFetched.Add(int64(n))
+}
+
+// WorkerJoined records one worker admitted mid-job through the elastic join
+// handshake (request → accept → replicas landed → ready → admit).
+func (m *MasterObs) WorkerJoined() {
+	if m == nil {
+		return
+	}
+	m.joins.Add(1)
+}
+
+// JoinRejected records one refused join request: generation fence violated,
+// fleet cap reached, or the master was mid-recovery.
+func (m *MasterObs) JoinRejected() {
+	if m == nil {
+		return
+	}
+	m.joinRejects.Add(1)
+}
+
+// WorkerDrained records one worker gracefully drained: cordoned, its columns
+// handed to survivors, quiesced and retired without failing the job.
+func (m *MasterObs) WorkerDrained() {
+	if m == nil {
+		return
+	}
+	m.drains.Add(1)
+}
+
+// DrainShed records a cordoned worker that would not quiesce before the
+// drain deadline (or tripped the quarantine breaker mid-drain) and was
+// force-shed through the fail-stop path instead of retired gracefully.
+func (m *MasterObs) DrainShed() {
+	if m == nil {
+		return
+	}
+	m.drainSheds.Add(1)
+}
+
+// ColumnsRebalanced records n column replicas moved between workers by
+// join or drain rebalancing (re-replication on fail-stop is counted by the
+// retry/requeue ledger instead).
+func (m *MasterObs) ColumnsRebalanced(n int) {
+	if m == nil {
+		return
+	}
+	m.rebalancedCols.Add(int64(n))
 }
 
 // WorkerObs collects one worker's measured cost row — the observed

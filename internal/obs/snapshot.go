@@ -66,6 +66,12 @@ type MasterSnapshot struct {
 	BinRounds, SketchMerges int64
 	VoteMsgs, Votes         int64
 	HistogramsFetched       int64
+	// Elastic fleet: workers joined mid-job, join requests rejected, workers
+	// gracefully drained (and force-shed drains), column replicas moved by
+	// join/drain rebalancing.
+	Joins, JoinRejects int64
+	Drains, DrainSheds int64
+	RebalancedColumns  int64
 	// Health gauge at snapshot time: per-worker median-normalised scores
 	// (1 ≈ fleet-typical, lower is slower) and circuit states.
 	HealthScores     []float64
@@ -164,6 +170,11 @@ func (r *Registry) Snapshot() Snapshot {
 			VoteMsgs:                r.master.voteMsgs.Load(),
 			Votes:                   r.master.votes.Load(),
 			HistogramsFetched:       r.master.histsFetched.Load(),
+			Joins:                   r.master.joins.Load(),
+			JoinRejects:             r.master.joinRejects.Load(),
+			Drains:                  r.master.drains.Load(),
+			DrainSheds:              r.master.drainSheds.Load(),
+			RebalancedColumns:       r.master.rebalancedCols.Load(),
 		},
 		Split: SplitSnapshot{
 			FastPath:         r.split.fastPath.Load(),
@@ -298,6 +309,10 @@ func (s Snapshot) Report() string {
 	if m.BinRounds > 0 {
 		fmt.Fprintf(&b, "hist mode: %d bin round(s) merging %d sketches; %d vote msgs carrying %d candidates; %d histograms fetched\n",
 			m.BinRounds, m.SketchMerges, m.VoteMsgs, m.Votes, m.HistogramsFetched)
+	}
+	if m.Joins+m.JoinRejects+m.Drains+m.DrainSheds > 0 {
+		fmt.Fprintf(&b, "elastic: %d join(s), %d rejected, %d drain(s) (%d force-shed), %d columns rebalanced\n",
+			m.Joins, m.JoinRejects, m.Drains, m.DrainSheds, m.RebalancedColumns)
 	}
 	if len(m.HealthScores) > 0 {
 		b.WriteString("worker health:")
