@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race recovery straggler hist failover elastic serve cover bench experiments ablations examples fmt vet lint clean
+.PHONY: all build test race recovery straggler hist failover elastic serve resilience cover bench experiments ablations examples fmt vet lint clean
 
 all: build test
 
@@ -64,6 +64,15 @@ elastic:
 # all under the race detector, plus the legacy-vs-compiled serving A/B.
 serve:
 	$(GO) test -race ./internal/infer/ ./internal/registry/ ./internal/serve/
+	$(GO) run ./cmd/benchtab -quick -serve-json BENCH_serve.json
+
+# Serving resilience suite: overload shedding, request deadlines, canary
+# promote/rollback, slow-loris and shutdown-under-load chaos cells, plus the
+# limiter+canary overhead A/B (the resilience arm of BENCH_serve.json).
+resilience:
+	$(GO) test -race ./internal/serve/ -run 'TestOverload|TestLimiter|TestRequestDeadline|TestClientDisconnect|TestBodyTooLarge|TestStage|TestCanary|TestReadyz|TestSlowLoris|TestShutdown'
+	$(GO) test -race ./internal/registry/ -run 'TestStage|TestRoute|TestCanary|TestActivateAndRollbackCancelCanary|TestRollbackEmptyHistory|TestActivateUnknownSeq|TestWatch'
+	$(GO) test -race ./internal/infer/ -run 'TestDecodeRequestCtx|TestPredictCtx'
 	$(GO) run ./cmd/benchtab -quick -serve-json BENCH_serve.json
 
 cover:

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
@@ -20,6 +22,8 @@ import (
 	"treeserver/internal/forest"
 	"treeserver/internal/infer"
 	"treeserver/internal/model"
+	"treeserver/internal/registry"
+	"treeserver/internal/serve"
 	"treeserver/internal/synth"
 )
 
@@ -54,10 +58,28 @@ type serveBenchOutput struct {
 	// LoadSweep is the multi-goroutine load-generator grid: aggregate
 	// rows/sec for each arm at 1, 4 and NumCPU concurrent clients.
 	LoadSweep []serveBenchResult `json:"load_sweep"`
+	// Resilience A/Bs the full HTTP handler with the resilience machinery
+	// off ("plain") and on ("hardened": inflight limiter + request deadline
+	// + a live canary split) at batch 64.
+	Resilience []serveBenchResult `json:"resilience"`
+	// ResilienceOverhead is hardened over plain ns/op at batch 64 — the
+	// price of the limiter+deadline+canary path (should sit within noise).
+	ResilienceOverhead float64 `json:"resilience_overhead"`
 	// SpeedupAtBatch64 is compiled over legacy rows/sec at batch 64 — the
 	// acceptance headline.
 	SpeedupAtBatch64 float64 `json:"speedup_at_batch_64"`
 }
+
+// discardRW is the cheapest possible ResponseWriter: headers land in a reused
+// map, bodies in the void. It keeps the handler A/B free of recorder allocs.
+type discardRW struct {
+	h    http.Header
+	code int
+}
+
+func (d *discardRW) Header() http.Header         { return d.h }
+func (d *discardRW) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardRW) WriteHeader(code int)        { d.code = code }
 
 // serveBenchArm measures one request-shaped workload end to end: parse the
 // JSON body, score every row, encode the response. It reports mean ns/op,
@@ -298,6 +320,75 @@ func runServeBench(quick bool) serveBenchOutput {
 			fmt.Printf("serve %-8s load %2d goroutine(s)  %12.0f rows/s aggregate\n", arm.name, g, rps)
 		}
 	}
+
+	// Resilience A/B: the identical batch-64 body through the full HTTP
+	// handler — once with every resilience knob off, once with the limiter,
+	// request deadline and a live canary split all armed (window parked far
+	// above the benchmark's request count so no promote/rollback fires
+	// mid-measurement). The delta is what overload control costs a healthy
+	// request.
+	newServerWork := func(s *serve.Server) func([]byte) {
+		w := &discardRW{h: make(http.Header)}
+		req, err := http.NewRequest(http.MethodPost, "/v1/models/servebench/predict", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		req.Header.Set("X-Canary-Key", "bench-client")
+		req.RemoteAddr = "10.0.0.1:1234"
+		var rd bytes.Reader
+		return func(body []byte) {
+			rd.Reset(body)
+			req.Body = io.NopCloser(&rd)
+			req.ContentLength = int64(len(body))
+			w.code = 0
+			s.ServeHTTP(w, req)
+			if w.code != http.StatusOK {
+				log.Fatalf("serve bench handler returned %d", w.code)
+			}
+		}
+	}
+	newBenchRegistry := func(versions int) *registry.Registry {
+		reg := registry.New()
+		for i := 0; i < versions; i++ {
+			if _, err := reg.Load("servebench", mf, "bench"); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if _, err := reg.Activate("servebench", 1); err != nil {
+			log.Fatal(err)
+		}
+		return reg
+	}
+	plainSrv := serve.New(newBenchRegistry(1))
+	hardReg := newBenchRegistry(2)
+	if _, err := hardReg.StageWindow("servebench", 2, 0.3, 1<<30); err != nil {
+		log.Fatal(err)
+	}
+	hardSrv := serve.New(hardReg,
+		serve.WithMaxInflight(64), serve.WithQueue(16, 50*time.Millisecond),
+		serve.WithRequestTimeout(5*time.Second))
+	resBody := makeBody(64)
+	var plainNs float64
+	for _, arm := range []struct {
+		name string
+		srv  *serve.Server
+	}{{"plain", plainSrv}, {"hardened", hardSrv}} {
+		ns, p50, p99, allocs := serveBenchArm(resBody, newServerWork(arm.srv))
+		res := serveBenchResult{
+			Arm: arm.name, Batch: 64, NsPerOp: ns,
+			RowsPerSecCore: 64 / (ns / 1e9),
+			P50Ns:          p50, P99Ns: p99, AllocsPerOp: allocs,
+		}
+		output.Resilience = append(output.Resilience, res)
+		if arm.name == "plain" {
+			plainNs = ns
+		} else if plainNs > 0 {
+			output.ResilienceOverhead = ns / plainNs
+		}
+		fmt.Printf("serve %-8s batch %-5d %12.0f ns/op  %12.0f rows/s/core  p50 %8dns p99 %8dns  %5d allocs/op\n",
+			arm.name, 64, ns, res.RowsPerSecCore, p50, p99, allocs)
+	}
+	fmt.Printf("serve resilience overhead at batch 64: %.3fx\n", output.ResilienceOverhead)
 
 	// MaxDepth sweep: the Appendix-D truncation knob on the compiled arm.
 	// Depths step from 2 up to the deepest trained tree.

@@ -186,8 +186,13 @@ func newTelemetry(report bool, debugAddr string) *obs.Registry {
 	reg := obs.NewRegistry()
 	reg.PublishExpvar()
 	if debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              debugAddr,
+			Handler:           reg.Handler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
 		go func() {
-			if err := http.ListenAndServe(debugAddr, reg.Handler()); err != nil {
+			if err := dbg.ListenAndServe(); err != nil {
 				log.Printf("debug listener: %v", err)
 			}
 		}()

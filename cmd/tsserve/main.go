@@ -13,13 +13,24 @@
 //	curl localhost:8080/v1/models
 //	curl -X POST localhost:8080/v1/models/forest/predict \
 //	     -d '{"rows":[{"Age":"37","Income":"5200","Education":"Bachelor","HomeOwner":"No"}]}'
+//
+// The server is resilient by default: per-model overload shedding
+// (-max-inflight), request deadlines (-request-timeout), a global body cap
+// (-max-body-bytes), canary rollout of watched model updates
+// (-canary-fraction/-canary-window), and graceful drain on SIGTERM
+// (-drain-timeout) with /readyz flipping unready the moment the drain begins.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"treeserver/internal/model"
 	"treeserver/internal/obs"
@@ -38,6 +49,15 @@ func main() {
 		watch        = flag.Duration("watch", 0, "poll -model-dir at this interval and hot-swap changed files (0 = off)")
 		listen       = flag.String("listen", ":8080", "HTTP listen address")
 		debugAddr    = flag.String("debug", "", "serve /debug/obs, /debug/vars and /debug/pprof on this address")
+
+		maxInflight  = flag.Int("max-inflight", 0, "max concurrent predict requests per model; excess is shed as 429 (0 = unlimited)")
+		queueDepth   = flag.Int("queue-depth", 0, "shed-candidates that may wait for an inflight slot (needs -max-inflight)")
+		queueWait    = flag.Duration("queue-wait", 50*time.Millisecond, "how long a queued request may wait for a slot")
+		reqTimeout   = flag.Duration("request-timeout", 0, "per-request decode+inference budget; over budget = 503 (0 = unlimited)")
+		maxBodyBytes = flag.Int64("max-body-bytes", serve.DefaultMaxBodyBytes, "request body cap; over = 413 (negative = unlimited)")
+		canaryFrac   = flag.Float64("canary-fraction", 0, "stage watched model updates as canaries at this traffic fraction instead of activating (0 = activate directly)")
+		canaryWindow = flag.Int("canary-window", registry.DefaultCanaryWindow, "canary requests observed before auto-promote/rollback")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for inflight requests before exiting")
 	)
 	flag.Parse()
 	if (*modelPath == "") == (*modelDir == "") {
@@ -47,8 +67,13 @@ func main() {
 
 	obsReg := obs.NewRegistry()
 	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obsReg.Handler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
 		go func() {
-			if err := http.ListenAndServe(*debugAddr, obsReg.Handler()); err != nil {
+			if err := dbg.ListenAndServe(); err != nil {
 				log.Printf("debug listener: %v", err)
 			}
 		}()
@@ -61,6 +86,14 @@ func main() {
 	if *defaultModel != "" {
 		opts = append(opts, serve.WithDefaultModel(*defaultModel))
 	}
+	if *maxInflight > 0 {
+		opts = append(opts, serve.WithMaxInflight(*maxInflight),
+			serve.WithQueue(*queueDepth, *queueWait))
+	}
+	if *reqTimeout > 0 {
+		opts = append(opts, serve.WithRequestTimeout(*reqTimeout))
+	}
+	opts = append(opts, serve.WithMaxBodyBytes(*maxBodyBytes))
 
 	var srv *serve.Server
 	if *modelPath != "" {
@@ -93,10 +126,15 @@ func main() {
 			}
 		}
 		if *watch > 0 {
-			go reg.Watch(*modelDir, *watch, nil, func(msg string) {
+			onEvent := func(msg string) {
 				obsReg.Serve().Swap()
 				log.Print(msg)
-			})
+			}
+			if *canaryFrac > 0 {
+				go reg.WatchCanary(*modelDir, *watch, *canaryFrac, *canaryWindow, nil, onEvent)
+			} else {
+				go reg.Watch(*modelDir, *watch, nil, onEvent)
+			}
 		}
 		srv = serve.New(reg, opts...)
 		fmt.Printf("serving %d model(s) %v from %s on %s\n", len(names), names, *modelDir, *listen)
@@ -104,5 +142,23 @@ func main() {
 	if *watch > 0 && *modelPath != "" {
 		log.Printf("-watch ignored in single-model mode")
 	}
-	log.Fatal(srv.ListenAndServe(*listen))
+
+	// Graceful drain: on SIGTERM/SIGINT flip /readyz unready, stop accepting,
+	// and give inflight requests -drain-timeout to finish.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, os.Interrupt)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*listen) }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-stop:
+		log.Printf("%s: draining (timeout %s)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatalf("drain cut short: %v", err)
+		}
+		log.Print("drained cleanly")
+	}
 }

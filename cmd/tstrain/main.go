@@ -93,8 +93,13 @@ func main() {
 		reg = obs.NewRegistry()
 		reg.PublishExpvar()
 		if *debugAddr != "" {
+			dbg := &http.Server{
+				Addr:              *debugAddr,
+				Handler:           reg.Handler(),
+				ReadHeaderTimeout: 5 * time.Second,
+			}
 			go func() {
-				if err := http.ListenAndServe(*debugAddr, reg.Handler()); err != nil {
+				if err := dbg.ListenAndServe(); err != nil {
 					log.Printf("debug listener: %v", err)
 				}
 			}()

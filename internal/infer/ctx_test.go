@@ -1,0 +1,67 @@
+package infer
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// TestDecodeRequestCtxCancellation proves a dead context aborts the JSON
+// scanner between row checks, and that the context-free path is untouched.
+func TestDecodeRequestCtxCancellation(t *testing.T) {
+	m, rows := decodeTestModel(t)
+	body, err := json.Marshal(map[string]any{"rows": rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	b := m.GetBlock()
+	defer m.PutBlock(b)
+	if _, err := m.DecodeRequestCtx(ctx, b, body, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled decode returned %v", err)
+	}
+
+	b.Reset()
+	if _, err := m.DecodeRequestCtx(context.Background(), b, body, 0); err != nil {
+		t.Fatalf("live-context decode failed: %v", err)
+	}
+	if b.Len() != len(rows) {
+		t.Fatalf("decoded %d rows, want %d", b.Len(), len(rows))
+	}
+}
+
+// TestPredictCtxCancellation proves a dead context aborts inference at a
+// tree boundary and a live one scores identically to Predict.
+func TestPredictCtxCancellation(t *testing.T) {
+	m, rows := decodeTestModel(t)
+	b := m.GetBlock()
+	defer m.PutBlock(b)
+	for _, row := range rows {
+		if err := m.AppendRow(b, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := m.GetResult()
+	defer m.PutResult(res)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.PredictCtx(ctx, b, res, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled predict returned %v", err)
+	}
+
+	if err := m.PredictCtx(context.Background(), b, res, 0); err != nil {
+		t.Fatalf("live-context predict failed: %v", err)
+	}
+	want := m.GetResult()
+	defer m.PutResult(want)
+	m.Predict(b, want, 0)
+	for i := 0; i < b.Len(); i++ {
+		if res.Class(i) != want.Class(i) {
+			t.Fatalf("row %d: PredictCtx class %d != Predict class %d", i, res.Class(i), want.Class(i))
+		}
+	}
+}

@@ -28,6 +28,7 @@
 package infer
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -460,33 +461,44 @@ func (t *soaTree) routeBoost(nums []float64, cats []int32, numOff, catOff int) i
 // classification) or the value (regression). Zero allocations in steady
 // state once res has grown to the block size.
 func (m *Model) Predict(b *RowBlock, res *Result, maxDepth int) {
+	_ = m.PredictCtx(context.Background(), b, res, maxDepth)
+}
+
+// PredictCtx is Predict with cooperative cancellation: between each
+// tree × row-block pass it checks ctx and stops early, returning the
+// context's error, so a request whose deadline fired (or whose client
+// disconnected) releases its serving slot within one tree's worth of work
+// instead of scoring the whole forest. The result is unusable after a
+// non-nil return. The check is one ctx.Err() call per tree, so the steady
+// state stays allocation-free.
+func (m *Model) PredictCtx(ctx context.Context, b *RowBlock, res *Result, maxDepth int) error {
 	res.grow(b.n, m.numClasses, m.kind == "forest" && !m.regression)
 	if m.kind == "forest" {
 		if m.regression {
-			m.predictForestValue(b, res, int32(maxDepth))
-		} else {
-			m.predictForestClass(b, res, int32(maxDepth))
+			return m.predictForestValue(ctx, b, res, int32(maxDepth))
 		}
-		return
+		return m.predictForestClass(ctx, b, res, int32(maxDepth))
 	}
 	if m.regression {
-		m.predictBoostValue(b, res)
-	} else {
-		m.predictBoostClass(b, res)
+		return m.predictBoostValue(ctx, b, res)
 	}
+	return m.predictBoostClass(ctx, b, res)
 }
 
 // predictForestClass mirrors forest.Forest.PredictPMF followed by the strict
 // argmax of model.File.Predict: trees accumulate in member order, the sums
 // divide by the tree count, ties break to the lowest class index — so the
 // compiled PMFs and classes are bit-identical to the interpreter.
-func (m *Model) predictForestClass(b *RowBlock, res *Result, maxDepth int32) {
+func (m *Model) predictForestClass(ctx context.Context, b *RowBlock, res *Result, maxDepth int32) error {
 	nc := m.numClasses
 	pmf := res.pmf[:b.n*nc]
 	for i := range pmf {
 		pmf[i] = 0
 	}
 	for ti := range m.trees {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		t := &m.trees[ti]
 		for row := 0; row < b.n; row++ {
 			n := t.route(b.nums, b.cats, row*b.numStride, row*b.catStride, maxDepth)
@@ -504,14 +516,18 @@ func (m *Model) predictForestClass(b *RowBlock, res *Result, maxDepth int32) {
 	for row := 0; row < b.n; row++ {
 		res.classes[row] = argMax(pmf[row*nc : row*nc+nc])
 	}
+	return nil
 }
 
-func (m *Model) predictForestValue(b *RowBlock, res *Result, maxDepth int32) {
+func (m *Model) predictForestValue(ctx context.Context, b *RowBlock, res *Result, maxDepth int32) error {
 	vals := res.values[:b.n]
 	for i := range vals {
 		vals[i] = 0
 	}
 	for ti := range m.trees {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		t := &m.trees[ti]
 		for row := 0; row < b.n; row++ {
 			n := t.route(b.nums, b.cats, row*b.numStride, row*b.catStride, maxDepth)
@@ -522,9 +538,10 @@ func (m *Model) predictForestValue(b *RowBlock, res *Result, maxDepth int32) {
 	for i := range vals {
 		vals[i] /= numTrees
 	}
+	return nil
 }
 
-func (m *Model) predictBoostValue(b *RowBlock, res *Result) {
+func (m *Model) predictBoostValue(ctx context.Context, b *RowBlock, res *Result) error {
 	vals := res.values[:b.n]
 	for i := range vals {
 		vals[i] = m.boostBase
@@ -532,21 +549,28 @@ func (m *Model) predictBoostValue(b *RowBlock, res *Result) {
 	// Rounds were flattened in order with group 0 first; regression models
 	// only ever have one group.
 	for ti := 0; ti < len(m.trees); ti += m.boostGroups {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		t := &m.trees[ti]
 		for row := 0; row < b.n; row++ {
 			n := t.routeBoost(b.nums, b.cats, row*b.numStride, row*b.catStride)
 			vals[row] += t.mean[n]
 		}
 	}
+	return nil
 }
 
-func (m *Model) predictBoostClass(b *RowBlock, res *Result) {
+func (m *Model) predictBoostClass(ctx context.Context, b *RowBlock, res *Result) error {
 	if m.boostClasses == 1 { // binary logistic: sign of the margin
 		vals := res.values[:b.n]
 		for i := range vals {
 			vals[i] = 0
 		}
 		for ti := 0; ti < len(m.trees); ti += m.boostGroups {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			t := &m.trees[ti]
 			for row := 0; row < b.n; row++ {
 				n := t.routeBoost(b.nums, b.cats, row*b.numStride, row*b.catStride)
@@ -560,7 +584,7 @@ func (m *Model) predictBoostClass(b *RowBlock, res *Result) {
 				res.classes[row] = 0
 			}
 		}
-		return
+		return nil
 	}
 	// Softmax: scores accumulate in (round, group) order, argmax ties break
 	// to the lowest class — matching boost.Model.PredictClass.
@@ -570,6 +594,9 @@ func (m *Model) predictBoostClass(b *RowBlock, res *Result) {
 		scores[i] = 0
 	}
 	for ti := range m.trees {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		t := &m.trees[ti]
 		k := ti % m.boostGroups
 		for row := 0; row < b.n; row++ {
@@ -580,6 +607,7 @@ func (m *Model) predictBoostClass(b *RowBlock, res *Result) {
 	for row := 0; row < b.n; row++ {
 		res.classes[row] = argMax(scores[row*nc : row*nc+nc])
 	}
+	return nil
 }
 
 // argMax returns the index of the strictly largest value, lowest index on

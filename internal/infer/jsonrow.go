@@ -1,6 +1,7 @@
 package infer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -30,7 +31,20 @@ var ErrTooManyRows = errors.New("too many rows")
 // feature names and level strings are matched with the compiler's
 // zero-copy map-lookup idiom, so steady-state decoding allocates nothing.
 func (m *Model) DecodeRequest(b *RowBlock, body []byte, maxRows int) (maxDepth int, err error) {
-	s := scanner{data: body, scratch: b.scratch}
+	return m.DecodeRequestCtx(context.Background(), b, body, maxRows)
+}
+
+// decodeCheckEvery is how many rows DecodeRequestCtx parses between context
+// checks — coarse enough that the check never shows up in the row loop,
+// fine enough that a dead request abandons a large batch mid-parse.
+const decodeCheckEvery = 256
+
+// DecodeRequestCtx is DecodeRequest with cooperative cancellation: every
+// decodeCheckEvery rows the scanner checks ctx and aborts the parse with
+// the context's error, so an expired or disconnected request stops chewing
+// through a large body.
+func (m *Model) DecodeRequestCtx(ctx context.Context, b *RowBlock, body []byte, maxRows int) (maxDepth int, err error) {
+	s := scanner{data: body, scratch: b.scratch, ctx: ctx}
 	defer func() { b.scratch = s.scratch }()
 	s.ws()
 	if err := s.expect('{'); err != nil {
@@ -103,6 +117,11 @@ func (m *Model) decodeRows(s *scanner, b *RowBlock, maxRows int) error {
 	for {
 		if maxRows > 0 && b.n >= maxRows {
 			return fmt.Errorf("infer: %w (limit %d)", ErrTooManyRows, maxRows)
+		}
+		if b.n%decodeCheckEvery == 0 && s.ctx != nil {
+			if err := s.ctx.Err(); err != nil {
+				return fmt.Errorf("infer: decode aborted at row %d: %w", b.n, err)
+			}
 		}
 		if err := m.decodeRow(s, b); err != nil {
 			return err
@@ -273,6 +292,7 @@ type scanner struct {
 	data    []byte
 	pos     int
 	scratch []byte // unescape buffer, owned by the row block between calls
+	ctx     context.Context
 }
 
 func (s *scanner) ws() {

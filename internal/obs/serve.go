@@ -18,6 +18,14 @@ type ServeObs struct {
 	rows     atomic.Int64
 	swaps    atomic.Int64
 
+	// Resilience events.
+	sheds            atomic.Int64 // requests rejected by the overload gate
+	deadlineExceeded atomic.Int64 // requests cut off by deadline/disconnect
+	canaryPromotes   atomic.Int64
+	canaryRollbacks  atomic.Int64
+	drains           atomic.Int64 // graceful shutdowns completed
+	drained          atomic.Int64 // inflight requests completed during drains
+
 	// latency[b] counts requests with bits.Len64(ns) == b, i.e. durations in
 	// [2^(b-1), 2^b) ns — ~1.4σ resolution per decade, constant memory.
 	latency [64]atomic.Int64
@@ -79,10 +87,60 @@ func (s *ServeObs) Swap() {
 	s.swaps.Add(1)
 }
 
+// Shed records one request rejected by the overload gate.
+func (s *ServeObs) Shed() {
+	if s == nil {
+		return
+	}
+	s.sheds.Add(1)
+}
+
+// DeadlineExceeded records one request cut off by its deadline or by the
+// client disconnecting mid-flight.
+func (s *ServeObs) DeadlineExceeded() {
+	if s == nil {
+		return
+	}
+	s.deadlineExceeded.Add(1)
+}
+
+// CanaryPromote records one canary auto-promotion.
+func (s *ServeObs) CanaryPromote() {
+	if s == nil {
+		return
+	}
+	s.canaryPromotes.Add(1)
+}
+
+// CanaryRollback records one canary auto-rollback.
+func (s *ServeObs) CanaryRollback() {
+	if s == nil {
+		return
+	}
+	s.canaryRollbacks.Add(1)
+}
+
+// Drain records one graceful shutdown completing with `completed` inflight
+// requests drained rather than dropped.
+func (s *ServeObs) Drain(completed int64) {
+	if s == nil {
+		return
+	}
+	s.drains.Add(1)
+	s.drained.Add(completed)
+}
+
 // ServeSnapshot is the serving-path state inside a Snapshot.
 type ServeSnapshot struct {
 	Requests, Errors, Rows int64
 	Swaps                  int64
+	// Resilience events.
+	Sheds            int64
+	DeadlineExceeded int64
+	CanaryPromotes   int64
+	CanaryRollbacks  int64
+	Drains           int64
+	DrainedRequests  int64
 	// Latency percentiles from the log2 histogram: each is the upper bound
 	// of the bucket containing that quantile (≤2× resolution).
 	P50Ns, P99Ns int64
@@ -127,12 +185,18 @@ func (s *ServeObs) percentile(q float64) int64 {
 // serveSnapshot captures the serving counters; uptimeSeconds feeds QPS.
 func (s *ServeObs) snapshot(uptimeSeconds float64) ServeSnapshot {
 	out := ServeSnapshot{
-		Requests: s.requests.Load(),
-		Errors:   s.errors.Load(),
-		Rows:     s.rows.Load(),
-		Swaps:    s.swaps.Load(),
-		P50Ns:    s.percentile(0.50),
-		P99Ns:    s.percentile(0.99),
+		Requests:         s.requests.Load(),
+		Errors:           s.errors.Load(),
+		Rows:             s.rows.Load(),
+		Swaps:            s.swaps.Load(),
+		Sheds:            s.sheds.Load(),
+		DeadlineExceeded: s.deadlineExceeded.Load(),
+		CanaryPromotes:   s.canaryPromotes.Load(),
+		CanaryRollbacks:  s.canaryRollbacks.Load(),
+		Drains:           s.drains.Load(),
+		DrainedRequests:  s.drained.Load(),
+		P50Ns:            s.percentile(0.50),
+		P99Ns:            s.percentile(0.99),
 	}
 	if uptimeSeconds > 0 {
 		out.QPS = float64(out.Requests) / uptimeSeconds

@@ -353,6 +353,10 @@ func (s Snapshot) Report() string {
 				mdl.Name, mdl.Requests, mdl.Errors, mdl.Rows)
 		}
 	}
+	if sv := s.Serve; sv.Sheds+sv.DeadlineExceeded+sv.CanaryPromotes+sv.CanaryRollbacks+sv.Drains > 0 {
+		fmt.Fprintf(&b, "resilience: %d shed, %d deadline-exceeded, %d canary promotes, %d canary rollbacks, %d drains (%d requests drained)\n",
+			sv.Sheds, sv.DeadlineExceeded, sv.CanaryPromotes, sv.CanaryRollbacks, sv.Drains, sv.DrainedRequests)
+	}
 
 	if len(s.Links) > 0 {
 		links := append([]LinkSnapshot(nil), s.Links...)

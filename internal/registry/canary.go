@@ -1,0 +1,299 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Typed sentinels for the canary control surface, so HTTP handlers can map
+// failures to envelope codes with errors.Is instead of string matching.
+var (
+	ErrUnknownModel    = errors.New("unknown model")
+	ErrUnknownVersion  = errors.New("unknown version")
+	ErrNoActiveVersion = errors.New("no active version")
+)
+
+// CanaryPolicy is the auto-promotion contract a staged canary is judged
+// against once its request window fills.
+type CanaryPolicy struct {
+	// Window is how many canary-routed requests are observed before a
+	// promote/rollback decision. The decision fires on exactly the Window-th
+	// canary observation, so a fixed request sequence decides deterministically.
+	Window int
+	// ErrBudget is how far the canary's error rate may exceed the active
+	// version's (absolute difference) and still promote.
+	ErrBudget float64
+	// LatencyFactor is how many times the active version's mean latency the
+	// canary's mean may reach and still promote. Ignored until the active
+	// version has traffic inside the same window.
+	LatencyFactor float64
+}
+
+// Canary policy defaults.
+const (
+	DefaultCanaryWindow        = 200
+	DefaultCanaryErrBudget     = 0.02
+	DefaultCanaryLatencyFactor = 2.0
+)
+
+func (p CanaryPolicy) withDefaults() CanaryPolicy {
+	if p.Window <= 0 {
+		p.Window = DefaultCanaryWindow
+	}
+	if p.ErrBudget <= 0 {
+		p.ErrBudget = DefaultCanaryErrBudget
+	}
+	if p.LatencyFactor <= 0 {
+		p.LatencyFactor = DefaultCanaryLatencyFactor
+	}
+	return p
+}
+
+// CanaryDecision is what Observe reports after recording one outcome.
+type CanaryDecision int
+
+const (
+	// CanaryNone: no canary live, or its window is still filling.
+	CanaryNone CanaryDecision = iota
+	// CanaryPromoted: the staged version met the policy and is now active.
+	CanaryPromoted
+	// CanaryRolledBack: the staged version breached the policy; the canary
+	// was cancelled and the previously-active version keeps all traffic.
+	CanaryRolledBack
+)
+
+func (d CanaryDecision) String() string {
+	switch d {
+	case CanaryPromoted:
+		return "promoted"
+	case CanaryRolledBack:
+		return "rolled back"
+	default:
+		return "none"
+	}
+}
+
+// canaryState is one live canary experiment. Counters are written lock-free
+// on the request path; the promote/rollback decision serialises on the
+// registry mutex.
+type canaryState struct {
+	v         *Version
+	fraction  float64
+	threshold uint64 // canary iff mix(key) < threshold
+	policy    CanaryPolicy
+
+	canReq, canErr, canNs    atomic.Int64
+	baseReq, baseErr, baseNs atomic.Int64
+	decided                  atomic.Bool
+}
+
+// CanaryInfo is a live canary in a model listing.
+type CanaryInfo struct {
+	Seq      int     `json:"seq"`
+	Fraction float64 `json:"fraction"`
+	Window   int     `json:"window"`
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+}
+
+// SetCanaryPolicy sets the defaults Stage applies. Zero fields keep the
+// package defaults. Live canaries keep the policy they were staged with.
+func (r *Registry) SetCanaryPolicy(p CanaryPolicy) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.canaryPolicy = p
+}
+
+// Stage starts a canary rollout: the staged version seq (<=0 = newest
+// staged) serves a deterministic hash-based fraction (0,1] of the model's
+// traffic while the active version keeps the rest. Once the canary has
+// served the policy window it auto-promotes (meeting the error/latency
+// budget against the active version) or auto-rolls-back; either way the
+// active version is never disturbed until promotion. Staging again replaces
+// any live canary; Activate and Rollback cancel one.
+func (r *Registry) Stage(name string, seq int, fraction float64) (*Version, error) {
+	return r.StageWindow(name, seq, fraction, 0)
+}
+
+// StageWindow is Stage with a per-canary window override (0 = the registry
+// policy's window).
+func (r *Registry) StageWindow(name string, seq int, fraction float64, window int) (*Version, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("registry: canary fraction %g outside (0,1]", fraction)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.lookup(name, false)
+	if e == nil {
+		return nil, fmt.Errorf("registry: %w %q", ErrUnknownModel, name)
+	}
+	active := e.active.Load()
+	if active == nil {
+		return nil, fmt.Errorf("registry: model %q has %w to canary against", name, ErrNoActiveVersion)
+	}
+	v, err := e.findLocked(name, seq)
+	if err != nil {
+		return nil, err
+	}
+	if v == active {
+		return nil, fmt.Errorf("registry: model %q version %d is already active", name, v.Seq)
+	}
+	policy := r.canaryPolicy.withDefaults()
+	if window > 0 {
+		policy.Window = window
+	}
+	st := &canaryState{v: v, fraction: fraction, policy: policy}
+	if fraction >= 1 {
+		st.threshold = math.MaxUint64
+	} else {
+		st.threshold = uint64(fraction * float64(1<<63) * 2)
+	}
+	e.canary.Store(st)
+	return v, nil
+}
+
+// Unstage cancels a live canary without touching the active version. It
+// reports whether one was live.
+func (r *Registry) Unstage(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.lookup(name, false)
+	if e == nil {
+		return false
+	}
+	if e.canary.Load() == nil {
+		return false
+	}
+	e.canary.Store(nil)
+	return true
+}
+
+// Canary returns the live canary experiment for a model, if any.
+func (r *Registry) Canary(name string) (*CanaryInfo, bool) {
+	e, ok := (*r.models.Load())[name]
+	if !ok {
+		return nil, false
+	}
+	c := e.canary.Load()
+	if c == nil {
+		return nil, false
+	}
+	return &CanaryInfo{
+		Seq: c.v.Seq, Fraction: c.fraction, Window: c.policy.Window,
+		Requests: c.canReq.Load(), Errors: c.canErr.Load(),
+	}, true
+}
+
+// HashKey folds a request identity (client address, explicit canary key)
+// into the uint64 Route consumes. FNV-1a with a splitmix64 finalizer, so
+// the low entropy of addresses still spreads across the full threshold
+// range, and the same key always routes the same way.
+func HashKey(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	// splitmix64 finalizer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Route resolves the version a request with the given key should hit:
+// the live canary for the staged fraction of the key space, the active
+// version otherwise. Lock-free — three atomic loads on the canary path.
+func (r *Registry) Route(name string, key uint64) (v *Version, canary bool, ok bool) {
+	e, found := (*r.models.Load())[name]
+	if !found {
+		return nil, false, false
+	}
+	if c := e.canary.Load(); c != nil && (key < c.threshold || c.threshold == math.MaxUint64) {
+		return c.v, true, true
+	}
+	a := e.active.Load()
+	return a, false, a != nil
+}
+
+// Observe records one served request against the live canary window and
+// returns the decision it triggered, if any. canary says which side of the
+// Route split served it. The decision fires exactly once, on the canary
+// observation that fills the window:
+//
+//   - promote: canary error rate within ErrBudget of the active version's
+//     (absolute budget when the active side saw no traffic) and canary mean
+//     latency within LatencyFactor of the active mean — the staged version
+//     is activated (the previous active is pushed to Rollback history);
+//   - rollback: any breach — the canary is cancelled and the active
+//     version, untouched throughout, keeps serving everything.
+//
+// With no canary live this is two atomic loads; counter updates are
+// allocation-free atomic adds.
+func (r *Registry) Observe(name string, canary bool, ns int64, isErr bool) CanaryDecision {
+	e, found := (*r.models.Load())[name]
+	if !found {
+		return CanaryNone
+	}
+	c := e.canary.Load()
+	if c == nil {
+		return CanaryNone
+	}
+	if !canary {
+		c.baseReq.Add(1)
+		c.baseNs.Add(ns)
+		if isErr {
+			c.baseErr.Add(1)
+		}
+		return CanaryNone
+	}
+	n := c.canReq.Add(1)
+	c.canNs.Add(ns)
+	if isErr {
+		c.canErr.Add(1)
+	}
+	if n < int64(c.policy.Window) || !c.decided.CompareAndSwap(false, true) {
+		return CanaryNone
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.canary.Load() != c { // replaced or cancelled while we raced here
+		return CanaryNone
+	}
+	if c.healthy() {
+		e.activateLocked(c.v) // clears the canary pointer too
+		return CanaryPromoted
+	}
+	e.canary.Store(nil)
+	return CanaryRolledBack
+}
+
+// healthy evaluates the promotion contract over the window's counters.
+func (c *canaryState) healthy() bool {
+	canReq := float64(c.canReq.Load())
+	canErrRate := float64(c.canErr.Load()) / canReq
+	baseReq := float64(c.baseReq.Load())
+	if baseReq == 0 {
+		// No traffic on the active side this window: judge against the
+		// absolute budget, skip the latency comparison.
+		return canErrRate <= c.policy.ErrBudget
+	}
+	baseErrRate := float64(c.baseErr.Load()) / baseReq
+	if canErrRate > baseErrRate+c.policy.ErrBudget {
+		return false
+	}
+	canMean := float64(c.canNs.Load()) / canReq
+	baseMean := float64(c.baseNs.Load()) / baseReq
+	if baseMean > 0 && canMean > baseMean*c.policy.LatencyFactor {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,382 @@
+package registry
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"treeserver/internal/model"
+)
+
+// stageTwo loads two versions of a model and activates v1, the canonical
+// starting state for a canary experiment.
+func stageTwo(t *testing.T) (*Registry, []map[string]string) {
+	t.Helper()
+	r := New()
+	mf1, rows := trainFile(t, 1)
+	mf2, _ := trainFile(t, 2)
+	if _, err := r.Load("m", mf1, "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Load("m", mf2, "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Activate("m", 1); err != nil {
+		t.Fatal(err)
+	}
+	return r, rows
+}
+
+func TestStageValidation(t *testing.T) {
+	r, _ := stageTwo(t)
+	if _, err := r.Stage("ghost", 0, 0.5); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("unknown model: %v", err)
+	}
+	if _, err := r.Stage("m", 99, 0.5); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("unknown version: %v", err)
+	}
+	for _, frac := range []float64{0, -0.25, 1.5} {
+		if _, err := r.Stage("m", 2, frac); err == nil {
+			t.Fatalf("fraction %g accepted", frac)
+		}
+	}
+	if _, err := r.Stage("m", 1, 0.5); err == nil {
+		t.Fatal("staging the active version succeeded")
+	}
+
+	// A model with versions but no active one has nothing to canary against.
+	noact := New()
+	mf, _ := trainFile(t, 1)
+	if _, err := noact.Load("n", mf, "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := noact.Stage("n", 1, 0.5); !errors.Is(err, ErrNoActiveVersion) {
+		t.Fatalf("no active version: %v", err)
+	}
+}
+
+func TestRouteDeterministic(t *testing.T) {
+	r, _ := stageTwo(t)
+
+	// No canary: every key lands on the active version.
+	v, canary, ok := r.Route("m", 12345)
+	if !ok || canary || v.Seq != 1 {
+		t.Fatalf("route without canary = seq %d canary %v ok %v", v.Seq, canary, ok)
+	}
+	if _, _, ok := r.Route("ghost", 0); ok {
+		t.Fatal("unknown model routed")
+	}
+
+	if _, err := r.Stage("m", 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	// Fraction 0.5 splits the key space at 2^63: low keys go canary, high
+	// keys stay on the active version — and repeat calls never flip.
+	for i := 0; i < 10; i++ {
+		if v, canary, _ := r.Route("m", 0); !canary || v.Seq != 2 {
+			t.Fatalf("low key routed to seq %d canary %v", v.Seq, canary)
+		}
+		if v, canary, _ := r.Route("m", math.MaxUint64); canary || v.Seq != 1 {
+			t.Fatalf("high key routed to seq %d canary %v", v.Seq, canary)
+		}
+	}
+	// The hash spreads real-world keys across both sides.
+	low, high := 0, 0
+	for i := 0; i < 64; i++ {
+		if _, canary, _ := r.Route("m", HashKey(string(rune('a'+i%26))+"-client")); canary {
+			low++
+		} else {
+			high++
+		}
+	}
+	if low == 0 || high == 0 {
+		t.Fatalf("hash split %d/%d never uses one side", low, high)
+	}
+
+	// Fraction 1.0 sends everything to the canary.
+	if _, err := r.Stage("m", 2, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if v, canary, _ := r.Route("m", math.MaxUint64); !canary || v.Seq != 2 {
+		t.Fatalf("fraction 1.0 routed to seq %d canary %v", v.Seq, canary)
+	}
+}
+
+func TestCanaryAutoPromote(t *testing.T) {
+	r, _ := stageTwo(t)
+	if _, err := r.StageWindow("m", 2, 0.5, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Healthy canary: same latency as baseline, no errors. The decision must
+	// fire on exactly the 10th canary observation.
+	for i := 0; i < 9; i++ {
+		if d := r.Observe("m", true, 1000, false); d != CanaryNone {
+			t.Fatalf("decision %v after %d observations", d, i+1)
+		}
+		r.Observe("m", false, 1000, false)
+	}
+	if d := r.Observe("m", true, 1000, false); d != CanaryPromoted {
+		t.Fatalf("10th observation decided %v, want promoted", d)
+	}
+	if v, _ := r.Active("m"); v.Seq != 2 {
+		t.Fatalf("active after promote = %d", v.Seq)
+	}
+	if _, live := r.Canary("m"); live {
+		t.Fatal("canary still live after promote")
+	}
+	// Promotion pushed the old active to history, so a manual rollback
+	// reverses it.
+	back, err := r.Rollback("m")
+	if err != nil || back.Seq != 1 {
+		t.Fatalf("rollback after promote = %v, %v", back, err)
+	}
+}
+
+func TestCanaryAutoRollbackOnErrors(t *testing.T) {
+	r, _ := stageTwo(t)
+	if _, err := r.StageWindow("m", 2, 0.5, 10); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		r.Observe("m", true, 1000, true) // every canary request fails
+		r.Observe("m", false, 1000, false)
+	}
+	if d := r.Observe("m", true, 1000, true); d != CanaryRolledBack {
+		t.Fatalf("decision = %v, want rolled back", d)
+	}
+	if v, _ := r.Active("m"); v.Seq != 1 {
+		t.Fatalf("active disturbed by rollback: seq %d", v.Seq)
+	}
+	if _, live := r.Canary("m"); live {
+		t.Fatal("canary still live after rollback")
+	}
+	// Further observations are inert.
+	if d := r.Observe("m", true, 1000, false); d != CanaryNone {
+		t.Fatalf("post-rollback observation decided %v", d)
+	}
+}
+
+func TestCanaryAutoRollbackOnLatency(t *testing.T) {
+	r, _ := stageTwo(t)
+	if _, err := r.StageWindow("m", 2, 0.5, 10); err != nil {
+		t.Fatal(err)
+	}
+	// No errors anywhere, but the canary runs 10x the baseline mean — far
+	// past the default 2x budget.
+	for i := 0; i < 9; i++ {
+		r.Observe("m", true, 10000, false)
+		r.Observe("m", false, 1000, false)
+	}
+	if d := r.Observe("m", true, 10000, false); d != CanaryRolledBack {
+		t.Fatalf("decision = %v, want rolled back on latency", d)
+	}
+	if v, _ := r.Active("m"); v.Seq != 1 {
+		t.Fatalf("active disturbed: seq %d", v.Seq)
+	}
+}
+
+func TestActivateAndRollbackCancelCanary(t *testing.T) {
+	r, _ := stageTwo(t)
+	if _, err := r.Stage("m", 2, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Activate("m", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, live := r.Canary("m"); live {
+		t.Fatal("activate left the canary live")
+	}
+
+	// Re-stage (active is now 2, canary 1) and cancel via Rollback.
+	if _, err := r.Stage("m", 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	back, err := r.Rollback("m")
+	if err != nil || back.Seq != 1 {
+		t.Fatalf("rollback = %v, %v", back, err)
+	}
+	if _, live := r.Canary("m"); live {
+		t.Fatal("rollback left the canary live")
+	}
+
+	if !func() bool {
+		if _, err := r.Stage("m", 2, 0.5); err != nil {
+			t.Fatal(err)
+		}
+		return r.Unstage("m")
+	}() {
+		t.Fatal("unstage found no canary")
+	}
+	if r.Unstage("m") {
+		t.Fatal("second unstage found a canary")
+	}
+}
+
+func TestCanaryInfoInListing(t *testing.T) {
+	r, _ := stageTwo(t)
+	if info, _ := r.Get("m"); info.Canary != nil {
+		t.Fatalf("canary reported before staging: %+v", info.Canary)
+	}
+	if _, err := r.StageWindow("m", 2, 0.25, 50); err != nil {
+		t.Fatal(err)
+	}
+	r.Observe("m", true, 1000, true)
+	info, ok := r.Get("m")
+	if !ok || info.Canary == nil {
+		t.Fatalf("canary missing from listing: %+v", info)
+	}
+	c := info.Canary
+	if c.Seq != 2 || c.Fraction != 0.25 || c.Window != 50 || c.Requests != 1 || c.Errors != 1 {
+		t.Fatalf("canary info = %+v", c)
+	}
+}
+
+// TestRollbackEmptyHistory is the satellite edge case: a model whose history
+// never had a second entry must refuse to roll back and keep serving.
+func TestRollbackEmptyHistory(t *testing.T) {
+	r := New()
+	mf, _ := trainFile(t, 1)
+	if _, err := r.Load("m", mf, "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Activate("m", 0); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := r.Active("m")
+	if _, err := r.Rollback("m"); err == nil {
+		t.Fatal("rollback with empty history succeeded")
+	}
+	if after, ok := r.Active("m"); !ok || after != before {
+		t.Fatal("failed rollback disturbed the active version")
+	}
+	if _, err := r.Rollback("ghost"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("rollback unknown model: %v", err)
+	}
+}
+
+// TestActivateUnknownSeq pins the typed error and that the active version
+// survives the failed activation.
+func TestActivateUnknownSeq(t *testing.T) {
+	r, rows := stageTwo(t)
+	before, _ := r.Active("m")
+	want := pmfFingerprint(t, before.Compiled, rows)
+	if _, err := r.Activate("m", 99); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("activate unknown seq: %v", err)
+	}
+	if _, err := r.Activate("ghost", 0); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("activate unknown model: %v", err)
+	}
+	after, _ := r.Active("m")
+	if after != before {
+		t.Fatal("failed activate disturbed the active version")
+	}
+	if got := pmfFingerprint(t, after.Compiled, rows); !sameFloats(got, want) {
+		t.Fatal("active predictions changed")
+	}
+}
+
+// TestWatchDeletedFileMidPoll is the satellite edge case: a .tsmodel
+// vanishing between polls must not disturb the version serving traffic.
+func TestWatchDeletedFileMidPoll(t *testing.T) {
+	dir := t.TempDir()
+	mf1, rows := trainFile(t, 1)
+	path := filepath.Join(dir, "m"+Ext)
+	if err := model.SaveForestFile(path, "m", mf1.Forest, mf1.Schema); err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	if _, err := r.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := r.Active("m")
+	want := pmfFingerprint(t, before.Compiled, rows)
+
+	stop := make(chan struct{})
+	defer close(stop)
+	events := make(chan string, 16)
+	go r.Watch(dir, 2*time.Millisecond, stop, func(msg string) {
+		select {
+		case events <- msg:
+		default:
+		}
+	})
+
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	// Let several polls observe the deletion.
+	time.Sleep(30 * time.Millisecond)
+	after, ok := r.Active("m")
+	if !ok || after != before {
+		t.Fatal("deleting the file on disk disturbed the active version")
+	}
+	if got := pmfFingerprint(t, after.Compiled, rows); !sameFloats(got, want) {
+		t.Fatal("active predictions changed after deletion")
+	}
+	select {
+	case msg := <-events:
+		t.Fatalf("deletion produced a watch event: %q", msg)
+	default:
+	}
+
+	// The model coming back (changed content) is picked up again.
+	mf2, _ := trainFile(t, 2)
+	time.Sleep(5 * time.Millisecond)
+	if err := model.SaveForestFile(path, "m", mf2.Forest, mf2.Schema); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, _ := r.Active("m"); v != nil && v.Seq == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watch never reloaded the re-created file")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWatchCanaryStages pins registry-triggered canarying: with a fraction
+// configured, a changed file is staged as a canary instead of activated.
+func TestWatchCanaryStages(t *testing.T) {
+	dir := t.TempDir()
+	mf1, _ := trainFile(t, 1)
+	mf2, _ := trainFile(t, 2)
+	path := filepath.Join(dir, "m"+Ext)
+	if err := model.SaveForestFile(path, "m", mf1.Forest, mf1.Schema); err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	if _, err := r.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go r.WatchCanary(dir, 2*time.Millisecond, 0.5, 25, stop, nil)
+
+	time.Sleep(5 * time.Millisecond)
+	if err := model.SaveForestFile(path, "m", mf2.Forest, mf2.Schema); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if c, live := r.Canary("m"); live {
+			if c.Seq != 2 || c.Fraction != 0.5 || c.Window != 25 {
+				t.Fatalf("canary = %+v", c)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watch never staged the rewritten model as a canary")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The active version must still be v1 — canarying, not activating.
+	if v, _ := r.Active("m"); v.Seq != 1 {
+		t.Fatalf("watch activated v%d instead of canarying", v.Seq)
+	}
+}

@@ -49,10 +49,12 @@ type Version struct {
 	Compiled *infer.Model
 }
 
-// entry is one model name's state. The active pointer is the only field the
-// hot path touches; everything else is guarded by the registry mutex.
+// entry is one model name's state. The active and canary pointers are the
+// only fields the hot path touches; everything else is guarded by the
+// registry mutex.
 type entry struct {
 	active   atomic.Pointer[Version]
+	canary   atomic.Pointer[canaryState]
 	versions []*Version // staged, ascending Seq
 	history  []*Version // previously-active stack, for Rollback
 	nextSeq  int
@@ -61,8 +63,9 @@ type entry struct {
 // Registry maps model names to versioned entries. The name map itself is
 // copy-on-write so lookups never lock.
 type Registry struct {
-	mu     sync.Mutex
-	models atomic.Pointer[map[string]*entry]
+	mu           sync.Mutex
+	canaryPolicy CanaryPolicy
+	models       atomic.Pointer[map[string]*entry]
 }
 
 // New returns an empty registry.
@@ -145,49 +148,63 @@ func (r *Registry) LoadFile(name, path string) (*Version, error) {
 	return r.Load(name, mf, path)
 }
 
+// findLocked resolves a staged version by seq (<=0 = newest). Callers hold
+// the registry mutex.
+func (e *entry) findLocked(name string, seq int) (*Version, error) {
+	if seq <= 0 {
+		if len(e.versions) == 0 {
+			return nil, fmt.Errorf("registry: model %q has no staged versions", name)
+		}
+		return e.versions[len(e.versions)-1], nil
+	}
+	for _, cand := range e.versions {
+		if cand.Seq == seq {
+			return cand, nil
+		}
+	}
+	return nil, fmt.Errorf("registry: model %q: %w %d", name, ErrUnknownVersion, seq)
+}
+
+// activateLocked flips the active pointer to v, pushes the previous active
+// onto the Rollback history and cancels any live canary (the flip — manual
+// or canary auto-promotion — supersedes the experiment).
+func (e *entry) activateLocked(v *Version) {
+	if prev := e.active.Load(); prev != nil && prev != v {
+		e.history = append(e.history, prev)
+	}
+	e.active.Store(v)
+	e.canary.Store(nil)
+}
+
 // Activate makes a staged version the active one. seq <= 0 selects the
 // newest staged version. The previously active version is pushed for
-// Rollback. Returns the activated version.
+// Rollback, and any live canary is cancelled. Returns the activated version.
 func (r *Registry) Activate(name string, seq int) (*Version, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e := r.lookup(name, false)
 	if e == nil {
-		return nil, fmt.Errorf("registry: unknown model %q", name)
+		return nil, fmt.Errorf("registry: %w %q", ErrUnknownModel, name)
 	}
-	var v *Version
-	if seq <= 0 {
-		if len(e.versions) == 0 {
-			return nil, fmt.Errorf("registry: model %q has no staged versions", name)
-		}
-		v = e.versions[len(e.versions)-1]
-	} else {
-		for _, cand := range e.versions {
-			if cand.Seq == seq {
-				v = cand
-				break
-			}
-		}
-		if v == nil {
-			return nil, fmt.Errorf("registry: model %q has no version %d", name, seq)
-		}
+	v, err := e.findLocked(name, seq)
+	if err != nil {
+		return nil, err
 	}
-	if prev := e.active.Load(); prev != nil && prev != v {
-		e.history = append(e.history, prev)
-	}
-	e.active.Store(v)
+	e.activateLocked(v)
 	return v, nil
 }
 
 // Rollback re-activates the version that was active before the most recent
-// activation.
+// activation. A live canary is cancelled first; with no prior version the
+// registry is left untouched.
 func (r *Registry) Rollback(name string) (*Version, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	e := r.lookup(name, false)
 	if e == nil {
-		return nil, fmt.Errorf("registry: unknown model %q", name)
+		return nil, fmt.Errorf("registry: %w %q", ErrUnknownModel, name)
 	}
+	e.canary.Store(nil)
 	if len(e.history) == 0 {
 		return nil, fmt.Errorf("registry: model %q has no prior version to roll back to", name)
 	}
@@ -215,6 +232,7 @@ type Info struct {
 	Features  []string      `json:"features,omitempty"`
 	Classes   []string      `json:"classes,omitempty"`
 	MaxDepth  int           `json:"max_depth,omitempty"` // deepest tree depth of the active version
+	Canary    *CanaryInfo   `json:"canary,omitempty"`    // live canary rollout, if any
 	Versions  []VersionInfo `json:"versions"`
 }
 
@@ -238,6 +256,12 @@ func (r *Registry) info(name string, e *entry) *Info {
 	}
 	if active != nil {
 		in.ActiveSeq = active.Seq
+	}
+	if c := e.canary.Load(); c != nil {
+		in.Canary = &CanaryInfo{
+			Seq: c.v.Seq, Fraction: c.fraction, Window: c.policy.Window,
+			Requests: c.canReq.Load(), Errors: c.canErr.Load(),
+		}
 	}
 	for _, v := range e.versions {
 		in.Versions = append(in.Versions, VersionInfo{
@@ -316,6 +340,20 @@ func (r *Registry) LoadDir(dir string) (loaded []string, err error) {
 // files until stop closes. Each reload (or failure) is reported through
 // onEvent if non-nil. Run it in its own goroutine.
 func (r *Registry) Watch(dir string, interval time.Duration, stop <-chan struct{}, onEvent func(msg string)) {
+	r.watch(dir, interval, stop, onEvent, 0, 0)
+}
+
+// WatchCanary is Watch with registry-triggered canarying: a changed file is
+// staged as a canary at the given traffic fraction (window 0 = policy
+// default) instead of activating instantly, and traffic then auto-promotes
+// or auto-rolls-back the new version. A model with no active version yet
+// (first sighting) still activates directly — there is nothing to canary
+// against.
+func (r *Registry) WatchCanary(dir string, interval time.Duration, fraction float64, window int, stop <-chan struct{}, onEvent func(msg string)) {
+	r.watch(dir, interval, stop, onEvent, fraction, window)
+}
+
+func (r *Registry) watch(dir string, interval time.Duration, stop <-chan struct{}, onEvent func(msg string), canaryFraction float64, canaryWindow int) {
 	if interval <= 0 {
 		interval = 2 * time.Second
 	}
@@ -363,9 +401,21 @@ func (r *Registry) Watch(dir string, interval time.Duration, stop <-chan struct{
 			}
 			seen[path] = st
 			name := strings.TrimSuffix(filepath.Base(path), Ext)
-			if _, err := r.LoadFile(name, path); err != nil {
+			v, err := r.LoadFile(name, path)
+			if err != nil {
 				note("watch: %s rejected: %v", path, err)
 				continue
+			}
+			if canaryFraction > 0 {
+				if _, ok := r.Active(name); ok {
+					if _, err := r.StageWindow(name, v.Seq, canaryFraction, canaryWindow); err != nil {
+						note("watch: %s staged but canary not started: %v", path, err)
+						continue
+					}
+					note("watch: %s staged as canary v%d of %s at %.0f%% traffic", path, v.Seq, name, canaryFraction*100)
+					continue
+				}
+				// First version of this model: nothing to canary against.
 			}
 			if _, err := r.Activate(name, 0); err != nil {
 				note("watch: %s staged but not activated: %v", path, err)

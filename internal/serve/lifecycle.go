@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Default timeouts for the managed http.Server. ReadHeader bounds slow-loris
+// clients, Read bounds the whole request body, Write bounds response
+// rendering, Idle reaps keep-alive connections.
+const (
+	DefaultReadHeaderTimeout = 5 * time.Second
+	DefaultReadTimeout       = 30 * time.Second
+	DefaultWriteTimeout      = 60 * time.Second
+	DefaultIdleTimeout       = 120 * time.Second
+)
+
+// HTTPTimeouts configures the managed http.Server. Zero fields take the
+// package defaults; use a negative value to disable one explicitly.
+type HTTPTimeouts struct {
+	ReadHeader time.Duration
+	Read       time.Duration
+	Write      time.Duration
+	Idle       time.Duration
+}
+
+func (t HTTPTimeouts) withDefaults() HTTPTimeouts {
+	pick := func(v, def time.Duration) time.Duration {
+		switch {
+		case v > 0:
+			return v
+		case v < 0:
+			return 0
+		default:
+			return def
+		}
+	}
+	t.ReadHeader = pick(t.ReadHeader, DefaultReadHeaderTimeout)
+	t.Read = pick(t.Read, DefaultReadTimeout)
+	t.Write = pick(t.Write, DefaultWriteTimeout)
+	t.Idle = pick(t.Idle, DefaultIdleTimeout)
+	return t
+}
+
+// WithHTTPTimeouts overrides the managed server's connection timeouts.
+func WithHTTPTimeouts(t HTTPTimeouts) Option { return func(s *Server) { s.timeouts = t } }
+
+// HTTPServer builds the managed http.Server the lifecycle methods drive:
+// connection timeouts applied, handler pointed at this Server. Shutdown
+// drains it.
+func (s *Server) HTTPServer(addr string) *http.Server {
+	t := s.timeouts.withDefaults()
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           s,
+		ReadHeaderTimeout: t.ReadHeader,
+		ReadTimeout:       t.Read,
+		WriteTimeout:      t.Write,
+		IdleTimeout:       t.Idle,
+	}
+	s.hs.Store(hs)
+	return hs
+}
+
+// ListenAndServe runs the managed server until the listener fails or
+// Shutdown completes (then it returns http.ErrServerClosed).
+func (s *Server) ListenAndServe(addr string) error {
+	return s.HTTPServer(addr).ListenAndServe()
+}
+
+// Serve runs the managed server on an existing listener.
+func (s *Server) Serve(l net.Listener) error {
+	return s.HTTPServer(l.Addr().String()).Serve(l)
+}
+
+// BeginDrain flips /readyz to unready so load balancers stop routing here,
+// and snapshots the inflight count the drain must see out. Idempotent.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.drainTarget.Store(s.inflight.Load())
+	}
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown drains the server: readiness flips off, the managed listener
+// stops accepting, and inflight requests get until ctx's deadline to finish.
+// Returns nil when every inflight request completed (recorded as one drain
+// event in obs), or ctx's error when the deadline cut the drain short.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	var err error
+	if hs := s.hs.Load(); hs != nil {
+		err = hs.Shutdown(ctx)
+	} else {
+		err = s.waitIdle(ctx)
+	}
+	if err == nil {
+		s.obs.Serve().Drain(s.drainTarget.Load())
+	}
+	return err
+}
+
+// waitIdle polls inflight down to zero for servers driven through ServeHTTP
+// directly (httptest, embedding) rather than the managed listener.
+func (s *Server) waitIdle(ctx context.Context) error {
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	return nil
+}
+
+// handleReady is /readyz: 200 while accepting traffic, a 503 draining
+// envelope once shutdown has begun.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, CodeDraining, "server is draining")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("{\"status\":\"ready\"}\n"))
+}

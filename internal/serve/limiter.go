@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// limiter is the per-model overload gate: at most maxInflight requests hold
+// a slot concurrently, at most queueDepth more wait (each up to queueWait)
+// for one to free, and everything beyond that is shed immediately. Both
+// channels are fixed-capacity, so admission is two channel operations on
+// the happy path and the gate allocates only on the queued slow path (one
+// timer).
+type limiter struct {
+	tokens chan struct{} // buffered to maxInflight; a held slot is one element
+	queue  chan struct{} // buffered to queueDepth; a waiter is one element
+	wait   time.Duration // how long a queued request may wait for a slot
+}
+
+func newLimiter(maxInflight, queueDepth int, wait time.Duration) *limiter {
+	l := &limiter{tokens: make(chan struct{}, maxInflight), wait: wait}
+	if queueDepth > 0 {
+		l.queue = make(chan struct{}, queueDepth)
+	}
+	return l
+}
+
+// acquire admits the request (true), sheds it (false, nil), or aborts the
+// queued wait when the request's context dies (false, ctx error). An
+// admitted request must release().
+func (l *limiter) acquire(ctx context.Context) (bool, error) {
+	select {
+	case l.tokens <- struct{}{}:
+		return true, nil
+	default:
+	}
+	if l.queue == nil || l.wait <= 0 {
+		return false, nil
+	}
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		return false, nil // wait queue full: shed
+	}
+	defer func() { <-l.queue }()
+	t := time.NewTimer(l.wait)
+	defer t.Stop()
+	select {
+	case l.tokens <- struct{}{}:
+		return true, nil
+	case <-t.C:
+		return false, nil // waited the full budget: shed
+	case <-ctx.Done():
+		return false, ctx.Err()
+	}
+}
+
+func (l *limiter) release() { <-l.tokens }
+
+// limiterFor returns the gate for a model, creating it on first use.
+// Returns nil when overload control is off (maxInflight == 0).
+func (s *Server) limiterFor(name string) *limiter {
+	if s.maxInflight <= 0 {
+		return nil
+	}
+	if v, ok := s.limiters.Load(name); ok {
+		return v.(*limiter)
+	}
+	v, _ := s.limiters.LoadOrStore(name, newLimiter(s.maxInflight, s.queueDepth, s.queueWait))
+	return v.(*limiter)
+}
+
+// limiters is a tiny typed wrapper so Server's field reads clearly.
+type limiterMap = sync.Map

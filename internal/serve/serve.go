@@ -23,12 +23,14 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 	"unicode/utf8"
 
@@ -47,10 +49,17 @@ const (
 	CodeVersionNotFound  = "version_not_found"
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeNotFound         = "not_found"
+	CodeOverloaded       = "overloaded"        // 429: shed by the inflight gate
+	CodeDeadlineExceeded = "deadline_exceeded" // 503: request budget or client gone
+	CodeBodyTooLarge     = "body_too_large"    // 413: body over the global cap
+	CodeDraining         = "draining"          // 503: server is shutting down
 )
 
 // DefaultMaxRows caps rows per predict request unless overridden.
 const DefaultMaxRows = 100000
+
+// DefaultMaxBodyBytes caps request bodies unless overridden.
+const DefaultMaxBodyBytes int64 = 8 << 20
 
 // Server is the HTTP front end over a model registry.
 type Server struct {
@@ -61,6 +70,23 @@ type Server struct {
 	defaultDepth int // default truncation depth for forests (0 = full)
 	mux          *http.ServeMux
 	bufPool      sync.Pool // *bytes.Buffer: request bodies and responses
+
+	// Overload control (off unless WithMaxInflight is set).
+	maxInflight int
+	queueDepth  int
+	queueWait   time.Duration
+	limiters    limiterMap // model name -> *limiter
+
+	// Request budget (off unless WithRequestTimeout is set) and body cap.
+	requestTimeout time.Duration
+	maxBodyBytes   int64
+
+	// Lifecycle state driven by lifecycle.go.
+	timeouts    HTTPTimeouts
+	hs          atomic.Pointer[http.Server]
+	draining    atomic.Bool
+	inflight    atomic.Int64
+	drainTarget atomic.Int64
 }
 
 // Option configures a Server.
@@ -80,31 +106,57 @@ func WithMaxRows(n int) Option { return func(s *Server) { s.maxRows = n } }
 // forest predictions when the request doesn't carry its own max_depth.
 func WithMaxDepth(d int) Option { return func(s *Server) { s.defaultDepth = d } }
 
+// WithMaxInflight turns on per-model overload control: at most n predict
+// requests run concurrently per model; the excess is shed as a 429
+// "overloaded" envelope with a Retry-After header. 0 disables the gate.
+func WithMaxInflight(n int) Option { return func(s *Server) { s.maxInflight = n } }
+
+// WithQueue lets up to depth shed-candidates wait up to wait for an inflight
+// slot before being shed. Only meaningful alongside WithMaxInflight.
+func WithQueue(depth int, wait time.Duration) Option {
+	return func(s *Server) { s.queueDepth, s.queueWait = depth, wait }
+}
+
+// WithRequestTimeout bounds each predict request's decode+inference budget.
+// Requests over budget (or whose client disconnects) fail with a 503
+// "deadline_exceeded" envelope. 0 disables the budget; client disconnects
+// are still honored.
+func WithRequestTimeout(d time.Duration) Option { return func(s *Server) { s.requestTimeout = d } }
+
+// WithMaxBodyBytes overrides the global request body cap (413 when hit).
+// Negative disables the cap.
+func WithMaxBodyBytes(n int64) Option { return func(s *Server) { s.maxBodyBytes = n } }
+
 // New builds a server over a registry.
 func New(reg *registry.Registry, opts ...Option) *Server {
-	s := &Server{reg: reg, maxRows: DefaultMaxRows, mux: http.NewServeMux()}
+	s := &Server{reg: reg, maxRows: DefaultMaxRows, maxBodyBytes: DefaultMaxBodyBytes, mux: http.NewServeMux()}
 	for _, opt := range opts {
 		opt(s)
 	}
 	s.bufPool.New = func() any { return &bytes.Buffer{} }
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.HandleFunc("/v1/models", s.handleList)
 	s.mux.HandleFunc("/v1/models/{name}", s.handleGet)
 	s.mux.HandleFunc("/v1/models/{name}/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/models/{name}/activate", s.handleActivate)
 	s.mux.HandleFunc("/v1/models/{name}/rollback", s.handleRollback)
+	s.mux.HandleFunc("/v1/models/{name}/stage", s.handleStage)
 	s.mux.HandleFunc("/predict", s.handleLegacyPredict)
 	s.mux.HandleFunc("/schema", s.handleLegacySchema)
 	s.mux.HandleFunc("/", s.handleFallback)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
-
-// ListenAndServe runs the server until the listener fails.
-func (s *Server) ListenAndServe(addr string) error {
-	return http.ListenAndServe(addr, s)
+// ServeHTTP implements http.Handler. Every request is inflight-tracked (so
+// Shutdown can prove the drain saw them out) and body-capped.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.maxBodyBytes >= 0 && r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
+	}
+	s.mux.ServeHTTP(w, r)
 }
 
 // --- error envelope ---
@@ -221,19 +273,107 @@ func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, activateResponse{Name: name, ActiveSeq: v.Seq})
 }
 
+type stageRequest struct {
+	Seq      int     `json:"seq"`
+	Fraction float64 `json:"fraction"`
+	Window   int     `json:"window"`
+}
+
+type stageResponse struct {
+	Name     string  `json:"name"`
+	Seq      int     `json:"seq"`
+	Fraction float64 `json:"fraction"`
+	Window   int     `json:"window"`
+}
+
+// handleStage starts a canary rollout: POST {"seq":N,"fraction":F,"window":W}
+// routes fraction F of the model's traffic to version N (omit/0 seq = newest
+// staged; omit window = registry policy). The canary auto-promotes or
+// auto-rolls-back once W canary requests have been observed.
+func (s *Server) handleStage(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST required")
+		return
+	}
+	name := r.PathValue("name")
+	var req stageRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, CodeInvalidRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	v, err := s.reg.StageWindow(name, req.Seq, req.Fraction, req.Window)
+	if err != nil {
+		switch {
+		case errors.Is(err, registry.ErrUnknownModel):
+			s.writeError(w, http.StatusNotFound, CodeModelNotFound, err.Error())
+		case errors.Is(err, registry.ErrUnknownVersion):
+			s.writeError(w, http.StatusNotFound, CodeVersionNotFound, err.Error())
+		case errors.Is(err, registry.ErrNoActiveVersion):
+			s.writeError(w, http.StatusConflict, CodeNoActiveVersion, err.Error())
+		default:
+			s.writeError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())
+		}
+		return
+	}
+	info, _ := s.reg.Canary(name)
+	window := 0
+	if info != nil {
+		window = info.Window
+	}
+	s.writeJSON(w, http.StatusOK, stageResponse{Name: name, Seq: v.Seq, Fraction: req.Fraction, Window: window})
+}
+
 // --- predict hot path ---
 
 // predictOutcome is what the shared predict core reports for telemetry.
 type predictOutcome struct {
-	rows  int
-	isErr bool
+	rows     int
+	isErr    bool
+	shed     bool // rejected by the overload gate
+	deadline bool // cut off by the request budget or client disconnect
+	routed   bool // reached a model version (feeds the canary window)
+	canary   bool // which side of the canary split served it
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	name := r.PathValue("name")
 	out := s.predict(w, r, name, false)
-	s.obs.Serve().Request(name, out.rows, time.Since(start).Nanoseconds(), out.isErr)
+	s.record(name, start, out)
+}
+
+// record feeds one predict outcome into serving telemetry and, when a canary
+// is live, into its decision window.
+func (s *Server) record(name string, start time.Time, out predictOutcome) {
+	ns := time.Since(start).Nanoseconds()
+	sv := s.obs.Serve()
+	sv.Request(name, out.rows, ns, out.isErr)
+	if out.shed {
+		sv.Shed()
+	}
+	if out.deadline {
+		sv.DeadlineExceeded()
+	}
+	if !out.routed {
+		return
+	}
+	switch s.reg.Observe(name, out.canary, ns, out.isErr) {
+	case registry.CanaryPromoted:
+		sv.CanaryPromote()
+		sv.Swap()
+	case registry.CanaryRolledBack:
+		sv.CanaryRollback()
+	}
+}
+
+// canaryKey is the identity the canary split hashes: an explicit
+// X-Canary-Key header when the caller wants deterministic routing, the
+// client address otherwise (so one client sticks to one side).
+func canaryKey(r *http.Request) string {
+	if k := r.Header.Get("X-Canary-Key"); k != "" {
+		return k
+	}
+	return r.RemoteAddr
 }
 
 // resolveDefault names the model legacy aliases forward to: the configured
@@ -251,6 +391,7 @@ func (s *Server) resolveDefault() string {
 // predict runs the shared predict core. legacy selects the pre-/v1 response
 // and error shapes. Returns telemetry for the caller to record.
 func (s *Server) predict(w http.ResponseWriter, r *http.Request, name string, legacy bool) predictOutcome {
+	var out predictOutcome
 	fail := func(status int, code, msg string) predictOutcome {
 		if legacy {
 			// The pre-/v1 error shape was a bare {"error":"message"}.
@@ -260,7 +401,8 @@ func (s *Server) predict(w http.ResponseWriter, r *http.Request, name string, le
 		} else {
 			s.writeError(w, status, code, msg)
 		}
-		return predictOutcome{isErr: true}
+		out.isErr = true
+		return out
 	}
 	if r.Method != http.MethodPost {
 		return fail(http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST required")
@@ -269,7 +411,7 @@ func (s *Server) predict(w http.ResponseWriter, r *http.Request, name string, le
 		return fail(http.StatusNotFound, CodeModelNotFound,
 			"no default model configured; use /v1/models/{name}/predict")
 	}
-	v, ok := s.reg.Active(name)
+	v, canary, ok := s.reg.Route(name, registry.HashKey(canaryKey(r)))
 	if !ok {
 		if _, known := s.reg.Get(name); known {
 			return fail(http.StatusServiceUnavailable, CodeNoActiveVersion,
@@ -279,19 +421,61 @@ func (s *Server) predict(w http.ResponseWriter, r *http.Request, name string, le
 	}
 	m := v.Compiled
 
+	ctx := r.Context()
+	if s.requestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.requestTimeout)
+		defer cancel()
+	}
+
+	if l := s.limiterFor(name); l != nil {
+		admitted, err := l.acquire(ctx)
+		if err != nil {
+			out.deadline = true
+			return fail(http.StatusServiceUnavailable, CodeDeadlineExceeded,
+				"request expired waiting for capacity: "+err.Error())
+		}
+		if !admitted {
+			// Shed before touching the version: a shed never executed, so it
+			// must not feed the canary window.
+			w.Header().Set("Retry-After", "1")
+			out.shed = true
+			return fail(http.StatusTooManyRequests, CodeOverloaded,
+				"model "+strconv.Quote(name)+" is over its inflight limit; retry later")
+		}
+		defer l.release()
+	}
+	// Past admission the request executes on v; from here every outcome —
+	// success, decode error, deadline — feeds the canary decision window.
+	out.routed, out.canary = true, canary
+
 	body := s.bufPool.Get().(*bytes.Buffer)
 	body.Reset()
 	defer s.bufPool.Put(body)
 	if _, err := body.ReadFrom(r.Body); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return fail(http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+				"request body exceeds "+strconv.FormatInt(tooBig.Limit, 10)+" bytes")
+		}
+		if ctx.Err() != nil {
+			out.deadline = true
+			return fail(http.StatusServiceUnavailable, CodeDeadlineExceeded,
+				"reading body: "+ctx.Err().Error())
+		}
 		return fail(http.StatusBadRequest, CodeInvalidRequest, "reading body: "+err.Error())
 	}
 
 	block := m.GetBlock()
 	defer m.PutBlock(block)
-	depth, err := m.DecodeRequest(block, body.Bytes(), s.maxRows)
+	depth, err := m.DecodeRequestCtx(ctx, block, body.Bytes(), s.maxRows)
 	if err != nil {
 		if errors.Is(err, infer.ErrTooManyRows) {
 			return fail(http.StatusRequestEntityTooLarge, CodeTooManyRows, err.Error())
+		}
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			out.deadline = true
+			return fail(http.StatusServiceUnavailable, CodeDeadlineExceeded, err.Error())
 		}
 		return fail(http.StatusBadRequest, CodeInvalidRequest, err.Error())
 	}
@@ -310,7 +494,11 @@ func (s *Server) predict(w http.ResponseWriter, r *http.Request, name string, le
 
 	res := m.GetResult()
 	defer m.PutResult(res)
-	m.Predict(block, res, depth)
+	if err := m.PredictCtx(ctx, block, res, depth); err != nil {
+		out.deadline = true
+		return fail(http.StatusServiceUnavailable, CodeDeadlineExceeded,
+			"inference aborted: "+err.Error())
+	}
 
 	resp := s.bufPool.Get().(*bytes.Buffer)
 	resp.Reset()
@@ -323,7 +511,8 @@ func (s *Server) predict(w http.ResponseWriter, r *http.Request, name string, le
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(resp.Bytes())
-	return predictOutcome{rows: res.Len()}
+	out.rows = res.Len()
+	return out
 }
 
 // encodeResponse renders the /v1 predict response:
@@ -467,7 +656,7 @@ func (s *Server) handleLegacyPredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	name := s.resolveDefault()
 	out := s.predict(w, r, name, true)
-	s.obs.Serve().Request(name, out.rows, time.Since(start).Nanoseconds(), out.isErr)
+	s.record(name, start, out)
 }
 
 // legacySchemaResponse is the pre-/v1 /schema payload, kept byte-compatible.
